@@ -1,0 +1,150 @@
+//! Ablation benches for the design choices called out in DESIGN.md §2:
+//!
+//! - **D1 aggregation**: [CLS] readout vs mean-pool vs header-mean column
+//!   retrieval cost.
+//! - **D2 row fitting**: binary-search row fitting vs linear scan.
+//! - **D3 MCV estimator**: Albert–Zhang (inverse-free) vs Voinov–Nikulin
+//!   (requires `Σ⁻¹`; fails when n ≤ d — the bench also counts successes).
+//! - **D4 permutation budget**: sampled-k vs exhaustive enumeration.
+//! - **D5 FD discovery**: stripped-partition refinement vs naive O(n²)
+//!   verification.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use observatory_data::spider::SpiderConfig;
+use observatory_data::wikitables::WikiTablesConfig;
+use observatory_fd::discovery::{
+    discover_unary_fds, holds_unary, holds_unary_naive, DiscoveryOptions,
+};
+use observatory_linalg::{Matrix, SplitMix64};
+use observatory_models::registry::{model_by_name, MODEL_NAMES};
+use observatory_models::serialize::{fit_rows, serialize_row_wise, RowWiseOptions};
+use observatory_stats::mcv::{albert_zhang_mcv, voinov_nikulin_mcv};
+use observatory_table::perm::sample_permutations;
+use observatory_tokenizer::Tokenizer;
+use std::hint::black_box;
+
+/// D1 — column readout strategies (DODUO's CLS vs mean-pool vs TaBERT's
+/// header anchor) on the same table.
+fn d1_aggregation(c: &mut Criterion) {
+    let table =
+        WikiTablesConfig { num_tables: 1, min_rows: 8, max_rows: 8, seed: 1 }.generate().remove(0);
+    let mut group = c.benchmark_group("d1_column_readout");
+    for name in ["doduo", "bert", "tabert"] {
+        let model = model_by_name(name).unwrap();
+        let enc = model.encode_table(&table);
+        let cols = enc.cols_encoded;
+        group.bench_with_input(BenchmarkId::from_parameter(name), &enc, |b, enc| {
+            b.iter(|| {
+                for j in 0..cols {
+                    black_box(enc.column(black_box(j)));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+/// D2 — row fitting: binary search (paper §4.3) vs linear scan.
+fn d2_row_fitting(c: &mut Criterion) {
+    let table = WikiTablesConfig { num_tables: 1, min_rows: 60, max_rows: 60, seed: 2 }
+        .generate()
+        .remove(0);
+    let tok = Tokenizer::default();
+    let opts = RowWiseOptions::default();
+    let budget = 192usize;
+    let mut group = c.benchmark_group("d2_row_fitting");
+    group.sample_size(20);
+    group.bench_function("binary_search", |b| {
+        b.iter(|| {
+            black_box(fit_rows(table.num_rows(), budget, |k| {
+                serialize_row_wise(&table, &tok, k, &opts).len()
+            }))
+        })
+    });
+    group.bench_function("linear_scan", |b| {
+        b.iter(|| {
+            let mut best = 0;
+            for k in 0..=table.num_rows() {
+                if serialize_row_wise(&table, &tok, k, &opts).len() <= budget {
+                    best = k;
+                } else {
+                    break;
+                }
+            }
+            black_box(best)
+        })
+    });
+    group.finish();
+}
+
+/// D3 — MCV estimators on an n ≪ d sample (the Observatory regime): the
+/// inverse-based estimator must detect singularity and bail; Albert–Zhang
+/// just computes.
+fn d3_mcv(c: &mut Criterion) {
+    let mut rng = SplitMix64::new(3);
+    // 24 observations in 64 dimensions: singular covariance by construction.
+    let rows: Vec<Vec<f64>> =
+        (0..24).map(|_| (0..64).map(|_| 1.0 + 0.05 * rng.next_normal()).collect()).collect();
+    let sample = Matrix::from_rows(&rows);
+    assert!(voinov_nikulin_mcv(&sample).is_none(), "n<=d must be singular");
+    let mut group = c.benchmark_group("d3_mcv");
+    group.bench_function("albert_zhang", |b| {
+        b.iter(|| black_box(albert_zhang_mcv(black_box(&sample))))
+    });
+    group.bench_function("voinov_nikulin_singular_bailout", |b| {
+        b.iter(|| black_box(voinov_nikulin_mcv(black_box(&sample))))
+    });
+    group.finish();
+}
+
+/// D4 — permutation budget: sampling k distinct permutations of a large
+/// space vs exhaustively enumerating a small one.
+fn d4_permutations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("d4_permutations");
+    group.bench_function("sample_100_of_12_factorial", |b| {
+        b.iter(|| black_box(sample_permutations(black_box(12), 100, 42)))
+    });
+    group.bench_function("exhaustive_6_factorial", |b| {
+        b.iter(|| black_box(sample_permutations(black_box(6), 1000, 42)))
+    });
+    group.finish();
+}
+
+/// D5 — FD checking: partition refinement vs naive pairwise comparison,
+/// plus full-table discovery.
+fn d5_fd(c: &mut Criterion) {
+    let table = SpiderConfig { num_tables: 1, rows: 200, seed: 7 }.generate().tables.remove(0);
+    let mut group = c.benchmark_group("d5_fd");
+    group.bench_function("refinement_check", |b| {
+        b.iter(|| black_box(holds_unary(black_box(&table), 0, 1)))
+    });
+    group.bench_function("naive_check", |b| {
+        b.iter(|| black_box(holds_unary_naive(black_box(&table), 0, 1)))
+    });
+    group.bench_function("discover_all_unary", |b| {
+        b.iter(|| black_box(discover_unary_fds(black_box(&table), DiscoveryOptions::default())))
+    });
+    group.finish();
+}
+
+/// Model-construction cost (weight materialization from the seed stream) —
+/// the "model download" of the synthetic world.
+fn model_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("model_construction");
+    group.sample_size(10);
+    for name in MODEL_NAMES {
+        group.bench_function(name, |b| b.iter(|| black_box(model_by_name(black_box(name)))));
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    d1_aggregation,
+    d2_row_fitting,
+    d3_mcv,
+    d4_permutations,
+    d5_fd,
+    model_construction
+);
+criterion_main!(benches);

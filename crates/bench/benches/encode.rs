@@ -1,0 +1,50 @@
+//! Raw encoding throughput of the nine model adapters, plus the cost of
+//! each embedding level's retrieval. This is the "how expensive is one
+//! permutation variant" microbenchmark that everything in Figures 5–13
+//! multiplies by.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use observatory_data::wikitables::WikiTablesConfig;
+use observatory_models::registry::all_models;
+use observatory_table::Table;
+use std::hint::black_box;
+
+fn reference_table() -> Table {
+    WikiTablesConfig { num_tables: 1, min_rows: 8, max_rows: 8, seed: 42 }.generate().remove(0)
+}
+
+fn bench_encode_table(c: &mut Criterion) {
+    let table = reference_table();
+    let mut group = c.benchmark_group("encode_table");
+    group.sample_size(20);
+    for model in all_models() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(model.name()),
+            &table,
+            |b, table| b.iter(|| black_box(model.encode_table(black_box(table)))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_levels(c: &mut Criterion) {
+    let table = reference_table();
+    let model = observatory_models::registry::model_by_name("bert").unwrap();
+    let enc = model.encode_table(&table);
+    let mut group = c.benchmark_group("level_retrieval");
+    group.bench_function("column", |b| b.iter(|| black_box(enc.column(black_box(1)))));
+    group.bench_function("row", |b| b.iter(|| black_box(enc.row(black_box(1)))));
+    group.bench_function("table", |b| b.iter(|| black_box(enc.table())));
+    group.bench_function("cell", |b| b.iter(|| black_box(enc.cell(black_box(1), black_box(1)))));
+    group.finish();
+}
+
+fn bench_encode_text(c: &mut Criterion) {
+    let model = observatory_models::registry::model_by_name("bert").unwrap();
+    c.bench_function("encode_text", |b| {
+        b.iter(|| black_box(model.encode_text(black_box("what is the population of Amsterdam?"))))
+    });
+}
+
+criterion_group!(benches, bench_encode_table, bench_levels, bench_encode_text);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! End-to-end cost of each of the eight property evaluations at a small
+//! fixed workload — one bench per experiment group of the paper
+//! (Figures 5/7/9–13, Tables 3–5).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use observatory_core::framework::{EvalContext, Property};
+use observatory_core::props::col_order::ColumnOrderInsignificance;
+use observatory_core::props::entity_stability::EntityStability;
+use observatory_core::props::fd::FunctionalDependencies;
+use observatory_core::props::hetero_context::HeterogeneousContext;
+use observatory_core::props::join_rel::{pairs_to_corpus, JoinRelationship};
+use observatory_core::props::perturbation::PerturbationRobustness;
+use observatory_core::props::row_order::RowOrderInsignificance;
+use observatory_core::props::sample_fidelity::SampleFidelity;
+use observatory_data::entities::entity_domains;
+use observatory_data::nextiajd::NextiaJdConfig;
+use observatory_data::sotab::SotabConfig;
+use observatory_data::spider::SpiderConfig;
+use observatory_data::wikitables::WikiTablesConfig;
+use std::hint::black_box;
+
+fn ctx() -> EvalContext {
+    EvalContext { seed: 42 }
+}
+
+fn bench_props(c: &mut Criterion) {
+    let model = observatory_models::registry::model_by_name("bert").unwrap();
+    let wiki = WikiTablesConfig { num_tables: 2, min_rows: 4, max_rows: 5, seed: 1 }.generate();
+    let spider = SpiderConfig { num_tables: 2, rows: 12, seed: 7 }.generate().tables;
+    let joins = pairs_to_corpus(&NextiaJdConfig { num_pairs: 8, ..Default::default() }.generate());
+    let sotab = SotabConfig { num_tables: 3, rows: 5, seed: 23 }.generate();
+
+    let mut group = c.benchmark_group("properties");
+    group.sample_size(10);
+    group.bench_function("p1_row_order", |b| {
+        let p = RowOrderInsignificance { max_permutations: 4 };
+        b.iter(|| black_box(p.evaluate(model.as_ref(), black_box(&wiki), &ctx())))
+    });
+    group.bench_function("p2_col_order", |b| {
+        let p = ColumnOrderInsignificance { max_permutations: 4 };
+        b.iter(|| black_box(p.evaluate(model.as_ref(), black_box(&wiki), &ctx())))
+    });
+    group.bench_function("p3_join_relationship", |b| {
+        b.iter(|| black_box(JoinRelationship.evaluate(model.as_ref(), black_box(&joins), &ctx())))
+    });
+    group.bench_function("p4_functional_dependencies", |b| {
+        let p = FunctionalDependencies::default();
+        b.iter(|| black_box(p.evaluate(model.as_ref(), black_box(&spider), &ctx())))
+    });
+    group.bench_function("p5_sample_fidelity", |b| {
+        let p = SampleFidelity { samples_per_ratio: 1, ..Default::default() };
+        b.iter(|| black_box(p.evaluate(model.as_ref(), black_box(&wiki), &ctx())))
+    });
+    group.bench_function("p7_perturbation_robustness", |b| {
+        let p = PerturbationRobustness::default();
+        b.iter(|| black_box(p.evaluate(model.as_ref(), black_box(&wiki), &ctx())))
+    });
+    group.bench_function("p8_heterogeneous_context", |b| {
+        b.iter(|| black_box(HeterogeneousContext.evaluate(model.as_ref(), black_box(&sotab), &ctx())))
+    });
+    group.finish();
+
+    // P6 has its own pairwise API.
+    let domain = &entity_domains(1)[0];
+    let other = observatory_models::registry::model_by_name("t5").unwrap();
+    c.bench_function("p6_entity_stability", |b| {
+        let p = EntityStability { k: 5, ..Default::default() };
+        b.iter(|| {
+            black_box(p.stability_between(
+                model.as_ref(),
+                other.as_ref(),
+                black_box(&domain.corpus),
+                &domain.queries,
+                &ctx(),
+            ))
+        })
+    });
+}
+
+criterion_group!(benches, bench_props);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Microbenchmarks of the substrate crates: tokenizer, statistics,
+//! overlap measures, kNN search, and PCA — the per-call costs underneath
+//! every experiment.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use observatory_data::nextiajd::NextiaJdConfig;
+use observatory_linalg::pca::Pca;
+use observatory_linalg::{Matrix, SplitMix64};
+use observatory_search::knn::KnnIndex;
+use observatory_search::overlap::{containment, jaccard, multiset_jaccard};
+use observatory_stats::descriptive::five_number_summary;
+use observatory_stats::mcv::albert_zhang_mcv;
+use observatory_stats::spearman::spearman_rho;
+use observatory_tokenizer::Tokenizer;
+use std::hint::black_box;
+
+fn bench_tokenizer(c: &mut Criterion) {
+    let tok = Tokenizer::default();
+    let text = "World Championships 1997 Asian Games 4x400 m relay Netherlands";
+    c.bench_function("tokenize_sentence", |b| b.iter(|| black_box(tok.encode(black_box(text)))));
+}
+
+fn bench_stats(c: &mut Criterion) {
+    let mut rng = SplitMix64::new(1);
+    let sample = Matrix::from_rows(
+        &(0..100).map(|_| (0..64).map(|_| 1.0 + rng.next_normal()).collect()).collect::<Vec<_>>(),
+    );
+    let xs: Vec<f64> = (0..1000).map(|_| rng.next_f64()).collect();
+    let ys: Vec<f64> = (0..1000).map(|_| rng.next_f64()).collect();
+    let mut group = c.benchmark_group("stats");
+    group.bench_function("az_mcv_100x64", |b| {
+        b.iter(|| black_box(albert_zhang_mcv(black_box(&sample))))
+    });
+    group.bench_function("spearman_1000", |b| {
+        b.iter(|| black_box(spearman_rho(black_box(&xs), black_box(&ys))))
+    });
+    group.bench_function("five_number_summary_1000", |b| {
+        b.iter(|| black_box(five_number_summary(black_box(&xs))))
+    });
+    group.finish();
+}
+
+fn bench_overlap(c: &mut Criterion) {
+    let pairs = NextiaJdConfig { num_pairs: 1, ..Default::default() }.generate();
+    let (q, cand) = (&pairs[0].query, &pairs[0].candidate);
+    let mut group = c.benchmark_group("overlap");
+    group.bench_function("containment", |b| b.iter(|| black_box(containment(q, cand))));
+    group.bench_function("jaccard", |b| b.iter(|| black_box(jaccard(q, cand))));
+    group.bench_function("multiset_jaccard", |b| b.iter(|| black_box(multiset_jaccard(q, cand))));
+    group.finish();
+}
+
+fn bench_knn(c: &mut Criterion) {
+    let mut rng = SplitMix64::new(2);
+    let mut group = c.benchmark_group("knn_query_k10");
+    for n in [100usize, 1000] {
+        let mut idx = KnnIndex::new(64);
+        for i in 0..n {
+            let v: Vec<f64> = (0..64).map(|_| rng.next_normal()).collect();
+            idx.insert(format!("e{i}"), &v);
+        }
+        let q: Vec<f64> = (0..64).map(|_| rng.next_normal()).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &idx, |b, idx| {
+            b.iter(|| black_box(idx.query(black_box(&q), 10, None)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_pca(c: &mut Criterion) {
+    let mut rng = SplitMix64::new(3);
+    let sample = Matrix::from_rows(
+        &(0..720).map(|_| (0..64).map(|_| rng.next_normal()).collect()).collect::<Vec<_>>(),
+    );
+    c.bench_function("pca_top2_720x64", |b| {
+        b.iter(|| black_box(Pca::fit(black_box(&sample), 2)))
+    });
+}
+
+criterion_group!(benches, bench_tokenizer, bench_stats, bench_overlap, bench_knn, bench_pca);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Profile the five dataset suites: the structural statistics behind the
+//! corpora every experiment runs on (the reproduction's analogue of the
+//! paper's §4.2 dataset descriptions).
+
+use observatory_bench::harness::{banner, join_pairs, sotab_corpus, spider_corpus, wiki_corpus, Scale};
+use observatory_core::report::render_table;
+use observatory_table::profile::profile_table;
+use observatory_table::Table;
+
+fn summarize(name: &str, corpus: &[Table]) -> Vec<String> {
+    let tables = corpus.len();
+    let rows: usize = corpus.iter().map(Table::num_rows).sum();
+    let cols: usize = corpus.iter().map(Table::num_cols).sum();
+    let mut nulls = 0usize;
+    let mut cells = 0usize;
+    let mut textual_cols = 0usize;
+    let mut keyish_cols = 0usize;
+    for t in corpus {
+        for p in profile_table(t) {
+            nulls += p.nulls;
+            cells += p.rows;
+            if p.dominant_kind() == Some(observatory_table::value::ValueKind::Text) {
+                textual_cols += 1;
+            }
+            if p.uniqueness() >= 1.0 && p.rows > 1 {
+                keyish_cols += 1;
+            }
+        }
+    }
+    vec![
+        name.to_string(),
+        tables.to_string(),
+        format!("{:.1}", rows as f64 / tables.max(1) as f64),
+        format!("{:.1}", cols as f64 / tables.max(1) as f64),
+        format!("{:.1}%", 100.0 * textual_cols as f64 / cols.max(1) as f64),
+        keyish_cols.to_string(),
+        format!("{:.2}%", 100.0 * nulls as f64 / cells.max(1) as f64),
+    ]
+}
+
+fn main() {
+    banner("Corpus statistics for the five dataset suites", "paper §4.2 dataset descriptions");
+    let scale = Scale::from_env();
+    let wiki = wiki_corpus(scale);
+    let spider = spider_corpus(scale);
+    let sotab = sotab_corpus(scale);
+    let joins: Vec<Table> = join_pairs(scale)
+        .into_iter()
+        .enumerate()
+        .flat_map(|(i, p)| {
+            vec![
+                Table::new(format!("q{i}"), vec![p.query]),
+                Table::new(format!("c{i}"), vec![p.candidate]),
+            ]
+        })
+        .collect();
+    let rows = vec![
+        summarize("WikiTables-like", &wiki),
+        summarize("Spider-like", &spider),
+        summarize("NextiaJD-like (columns)", &joins),
+        summarize("SOTAB-like", &sotab),
+    ];
+    print!(
+        "{}",
+        render_table(
+            &["suite", "tables", "rows/table", "cols/table", "textual cols", "key cols", "nulls"],
+            &rows
+        )
+    );
+    println!("\n(Dr.Spider perturbations operate on the WikiTables-like suite in place;");
+    println!("the Figure 12 entity domains are fixed 10-query sets, see `data::entities`.)");
+}

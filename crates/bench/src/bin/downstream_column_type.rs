@@ -1,0 +1,49 @@
+//! Regenerates the **§6 column-type prediction** experiment: fraction of
+//! row-permuted tables whose semantic type predictions change (the paper
+//! reports 34.0% ≥1, 12.8% ≥2, 5.4% ≥3 for DODUO over WikiTables).
+
+use observatory_bench::harness::{banner, context, wiki_corpus, Scale};
+use observatory_core::downstream::column_type::{
+    prediction_flip_experiment, ColumnTypeClassifier,
+};
+use observatory_core::report::render_table;
+use observatory_models::registry::model_by_name;
+
+fn main() {
+    banner(
+        "Downstream: column-type prediction stability under row permutation",
+        "paper §6 (P1/P2 connection) — DODUO flip rates, plus comparison models",
+    );
+    let scale = Scale::from_env();
+    let corpus = wiki_corpus(scale);
+    let ctx = context();
+    let mut rows = Vec::new();
+    for name in ["doduo", "bert", "roberta", "t5", "tapas"] {
+        let model = model_by_name(name).unwrap();
+        let clf = ColumnTypeClassifier::train(model.as_ref(), 3, ctx.seed);
+        let stats = prediction_flip_experiment(
+            model.as_ref(),
+            &clf,
+            &corpus,
+            scale.permutations(),
+            &ctx,
+        );
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.1}%", stats.at_least_1 * 100.0),
+            format!("{:.1}%", stats.at_least_2 * 100.0),
+            format!("{:.1}%", stats.at_least_3 * 100.0),
+            format!("{:.1}", stats.mean_columns),
+            stats.permutations.to_string(),
+        ]);
+    }
+    print!(
+        "{}",
+        render_table(
+            &["model", "≥1 change", "≥2 changes", "≥3 changes", "cols/table", "permutations"],
+            &rows
+        )
+    );
+    println!("\npaper reference (DODUO, 1000 WikiTables, ≤1000 perms): 34.0% / 12.8% / 5.4%");
+    println!("expected shape: row-order-sensitive models flip; the ≥1/≥2/≥3 fractions decay.");
+}

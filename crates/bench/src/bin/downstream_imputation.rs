@@ -1,0 +1,47 @@
+//! Regenerates the **§6 P4 connection**: "Not preserving functional
+//! dependencies → imputed values may not maintain functional dependencies
+//! between attributes" — as an executable imputation experiment with a
+//! random-donor baseline.
+
+use observatory_bench::harness::{banner, context, spider_corpus, Scale};
+use observatory_core::downstream::imputation::{impute_randomly, impute_with_embeddings};
+use observatory_core::report::render_table;
+use observatory_models::registry::model_by_name;
+
+fn main() {
+    banner(
+        "Downstream: FD-aware imputation audit",
+        "paper §6 (P4 connection) — nearest-determinant imputation over mined FDs",
+    );
+    let corpus = spider_corpus(Scale::from_env());
+    let ctx = context();
+    let mask = 0.4;
+    let mut rows = Vec::new();
+    for name in ["bert", "roberta", "t5", "tapas", "doduo"] {
+        let model = model_by_name(name).unwrap();
+        if let Some(r) = impute_with_embeddings(model.as_ref(), &corpus, mask, &ctx) {
+            rows.push(vec![
+                name.to_string(),
+                format!("{:.1}%", r.accuracy * 100.0),
+                format!("{:.1}%", r.fd_violation_rate * 100.0),
+                r.imputed.to_string(),
+            ]);
+        }
+    }
+    if let Some(r) = impute_randomly(&corpus, mask, &ctx) {
+        rows.push(vec![
+            "random-donor baseline".to_string(),
+            format!("{:.1}%", r.accuracy * 100.0),
+            format!("{:.1}%", r.fd_violation_rate * 100.0),
+            r.imputed.to_string(),
+        ]);
+    }
+    print!(
+        "{}",
+        render_table(&["imputer", "accuracy", "FD violations", "cells imputed"], &rows)
+    );
+    println!("\nexpected shape: embedding imputers beat the random baseline on accuracy,");
+    println!("but their violation rates are NOT zero — embeddings do not encode the");
+    println!("dependency (Property 4), so imputation can break it. The baseline shows");
+    println!("how bad it gets with no signal at all.");
+}

@@ -1,0 +1,22 @@
+//! Regenerates **Figure 7**: cosine similarity and MCV distributions of
+//! column and row embeddings under column shuffling, per model.
+
+use observatory_bench::harness::{banner, context, wiki_corpus, Scale};
+use observatory_core::framework::run_property;
+use observatory_core::props::col_order::ColumnOrderInsignificance;
+use observatory_core::report::render_report;
+use observatory_models::registry::all_models;
+
+fn main() {
+    banner(
+        "Figure 7: column order insignificance (P2)",
+        "paper §5.2, Figure 7 — WikiTables, ≤1000 column permutations",
+    );
+    let scale = Scale::from_env();
+    let corpus = wiki_corpus(scale);
+    let property = ColumnOrderInsignificance { max_permutations: scale.permutations() };
+    let models = all_models();
+    for report in run_property(&property, &models, &corpus, &context()) {
+        print!("{}", render_report(&report));
+    }
+}

@@ -1,0 +1,68 @@
+//! Regenerates **Figure 8**: PCA projections of column embeddings across
+//! column permutations of the same table as Figure 6 — the paper finds
+//! larger spread (across *all* columns) than under row shuffling.
+
+use observatory_bench::harness::banner;
+use observatory_core::props::common::invert_permutation;
+use observatory_linalg::pca::Pca;
+use observatory_linalg::Matrix;
+use observatory_models::registry::model_by_name;
+use observatory_table::perm::{permute_columns, sample_permutations};
+
+fn main() {
+    banner(
+        "Figure 8: PCA of column embeddings under column shuffling",
+        "paper §5.2, Figure 8 — 6-column table, all 720 column permutations",
+    );
+    let table = observatory_data::wikitables::pca_demo_table();
+    let perms = sample_permutations(table.num_cols(), 1000, 42);
+    println!("table: {} ({} permutations)\n", table.name, perms.len());
+    let mut summary = Vec::new();
+    for name in ["bert", "t5"] {
+        let model = model_by_name(name).unwrap();
+        println!("## {}", model.display_name());
+        let encodings: Vec<_> = perms
+            .iter()
+            .map(|p| model.encode_table(&permute_columns(&table, p)))
+            .collect();
+        let inverses: Vec<Vec<usize>> = perms.iter().map(|p| invert_permutation(p)).collect();
+        let mut anisotropies = Vec::new();
+        let mut pc1_vars = Vec::new();
+        for j in 0..table.num_cols() {
+            let embs: Vec<Vec<f64>> = encodings
+                .iter()
+                .zip(&inverses)
+                .filter_map(|(e, inv)| e.column(inv[j]))
+                .collect();
+            if embs.len() < 2 {
+                continue;
+            }
+            let pca = Pca::fit(&Matrix::from_rows(&embs), 2);
+            let anis = if pca.explained_variance[1] > 1e-12 {
+                pca.explained_variance[0] / pca.explained_variance[1]
+            } else {
+                f64::INFINITY
+            };
+            println!(
+                "column '{}': pc1 var {:.4}, pc2 var {:.4}, anisotropy = {:.1}",
+                table.columns[j].header,
+                pca.explained_variance[0],
+                pca.explained_variance[1],
+                anis
+            );
+            anisotropies.push(anis);
+            pc1_vars.push(pca.explained_variance[0]);
+        }
+        summary.push((name, mean(&pc1_vars)));
+        println!();
+    }
+    println!("mean PC1 variance per model (compare against Figure 6's row-shuffle runs —");
+    println!("the paper reports larger spread under column shuffling):");
+    for (name, v) in summary {
+        println!("  {name}: {v:.4}");
+    }
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>() / xs.len().max(1) as f64
+}

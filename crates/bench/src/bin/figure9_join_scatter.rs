@@ -1,0 +1,55 @@
+//! Regenerates **Figure 9**: scatter plots of embedding cosine similarity
+//! vs multiset Jaccard over joinable column pairs, per model.
+
+use observatory_bench::harness::{banner, context, join_pairs, Scale};
+use observatory_core::framework::run_property;
+use observatory_core::props::join_rel::{pairs_to_corpus, JoinRelationship};
+use observatory_models::registry::all_models;
+
+fn main() {
+    banner(
+        "Figure 9: cosine vs multiset Jaccard scatter",
+        "paper §5.3, Figure 9 — NextiaJD-XS joinable pairs (x max = 0.5)",
+    );
+    let corpus = pairs_to_corpus(&join_pairs(Scale::from_env()));
+    let models = all_models();
+    for report in run_property(&JoinRelationship, &models, &corpus, &context()) {
+        let Some(scatter) = report.scatters.first() else { continue };
+        println!("## {} ({} pairs)", report.model, scatter.points.len());
+        println!("{}", ascii_scatter(&scatter.points, 50, 14));
+        println!(
+            "   x: multiset Jaccard [0, 0.5]   y: cosine   ρ = {}\n",
+            report
+                .scalar("spearman/multiset_jaccard")
+                .map_or("-".to_string(), |v| format!("{v:.3}"))
+        );
+    }
+}
+
+/// ASCII scatter with fixed x-range [0, 0.5] and y-range fitted to data.
+fn ascii_scatter(points: &[(f64, f64)], w: usize, h: usize) -> String {
+    let y_lo = points.iter().map(|p| p.1).fold(f64::INFINITY, f64::min);
+    let y_hi = points.iter().map(|p| p.1).fold(f64::NEG_INFINITY, f64::max);
+    let y_span = if (y_hi - y_lo).abs() < 1e-12 { 1.0 } else { y_hi - y_lo };
+    let mut grid = vec![vec![' '; w]; h];
+    for &(x, y) in points {
+        let cx = ((x / 0.5).clamp(0.0, 1.0) * (w - 1) as f64).round() as usize;
+        let cy = (((y - y_lo) / y_span).clamp(0.0, 1.0) * (h - 1) as f64).round() as usize;
+        let cell = &mut grid[h - 1 - cy][cx];
+        *cell = match *cell {
+            ' ' => '·',
+            '·' => 'o',
+            'o' => 'O',
+            _ => '@',
+        };
+    }
+    let mut out = String::new();
+    for (i, row) in grid.into_iter().enumerate() {
+        let y_val = y_hi - y_span * i as f64 / (h - 1) as f64;
+        out.push_str(&format!("{y_val:6.2} |"));
+        out.extend(row);
+        out.push('\n');
+    }
+    out.push_str(&format!("        0.0{}0.5\n", "-".repeat(w.saturating_sub(6))));
+    out
+}

@@ -1,0 +1,39 @@
+//! Run the complete Observatory characterization — all eight properties
+//! for every in-scope model — and print one consolidated summary, the
+//! closest thing to "the whole paper in one command":
+//!
+//! ```sh
+//! cargo run --release -p observatory-bench --bin observatory_report
+//! ```
+//!
+//! Thin shell over [`observatory_core::summary`]; individual tables and
+//! figures have dedicated binaries (DESIGN.md §5).
+
+use observatory_bench::harness::{banner, context, Scale};
+use observatory_core::summary::{characterize_all, render_summary, SummaryConfig};
+use observatory_models::registry::all_models;
+
+fn main() {
+    banner(
+        "Full characterization summary (all properties × all models)",
+        "paper §5 — one headline number per property per model",
+    );
+    let scale = Scale::from_env();
+    let config = SummaryConfig {
+        wiki_tables: scale.wiki_tables(),
+        permutations: scale.permutations().min(20),
+        join_pairs: scale.join_pairs(),
+        spider_tables: scale.spider_tables(),
+        sotab_tables: scale.sotab_tables(),
+        k: 10,
+    };
+    let models = all_models();
+    let summary = characterize_all(&models, &config, &context());
+    print!("{}", render_summary(&summary));
+    println!("\nlegend: · = out of scope (paper Table 2); NaN/- = level unavailable");
+    println!("rows: P1/P2 mean cosine under shuffling (higher = more order-robust);");
+    println!("P3 Spearman ρ vs multiset Jaccard; P4 S̄²_FD/S̄²_¬FD (≈1 = FDs invisible);");
+    println!("P5 mean fidelity at 25% samples; P6 K-NN overlap vs the anchor model;");
+    println!("P7 mean cosine under synonym renames (1.0 = schema-blind);");
+    println!("P8 mean cosine single-column vs entire-table context.");
+}

@@ -1,0 +1,26 @@
+//! Regenerates **Table 1**: overview of the table-embedding models and
+//! their design specifications.
+
+use observatory_bench::harness::banner;
+use observatory_core::report::render_table;
+use observatory_models::registry::specs;
+
+fn main() {
+    banner("Table 1: model design specifications", "paper §4.1, Table 1");
+    let rows: Vec<Vec<String>> = specs()
+        .into_iter()
+        .map(|s| {
+            vec![
+                s.display.to_string(),
+                if s.vanilla_lm { "LM" } else { "Table model" }.to_string(),
+                s.input.to_string(),
+                s.output_embedding.to_string(),
+                s.downstream_task.to_string(),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(&["Model", "Family", "Input", "Output Embedding", "Downstream Task"], &rows)
+    );
+}

@@ -1,0 +1,35 @@
+//! Regenerates **Table 2**: overview of datasets and models per property.
+
+use observatory_bench::harness::banner;
+use observatory_core::report::render_table;
+use observatory_core::scope::{dataset_for, in_scope, PROPERTY_IDS};
+use observatory_models::registry::MODEL_NAMES;
+
+fn main() {
+    banner("Table 2: dataset and model scope per property", "paper §4.2, Table 2");
+    let names = [
+        ("P1", "Row order insignificance"),
+        ("P2", "Column order insignificance"),
+        ("P3", "Join relationship"),
+        ("P4", "Functional dependencies"),
+        ("P5", "Sample fidelity"),
+        ("P6", "Entity stability"),
+        ("P7", "Perturbation robustness"),
+        ("P8", "Heterogeneous context"),
+    ];
+    let rows: Vec<Vec<String>> = PROPERTY_IDS
+        .iter()
+        .map(|&p| {
+            let excluded: Vec<&str> =
+                MODEL_NAMES.iter().copied().filter(|m| !in_scope(p, m)).collect();
+            let scope = if excluded.is_empty() {
+                "All".to_string()
+            } else {
+                format!("Except {}", excluded.join(", "))
+            };
+            let full_name = names.iter().find(|(id, _)| *id == p).map(|(_, n)| *n).unwrap();
+            vec![format!("{p} {full_name}"), dataset_for(p).to_string(), scope]
+        })
+        .collect();
+    print!("{}", render_table(&["Property", "Dataset", "Models in Scope"], &rows));
+}

@@ -1,0 +1,47 @@
+//! Regenerates **Table 5**: min / median / max cosine similarity between
+//! single-column embeddings and contextual embeddings, for non-textual
+//! (first row) and textual (second row) data types, per model and context
+//! setting.
+
+use observatory_bench::harness::{banner, context, sotab_corpus, Scale};
+use observatory_core::framework::run_property;
+use observatory_core::props::hetero_context::HeterogeneousContext;
+use observatory_core::report::render_table;
+use observatory_models::registry::all_models;
+
+fn main() {
+    banner(
+        "Table 5: heterogeneous context — single vs contextual column embeddings",
+        "paper §5.8, Table 5 — SOTAB, 4 input settings, textual vs non-textual",
+    );
+    let corpus = sotab_corpus(Scale::from_env());
+    let models = all_models();
+    let mut rows = Vec::new();
+    for report in run_property(&HeterogeneousContext, &models, &corpus, &context()) {
+        if report.records.is_empty() {
+            continue;
+        }
+        for (ri, split) in ["non-textual", "textual"].iter().enumerate() {
+            let mut row = vec![if ri == 0 { report.model.clone() } else { String::new() }];
+            row.push(split.to_string());
+            for setting in ["subject", "neighbors", "table"] {
+                let label = format!("{setting}/{split}");
+                let cell = report.distribution(&label).map_or("-".to_string(), |d| {
+                    let s = d.summary();
+                    format!("{:.2} / {:.2} / {:.2}", s.min, s.median, s.max)
+                });
+                row.push(cell);
+            }
+            rows.push(row);
+        }
+    }
+    print!(
+        "{}",
+        render_table(
+            &["Model", "Types", "Subject Column", "Neighboring Columns", "Entire Table"],
+            &rows
+        )
+    );
+    println!("\n(cells are min / median / max cosine between single-column and contextual");
+    println!("embeddings) expected shape: entire-table context moves embeddings most.");
+}

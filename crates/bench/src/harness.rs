@@ -1,0 +1,151 @@
+//! Shared workload builders and output helpers for the figure/table
+//! harness binaries.
+//!
+//! Every binary regenerates one table or figure of the paper. Workload
+//! sizes default to a scale that completes in seconds on a laptop and can
+//! be raised toward paper scale with the `OBSERVATORY_SCALE` environment
+//! variable (`small` | `medium` | `full`).
+
+use observatory_core::framework::EvalContext;
+use observatory_data::nextiajd::{JoinPair, NextiaJdConfig};
+use observatory_data::sotab::SotabConfig;
+use observatory_data::spider::SpiderConfig;
+use observatory_data::wikitables::WikiTablesConfig;
+use observatory_table::Table;
+
+/// Workload scale for the harness binaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds: CI-and-demo sized.
+    Small,
+    /// A few minutes.
+    Medium,
+    /// Paper-shaped (≤1000 permutations, hundreds of tables).
+    Full,
+}
+
+impl Scale {
+    /// Read from `OBSERVATORY_SCALE` (default `small`).
+    pub fn from_env() -> Scale {
+        match std::env::var("OBSERVATORY_SCALE").as_deref() {
+            Ok("full") => Scale::Full,
+            Ok("medium") => Scale::Medium,
+            _ => Scale::Small,
+        }
+    }
+
+    /// Number of WikiTables-like tables.
+    pub fn wiki_tables(&self) -> usize {
+        match self {
+            Scale::Small => 6,
+            Scale::Medium => 24,
+            Scale::Full => 100,
+        }
+    }
+
+    /// Permutation cap per table (paper: 1000).
+    pub fn permutations(&self) -> usize {
+        match self {
+            Scale::Small => 10,
+            Scale::Medium => 50,
+            Scale::Full => 1000,
+        }
+    }
+
+    /// NextiaJD pairs.
+    pub fn join_pairs(&self) -> usize {
+        match self {
+            Scale::Small => 40,
+            Scale::Medium => 120,
+            Scale::Full => 400,
+        }
+    }
+
+    /// Spider tables.
+    pub fn spider_tables(&self) -> usize {
+        match self {
+            Scale::Small => 6,
+            Scale::Medium => 18,
+            Scale::Full => 60,
+        }
+    }
+
+    /// SOTAB tables.
+    pub fn sotab_tables(&self) -> usize {
+        match self {
+            Scale::Small => 10,
+            Scale::Medium => 40,
+            Scale::Full => 200,
+        }
+    }
+}
+
+/// The shared evaluation context (fixed seed: every run reproduces).
+pub fn context() -> EvalContext {
+    EvalContext { seed: 42 }
+}
+
+/// WikiTables-like corpus at the given scale.
+pub fn wiki_corpus(scale: Scale) -> Vec<Table> {
+    WikiTablesConfig {
+        num_tables: scale.wiki_tables(),
+        min_rows: 5,
+        max_rows: 8,
+        seed: 42,
+    }
+    .generate()
+}
+
+/// NextiaJD-XS-like join pairs at the given scale.
+pub fn join_pairs(scale: Scale) -> Vec<JoinPair> {
+    NextiaJdConfig { num_pairs: scale.join_pairs(), ..Default::default() }.generate()
+}
+
+/// Spider-like corpus at the given scale.
+pub fn spider_corpus(scale: Scale) -> Vec<Table> {
+    SpiderConfig { num_tables: scale.spider_tables(), rows: 24, seed: 7 }.generate().tables
+}
+
+/// SOTAB-like corpus at the given scale.
+pub fn sotab_corpus(scale: Scale) -> Vec<Table> {
+    SotabConfig { num_tables: scale.sotab_tables(), rows: 8, seed: 23 }.generate()
+}
+
+/// Print the standard experiment banner.
+pub fn banner(experiment: &str, paper_ref: &str) {
+    println!("# Observatory — {experiment}");
+    println!("# Reproduces: {paper_ref}");
+    println!(
+        "# Scale: {:?} (override with OBSERVATORY_SCALE=small|medium|full)",
+        Scale::from_env()
+    );
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_are_ordered() {
+        assert!(Scale::Small.wiki_tables() < Scale::Full.wiki_tables());
+        assert!(Scale::Small.permutations() < Scale::Full.permutations());
+        assert_eq!(Scale::Full.permutations(), 1000);
+    }
+
+    #[test]
+    fn corpora_build() {
+        assert_eq!(wiki_corpus(Scale::Small).len(), 6);
+        assert_eq!(join_pairs(Scale::Small).len(), 40);
+        assert!(!spider_corpus(Scale::Small).is_empty());
+        assert!(!sotab_corpus(Scale::Small).is_empty());
+    }
+
+    #[test]
+    fn env_scale_defaults_to_small() {
+        // The test environment does not set the variable.
+        if std::env::var("OBSERVATORY_SCALE").is_err() {
+            assert_eq!(Scale::from_env(), Scale::Small);
+        }
+    }
+}

@@ -1,0 +1,9 @@
+//! # observatory-bench
+//!
+//! The benchmark harness: one binary per table/figure of the paper's
+//! evaluation (run with `cargo run -p observatory-bench --bin <name>`) and
+//! criterion benches (`cargo bench -p observatory-bench`). The shared
+//! workload builders live in [`harness`]; DESIGN.md §5 maps every
+//! experiment id to its binary.
+
+pub mod harness;

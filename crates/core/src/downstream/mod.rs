@@ -1,0 +1,24 @@
+//! Downstream-task connections (paper §6): the experiments showing that
+//! the property characterizations predict behaviour on real tasks.
+//!
+//! - [`column_type`]: P1/P2 ⇒ column-type prediction instability under row
+//!   permutation (the paper's DODUO flip-rate experiment).
+//! - [`join_discovery`]: P5 ⇒ sampled embeddings retain join-discovery
+//!   precision/recall at a fraction of the indexing cost (the paper's T5
+//!   experiment on NextiaJD).
+//! - [`tableqa`]: P7 ⇒ TableQA accuracy drops under semantics-preserving
+//!   schema perturbations (the paper's TAPAS observation).
+//!
+//! Plus two of §6's "Additional Connections":
+//!
+//! - [`imputation`]: P4 ⇒ embedding-driven imputation breaks functional
+//!   dependencies (violation-rate experiment with a random-donor baseline).
+//! - [`ensemble`]: P3 ⇒ containment and embedding rankers complement each
+//!   other in join discovery when imperfectly correlated (recall@k of the
+//!   rank ensemble).
+
+pub mod column_type;
+pub mod ensemble;
+pub mod imputation;
+pub mod join_discovery;
+pub mod tableqa;

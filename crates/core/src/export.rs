@@ -1,0 +1,132 @@
+//! Export property reports to disk: one CSV per distribution plus a
+//! markdown index — the hand-off format for plotting the paper's figures
+//! with external tooling (the in-repo harness renders text; real plots
+//! want raw values).
+
+use crate::framework::PropertyReport;
+use std::io::Write;
+use std::path::Path;
+
+/// Write a bundle of reports under `dir`:
+///
+/// - `README.md` — index with box-plot summaries per distribution;
+/// - `<property>_<model>_<measure>.csv` — one `value` column per
+///   distribution;
+/// - `<property>_<model>_scatter_<label>.csv` — `x,y` rows per scatter.
+///
+/// Returns the number of files written. Creates `dir` if needed.
+pub fn write_bundle(dir: &Path, reports: &[PropertyReport]) -> std::io::Result<usize> {
+    std::fs::create_dir_all(dir)?;
+    let mut files = 0usize;
+    let mut index = String::from("# Observatory export\n\n");
+    for report in reports {
+        index.push_str(&format!("## {} — {}\n\n", report.property, report.model));
+        for d in &report.records {
+            let name = format!(
+                "{}_{}_{}.csv",
+                report.property,
+                report.model,
+                sanitize(&d.label)
+            );
+            let mut f = std::io::BufWriter::new(std::fs::File::create(dir.join(&name))?);
+            writeln!(f, "value")?;
+            for v in &d.values {
+                writeln!(f, "{v}")?;
+            }
+            f.flush()?;
+            files += 1;
+            index.push_str(&format!("- [{}]({name}) — n={}, {}\n", d.label, d.values.len(), d.summary()));
+        }
+        for s in &report.scatters {
+            let name = format!(
+                "{}_{}_scatter_{}.csv",
+                report.property,
+                report.model,
+                sanitize(&s.label)
+            );
+            let mut f = std::io::BufWriter::new(std::fs::File::create(dir.join(&name))?);
+            writeln!(f, "x,y")?;
+            for (x, y) in &s.points {
+                writeln!(f, "{x},{y}")?;
+            }
+            f.flush()?;
+            files += 1;
+            index.push_str(&format!("- [{}]({name}) — {} points\n", s.label, s.points.len()));
+        }
+        if !report.scalars.is_empty() {
+            index.push_str("\nscalars: ");
+            index.push_str(
+                &report
+                    .scalars
+                    .iter()
+                    .map(|(k, v)| format!("{k}={v:.4}"))
+                    .collect::<Vec<_>>()
+                    .join(", "),
+            );
+            index.push('\n');
+        }
+        index.push('\n');
+    }
+    std::fs::write(dir.join("README.md"), index)?;
+    Ok(files + 1)
+}
+
+/// Make a measure label filesystem-safe.
+fn sanitize(label: &str) -> String {
+    label
+        .chars()
+        .map(|c| if c.is_alphanumeric() || c == '-' || c == '.' { c } else { '_' })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::Scatter;
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("obs_export_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn report() -> PropertyReport {
+        let mut r = PropertyReport::new("P1", "bert");
+        r.push_distribution("column/cosine", vec![0.9, 0.95, 1.0]);
+        r.scalars.push(("mean".into(), 0.95));
+        r.scatters.push(Scatter { label: "a-vs-b".into(), points: vec![(0.1, 0.9), (0.2, 0.8)] });
+        r
+    }
+
+    #[test]
+    fn writes_all_files_and_index() {
+        let dir = tmpdir("all");
+        let n = write_bundle(&dir, &[report()]).unwrap();
+        assert_eq!(n, 3); // distribution + scatter + README
+        let index = std::fs::read_to_string(dir.join("README.md")).unwrap();
+        assert!(index.contains("P1 — bert"));
+        assert!(index.contains("column/cosine"));
+        assert!(index.contains("mean=0.9500"));
+        let csv = std::fs::read_to_string(dir.join("P1_bert_column_cosine.csv")).unwrap();
+        assert_eq!(csv.lines().count(), 4);
+        assert!(csv.starts_with("value\n0.9\n"));
+        let scatter = std::fs::read_to_string(dir.join("P1_bert_scatter_a-vs-b.csv")).unwrap();
+        assert!(scatter.contains("0.1,0.9"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sanitize_labels() {
+        assert_eq!(sanitize("column/cosine"), "column_cosine");
+        assert_eq!(sanitize("fidelity@0.25"), "fidelity_0.25");
+    }
+
+    #[test]
+    fn empty_reports_write_only_index() {
+        let dir = tmpdir("empty");
+        let n = write_bundle(&dir, &[]).unwrap();
+        assert_eq!(n, 1);
+        assert!(dir.join("README.md").exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

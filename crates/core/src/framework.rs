@@ -1,0 +1,218 @@
+//! The evaluation framework: property trait, context, and report types.
+
+use observatory_models::TableEncoder;
+use observatory_stats::descriptive::{five_number_summary, FiveNumberSummary};
+use observatory_table::Table;
+
+/// Shared evaluation context.
+#[derive(Debug, Clone)]
+pub struct EvalContext {
+    /// Seed for all sampling decisions (permutations, row samples, …).
+    pub seed: u64,
+}
+
+impl Default for EvalContext {
+    fn default() -> Self {
+        Self { seed: 42 }
+    }
+}
+
+/// A named sample of measure values (one box/violin in the paper's plots).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Distribution {
+    /// e.g. `"column/cosine"` or `"fidelity@0.25"`.
+    pub label: String,
+    /// Raw measure values.
+    pub values: Vec<f64>,
+}
+
+impl Distribution {
+    /// Five-number summary of the values (NaNs dropped).
+    pub fn summary(&self) -> FiveNumberSummary {
+        five_number_summary(&self.values)
+    }
+}
+
+/// A named set of 2-D points (one scatter panel, e.g. Figure 9).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scatter {
+    /// e.g. `"cosine-vs-multiset-jaccard"`.
+    pub label: String,
+    /// (x, y) points.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// The result of characterizing one model against one property.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PropertyReport {
+    /// Property id (`"P1"` … `"P8"`).
+    pub property: &'static str,
+    /// Model machine name.
+    pub model: String,
+    /// Measure distributions.
+    pub records: Vec<Distribution>,
+    /// Named scalar results (e.g. Spearman coefficients).
+    pub scalars: Vec<(String, f64)>,
+    /// Scatter series for figure regeneration.
+    pub scatters: Vec<Scatter>,
+}
+
+impl PropertyReport {
+    /// An empty report for the given property/model.
+    pub fn new(property: &'static str, model: &str) -> Self {
+        Self {
+            property,
+            model: model.to_string(),
+            records: Vec::new(),
+            scalars: Vec::new(),
+            scatters: Vec::new(),
+        }
+    }
+
+    /// Append a distribution unless it is empty.
+    pub fn push_distribution(&mut self, label: impl Into<String>, values: Vec<f64>) {
+        if !values.is_empty() {
+            self.records.push(Distribution { label: label.into(), values });
+        }
+    }
+
+    /// Look up a distribution by label.
+    pub fn distribution(&self, label: &str) -> Option<&Distribution> {
+        self.records.iter().find(|d| d.label == label)
+    }
+
+    /// Look up a scalar by name.
+    pub fn scalar(&self, name: &str) -> Option<f64> {
+        self.scalars.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+}
+
+/// A primitive property of table embeddings (paper Definition 1): given a
+/// model and a corpus, compute the measure over the induced embedding
+/// distribution.
+///
+/// Corpus conventions are per property and documented on each
+/// implementation (e.g. [`crate::props::join_rel`] expects the corpus as
+/// consecutive query/candidate single-column tables).
+pub trait Property {
+    /// Short id, `"P1"` … `"P8"`.
+    fn id(&self) -> &'static str;
+    /// Human-readable name.
+    fn name(&self) -> &'static str;
+    /// Characterize one model over a corpus.
+    fn evaluate(
+        &self,
+        model: &dyn TableEncoder,
+        corpus: &[Table],
+        ctx: &EvalContext,
+    ) -> PropertyReport;
+}
+
+/// A property comparing *two* embedding spaces (paper Property 6): the
+/// measure is defined over a pair of models rather than a single one.
+pub trait PairwiseProperty {
+    /// Short id (`"P6"`).
+    fn id(&self) -> &'static str;
+    /// Human-readable name.
+    fn name(&self) -> &'static str;
+    /// The measure for one ordered pair of models; `None` when either
+    /// model cannot produce the required embeddings over this corpus.
+    fn evaluate_pair(
+        &self,
+        model_a: &dyn TableEncoder,
+        model_b: &dyn TableEncoder,
+        corpus: &[Table],
+        ctx: &EvalContext,
+    ) -> Option<f64>;
+}
+
+/// Run a pairwise property over every in-scope model pair, returning the
+/// model names and the symmetric measure matrix (diagonal = self-pairs;
+/// `NaN` where a pair could not be evaluated).
+pub fn run_pairwise_property(
+    property: &dyn PairwiseProperty,
+    models: &[Box<dyn TableEncoder>],
+    corpus: &[Table],
+    ctx: &EvalContext,
+) -> (Vec<String>, Vec<Vec<f64>>) {
+    let in_scope: Vec<&Box<dyn TableEncoder>> = models
+        .iter()
+        .filter(|m| crate::scope::in_scope(property.id(), m.name()))
+        .collect();
+    let names: Vec<String> = in_scope.iter().map(|m| m.name().to_string()).collect();
+    let n = in_scope.len();
+    let mut matrix = vec![vec![f64::NAN; n]; n];
+    for i in 0..n {
+        for j in i..n {
+            let v = property
+                .evaluate_pair(in_scope[i].as_ref(), in_scope[j].as_ref(), corpus, ctx)
+                .unwrap_or(f64::NAN);
+            matrix[i][j] = v;
+            matrix[j][i] = v;
+        }
+    }
+    (names, matrix)
+}
+
+/// Run a property over every model that is in scope for it (paper
+/// Table 2), returning one report per evaluated model.
+pub fn run_property(
+    property: &dyn Property,
+    models: &[Box<dyn TableEncoder>],
+    corpus: &[Table],
+    ctx: &EvalContext,
+) -> Vec<PropertyReport> {
+    models
+        .iter()
+        .filter(|m| crate::scope::in_scope(property.id(), m.name()))
+        .map(|m| property.evaluate(m.as_ref(), corpus, ctx))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct CountingProperty;
+
+    impl Property for CountingProperty {
+        fn id(&self) -> &'static str {
+            "P1"
+        }
+        fn name(&self) -> &'static str {
+            "counting"
+        }
+        fn evaluate(
+            &self,
+            model: &dyn TableEncoder,
+            corpus: &[Table],
+            _ctx: &EvalContext,
+        ) -> PropertyReport {
+            let mut r = PropertyReport::new(self.id(), model.name());
+            r.scalars.push(("tables".into(), corpus.len() as f64));
+            r
+        }
+    }
+
+    #[test]
+    fn report_accessors() {
+        let mut r = PropertyReport::new("P1", "bert");
+        r.push_distribution("cos", vec![0.9, 1.0]);
+        r.push_distribution("empty", vec![]);
+        r.scalars.push(("x".into(), 3.0));
+        assert_eq!(r.records.len(), 1, "empty distributions are dropped");
+        assert_eq!(r.distribution("cos").unwrap().summary().max, 1.0);
+        assert_eq!(r.scalar("x"), Some(3.0));
+        assert_eq!(r.scalar("y"), None);
+    }
+
+    #[test]
+    fn runner_respects_scope() {
+        // P1 excludes TapTap (Table 2).
+        let models = observatory_models::registry::all_models();
+        let reports =
+            run_property(&CountingProperty, &models, &[], &EvalContext::default());
+        assert_eq!(reports.len(), 8);
+        assert!(reports.iter().all(|r| r.model != "taptap"));
+    }
+}

@@ -1,0 +1,40 @@
+//! # observatory-core
+//!
+//! The Observatory framework proper: the eight primitive properties with
+//! their measures (paper §3), the model-scope matrix (Table 2), the
+//! evaluation runner, report types, and the downstream-task connections
+//! (§6).
+//!
+//! ## The eight properties
+//!
+//! | Id | Property | Module |
+//! |---|---|---|
+//! | P1 | Row order insignificance | [`props::row_order`] |
+//! | P2 | Column order insignificance | [`props::col_order`] |
+//! | P3 | Join relationship | [`props::join_rel`] |
+//! | P4 | Functional dependencies | [`props::fd`] |
+//! | P5 | Sample fidelity | [`props::sample_fidelity`] |
+//! | P6 | Entity stability | [`props::entity_stability`] |
+//! | P7 | Perturbation robustness | [`props::perturbation`] |
+//! | P8 | Heterogeneous context | [`props::hetero_context`] |
+//!
+//! Properties P1–P5, P7 and P8 implement the object-safe
+//! [`framework::Property`] trait ("given a pretrained model f, a corpus of
+//! tables T, and a property P with measure M …", Definition 1). P6
+//! compares *two* embedding spaces and therefore exposes a pairwise API.
+//!
+//! ## Extensibility
+//!
+//! New models implement `observatory_models::TableEncoder`; new properties
+//! implement [`framework::Property`]. The runner and report machinery work
+//! with both unchanged — see `examples/custom_model.rs`.
+
+pub mod downstream;
+pub mod export;
+pub mod framework;
+pub mod props;
+pub mod report;
+pub mod scope;
+pub mod summary;
+
+pub use framework::{Distribution, EvalContext, Property, PropertyReport};

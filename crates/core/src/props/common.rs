@@ -1,0 +1,74 @@
+//! Shared measure plumbing for the permutation-based properties.
+
+use observatory_linalg::vector::cosine;
+use observatory_linalg::Matrix;
+use observatory_stats::mcv::albert_zhang_mcv;
+use observatory_table::{Column, Table};
+
+/// Cosine similarities of each embedding against the first (the original
+/// order / full data reference), plus the Albert–Zhang MCV over the whole
+/// set — the paired measures used by Properties 1, 2 and 5.
+///
+/// Returns `None` for fewer than two embeddings.
+pub fn cosines_and_mcv(embeddings: &[Vec<f64>]) -> Option<(Vec<f64>, f64)> {
+    if embeddings.len() < 2 {
+        return None;
+    }
+    let reference = &embeddings[0];
+    let cosines: Vec<f64> = embeddings[1..].iter().map(|e| cosine(reference, e)).collect();
+    let mcv = albert_zhang_mcv(&Matrix::from_rows(embeddings));
+    Some((cosines, mcv))
+}
+
+/// Inverse of a permutation: `inv[p[i]] = i`.
+pub fn invert_permutation(p: &[usize]) -> Vec<usize> {
+    let mut inv = vec![0usize; p.len()];
+    for (i, &v) in p.iter().enumerate() {
+        inv[v] = i;
+    }
+    inv
+}
+
+/// Wrap a single column as a standalone single-column table (the unit of
+/// encoding for Properties 3, 5 and 8's "only the column itself" setting).
+pub fn column_as_table(name: &str, column: &Column) -> Table {
+    Table::new(name, vec![column.clone()])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use observatory_table::Value;
+
+    #[test]
+    fn cosines_reference_is_first() {
+        let embs = vec![vec![1.0, 0.0], vec![1.0, 0.0], vec![0.0, 1.0]];
+        let (cos, mcv) = cosines_and_mcv(&embs).unwrap();
+        assert_eq!(cos, vec![1.0, 0.0]);
+        assert!(mcv > 0.0);
+    }
+
+    #[test]
+    fn too_few_embeddings_is_none() {
+        assert!(cosines_and_mcv(&[vec![1.0]]).is_none());
+        assert!(cosines_and_mcv(&[]).is_none());
+    }
+
+    #[test]
+    fn permutation_inversion() {
+        let p = vec![2, 0, 1];
+        let inv = invert_permutation(&p);
+        assert_eq!(inv, vec![1, 2, 0]);
+        for i in 0..p.len() {
+            assert_eq!(p[inv[i]], i);
+        }
+    }
+
+    #[test]
+    fn column_wrapping() {
+        let c = Column::new("x", vec![Value::Int(1)]);
+        let t = column_as_table("t", &c);
+        assert_eq!(t.num_cols(), 1);
+        assert_eq!(t.columns[0].header, "x");
+    }
+}

@@ -1,0 +1,250 @@
+//! Property 6 — Entity Stability (paper §3.3, Measure 6; Figure 12).
+//!
+//! Borrowing the NLP notion of embedding stability: how much do the
+//! K-nearest-neighbour sets of query entities agree between two embedding
+//! spaces? For each model, every entity mention in the corpus is embedded
+//! (entity level); for each query entity the K nearest neighbours are
+//! retrieved in each space, and stability is the average pairwise percent
+//! overlap. Unlike the other properties this one compares *two* models, so
+//! it exposes a pairwise API plus a matrix helper for the Figure 12
+//! heatmaps.
+
+use crate::framework::{EvalContext, PairwiseProperty};
+use observatory_models::TableEncoder;
+use observatory_search::knn::{neighbor_overlap, KnnIndex};
+use observatory_table::subject::subject_column;
+use observatory_table::Table;
+use std::collections::HashMap;
+
+/// Property 6 evaluator.
+#[derive(Debug, Clone)]
+pub struct EntityStability {
+    /// Neighbourhood size K (paper uses K = 10).
+    pub k: usize,
+    /// Query entities for the [`PairwiseProperty`] interface; the
+    /// lower-level [`EntityStability::stability_between`] takes queries
+    /// explicitly instead.
+    pub queries: Vec<String>,
+}
+
+impl Default for EntityStability {
+    fn default() -> Self {
+        Self { k: 10, queries: Vec::new() }
+    }
+}
+
+impl PairwiseProperty for EntityStability {
+    fn id(&self) -> &'static str {
+        "P6"
+    }
+
+    fn name(&self) -> &'static str {
+        "Entity Stability"
+    }
+
+    fn evaluate_pair(
+        &self,
+        model_a: &dyn TableEncoder,
+        model_b: &dyn TableEncoder,
+        corpus: &[Table],
+        ctx: &EvalContext,
+    ) -> Option<f64> {
+        self.stability_between(model_a, model_b, corpus, &self.queries, ctx)
+    }
+}
+
+/// The entity space of one model over a corpus: an index of mention
+/// embeddings plus the mention → embedding map for queries.
+pub struct EntitySpace {
+    index: KnnIndex,
+    by_mention: HashMap<String, Vec<f64>>,
+}
+
+impl EntityStability {
+    /// Embed every subject-column entity mention of the corpus with
+    /// `model`. The first occurrence of each distinct mention defines its
+    /// embedding (mentions are context-dependent; using a fixed occurrence
+    /// keeps the two spaces aligned on identical inputs).
+    ///
+    /// Returns `None` when the model exposes no entity embeddings.
+    pub fn build_space(&self, model: &dyn TableEncoder, corpus: &[Table]) -> Option<EntitySpace> {
+        let mut by_mention: HashMap<String, Vec<f64>> = HashMap::new();
+        let mut order: Vec<String> = Vec::new();
+        for table in corpus {
+            let Some(subj) = subject_column(table) else { continue };
+            let enc = model.encode_table(table);
+            for r in 0..enc.rows_encoded {
+                let mention = table.columns[subj].values[r].to_text();
+                if mention.is_empty() || by_mention.contains_key(&mention) {
+                    continue;
+                }
+                if let Some(emb) = enc.entity(r, subj) {
+                    by_mention.insert(mention.clone(), emb);
+                    order.push(mention);
+                }
+            }
+        }
+        if by_mention.is_empty() {
+            return None;
+        }
+        let mut index = KnnIndex::new(model.dim());
+        for mention in &order {
+            index.insert(mention.clone(), &by_mention[mention]);
+        }
+        Some(EntitySpace { index, by_mention })
+    }
+
+    /// Average entity stability of `queries` between two models over a
+    /// corpus: `1/m Σ |s₁ ∩ s₂| / K` (Measure 6). Queries absent from
+    /// either space are skipped; returns `None` when either model lacks
+    /// entity embeddings or no query is resolvable.
+    pub fn stability_between(
+        &self,
+        model_a: &dyn TableEncoder,
+        model_b: &dyn TableEncoder,
+        corpus: &[Table],
+        queries: &[String],
+        _ctx: &EvalContext,
+    ) -> Option<f64> {
+        let space_a = self.build_space(model_a, corpus)?;
+        let space_b = self.build_space(model_b, corpus)?;
+        let mut total = 0.0;
+        let mut m = 0usize;
+        for q in queries {
+            let (Some(ea), Some(eb)) = (space_a.by_mention.get(q), space_b.by_mention.get(q))
+            else {
+                continue;
+            };
+            let s1 = space_a.index.neighbor_keys(ea, self.k, Some(q));
+            let s2 = space_b.index.neighbor_keys(eb, self.k, Some(q));
+            total += neighbor_overlap(&s1, &s2);
+            m += 1;
+        }
+        if m == 0 {
+            None
+        } else {
+            Some(total / m as f64)
+        }
+    }
+
+    /// Pairwise stability matrix across models (Figure 12's heatmap).
+    /// Entry (i, j) is the average stability between models i and j;
+    /// diagonal entries are 1 by definition. Models without entity
+    /// embeddings produce NaN rows/columns.
+    pub fn stability_matrix(
+        &self,
+        models: &[Box<dyn TableEncoder>],
+        corpus: &[Table],
+        queries: &[String],
+        ctx: &EvalContext,
+    ) -> Vec<Vec<f64>> {
+        let n = models.len();
+        let mut m = vec![vec![f64::NAN; n]; n];
+        for i in 0..n {
+            for j in i..n {
+                let v = if i == j {
+                    self.stability_between(
+                        models[i].as_ref(),
+                        models[j].as_ref(),
+                        corpus,
+                        queries,
+                        ctx,
+                    )
+                    .map(|_| 1.0)
+                } else {
+                    self.stability_between(
+                        models[i].as_ref(),
+                        models[j].as_ref(),
+                        corpus,
+                        queries,
+                        ctx,
+                    )
+                };
+                let v = v.unwrap_or(f64::NAN);
+                m[i][j] = v;
+                m[j][i] = v;
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use observatory_data::entities::entity_domains;
+    use observatory_models::registry::model_by_name;
+
+    #[test]
+    fn identical_models_perfectly_stable() {
+        let domain = &entity_domains(1)[0];
+        let bert_a = model_by_name("bert").unwrap();
+        let bert_b = model_by_name("bert").unwrap();
+        let s = EntityStability { k: 5, ..Default::default() }
+            .stability_between(
+                bert_a.as_ref(),
+                bert_b.as_ref(),
+                &domain.corpus,
+                &domain.queries,
+                &EvalContext::default(),
+            )
+            .unwrap();
+        assert!((s - 1.0).abs() < 1e-12, "same model ⇒ stability 1, got {s}");
+    }
+
+    #[test]
+    fn different_models_partially_stable() {
+        let domain = &entity_domains(1)[0];
+        let a = model_by_name("bert").unwrap();
+        let b = model_by_name("t5").unwrap();
+        let s = EntityStability { k: 5, ..Default::default() }
+            .stability_between(a.as_ref(), b.as_ref(), &domain.corpus, &domain.queries, &EvalContext::default())
+            .unwrap();
+        assert!((0.0..=1.0).contains(&s));
+        assert!(s < 1.0, "distinct spaces should not agree perfectly: {s}");
+    }
+
+    #[test]
+    fn stability_is_symmetric() {
+        let domain = &entity_domains(2)[1];
+        let a = model_by_name("bert").unwrap();
+        let b = model_by_name("roberta").unwrap();
+        let prop = EntityStability { k: 4, ..Default::default() };
+        let ctx = EvalContext::default();
+        let ab = prop
+            .stability_between(a.as_ref(), b.as_ref(), &domain.corpus, &domain.queries, &ctx)
+            .unwrap();
+        let ba = prop
+            .stability_between(b.as_ref(), a.as_ref(), &domain.corpus, &domain.queries, &ctx)
+            .unwrap();
+        assert!((ab - ba).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rowonly_model_has_no_space() {
+        let domain = &entity_domains(1)[0];
+        let tapex = model_by_name("tapex").unwrap();
+        assert!(EntityStability::default()
+            .build_space(tapex.as_ref(), &domain.corpus)
+            .is_none());
+    }
+
+    #[test]
+    fn matrix_shape_and_diagonal() {
+        let domain = &entity_domains(3)[2];
+        let models: Vec<_> = ["bert", "t5"]
+            .iter()
+            .map(|n| model_by_name(n).unwrap())
+            .collect();
+        let m = EntityStability { k: 3, ..Default::default() }.stability_matrix(
+            &models,
+            &domain.corpus,
+            &domain.queries,
+            &EvalContext::default(),
+        );
+        assert_eq!(m.len(), 2);
+        assert_eq!(m[0][0], 1.0);
+        assert_eq!(m[1][1], 1.0);
+        assert_eq!(m[0][1], m[1][0]);
+    }
+}

@@ -1,0 +1,246 @@
+//! Property 4 — Functional Dependencies (paper §3.2, Measure 4; Table 4
+//! and Figure 10).
+//!
+//! If an embedding space preserves an FD `X → Y`, the *translation*
+//! between the determinant cell and the dependent cell should be constant
+//! within each FD group (TransE-style relational translation). The measure
+//! is the average group-wise variance of the translation distance:
+//!
+//! ```text
+//! S̄² = (1/n) Σ_groups var({ d(E(v_X,i), E(v_Y,i)) : i in group })
+//! ```
+//!
+//! computed over tables *with* mined FDs (`𝒯_FD`) and over random column
+//! pairs *without* the dependency (`𝒯_¬FD`), matching the paper's pipeline:
+//! FD discovery is run on the corpus (determinant size 1, exactly as the
+//! paper configures HyFD), and the non-FD pairs are drawn per table to the
+//! same count as the FD pairs.
+
+use crate::framework::{EvalContext, Property, PropertyReport};
+use observatory_fd::discovery::{discover_unary_fds, holds_unary, DiscoveryOptions};
+use observatory_linalg::vector::{l1_distance, l2_distance};
+use observatory_linalg::{moments::variance, SplitMix64};
+use observatory_models::{ModelEncoding, TableEncoder};
+use observatory_stats::descriptive::mean;
+use observatory_table::Table;
+use std::collections::HashMap;
+
+/// Distance metric for the translation (paper uses L1 or L2 following
+/// TransE).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DistanceMetric {
+    L1,
+    L2,
+}
+
+impl DistanceMetric {
+    fn apply(&self, a: &[f64], b: &[f64]) -> f64 {
+        match self {
+            DistanceMetric::L1 => l1_distance(a, b),
+            DistanceMetric::L2 => l2_distance(a, b),
+        }
+    }
+}
+
+/// Property 4 evaluator.
+#[derive(Debug, Clone)]
+pub struct FunctionalDependencies {
+    /// Minimum FD-group size (variance needs ≥ 2 entries).
+    pub min_group_size: usize,
+    /// Translation distance metric.
+    pub distance: DistanceMetric,
+}
+
+impl Default for FunctionalDependencies {
+    fn default() -> Self {
+        Self { min_group_size: 2, distance: DistanceMetric::L2 }
+    }
+}
+
+impl FunctionalDependencies {
+    /// S̄² for one (x, y) column pair: group rows by the x-value, take the
+    /// variance of the translation distances within each (≥ min size)
+    /// group, average over groups. `None` when no group is large enough or
+    /// cell embeddings are unavailable.
+    fn mean_group_variance(
+        &self,
+        enc: &ModelEncoding,
+        table: &Table,
+        x: usize,
+        y: usize,
+    ) -> Option<f64> {
+        let rows = enc.rows_encoded.min(table.num_rows());
+        let mut groups: HashMap<String, Vec<f64>> = HashMap::new();
+        for r in 0..rows {
+            let (Some(ex), Some(ey)) = (enc.cell(r, x), enc.cell(r, y)) else {
+                continue;
+            };
+            let key = table.columns[x].values[r].group_key();
+            groups.entry(key).or_default().push(self.distance.apply(&ex, &ey));
+        }
+        let vars: Vec<f64> = groups
+            .values()
+            .filter(|d| d.len() >= self.min_group_size)
+            .map(|d| variance(d))
+            .collect();
+        if vars.is_empty() {
+            None
+        } else {
+            Some(mean(&vars))
+        }
+    }
+}
+
+impl Property for FunctionalDependencies {
+    fn id(&self) -> &'static str {
+        "P4"
+    }
+
+    fn name(&self) -> &'static str {
+        "Functional Dependencies"
+    }
+
+    fn evaluate(
+        &self,
+        model: &dyn TableEncoder,
+        corpus: &[Table],
+        ctx: &EvalContext,
+    ) -> PropertyReport {
+        let mut report = PropertyReport::new(self.id(), model.name());
+        let mut s2_fd = Vec::new();
+        let mut s2_nonfd = Vec::new();
+        let mut rng = SplitMix64::new(ctx.seed ^ 0xFD);
+        for table in corpus {
+            let fds = discover_unary_fds(table, DiscoveryOptions::default());
+            if fds.is_empty() {
+                continue;
+            }
+            let enc = model.encode_table(table);
+            let mut fd_count = 0usize;
+            for fd in &fds {
+                if let Some(s2) =
+                    self.mean_group_variance(&enc, table, fd.determinant, fd.dependent)
+                {
+                    s2_fd.push(s2);
+                    fd_count += 1;
+                }
+            }
+            // Equal number of random non-FD pairs from the same table.
+            let mut non_fd_pairs = Vec::new();
+            for x in 0..table.num_cols() {
+                for y in 0..table.num_cols() {
+                    if x != y && !holds_unary(table, x, y) {
+                        non_fd_pairs.push((x, y));
+                    }
+                }
+            }
+            rng.shuffle(&mut non_fd_pairs);
+            let mut taken = 0;
+            for &(x, y) in &non_fd_pairs {
+                if taken >= fd_count {
+                    break;
+                }
+                if let Some(s2) = self.mean_group_variance(&enc, table, x, y) {
+                    s2_nonfd.push(s2);
+                    taken += 1;
+                }
+            }
+        }
+        if !s2_fd.is_empty() {
+            report.scalars.push(("mean_s2/fd".into(), mean(&s2_fd)));
+        }
+        if !s2_nonfd.is_empty() {
+            report.scalars.push(("mean_s2/nonfd".into(), mean(&s2_nonfd)));
+        }
+        if !s2_fd.is_empty() && !s2_nonfd.is_empty() {
+            // How separated are the two distributions? The paper's visual
+            // "no clear separation" claim, quantified (KS D near 1 would
+            // mean FDs are encoded; the paper's figures correspond to
+            // moderate D with heavy overlap).
+            let ks = observatory_stats::ks::ks_two_sample(&s2_fd, &s2_nonfd);
+            report.scalars.push(("ks/statistic".into(), ks.statistic));
+            report.scalars.push(("ks/p_value".into(), ks.p_value));
+        }
+        report.push_distribution("s2/fd", s2_fd);
+        report.push_distribution("s2/nonfd", s2_nonfd);
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use observatory_data::spider::SpiderConfig;
+    use observatory_models::registry::model_by_name;
+
+    fn corpus() -> Vec<Table> {
+        SpiderConfig { num_tables: 3, rows: 16, seed: 9 }.generate().tables
+    }
+
+    #[test]
+    fn produces_fd_and_nonfd_distributions() {
+        let model = model_by_name("bert").unwrap();
+        let report =
+            FunctionalDependencies::default().evaluate(model.as_ref(), &corpus(), &EvalContext::default());
+        let fd = report.distribution("s2/fd").expect("FD distribution");
+        let nonfd = report.distribution("s2/nonfd").expect("non-FD distribution");
+        assert!(!fd.values.is_empty());
+        assert!(!nonfd.values.is_empty());
+        assert!(fd.values.iter().all(|v| *v >= 0.0));
+        assert!(report.scalar("mean_s2/fd").is_some());
+    }
+
+    #[test]
+    fn l1_and_l2_both_work_and_differ() {
+        let model = model_by_name("bert").unwrap();
+        let ctx = EvalContext::default();
+        let l2 = FunctionalDependencies::default().evaluate(model.as_ref(), &corpus(), &ctx);
+        let l1 = FunctionalDependencies {
+            distance: DistanceMetric::L1,
+            ..Default::default()
+        }
+        .evaluate(model.as_ref(), &corpus(), &ctx);
+        assert_ne!(l2.scalar("mean_s2/fd"), l1.scalar("mean_s2/fd"));
+    }
+
+    #[test]
+    fn no_model_separates_fd_from_nonfd_cleanly() {
+        // The paper's core P4 finding: the FD and non-FD variance
+        // distributions overlap — models do not encode FDs as stable
+        // translations. We assert the weak form: the FD distribution is
+        // not uniformly below the non-FD one.
+        let model = model_by_name("bert").unwrap();
+        let report = FunctionalDependencies::default()
+            .evaluate(model.as_ref(), &corpus(), &EvalContext::default());
+        let fd = report.distribution("s2/fd").unwrap();
+        let nonfd = report.distribution("s2/nonfd").unwrap();
+        let fd_max = fd.values.iter().copied().fold(f64::MIN, f64::max);
+        let nonfd_min = nonfd.values.iter().copied().fold(f64::MAX, f64::min);
+        assert!(fd_max > nonfd_min, "unexpectedly perfect FD separation");
+    }
+
+    #[test]
+    fn models_without_cell_embeddings_produce_empty_reports() {
+        let model = model_by_name("tapex").unwrap();
+        let report = FunctionalDependencies::default()
+            .evaluate(model.as_ref(), &corpus(), &EvalContext::default());
+        assert!(report.records.is_empty());
+    }
+
+    #[test]
+    fn fd_free_corpus_is_empty_report() {
+        // A table of two mutually-violating columns mines zero FDs.
+        use observatory_table::{Column, Value};
+        let t = Table::new(
+            "v",
+            vec![
+                Column::new("a", vec![Value::Int(1), Value::Int(1), Value::Int(2), Value::Int(2)]),
+                Column::new("b", vec![Value::Int(7), Value::Int(8), Value::Int(7), Value::Int(8)]),
+            ],
+        );
+        let model = model_by_name("bert").unwrap();
+        let report = FunctionalDependencies::default()
+            .evaluate(model.as_ref(), &[t], &EvalContext::default());
+        assert!(report.records.is_empty());
+    }
+}

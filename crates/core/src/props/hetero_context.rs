@@ -1,0 +1,192 @@
+//! Property 8 — Heterogeneous Context (paper §3.3, Measure 8; Table 5).
+//!
+//! Tables mix textual and non-textual data; context (a subject column, the
+//! neighbours, the whole table) disambiguates the non-textual parts —
+//! Figure 4's "45.00" is probably a price because "RON" sits next to it.
+//! The measure compares single-column embeddings against contextual
+//! embeddings of the same column under four input settings:
+//!
+//! (a) only the column; (b) + subject column (or the first textual column
+//! as proxy); (c) + immediate neighbours; (d) the entire table.
+//!
+//! One cosine distribution per (context setting × textual/non-textual).
+
+use crate::framework::{EvalContext, Property, PropertyReport};
+use crate::props::common::column_as_table;
+use observatory_linalg::vector::cosine;
+use observatory_models::TableEncoder;
+use observatory_table::subject::{neighbor_columns, subject_column};
+use observatory_table::Table;
+
+/// Property 8 evaluator.
+#[derive(Debug, Clone, Default)]
+pub struct HeterogeneousContext;
+
+/// The three contextual settings compared against the single column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ContextSetting {
+    SubjectColumn,
+    NeighboringColumns,
+    EntireTable,
+}
+
+impl ContextSetting {
+    /// All settings in the paper's order.
+    pub const ALL: [ContextSetting; 3] = [
+        ContextSetting::SubjectColumn,
+        ContextSetting::NeighboringColumns,
+        ContextSetting::EntireTable,
+    ];
+
+    /// Label used in report records.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ContextSetting::SubjectColumn => "subject",
+            ContextSetting::NeighboringColumns => "neighbors",
+            ContextSetting::EntireTable => "table",
+        }
+    }
+}
+
+/// Whether a column counts as textual for the report split: by annotation
+/// when present (SOTAB), by value inspection otherwise.
+fn is_textual(col: &observatory_table::Column) -> bool {
+    match col.semantic_type.as_deref() {
+        Some(ty) => observatory_data::sotab::SemanticType::ALL
+            .iter()
+            .find(|t| t.label() == ty)
+            .map_or_else(|| col.is_textual(), |t| t.is_textual()),
+        None => col.is_textual(),
+    }
+}
+
+impl Property for HeterogeneousContext {
+    fn id(&self) -> &'static str {
+        "P8"
+    }
+
+    fn name(&self) -> &'static str {
+        "Heterogeneous Context"
+    }
+
+    fn evaluate(
+        &self,
+        model: &dyn TableEncoder,
+        corpus: &[Table],
+        _ctx: &EvalContext,
+    ) -> PropertyReport {
+        let mut report = PropertyReport::new(self.id(), model.name());
+        // records[setting][textual? 1 : 0]
+        let mut values: Vec<[Vec<f64>; 2]> =
+            ContextSetting::ALL.iter().map(|_| [Vec::new(), Vec::new()]).collect();
+        for table in corpus {
+            let subject = subject_column(table);
+            let full_enc = model.encode_table(table);
+            for j in 0..table.num_cols() {
+                let col = &table.columns[j];
+                let Some(single) =
+                    model.column_embedding(&column_as_table("single", col), 0)
+                else {
+                    continue;
+                };
+                let slot = usize::from(is_textual(col));
+                for (si, setting) in ContextSetting::ALL.iter().enumerate() {
+                    let contextual = match setting {
+                        ContextSetting::SubjectColumn => {
+                            let Some(s) = subject else { continue };
+                            if s == j {
+                                continue;
+                            }
+                            model.encode_table(&table.project(&[s, j])).column(1)
+                        }
+                        ContextSetting::NeighboringColumns => {
+                            let mut cols = neighbor_columns(table, j);
+                            if cols.is_empty() {
+                                continue;
+                            }
+                            let pos = cols.iter().filter(|&&c| c < j).count();
+                            cols.insert(pos, j);
+                            model.encode_table(&table.project(&cols)).column(pos)
+                        }
+                        ContextSetting::EntireTable => full_enc.column(j),
+                    };
+                    if let Some(c) = contextual {
+                        values[si][slot].push(cosine(&single, &c));
+                    }
+                }
+            }
+        }
+        for (si, setting) in ContextSetting::ALL.iter().enumerate() {
+            let [non_textual, textual] = &values[si];
+            report.push_distribution(
+                format!("{}/non-textual", setting.label()),
+                non_textual.clone(),
+            );
+            report.push_distribution(format!("{}/textual", setting.label()), textual.clone());
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use observatory_data::sotab::SotabConfig;
+    use observatory_models::registry::model_by_name;
+    use observatory_stats::descriptive::mean;
+
+    fn corpus() -> Vec<Table> {
+        SotabConfig { num_tables: 6, rows: 6, seed: 77 }.generate()
+    }
+
+    #[test]
+    fn all_six_distributions_present() {
+        let model = model_by_name("bert").unwrap();
+        let report =
+            HeterogeneousContext.evaluate(model.as_ref(), &corpus(), &EvalContext::default());
+        for setting in ["subject", "neighbors", "table"] {
+            for split in ["textual", "non-textual"] {
+                let label = format!("{setting}/{split}");
+                let d = report.distribution(&label).unwrap_or_else(|| panic!("missing {label}"));
+                assert!(d.values.iter().all(|v| (-1.0..=1.0).contains(v)));
+            }
+        }
+    }
+
+    #[test]
+    fn entire_table_context_changes_embeddings_most() {
+        // Paper Table 5: "incorporating context, especially the entire
+        // table, can change column embeddings significantly".
+        let model = model_by_name("bert").unwrap();
+        let report =
+            HeterogeneousContext.evaluate(model.as_ref(), &corpus(), &EvalContext::default());
+        let subject = mean(&report.distribution("subject/non-textual").unwrap().values);
+        let table = mean(&report.distribution("table/non-textual").unwrap().values);
+        assert!(
+            table < subject,
+            "entire-table context {table:.4} should move embeddings more than subject context {subject:.4}"
+        );
+    }
+
+    #[test]
+    fn context_changes_embeddings_at_all() {
+        let model = model_by_name("tapas").unwrap();
+        let report =
+            HeterogeneousContext.evaluate(model.as_ref(), &corpus(), &EvalContext::default());
+        let table = report.distribution("table/non-textual").unwrap();
+        assert!(table.values.iter().any(|v| *v < 1.0 - 1e-6));
+    }
+
+    #[test]
+    fn single_column_tables_yield_nothing() {
+        use observatory_table::{Column, Value};
+        let t = Table::new("t", vec![Column::new("a", vec![Value::Int(1), Value::Int(2)])]);
+        let model = model_by_name("bert").unwrap();
+        let report = HeterogeneousContext.evaluate(model.as_ref(), &[t], &EvalContext::default());
+        // No subject-other column, no neighbours; only entire-table — which
+        // equals the single column itself here, cosine 1.
+        if let Some(d) = report.distribution("table/non-textual") {
+            assert!(d.values.iter().all(|v| *v > 0.99));
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Property 3 — Join Relationship (paper §3.2, Measure 3; Table 3 and
+//! Figure 9).
+//!
+//! Join candidates are classically found by value overlap (containment,
+//! Jaccard) and, more recently, by embedding similarity. This property
+//! tests the postulate that the two agree: the Spearman rank correlation
+//! between an overlap measure `R(C_q, C_c)` and the embedding cosine
+//! `cos(E(C_q), E(C_c))` over pairs of joinable columns.
+//!
+//! **Corpus convention**: the corpus holds the pairs as consecutive
+//! single-column tables — table `2i` is pair `i`'s query column, table
+//! `2i+1` its candidate. [`pairs_to_corpus`] builds this layout from the
+//! NextiaJD-style generator output.
+
+use crate::framework::{EvalContext, Property, PropertyReport, Scatter};
+use observatory_data::nextiajd::JoinPair;
+use observatory_linalg::vector::cosine;
+use observatory_models::TableEncoder;
+use observatory_search::overlap::{containment, jaccard, multiset_jaccard};
+use observatory_stats::spearman::spearman_rho;
+use observatory_table::Table;
+
+/// Property 3 evaluator.
+#[derive(Debug, Clone, Default)]
+pub struct JoinRelationship;
+
+/// Lay out join pairs as the corpus convention this property expects.
+pub fn pairs_to_corpus(pairs: &[JoinPair]) -> Vec<Table> {
+    let mut corpus = Vec::with_capacity(pairs.len() * 2);
+    for (i, p) in pairs.iter().enumerate() {
+        corpus.push(Table::new(format!("pair{i}_query"), vec![p.query.clone()]));
+        corpus.push(Table::new(format!("pair{i}_candidate"), vec![p.candidate.clone()]));
+    }
+    corpus
+}
+
+impl Property for JoinRelationship {
+    fn id(&self) -> &'static str {
+        "P3"
+    }
+
+    fn name(&self) -> &'static str {
+        "Join Relationship"
+    }
+
+    fn evaluate(
+        &self,
+        model: &dyn TableEncoder,
+        corpus: &[Table],
+        _ctx: &EvalContext,
+    ) -> PropertyReport {
+        let mut report = PropertyReport::new(self.id(), model.name());
+        let mut cosines = Vec::new();
+        let mut contain = Vec::new();
+        let mut jac = Vec::new();
+        let mut mjac = Vec::new();
+        for pair in corpus.chunks_exact(2) {
+            let (qt, ct) = (&pair[0], &pair[1]);
+            let (Some(eq), Some(ec)) =
+                (model.column_embedding(qt, 0), model.column_embedding(ct, 0))
+            else {
+                continue;
+            };
+            cosines.push(cosine(&eq, &ec));
+            let (qc, cc) = (&qt.columns[0], &ct.columns[0]);
+            contain.push(containment(qc, cc));
+            jac.push(jaccard(qc, cc));
+            mjac.push(multiset_jaccard(qc, cc));
+        }
+        if cosines.len() >= 4 {
+            for (name, overlap) in
+                [("containment", &contain), ("jaccard", &jac), ("multiset_jaccard", &mjac)]
+            {
+                let r = spearman_rho(overlap, &cosines);
+                report.scalars.push((format!("spearman/{name}"), r.rho));
+                report.scalars.push((format!("p_value/{name}"), r.p_value));
+            }
+            report.scatters.push(Scatter {
+                label: "multiset-jaccard-vs-cosine".into(),
+                points: mjac.iter().copied().zip(cosines.iter().copied()).collect(),
+            });
+        }
+        report.push_distribution("cosine", cosines);
+        report.push_distribution("containment", contain);
+        report.push_distribution("jaccard", jac);
+        report.push_distribution("multiset_jaccard", mjac);
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use observatory_data::nextiajd::NextiaJdConfig;
+    use observatory_models::registry::model_by_name;
+
+    fn corpus() -> Vec<Table> {
+        pairs_to_corpus(&NextiaJdConfig { num_pairs: 24, ..Default::default() }.generate())
+    }
+
+    #[test]
+    fn corpus_layout() {
+        let pairs = NextiaJdConfig { num_pairs: 3, ..Default::default() }.generate();
+        let corpus = pairs_to_corpus(&pairs);
+        assert_eq!(corpus.len(), 6);
+        assert!(corpus[0].name.ends_with("query"));
+        assert!(corpus[1].name.ends_with("candidate"));
+        assert_eq!(corpus.iter().map(Table::num_cols).max(), Some(1));
+    }
+
+    #[test]
+    fn produces_three_spearman_coefficients() {
+        let model = model_by_name("bert").unwrap();
+        let report = JoinRelationship.evaluate(model.as_ref(), &corpus(), &EvalContext::default());
+        for name in ["containment", "jaccard", "multiset_jaccard"] {
+            let rho = report.scalar(&format!("spearman/{name}")).unwrap();
+            assert!((-1.0..=1.0).contains(&rho), "{name}: {rho}");
+        }
+        assert_eq!(report.scatters.len(), 1);
+        assert_eq!(report.scatters[0].points.len(), 24);
+    }
+
+    #[test]
+    fn overlap_positively_correlates_with_embedding_cosine() {
+        // The postulate from the join-discovery literature the property
+        // tests (and the paper confirms for all models in Table 3).
+        let model = model_by_name("bert").unwrap();
+        let report = JoinRelationship.evaluate(model.as_ref(), &corpus(), &EvalContext::default());
+        let rho = report.scalar("spearman/multiset_jaccard").unwrap();
+        assert!(rho > 0.3, "expected a clear positive correlation, got {rho}");
+    }
+
+    #[test]
+    fn multiset_jaccard_bounded_by_half() {
+        let model = model_by_name("bert").unwrap();
+        let report = JoinRelationship.evaluate(model.as_ref(), &corpus(), &EvalContext::default());
+        let mj = report.distribution("multiset_jaccard").unwrap();
+        assert!(mj.values.iter().all(|v| *v <= 0.5 + 1e-12));
+    }
+
+    #[test]
+    fn row_only_model_yields_no_correlations() {
+        // TaPEx exposes no column embeddings: the measure has nothing to
+        // correlate (this is how Table 3 ends up with six models).
+        let model = model_by_name("tapex").unwrap();
+        let report = JoinRelationship.evaluate(model.as_ref(), &corpus(), &EvalContext::default());
+        assert!(report.scalars.is_empty());
+        assert!(report.distribution("cosine").is_none());
+    }
+}

@@ -1,0 +1,11 @@
+//! The eight primitive properties (paper §3.2–§3.3).
+
+pub mod col_order;
+pub mod common;
+pub mod entity_stability;
+pub mod fd;
+pub mod hetero_context;
+pub mod join_rel;
+pub mod perturbation;
+pub mod row_order;
+pub mod sample_fidelity;

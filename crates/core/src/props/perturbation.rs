@@ -1,0 +1,137 @@
+//! Property 7 — Perturbation Robustness (paper §3.3, Measure 7;
+//! Figure 13).
+//!
+//! Semantics-preserving perturbations (Dr.Spider's schema-synonym,
+//! schema-abbreviation, column-equivalence) should not move embeddings of
+//! the perturbed columns. The measure: cosine similarity between each
+//! original column embedding and its perturbed counterpart, with a
+//! distribution per perturbation class and a grand-mean scalar per class.
+
+use crate::framework::{EvalContext, Property, PropertyReport};
+use observatory_data::perturb::{perturb_table, Perturbation};
+use observatory_linalg::vector::cosine;
+use observatory_models::TableEncoder;
+use observatory_stats::descriptive::mean;
+use observatory_table::Table;
+
+/// Property 7 evaluator.
+#[derive(Debug, Clone)]
+pub struct PerturbationRobustness {
+    /// Perturbation classes to apply (Figure 13 uses the two schema-level
+    /// classes; column-equivalence is available too).
+    pub kinds: Vec<Perturbation>,
+}
+
+impl Default for PerturbationRobustness {
+    fn default() -> Self {
+        Self { kinds: vec![Perturbation::SchemaSynonym, Perturbation::SchemaAbbreviation] }
+    }
+}
+
+impl Property for PerturbationRobustness {
+    fn id(&self) -> &'static str {
+        "P7"
+    }
+
+    fn name(&self) -> &'static str {
+        "Perturbation Robustness"
+    }
+
+    fn evaluate(
+        &self,
+        model: &dyn TableEncoder,
+        corpus: &[Table],
+        _ctx: &EvalContext,
+    ) -> PropertyReport {
+        let mut report = PropertyReport::new(self.id(), model.name());
+        for &kind in &self.kinds {
+            let mut sims = Vec::new();
+            for table in corpus {
+                let (perturbed, changed) = perturb_table(table, kind);
+                if changed.is_empty() {
+                    continue;
+                }
+                let enc_orig = model.encode_table(table);
+                let enc_pert = model.encode_table(&perturbed);
+                for &j in &changed {
+                    if let (Some(a), Some(b)) = (enc_orig.column(j), enc_pert.column(j)) {
+                        sims.push(cosine(&a, &b));
+                    }
+                }
+            }
+            if !sims.is_empty() {
+                report.scalars.push((format!("mean/{}", kind.label()), mean(&sims)));
+            }
+            report.push_distribution(kind.label(), sims);
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use observatory_data::wikitables::WikiTablesConfig;
+    use observatory_models::registry::model_by_name;
+
+    fn corpus() -> Vec<Table> {
+        WikiTablesConfig { num_tables: 4, min_rows: 5, max_rows: 6, seed: 31 }.generate()
+    }
+
+    #[test]
+    fn schema_perturbations_measured() {
+        let model = model_by_name("bert").unwrap();
+        let report = PerturbationRobustness::default()
+            .evaluate(model.as_ref(), &corpus(), &EvalContext::default());
+        for label in ["synonym", "abbreviation"] {
+            let d = report.distribution(label).unwrap_or_else(|| panic!("missing {label}"));
+            assert!(!d.values.is_empty());
+            assert!(d.values.iter().all(|v| (-1.0..=1.0).contains(v)));
+            // Schema renames move embeddings some, not entirely.
+            assert!(report.scalar(&format!("mean/{label}")).unwrap() > 0.3);
+        }
+    }
+
+    #[test]
+    fn doduo_is_exactly_invariant_to_schema_perturbations() {
+        // DODUO ignores headers: "DODUO does not show any variance because
+        // DODUO only takes in data values" (§5.7).
+        let model = model_by_name("doduo").unwrap();
+        let report = PerturbationRobustness::default()
+            .evaluate(model.as_ref(), &corpus(), &EvalContext::default());
+        for label in ["synonym", "abbreviation"] {
+            let d = report.distribution(label).unwrap();
+            assert!(
+                d.values.iter().all(|v| (v - 1.0).abs() < 1e-9),
+                "{label}: {:?}",
+                d.summary()
+            );
+        }
+    }
+
+    #[test]
+    fn column_equivalence_perturbs_more_than_schema_renames() {
+        // Content-level rewrites change data values, which must move
+        // embeddings at least as much as renames that keep values intact.
+        let model = model_by_name("bert").unwrap();
+        let prop = PerturbationRobustness {
+            kinds: vec![Perturbation::SchemaSynonym, Perturbation::ColumnEquivalence],
+        };
+        let report = prop.evaluate(model.as_ref(), &corpus(), &EvalContext::default());
+        let syn = report.scalar("mean/synonym").unwrap();
+        let eqv = report.scalar("mean/column-equivalence").unwrap();
+        assert!(eqv < syn, "column-equivalence {eqv:.3} should move more than synonym {syn:.3}");
+    }
+
+    #[test]
+    fn unperturbable_corpus_gives_empty_report() {
+        use observatory_table::{Column, Value};
+        let t = Table::new("t", vec![Column::new("zzz", vec![Value::text("x")])]);
+        let model = model_by_name("bert").unwrap();
+        let report = PerturbationRobustness {
+            kinds: vec![Perturbation::SchemaSynonym],
+        }
+        .evaluate(model.as_ref(), &[t], &EvalContext::default());
+        assert!(report.records.is_empty());
+    }
+}

@@ -1,0 +1,196 @@
+//! Property 1 — Row Order Insignificance (paper §3.2, Measure 1;
+//! Figures 5 and 6).
+//!
+//! A relational table is a *set* of rows, so row order should not leak
+//! into embeddings. For each table we draw up to `max_permutations`
+//! distinct row shuffles (the original order first), embed every variant,
+//! and measure per level:
+//!
+//! - **cosine** similarity of each shuffled variant's embedding against
+//!   the original order's;
+//! - the **Albert–Zhang MCV** of the embedding sample (relative
+//!   multivariate dispersion).
+//!
+//! Levels: column, row and table. Row-level tracking follows each original
+//! data row through the permutation; rows that fall outside the token
+//! budget in any variant are skipped so the sample stays paired.
+
+use crate::framework::{EvalContext, Property, PropertyReport};
+use crate::props::common::{cosines_and_mcv, invert_permutation};
+use observatory_models::TableEncoder;
+use observatory_table::perm::{permute_rows, sample_permutations, PERMUTATION_CAP};
+use observatory_table::Table;
+
+/// Property 1 evaluator.
+#[derive(Debug, Clone)]
+pub struct RowOrderInsignificance {
+    /// Cap on sampled permutations per table (paper default 1000).
+    pub max_permutations: usize,
+}
+
+impl Default for RowOrderInsignificance {
+    fn default() -> Self {
+        Self { max_permutations: PERMUTATION_CAP }
+    }
+}
+
+impl Property for RowOrderInsignificance {
+    fn id(&self) -> &'static str {
+        "P1"
+    }
+
+    fn name(&self) -> &'static str {
+        "Row Order Insignificance"
+    }
+
+    fn evaluate(
+        &self,
+        model: &dyn TableEncoder,
+        corpus: &[Table],
+        ctx: &EvalContext,
+    ) -> PropertyReport {
+        let mut report = PropertyReport::new(self.id(), model.name());
+        let mut col_cos = Vec::new();
+        let mut col_mcv = Vec::new();
+        let mut row_cos = Vec::new();
+        let mut row_mcv = Vec::new();
+        let mut tbl_cos = Vec::new();
+        let mut tbl_mcv = Vec::new();
+
+        for (t_idx, table) in corpus.iter().enumerate() {
+            let perms = sample_permutations(
+                table.num_rows(),
+                self.max_permutations,
+                ctx.seed ^ (t_idx as u64).wrapping_mul(0x9E37_79B9),
+            );
+            if perms.len() < 2 {
+                continue;
+            }
+            let encodings: Vec<_> =
+                perms.iter().map(|p| model.encode_table(&permute_rows(table, p))).collect();
+            let inverses: Vec<Vec<usize>> =
+                perms.iter().map(|p| invert_permutation(p)).collect();
+
+            // Column level: column identity is untouched by row shuffles.
+            for j in 0..table.num_cols() {
+                let embs: Vec<Vec<f64>> =
+                    encodings.iter().filter_map(|e| e.column(j)).collect();
+                if let Some((cos, mcv)) = paired(&embs, encodings.len()) {
+                    col_cos.extend(cos);
+                    col_mcv.push(mcv);
+                }
+            }
+            // Row level: original row r sits at position inv[r] after the
+            // shuffle; only rows inside every variant's budget are paired.
+            for r in 0..table.num_rows() {
+                let embs: Vec<Vec<f64>> = encodings
+                    .iter()
+                    .zip(&inverses)
+                    .filter_map(|(e, inv)| e.row(inv[r]))
+                    .collect();
+                if let Some((cos, mcv)) = paired(&embs, encodings.len()) {
+                    row_cos.extend(cos);
+                    row_mcv.push(mcv);
+                }
+            }
+            // Table level.
+            let embs: Vec<Vec<f64>> = encodings.iter().filter_map(|e| e.table()).collect();
+            if let Some((cos, mcv)) = paired(&embs, encodings.len()) {
+                tbl_cos.extend(cos);
+                tbl_mcv.push(mcv);
+            }
+        }
+
+        report.push_distribution("column/cosine", col_cos);
+        report.push_distribution("column/mcv", col_mcv);
+        report.push_distribution("row/cosine", row_cos);
+        report.push_distribution("row/mcv", row_mcv);
+        report.push_distribution("table/cosine", tbl_cos);
+        report.push_distribution("table/mcv", tbl_mcv);
+        report
+    }
+}
+
+/// Measures only when every variant produced the embedding (paired sample).
+fn paired(embs: &[Vec<f64>], expected: usize) -> Option<(Vec<f64>, f64)> {
+    if embs.len() != expected {
+        return None;
+    }
+    cosines_and_mcv(embs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use observatory_data::wikitables::WikiTablesConfig;
+    use observatory_models::registry::model_by_name;
+
+    fn corpus() -> Vec<Table> {
+        WikiTablesConfig { num_tables: 2, min_rows: 4, max_rows: 5, seed: 3 }.generate()
+    }
+
+    #[test]
+    fn produces_all_levels_for_bert() {
+        let model = model_by_name("bert").unwrap();
+        let prop = RowOrderInsignificance { max_permutations: 6 };
+        let report = prop.evaluate(model.as_ref(), &corpus(), &EvalContext::default());
+        for label in
+            ["column/cosine", "column/mcv", "row/cosine", "row/mcv", "table/cosine", "table/mcv"]
+        {
+            assert!(report.distribution(label).is_some(), "missing {label}");
+        }
+        let cos = report.distribution("column/cosine").unwrap();
+        assert!(cos.values.iter().all(|v| (-1.0..=1.0).contains(v)));
+        let mcv = report.distribution("column/mcv").unwrap();
+        assert!(mcv.values.iter().all(|v| *v >= 0.0));
+    }
+
+    #[test]
+    fn capability_limited_models_produce_partial_reports() {
+        // TaPEx exposes only rows and tables: no column distributions.
+        let model = model_by_name("tapex").unwrap();
+        let prop = RowOrderInsignificance { max_permutations: 4 };
+        let report = prop.evaluate(model.as_ref(), &corpus(), &EvalContext::default());
+        assert!(report.distribution("column/cosine").is_none());
+        assert!(report.distribution("row/cosine").is_some());
+        assert!(report.distribution("table/cosine").is_some());
+    }
+
+    #[test]
+    fn row_template_model_is_perfectly_row_stable() {
+        // TapTap encodes rows independently, so tracked rows are bitwise
+        // identical across shuffles: cosine exactly 1 (Table 2 excludes it
+        // for being trivially out of scope — this asserts the mechanism).
+        let model = model_by_name("taptap").unwrap();
+        let prop = RowOrderInsignificance { max_permutations: 4 };
+        let report = prop.evaluate(model.as_ref(), &corpus(), &EvalContext::default());
+        let cos = report.distribution("row/cosine").unwrap();
+        assert!(cos.values.iter().all(|v| (v - 1.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn identity_only_corpus_is_empty_report() {
+        // A 1-row table has a single permutation: nothing to measure.
+        let t = Table::new(
+            "one",
+            vec![observatory_table::Column::new(
+                "a",
+                vec![observatory_table::Value::Int(1)],
+            )],
+        );
+        let model = model_by_name("bert").unwrap();
+        let prop = RowOrderInsignificance::default();
+        let report = prop.evaluate(model.as_ref(), &[t], &EvalContext::default());
+        assert!(report.records.is_empty());
+    }
+
+    #[test]
+    fn deterministic() {
+        let model = model_by_name("bert").unwrap();
+        let prop = RowOrderInsignificance { max_permutations: 4 };
+        let ctx = EvalContext::default();
+        let a = prop.evaluate(model.as_ref(), &corpus(), &ctx);
+        let b = prop.evaluate(model.as_ref(), &corpus(), &ctx);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,183 @@
+//! Property 5 — Sample Fidelity (paper §3.3, Measure 5; Figure 11).
+//!
+//! Embedding full columns is often infeasible; practice samples. The
+//! measure: cosine similarity between the embedding of a uniform sample
+//! and the *full-column* embedding, where the full embedding is obtained
+//! by chunking the column (shared header per chunk) and aggregating chunk
+//! embeddings — the TUTA-style workaround the paper adopts because a full
+//! column may not fit one model input. Also reported: the MCV over the
+//! set {full, samples} per column.
+
+use crate::framework::{EvalContext, Property, PropertyReport};
+use crate::props::common::column_as_table;
+use observatory_linalg::vector::{cosine, mean as vec_mean};
+use observatory_linalg::Matrix;
+use observatory_models::TableEncoder;
+use observatory_stats::mcv::albert_zhang_mcv;
+use observatory_table::sample::{chunk_column, sample_column};
+use observatory_table::{Column, Table};
+
+/// Property 5 evaluator.
+#[derive(Debug, Clone)]
+pub struct SampleFidelity {
+    /// Sampling fractions (paper: 0.25, 0.5, 0.75).
+    pub ratios: Vec<f64>,
+    /// Distinct samples drawn per (column, ratio).
+    pub samples_per_ratio: usize,
+    /// Chunk size (rows) for full-column embedding aggregation.
+    pub chunk_rows: usize,
+}
+
+impl Default for SampleFidelity {
+    fn default() -> Self {
+        Self { ratios: vec![0.25, 0.5, 0.75], samples_per_ratio: 3, chunk_rows: 32 }
+    }
+}
+
+impl SampleFidelity {
+    /// Full-column embedding: aggregate (mean) the chunk embeddings.
+    pub fn full_column_embedding(
+        &self,
+        model: &dyn TableEncoder,
+        column: &Column,
+    ) -> Option<Vec<f64>> {
+        let chunks = chunk_column(column, self.chunk_rows);
+        let embs: Vec<Vec<f64>> = chunks
+            .iter()
+            .filter_map(|c| model.column_embedding(&column_as_table("chunk", c), 0))
+            .collect();
+        if embs.len() != chunks.len() {
+            return None;
+        }
+        Some(vec_mean(&embs))
+    }
+}
+
+impl Property for SampleFidelity {
+    fn id(&self) -> &'static str {
+        "P5"
+    }
+
+    fn name(&self) -> &'static str {
+        "Sample Fidelity"
+    }
+
+    fn evaluate(
+        &self,
+        model: &dyn TableEncoder,
+        corpus: &[Table],
+        ctx: &EvalContext,
+    ) -> PropertyReport {
+        let mut report = PropertyReport::new(self.id(), model.name());
+        let mut fidelity: Vec<(f64, Vec<f64>)> =
+            self.ratios.iter().map(|&r| (r, Vec::new())).collect();
+        let mut mcvs: Vec<(f64, Vec<f64>)> =
+            self.ratios.iter().map(|&r| (r, Vec::new())).collect();
+        for (t_idx, table) in corpus.iter().enumerate() {
+            for (j, column) in table.columns.iter().enumerate() {
+                if column.len() < 4 {
+                    continue;
+                }
+                let Some(full) = self.full_column_embedding(model, column) else {
+                    continue;
+                };
+                for (ri, &ratio) in self.ratios.iter().enumerate() {
+                    let mut set = vec![full.clone()];
+                    for s in 0..self.samples_per_ratio {
+                        let seed = ctx.seed
+                            ^ (t_idx as u64) << 24
+                            ^ (j as u64) << 16
+                            ^ (ri as u64) << 8
+                            ^ s as u64;
+                        let sampled = sample_column(column, ratio, seed);
+                        let Some(emb) =
+                            model.column_embedding(&column_as_table("sample", &sampled), 0)
+                        else {
+                            continue;
+                        };
+                        fidelity[ri].1.push(cosine(&full, &emb));
+                        set.push(emb);
+                    }
+                    if set.len() > 1 {
+                        mcvs[ri].1.push(albert_zhang_mcv(&Matrix::from_rows(&set)));
+                    }
+                }
+            }
+        }
+        for (ratio, values) in fidelity {
+            report.push_distribution(format!("fidelity@{ratio}"), values);
+        }
+        for (ratio, values) in mcvs {
+            report.push_distribution(format!("mcv@{ratio}"), values);
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use observatory_data::wikitables::WikiTablesConfig;
+    use observatory_models::registry::model_by_name;
+    use observatory_stats::descriptive::mean;
+
+    fn corpus() -> Vec<Table> {
+        WikiTablesConfig { num_tables: 3, min_rows: 8, max_rows: 10, seed: 17 }.generate()
+    }
+
+    #[test]
+    fn fidelity_rises_with_ratio() {
+        // The paper's monotonic trend: larger samples ⇒ embeddings closer
+        // to full-value embeddings.
+        let model = model_by_name("bert").unwrap();
+        let prop = SampleFidelity::default();
+        let report = prop.evaluate(model.as_ref(), &corpus(), &EvalContext::default());
+        let lo = mean(&report.distribution("fidelity@0.25").unwrap().values);
+        let hi = mean(&report.distribution("fidelity@0.75").unwrap().values);
+        assert!(hi > lo, "fidelity@0.75 {hi:.4} should exceed fidelity@0.25 {lo:.4}");
+    }
+
+    #[test]
+    fn fidelity_values_in_range() {
+        let model = model_by_name("t5").unwrap();
+        let prop = SampleFidelity { samples_per_ratio: 2, ..Default::default() };
+        let report = prop.evaluate(model.as_ref(), &corpus(), &EvalContext::default());
+        for d in &report.records {
+            if d.label.starts_with("fidelity") {
+                assert!(d.values.iter().all(|v| (-1.0..=1.0).contains(v)));
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_full_embedding_defined_for_long_columns() {
+        let model = model_by_name("bert").unwrap();
+        let prop = SampleFidelity { chunk_rows: 4, ..Default::default() };
+        let long = Column::new(
+            "c",
+            (0..40).map(|i| observatory_table::Value::Int(i)).collect(),
+        );
+        let full = prop.full_column_embedding(model.as_ref(), &long).unwrap();
+        assert_eq!(full.len(), model.dim());
+        assert!(full.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn row_only_models_yield_empty_reports() {
+        let model = model_by_name("taptap").unwrap();
+        let report = SampleFidelity::default()
+            .evaluate(model.as_ref(), &corpus(), &EvalContext::default());
+        assert!(report.records.is_empty());
+    }
+
+    #[test]
+    fn deterministic() {
+        let model = model_by_name("tapas").unwrap();
+        let prop = SampleFidelity { samples_per_ratio: 2, ..Default::default() };
+        let ctx = EvalContext::default();
+        assert_eq!(
+            prop.evaluate(model.as_ref(), &corpus(), &ctx),
+            prop.evaluate(model.as_ref(), &corpus(), &ctx)
+        );
+    }
+}

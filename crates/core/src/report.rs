@@ -1,0 +1,156 @@
+//! Plain-text rendering of reports — the harness binaries print the same
+//! rows/series the paper's tables and figures encode.
+
+use crate::framework::PropertyReport;
+use observatory_stats::descriptive::{boxplot_stats, Histogram};
+
+/// Render a markdown-style table. All rows must have `headers.len()` cells.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let ncols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.chars().count()).collect();
+    for row in rows {
+        assert_eq!(row.len(), ncols, "render_table: ragged row");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.chars().count());
+        }
+    }
+    let mut out = String::new();
+    let push_row = |out: &mut String, cells: &[String]| {
+        out.push('|');
+        for (cell, w) in cells.iter().zip(&widths) {
+            out.push(' ');
+            out.push_str(cell);
+            out.extend(std::iter::repeat_n(' ', w - cell.chars().count() + 1));
+            out.push('|');
+        }
+        out.push('\n');
+    };
+    push_row(&mut out, &headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+    out.push('|');
+    for w in &widths {
+        out.push_str(&"-".repeat(w + 2));
+        out.push('|');
+    }
+    out.push('\n');
+    for row in rows {
+        push_row(&mut out, row);
+    }
+    out
+}
+
+/// Format a float with 3 decimals, rendering NaN as `-`.
+pub fn fmt(v: f64) -> String {
+    if v.is_nan() {
+        "-".to_string()
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// Render one property report: box-plot statistics per distribution,
+/// scalar table, and text histograms (the paper's distribution plots in
+/// terminal form).
+pub fn render_report(report: &PropertyReport) -> String {
+    let mut out = format!("## {} — {}\n\n", report.property, report.model);
+    if !report.records.is_empty() {
+        let rows: Vec<Vec<String>> = report
+            .records
+            .iter()
+            .map(|d| {
+                let b = boxplot_stats(&d.values);
+                let s = &b.summary;
+                vec![
+                    d.label.clone(),
+                    d.values.len().to_string(),
+                    fmt(s.min),
+                    fmt(b.whisker_lo),
+                    fmt(s.q1),
+                    fmt(s.median),
+                    fmt(s.q3),
+                    fmt(b.whisker_hi),
+                    fmt(s.max),
+                ]
+            })
+            .collect();
+        out.push_str(&render_table(
+            &["measure", "n", "min", "whisk-", "q1", "median", "q3", "whisk+", "max"],
+            &rows,
+        ));
+        out.push('\n');
+        for d in &report.records {
+            let finite: Vec<f64> = d.values.iter().copied().filter(|v| v.is_finite()).collect();
+            if finite.len() >= 2 {
+                let (lo, hi) = bounds(&finite);
+                let h = Histogram::new(&finite, lo, hi, 24);
+                out.push_str(&format!(
+                    "{:<28} [{:>8.3}, {:>8.3}] {}\n",
+                    d.label,
+                    lo,
+                    hi,
+                    h.render()
+                ));
+            }
+        }
+        out.push('\n');
+    }
+    if !report.scalars.is_empty() {
+        let rows: Vec<Vec<String>> =
+            report.scalars.iter().map(|(k, v)| vec![k.clone(), fmt(*v)]).collect();
+        out.push_str(&render_table(&["scalar", "value"], &rows));
+        out.push('\n');
+    }
+    out
+}
+
+fn bounds(xs: &[f64]) -> (f64, f64) {
+    let lo = xs.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if lo == hi {
+        (lo - 0.5, hi + 0.5)
+    } else {
+        (lo, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment_and_shape() {
+        let t = render_table(
+            &["model", "score"],
+            &[vec!["bert".into(), "0.9".into()], vec!["roberta".into(), "0.85".into()]],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("model"));
+        assert!(lines[1].starts_with("|--"));
+        // All lines equal width.
+        assert!(lines.iter().all(|l| l.chars().count() == lines[0].chars().count()));
+    }
+
+    #[test]
+    fn fmt_nan_is_dash() {
+        assert_eq!(fmt(f64::NAN), "-");
+        assert_eq!(fmt(0.12345), "0.123");
+    }
+
+    #[test]
+    fn report_render_includes_everything() {
+        let mut r = PropertyReport::new("P1", "bert");
+        r.push_distribution("column/cosine", vec![0.9, 0.95, 1.0, 0.97]);
+        r.scalars.push(("mean".into(), 0.955));
+        let text = render_report(&r);
+        assert!(text.contains("P1 — bert"));
+        assert!(text.contains("column/cosine"));
+        assert!(text.contains("mean"));
+        assert!(text.contains("0.955"));
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged row")]
+    fn ragged_rows_panic() {
+        render_table(&["a", "b"], &[vec!["x".into()]]);
+    }
+}

@@ -1,0 +1,98 @@
+//! The dataset/model scope matrix of the paper's Table 2.
+//!
+//! | Property | Dataset | Models in scope |
+//! |---|---|---|
+//! | P1 Row order insignificance | WikiTables | Except TapTap |
+//! | P2 Column order insignificance | WikiTables | All |
+//! | P3 Join relationship | NextiaJD | Except TURL and TapTap |
+//! | P4 Functional dependencies | Spider | Except TURL, TaBERT, TapTap |
+//! | P5 Sample fidelity | WikiTables | Except TapTap |
+//! | P6 Entity stability | WikiTables | Except TaBERT and TapTap |
+//! | P7 Perturbation robustness | Dr.Spider | Except TURL and TapTap |
+//! | P8 Heterogeneous context | SOTAB | Except TURL and TapTap |
+//!
+//! The matrix is *scope*, not capability: a model in scope may still lack
+//! the embedding level a measure needs (TaPEx has no column embeddings),
+//! in which case the property simply produces no values for it —
+//! precisely how the paper's figures end up with different model subsets.
+
+/// All property ids.
+pub const PROPERTY_IDS: [&str; 8] = ["P1", "P2", "P3", "P4", "P5", "P6", "P7", "P8"];
+
+/// The dataset each property is evaluated on (paper Table 2).
+pub fn dataset_for(property_id: &str) -> &'static str {
+    match property_id {
+        "P1" | "P2" | "P5" | "P6" => "WikiTables",
+        "P3" => "NextiaJD",
+        "P4" => "Spider",
+        "P7" => "Dr.Spider",
+        "P8" => "SOTAB",
+        _ => "unknown",
+    }
+}
+
+/// Whether `model` participates in `property_id` per the paper's Table 2.
+///
+/// Unknown property ids default to in-scope (user-defined properties are
+/// not constrained by the paper's matrix); unknown models likewise.
+pub fn in_scope(property_id: &str, model: &str) -> bool {
+    let excluded: &[&str] = match property_id {
+        "P1" | "P5" => &["taptap"],
+        "P2" => &[],
+        "P3" | "P7" | "P8" => &["turl", "taptap"],
+        "P4" => &["turl", "tabert", "taptap"],
+        "P6" => &["tabert", "taptap"],
+        _ => &[],
+    };
+    !excluded.contains(&model)
+}
+
+/// The in-scope model names for a property, in registry order.
+pub fn models_in_scope(property_id: &str) -> Vec<&'static str> {
+    observatory_models::registry::MODEL_NAMES
+        .iter()
+        .copied()
+        .filter(|m| in_scope(property_id, m))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_2_exclusions() {
+        assert!(!in_scope("P1", "taptap"));
+        assert!(in_scope("P1", "turl"));
+        assert!(in_scope("P2", "taptap")); // the only property including TapTap
+        assert!(!in_scope("P3", "turl"));
+        assert!(!in_scope("P4", "tabert"));
+        assert!(!in_scope("P6", "tabert"));
+        assert!(in_scope("P6", "turl"));
+        assert!(!in_scope("P8", "turl"));
+    }
+
+    #[test]
+    fn scope_counts() {
+        assert_eq!(models_in_scope("P1").len(), 8);
+        assert_eq!(models_in_scope("P2").len(), 9);
+        assert_eq!(models_in_scope("P3").len(), 7);
+        assert_eq!(models_in_scope("P4").len(), 6);
+        assert_eq!(models_in_scope("P6").len(), 7);
+    }
+
+    #[test]
+    fn datasets_match_table_2() {
+        assert_eq!(dataset_for("P1"), "WikiTables");
+        assert_eq!(dataset_for("P3"), "NextiaJD");
+        assert_eq!(dataset_for("P4"), "Spider");
+        assert_eq!(dataset_for("P7"), "Dr.Spider");
+        assert_eq!(dataset_for("P8"), "SOTAB");
+    }
+
+    #[test]
+    fn custom_properties_unconstrained() {
+        assert!(in_scope("P99", "taptap"));
+        assert!(in_scope("my-property", "anything"));
+    }
+}

@@ -1,0 +1,243 @@
+//! Whole-framework characterization: run every property for every
+//! in-scope model over the appropriate corpora and collapse the results
+//! into one model × property summary matrix — the library form of "the
+//! whole paper in one call" (the `observatory_report` harness binary is a
+//! thin shell around this module).
+
+use crate::framework::{run_property, EvalContext, PropertyReport};
+use crate::props::col_order::ColumnOrderInsignificance;
+use crate::props::entity_stability::EntityStability;
+use crate::props::fd::FunctionalDependencies;
+use crate::props::hetero_context::HeterogeneousContext;
+use crate::props::join_rel::{pairs_to_corpus, JoinRelationship};
+use crate::props::perturbation::PerturbationRobustness;
+use crate::props::row_order::RowOrderInsignificance;
+use crate::props::sample_fidelity::SampleFidelity;
+use observatory_data::entities::entity_domains;
+use observatory_data::nextiajd::NextiaJdConfig;
+use observatory_data::sotab::SotabConfig;
+use observatory_data::spider::SpiderConfig;
+use observatory_data::wikitables::WikiTablesConfig;
+use observatory_models::registry::MODEL_NAMES;
+use observatory_models::TableEncoder;
+use observatory_stats::descriptive::mean;
+
+/// Workload sizes for a characterization run.
+#[derive(Debug, Clone)]
+pub struct SummaryConfig {
+    /// WikiTables-like tables (P1/P2/P5/P7 corpora).
+    pub wiki_tables: usize,
+    /// Permutation cap for P1/P2.
+    pub permutations: usize,
+    /// NextiaJD-like join pairs (P3).
+    pub join_pairs: usize,
+    /// Spider-like tables (P4).
+    pub spider_tables: usize,
+    /// SOTAB-like tables (P8).
+    pub sotab_tables: usize,
+    /// K for entity stability (P6).
+    pub k: usize,
+}
+
+impl Default for SummaryConfig {
+    fn default() -> Self {
+        Self {
+            wiki_tables: 4,
+            permutations: 8,
+            join_pairs: 30,
+            spider_tables: 4,
+            sotab_tables: 6,
+            k: 10,
+        }
+    }
+}
+
+/// One row of the summary: a property's headline number per model
+/// (NaN = in scope but unmeasurable; absent model name = out of scope).
+#[derive(Debug, Clone)]
+pub struct SummaryRow {
+    /// Property id and short description of the headline number.
+    pub label: String,
+    /// (model name, headline value) for every evaluated model.
+    pub values: Vec<(String, f64)>,
+}
+
+impl SummaryRow {
+    /// Value for a model, if evaluated.
+    pub fn value(&self, model: &str) -> Option<f64> {
+        self.values.iter().find(|(m, _)| m == model).map(|(_, v)| *v)
+    }
+}
+
+/// The full characterization summary.
+#[derive(Debug, Clone)]
+pub struct Summary {
+    pub rows: Vec<SummaryRow>,
+}
+
+impl Summary {
+    /// Look up a row by its label prefix (e.g. `"P1"`).
+    pub fn row(&self, prefix: &str) -> Option<&SummaryRow> {
+        self.rows.iter().find(|r| r.label.starts_with(prefix))
+    }
+}
+
+/// One representative scalar per property report (the summary cell).
+pub fn headline(report: &PropertyReport) -> f64 {
+    match report.property {
+        "P1" | "P2" => report
+            .distribution("column/cosine")
+            .or_else(|| report.distribution("row/cosine"))
+            .or_else(|| report.distribution("table/cosine"))
+            .map_or(f64::NAN, |d| mean(&d.values)),
+        "P3" => report.scalar("spearman/multiset_jaccard").unwrap_or(f64::NAN),
+        "P4" => match (report.scalar("mean_s2/fd"), report.scalar("mean_s2/nonfd")) {
+            (Some(fd), Some(nonfd)) if nonfd > 0.0 => fd / nonfd,
+            _ => f64::NAN,
+        },
+        "P5" => report.distribution("fidelity@0.25").map_or(f64::NAN, |d| mean(&d.values)),
+        "P7" => report.scalar("mean/synonym").unwrap_or(f64::NAN),
+        "P8" => report
+            .distribution("table/non-textual")
+            .map_or(f64::NAN, |d| mean(&d.values)),
+        _ => f64::NAN,
+    }
+}
+
+/// Run the complete characterization.
+pub fn characterize_all(
+    models: &[Box<dyn TableEncoder>],
+    config: &SummaryConfig,
+    ctx: &EvalContext,
+) -> Summary {
+    let wiki = WikiTablesConfig {
+        num_tables: config.wiki_tables,
+        min_rows: 5,
+        max_rows: 8,
+        seed: ctx.seed,
+    }
+    .generate();
+    let joins = pairs_to_corpus(
+        &NextiaJdConfig { num_pairs: config.join_pairs, ..Default::default() }.generate(),
+    );
+    let spider =
+        SpiderConfig { num_tables: config.spider_tables, rows: 24, seed: 7 }.generate().tables;
+    let sotab = SotabConfig { num_tables: config.sotab_tables, rows: 8, seed: 23 }.generate();
+
+    let p1 = RowOrderInsignificance { max_permutations: config.permutations };
+    let p2 = ColumnOrderInsignificance { max_permutations: config.permutations };
+    let p4 = FunctionalDependencies::default();
+    let p5 = SampleFidelity { samples_per_ratio: 2, ..Default::default() };
+    let p7 = PerturbationRobustness::default();
+
+    let mut rows = Vec::new();
+    let runs: Vec<(&str, Vec<PropertyReport>)> = vec![
+        ("P1 row-order cosine", run_property(&p1, models, &wiki, ctx)),
+        ("P2 col-order cosine", run_property(&p2, models, &wiki, ctx)),
+        ("P3 join spearman", run_property(&JoinRelationship, models, &joins, ctx)),
+        ("P4 s2 ratio fd/nonfd", run_property(&p4, models, &spider, ctx)),
+        ("P5 fidelity@0.25", run_property(&p5, models, &wiki, ctx)),
+        ("P7 synonym cosine", run_property(&p7, models, &wiki, ctx)),
+        ("P8 table-context cosine", run_property(&HeterogeneousContext, models, &sotab, ctx)),
+    ];
+    for (label, reports) in runs {
+        rows.push(SummaryRow {
+            label: label.to_string(),
+            values: reports.iter().map(|r| (r.model.clone(), headline(r))).collect(),
+        });
+    }
+    // P6: stability against the first in-scope model, over the first
+    // entity domain.
+    let domain = &entity_domains(ctx.seed)[0];
+    let p6 = EntityStability { k: config.k, queries: domain.queries.clone() };
+    let (names, matrix) =
+        crate::framework::run_pairwise_property(&p6, models, &domain.corpus, ctx);
+    if let Some(anchor) = names.first() {
+        rows.push(SummaryRow {
+            label: format!("P6 stability vs {anchor}"),
+            values: names
+                .iter()
+                .enumerate()
+                .map(|(i, n)| (n.clone(), matrix[0][i]))
+                .collect(),
+        });
+    }
+    Summary { rows }
+}
+
+/// Render the summary as a markdown table over the registry's model order.
+pub fn render_summary(summary: &Summary) -> String {
+    let mut headers = vec!["property"];
+    headers.extend(MODEL_NAMES);
+    let rows: Vec<Vec<String>> = summary
+        .rows
+        .iter()
+        .map(|row| {
+            let mut cells = vec![row.label.clone()];
+            for name in MODEL_NAMES {
+                cells.push(
+                    row.value(name)
+                        .map_or("·".to_string(), crate::report::fmt),
+                );
+            }
+            cells
+        })
+        .collect();
+    crate::report::render_table(&headers, &rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use observatory_models::registry::all_models;
+
+    fn tiny() -> SummaryConfig {
+        SummaryConfig {
+            wiki_tables: 1,
+            permutations: 3,
+            join_pairs: 8,
+            spider_tables: 1,
+            sotab_tables: 2,
+            k: 3,
+        }
+    }
+
+    #[test]
+    fn summary_covers_all_properties() {
+        let models = all_models();
+        let s = characterize_all(&models, &tiny(), &EvalContext::default());
+        assert_eq!(s.rows.len(), 8);
+        for p in ["P1", "P2", "P3", "P4", "P5", "P6", "P7", "P8"] {
+            assert!(s.row(p).is_some(), "missing {p}");
+        }
+    }
+
+    #[test]
+    fn scope_respected_per_row() {
+        let models = all_models();
+        let s = characterize_all(&models, &tiny(), &EvalContext::default());
+        // TapTap only participates in P2.
+        for row in &s.rows {
+            let has_taptap = row.values.iter().any(|(m, _)| m == "taptap");
+            assert_eq!(has_taptap, row.label.starts_with("P2"), "{}", row.label);
+        }
+    }
+
+    #[test]
+    fn headline_values_sane() {
+        let models = all_models();
+        let s = characterize_all(&models, &tiny(), &EvalContext::default());
+        let p1 = s.row("P1").unwrap();
+        let bert = p1.value("bert").unwrap();
+        assert!((0.0..=1.0).contains(&bert), "{bert}");
+    }
+
+    #[test]
+    fn render_is_well_formed() {
+        let models = all_models();
+        let s = characterize_all(&models, &tiny(), &EvalContext::default());
+        let text = render_summary(&s);
+        assert!(text.contains("bert"));
+        assert!(text.lines().count() >= 10);
+    }
+}

@@ -1,0 +1,149 @@
+//! Entity-stability query domains (paper §5.6, Figure 12).
+//!
+//! The paper selects query entities from five domains — ten greatest men
+//! tennis players, ten most popular movies, ten essential nutrients, ten
+//! most valuable US technology companies, ten largest countries — and
+//! compares their K-nearest-neighbour sets between pairs of embedding
+//! spaces. Each domain here provides (a) the query entities and (b) an
+//! entity-rich corpus in which those entities occur as subject-column
+//! cells alongside distractor entities.
+
+use crate::pools;
+use observatory_linalg::SplitMix64;
+use observatory_table::{Column, Table, Value};
+
+/// One query domain: its name, query entities, and corpus.
+#[derive(Debug, Clone)]
+pub struct EntityDomain {
+    /// Display name ("Tennis Players", …).
+    pub name: &'static str,
+    /// The ten query entities.
+    pub queries: Vec<String>,
+    /// Entity-rich tables containing the queries plus distractors.
+    pub corpus: Vec<Table>,
+}
+
+/// Build the paper's five query domains (Figure 12 displays three of them;
+/// the harness prints all five).
+pub fn entity_domains(seed: u64) -> Vec<EntityDomain> {
+    let mut rng = SplitMix64::new(seed);
+    vec![
+        domain(&mut rng, "Tennis Players", &pools::TENNIS_PLAYERS, "player", "country", |r| {
+            Value::text(pools::COUNTRIES[r].0)
+        }),
+        domain(&mut rng, "Movies", &pools::MOVIES, "movie", "year", |r| {
+            Value::Int(1940 + (r as i64 * 7) % 85)
+        }),
+        domain(&mut rng, "Biochemistry", &pools::NUTRIENTS, "nutrient", "daily_value", |r| {
+            Value::Float((r as f64 + 1.0) * 1.5)
+        }),
+        domain(&mut rng, "Tech Companies", &pools::TECH_COMPANIES, "company", "revenue", |r| {
+            Value::Float((r as f64 + 1.0) * 13.7)
+        }),
+        domain(&mut rng, "Largest Countries", &pools::LARGEST_COUNTRIES, "country", "area", |r| {
+            Value::Int(((r as i64) + 1) * 250_000)
+        }),
+    ]
+}
+
+/// The distractor pool: mentions from all domains plus generic entities,
+/// so neighbour sets have meaningful competition.
+fn distractors() -> Vec<String> {
+    let mut v: Vec<String> = Vec::new();
+    v.extend(pools::TENNIS_PLAYERS.iter().map(|s| s.to_string()));
+    v.extend(pools::MOVIES.iter().map(|s| s.to_string()));
+    v.extend(pools::NUTRIENTS.iter().map(|s| s.to_string()));
+    v.extend(pools::TECH_COMPANIES.iter().map(|s| s.to_string()));
+    v.extend(pools::LARGEST_COUNTRIES.iter().map(|s| s.to_string()));
+    v.extend(pools::COMPANIES.iter().map(|s| s.to_string()));
+    v.extend(pools::COMPETITIONS.iter().map(|s| s.to_string()));
+    v.extend(pools::CITIES.iter().map(|(c, _)| c.to_string()));
+    v.sort();
+    v.dedup();
+    v
+}
+
+fn domain(
+    rng: &mut SplitMix64,
+    name: &'static str,
+    queries: &[&str],
+    subject_header: &str,
+    attr_header: &str,
+    attr: impl Fn(usize) -> Value,
+) -> EntityDomain {
+    let pool = distractors();
+    let mut corpus = Vec::new();
+    // Split the queries across a few tables, mixing in distractors — as in
+    // WikiTables, an entity appears among others of various domains.
+    for (t_idx, chunk) in queries.chunks(5).enumerate() {
+        let mut mentions: Vec<String> = chunk.iter().map(|s| s.to_string()).collect();
+        for _ in 0..5 {
+            mentions.push(pool[rng.next_below(pool.len())].clone());
+        }
+        rng.shuffle(&mut mentions);
+        let rows = mentions.len();
+        let mut subject = Column::new(
+            subject_header,
+            mentions.into_iter().map(Value::Text).collect(),
+        );
+        subject.is_subject = true;
+        corpus.push(Table::new(
+            format!("{}_{}", name.to_lowercase().replace(' ', "_"), t_idx),
+            vec![
+                subject,
+                Column::new(attr_header, (0..rows).map(&attr).collect()),
+                Column::new("rank", (1..=rows as i64).map(Value::Int).collect()),
+            ],
+        ));
+    }
+    EntityDomain { name, queries: queries.iter().map(|s| s.to_string()).collect(), corpus }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_domains_of_ten_queries() {
+        let domains = entity_domains(1);
+        assert_eq!(domains.len(), 5);
+        for d in &domains {
+            assert_eq!(d.queries.len(), 10);
+            assert!(!d.corpus.is_empty());
+        }
+    }
+
+    #[test]
+    fn queries_occur_in_their_corpus() {
+        for d in entity_domains(2) {
+            for q in &d.queries {
+                let found = d.corpus.iter().any(|t| {
+                    t.columns[0].values.iter().any(|v| v.to_text() == *q)
+                });
+                assert!(found, "{} missing from {} corpus", q, d.name);
+            }
+        }
+    }
+
+    #[test]
+    fn corpora_contain_cross_domain_distractors() {
+        let domains = entity_domains(3);
+        let tennis = &domains[0];
+        let all_mentions: Vec<String> = tennis
+            .corpus
+            .iter()
+            .flat_map(|t| t.columns[0].values.iter().map(|v| v.to_text()))
+            .collect();
+        let foreign = all_mentions.iter().filter(|m| !tennis.queries.contains(m)).count();
+        assert!(foreign > 0, "no distractors present");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = entity_domains(9);
+        let b = entity_domains(9);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.corpus, y.corpus);
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! # observatory-data
+//!
+//! The five dataset suites of the paper's evaluation (§4.2), rebuilt as
+//! seeded synthetic generators (see DESIGN.md §1 for the substitution
+//! rationale — the originals are multi-GB external releases):
+//!
+//! | Paper dataset | Module | Used by properties |
+//! |---|---|---|
+//! | WikiTables (entity-rich web tables) | [`wikitables`] | P1, P2, P5, P6 |
+//! | Spider (+ HyFD-mined FDs) | [`spider`] | P4 |
+//! | Dr.Spider database perturbations | [`perturb`] | P7 |
+//! | NextiaJD joinability testbeds | [`nextiajd`] | P3 |
+//! | SOTAB (typed columns, no headers) | [`sotab`] | P8 |
+//! | Figure 12 query-entity domains | [`entities`] | P6 |
+//!
+//! All generators are deterministic functions of their seed, so every
+//! experiment in the bench harness is exactly reproducible.
+
+pub mod entities;
+pub mod nextiajd;
+pub mod perturb;
+pub mod pools;
+pub mod sotab;
+pub mod spider;
+pub mod wikitables;

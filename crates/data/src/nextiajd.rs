@@ -1,0 +1,278 @@
+//! NextiaJD-like joinability testbed (paper §4.2, Property 3).
+//!
+//! The original testbeds label candidate column pairs with a join quality
+//! derived from containment and cardinality proportion; the paper uses
+//! "all pairs with join quality greater than 0". What Property 3 needs is
+//! a pool of query/candidate column pairs whose *value overlap spans the
+//! whole (0, 1] spectrum* and that contain *duplicates*, so that
+//! containment, Jaccard and multiset-Jaccard genuinely disagree.
+//!
+//! Realism details that matter to the measures:
+//!
+//! - each pair lives in a **value domain** (cities, countries, companies,
+//!   …) and both columns draw distractors from the *same* domain — as in
+//!   open-data lakes, where a city column's non-overlapping values are
+//!   still cities;
+//! - the columns carry **domain-appropriate headers** with the
+//!   lexical drift real lakes exhibit (`city` vs `town`), which is what
+//!   lets schema-reading models (TaBERT) participate meaningfully;
+//! - values are duplicated with random multiplicities (1–3), separating
+//!   the multiset measure from the set-based ones.
+
+use crate::pools;
+use observatory_linalg::SplitMix64;
+use observatory_table::{Column, Value};
+
+/// One joinable query/candidate column pair.
+#[derive(Debug, Clone)]
+pub struct JoinPair {
+    /// Query column `C_q`.
+    pub query: Column,
+    /// Candidate column `C_c`.
+    pub candidate: Column,
+    /// The containment level the generator aimed for (diagnostics only;
+    /// measures are recomputed exactly by `observatory-search`).
+    pub target_containment: f64,
+}
+
+/// Testbed profile (the paper's NextiaJD splits by dataset size).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Testbed {
+    /// Small columns (tens of values) — the paper's headline testbed.
+    Xs,
+    /// Larger columns (cross-domain value mix).
+    S,
+}
+
+/// Configuration of the joinability generator.
+#[derive(Debug, Clone)]
+pub struct NextiaJdConfig {
+    /// Number of query/candidate pairs.
+    pub num_pairs: usize,
+    /// Testbed profile.
+    pub testbed: Testbed,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for NextiaJdConfig {
+    fn default() -> Self {
+        Self { num_pairs: 60, testbed: Testbed::Xs, seed: 11 }
+    }
+}
+
+/// A value domain: query header, candidate header variant, value pool.
+struct Domain {
+    query_header: &'static str,
+    candidate_header: &'static str,
+    values: Vec<String>,
+}
+
+fn domains() -> Vec<Domain> {
+    vec![
+        Domain {
+            query_header: "city",
+            candidate_header: "town",
+            values: pools::CITIES.iter().map(|(c, _)| c.to_string()).collect(),
+        },
+        Domain {
+            query_header: "country",
+            candidate_header: "nation",
+            values: pools::COUNTRIES.iter().map(|(c, _)| c.to_string()).collect(),
+        },
+        Domain {
+            query_header: "company",
+            candidate_header: "firm",
+            values: pools::COMPANIES.iter().map(|s| s.to_string()).collect(),
+        },
+        Domain {
+            query_header: "color",
+            candidate_header: "colour",
+            values: pools::COLORS.iter().map(|s| s.to_string()).collect(),
+        },
+        Domain {
+            query_header: "language",
+            candidate_header: "tongue",
+            values: pools::LANGUAGES.iter().map(|s| s.to_string()).collect(),
+        },
+        Domain {
+            query_header: "job",
+            candidate_header: "occupation",
+            values: pools::JOB_TITLES.iter().map(|s| s.to_string()).collect(),
+        },
+    ]
+}
+
+/// The S-testbed vocabulary: the union of all domains.
+fn mixed_vocabulary() -> Vec<String> {
+    let mut v: Vec<String> = domains().into_iter().flat_map(|d| d.values).collect();
+    v.extend(pools::COMPETITIONS.iter().map(|s| s.to_string()));
+    v.extend(pools::FIRST_NAMES.iter().map(|s| s.to_string()));
+    v.sort();
+    v.dedup();
+    v
+}
+
+impl NextiaJdConfig {
+    /// Generate the pairs.
+    pub fn generate(&self) -> Vec<JoinPair> {
+        let mut rng = SplitMix64::new(self.seed);
+        let domains = domains();
+        let mixed = mixed_vocabulary();
+        (0..self.num_pairs)
+            .map(|i| {
+                // Containment targets sweep (0, 1]; stratified so the rank
+                // correlation sees the full range.
+                let target = (i % 10 + 1) as f64 / 10.0;
+                let (q_header, c_header, pool): (&str, &str, &[String]) = match self.testbed {
+                    Testbed::Xs => {
+                        let d = &domains[i % domains.len()];
+                        (d.query_header, d.candidate_header, &d.values)
+                    }
+                    Testbed::S => ("entity", "name", &mixed),
+                };
+                let third = pool.len() / 3;
+                let n_q = third.max(4) + rng.next_below(third.max(1));
+                let n_q = n_q.min(pool.len());
+                let q_idx = rng.sample_indices(pool.len(), n_q);
+                let shared = ((n_q as f64) * target).round().max(1.0) as usize;
+                let n_c = third.max(4) + rng.next_below(third.max(1));
+                // Candidate: `shared` query values + same-domain distractors.
+                let mut cand_vals: Vec<&String> =
+                    q_idx.iter().take(shared.min(n_q)).map(|&k| &pool[k]).collect();
+                let mut pool_rest: Vec<usize> =
+                    (0..pool.len()).filter(|k| !q_idx.contains(k)).collect();
+                rng.shuffle(&mut pool_rest);
+                for &k in pool_rest.iter().take(n_c.saturating_sub(cand_vals.len())) {
+                    cand_vals.push(&pool[k]);
+                }
+                JoinPair {
+                    query: materialize(&mut rng, q_header, q_idx.iter().map(|&k| &pool[k])),
+                    candidate: materialize(&mut rng, c_header, cand_vals.into_iter()),
+                    target_containment: target,
+                }
+            })
+            .collect()
+    }
+}
+
+/// Turn distinct values into a column with random per-value multiplicities
+/// (1–3), shuffled — duplicates are what separate multiset Jaccard from the
+/// set-based measures.
+fn materialize<'a>(
+    rng: &mut SplitMix64,
+    header: &str,
+    distinct: impl Iterator<Item = &'a String>,
+) -> Column {
+    let mut values = Vec::new();
+    for v in distinct {
+        let mult = 1 + rng.next_below(3);
+        for _ in 0..mult {
+            values.push(Value::text(v.clone()));
+        }
+    }
+    rng.shuffle(&mut values);
+    Column::new(header, values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_pairs() {
+        let pairs = NextiaJdConfig::default().generate();
+        assert_eq!(pairs.len(), 60);
+        for p in &pairs {
+            assert!(!p.query.is_empty());
+            assert!(!p.candidate.is_empty());
+        }
+    }
+
+    #[test]
+    fn targets_cover_the_spectrum() {
+        let pairs = NextiaJdConfig::default().generate();
+        let mut targets: Vec<f64> = pairs.iter().map(|p| p.target_containment).collect();
+        targets.sort_by(|a, b| a.total_cmp(b));
+        targets.dedup();
+        assert!(targets.len() >= 10, "only {} distinct targets", targets.len());
+        assert!(*targets.first().unwrap() <= 0.11);
+        assert!(*targets.last().unwrap() >= 0.99);
+    }
+
+    #[test]
+    fn pairs_share_values_proportionally_to_target() {
+        let pairs = NextiaJdConfig::default().generate();
+        for p in &pairs {
+            let q: std::collections::HashSet<String> =
+                p.query.values.iter().map(|v| v.to_text()).collect();
+            let c: std::collections::HashSet<String> =
+                p.candidate.values.iter().map(|v| v.to_text()).collect();
+            let shared = q.intersection(&c).count() as f64 / q.len() as f64;
+            assert!(
+                (shared - p.target_containment).abs() < 0.25,
+                "containment {shared} vs target {}",
+                p.target_containment
+            );
+        }
+    }
+
+    #[test]
+    fn duplicates_present() {
+        let pairs = NextiaJdConfig::default().generate();
+        let with_dups =
+            pairs.iter().filter(|p| p.query.distinct_count() < p.query.len()).count();
+        assert!(with_dups > pairs.len() / 2, "duplicates are required for multiset measures");
+    }
+
+    #[test]
+    fn headers_are_domain_appropriate_and_drift() {
+        let pairs = NextiaJdConfig::default().generate();
+        for p in &pairs {
+            assert!(!p.query.header.is_empty());
+            assert_ne!(
+                p.query.header, p.candidate.header,
+                "real lakes exhibit header drift between joinable columns"
+            );
+        }
+        // The six domains rotate.
+        let headers: std::collections::HashSet<&str> =
+            pairs.iter().map(|p| p.query.header.as_str()).collect();
+        assert!(headers.len() >= 6, "{headers:?}");
+    }
+
+    #[test]
+    fn distractors_stay_in_domain() {
+        // For a city pair, candidate values that are not query values must
+        // still be cities.
+        let pairs = NextiaJdConfig::default().generate();
+        let cities: std::collections::HashSet<&str> =
+            pools::CITIES.iter().map(|(c, _)| *c).collect();
+        let city_pair = pairs.iter().find(|p| p.query.header == "city").unwrap();
+        for v in &city_pair.candidate.values {
+            assert!(cities.contains(v.to_text().as_str()), "{v:?} is not a city");
+        }
+    }
+
+    #[test]
+    fn s_testbed_is_larger() {
+        let xs = NextiaJdConfig { num_pairs: 10, ..Default::default() }.generate();
+        let s = NextiaJdConfig { num_pairs: 10, testbed: Testbed::S, ..Default::default() }
+            .generate();
+        let mean_len = |ps: &[JoinPair]| {
+            ps.iter().map(|p| p.query.len()).sum::<usize>() as f64 / ps.len() as f64
+        };
+        assert!(mean_len(&s) > mean_len(&xs));
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = NextiaJdConfig::default().generate();
+        let b = NextiaJdConfig::default().generate();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.query, y.query);
+            assert_eq!(x.candidate, y.candidate);
+        }
+    }
+}

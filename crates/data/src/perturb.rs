@@ -1,0 +1,197 @@
+//! Dr.Spider-style semantics-preserving database perturbations (paper
+//! §3.3 Property 7, §4.2).
+//!
+//! Three perturbation classes, mirroring Dr.Spider's database tests:
+//!
+//! - **schema-synonym**: replace column names with synonyms
+//!   (`"country"` → `"nation"`);
+//! - **schema-abbreviation**: replace column names with abbreviations
+//!   (`"CountryName"` → `"cntry_nm"`);
+//! - **column-equivalence**: rewrite both the name *and the contents* of a
+//!   column into a semantically equivalent form (`"age"` → `"birth_year"`
+//!   with `year = REFERENCE_YEAR − age`, prices to cents, booleans to
+//!   yes/no).
+//!
+//! All three preserve the meaning of the relation; Property 7 measures how
+//! far they move the embeddings anyway.
+
+use crate::pools;
+use observatory_table::{Column, Table, Value};
+
+/// Reference year for the age ↔ birth-year equivalence.
+pub const REFERENCE_YEAR: i64 = 2026;
+
+/// The perturbation classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Perturbation {
+    SchemaSynonym,
+    SchemaAbbreviation,
+    ColumnEquivalence,
+}
+
+impl Perturbation {
+    /// All classes in presentation order.
+    pub const ALL: [Perturbation; 3] =
+        [Perturbation::SchemaSynonym, Perturbation::SchemaAbbreviation, Perturbation::ColumnEquivalence];
+
+    /// Short label used in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Perturbation::SchemaSynonym => "synonym",
+            Perturbation::SchemaAbbreviation => "abbreviation",
+            Perturbation::ColumnEquivalence => "column-equivalence",
+        }
+    }
+}
+
+/// Apply a perturbation to a whole table, returning the perturbed table and
+/// the set of column indices that were actually changed (columns the
+/// dictionaries cannot handle are left alone, as in Dr.Spider).
+pub fn perturb_table(table: &Table, kind: Perturbation) -> (Table, Vec<usize>) {
+    let mut out = table.clone();
+    let mut changed = Vec::new();
+    for (j, col) in out.columns.iter_mut().enumerate() {
+        if perturb_column(col, kind) {
+            changed.push(j);
+        }
+    }
+    (out, changed)
+}
+
+/// Apply a perturbation to a single column in place; returns whether it
+/// changed anything.
+pub fn perturb_column(col: &mut Column, kind: Perturbation) -> bool {
+    match kind {
+        Perturbation::SchemaSynonym => match pools::synonym_of(&col.header) {
+            Some(s) => {
+                col.header = s.to_string();
+                true
+            }
+            None => false,
+        },
+        Perturbation::SchemaAbbreviation => {
+            if col.header.is_empty() {
+                return false;
+            }
+            let abbrev = pools::abbreviate(&col.header);
+            if abbrev == col.header {
+                return false;
+            }
+            col.header = abbrev;
+            true
+        }
+        Perturbation::ColumnEquivalence => column_equivalence(col),
+    }
+}
+
+/// Content-level equivalences keyed by header semantics.
+fn column_equivalence(col: &mut Column) -> bool {
+    let header = col.header.to_lowercase();
+    if header.contains("age") && col.values.iter().all(|v| matches!(v, Value::Int(_) | Value::Null)) {
+        // age → birth_year (the paper's own example).
+        col.header = "birth_year".into();
+        for v in &mut col.values {
+            if let Value::Int(age) = v {
+                *v = Value::Int(REFERENCE_YEAR - *age);
+            }
+        }
+        return true;
+    }
+    if (header.contains("price") || header.contains("cost") || header.contains("revenue"))
+        && col.values.iter().any(|v| matches!(v, Value::Float(_) | Value::Int(_)))
+    {
+        col.header = format!("{}_cents", col.header);
+        for v in &mut col.values {
+            match v {
+                Value::Float(x) => *v = Value::Int((*x * 100.0).round() as i64),
+                Value::Int(x) => *v = Value::Int(*x * 100),
+                _ => {}
+            }
+        }
+        return true;
+    }
+    if col.values.iter().all(|v| matches!(v, Value::Bool(_) | Value::Null))
+        && col.values.iter().any(|v| matches!(v, Value::Bool(_)))
+    {
+        for v in &mut col.values {
+            if let Value::Bool(b) = v {
+                *v = Value::text(if *b { "yes" } else { "no" });
+            }
+        }
+        return true;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> Table {
+        Table::new(
+            "t",
+            vec![
+                Column::new("country", vec![Value::text("Spain"), Value::text("Japan")]),
+                Column::new("age", vec![Value::Int(30), Value::Int(41)]),
+                Column::new("price", vec![Value::Float(45.0), Value::Float(95.95)]),
+                Column::new("zzz", vec![Value::Int(1), Value::Int(2)]),
+            ],
+        )
+    }
+
+    #[test]
+    fn synonym_renames_known_headers_only() {
+        let (p, changed) = perturb_table(&table(), Perturbation::SchemaSynonym);
+        assert_eq!(p.columns[0].header, "nation");
+        assert_eq!(p.columns[1].header, "years_old");
+        assert_eq!(p.columns[3].header, "zzz"); // no synonym: untouched
+        assert_eq!(changed, vec![0, 1, 2]); // price → cost
+        // Data values never change at the schema level.
+        assert_eq!(p.columns[0].values, table().columns[0].values);
+    }
+
+    #[test]
+    fn abbreviation_rewrites_headers() {
+        let (p, changed) = perturb_table(&table(), Perturbation::SchemaAbbreviation);
+        assert_eq!(p.columns[0].header, "cntry");
+        assert!(changed.contains(&0));
+        assert_eq!(p.columns[0].values, table().columns[0].values);
+    }
+
+    #[test]
+    fn column_equivalence_age_to_birth_year() {
+        let (p, changed) = perturb_table(&table(), Perturbation::ColumnEquivalence);
+        assert!(changed.contains(&1));
+        assert_eq!(p.columns[1].header, "birth_year");
+        assert_eq!(p.columns[1].values[0], Value::Int(REFERENCE_YEAR - 30));
+    }
+
+    #[test]
+    fn column_equivalence_price_to_cents() {
+        let (p, changed) = perturb_table(&table(), Perturbation::ColumnEquivalence);
+        assert!(changed.contains(&2));
+        assert_eq!(p.columns[2].header, "price_cents");
+        assert_eq!(p.columns[2].values[0], Value::Int(4500));
+        assert_eq!(p.columns[2].values[1], Value::Int(9595));
+    }
+
+    #[test]
+    fn booleans_become_yes_no() {
+        let mut col = Column::new("active", vec![Value::Bool(true), Value::Bool(false)]);
+        assert!(perturb_column(&mut col, Perturbation::ColumnEquivalence));
+        assert_eq!(col.values, vec![Value::text("yes"), Value::text("no")]);
+    }
+
+    #[test]
+    fn unperturbables_untouched() {
+        let mut col = Column::new("zzz", vec![Value::Int(1)]);
+        assert!(!perturb_column(&mut col.clone(), Perturbation::SchemaSynonym));
+        assert!(!perturb_column(&mut col, Perturbation::ColumnEquivalence));
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Perturbation::SchemaSynonym.label(), "synonym");
+        assert_eq!(Perturbation::ALL.len(), 3);
+    }
+}

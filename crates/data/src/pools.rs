@@ -1,0 +1,398 @@
+//! Curated value pools backing the synthetic dataset suites.
+//!
+//! The pools are small but *semantically structured*: countries know their
+//! continents (functional dependencies), cities know their countries,
+//! query-entity domains (tennis players, movies, nutrients — the paper's
+//! Figure 12 domains) are kept separate, and the synonym/abbreviation
+//! dictionaries drive Dr.Spider-style schema perturbations.
+
+/// (country, continent) pairs — the FD backbone of the Spider-like suite
+/// and the paper's Figure 3 example.
+pub const COUNTRIES: [(&str, &str); 32] = [
+    ("Netherlands", "Europe"),
+    ("Canada", "North America"),
+    ("USA", "North America"),
+    ("Germany", "Europe"),
+    ("France", "Europe"),
+    ("Spain", "Europe"),
+    ("Italy", "Europe"),
+    ("Portugal", "Europe"),
+    ("Brazil", "South America"),
+    ("Argentina", "South America"),
+    ("Chile", "South America"),
+    ("Peru", "South America"),
+    ("Japan", "Asia"),
+    ("China", "Asia"),
+    ("India", "Asia"),
+    ("Thailand", "Asia"),
+    ("Vietnam", "Asia"),
+    ("South Korea", "Asia"),
+    ("Indonesia", "Asia"),
+    ("Australia", "Oceania"),
+    ("New Zealand", "Oceania"),
+    ("Fiji", "Oceania"),
+    ("Egypt", "Africa"),
+    ("Kenya", "Africa"),
+    ("Nigeria", "Africa"),
+    ("Morocco", "Africa"),
+    ("Ghana", "Africa"),
+    ("Mexico", "North America"),
+    ("Cuba", "North America"),
+    ("Norway", "Europe"),
+    ("Sweden", "Europe"),
+    ("Switzerland", "Europe"),
+];
+
+/// (city, country) pairs.
+pub const CITIES: [(&str, &str); 24] = [
+    ("Amsterdam", "Netherlands"),
+    ("Rotterdam", "Netherlands"),
+    ("Toronto", "Canada"),
+    ("Vancouver", "Canada"),
+    ("Detroit", "USA"),
+    ("Ann Arbor", "USA"),
+    ("Chicago", "USA"),
+    ("Berlin", "Germany"),
+    ("Munich", "Germany"),
+    ("Paris", "France"),
+    ("Lyon", "France"),
+    ("Madrid", "Spain"),
+    ("Barcelona", "Spain"),
+    ("Rome", "Italy"),
+    ("Milan", "Italy"),
+    ("Tokyo", "Japan"),
+    ("Osaka", "Japan"),
+    ("Beijing", "China"),
+    ("Shanghai", "China"),
+    ("Mumbai", "India"),
+    ("Delhi", "India"),
+    ("Sydney", "Australia"),
+    ("Cairo", "Egypt"),
+    ("Nairobi", "Kenya"),
+];
+
+/// Person first names.
+pub const FIRST_NAMES: [&str; 24] = [
+    "Kathryn", "Oscar", "Lee", "Roxanne", "Fern", "Raphael", "Rob", "Ismail", "Ada", "Grace",
+    "Alan", "Edgar", "Barbara", "Michael", "Jennifer", "Tianji", "Madelon", "Paul", "Hector",
+    "Ines", "Yuki", "Chen", "Priya", "Kofi",
+];
+
+/// Sports competitions (the paper's Figure 2 column).
+pub const COMPETITIONS: [&str; 12] = [
+    "Asian Championships",
+    "Asian Games",
+    "World Championships",
+    "Central Asian Games",
+    "Olympic Games",
+    "European Championships",
+    "Commonwealth Games",
+    "Pan American Games",
+    "African Championships",
+    "World Cup",
+    "Grand Prix Final",
+    "Diamond League",
+];
+
+/// Query-entity domain: ten greatest men tennis players (Figure 12).
+pub const TENNIS_PLAYERS: [&str; 10] = [
+    "Roger Federer",
+    "Rafael Nadal",
+    "Novak Djokovic",
+    "Pete Sampras",
+    "Rod Laver",
+    "Bjorn Borg",
+    "Andre Agassi",
+    "Jimmy Connors",
+    "Ivan Lendl",
+    "John McEnroe",
+];
+
+/// Query-entity domain: ten most popular movies (Figure 12).
+pub const MOVIES: [&str; 10] = [
+    "The Godfather",
+    "The Shawshank Redemption",
+    "Pulp Fiction",
+    "The Dark Knight",
+    "Casablanca",
+    "Citizen Kane",
+    "Titanic",
+    "Star Wars",
+    "Jurassic Park",
+    "The Matrix",
+];
+
+/// Query-entity domain: ten essential nutrients (Figure 12 "Biochemistry").
+pub const NUTRIENTS: [&str; 10] = [
+    "Vitamin C",
+    "Vitamin D",
+    "Calcium",
+    "Iron",
+    "Magnesium",
+    "Potassium",
+    "Zinc",
+    "Folate",
+    "Omega 3",
+    "Protein",
+];
+
+/// Query-entity domain: most valuable US technology companies (Figure 12).
+pub const TECH_COMPANIES: [&str; 10] = [
+    "Apple", "Microsoft", "Alphabet", "Amazon", "Nvidia", "Meta", "Tesla", "Broadcom", "Oracle",
+    "Adobe",
+];
+
+/// Query-entity domain: largest countries by area (Figure 12).
+pub const LARGEST_COUNTRIES: [&str; 10] = [
+    "Russia",
+    "Canada",
+    "China",
+    "USA",
+    "Brazil",
+    "Australia",
+    "India",
+    "Argentina",
+    "Kazakhstan",
+    "Algeria",
+];
+
+/// Company names (generic corpora).
+pub const COMPANIES: [&str; 16] = [
+    "Acme Corp",
+    "Globex",
+    "Initech",
+    "Umbrella",
+    "Stark Industries",
+    "Wayne Enterprises",
+    "Wonka Industries",
+    "Tyrell Corp",
+    "Cyberdyne Systems",
+    "Soylent Corp",
+    "Hooli",
+    "Pied Piper",
+    "Vandelay Industries",
+    "Dunder Mifflin",
+    "Prestige Worldwide",
+    "Bluth Company",
+];
+
+/// ISO-style currency codes (SOTAB MONEY context; Figure 4's RON column).
+pub const CURRENCIES: [&str; 12] =
+    ["RON", "EUR", "USD", "GBP", "JPY", "CHF", "CAD", "AUD", "SEK", "NOK", "INR", "BRL"];
+
+/// Occupations.
+pub const JOB_TITLES: [&str; 12] = [
+    "Engineer",
+    "Professor",
+    "Data Analyst",
+    "Librarian",
+    "Architect",
+    "Nurse",
+    "Pilot",
+    "Chef",
+    "Journalist",
+    "Pharmacist",
+    "Electrician",
+    "Translator",
+];
+
+/// Languages.
+pub const LANGUAGES: [&str; 12] = [
+    "Dutch",
+    "English",
+    "German",
+    "French",
+    "Spanish",
+    "Italian",
+    "Portuguese",
+    "Japanese",
+    "Mandarin",
+    "Hindi",
+    "Arabic",
+    "Swahili",
+];
+
+/// Colors.
+pub const COLORS: [&str; 12] = [
+    "red", "green", "blue", "amber", "teal", "plum", "gold", "jade", "coral", "ivory", "slate",
+    "olive",
+];
+
+/// Sports.
+pub const SPORTS: [&str; 12] = [
+    "athletics",
+    "swimming",
+    "tennis",
+    "badminton",
+    "judo",
+    "rowing",
+    "cycling",
+    "fencing",
+    "archery",
+    "wrestling",
+    "gymnastics",
+    "volleyball",
+];
+
+/// Street names (SOTAB textual type).
+pub const STREETS: [&str; 10] = [
+    "Main Street",
+    "Oak Avenue",
+    "Maple Drive",
+    "Cedar Lane",
+    "Elm Street",
+    "Park Road",
+    "River Walk",
+    "Hill Crest",
+    "Lake View",
+    "Sunset Boulevard",
+];
+
+/// Book titles (SOTAB subject columns; Figure 4's book table).
+pub const BOOK_TITLES: [&str; 10] = [
+    "Plan D",
+    "The Greek Connection",
+    "Exams Dictionary",
+    "Winter Journal",
+    "The Silent City",
+    "Letters from Utrecht",
+    "A Brief History",
+    "The Glass Garden",
+    "Midnight Library",
+    "Paper Towns",
+];
+
+/// Schema-synonym dictionary (Dr.Spider's schema-synonym perturbation):
+/// `header → synonym`.
+pub const SYNONYMS: [(&str, &str); 22] = [
+    ("country", "nation"),
+    ("city", "town"),
+    ("name", "title"),
+    ("year", "annum"),
+    ("age", "years_old"),
+    ("price", "cost"),
+    ("salary", "pay"),
+    ("company", "firm"),
+    ("competition", "contest"),
+    ("continent", "landmass"),
+    ("population", "inhabitants"),
+    ("revenue", "income"),
+    ("employee", "worker"),
+    ("department", "division"),
+    ("product", "item"),
+    ("category", "class"),
+    ("location", "place"),
+    ("language", "tongue"),
+    ("movie", "film"),
+    ("director", "filmmaker"),
+    ("venue", "site"),
+    ("position", "rank"),
+];
+
+/// Whether a header has a synonym.
+pub fn synonym_of(header: &str) -> Option<&'static str> {
+    let lower = header.to_lowercase();
+    SYNONYMS.iter().find(|(h, _)| *h == lower).map(|(_, s)| *s)
+}
+
+/// Dr.Spider's schema-abbreviation perturbation: drop vowels after the
+/// first character of each word and join with underscores
+/// (`"CountryName"` → `"cntry_nm"` style).
+pub fn abbreviate(header: &str) -> String {
+    let mut words: Vec<String> = Vec::new();
+    let mut cur = String::new();
+    let flush = |cur: &mut String, words: &mut Vec<String>| {
+        if !cur.is_empty() {
+            words.push(std::mem::take(cur));
+        }
+    };
+    let chars: Vec<char> = header.chars().collect();
+    for (i, &c) in chars.iter().enumerate() {
+        if c == '_' || c == ' ' || c == '-' {
+            flush(&mut cur, &mut words);
+        } else if c.is_uppercase() && i > 0 && chars[i - 1].is_lowercase() {
+            flush(&mut cur, &mut words);
+            cur.push(c.to_ascii_lowercase());
+        } else {
+            cur.push(c.to_ascii_lowercase());
+        }
+    }
+    flush(&mut cur, &mut words);
+    words
+        .iter()
+        .map(|w| {
+            let mut out = String::new();
+            for (i, c) in w.chars().enumerate() {
+                if i == 0 || !"aeiou".contains(c) {
+                    out.push(c);
+                }
+            }
+            out
+        })
+        .collect::<Vec<_>>()
+        .join("_")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn country_fd_is_functional() {
+        // Every country maps to exactly one continent in the pool.
+        for (c1, k1) in COUNTRIES {
+            for (c2, k2) in COUNTRIES {
+                if c1 == c2 {
+                    assert_eq!(k1, k2);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn city_countries_exist() {
+        for (_, country) in CITIES {
+            assert!(COUNTRIES.iter().any(|(c, _)| *c == country), "{country}");
+        }
+    }
+
+    #[test]
+    fn entity_domains_are_disjoint() {
+        for p in TENNIS_PLAYERS {
+            assert!(!MOVIES.contains(&p));
+            assert!(!NUTRIENTS.contains(&p));
+        }
+        for m in MOVIES {
+            assert!(!NUTRIENTS.contains(&m));
+        }
+    }
+
+    #[test]
+    fn synonyms_resolve_case_insensitively() {
+        assert_eq!(synonym_of("Country"), Some("nation"));
+        assert_eq!(synonym_of("COUNTRY"), Some("nation"));
+        assert_eq!(synonym_of("nonexistent_header"), None);
+    }
+
+    #[test]
+    fn synonyms_change_the_header() {
+        for (h, s) in SYNONYMS {
+            assert_ne!(h, s);
+        }
+    }
+
+    #[test]
+    fn abbreviation_examples() {
+        assert_eq!(abbreviate("CountryName"), "cntry_nm");
+        assert_eq!(abbreviate("country"), "cntry");
+        assert_eq!(abbreviate("year of birth"), "yr_of_brth");
+        assert_eq!(abbreviate("snake_case_id"), "snk_cs_id");
+    }
+
+    #[test]
+    fn abbreviation_differs_from_original() {
+        for (h, _) in SYNONYMS {
+            assert_ne!(abbreviate(h), h.to_string().replace(' ', "_"), "{h}");
+        }
+    }
+}

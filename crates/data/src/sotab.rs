@@ -1,0 +1,283 @@
+//! SOTAB-like typed-column benchmark (paper §4.2, Property 8).
+//!
+//! The SOTAB subset the paper extracts has 5,000 header-less tables over 20
+//! semantic types, balanced between textual and non-textual. The generator
+//! reproduces that shape: each table is built around a textual subject
+//! column plus typed companion columns (e.g. MONEY next to CURRENCY — the
+//! paper's Figure 4 motivating example), **without headers**, with the
+//! semantic type recorded as an annotation for the harness to group by.
+
+use crate::pools;
+use observatory_linalg::SplitMix64;
+use observatory_table::{Column, Table, Value};
+
+/// The 20 semantic types: 10 non-textual, 10 textual (paper §4.2 names
+/// DATE, ISBN, POSTAL CODE, MONEY and QUANTITY among the non-textual ones).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SemanticType {
+    // Non-textual.
+    Date,
+    Isbn,
+    PostalCode,
+    Money,
+    Quantity,
+    Year,
+    Phone,
+    Percentage,
+    Duration,
+    Count,
+    // Textual.
+    BookTitle,
+    PersonName,
+    City,
+    Country,
+    Company,
+    Language,
+    Color,
+    Sport,
+    JobTitle,
+    Street,
+}
+
+impl SemanticType {
+    /// All twenty types, non-textual first.
+    pub const ALL: [SemanticType; 20] = [
+        SemanticType::Date,
+        SemanticType::Isbn,
+        SemanticType::PostalCode,
+        SemanticType::Money,
+        SemanticType::Quantity,
+        SemanticType::Year,
+        SemanticType::Phone,
+        SemanticType::Percentage,
+        SemanticType::Duration,
+        SemanticType::Count,
+        SemanticType::BookTitle,
+        SemanticType::PersonName,
+        SemanticType::City,
+        SemanticType::Country,
+        SemanticType::Company,
+        SemanticType::Language,
+        SemanticType::Color,
+        SemanticType::Sport,
+        SemanticType::JobTitle,
+        SemanticType::Street,
+    ];
+
+    /// Whether values of this type are textual.
+    pub fn is_textual(&self) -> bool {
+        matches!(
+            self,
+            SemanticType::BookTitle
+                | SemanticType::PersonName
+                | SemanticType::City
+                | SemanticType::Country
+                | SemanticType::Company
+                | SemanticType::Language
+                | SemanticType::Color
+                | SemanticType::Sport
+                | SemanticType::JobTitle
+                | SemanticType::Street
+        )
+    }
+
+    /// Stable lowercase label stored in `Column::semantic_type`.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SemanticType::Date => "date",
+            SemanticType::Isbn => "isbn",
+            SemanticType::PostalCode => "postal_code",
+            SemanticType::Money => "money",
+            SemanticType::Quantity => "quantity",
+            SemanticType::Year => "year",
+            SemanticType::Phone => "phone",
+            SemanticType::Percentage => "percentage",
+            SemanticType::Duration => "duration",
+            SemanticType::Count => "count",
+            SemanticType::BookTitle => "book_title",
+            SemanticType::PersonName => "person_name",
+            SemanticType::City => "city",
+            SemanticType::Country => "country",
+            SemanticType::Company => "company",
+            SemanticType::Language => "language",
+            SemanticType::Color => "color",
+            SemanticType::Sport => "sport",
+            SemanticType::JobTitle => "job_title",
+            SemanticType::Street => "street",
+        }
+    }
+
+    /// Draw one value of this type.
+    pub fn sample(&self, rng: &mut SplitMix64) -> Value {
+        let pick = |rng: &mut SplitMix64, pool: &[&str]| pool[rng.next_below(pool.len())].to_string();
+        match self {
+            SemanticType::Date => Value::Date {
+                year: 1990 + rng.next_below(36) as i32,
+                month: 1 + rng.next_below(12) as u8,
+                day: 1 + rng.next_below(28) as u8,
+            },
+            SemanticType::Isbn => {
+                Value::text(format!("978-{}-{:05}-{:03}-{}", 1 + rng.next_below(9), rng.next_below(100_000), rng.next_below(1000), rng.next_below(10)))
+            }
+            SemanticType::PostalCode => {
+                Value::text(format!("{:04} {}{}", 1000 + rng.next_below(9000), (b'A' + rng.next_below(26) as u8) as char, (b'A' + rng.next_below(26) as u8) as char))
+            }
+            SemanticType::Money => Value::Float((rng.next_below(100_000) as f64 + 100.0) / 100.0),
+            SemanticType::Quantity => Value::Float((rng.next_below(10_000) as f64) / 10.0),
+            SemanticType::Year => Value::Int(1900 + rng.next_below(126) as i64),
+            SemanticType::Phone => {
+                Value::text(format!("+{} {} {:06}", 1 + rng.next_below(98), 100 + rng.next_below(900), rng.next_below(1_000_000)))
+            }
+            SemanticType::Percentage => Value::Float((rng.next_below(1000) as f64) / 10.0),
+            SemanticType::Duration => Value::text(format!("{}h {:02}m", rng.next_below(12), rng.next_below(60))),
+            SemanticType::Count => Value::Int(rng.next_below(100_000) as i64),
+            SemanticType::BookTitle => Value::text(pick(rng, &pools::BOOK_TITLES)),
+            SemanticType::PersonName => Value::text(pick(rng, &pools::FIRST_NAMES)),
+            SemanticType::City => Value::text(pools::CITIES[rng.next_below(pools::CITIES.len())].0),
+            SemanticType::Country => {
+                Value::text(pools::COUNTRIES[rng.next_below(pools::COUNTRIES.len())].0)
+            }
+            SemanticType::Company => Value::text(pick(rng, &pools::COMPANIES)),
+            SemanticType::Language => Value::text(pick(rng, &pools::LANGUAGES)),
+            SemanticType::Color => Value::text(pick(rng, &pools::COLORS)),
+            SemanticType::Sport => Value::text(pick(rng, &pools::SPORTS)),
+            SemanticType::JobTitle => Value::text(pick(rng, &pools::JOB_TITLES)),
+            SemanticType::Street => Value::text(pick(rng, &pools::STREETS)),
+        }
+    }
+}
+
+/// Configuration of the SOTAB-like generator.
+#[derive(Debug, Clone)]
+pub struct SotabConfig {
+    /// Number of tables.
+    pub num_tables: usize,
+    /// Rows per table.
+    pub rows: usize,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for SotabConfig {
+    fn default() -> Self {
+        Self { num_tables: 20, rows: 8, seed: 23 }
+    }
+}
+
+impl SotabConfig {
+    /// Generate header-less tables: a textual subject column followed by a
+    /// rotating set of typed columns; every column carries its semantic
+    /// type annotation. MONEY columns get a CURRENCY neighbour (Figure 4).
+    pub fn generate(&self) -> Vec<Table> {
+        let mut rng = SplitMix64::new(self.seed);
+        let textual: Vec<SemanticType> =
+            SemanticType::ALL.iter().copied().filter(SemanticType::is_textual).collect();
+        let non_textual: Vec<SemanticType> =
+            SemanticType::ALL.iter().copied().filter(|t| !t.is_textual()).collect();
+        (0..self.num_tables)
+            .map(|i| {
+                let subject_type = textual[i % textual.len()];
+                let companions = [
+                    textual[(i + 3) % textual.len()],
+                    non_textual[i % non_textual.len()],
+                    non_textual[(i + 4) % non_textual.len()],
+                ];
+                let mut columns = Vec::new();
+                let mut subject = typed_column(&mut rng, subject_type, self.rows);
+                subject.is_subject = true;
+                columns.push(subject);
+                for ty in companions {
+                    columns.push(typed_column(&mut rng, ty, self.rows));
+                    if ty == SemanticType::Money {
+                        // Currency context column right of the amounts.
+                        let code = pools::CURRENCIES[rng.next_below(pools::CURRENCIES.len())];
+                        let mut cur = Column::new(
+                            "",
+                            (0..self.rows).map(|_| Value::text(code)).collect(),
+                        );
+                        cur.semantic_type = Some("currency".into());
+                        columns.push(cur);
+                    }
+                }
+                Table::new(format!("sotab_{i}"), columns)
+            })
+            .collect()
+    }
+}
+
+/// A header-less column of `rows` samples of `ty`.
+pub fn typed_column(rng: &mut SplitMix64, ty: SemanticType, rows: usize) -> Column {
+    let mut col = Column::new("", (0..rows).map(|_| ty.sample(rng)).collect());
+    col.semantic_type = Some(ty.label().to_string());
+    col
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_types_balanced() {
+        assert_eq!(SemanticType::ALL.len(), 20);
+        let textual = SemanticType::ALL.iter().filter(|t| t.is_textual()).count();
+        assert_eq!(textual, 10);
+    }
+
+    #[test]
+    fn labels_unique() {
+        let mut labels: Vec<&str> = SemanticType::ALL.iter().map(|t| t.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), 20);
+    }
+
+    #[test]
+    fn samples_match_textuality() {
+        let mut rng = SplitMix64::new(1);
+        for ty in SemanticType::ALL {
+            for _ in 0..10 {
+                let v = ty.sample(&mut rng);
+                if ty.is_textual() {
+                    assert!(v.is_textual(), "{ty:?} produced {v:?}");
+                }
+                assert!(!v.is_null());
+            }
+        }
+    }
+
+    #[test]
+    fn tables_are_headerless_and_annotated() {
+        for t in SotabConfig::default().generate() {
+            for c in &t.columns {
+                assert!(c.header.is_empty(), "SOTAB tables carry no headers");
+                assert!(c.semantic_type.is_some());
+            }
+            assert!(t.columns[0].is_subject);
+        }
+    }
+
+    #[test]
+    fn money_gets_currency_neighbor() {
+        let tables = SotabConfig { num_tables: 40, ..Default::default() }.generate();
+        let mut found = false;
+        for t in &tables {
+            for j in 0..t.num_cols() {
+                if t.columns[j].semantic_type.as_deref() == Some("money") {
+                    assert!(
+                        j + 1 < t.num_cols()
+                            && t.columns[j + 1].semantic_type.as_deref() == Some("currency"),
+                        "money column lacks currency context in {}",
+                        t.name
+                    );
+                    found = true;
+                }
+            }
+        }
+        assert!(found, "no money column generated at all");
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(SotabConfig::default().generate(), SotabConfig::default().generate());
+    }
+}

@@ -1,0 +1,159 @@
+//! Approximate functional dependencies via the `g3` error measure.
+//!
+//! Real-world tables (the paper's Spider dumps included) are noisy: an FD
+//! that holds for 98% of tuples is often the *intended* dependency with a
+//! few dirty rows. TANE's `g3` error — the minimum fraction of tuples that
+//! must be removed for the FD to hold exactly — is the standard measure.
+//! `g3(X → Y) = (‖π_X‖' − Σ_{c ∈ π_X} max class overlap with π_{X∪Y}) / n`,
+//! computable from the stripped partitions alone.
+
+use crate::discovery::Fd;
+use crate::partition::StrippedPartition;
+use observatory_table::Table;
+
+/// The `g3` error of `X → Y` over a table: the minimum fraction of rows to
+/// delete so the dependency holds exactly. `0.0` means the FD is exact.
+pub fn g3_error(table: &Table, determinant: usize, dependent: usize) -> f64 {
+    let n = table.num_rows();
+    if n == 0 {
+        return 0.0;
+    }
+    let px = StrippedPartition::from_column(table, determinant);
+    let pxy = StrippedPartition::from_columns(table, &[determinant, dependent]);
+    // For every class of π_X, all but the largest sub-class (under the
+    // refinement into π_{X∪Y}) must be removed. Rows that are singletons in
+    // π_X can never violate.
+    let mut class_of = vec![usize::MAX; n];
+    for (ci, class) in pxy.classes.iter().enumerate() {
+        for &r in class {
+            class_of[r] = ci;
+        }
+    }
+    let mut to_remove = 0usize;
+    let mut counts: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+    for class in &px.classes {
+        counts.clear();
+        let mut singletons = 0usize; // rows singleton in π_{X∪Y}
+        for &r in class {
+            if class_of[r] == usize::MAX {
+                singletons += 1;
+            } else {
+                *counts.entry(class_of[r]).or_insert(0) += 1;
+            }
+        }
+        let largest = counts.values().copied().max().unwrap_or(0).max(usize::from(singletons > 0));
+        to_remove += class.len() - largest.max(1).min(class.len());
+    }
+    to_remove as f64 / n as f64
+}
+
+/// An approximate FD: the dependency plus its `g3` error.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ApproxFd {
+    pub fd: Fd,
+    pub g3: f64,
+}
+
+/// Discover all unary FDs with `g3` error at most `max_error`. With
+/// `max_error = 0.0` this reduces to exact discovery (minus the key/
+/// constant pruning of [`crate::discovery::discover_unary_fds`], which is
+/// applied here too).
+pub fn discover_approximate_unary_fds(table: &Table, max_error: f64) -> Vec<ApproxFd> {
+    let n_cols = table.num_cols();
+    let n_rows = table.num_rows();
+    if n_rows == 0 || n_cols < 2 {
+        return Vec::new();
+    }
+    let partitions: Vec<StrippedPartition> =
+        (0..n_cols).map(|c| StrippedPartition::from_column(table, c)).collect();
+    let is_key: Vec<bool> = partitions.iter().map(|p| p.classes.is_empty()).collect();
+    let is_constant: Vec<bool> = partitions
+        .iter()
+        .map(|p| p.classes.len() == 1 && p.classes[0].len() == n_rows)
+        .collect();
+    let mut out = Vec::new();
+    for x in 0..n_cols {
+        if is_key[x] {
+            continue;
+        }
+        for y in 0..n_cols {
+            if x == y || is_constant[y] {
+                continue;
+            }
+            let g3 = g3_error(table, x, y);
+            if g3 <= max_error {
+                out.push(ApproxFd { fd: Fd { determinant: x, dependent: y }, g3 });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use observatory_table::{Column, Value};
+
+    fn noisy_table() -> Table {
+        // country → continent holds except for one dirty row (row 5).
+        let countries = ["NL", "NL", "NL", "CA", "CA", "NL"];
+        let continents = ["EU", "EU", "EU", "NA", "NA", "ASIA"];
+        Table::new(
+            "noisy",
+            vec![
+                Column::new("country", countries.iter().map(|s| Value::text(*s)).collect()),
+                Column::new("continent", continents.iter().map(|s| Value::text(*s)).collect()),
+            ],
+        )
+    }
+
+    #[test]
+    fn exact_fd_has_zero_error() {
+        let t = noisy_table();
+        // continent → country? NA maps to CA only; EU → NL; ASIA → NL: holds!
+        assert_eq!(g3_error(&t, 1, 0), 0.0);
+    }
+
+    #[test]
+    fn one_dirty_row_error() {
+        let t = noisy_table();
+        // country → continent: the NL class {EU,EU,EU,ASIA} needs 1 removal.
+        assert!((g3_error(&t, 0, 1) - 1.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn approximate_discovery_thresholds() {
+        let t = noisy_table();
+        let exact = discover_approximate_unary_fds(&t, 0.0);
+        assert!(exact.iter().all(|a| a.g3 == 0.0));
+        assert!(exact.iter().any(|a| a.fd.determinant == 1 && a.fd.dependent == 0));
+        assert!(!exact.iter().any(|a| a.fd.determinant == 0 && a.fd.dependent == 1));
+        let loose = discover_approximate_unary_fds(&t, 0.2);
+        assert!(loose.iter().any(|a| a.fd.determinant == 0 && a.fd.dependent == 1));
+    }
+
+    #[test]
+    fn exact_matches_exact_discovery() {
+        use crate::discovery::{discover_unary_fds, DiscoveryOptions};
+        let t = crate::partition::tests_support::figure3_table();
+        let approx: Vec<Fd> =
+            discover_approximate_unary_fds(&t, 0.0).into_iter().map(|a| a.fd).collect();
+        let exact = discover_unary_fds(&t, DiscoveryOptions::default());
+        for fd in &exact {
+            assert!(approx.contains(fd), "{fd:?} missing from approximate discovery");
+        }
+    }
+
+    #[test]
+    fn error_bounded() {
+        let t = noisy_table();
+        for x in 0..2 {
+            for y in 0..2 {
+                if x != y {
+                    let e = g3_error(&t, x, y);
+                    assert!((0.0..=1.0).contains(&e));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! Unary functional-dependency discovery.
+//!
+//! The paper's setup: "we set the size of determinant to 1" when running
+//! HyFD over Spider (§4.2). With unary determinants the lattice search of
+//! full HyFD collapses to checking every ordered attribute pair, and the
+//! partition-refinement check makes each test O(rows). Trivial and
+//! key-degenerate dependencies are filtered the way FD miners do:
+//! reflexive FDs (`A → A`) are skipped, and key columns (all-distinct
+//! determinants) are excluded on request since `key → anything` carries no
+//! semantic signal for Property 4 (its FD groups are all singletons).
+
+use crate::partition::StrippedPartition;
+use observatory_table::Table;
+
+/// A unary functional dependency `determinant → dependent` (column indices).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Fd {
+    /// Determinant column index (X).
+    pub determinant: usize,
+    /// Dependent column index (Y).
+    pub dependent: usize,
+}
+
+/// Options for [`discover_unary_fds`].
+#[derive(Debug, Clone, Copy)]
+pub struct DiscoveryOptions {
+    /// Skip determinants that are keys (all values distinct). Default true:
+    /// key-determined FDs have only singleton FD groups and are useless for
+    /// Property 4's group-wise variance.
+    pub skip_key_determinants: bool,
+    /// Skip dependents that are constant columns (a constant is determined
+    /// by everything). Default true.
+    pub skip_constant_dependents: bool,
+}
+
+impl Default for DiscoveryOptions {
+    fn default() -> Self {
+        Self { skip_key_determinants: true, skip_constant_dependents: true }
+    }
+}
+
+/// Whether `X → Y` holds exactly, via partition refinement.
+pub fn holds_unary(table: &Table, determinant: usize, dependent: usize) -> bool {
+    let px = StrippedPartition::from_column(table, determinant);
+    let py = StrippedPartition::from_column(table, dependent);
+    px.refines(&py)
+}
+
+/// Naive verifier: materialize all pairs of rows with equal determinant
+/// values and compare dependents. O(rows²) worst case. Kept for the D5
+/// ablation bench and as an oracle in tests.
+pub fn holds_unary_naive(table: &Table, determinant: usize, dependent: usize) -> bool {
+    let det = &table.columns[determinant].values;
+    let dep = &table.columns[dependent].values;
+    for i in 0..det.len() {
+        for j in (i + 1)..det.len() {
+            if det[i].group_key() == det[j].group_key()
+                && dep[i].group_key() != dep[j].group_key()
+            {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Discover all satisfied unary FDs of a table.
+///
+/// Partitions are computed once per column and each ordered pair is tested
+/// by refinement, so the cost is O(cols · rows) for partitioning plus
+/// O(cols² · rows) for testing.
+pub fn discover_unary_fds(table: &Table, options: DiscoveryOptions) -> Vec<Fd> {
+    let n_cols = table.num_cols();
+    let n_rows = table.num_rows();
+    if n_rows == 0 || n_cols < 2 {
+        return Vec::new();
+    }
+    let partitions: Vec<StrippedPartition> =
+        (0..n_cols).map(|c| StrippedPartition::from_column(table, c)).collect();
+    let is_key: Vec<bool> = partitions.iter().map(|p| p.classes.is_empty()).collect();
+    let is_constant: Vec<bool> = partitions
+        .iter()
+        .map(|p| p.classes.len() == 1 && p.classes[0].len() == n_rows)
+        .collect();
+    let mut fds = Vec::new();
+    for x in 0..n_cols {
+        if options.skip_key_determinants && is_key[x] {
+            continue;
+        }
+        for y in 0..n_cols {
+            if x == y {
+                continue;
+            }
+            if options.skip_constant_dependents && is_constant[y] {
+                continue;
+            }
+            if partitions[x].refines(&partitions[y]) {
+                fds.push(Fd { determinant: x, dependent: y });
+            }
+        }
+    }
+    fds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use observatory_table::{Column, Value};
+
+    fn figure3_table() -> Table {
+        let countries =
+            ["Netherlands", "Netherlands", "Canada", "USA", "Netherlands", "USA", "USA", "Canada"];
+        let continents = [
+            "Europe",
+            "Europe",
+            "North America",
+            "North America",
+            "Europe",
+            "North America",
+            "North America",
+            "North America",
+        ];
+        let names = ["Kathryn", "Oscar", "Lee", "Roxanne", "Fern", "Raphael", "Rob", "Ismail"];
+        Table::new(
+            "people",
+            vec![
+                Column::new("id", (1..=8).map(Value::Int).collect()),
+                Column::new("name", names.iter().map(|s| Value::text(*s)).collect()),
+                Column::new("country", countries.iter().map(|s| Value::text(*s)).collect()),
+                Column::new("continent", continents.iter().map(|s| Value::text(*s)).collect()),
+            ],
+        )
+    }
+
+    #[test]
+    fn figure3_fd_is_discovered() {
+        let fds = discover_unary_fds(&figure3_table(), DiscoveryOptions::default());
+        assert_eq!(fds, vec![Fd { determinant: 2, dependent: 3 }]);
+    }
+
+    #[test]
+    fn key_determinants_included_when_requested() {
+        let opts = DiscoveryOptions { skip_key_determinants: false, ..Default::default() };
+        let fds = discover_unary_fds(&figure3_table(), opts);
+        // id and name are keys: each determines the other 3 columns.
+        assert_eq!(fds.len(), 1 + 3 + 3);
+        assert!(fds.contains(&Fd { determinant: 0, dependent: 3 }));
+    }
+
+    #[test]
+    fn refinement_check_matches_naive_oracle() {
+        let t = figure3_table();
+        for x in 0..t.num_cols() {
+            for y in 0..t.num_cols() {
+                if x == y {
+                    continue;
+                }
+                assert_eq!(
+                    holds_unary(&t, x, y),
+                    holds_unary_naive(&t, x, y),
+                    "disagreement on {x} → {y}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn violated_fd_not_discovered() {
+        // b does not determine c (value 1 maps to both x and y).
+        let t = Table::new(
+            "t",
+            vec![
+                Column::new("b", vec![Value::Int(1), Value::Int(1), Value::Int(2)]),
+                Column::new("c", vec![Value::text("x"), Value::text("y"), Value::text("x")]),
+            ],
+        );
+        assert!(!holds_unary(&t, 0, 1));
+        assert!(discover_unary_fds(&t, DiscoveryOptions::default()).is_empty());
+    }
+
+    #[test]
+    fn constant_dependent_skipped_by_default() {
+        let t = Table::new(
+            "t",
+            vec![
+                Column::new("a", vec![Value::Int(1), Value::Int(1), Value::Int(2)]),
+                Column::new("k", vec![Value::Int(7), Value::Int(7), Value::Int(7)]),
+            ],
+        );
+        assert!(discover_unary_fds(&t, DiscoveryOptions::default()).is_empty());
+        let opts = DiscoveryOptions { skip_constant_dependents: false, ..Default::default() };
+        assert_eq!(discover_unary_fds(&t, opts), vec![Fd { determinant: 0, dependent: 1 }]);
+    }
+
+    #[test]
+    fn empty_and_tiny_tables() {
+        let empty = Table::new("e", vec![]);
+        assert!(discover_unary_fds(&empty, DiscoveryOptions::default()).is_empty());
+        let one_col = Table::new("o", vec![Column::new("a", vec![Value::Int(1)])]);
+        assert!(discover_unary_fds(&one_col, DiscoveryOptions::default()).is_empty());
+    }
+
+    #[test]
+    fn nulls_participate_as_values() {
+        // NULL is treated as an ordinary (equal-to-itself) value, as FD
+        // miners over SQL dumps commonly do.
+        let t = Table::new(
+            "t",
+            vec![
+                Column::new("a", vec![Value::Null, Value::Null, Value::Int(1)]),
+                Column::new("b", vec![Value::Int(5), Value::Int(5), Value::Int(6)]),
+            ],
+        );
+        assert!(holds_unary(&t, 0, 1));
+    }
+}

@@ -1,0 +1,141 @@
+//! FD groups (paper Measure 4).
+//!
+//! For an FD `X → Y`, the *FD group* `G_{v_X}` is the set of tuples sharing
+//! a determinant value `v_X`; every tuple in the group carries the same
+//! dependent value `v_Y`. Property 4 embeds the determinant and dependent
+//! cell of every tuple in a group and asks whether the translation vector
+//! `E(v_X,i) − E(v_Y,i)` is constant within the group.
+
+use crate::discovery::Fd;
+use observatory_table::{Table, Value};
+use std::collections::HashMap;
+
+/// One FD group: the tuples (row indices) sharing a determinant value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FdGroup {
+    /// The shared determinant value `v_X`.
+    pub determinant_value: Value,
+    /// The dependent value `v_Y` associated with `v_X`.
+    pub dependent_value: Value,
+    /// Rows of the group, in table order.
+    pub rows: Vec<usize>,
+}
+
+/// Extract the FD groups of `fd` over `table`, keeping only groups with at
+/// least `min_size` members (Measure 4's group-wise variance needs ≥ 2
+/// entries per group).
+///
+/// # Panics
+/// Panics if `table` violates the FD — callers must verify first (the
+/// measure is undefined on violated dependencies).
+pub fn fd_groups(table: &Table, fd: Fd, min_size: usize) -> Vec<FdGroup> {
+    let det = &table.columns[fd.determinant].values;
+    let dep = &table.columns[fd.dependent].values;
+    let mut by_value: HashMap<String, FdGroup> = HashMap::new();
+    for i in 0..det.len() {
+        let key = det[i].group_key();
+        match by_value.get_mut(&key) {
+            Some(g) => {
+                assert_eq!(
+                    g.dependent_value.group_key(),
+                    dep[i].group_key(),
+                    "fd_groups: table violates {} → {}",
+                    table.columns[fd.determinant].header,
+                    table.columns[fd.dependent].header,
+                );
+                g.rows.push(i);
+            }
+            None => {
+                by_value.insert(
+                    key,
+                    FdGroup {
+                        determinant_value: det[i].clone(),
+                        dependent_value: dep[i].clone(),
+                        rows: vec![i],
+                    },
+                );
+            }
+        }
+    }
+    let mut groups: Vec<FdGroup> =
+        by_value.into_values().filter(|g| g.rows.len() >= min_size).collect();
+    groups.sort_by_key(|g| g.rows[0]);
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use observatory_table::Column;
+
+    fn figure3_table() -> Table {
+        let countries =
+            ["Netherlands", "Netherlands", "Canada", "USA", "Netherlands", "USA", "USA", "Canada"];
+        let continents = [
+            "Europe",
+            "Europe",
+            "North America",
+            "North America",
+            "Europe",
+            "North America",
+            "North America",
+            "North America",
+        ];
+        Table::new(
+            "people",
+            vec![
+                Column::new("country", countries.iter().map(|s| Value::text(*s)).collect()),
+                Column::new("continent", continents.iter().map(|s| Value::text(*s)).collect()),
+            ],
+        )
+    }
+
+    #[test]
+    fn figure3_has_three_groups() {
+        let groups = fd_groups(&figure3_table(), Fd { determinant: 0, dependent: 1 }, 1);
+        assert_eq!(groups.len(), 3);
+        let nl = groups.iter().find(|g| g.determinant_value == Value::text("Netherlands")).unwrap();
+        assert_eq!(nl.rows, vec![0, 1, 4]);
+        assert_eq!(nl.dependent_value, Value::text("Europe"));
+        let ca = groups.iter().find(|g| g.determinant_value == Value::text("Canada")).unwrap();
+        assert_eq!(ca.rows.len(), 2);
+    }
+
+    #[test]
+    fn min_size_filters_singletons() {
+        let t = Table::new(
+            "t",
+            vec![
+                Column::new("x", vec![Value::Int(1), Value::Int(1), Value::Int(2)]),
+                Column::new("y", vec![Value::Int(9), Value::Int(9), Value::Int(8)]),
+            ],
+        );
+        let all = fd_groups(&t, Fd { determinant: 0, dependent: 1 }, 1);
+        assert_eq!(all.len(), 2);
+        let non_singleton = fd_groups(&t, Fd { determinant: 0, dependent: 1 }, 2);
+        assert_eq!(non_singleton.len(), 1);
+        assert_eq!(non_singleton[0].rows, vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "violates")]
+    fn violated_fd_panics() {
+        let t = Table::new(
+            "t",
+            vec![
+                Column::new("x", vec![Value::Int(1), Value::Int(1)]),
+                Column::new("y", vec![Value::Int(9), Value::Int(8)]),
+            ],
+        );
+        fd_groups(&t, Fd { determinant: 0, dependent: 1 }, 1);
+    }
+
+    #[test]
+    fn groups_ordered_by_first_row() {
+        let groups = fd_groups(&figure3_table(), Fd { determinant: 0, dependent: 1 }, 1);
+        let firsts: Vec<usize> = groups.iter().map(|g| g.rows[0]).collect();
+        let mut sorted = firsts.clone();
+        sorted.sort_unstable();
+        assert_eq!(firsts, sorted);
+    }
+}

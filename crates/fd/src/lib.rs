@@ -1,0 +1,33 @@
+//! # observatory-fd
+//!
+//! Functional-dependency machinery: discovery, verification, and the
+//! FD-group extraction that Property 4's measure is built on.
+//!
+//! The paper runs HyFD over the Spider development set with determinant
+//! size capped at 1 and finds 713 unary FDs. This crate implements the
+//! partition-refinement core that HyFD (and TANE before it) are built on:
+//!
+//! - [`partition`]: *stripped partitions* — the equivalence classes of rows
+//!   under equality on an attribute, with singleton classes removed. An FD
+//!   `X → Y` holds iff the partition of `X` *refines* the partition of
+//!   `X ∪ Y`, which reduces to an error count of zero.
+//! - [`discovery`]: exhaustive unary (`|X| = 1`) FD discovery over a table,
+//!   exactly the configuration the paper uses, plus a naive O(n²·pairs)
+//!   verifier kept for the D5 ablation bench.
+//! - [`approx`]: approximate FDs via TANE's `g3` error (minimum fraction
+//!   of tuples to delete), for noisy real-world dumps.
+//! - [`binary`]: minimal binary-determinant (`|X| = 2`) discovery, the
+//!   lattice level above the paper's configuration.
+//! - [`groups`]: FD-group extraction (paper Measure 4): for an FD
+//!   `X → Y`, the groups of tuples sharing a determinant value, together
+//!   with their dependent value.
+
+pub mod approx;
+pub mod binary;
+pub mod discovery;
+pub mod groups;
+pub mod partition;
+
+pub use discovery::{discover_unary_fds, holds_unary, Fd};
+pub use groups::{fd_groups, FdGroup};
+pub use partition::StrippedPartition;

@@ -1,0 +1,228 @@
+//! Stripped partitions (TANE/HyFD's core data structure).
+//!
+//! The partition `π_X` of a relation under attribute set `X` groups row
+//! indices by equal `X`-projections. The *stripped* partition drops
+//! singleton groups: they can never violate any FD, and dropping them makes
+//! refinement checks and products near-linear in practice.
+
+use observatory_table::Table;
+use std::collections::HashMap;
+
+/// A stripped partition: equivalence classes (row-index lists) of size ≥ 2.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StrippedPartition {
+    /// Number of rows of the underlying relation.
+    pub n_rows: usize,
+    /// Equivalence classes with ≥ 2 members, each sorted ascending.
+    pub classes: Vec<Vec<usize>>,
+}
+
+impl StrippedPartition {
+    /// The stripped partition of a single column.
+    pub fn from_column(table: &Table, col: usize) -> Self {
+        let column = &table.columns[col];
+        let mut by_value: HashMap<String, Vec<usize>> = HashMap::new();
+        for (i, v) in column.values.iter().enumerate() {
+            by_value.entry(v.group_key()).or_default().push(i);
+        }
+        Self::from_classes(table.num_rows(), by_value.into_values())
+    }
+
+    /// The stripped partition of a set of columns (projection equality).
+    pub fn from_columns(table: &Table, cols: &[usize]) -> Self {
+        let mut by_value: HashMap<String, Vec<usize>> = HashMap::new();
+        for i in 0..table.num_rows() {
+            let key = cols
+                .iter()
+                .map(|&c| table.columns[c].values[i].group_key())
+                .collect::<Vec<_>>()
+                .join("\u{1f}");
+            by_value.entry(key).or_default().push(i);
+        }
+        Self::from_classes(table.num_rows(), by_value.into_values())
+    }
+
+    fn from_classes(n_rows: usize, classes: impl Iterator<Item = Vec<usize>>) -> Self {
+        let mut classes: Vec<Vec<usize>> = classes.filter(|c| c.len() >= 2).collect();
+        for c in &mut classes {
+            c.sort_unstable();
+        }
+        // Deterministic order (by first member) regardless of hash iteration.
+        classes.sort_by_key(|c| c[0]);
+        Self { n_rows, classes }
+    }
+
+    /// `‖π‖`: total rows covered by non-singleton classes.
+    pub fn size(&self) -> usize {
+        self.classes.iter().map(Vec::len).sum()
+    }
+
+    /// TANE's error `e(π) = ‖π‖ − |π|`: the number of rows that would have
+    /// to be removed to make every class a singleton. Key identity:
+    /// `X → Y` holds iff `e(π_X) = e(π_{X∪Y})`.
+    pub fn error(&self) -> usize {
+        self.size() - self.classes.len()
+    }
+
+    /// Product partition `π_this ∩ π_other` (rows equal under both),
+    /// computed with the standard probe-table algorithm, O(‖π‖).
+    pub fn product(&self, other: &StrippedPartition) -> StrippedPartition {
+        assert_eq!(self.n_rows, other.n_rows, "product: row-count mismatch");
+        // probe[row] = class index in `self`, or usize::MAX.
+        let mut probe = vec![usize::MAX; self.n_rows];
+        for (ci, class) in self.classes.iter().enumerate() {
+            for &r in class {
+                probe[r] = ci;
+            }
+        }
+        let mut out: Vec<Vec<usize>> = Vec::new();
+        let mut bucket: HashMap<usize, Vec<usize>> = HashMap::new();
+        for class in &other.classes {
+            bucket.clear();
+            for &r in class {
+                if probe[r] != usize::MAX {
+                    bucket.entry(probe[r]).or_default().push(r);
+                }
+            }
+            for (_, rows) in bucket.drain() {
+                if rows.len() >= 2 {
+                    out.push(rows);
+                }
+            }
+        }
+        Self::from_classes(self.n_rows, out.into_iter())
+    }
+
+    /// Whether this partition refines `other`: every class of `self` is
+    /// contained in some class of `other`. `π_X` refines `π_Y` iff
+    /// `X → Y` holds.
+    pub fn refines(&self, other: &StrippedPartition) -> bool {
+        assert_eq!(self.n_rows, other.n_rows, "refines: row-count mismatch");
+        // class_of[row] = class index in `other` (singletons = MAX).
+        let mut class_of = vec![usize::MAX; other.n_rows];
+        for (ci, class) in other.classes.iter().enumerate() {
+            for &r in class {
+                class_of[r] = ci;
+            }
+        }
+        self.classes.iter().all(|class| {
+            let first = class_of[class[0]];
+            // A row that is a singleton in `other` breaks containment.
+            first != usize::MAX && class.iter().all(|&r| class_of[r] == first)
+        })
+    }
+}
+
+/// Shared test fixtures for this crate's test modules.
+#[cfg(test)]
+pub(crate) mod tests_support {
+    use observatory_table::{Column, Table, Value};
+
+    /// The paper's Figure 3 table: country → continent holds.
+    pub(crate) fn figure3_table() -> Table {
+        let countries = [
+            "Netherlands",
+            "Netherlands",
+            "Canada",
+            "USA",
+            "Netherlands",
+            "USA",
+            "USA",
+            "Canada",
+        ];
+        let continents = [
+            "Europe",
+            "Europe",
+            "North America",
+            "North America",
+            "Europe",
+            "North America",
+            "North America",
+            "North America",
+        ];
+        let names = ["Kathryn", "Oscar", "Lee", "Roxanne", "Fern", "Raphael", "Rob", "Ismail"];
+        Table::new(
+            "people",
+            vec![
+                Column::new("id", (1..=8).map(Value::Int).collect()),
+                Column::new("name", names.iter().map(|s| Value::text(*s)).collect()),
+                Column::new("country", countries.iter().map(|s| Value::text(*s)).collect()),
+                Column::new("continent", continents.iter().map(|s| Value::text(*s)).collect()),
+            ],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::tests_support::figure3_table;
+    use super::*;
+
+    #[test]
+    fn column_partition_groups_equal_values() {
+        let t = figure3_table();
+        let p = StrippedPartition::from_column(&t, 2); // country
+        assert_eq!(p.classes.len(), 3);
+        let sizes: Vec<usize> = p.classes.iter().map(Vec::len).collect();
+        let mut sorted = sizes.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![2, 3, 3]); // Canada×2, Netherlands×3, USA×3
+    }
+
+    #[test]
+    fn key_column_partition_is_empty() {
+        let t = figure3_table();
+        let p = StrippedPartition::from_column(&t, 0); // id (all distinct)
+        assert!(p.classes.is_empty());
+        assert_eq!(p.error(), 0);
+    }
+
+    #[test]
+    fn error_identity_for_fd() {
+        let t = figure3_table();
+        let px = StrippedPartition::from_column(&t, 2);
+        let pxy = StrippedPartition::from_columns(&t, &[2, 3]);
+        // country → continent: adding the dependent does not split classes.
+        assert_eq!(px.error(), pxy.error());
+        // continent → country does NOT hold: adding country splits classes.
+        let py = StrippedPartition::from_column(&t, 3);
+        let pyx = StrippedPartition::from_columns(&t, &[3, 2]);
+        assert!(py.error() > pyx.error());
+    }
+
+    #[test]
+    fn refinement_matches_fd() {
+        let t = figure3_table();
+        let country = StrippedPartition::from_column(&t, 2);
+        let continent = StrippedPartition::from_column(&t, 3);
+        assert!(country.refines(&continent)); // country → continent
+        assert!(!continent.refines(&country)); // continent ↛ country
+    }
+
+    #[test]
+    fn product_equals_multi_column_partition() {
+        let t = figure3_table();
+        let a = StrippedPartition::from_column(&t, 2);
+        let b = StrippedPartition::from_column(&t, 3);
+        let prod = a.product(&b);
+        let joint = StrippedPartition::from_columns(&t, &[2, 3]);
+        assert_eq!(prod, joint);
+    }
+
+    #[test]
+    fn product_is_commutative() {
+        let t = figure3_table();
+        let a = StrippedPartition::from_column(&t, 1);
+        let b = StrippedPartition::from_column(&t, 3);
+        assert_eq!(a.product(&b), b.product(&a));
+    }
+
+    #[test]
+    fn every_partition_refines_itself() {
+        let t = figure3_table();
+        for c in 0..t.num_cols() {
+            let p = StrippedPartition::from_column(&t, c);
+            assert!(p.refines(&p));
+        }
+    }
+}

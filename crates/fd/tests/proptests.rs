@@ -1,0 +1,110 @@
+//! Property-based tests for the functional-dependency machinery.
+
+use observatory_fd::approx::g3_error;
+use observatory_fd::discovery::{
+    discover_unary_fds, holds_unary, holds_unary_naive, DiscoveryOptions,
+};
+use observatory_fd::partition::StrippedPartition;
+use observatory_table::{Column, Table, Value};
+use proptest::prelude::*;
+
+/// Random small tables with low-cardinality columns (so FDs actually occur).
+fn arb_table() -> impl Strategy<Value = Table> {
+    (2usize..5, 3usize..14).prop_flat_map(|(cols, rows)| {
+        proptest::collection::vec(
+            proptest::collection::vec(0u8..4, rows), // values from a 4-symbol alphabet
+            cols,
+        )
+        .prop_map(|columns| {
+            Table::new(
+                "t",
+                columns
+                    .into_iter()
+                    .enumerate()
+                    .map(|(j, vals)| {
+                        Column::new(
+                            format!("c{j}"),
+                            vals.into_iter().map(|v| Value::Int(i64::from(v))).collect(),
+                        )
+                    })
+                    .collect(),
+            )
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Partition refinement agrees with the O(n²) oracle on every pair.
+    #[test]
+    fn refinement_matches_naive(table in arb_table()) {
+        for x in 0..table.num_cols() {
+            for y in 0..table.num_cols() {
+                if x != y {
+                    prop_assert_eq!(
+                        holds_unary(&table, x, y),
+                        holds_unary_naive(&table, x, y),
+                        "{} → {}", x, y
+                    );
+                }
+            }
+        }
+    }
+
+    /// Every discovered FD genuinely holds, and no holding FD with a
+    /// non-key determinant and non-constant dependent is missed.
+    #[test]
+    fn discovery_sound_and_complete(table in arb_table()) {
+        let opts = DiscoveryOptions { skip_key_determinants: false, skip_constant_dependents: false };
+        let fds = discover_unary_fds(&table, opts);
+        for fd in &fds {
+            prop_assert!(holds_unary(&table, fd.determinant, fd.dependent));
+        }
+        for x in 0..table.num_cols() {
+            for y in 0..table.num_cols() {
+                if x != y && holds_unary(&table, x, y) {
+                    prop_assert!(
+                        fds.iter().any(|f| f.determinant == x && f.dependent == y),
+                        "missed {} → {}", x, y
+                    );
+                }
+            }
+        }
+    }
+
+    /// g3 is zero exactly when the FD holds, and always in [0, 1).
+    #[test]
+    fn g3_consistent_with_exact_check(table in arb_table()) {
+        for x in 0..table.num_cols() {
+            for y in 0..table.num_cols() {
+                if x == y { continue; }
+                let e = g3_error(&table, x, y);
+                prop_assert!((0.0..1.0).contains(&e), "g3 {}", e);
+                prop_assert_eq!(e == 0.0, holds_unary(&table, x, y), "{} → {} e={}", x, y, e);
+            }
+        }
+    }
+
+    /// Partition algebra: the product of a partition with itself is
+    /// itself; the product refines both factors.
+    #[test]
+    fn partition_product_laws(table in arb_table()) {
+        let a = StrippedPartition::from_column(&table, 0);
+        let b = StrippedPartition::from_column(&table, 1);
+        prop_assert_eq!(a.product(&a), a.clone());
+        let prod = a.product(&b);
+        prop_assert!(prod.refines(&a));
+        prop_assert!(prod.refines(&b));
+    }
+
+    /// Partition error identity: e(π_X) ≥ e(π_X·π_Y), with equality iff
+    /// X → Y.
+    #[test]
+    fn error_monotone_under_product(table in arb_table()) {
+        let a = StrippedPartition::from_column(&table, 0);
+        let joint = StrippedPartition::from_columns(&table, &[0, 1]);
+        prop_assert!(a.error() >= joint.error());
+        prop_assert_eq!(a.error() == joint.error(), holds_unary(&table, 0, 1));
+    }
+}

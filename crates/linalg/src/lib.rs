@@ -1,0 +1,30 @@
+//! # observatory-linalg
+//!
+//! Dense linear algebra kernels for the Observatory workspace.
+//!
+//! Everything in this crate is self-contained (no external dependencies) and
+//! operates on `f64`. The crate provides exactly what the Observatory
+//! measures and the from-scratch Transformer need:
+//!
+//! - [`vector`]: dot products, norms, cosine similarity, L1/L2 distances,
+//!   elementwise arithmetic and mean vectors.
+//! - [`matrix`]: a row-major dense [`matrix::Matrix`] with multiplication,
+//!   transpose, row views and per-row map/reduce helpers.
+//! - [`moments`]: mean vector and covariance matrix of a sample of vectors
+//!   (the inputs to the multivariate coefficient of variation).
+//! - [`pca`]: principal component analysis via power iteration with
+//!   deflation (used to regenerate the paper's Figures 6 and 8).
+//! - [`solve`]: Gaussian-elimination inverse/solver (used by the ablation
+//!   MCV estimator that, unlike Albert–Zhang's, requires `Σ⁻¹`).
+//! - [`rng`]: a tiny deterministic `SplitMix64` generator plus Box–Muller
+//!   normal sampling, used for reproducible weight initialization.
+
+pub mod matrix;
+pub mod moments;
+pub mod pca;
+pub mod rng;
+pub mod solve;
+pub mod vector;
+
+pub use matrix::Matrix;
+pub use rng::SplitMix64;

@@ -1,0 +1,121 @@
+//! Sample moments of vector-valued observations.
+//!
+//! Observatory's multivariate coefficient of variation (Measure 1) is a
+//! function of the mean vector `μ` and covariance matrix `Σ` of a set of
+//! embeddings. This module computes both. The covariance is the *unbiased*
+//! sample covariance (divisor `n - 1`), matching the variance convention
+//! used in the paper's Measure 4.
+
+use crate::matrix::Matrix;
+use crate::vector;
+
+/// Mean vector and (unbiased) covariance matrix of a vector sample.
+#[derive(Debug, Clone)]
+pub struct Moments {
+    /// Sample mean `μ`.
+    pub mean: Vec<f64>,
+    /// Unbiased sample covariance `Σ` (`d × d`).
+    pub cov: Matrix,
+    /// Number of observations.
+    pub n: usize,
+}
+
+/// Compute the sample mean and covariance of `n` observations of dimension
+/// `d`, given as the rows of `sample`.
+///
+/// With a single observation the covariance is defined to be the zero
+/// matrix (there is no dispersion to estimate), which makes downstream MCV
+/// computations return 0 rather than NaN.
+///
+/// # Panics
+/// Panics if `sample` has no rows.
+pub fn moments(sample: &Matrix) -> Moments {
+    let n = sample.rows();
+    assert!(n > 0, "moments: empty sample");
+    let d = sample.cols();
+    let mean = sample.row_mean();
+    let mut cov = Matrix::zeros(d, d);
+    if n > 1 {
+        for row in sample.rows_iter() {
+            let c = vector::sub(row, &mean);
+            // Accumulate the outer product c cᵀ. Only the upper triangle is
+            // computed; the matrix is symmetrized afterwards.
+            for i in 0..d {
+                if c[i] == 0.0 {
+                    continue;
+                }
+                for j in i..d {
+                    cov[(i, j)] += c[i] * c[j];
+                }
+            }
+        }
+        let inv = 1.0 / (n - 1) as f64;
+        for i in 0..d {
+            for j in i..d {
+                let v = cov[(i, j)] * inv;
+                cov[(i, j)] = v;
+                cov[(j, i)] = v;
+            }
+        }
+    }
+    Moments { mean, cov, n }
+}
+
+/// Univariate unbiased sample variance. Returns 0 for samples of size < 2.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = xs.iter().sum::<f64>() / xs.len() as f64;
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_cov_hand_computed() {
+        // Observations: (1,2), (3,4), (5,9).
+        let s = Matrix::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 9.0]);
+        let m = moments(&s);
+        assert_eq!(m.mean, vec![3.0, 5.0]);
+        // var(x) = ((−2)² + 0 + 2²)/2 = 4
+        assert!((m.cov[(0, 0)] - 4.0).abs() < 1e-12);
+        // var(y) = ((−3)² + (−1)² + 4²)/2 = 13
+        assert!((m.cov[(1, 1)] - 13.0).abs() < 1e-12);
+        // cov(x,y) = ((−2)(−3) + 0(−1) + 2·4)/2 = 7
+        assert!((m.cov[(0, 1)] - 7.0).abs() < 1e-12);
+        assert_eq!(m.cov[(0, 1)], m.cov[(1, 0)]);
+    }
+
+    #[test]
+    fn single_observation_zero_cov() {
+        let s = Matrix::from_vec(1, 3, vec![1.0, 2.0, 3.0]);
+        let m = moments(&s);
+        assert_eq!(m.mean, vec![1.0, 2.0, 3.0]);
+        assert!(m.cov.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn identical_observations_zero_cov() {
+        let s = Matrix::from_rows(&[vec![2.0, -1.0], vec![2.0, -1.0], vec![2.0, -1.0]]);
+        let m = moments(&s);
+        assert!(m.cov.as_slice().iter().all(|&x| x.abs() < 1e-12));
+    }
+
+    #[test]
+    fn univariate_variance() {
+        assert_eq!(variance(&[1.0, 3.0]), 2.0);
+        assert_eq!(variance(&[5.0]), 0.0);
+        assert_eq!(variance(&[]), 0.0);
+    }
+
+    #[test]
+    fn covariance_diagonal_matches_univariate() {
+        let xs = vec![1.0, 4.0, 6.0, 9.0];
+        let s = Matrix::from_rows(&xs.iter().map(|&x| vec![x]).collect::<Vec<_>>());
+        let m = moments(&s);
+        assert!((m.cov[(0, 0)] - variance(&xs)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,198 @@
+//! Principal component analysis via power iteration with deflation.
+//!
+//! The paper visualizes row- and column-shuffle embedding clouds by
+//! projecting them onto their top two principal components (Figures 6
+//! and 8). PCA here is computed directly on the sample covariance matrix
+//! with power iteration, which is exact enough for the leading components
+//! of the small (≤ a few hundred observations) samples Observatory
+//! produces and keeps the crate dependency-free.
+
+use crate::matrix::Matrix;
+use crate::moments::moments;
+use crate::vector;
+
+/// Maximum power-iteration sweeps per component.
+const MAX_ITERS: usize = 2000;
+/// Convergence threshold on the change of the eigenvector between sweeps.
+const TOL: f64 = 1e-26;
+
+/// Result of a PCA fit: leading eigenpairs of the sample covariance.
+#[derive(Debug, Clone)]
+pub struct Pca {
+    /// Sample mean subtracted before projection.
+    pub mean: Vec<f64>,
+    /// Principal axes, one row per component (orthonormal).
+    pub components: Matrix,
+    /// Eigenvalues (explained variances), descending.
+    pub explained_variance: Vec<f64>,
+}
+
+impl Pca {
+    /// Fit the top-`k` principal components of the rows of `sample`.
+    ///
+    /// `k` is clamped to the dimensionality. Components whose eigenvalue is
+    /// numerically zero (no remaining variance) are still returned as valid
+    /// unit vectors so the projection always has `k` coordinates.
+    ///
+    /// # Panics
+    /// Panics if `sample` has no rows.
+    pub fn fit(sample: &Matrix, k: usize) -> Pca {
+        let d = sample.cols();
+        let k = k.min(d);
+        let m = moments(sample);
+        let mut cov = m.cov.clone();
+        let mut components = Matrix::zeros(k, d);
+        let mut explained = Vec::with_capacity(k);
+        for c in 0..k {
+            let (val, vec_) = dominant_eigenpair(&cov, c as u64);
+            explained.push(val.max(0.0));
+            components.row_mut(c).copy_from_slice(&vec_);
+            deflate(&mut cov, val, &vec_);
+        }
+        Pca { mean: m.mean, components, explained_variance: explained }
+    }
+
+    /// Number of fitted components.
+    pub fn k(&self) -> usize {
+        self.components.rows()
+    }
+
+    /// Project one observation onto the fitted components.
+    pub fn project(&self, x: &[f64]) -> Vec<f64> {
+        let centered = vector::sub(x, &self.mean);
+        self.components.rows_iter().map(|c| vector::dot(c, &centered)).collect()
+    }
+
+    /// Project every row of `sample`; returns an `n × k` matrix.
+    pub fn project_all(&self, sample: &Matrix) -> Matrix {
+        let rows: Vec<Vec<f64>> = sample.rows_iter().map(|r| self.project(r)).collect();
+        Matrix::from_rows(&rows)
+    }
+}
+
+/// Dominant eigenpair of a symmetric PSD matrix by power iteration.
+///
+/// `salt` decorrelates the deterministic start vectors across deflation
+/// rounds so a start vector orthogonal to the dominant eigenvector cannot
+/// stall convergence for every component at once.
+fn dominant_eigenpair(a: &Matrix, salt: u64) -> (f64, Vec<f64>) {
+    let d = a.rows();
+    let mut rng = crate::rng::SplitMix64::new(0x9E3779B9 ^ salt);
+    let mut v: Vec<f64> = (0..d).map(|_| rng.next_normal()).collect();
+    let n = vector::norm_l2(&v);
+    if n == 0.0 || d == 0 {
+        return (0.0, v);
+    }
+    vector::scale_assign(&mut v, 1.0 / n);
+    let mut eigenvalue = 0.0;
+    for _ in 0..MAX_ITERS {
+        let w = a.matvec(&v);
+        let norm = vector::norm_l2(&w);
+        if norm < 1e-300 {
+            // Matrix annihilates v: no variance left in this subspace.
+            return (0.0, v);
+        }
+        let next: Vec<f64> = w.iter().map(|x| x / norm).collect();
+        eigenvalue = vector::dot(&next, &a.matvec(&next));
+        let delta = vector::sq_l2_distance(&next, &v).min(
+            // Eigenvectors are sign-ambiguous; accept convergence to −v too.
+            next.iter().zip(&v).map(|(x, y)| (x + y) * (x + y)).sum::<f64>(),
+        );
+        v = next;
+        if delta < TOL {
+            break;
+        }
+    }
+    (eigenvalue, v)
+}
+
+/// Hotelling deflation: `A ← A − λ v vᵀ`.
+fn deflate(a: &mut Matrix, eigenvalue: f64, v: &[f64]) {
+    let d = a.rows();
+    for i in 0..d {
+        for j in 0..d {
+            a[(i, j)] -= eigenvalue * v[i] * v[j];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A cloud stretched along (1, 1)/√2 with minor noise along (1, −1)/√2.
+    fn stretched_cloud() -> Matrix {
+        let mut rows = Vec::new();
+        for i in 0..20 {
+            let t = (i as f64 - 10.0) / 2.0; // major axis coordinate
+            // Both ± minor offsets at every t, so minor is uncorrelated
+            // with major and the principal axis is exactly (1, 1)/√2.
+            rows.push(vec![t + 0.1, t - 0.1]);
+            rows.push(vec![t - 0.1, t + 0.1]);
+        }
+        Matrix::from_rows(&rows)
+    }
+
+    #[test]
+    fn first_component_is_major_axis() {
+        let pca = Pca::fit(&stretched_cloud(), 2);
+        let c0 = pca.components.row(0);
+        // Up to sign, c0 ≈ (1, 1)/√2.
+        let target = 1.0 / 2f64.sqrt();
+        assert!((c0[0].abs() - target).abs() < 1e-4, "{c0:?}");
+        assert!((c0[1].abs() - target).abs() < 1e-4, "{c0:?}");
+        assert!(c0[0].signum() == c0[1].signum());
+    }
+
+    #[test]
+    fn eigenvalues_descend_and_dominant_explains_most() {
+        let pca = Pca::fit(&stretched_cloud(), 2);
+        assert!(pca.explained_variance[0] > pca.explained_variance[1]);
+        let total: f64 = pca.explained_variance.iter().sum();
+        assert!(pca.explained_variance[0] / total > 0.95);
+    }
+
+    #[test]
+    fn components_orthonormal() {
+        let pca = Pca::fit(&stretched_cloud(), 2);
+        let c0 = pca.components.row(0);
+        let c1 = pca.components.row(1);
+        assert!((vector::norm_l2(c0) - 1.0).abs() < 1e-8);
+        assert!((vector::norm_l2(c1) - 1.0).abs() < 1e-8);
+        assert!(vector::dot(c0, c1).abs() < 1e-5);
+    }
+
+    #[test]
+    fn projection_centers_data() {
+        let pca = Pca::fit(&stretched_cloud(), 2);
+        let proj = pca.project_all(&stretched_cloud());
+        let mean = proj.row_mean();
+        assert!(mean.iter().all(|m| m.abs() < 1e-9));
+    }
+
+    #[test]
+    fn projection_variance_matches_eigenvalue() {
+        let cloud = stretched_cloud();
+        let pca = Pca::fit(&cloud, 1);
+        let proj = pca.project_all(&cloud);
+        let coords = proj.col(0);
+        let var = crate::moments::variance(&coords);
+        assert!((var - pca.explained_variance[0]).abs() / var < 1e-6);
+    }
+
+    #[test]
+    fn constant_data_zero_variance() {
+        let m = Matrix::from_rows(&vec![vec![1.0, 2.0]; 5]);
+        let pca = Pca::fit(&m, 2);
+        assert!(pca.explained_variance.iter().all(|&v| v.abs() < 1e-12));
+        // Projection is well-defined (all zeros).
+        assert!(pca.project(&[1.0, 2.0]).iter().all(|&x| x.abs() < 1e-9));
+    }
+
+    #[test]
+    fn k_clamped_to_dimension() {
+        let m = stretched_cloud();
+        let pca = Pca::fit(&m, 10);
+        assert_eq!(pca.k(), 2);
+    }
+}

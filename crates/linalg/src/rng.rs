@@ -1,0 +1,188 @@
+//! Deterministic pseudo-random generation for reproducible "pretrained"
+//! weights.
+//!
+//! Observatory substitutes HuggingFace checkpoints with seeded synthetic
+//! weights (see DESIGN.md §1). Reproducibility across runs, platforms and
+//! dependency versions is therefore part of the *contract*: the same model
+//! name must always produce the same embedding space. We implement
+//! `SplitMix64` (a well-known 64-bit mixer with provably full period)
+//! rather than relying on an external RNG whose stream could change between
+//! crate versions.
+
+/// A `SplitMix64` pseudo-random generator.
+///
+/// Fast, tiny state, full 2⁶⁴ period; statistically strong enough for
+/// weight initialization and sampling decisions (we never use it for
+/// cryptography).
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Create a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Derive a generator from a string label (e.g. a model name), so that
+    /// each model gets an independent, stable stream.
+    pub fn from_label(label: &str) -> Self {
+        // FNV-1a, then one SplitMix64 round to spread low-entropy labels.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in label.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        let mut rng = Self::new(h);
+        rng.next_u64();
+        rng
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, bound)` via rejection-free multiply-shift.
+    ///
+    /// # Panics
+    /// Panics if `bound == 0`.
+    pub fn next_below(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "next_below: zero bound");
+        // 128-bit multiply-shift: negligible bias for bound « 2^64.
+        ((u128::from(self.next_u64()) * bound as u128) >> 64) as usize
+    }
+
+    /// Standard normal sample via the Box–Muller transform.
+    pub fn next_normal(&mut self) -> f64 {
+        // u1 in (0, 1] so that ln(u1) is finite.
+        let u1 = 1.0 - self.next_f64();
+        let u2 = self.next_f64();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Normal sample with the given mean and standard deviation.
+    pub fn next_normal_with(&mut self, mean: f64, std: f64) -> f64 {
+        mean + std * self.next_normal()
+    }
+
+    /// Fisher–Yates shuffle of a slice, in place.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.next_below(i + 1);
+            xs.swap(i, j);
+        }
+    }
+
+    /// Sample `k` distinct indices from `0..n` (reservoir-free partial
+    /// Fisher–Yates). If `k >= n`, returns a full permutation of `0..n`.
+    pub fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..n).collect();
+        let k = k.min(n);
+        for i in 0..k {
+            let j = i + self.next_below(n - i);
+            idx.swap(i, j);
+        }
+        idx.truncate(k);
+        idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_stream() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn distinct_seeds_distinct_streams() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn label_derivation_is_stable_and_distinct() {
+        let x = SplitMix64::from_label("bert").next_u64();
+        let y = SplitMix64::from_label("bert").next_u64();
+        let z = SplitMix64::from_label("t5").next_u64();
+        assert_eq!(x, y);
+        assert_ne!(x, z);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = SplitMix64::new(7);
+        for _ in 0..1000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn next_below_in_range() {
+        let mut rng = SplitMix64::new(7);
+        for _ in 0..1000 {
+            assert!(rng.next_below(13) < 13);
+        }
+    }
+
+    #[test]
+    fn normal_moments_roughly_standard() {
+        let mut rng = SplitMix64::new(123);
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| rng.next_normal()).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn shuffle_preserves_multiset() {
+        let mut rng = SplitMix64::new(9);
+        let mut xs: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sample_indices_distinct_and_bounded() {
+        let mut rng = SplitMix64::new(11);
+        let s = rng.sample_indices(100, 20);
+        assert_eq!(s.len(), 20);
+        let mut t = s.clone();
+        t.sort_unstable();
+        t.dedup();
+        assert_eq!(t.len(), 20);
+        assert!(s.iter().all(|&i| i < 100));
+    }
+
+    #[test]
+    fn sample_indices_k_ge_n_is_permutation() {
+        let mut rng = SplitMix64::new(11);
+        let mut s = rng.sample_indices(5, 99);
+        s.sort_unstable();
+        assert_eq!(s, vec![0, 1, 2, 3, 4]);
+    }
+}

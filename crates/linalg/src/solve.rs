@@ -1,0 +1,138 @@
+//! Linear system solving and matrix inversion by Gaussian elimination with
+//! partial pivoting.
+//!
+//! Observatory's headline MCV (Albert–Zhang) deliberately avoids inverting
+//! the covariance matrix — that is the point of paper Measure 1: with
+//! `n ≤ d` observations `Σ` is singular and inverse-based MCVs are
+//! undefined. This module exists so the *ablation* bench (`ablation_mcv`)
+//! can demonstrate exactly that failure mode with a Voinov–Nikulin-style
+//! estimator, and so tests can validate `Σ` properties.
+
+use crate::matrix::Matrix;
+
+/// Relative pivot threshold under which a matrix is declared singular.
+const SINGULARITY_EPS: f64 = 1e-10;
+
+/// Invert a square matrix. Returns `None` if the matrix is (numerically)
+/// singular.
+///
+/// # Panics
+/// Panics if the matrix is not square.
+pub fn invert(m: &Matrix) -> Option<Matrix> {
+    let n = m.rows();
+    assert_eq!(n, m.cols(), "invert: matrix not square");
+    if n == 0 {
+        return Some(Matrix::zeros(0, 0));
+    }
+    // Scale for a relative singularity test.
+    let max_abs = m.as_slice().iter().fold(0.0f64, |a, &x| a.max(x.abs()));
+    if max_abs == 0.0 {
+        return None;
+    }
+    let mut a = m.clone();
+    let mut inv = Matrix::identity(n);
+    for col in 0..n {
+        // Partial pivot: the largest |entry| in this column at/below the diagonal.
+        let pivot_row = (col..n)
+            .max_by(|&i, &j| a[(i, col)].abs().total_cmp(&a[(j, col)].abs()))
+            .expect("non-empty range");
+        let pivot = a[(pivot_row, col)];
+        if pivot.abs() < SINGULARITY_EPS * max_abs {
+            return None;
+        }
+        if pivot_row != col {
+            swap_rows(&mut a, pivot_row, col);
+            swap_rows(&mut inv, pivot_row, col);
+        }
+        let inv_pivot = 1.0 / a[(col, col)];
+        for j in 0..n {
+            a[(col, j)] *= inv_pivot;
+            inv[(col, j)] *= inv_pivot;
+        }
+        for i in 0..n {
+            if i == col {
+                continue;
+            }
+            let f = a[(i, col)];
+            if f == 0.0 {
+                continue;
+            }
+            for j in 0..n {
+                let (av, iv) = (a[(col, j)], inv[(col, j)]);
+                a[(i, j)] -= f * av;
+                inv[(i, j)] -= f * iv;
+            }
+        }
+    }
+    Some(inv)
+}
+
+fn swap_rows(m: &mut Matrix, i: usize, j: usize) {
+    if i == j {
+        return;
+    }
+    for c in 0..m.cols() {
+        let t = m[(i, c)];
+        m[(i, c)] = m[(j, c)];
+        m[(j, c)] = t;
+    }
+}
+
+/// Solve `A x = b` for square `A`. Returns `None` when `A` is singular.
+pub fn solve(a: &Matrix, b: &[f64]) -> Option<Vec<f64>> {
+    Some(invert(a)?.matvec(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx_eq(a: &Matrix, b: &Matrix, eps: f64) -> bool {
+        a.rows() == b.rows()
+            && a.cols() == b.cols()
+            && a.as_slice().iter().zip(b.as_slice()).all(|(x, y)| (x - y).abs() < eps)
+    }
+
+    #[test]
+    fn invert_known_2x2() {
+        let a = Matrix::from_vec(2, 2, vec![4.0, 7.0, 2.0, 6.0]);
+        let inv = invert(&a).unwrap();
+        let expected = Matrix::from_vec(2, 2, vec![0.6, -0.7, -0.2, 0.4]);
+        assert!(approx_eq(&inv, &expected, 1e-12));
+    }
+
+    #[test]
+    fn inverse_times_original_is_identity() {
+        let a = Matrix::from_vec(3, 3, vec![2.0, -1.0, 0.0, -1.0, 2.0, -1.0, 0.0, -1.0, 2.0]);
+        let inv = invert(&a).unwrap();
+        assert!(approx_eq(&a.matmul(&inv), &Matrix::identity(3), 1e-10));
+    }
+
+    #[test]
+    fn singular_matrix_returns_none() {
+        // Rank-1 matrix.
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 2.0, 4.0]);
+        assert!(invert(&a).is_none());
+    }
+
+    #[test]
+    fn zero_matrix_returns_none() {
+        assert!(invert(&Matrix::zeros(3, 3)).is_none());
+    }
+
+    #[test]
+    fn solve_known_system() {
+        // x + y = 3; x - y = 1  =>  x = 2, y = 1.
+        let a = Matrix::from_vec(2, 2, vec![1.0, 1.0, 1.0, -1.0]);
+        let x = solve(&a, &[3.0, 1.0]).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_diagonal() {
+        let a = Matrix::from_vec(2, 2, vec![0.0, 1.0, 1.0, 0.0]);
+        let inv = invert(&a).unwrap();
+        assert!(approx_eq(&inv, &a, 1e-12)); // a permutation matrix is its own inverse
+    }
+}

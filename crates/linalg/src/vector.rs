@@ -1,0 +1,204 @@
+//! Vector kernels: dot products, norms, similarities and distances.
+//!
+//! All functions take plain `&[f64]` slices so they compose with both
+//! `Vec<f64>` embeddings and [`crate::Matrix`] row views without copies.
+
+/// Dot product of two equal-length vectors.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot: dimension mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean (L2) norm.
+#[inline]
+pub fn norm_l2(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Manhattan (L1) norm.
+#[inline]
+pub fn norm_l1(a: &[f64]) -> f64 {
+    a.iter().map(|x| x.abs()).sum()
+}
+
+/// Cosine similarity in `[-1, 1]`.
+///
+/// Returns `0.0` when either vector has zero norm: a zero embedding carries
+/// no directional information, and treating it as orthogonal to everything
+/// keeps downstream measures (e.g. sample fidelity averages) finite.
+pub fn cosine(a: &[f64], b: &[f64]) -> f64 {
+    let (na, nb) = (norm_l2(a), norm_l2(b));
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    // Clamp: accumulated floating-point error can push |cos| past 1 for
+    // nearly-parallel high-dimensional vectors, which would break acos-based
+    // consumers and bound assertions.
+    (dot(a, b) / (na * nb)).clamp(-1.0, 1.0)
+}
+
+/// Squared Euclidean distance.
+pub fn sq_l2_distance(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "sq_l2_distance: dimension mismatch");
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Euclidean distance.
+pub fn l2_distance(a: &[f64], b: &[f64]) -> f64 {
+    sq_l2_distance(a, b).sqrt()
+}
+
+/// Manhattan distance.
+pub fn l1_distance(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "l1_distance: dimension mismatch");
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+}
+
+/// Elementwise difference `a - b`, the "translation vector" of
+/// Observatory's functional-dependency measure (Measure 4).
+pub fn sub(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "sub: dimension mismatch");
+    a.iter().zip(b).map(|(x, y)| x - y).collect()
+}
+
+/// Elementwise sum `a + b`.
+pub fn add(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "add: dimension mismatch");
+    a.iter().zip(b).map(|(x, y)| x + y).collect()
+}
+
+/// Add `b` into `a` in place.
+pub fn add_assign(a: &mut [f64], b: &[f64]) {
+    assert_eq!(a.len(), b.len(), "add_assign: dimension mismatch");
+    for (x, y) in a.iter_mut().zip(b) {
+        *x += y;
+    }
+}
+
+/// Scale a vector by a scalar, in place.
+pub fn scale_assign(a: &mut [f64], s: f64) {
+    for x in a.iter_mut() {
+        *x *= s;
+    }
+}
+
+/// Scaled copy `s * a`.
+pub fn scale(a: &[f64], s: f64) -> Vec<f64> {
+    a.iter().map(|x| x * s).collect()
+}
+
+/// Normalize to unit L2 norm. A zero vector is returned unchanged.
+pub fn normalize(a: &[f64]) -> Vec<f64> {
+    let n = norm_l2(a);
+    if n == 0.0 {
+        a.to_vec()
+    } else {
+        scale(a, 1.0 / n)
+    }
+}
+
+/// Arithmetic mean of a non-empty set of equal-length vectors.
+///
+/// # Panics
+/// Panics if `vs` is empty or the vectors disagree on dimensionality.
+pub fn mean(vs: &[Vec<f64>]) -> Vec<f64> {
+    mean_of_rows(vs.iter().map(|v| v.as_slice()))
+}
+
+/// Arithmetic mean over an iterator of vector slices.
+///
+/// # Panics
+/// Panics if the iterator is empty or dimensions disagree.
+pub fn mean_of_rows<'a, I: IntoIterator<Item = &'a [f64]>>(rows: I) -> Vec<f64> {
+    let mut it = rows.into_iter();
+    let first = it.next().expect("mean_of_rows: empty input");
+    let mut acc = first.to_vec();
+    let mut n = 1usize;
+    for r in it {
+        add_assign(&mut acc, r);
+        n += 1;
+    }
+    scale_assign(&mut acc, 1.0 / n as f64);
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norms() {
+        let a = [3.0, 4.0];
+        assert_eq!(dot(&a, &a), 25.0);
+        assert_eq!(norm_l2(&a), 5.0);
+        assert_eq!(norm_l1(&a), 7.0);
+    }
+
+    #[test]
+    fn cosine_identical_is_one() {
+        let a = [1.0, 2.0, 3.0];
+        assert!((cosine(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_orthogonal_is_zero() {
+        assert_eq!(cosine(&[1.0, 0.0], &[0.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn cosine_opposite_is_minus_one() {
+        let a = [1.0, -2.0];
+        let b = [-1.0, 2.0];
+        assert!((cosine(&a, &b) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_zero_vector_is_zero() {
+        assert_eq!(cosine(&[0.0, 0.0], &[1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn distances() {
+        let a = [0.0, 0.0];
+        let b = [3.0, 4.0];
+        assert_eq!(sq_l2_distance(&a, &b), 25.0);
+        assert_eq!(l2_distance(&a, &b), 5.0);
+        assert_eq!(l1_distance(&a, &b), 7.0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = [1.0, 2.0];
+        let b = [3.0, 5.0];
+        assert_eq!(sub(&b, &a), vec![2.0, 3.0]);
+        assert_eq!(add(&a, &b), vec![4.0, 7.0]);
+        assert_eq!(scale(&a, 2.0), vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn normalize_unit_norm() {
+        let v = normalize(&[3.0, 4.0]);
+        assert!((norm_l2(&v) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_zero_is_identity() {
+        assert_eq!(normalize(&[0.0, 0.0]), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn mean_of_vectors() {
+        let vs = vec![vec![1.0, 0.0], vec![3.0, 2.0]];
+        assert_eq!(mean(&vs), vec![2.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn dot_mismatch_panics() {
+        dot(&[1.0], &[1.0, 2.0]);
+    }
+}

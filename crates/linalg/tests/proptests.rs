@@ -1,0 +1,122 @@
+//! Property-based tests for the linear-algebra kernels.
+
+use observatory_linalg::moments::moments;
+use observatory_linalg::pca::Pca;
+use observatory_linalg::solve::invert;
+use observatory_linalg::vector;
+use observatory_linalg::{Matrix, SplitMix64};
+use proptest::prelude::*;
+
+fn finite_vec(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-1e3f64..1e3, len)
+}
+
+proptest! {
+    #[test]
+    fn cosine_bounds_and_symmetry(a in finite_vec(8), b in finite_vec(8)) {
+        let c = vector::cosine(&a, &b);
+        prop_assert!((-1.0..=1.0).contains(&c));
+        prop_assert!((c - vector::cosine(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_scale_invariant(a in finite_vec(6), b in finite_vec(6), s in 0.001f64..1000.0) {
+        let scaled: Vec<f64> = a.iter().map(|x| x * s).collect();
+        let c1 = vector::cosine(&a, &b);
+        let c2 = vector::cosine(&scaled, &b);
+        prop_assert!((c1 - c2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn triangle_inequality_l2(a in finite_vec(5), b in finite_vec(5), c in finite_vec(5)) {
+        let ab = vector::l2_distance(&a, &b);
+        let bc = vector::l2_distance(&b, &c);
+        let ac = vector::l2_distance(&a, &c);
+        prop_assert!(ac <= ab + bc + 1e-9);
+    }
+
+    #[test]
+    fn matmul_associative(seed in 0u64..1000) {
+        let mut rng = SplitMix64::new(seed);
+        let mut m = |r: usize, c: usize| {
+            let mut out = Matrix::zeros(r, c);
+            for i in 0..r {
+                for j in 0..c {
+                    out[(i, j)] = rng.next_normal();
+                }
+            }
+            out
+        };
+        let (a, b, c) = (m(3, 4), m(4, 2), m(2, 5));
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        for (x, y) in left.as_slice().iter().zip(right.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn transpose_involution(rows in proptest::collection::vec(finite_vec(4), 1..6)) {
+        let m = Matrix::from_rows(&rows);
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn covariance_is_symmetric_psd_diagonal(rows in proptest::collection::vec(finite_vec(3), 2..10)) {
+        let m = moments(&Matrix::from_rows(&rows));
+        for i in 0..3 {
+            prop_assert!(m.cov[(i, i)] >= -1e-9, "negative variance");
+            for j in 0..3 {
+                prop_assert!((m.cov[(i, j)] - m.cov[(j, i)]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_round_trip_when_invertible(seed in 0u64..500) {
+        let mut rng = SplitMix64::new(seed);
+        // Diagonally dominant ⇒ invertible.
+        let n = 4;
+        let mut a = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                a[(i, j)] = rng.next_normal() * 0.2;
+            }
+            a[(i, i)] += 3.0;
+        }
+        let inv = invert(&a).expect("diagonally dominant");
+        let id = a.matmul(&inv);
+        for i in 0..n {
+            for j in 0..n {
+                let want = if i == j { 1.0 } else { 0.0 };
+                prop_assert!((id[(i, j)] - want).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn pca_projection_dimensions(rows in proptest::collection::vec(finite_vec(5), 3..12), k in 1usize..5) {
+        let m = Matrix::from_rows(&rows);
+        let pca = Pca::fit(&m, k);
+        prop_assert_eq!(pca.k(), k.min(5));
+        let p = pca.project(&rows[0]);
+        prop_assert_eq!(p.len(), pca.k());
+        prop_assert!(p.iter().all(|x| x.is_finite()));
+        // Eigenvalues descending and non-negative.
+        for w in pca.explained_variance.windows(2) {
+            prop_assert!(w[0] + 1e-9 >= w[1]);
+        }
+        prop_assert!(pca.explained_variance.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn rng_sample_indices_always_distinct(seed in 0u64..1000, n in 1usize..50, k in 0usize..60) {
+        let mut rng = SplitMix64::new(seed);
+        let s = rng.sample_indices(n, k);
+        prop_assert_eq!(s.len(), k.min(n));
+        let mut t = s.clone();
+        t.sort_unstable();
+        t.dedup();
+        prop_assert_eq!(t.len(), s.len());
+    }
+}

@@ -1,0 +1,467 @@
+//! The [`TableEncoder`] trait and the shared adapter machinery.
+//!
+//! `TableEncoder` is Observatory's model interface: "researchers and
+//! practitioners can use Observatory for analysis of new models by
+//! specifying the procedure of embedding inference following the
+//! implemented interface" (paper §1). Anything that can turn a table into
+//! token embeddings with provenance — and a piece of text into a vector —
+//! can be characterized by every property.
+
+use crate::encoding::{Capabilities, ModelEncoding, Readout, TokenProvenance};
+use crate::serialize::{
+    fit_rows, serialize_column_wise, serialize_row_template, serialize_row_wise, RowWiseOptions,
+    Serialized,
+};
+use observatory_linalg::Matrix;
+use observatory_table::Table;
+use observatory_tokenizer::Tokenizer;
+use observatory_transformer::{Encoder, TokenInput, TransformerConfig};
+
+/// A model that embeds relational tables. Object-safe; the registry hands
+/// out `Box<dyn TableEncoder>`.
+pub trait TableEncoder: Send + Sync {
+    /// Stable machine name (lowercase, e.g. `"bert"`).
+    fn name(&self) -> &str;
+    /// Human-readable name (e.g. `"BERT"`).
+    fn display_name(&self) -> &str;
+    /// Embedding dimensionality.
+    fn dim(&self) -> usize;
+    /// Levels natively exposed (paper Table 1).
+    fn capabilities(&self) -> Capabilities;
+    /// Encode a table into token embeddings with provenance.
+    fn encode_table(&self, table: &Table) -> ModelEncoding;
+    /// Encode free text (entity mentions, NL questions) into one vector.
+    fn encode_text(&self, text: &str) -> Vec<f64>;
+
+    /// Column embedding of 0-based column `j` (convenience single-shot).
+    fn column_embedding(&self, table: &Table, j: usize) -> Option<Vec<f64>> {
+        self.encode_table(table).column(j)
+    }
+
+    /// Row embedding of 0-based row `i`.
+    fn row_embedding(&self, table: &Table, i: usize) -> Option<Vec<f64>> {
+        self.encode_table(table).row(i)
+    }
+
+    /// Table embedding.
+    fn table_embedding(&self, table: &Table) -> Option<Vec<f64>> {
+        self.encode_table(table).table()
+    }
+
+    /// Cell embedding at (row, column).
+    fn cell_embedding(&self, table: &Table, i: usize, j: usize) -> Option<Vec<f64>> {
+        self.encode_table(table).cell(i, j)
+    }
+
+    /// Entity embedding at (row, column); defaults to the cell span.
+    fn entity_embedding(&self, table: &Table, i: usize, j: usize) -> Option<Vec<f64>> {
+        self.encode_table(table).entity(i, j)
+    }
+}
+
+/// How a [`BaseModel`] serializes tables.
+#[derive(Debug, Clone)]
+pub enum SerializationKind {
+    /// Row-wise with the given options (most models).
+    RowWise(RowWiseOptions),
+    /// Column-wise, one `[CLS]` per column, values only (DODUO).
+    ColumnWise,
+    /// Every row encoded independently through a text template (TapTap).
+    RowTemplate,
+}
+
+/// Shared implementation: a deterministic encoder + tokenizer + a
+/// serialization/readout policy. The nine zoo adapters are thin
+/// configurations of this struct.
+pub struct BaseModel {
+    name: &'static str,
+    display: &'static str,
+    encoder: Encoder,
+    tokenizer: Tokenizer,
+    serialization: SerializationKind,
+    capabilities: Capabilities,
+    column_readout: Readout,
+    table_readout: Readout,
+    /// Hard cap on input rows applied *before* budget fitting (TaBERT's
+    /// first-3-rows convention); `None` = budget-only.
+    max_input_rows: Option<usize>,
+}
+
+impl BaseModel {
+    /// Assemble a model. `config.seed_label` should be the model name so
+    /// weights are independent across models.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        name: &'static str,
+        display: &'static str,
+        config: TransformerConfig,
+        serialization: SerializationKind,
+        capabilities: Capabilities,
+        column_readout: Readout,
+        table_readout: Readout,
+        max_input_rows: Option<usize>,
+    ) -> Self {
+        let tokenizer = Tokenizer::new(config.vocab_size as u32);
+        let encoder = Encoder::new(config);
+        Self {
+            name,
+            display,
+            encoder,
+            tokenizer,
+            serialization,
+            capabilities,
+            column_readout,
+            table_readout,
+            max_input_rows,
+        }
+    }
+
+    fn budget(&self) -> usize {
+        self.encoder.max_len()
+    }
+
+    /// Row-wise encoding with `aux` overriding the serialization's
+    /// auxiliary-text slot when set (TURL captions, per-call questions).
+    /// Falls back to the normal path for non-row-wise serializations.
+    pub(crate) fn encode_table_with_aux(
+        &self,
+        table: &Table,
+        aux: Option<String>,
+    ) -> ModelEncoding {
+        match (&self.serialization, aux) {
+            (SerializationKind::RowWise(opts), Some(aux)) => {
+                let opts = RowWiseOptions { auxiliary_text: Some(aux), ..opts.clone() };
+                let capped;
+                let table = match self.max_input_rows {
+                    Some(k) if table.num_rows() > k => {
+                        capped = table.head(k);
+                        &capped
+                    }
+                    _ => table,
+                };
+                let rows = fit_rows(table.num_rows(), self.budget(), |k| {
+                    serialize_row_wise(table, &self.tokenizer, k, &opts).len()
+                });
+                let s = serialize_row_wise(table, &self.tokenizer, rows, &opts);
+                self.run(s, table.num_cols())
+            }
+            _ => self.encode_table(table),
+        }
+    }
+
+    /// Encode a table and return the encoder's per-layer attention maps
+    /// alongside the embeddings — the substrate for attention-pattern
+    /// analyses of table models (paper §2.2, Koleva et al.). Provenance in
+    /// the returned encoding indexes the attention maps' rows/columns.
+    /// Row-template serializations return no maps (rows are independent
+    /// sequences).
+    pub fn encode_table_with_attention(
+        &self,
+        table: &Table,
+    ) -> (ModelEncoding, Vec<Matrix>) {
+        let capped;
+        let table = match self.max_input_rows {
+            Some(k) if table.num_rows() > k => {
+                capped = table.head(k);
+                &capped
+            }
+            _ => table,
+        };
+        let s = match &self.serialization {
+            SerializationKind::RowWise(opts) => {
+                let rows = fit_rows(table.num_rows(), self.budget(), |k| {
+                    serialize_row_wise(table, &self.tokenizer, k, opts).len()
+                });
+                serialize_row_wise(table, &self.tokenizer, rows, opts)
+            }
+            SerializationKind::ColumnWise => {
+                let rows = fit_rows(table.num_rows(), self.budget(), |k| {
+                    serialize_column_wise(table, &self.tokenizer, k).len()
+                });
+                serialize_column_wise(table, &self.tokenizer, rows)
+            }
+            SerializationKind::RowTemplate => {
+                return (self.encode_table(table), Vec::new());
+            }
+        };
+        if s.is_empty() {
+            return (self.run(s, table.num_cols()), Vec::new());
+        }
+        let (embeddings, maps) = self.encoder.encode_with_attention(&s.tokens);
+        let encoding = ModelEncoding {
+            embeddings,
+            provenance: s.provenance,
+            table_cls: s.table_cls,
+            column_cls: s.column_cls,
+            rows_encoded: s.rows,
+            cols_encoded: table.num_cols(),
+            column_readout: self.column_readout,
+            table_readout: self.table_readout,
+            capabilities: self.capabilities,
+        };
+        (encoding, maps)
+    }
+
+    fn run(&self, s: Serialized, cols: usize) -> ModelEncoding {
+        let (embeddings, provenance) = if s.is_empty() {
+            (Matrix::zeros(1, self.encoder.dim()), vec![TokenProvenance { row: 0, col: 0, special: true }])
+        } else {
+            (self.encoder.encode(&s.tokens), s.provenance)
+        };
+        ModelEncoding {
+            embeddings,
+            provenance,
+            table_cls: s.table_cls,
+            column_cls: s.column_cls,
+            rows_encoded: s.rows,
+            cols_encoded: cols,
+            column_readout: self.column_readout,
+            table_readout: self.table_readout,
+            capabilities: self.capabilities,
+        }
+    }
+}
+
+impl TableEncoder for BaseModel {
+    fn name(&self) -> &str {
+        self.name
+    }
+
+    fn display_name(&self) -> &str {
+        self.display
+    }
+
+    fn dim(&self) -> usize {
+        self.encoder.dim()
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        self.capabilities
+    }
+
+    fn encode_table(&self, table: &Table) -> ModelEncoding {
+        let capped;
+        let table = match self.max_input_rows {
+            Some(k) if table.num_rows() > k => {
+                capped = table.head(k);
+                &capped
+            }
+            _ => table,
+        };
+        match &self.serialization {
+            SerializationKind::RowWise(opts) => {
+                let rows = fit_rows(table.num_rows(), self.budget(), |k| {
+                    serialize_row_wise(table, &self.tokenizer, k, opts).len()
+                });
+                let s = serialize_row_wise(table, &self.tokenizer, rows, opts);
+                self.run(s, table.num_cols())
+            }
+            SerializationKind::ColumnWise => {
+                let rows = fit_rows(table.num_rows(), self.budget(), |k| {
+                    serialize_column_wise(table, &self.tokenizer, k).len()
+                });
+                let s = serialize_column_wise(table, &self.tokenizer, rows);
+                self.run(s, table.num_cols())
+            }
+            SerializationKind::RowTemplate => {
+                // Each row is encoded independently: no cross-row context,
+                // by construction (TapTap).
+                let dim = self.encoder.dim();
+                let mut all_rows: Vec<Vec<f64>> = Vec::new();
+                let mut provenance = Vec::new();
+                for i in 0..table.num_rows() {
+                    let s = serialize_row_template(table, &self.tokenizer, i);
+                    if s.is_empty() {
+                        continue;
+                    }
+                    let n = s.tokens.len().min(self.budget());
+                    let emb = self.encoder.encode(&s.tokens);
+                    for t in 0..n {
+                        all_rows.push(emb.row(t).to_vec());
+                        provenance.push(s.provenance[t]);
+                    }
+                }
+                let embeddings = if all_rows.is_empty() {
+                    Matrix::zeros(1, dim)
+                } else {
+                    Matrix::from_rows(&all_rows)
+                };
+                if provenance.is_empty() {
+                    provenance.push(TokenProvenance { row: 0, col: 0, special: true });
+                }
+                ModelEncoding {
+                    embeddings,
+                    provenance,
+                    table_cls: None,
+                    column_cls: Vec::new(),
+                    rows_encoded: table.num_rows(),
+                    cols_encoded: table.num_cols(),
+                    column_readout: self.column_readout,
+                    table_readout: self.table_readout,
+                    capabilities: self.capabilities,
+                }
+            }
+        }
+    }
+
+    fn encode_text(&self, text: &str) -> Vec<f64> {
+        let ids = self.tokenizer.encode(text);
+        let tokens: Vec<TokenInput> = ids.into_iter().map(TokenInput::plain).collect();
+        self.encoder.encode(&tokens).row_mean()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use observatory_table::{Column, Value};
+
+    fn model() -> BaseModel {
+        BaseModel::new(
+            "testmodel",
+            "TestModel",
+            TransformerConfig {
+                dim: 16,
+                n_heads: 2,
+                n_layers: 1,
+                ffn_dim: 32,
+                max_len: 64,
+                vocab_size: 512,
+                seed_label: "testmodel".into(),
+                ..Default::default()
+            },
+            SerializationKind::RowWise(RowWiseOptions::default()),
+            Capabilities::all(),
+            Readout::MeanPool,
+            Readout::Cls,
+            None,
+        )
+    }
+
+    fn table(rows: usize) -> Table {
+        Table::new(
+            "t",
+            vec![
+                Column::new("id", (0..rows as i64).map(Value::Int).collect()),
+                Column::new(
+                    "name",
+                    (0..rows).map(|i| Value::text(format!("entity {i}"))).collect(),
+                ),
+            ],
+        )
+    }
+
+    #[test]
+    fn encode_table_produces_all_levels() {
+        let m = model();
+        let enc = m.encode_table(&table(3));
+        assert!(enc.table().is_some());
+        assert!(enc.column(0).is_some());
+        assert!(enc.column(1).is_some());
+        assert!(enc.row(0).is_some());
+        assert!(enc.cell(2, 1).is_some());
+        assert_eq!(enc.dim(), 16);
+        assert_eq!(enc.rows_encoded, 3);
+    }
+
+    #[test]
+    fn deterministic_encoding() {
+        let m1 = model();
+        let m2 = model();
+        let t = table(3);
+        assert_eq!(m1.column_embedding(&t, 0), m2.column_embedding(&t, 0));
+        assert_eq!(m1.encode_text("hello"), m2.encode_text("hello"));
+    }
+
+    #[test]
+    fn token_budget_limits_rows() {
+        let m = model();
+        let enc = m.encode_table(&table(100));
+        assert!(enc.rows_encoded < 100, "budget must truncate rows");
+        assert!(enc.rows_encoded > 0);
+        assert!(enc.embeddings.rows() <= 64);
+        // Every encoded row is retrievable; rows beyond the budget are not.
+        assert!(enc.row(enc.rows_encoded - 1).is_some());
+        assert!(enc.row(enc.rows_encoded).is_none());
+    }
+
+    #[test]
+    fn max_input_rows_caps_before_budget() {
+        let m = BaseModel::new(
+            "capped",
+            "Capped",
+            TransformerConfig {
+                dim: 16,
+                n_heads: 2,
+                n_layers: 1,
+                ffn_dim: 32,
+                max_len: 64,
+                vocab_size: 512,
+                seed_label: "capped".into(),
+                ..Default::default()
+            },
+            SerializationKind::RowWise(RowWiseOptions::default()),
+            Capabilities::all(),
+            Readout::MeanPool,
+            Readout::Cls,
+            Some(3),
+        );
+        let enc = m.encode_table(&table(50));
+        assert_eq!(enc.rows_encoded, 3);
+    }
+
+    #[test]
+    fn row_template_rows_are_independent() {
+        let m = BaseModel::new(
+            "tmpl",
+            "Tmpl",
+            TransformerConfig {
+                dim: 16,
+                n_heads: 2,
+                n_layers: 1,
+                ffn_dim: 32,
+                max_len: 64,
+                vocab_size: 512,
+                seed_label: "tmpl".into(),
+                ..Default::default()
+            },
+            SerializationKind::RowTemplate,
+            Capabilities { row: true, ..Capabilities::none() },
+            Readout::MeanPool,
+            Readout::MeanPool,
+            None,
+        );
+        // Row 0's embedding must not depend on what row 1 contains.
+        let a = Table::new(
+            "a",
+            vec![Column::new("x", vec![Value::text("alpha"), Value::text("beta")])],
+        );
+        let b = Table::new(
+            "b",
+            vec![Column::new("x", vec![Value::text("alpha"), Value::text("gamma gamma")])],
+        );
+        let ra = m.row_embedding(&a, 0).unwrap();
+        let rb = m.row_embedding(&b, 0).unwrap();
+        assert_eq!(ra, rb);
+        // And unsupported levels return None.
+        assert!(m.column_embedding(&a, 0).is_none());
+        assert!(m.table_embedding(&a).is_none());
+    }
+
+    #[test]
+    fn empty_table_is_safe() {
+        let m = model();
+        let t = Table::new("empty", vec![Column::new("a", vec![])]);
+        let enc = m.encode_table(&t);
+        assert_eq!(enc.rows_encoded, 0);
+        assert!(enc.row(0).is_none());
+        // Header tokens still exist, so the column embedding is defined.
+        assert!(enc.column(0).is_some());
+    }
+
+    #[test]
+    fn text_encoding_dim() {
+        let m = model();
+        assert_eq!(m.encode_text("World Championships").len(), 16);
+    }
+}

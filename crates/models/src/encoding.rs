@@ -1,0 +1,315 @@
+//! Embedding levels, capabilities, and the aggregated encoding object.
+//!
+//! All adapters produce token-level embeddings with *provenance* (which
+//! row/column each token came from). Following the paper's embedding-
+//! retrieval strategy (§4.3), higher levels are obtained either from a
+//! special-token readout (`[CLS]`) or by mean-pooling the tokens of the
+//! corresponding span — "we can aggregate token embeddings (by averaging
+//! them for example) to embeddings on a level as needed".
+
+use observatory_linalg::Matrix;
+
+/// The level of aggregation of a table embedding (paper Definition 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Level {
+    Table,
+    Column,
+    Row,
+    Cell,
+    Entity,
+}
+
+impl Level {
+    /// All levels, in the paper's order.
+    pub const ALL: [Level; 5] = [Level::Table, Level::Column, Level::Row, Level::Cell, Level::Entity];
+
+    /// Lowercase label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Level::Table => "table",
+            Level::Column => "column",
+            Level::Row => "row",
+            Level::Cell => "cell",
+            Level::Entity => "entity",
+        }
+    }
+}
+
+/// Which embedding levels a model natively exposes (paper Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Capabilities {
+    pub table: bool,
+    pub column: bool,
+    pub row: bool,
+    pub cell: bool,
+    pub entity: bool,
+}
+
+impl Capabilities {
+    /// All five levels.
+    pub fn all() -> Self {
+        Self { table: true, column: true, row: true, cell: true, entity: true }
+    }
+
+    /// No levels (builder start).
+    pub fn none() -> Self {
+        Self { table: false, column: false, row: false, cell: false, entity: false }
+    }
+
+    /// Whether `level` is supported.
+    pub fn supports(&self, level: Level) -> bool {
+        match level {
+            Level::Table => self.table,
+            Level::Column => self.column,
+            Level::Row => self.row,
+            Level::Cell => self.cell,
+            Level::Entity => self.entity,
+        }
+    }
+}
+
+/// How a level is read out of the token embeddings.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Readout {
+    /// Mean-pool the tokens of the span.
+    MeanPool,
+    /// Use the span's dedicated `[CLS]`-style token.
+    Cls,
+    /// Mean-pool the span's *schema* tokens (header row). Contextual
+    /// attention still injects value information into header tokens, but
+    /// the readout is anchored on the schema. Falls back to mean-pooling
+    /// when the span has no header tokens (header-less corpora like SOTAB).
+    HeaderMean,
+    /// Weighted blend `w · header-mean + (1 − w) · value-mean` — TaBERT's
+    /// empirical profile in the paper: schema-dominant (robust to row
+    /// order and sampling, least robust to schema renames) yet with enough
+    /// value signal for content tasks such as join relationship. Falls
+    /// back to the value mean when the span has no header tokens.
+    HeaderBiasedMean {
+        /// Header weight `w` in `[0, 1]`.
+        header_weight: f64,
+    },
+}
+
+/// Provenance of one input token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TokenProvenance {
+    /// 1-based row, or 0 for structure/metadata tokens.
+    pub row: u32,
+    /// 1-based column, or 0.
+    pub col: u32,
+    /// Whether this is a special (non-content) token.
+    pub special: bool,
+}
+
+/// Token embeddings plus provenance and readout metadata for one encoded
+/// table.
+pub struct ModelEncoding {
+    /// Contextual token embeddings (`n_tokens × dim`).
+    pub embeddings: Matrix,
+    /// One provenance record per token.
+    pub provenance: Vec<TokenProvenance>,
+    /// Index of the sequence-level `[CLS]` token, if the serialization has one.
+    pub table_cls: Option<usize>,
+    /// Per-column `[CLS]` token index (1-based column → token index), for
+    /// column-wise serializations (DODUO).
+    pub column_cls: Vec<Option<usize>>,
+    /// Number of data rows that fit the token budget.
+    pub rows_encoded: usize,
+    /// Number of columns of the encoded table.
+    pub cols_encoded: usize,
+    /// Readout strategy for column embeddings.
+    pub column_readout: Readout,
+    /// Readout strategy for the table embedding.
+    pub table_readout: Readout,
+    /// Levels the producing model exposes.
+    pub capabilities: Capabilities,
+}
+
+impl ModelEncoding {
+    /// Embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.embeddings.cols()
+    }
+
+    /// Mean of the token embeddings selected by `pred`, or `None` when no
+    /// token matches.
+    fn pool<F: Fn(&TokenProvenance) -> bool>(&self, pred: F) -> Option<Vec<f64>> {
+        let mut acc = vec![0.0; self.dim()];
+        let mut n = 0usize;
+        for (i, p) in self.provenance.iter().enumerate() {
+            if pred(p) {
+                observatory_linalg::vector::add_assign(&mut acc, self.embeddings.row(i));
+                n += 1;
+            }
+        }
+        if n == 0 {
+            return None;
+        }
+        observatory_linalg::vector::scale_assign(&mut acc, 1.0 / n as f64);
+        Some(acc)
+    }
+
+    /// Column embedding of 0-based column `j`.
+    ///
+    /// Returns `None` if the model does not expose column embeddings or the
+    /// column produced no tokens (e.g. it fell outside the token budget).
+    pub fn column(&self, j: usize) -> Option<Vec<f64>> {
+        if !self.capabilities.column {
+            return None;
+        }
+        let col_id = (j + 1) as u32;
+        match self.column_readout {
+            Readout::Cls => {
+                let idx = *self.column_cls.get(j)?;
+                idx.map(|i| self.embeddings.row(i).to_vec())
+            }
+            Readout::MeanPool => self.pool(|p| p.col == col_id && !p.special),
+            Readout::HeaderMean => self
+                .pool(|p| p.col == col_id && p.row == 0 && !p.special)
+                .or_else(|| self.pool(|p| p.col == col_id && !p.special)),
+            Readout::HeaderBiasedMean { header_weight } => {
+                let values = self.pool(|p| p.col == col_id && p.row > 0 && !p.special);
+                let header = self.pool(|p| p.col == col_id && p.row == 0 && !p.special);
+                match (header, values) {
+                    (Some(h), Some(v)) => Some(
+                        h.iter()
+                            .zip(&v)
+                            .map(|(h, v)| header_weight * h + (1.0 - header_weight) * v)
+                            .collect(),
+                    ),
+                    (h, v) => h.or(v),
+                }
+            }
+        }
+    }
+
+    /// Row embedding of 0-based data row `i`.
+    pub fn row(&self, i: usize) -> Option<Vec<f64>> {
+        if !self.capabilities.row {
+            return None;
+        }
+        let row_id = (i + 1) as u32;
+        self.pool(|p| p.row == row_id && !p.special)
+    }
+
+    /// Table embedding.
+    pub fn table(&self) -> Option<Vec<f64>> {
+        if !self.capabilities.table {
+            return None;
+        }
+        match (self.table_readout, self.table_cls) {
+            (Readout::Cls, Some(idx)) => Some(self.embeddings.row(idx).to_vec()),
+            _ => self.pool(|p| !p.special),
+        }
+    }
+
+    /// Cell embedding at 0-based (row, column).
+    pub fn cell(&self, i: usize, j: usize) -> Option<Vec<f64>> {
+        if !self.capabilities.cell {
+            return None;
+        }
+        let (r, c) = ((i + 1) as u32, (j + 1) as u32);
+        self.pool(|p| p.row == r && p.col == c && !p.special)
+    }
+
+    /// Entity embedding at 0-based (row, column) — the cell's mention
+    /// tokens (models with richer entity handling override at the adapter
+    /// level).
+    pub fn entity(&self, i: usize, j: usize) -> Option<Vec<f64>> {
+        if !self.capabilities.entity {
+            return None;
+        }
+        let (r, c) = ((i + 1) as u32, (j + 1) as u32);
+        self.pool(|p| p.row == r && p.col == c && !p.special)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn encoding() -> ModelEncoding {
+        // 4 tokens: [CLS], cell(1,1), cell(1,1), cell(1,2)
+        let embeddings = Matrix::from_rows(&[
+            vec![1.0, 0.0],
+            vec![0.0, 2.0],
+            vec![0.0, 4.0],
+            vec![5.0, 5.0],
+        ]);
+        let provenance = vec![
+            TokenProvenance { row: 0, col: 0, special: true },
+            TokenProvenance { row: 1, col: 1, special: false },
+            TokenProvenance { row: 1, col: 1, special: false },
+            TokenProvenance { row: 1, col: 2, special: false },
+        ];
+        ModelEncoding {
+            embeddings,
+            provenance,
+            table_cls: Some(0),
+            column_cls: vec![None, None],
+            rows_encoded: 1,
+            cols_encoded: 2,
+            column_readout: Readout::MeanPool,
+            table_readout: Readout::Cls,
+            capabilities: Capabilities::all(),
+        }
+    }
+
+    #[test]
+    fn column_mean_pool() {
+        let e = encoding();
+        assert_eq!(e.column(0), Some(vec![0.0, 3.0]));
+        assert_eq!(e.column(1), Some(vec![5.0, 5.0]));
+        assert_eq!(e.column(2), None); // out of range
+    }
+
+    #[test]
+    fn table_cls_readout() {
+        assert_eq!(encoding().table(), Some(vec![1.0, 0.0]));
+    }
+
+    #[test]
+    fn table_mean_fallback() {
+        let mut e = encoding();
+        e.table_readout = Readout::MeanPool;
+        // Mean of the 3 non-special tokens.
+        let t = e.table().unwrap();
+        assert!((t[0] - 5.0 / 3.0).abs() < 1e-12);
+        assert!((t[1] - 11.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn row_and_cell() {
+        let e = encoding();
+        let r = e.row(0).unwrap();
+        assert!((r[0] - 5.0 / 3.0).abs() < 1e-12);
+        assert_eq!(e.cell(0, 1), Some(vec![5.0, 5.0]));
+        assert_eq!(e.cell(1, 0), None); // no row 2
+    }
+
+    #[test]
+    fn capabilities_gate_levels() {
+        let mut e = encoding();
+        e.capabilities = Capabilities { column: false, ..Capabilities::all() };
+        assert_eq!(e.column(0), None);
+        assert!(e.row(0).is_some());
+    }
+
+    #[test]
+    fn cls_column_readout() {
+        let mut e = encoding();
+        e.column_readout = Readout::Cls;
+        e.column_cls = vec![Some(3), None];
+        assert_eq!(e.column(0), Some(vec![5.0, 5.0]));
+        assert_eq!(e.column(1), None);
+    }
+
+    #[test]
+    fn level_labels() {
+        assert_eq!(Level::Column.label(), "column");
+        assert_eq!(Level::ALL.len(), 5);
+        assert!(Capabilities::all().supports(Level::Entity));
+        assert!(!Capabilities::none().supports(Level::Table));
+    }
+}

@@ -1,0 +1,34 @@
+//! # observatory-models
+//!
+//! The nine table-embedding model adapters evaluated by Observatory, plus
+//! the [`adapter::TableEncoder`] trait through which users plug in their
+//! own models (the framework's extensibility point, paper §1/§3.1).
+//!
+//! Each adapter reproduces the *design specification* of its namesake
+//! (paper Table 1 and §4.3): input serialization, positional scheme,
+//! structural attention, exposed embedding levels, and aggregation
+//! strategy. The weights come from the deterministic encoder substrate
+//! (`observatory-transformer`); see DESIGN.md §1 for the substitution
+//! rationale and §3 for the per-model knob table.
+//!
+//! | Adapter | Serialization | Positional | Levels |
+//! |---|---|---|---|
+//! | [`zoo::bert::bert`] | row-wise + headers | absolute | col/row/cell/table |
+//! | [`zoo::roberta::roberta`] | row-wise + headers | absolute (hot) | col/row/cell/table |
+//! | [`zoo::t5::t5`] | row-wise + headers | relative bias | col/row/cell/table |
+//! | [`zoo::tapas::tapas`] | row-wise + question slot | absolute + row/col ids | col/row/cell/table |
+//! | [`zoo::tabert::tabert`] | row-wise, `[SEP]` cells, first 3 rows | absolute + ids + vertical attn | col/table |
+//! | [`zoo::tapex::tapex`] | row-wise + SQL slot | absolute | row/table |
+//! | [`zoo::turl::turl`] | entity mentions + metadata | absolute + ids | entity/col |
+//! | [`zoo::doduo::doduo`] | column-wise, values only, `[CLS]`/col | absolute | col |
+//! | [`zoo::taptap::taptap`] | per-row text template | absolute | row |
+
+pub mod adapter;
+pub mod encoding;
+pub mod partitioned;
+pub mod registry;
+pub mod serialize;
+pub mod zoo;
+
+pub use adapter::TableEncoder;
+pub use encoding::{Capabilities, Level, ModelEncoding};

@@ -1,0 +1,159 @@
+//! Model registry: construction by name, the full zoo, and the design
+//! specifications behind the paper's Table 1.
+
+use crate::adapter::TableEncoder;
+use crate::zoo;
+
+/// All stable model names, in the paper's presentation order.
+pub const MODEL_NAMES: [&str; 9] =
+    ["bert", "roberta", "t5", "tapas", "tabert", "tapex", "turl", "doduo", "taptap"];
+
+/// Construct a model by its stable name. Returns `None` for unknown names.
+pub fn model_by_name(name: &str) -> Option<Box<dyn TableEncoder>> {
+    Some(match name {
+        "bert" => Box::new(zoo::bert::bert()),
+        "roberta" => Box::new(zoo::roberta::roberta()),
+        "t5" => Box::new(zoo::t5::t5()),
+        "tapas" => Box::new(zoo::tapas::tapas()),
+        "tabert" => Box::new(zoo::tabert::tabert()),
+        "tapex" => Box::new(zoo::tapex::tapex()),
+        "turl" => Box::new(zoo::turl::turl()),
+        "doduo" => Box::new(zoo::doduo::doduo()),
+        "taptap" => Box::new(zoo::taptap::taptap()),
+        _ => return None,
+    })
+}
+
+/// Construct every model in the zoo.
+pub fn all_models() -> Vec<Box<dyn TableEncoder>> {
+    MODEL_NAMES.iter().map(|n| model_by_name(n).expect("registry consistency")).collect()
+}
+
+/// Design specification of a model (paper Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModelSpec {
+    /// Stable name.
+    pub name: &'static str,
+    /// Display name.
+    pub display: &'static str,
+    /// Whether it is a vanilla language model (vs specialized table model).
+    pub vanilla_lm: bool,
+    /// Input specification.
+    pub input: &'static str,
+    /// Output embedding levels.
+    pub output_embedding: &'static str,
+    /// Flagship downstream task.
+    pub downstream_task: &'static str,
+}
+
+/// The specification rows of the paper's Table 1, extended with the three
+/// vanilla LMs for completeness.
+pub fn specs() -> Vec<ModelSpec> {
+    vec![
+        ModelSpec {
+            name: "bert",
+            display: "BERT",
+            vanilla_lm: true,
+            input: "Text (tables serialized experimentally)",
+            output_embedding: "Token / any (aggregated)",
+            downstream_task: "General NLP",
+        },
+        ModelSpec {
+            name: "roberta",
+            display: "RoBERTa",
+            vanilla_lm: true,
+            input: "Text (tables serialized experimentally)",
+            output_embedding: "Token / any (aggregated)",
+            downstream_task: "General NLP",
+        },
+        ModelSpec {
+            name: "t5",
+            display: "T5",
+            vanilla_lm: true,
+            input: "Text (tables serialized experimentally)",
+            output_embedding: "Token / any (aggregated)",
+            downstream_task: "Text-to-text transfer",
+        },
+        ModelSpec {
+            name: "turl",
+            display: "TURL",
+            vanilla_lm: false,
+            input: "Table + metadata",
+            output_embedding: "Entity / Col. / Col. pair",
+            downstream_task: "Table interpretation/augmentation",
+        },
+        ModelSpec {
+            name: "doduo",
+            display: "DODUO",
+            vanilla_lm: false,
+            input: "Table",
+            output_embedding: "Col. / Col. pair",
+            downstream_task: "Column type/relation prediction",
+        },
+        ModelSpec {
+            name: "tapas",
+            display: "TAPAS",
+            vanilla_lm: false,
+            input: "NL question + table",
+            output_embedding: "Question / Table",
+            downstream_task: "Semantic parsing",
+        },
+        ModelSpec {
+            name: "tabert",
+            display: "TaBERT",
+            vanilla_lm: false,
+            input: "NL question + table",
+            output_embedding: "Col. / Table",
+            downstream_task: "Semantic parsing",
+        },
+        ModelSpec {
+            name: "tapex",
+            display: "TaPEx",
+            vanilla_lm: false,
+            input: "SQL query + table",
+            output_embedding: "Row / Table",
+            downstream_task: "Table Question Answering",
+        },
+        ModelSpec {
+            name: "taptap",
+            display: "TapTap",
+            vanilla_lm: false,
+            input: "Table",
+            output_embedding: "Row",
+            downstream_task: "Data augmentation/imputation",
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_all_names() {
+        assert_eq!(all_models().len(), 9);
+        for name in MODEL_NAMES {
+            let m = model_by_name(name).unwrap();
+            assert_eq!(m.name(), name);
+        }
+        assert!(model_by_name("gpt9").is_none());
+    }
+
+    #[test]
+    fn specs_align_with_registry() {
+        let specs = specs();
+        assert_eq!(specs.len(), 9);
+        for s in &specs {
+            assert!(MODEL_NAMES.contains(&s.name), "{}", s.name);
+            let m = model_by_name(s.name).unwrap();
+            assert_eq!(m.display_name(), s.display);
+        }
+    }
+
+    #[test]
+    fn six_specialized_three_vanilla() {
+        let specs = specs();
+        assert_eq!(specs.iter().filter(|s| s.vanilla_lm).count(), 3);
+        assert_eq!(specs.iter().filter(|s| !s.vanilla_lm).count(), 6);
+    }
+}

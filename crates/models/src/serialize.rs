@@ -1,0 +1,350 @@
+//! Table serialization into token sequences (paper §4.3).
+//!
+//! Transformer models expect flat sequences, so two-dimensional tables must
+//! be linearized. The paper distinguishes two families:
+//!
+//! 1. **Row-wise** (TURL, TAPAS, TaBERT, BERT/RoBERTa/T5 by convention):
+//!    rows concatenated, with optional `[SEP]` cell delimiters, a leading
+//!    `[CLS]`, an optional auxiliary text slot (NL question / SQL query),
+//!    and an optional header row.
+//! 2. **Column-wise** (DODUO): one `[CLS]` per column followed by the
+//!    column's values; the `[CLS]` tokens serve as column representations.
+//!
+//! Plus TapTap's **row template**: each row rendered as natural-language
+//! text `"h₁ is v₁, h₂ is v₂, …"`.
+//!
+//! All serializers keep **every column** and fit as many rows as the token
+//! budget permits; [`fit_rows`] finds the maximum row count by binary
+//! search, exactly as described in the paper.
+
+use crate::encoding::TokenProvenance;
+use observatory_table::Table;
+use observatory_tokenizer::{special, Tokenizer};
+use observatory_transformer::TokenInput;
+
+/// Options for row-wise serialization.
+#[derive(Debug, Clone)]
+pub struct RowWiseOptions {
+    /// Emit a leading `[CLS]`.
+    pub cls: bool,
+    /// Emit the header row (segment 0) before data rows.
+    pub include_headers: bool,
+    /// Emit `[SEP]` between cells (TaBERT).
+    pub sep_cells: bool,
+    /// Emit a `[ROW]` marker at the end of each row.
+    pub row_markers: bool,
+    /// Auxiliary text prepended after `[CLS]` (TAPAS's NL question,
+    /// TaPEx's SQL query), encoded as segment 2.
+    pub auxiliary_text: Option<String>,
+}
+
+impl Default for RowWiseOptions {
+    fn default() -> Self {
+        Self {
+            cls: true,
+            include_headers: true,
+            sep_cells: false,
+            row_markers: true,
+            auxiliary_text: None,
+        }
+    }
+}
+
+/// A serialized table: token inputs plus provenance, aligned index-wise.
+pub struct Serialized {
+    pub tokens: Vec<TokenInput>,
+    pub provenance: Vec<TokenProvenance>,
+    /// Index of the sequence `[CLS]`, if any.
+    pub table_cls: Option<usize>,
+    /// Per-column `[CLS]` indices (column-wise serialization only).
+    pub column_cls: Vec<Option<usize>>,
+    /// Data rows included.
+    pub rows: usize,
+}
+
+impl Serialized {
+    fn new() -> Self {
+        Self {
+            tokens: Vec::new(),
+            provenance: Vec::new(),
+            table_cls: None,
+            column_cls: Vec::new(),
+            rows: 0,
+        }
+    }
+
+    /// Number of tokens.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Whether the sequence is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    fn push_special(&mut self, id: u32, row: u32, col: u32) {
+        self.tokens.push(TokenInput { id, row, col, segment: 0 });
+        self.provenance.push(TokenProvenance { row, col, special: true });
+    }
+
+    fn push_text(&mut self, tokenizer: &Tokenizer, text: &str, row: u32, col: u32, segment: u8) {
+        for id in tokenizer.encode(text) {
+            self.tokens.push(TokenInput { id, row, col, segment });
+            self.provenance.push(TokenProvenance { row, col, special: false });
+        }
+    }
+}
+
+/// Row-wise serialization of the first `n_rows` data rows.
+pub fn serialize_row_wise(
+    table: &Table,
+    tokenizer: &Tokenizer,
+    n_rows: usize,
+    opts: &RowWiseOptions,
+) -> Serialized {
+    let mut s = Serialized::new();
+    if opts.cls {
+        s.table_cls = Some(s.len());
+        s.push_special(special::CLS, 0, 0);
+    }
+    if let Some(aux) = &opts.auxiliary_text {
+        s.push_text(tokenizer, aux, 0, 0, 2);
+        s.push_special(special::SEP, 0, 0);
+    }
+    if opts.include_headers {
+        for (j, col) in table.columns.iter().enumerate() {
+            if !col.header.is_empty() {
+                s.push_text(tokenizer, &col.header, 0, (j + 1) as u32, 0);
+            }
+            if opts.sep_cells {
+                s.push_special(special::SEP, 0, (j + 1) as u32);
+            }
+        }
+        if opts.row_markers {
+            s.push_special(special::ROW, 0, 0);
+        }
+    }
+    let n_rows = n_rows.min(table.num_rows());
+    for i in 0..n_rows {
+        let row_id = (i + 1) as u32;
+        for (j, col) in table.columns.iter().enumerate() {
+            let col_id = (j + 1) as u32;
+            let v = &col.values[i];
+            if v.is_null() {
+                s.tokens.push(TokenInput { id: special::NULL, row: row_id, col: col_id, segment: 1 });
+                s.provenance.push(TokenProvenance { row: row_id, col: col_id, special: false });
+            } else {
+                s.push_text(tokenizer, &v.to_text(), row_id, col_id, 1);
+            }
+            if opts.sep_cells {
+                s.push_special(special::SEP, row_id, col_id);
+            }
+        }
+        if opts.row_markers {
+            s.push_special(special::ROW, row_id, 0);
+        }
+    }
+    s.rows = n_rows;
+    s
+}
+
+/// Column-wise serialization (DODUO): `[CLS] v₁₁ v₂₁ … [CLS] v₁₂ v₂₂ …`,
+/// data values only — DODUO ignores the schema entirely.
+pub fn serialize_column_wise(table: &Table, tokenizer: &Tokenizer, n_rows: usize) -> Serialized {
+    let mut s = Serialized::new();
+    let n_rows = n_rows.min(table.num_rows());
+    s.column_cls = vec![None; table.num_cols()];
+    for (j, col) in table.columns.iter().enumerate() {
+        let col_id = (j + 1) as u32;
+        s.column_cls[j] = Some(s.len());
+        s.push_special(special::CLS, 0, col_id);
+        for i in 0..n_rows {
+            let row_id = (i + 1) as u32;
+            let v = &col.values[i];
+            if v.is_null() {
+                s.tokens.push(TokenInput { id: special::NULL, row: row_id, col: col_id, segment: 1 });
+                s.provenance.push(TokenProvenance { row: row_id, col: col_id, special: false });
+            } else {
+                s.push_text(tokenizer, &v.to_text(), row_id, col_id, 1);
+            }
+        }
+    }
+    s.rows = n_rows;
+    s
+}
+
+/// TapTap's per-row template: `"h₁ is v₁, h₂ is v₂, …"` for row `i`.
+pub fn serialize_row_template(table: &Table, tokenizer: &Tokenizer, i: usize) -> Serialized {
+    let mut s = Serialized::new();
+    let row_id = (i + 1) as u32;
+    for (j, col) in table.columns.iter().enumerate() {
+        let col_id = (j + 1) as u32;
+        if !col.header.is_empty() {
+            s.push_text(tokenizer, &col.header, row_id, col_id, 0);
+            s.push_text(tokenizer, "is", row_id, col_id, 0);
+        }
+        s.push_text(tokenizer, &col.values[i].to_text(), row_id, col_id, 1);
+        if j + 1 < table.num_cols() {
+            s.push_text(tokenizer, ",", row_id, 0, 0);
+        }
+    }
+    s.rows = 1;
+    s
+}
+
+/// Find the maximum number of rows whose serialization fits `budget`
+/// tokens, by binary search (paper §4.3: "We use binary search to find the
+/// maximum number of rows that can fit into the input limit").
+///
+/// `serialize(k)` must be monotone in length (more rows → more tokens).
+/// Returns 0 when even the rowless serialization overflows.
+pub fn fit_rows<F: Fn(usize) -> usize>(total_rows: usize, budget: usize, serialized_len: F) -> usize {
+    if serialized_len(0) > budget {
+        return 0;
+    }
+    let (mut lo, mut hi) = (0usize, total_rows);
+    while lo < hi {
+        let mid = lo + (hi - lo).div_ceil(2);
+        if serialized_len(mid) <= budget {
+            lo = mid;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use observatory_table::{Column, Value};
+
+    fn table() -> Table {
+        Table::new(
+            "t",
+            vec![
+                Column::new("year", vec![Value::Int(1993), Value::Int(1994)]),
+                Column::new(
+                    "competition",
+                    vec![Value::text("Asian Championships"), Value::text("Asian Games")],
+                ),
+            ],
+        )
+    }
+
+    #[test]
+    fn row_wise_has_cls_headers_and_all_cells() {
+        let tok = Tokenizer::default();
+        let s = serialize_row_wise(&table(), &tok, 2, &RowWiseOptions::default());
+        assert_eq!(s.table_cls, Some(0));
+        assert!(s.tokens[0].id == special::CLS);
+        // Header tokens carry row 0 and their column id.
+        assert!(s.provenance.iter().any(|p| p.row == 0 && p.col == 1 && !p.special));
+        // Every (row, col) cell contributed at least one token.
+        for r in 1..=2u32 {
+            for c in 1..=2u32 {
+                assert!(
+                    s.provenance.iter().any(|p| p.row == r && p.col == c && !p.special),
+                    "missing tokens for cell ({r},{c})"
+                );
+            }
+        }
+        assert_eq!(s.rows, 2);
+        assert_eq!(s.tokens.len(), s.provenance.len());
+    }
+
+    #[test]
+    fn row_wise_row_count_respected() {
+        let tok = Tokenizer::default();
+        let s = serialize_row_wise(&table(), &tok, 1, &RowWiseOptions::default());
+        assert!(s.provenance.iter().all(|p| p.row <= 1));
+        assert_eq!(s.rows, 1);
+    }
+
+    #[test]
+    fn auxiliary_text_uses_segment_2() {
+        let tok = Tokenizer::default();
+        let opts = RowWiseOptions {
+            auxiliary_text: Some("how many games".into()),
+            ..Default::default()
+        };
+        let s = serialize_row_wise(&table(), &tok, 1, &opts);
+        assert!(s.tokens.iter().any(|t| t.segment == 2));
+    }
+
+    #[test]
+    fn sep_cells_inserts_separators() {
+        let tok = Tokenizer::default();
+        let opts = RowWiseOptions { sep_cells: true, ..Default::default() };
+        let s = serialize_row_wise(&table(), &tok, 2, &opts);
+        let seps = s.tokens.iter().filter(|t| t.id == special::SEP).count();
+        assert_eq!(seps, 2 + 4); // 2 header cells + 4 data cells
+    }
+
+    #[test]
+    fn column_wise_one_cls_per_column() {
+        let tok = Tokenizer::default();
+        let s = serialize_column_wise(&table(), &tok, 2);
+        assert_eq!(s.column_cls.len(), 2);
+        let cls0 = s.column_cls[0].unwrap();
+        let cls1 = s.column_cls[1].unwrap();
+        assert_eq!(s.tokens[cls0].id, special::CLS);
+        assert_eq!(s.tokens[cls1].id, special::CLS);
+        assert!(cls0 < cls1);
+        // Values-only: no header tokens (row 0 non-special).
+        assert!(!s.provenance.iter().any(|p| p.row == 0 && !p.special));
+        // Column 1's values all precede column 2's CLS.
+        assert!(s.provenance[cls0 + 1..cls1].iter().all(|p| p.col == 1));
+    }
+
+    #[test]
+    fn null_cells_get_null_token() {
+        let tok = Tokenizer::default();
+        let t = Table::new("t", vec![Column::new("a", vec![Value::Null])]);
+        let s = serialize_row_wise(&t, &tok, 1, &RowWiseOptions::default());
+        assert!(s.tokens.iter().any(|tk| tk.id == special::NULL));
+    }
+
+    #[test]
+    fn row_template_mentions_headers_and_values() {
+        let tok = Tokenizer::default();
+        let s = serialize_row_template(&table(), &tok, 0);
+        assert_eq!(s.rows, 1);
+        assert!(s.provenance.iter().all(|p| p.row == 1));
+        // header tokens (segment 0) and value tokens (segment 1) both present
+        assert!(s.tokens.iter().any(|t| t.segment == 0));
+        assert!(s.tokens.iter().any(|t| t.segment == 1));
+    }
+
+    #[test]
+    fn fit_rows_binary_search() {
+        // Each row costs 10 tokens plus a fixed 7-token preamble.
+        let len = |k: usize| 7 + 10 * k;
+        assert_eq!(fit_rows(100, 57, len), 5);
+        assert_eq!(fit_rows(100, 56, len), 4);
+        assert_eq!(fit_rows(3, 1000, len), 3); // capped by total rows
+        assert_eq!(fit_rows(100, 5, len), 0); // preamble alone overflows
+        assert_eq!(fit_rows(100, 7, len), 0);
+        assert_eq!(fit_rows(100, 17, len), 1);
+    }
+
+    #[test]
+    fn fit_rows_matches_linear_scan() {
+        let tok = Tokenizer::default();
+        let t = table();
+        let opts = RowWiseOptions::default();
+        for budget in [0usize, 5, 10, 20, 40, 100] {
+            let by_search = fit_rows(t.num_rows(), budget, |k| {
+                serialize_row_wise(&t, &tok, k, &opts).len()
+            });
+            let mut by_scan = 0;
+            for k in 0..=t.num_rows() {
+                if serialize_row_wise(&t, &tok, k, &opts).len() <= budget {
+                    by_scan = k;
+                }
+            }
+            assert_eq!(by_search, by_scan, "budget {budget}");
+        }
+    }
+}

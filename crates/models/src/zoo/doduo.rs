@@ -1,0 +1,99 @@
+//! DODUO (Suhara et al., 2022): column type / relation annotation.
+//!
+//! Column-wise serialization of **data values only** (the schema is
+//! ignored entirely — headers never enter the input), one `[CLS]` inserted
+//! per column, and that `[CLS]` *is* the column representation. Two paper
+//! findings follow directly from this design and are asserted in the
+//! tests: DODUO shows literally zero variance under schema-level
+//! perturbations (§5.7), and its `[CLS]` readout makes it the most
+//! row-order- and sampling-sensitive model in the study (§5.1, §5.5).
+
+use crate::adapter::{BaseModel, SerializationKind};
+use crate::encoding::{Capabilities, Readout};
+
+/// Construct the DODUO adapter.
+pub fn doduo() -> BaseModel {
+    BaseModel::new(
+        "doduo",
+        "DODUO",
+        observatory_transformer::TransformerConfig {
+            // Hot positions and sharp (selective) attention: DODUO's
+            // fine-tuned, per-column [CLS] readout makes it the most
+            // row-order- and sampling-sensitive model in the paper (§5.1,
+            // §5.5). Selectivity is what converts value reordering into
+            // [CLS] movement — near-uniform attention would average it out.
+            pos_std_scale: 1.5,
+            attention_sharpness: 16.0,
+            attention_gain: 2.5,
+            ..super::base_config("doduo")
+        },
+        SerializationKind::ColumnWise,
+        // Native output is columns (Table 1), but Observatory's token-
+        // provenance retrieval also extracts cell/entity spans from DODUO —
+        // the paper includes DODUO in the cell-level FD experiment
+        // (Table 4) and the entity-stability heatmaps (Figure 12).
+        Capabilities { column: true, cell: true, entity: true, ..Capabilities::none() },
+        Readout::Cls,
+        Readout::MeanPool,
+        None,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adapter::TableEncoder;
+    use observatory_table::{Column, Table, Value};
+
+    fn table() -> Table {
+        Table::new(
+            "t",
+            vec![
+                Column::new("alpha", vec![Value::Int(1), Value::Int(2)]),
+                Column::new("beta", vec![Value::text("x"), Value::text("y")]),
+            ],
+        )
+    }
+
+    #[test]
+    fn schema_blind() {
+        // Renaming every header must not move any embedding: DODUO only
+        // reads data values. This is the mechanism behind its zero variance
+        // in the paper's perturbation-robustness experiment.
+        let m = doduo();
+        let t1 = table();
+        let mut t2 = table();
+        t2.columns[0].header = "totally_different".into();
+        t2.columns[1].header = "names_here".into();
+        assert_eq!(m.column_embedding(&t1, 0), m.column_embedding(&t2, 0));
+        assert_eq!(m.column_embedding(&t1, 1), m.column_embedding(&t2, 1));
+    }
+
+    #[test]
+    fn column_only_capabilities() {
+        let m = doduo();
+        let t = table();
+        assert!(m.column_embedding(&t, 0).is_some());
+        assert!(m.row_embedding(&t, 0).is_none());
+        assert!(m.table_embedding(&t).is_none());
+        assert!(m.cell_embedding(&t, 0, 0).is_some());
+    }
+
+    #[test]
+    fn cls_readout_is_the_column_embedding() {
+        let m = doduo();
+        let enc = m.encode_table(&table());
+        let cls0 = enc.column_cls[0].unwrap();
+        assert_eq!(enc.column(0).unwrap(), enc.embeddings.row(cls0).to_vec());
+    }
+
+    #[test]
+    fn value_order_moves_the_cls() {
+        // The [CLS] readout is position-conditioned: reordering the values
+        // within columns (a row permutation) moves DODUO's embeddings.
+        let m = doduo();
+        let t = table();
+        let swapped = observatory_table::perm::permute_rows(&t, &[1, 0]);
+        assert_ne!(m.column_embedding(&t, 0), m.column_embedding(&swapped, 0));
+    }
+}

@@ -1,0 +1,83 @@
+//! RoBERTa (Liu et al., 2019): BERT's architecture, retuned pretraining.
+//!
+//! Same serialization and aggregation as BERT but independent weights and a
+//! hotter positional component (`pos_std_scale` 2.5). The paper repeatedly
+//! finds RoBERTa more position-sensitive than BERT: a > 5% median cosine
+//! drop under column shuffling (§5.2) and surprising outliers under schema
+//! perturbations (§5.7) — the adapter reproduces that imbalance between
+//! content and position signal.
+
+use crate::adapter::{BaseModel, SerializationKind};
+use crate::encoding::{Capabilities, Readout};
+use crate::serialize::RowWiseOptions;
+use observatory_transformer::TransformerConfig;
+
+/// Construct the RoBERTa adapter.
+pub fn roberta() -> BaseModel {
+    let config = TransformerConfig { pos_std_scale: 2.5, ..super::base_config("roberta") };
+    BaseModel::new(
+        "roberta",
+        "RoBERTa",
+        config,
+        SerializationKind::RowWise(RowWiseOptions::default()),
+        Capabilities::all(),
+        Readout::MeanPool,
+        Readout::Cls,
+        None,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::bert::bert;
+    use super::*;
+    use crate::adapter::TableEncoder;
+    use observatory_linalg::vector::cosine;
+    use observatory_stats::descriptive::mean;
+    use observatory_table::{perm, Column, Table, Value};
+
+    fn table(seed: u64) -> Table {
+        let words = ["red", "green", "blue", "amber", "teal", "plum", "gold", "jade"];
+        Table::new(
+            "t",
+            vec![
+                Column::new("id", (0..8).map(|i| Value::Int(i + seed as i64)).collect()),
+                Column::new("color", words.iter().map(|s| Value::text(*s)).collect()),
+                Column::new("score", (0..8).map(|i| Value::Float(i as f64 * 1.5)).collect()),
+            ],
+        )
+    }
+
+    #[test]
+    fn distinct_space_from_bert() {
+        let (r, b) = (roberta(), bert());
+        let t = table(0);
+        assert_ne!(r.column_embedding(&t, 1), b.column_embedding(&t, 1));
+    }
+
+    #[test]
+    fn more_column_order_sensitive_than_bert() {
+        // Directional reproduction of §5.2: RoBERTa's cosine under column
+        // shuffling sits below BERT's, averaged over tables and shuffles.
+        let (r, b) = (roberta(), bert());
+        let mut r_cos = Vec::new();
+        let mut b_cos = Vec::new();
+        for seed in 0..4u64 {
+            let t = table(seed);
+            let shuffles = perm::column_shuffles(&t, 6, seed);
+            let (r0, b0) =
+                (r.column_embedding(&t, 0).unwrap(), b.column_embedding(&t, 0).unwrap());
+            for s in shuffles.iter().skip(1) {
+                let j = s.column_index("id").unwrap();
+                r_cos.push(cosine(&r0, &r.column_embedding(s, j).unwrap()));
+                b_cos.push(cosine(&b0, &b.column_embedding(s, j).unwrap()));
+            }
+        }
+        assert!(
+            mean(&r_cos) < mean(&b_cos),
+            "roberta {:.4} should be below bert {:.4}",
+            mean(&r_cos),
+            mean(&b_cos)
+        );
+    }
+}

@@ -1,0 +1,70 @@
+//! T5 (Raffel et al., 2020): encoder of the text-to-text transformer.
+//!
+//! T5 has **no absolute position embeddings**; position enters only
+//! through a learned relative attention bias. There is also no `[CLS]`
+//! token, so every level — including the table — is mean-pooled. The
+//! paper's signature T5 observation (Figures 6/8) is that its embedding
+//! clouds stretch along a dominant direction: high cosine similarity *and*
+//! high MCV at once.
+
+use crate::adapter::{BaseModel, SerializationKind};
+use crate::encoding::{Capabilities, Readout};
+use crate::serialize::RowWiseOptions;
+use observatory_transformer::{PositionalScheme, TransformerConfig};
+
+/// Construct the T5 adapter.
+pub fn t5() -> BaseModel {
+    let config = TransformerConfig {
+        positional: PositionalScheme::RelativeBias,
+        ..super::base_config("t5")
+    };
+    let opts = RowWiseOptions { cls: false, ..Default::default() };
+    BaseModel::new(
+        "t5",
+        "T5",
+        config,
+        SerializationKind::RowWise(opts),
+        Capabilities::all(),
+        Readout::MeanPool,
+        Readout::MeanPool,
+        None,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adapter::TableEncoder;
+    use observatory_table::{Column, Table, Value};
+
+    fn table() -> Table {
+        Table::new(
+            "t",
+            vec![
+                Column::new("a", (0..5).map(Value::Int).collect()),
+                Column::new(
+                    "b",
+                    ["v", "w", "x", "y", "z"].iter().map(|s| Value::text(*s)).collect(),
+                ),
+            ],
+        )
+    }
+
+    #[test]
+    fn no_cls_token() {
+        let m = t5();
+        let enc = m.encode_table(&table());
+        assert_eq!(enc.table_cls, None);
+        assert!(enc.table().is_some(), "table embedding falls back to mean pooling");
+    }
+
+    #[test]
+    fn relative_positions_still_order_sensitive() {
+        // Relative bias means shuffling tokens can still change embeddings
+        // (relative distances change), just without an absolute anchor.
+        let m = t5();
+        let t = table();
+        let swapped = observatory_table::perm::permute_rows(&t, &[4, 3, 2, 1, 0]);
+        assert_ne!(m.column_embedding(&t, 1), m.column_embedding(&swapped, 1));
+    }
+}

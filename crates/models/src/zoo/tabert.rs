@@ -1,0 +1,82 @@
+//! TaBERT (Yin et al., 2020): joint text/table pretraining.
+//!
+//! Three reproduced signatures:
+//!
+//! 1. `[SEP]`-delimited cells in a row-wise serialization;
+//! 2. a **vertical attention** pass fusing information across rows within
+//!    each column — after which only column (and table) embeddings are
+//!    meaningful, which is why the paper excludes TaBERT from row/cell
+//!    experiments (Table 2);
+//! 3. the hard-coded **first-3-rows** input (the paper cites TaBERT's
+//!    config; it is the root cause of TaBERT's "lucky" sample fidelity in
+//!    §5.5).
+
+use crate::adapter::{BaseModel, SerializationKind};
+use crate::encoding::{Capabilities, Readout};
+use crate::serialize::RowWiseOptions;
+use observatory_transformer::{PositionalScheme, TransformerConfig};
+
+/// TaBERT's hard input cap on rows (`vertical/config.py` in the original).
+pub const TABERT_MAX_ROWS: usize = 3;
+
+/// Construct the TaBERT adapter.
+pub fn tabert() -> BaseModel {
+    let config = TransformerConfig {
+        positional: PositionalScheme::TableAware,
+        vertical_attention: true,
+        ..super::base_config("tabert")
+    };
+    let opts = RowWiseOptions { sep_cells: true, ..Default::default() };
+    BaseModel::new(
+        "tabert",
+        "TaBERT",
+        config,
+        SerializationKind::RowWise(opts),
+        Capabilities { table: true, column: true, ..Capabilities::none() },
+        Readout::HeaderBiasedMean { header_weight: 0.8 },
+        Readout::Cls,
+        Some(TABERT_MAX_ROWS),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adapter::TableEncoder;
+    use observatory_table::{Column, Table, Value};
+
+    fn table(n: usize) -> Table {
+        Table::new(
+            "t",
+            vec![
+                Column::new("id", (0..n as i64).map(Value::Int).collect()),
+                Column::new("name", (0..n).map(|i| Value::text(format!("row{i}"))).collect()),
+            ],
+        )
+    }
+
+    #[test]
+    fn only_first_three_rows_are_read() {
+        let m = tabert();
+        // Tables identical in the first 3 rows must encode identically,
+        // whatever comes after — TaBERT's defining quirk.
+        let mut a = table(10);
+        let mut b = table(10);
+        for i in 3..10 {
+            a.columns[1].values[i] = Value::text(format!("aaa{i}"));
+            b.columns[1].values[i] = Value::text(format!("zzz{i}"));
+        }
+        assert_eq!(m.column_embedding(&a, 1), m.column_embedding(&b, 1));
+        assert_eq!(m.encode_table(&a).rows_encoded, 3);
+    }
+
+    #[test]
+    fn rows_and_cells_not_exposed() {
+        let m = tabert();
+        let t = table(3);
+        assert!(m.row_embedding(&t, 0).is_none());
+        assert!(m.cell_embedding(&t, 0, 0).is_none());
+        assert!(m.column_embedding(&t, 0).is_some());
+        assert!(m.table_embedding(&t).is_some());
+    }
+}

@@ -1,0 +1,83 @@
+//! TAPAS (Herzig et al., 2020): weakly-supervised table parsing.
+//!
+//! Row-wise serialization with an NL-question slot, and — the structural
+//! signature — **dedicated row-id and column-id embeddings per token** on
+//! top of (deliberately cooler) absolute positions. Because every data
+//! token knows its own row/column directly, TAPAS depends less on sequence
+//! position, which is why the paper finds it comparatively robust to row
+//! order and sampling.
+
+use crate::adapter::{BaseModel, SerializationKind};
+use crate::encoding::{Capabilities, Readout};
+use crate::serialize::RowWiseOptions;
+use observatory_transformer::{PositionalScheme, TransformerConfig};
+
+/// Construct the TAPAS adapter with an empty question slot.
+pub fn tapas() -> BaseModel {
+    tapas_with_question(None)
+}
+
+/// Construct a TAPAS adapter whose serialization prepends an NL question —
+/// the model's native operating mode for TableQA.
+pub fn tapas_with_question(question: Option<&str>) -> BaseModel {
+    let config = TransformerConfig {
+        positional: PositionalScheme::TableAware,
+        pos_std_scale: 0.5,
+        ..super::base_config("tapas")
+    };
+    let opts = RowWiseOptions {
+        auxiliary_text: question.map(str::to_string),
+        ..Default::default()
+    };
+    BaseModel::new(
+        "tapas",
+        "TAPAS",
+        config,
+        SerializationKind::RowWise(opts),
+        Capabilities::all(),
+        Readout::MeanPool,
+        Readout::Cls,
+        None,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adapter::TableEncoder;
+    use observatory_table::{Column, Table, Value};
+
+    fn table() -> Table {
+        Table::new(
+            "t",
+            vec![
+                Column::new("year", (1990..1995).map(Value::Int).collect()),
+                Column::new(
+                    "event",
+                    ["aa", "bb", "cc", "dd", "ee"].iter().map(|s| Value::text(*s)).collect(),
+                ),
+            ],
+        )
+    }
+
+    #[test]
+    fn question_changes_embeddings() {
+        let plain = tapas();
+        let asked = tapas_with_question(Some("which year has event aa"));
+        let t = table();
+        assert_ne!(plain.column_embedding(&t, 0), asked.column_embedding(&t, 0));
+    }
+
+    #[test]
+    fn question_tokens_are_not_data() {
+        let asked = tapas_with_question(Some("how many events"));
+        let enc = asked.encode_table(&table());
+        // All question tokens live outside any (row, col) cell.
+        assert!(enc
+            .provenance
+            .iter()
+            .zip(0..)
+            .all(|(p, _)| !(p.row > 0 && p.col == 0 && !p.special)));
+        assert!(enc.column(0).is_some());
+    }
+}

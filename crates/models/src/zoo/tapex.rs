@@ -1,0 +1,64 @@
+//! TaPEx (Liu et al., 2022): pretraining as a neural SQL executor.
+//!
+//! BART-style encoder taking a SQL query plus the flattened table. Per the
+//! paper's Table 1 it exposes **row and table** embeddings; Observatory
+//! excludes it from column-level experiments accordingly.
+
+use crate::adapter::{BaseModel, SerializationKind};
+use crate::encoding::{Capabilities, Readout};
+use crate::serialize::RowWiseOptions;
+
+/// Construct the TaPEx adapter with an empty query slot.
+pub fn tapex() -> BaseModel {
+    tapex_with_query(None)
+}
+
+/// Construct a TaPEx adapter whose serialization prepends a SQL query.
+pub fn tapex_with_query(query: Option<&str>) -> BaseModel {
+    let opts = RowWiseOptions {
+        auxiliary_text: query.map(str::to_string),
+        ..Default::default()
+    };
+    BaseModel::new(
+        "tapex",
+        "TaPEx",
+        super::base_config("tapex"),
+        SerializationKind::RowWise(opts),
+        Capabilities { table: true, row: true, ..Capabilities::none() },
+        Readout::MeanPool,
+        Readout::Cls,
+        None,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adapter::TableEncoder;
+    use observatory_table::{Column, Table, Value};
+
+    fn table() -> Table {
+        Table::new(
+            "t",
+            vec![Column::new("a", vec![Value::Int(1), Value::Int(2), Value::Int(3)])],
+        )
+    }
+
+    #[test]
+    fn row_and_table_only() {
+        let m = tapex();
+        let t = table();
+        assert!(m.row_embedding(&t, 1).is_some());
+        assert!(m.table_embedding(&t).is_some());
+        assert!(m.column_embedding(&t, 0).is_none());
+        assert!(m.cell_embedding(&t, 0, 0).is_none());
+    }
+
+    #[test]
+    fn sql_query_conditions_the_encoding() {
+        let plain = tapex();
+        let queried = tapex_with_query(Some("select a from t where a > 1"));
+        let t = table();
+        assert_ne!(plain.row_embedding(&t, 0), queried.row_embedding(&t, 0));
+    }
+}

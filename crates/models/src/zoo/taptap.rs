@@ -1,0 +1,82 @@
+//! TapTap (Zhang et al., 2023): generative table pretraining for tabular
+//! prediction.
+//!
+//! TapTap "encodes single rows independently using a text template
+//! serialization strategy and only gives row embeddings" (paper §4.2) —
+//! the reason it is excluded from every experiment except column-order
+//! insignificance (Table 2). Each row is rendered as
+//! `"h₁ is v₁, h₂ is v₂, …"` and encoded with no cross-row attention.
+
+use crate::adapter::{BaseModel, SerializationKind};
+use crate::encoding::{Capabilities, Readout};
+
+/// Construct the TapTap adapter.
+pub fn taptap() -> BaseModel {
+    BaseModel::new(
+        "taptap",
+        "TapTap",
+        super::base_config("taptap"),
+        SerializationKind::RowTemplate,
+        Capabilities { row: true, ..Capabilities::none() },
+        Readout::MeanPool,
+        Readout::MeanPool,
+        None,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adapter::TableEncoder;
+    use observatory_table::{perm, Column, Table, Value};
+
+    fn table() -> Table {
+        Table::new(
+            "t",
+            vec![
+                Column::new("name", vec![Value::text("ada"), Value::text("bob")]),
+                Column::new("age", vec![Value::Int(36), Value::Int(41)]),
+            ],
+        )
+    }
+
+    #[test]
+    fn row_embeddings_independent_of_other_rows() {
+        let m = taptap();
+        let t = table();
+        let shuffled = perm::permute_rows(&t, &[1, 0]);
+        // The *content* row "ada, 36" has the same embedding wherever it
+        // sits — rows are encoded in isolation.
+        assert_eq!(m.row_embedding(&t, 0), m.row_embedding(&shuffled, 1));
+    }
+
+    #[test]
+    fn row_only_capabilities() {
+        let m = taptap();
+        let t = table();
+        assert!(m.row_embedding(&t, 0).is_some());
+        assert!(m.column_embedding(&t, 0).is_none());
+        assert!(m.table_embedding(&t).is_none());
+    }
+
+    #[test]
+    fn template_is_schema_aware() {
+        // Unlike DODUO, TapTap's template mentions headers: renaming a
+        // column changes row embeddings.
+        let m = taptap();
+        let t1 = table();
+        let mut t2 = table();
+        t2.columns[1].header = "years_alive".into();
+        assert_ne!(m.row_embedding(&t1, 0), m.row_embedding(&t2, 0));
+    }
+
+    #[test]
+    fn column_order_still_matters() {
+        // Table 2 keeps TapTap in the column-order experiment: the template
+        // concatenates columns in order, so permuting columns changes rows.
+        let m = taptap();
+        let t = table();
+        let swapped = perm::permute_columns(&t, &[1, 0]);
+        assert_ne!(m.row_embedding(&t, 0), m.row_embedding(&swapped, 0));
+    }
+}

@@ -1,0 +1,121 @@
+//! Property-based tests for the model adapters: the full serialize →
+//! encode → aggregate pipeline on arbitrary tables, for every model in
+//! the zoo.
+
+use observatory_models::registry::{all_models, model_by_name};
+use observatory_table::{Column, Table, Value};
+use proptest::prelude::*;
+
+fn arb_table() -> impl Strategy<Value = Table> {
+    let cell = prop_oneof![
+        any::<i16>().prop_map(|i| Value::Int(i64::from(i))),
+        "[a-z]{1,10}".prop_map(Value::text),
+        (-1e4f64..1e4).prop_map(Value::Float),
+        Just(Value::Null),
+        Just(Value::Bool(true)),
+    ];
+    (1usize..4, 1usize..6).prop_flat_map(move |(cols, rows)| {
+        proptest::collection::vec(proptest::collection::vec(cell.clone(), rows), cols).prop_map(
+            |columns| {
+                Table::new(
+                    "t",
+                    columns
+                        .into_iter()
+                        .enumerate()
+                        .map(|(j, values)| Column::new(format!("col{j}"), values))
+                        .collect(),
+                )
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    /// Every model encodes every table without panicking, with finite
+    /// embeddings and aligned provenance.
+    #[test]
+    fn all_models_total_on_arbitrary_tables(table in arb_table()) {
+        for model in all_models() {
+            let enc = model.encode_table(&table);
+            prop_assert_eq!(enc.provenance.len(), enc.embeddings.rows(), "{}", model.name());
+            prop_assert!(
+                enc.embeddings.as_slice().iter().all(|x| x.is_finite()),
+                "{} produced non-finite embeddings",
+                model.name()
+            );
+        }
+    }
+
+    /// Capability gating is total: levels a model does not support return
+    /// None for every index; supported levels return embeddings of the
+    /// model's dimensionality whenever they return at all.
+    #[test]
+    fn capability_gating_consistent(table in arb_table()) {
+        for model in all_models() {
+            let caps = model.capabilities();
+            let enc = model.encode_table(&table);
+            for j in 0..table.num_cols() {
+                match enc.column(j) {
+                    Some(e) => {
+                        prop_assert!(caps.column, "{} column w/o capability", model.name());
+                        prop_assert_eq!(e.len(), model.dim());
+                    }
+                    None => prop_assert!(
+                        !caps.column || enc.rows_encoded <= table.num_rows(),
+                        "{}", model.name()
+                    ),
+                }
+            }
+            for i in 0..table.num_rows() {
+                if let Some(e) = enc.row(i) {
+                    prop_assert!(caps.row);
+                    prop_assert_eq!(e.len(), model.dim());
+                }
+            }
+            if let Some(e) = enc.table() {
+                prop_assert!(caps.table);
+                prop_assert_eq!(e.len(), model.dim());
+            }
+        }
+    }
+
+    /// Determinism through the whole pipeline, per model.
+    #[test]
+    fn pipeline_deterministic(table in arb_table()) {
+        for name in ["bert", "doduo", "tabert", "taptap"] {
+            let m1 = model_by_name(name).unwrap();
+            let m2 = model_by_name(name).unwrap();
+            let a = m1.encode_table(&table);
+            let b = m2.encode_table(&table);
+            prop_assert_eq!(a.embeddings, b.embeddings, "{}", name);
+        }
+    }
+
+    /// Appending rows never changes how many *fewer* rows fit: the row
+    /// budget is monotone in table size.
+    #[test]
+    fn row_budget_monotone(table in arb_table()) {
+        let model = model_by_name("bert").unwrap();
+        let small = model.encode_table(&table);
+        // Duplicate the table's rows.
+        let idx: Vec<usize> =
+            (0..table.num_rows()).chain(0..table.num_rows()).collect();
+        let doubled = table.select_rows(&idx);
+        let big = model.encode_table(&doubled);
+        prop_assert!(big.rows_encoded >= small.rows_encoded.min(doubled.num_rows()).min(big.rows_encoded));
+        prop_assert!(big.rows_encoded <= doubled.num_rows());
+    }
+
+    /// Text encoding is total and finite for arbitrary strings.
+    #[test]
+    fn text_encoding_total(text in "\\PC{0,48}") {
+        for name in ["bert", "t5", "tapas"] {
+            let m = model_by_name(name).unwrap();
+            let v = m.encode_text(&text);
+            prop_assert_eq!(v.len(), m.dim());
+            prop_assert!(v.iter().all(|x| x.is_finite()));
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Embedding-based join discovery (paper §6, the Property-5 downstream
+//! connection).
+//!
+//! The WarpGate-style pipeline the paper implements with T5: embed every
+//! candidate column, index the embeddings, embed the query column, retrieve
+//! top-k, and score against overlap-based ground truth. The experiment
+//! contrasts *full-value* embeddings with *sampled* embeddings — high
+//! sample fidelity (Property 5) should translate into near-identical
+//! precision/recall at a fraction of the indexing cost.
+
+use crate::knn::KnnIndex;
+use std::collections::HashSet;
+
+/// Precision/recall of one retrieval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrecisionRecall {
+    pub precision: f64,
+    pub recall: f64,
+}
+
+/// Precision and recall of `retrieved` against the `relevant` set.
+///
+/// Empty-edge conventions: no retrieved items → precision 0 (unless
+/// nothing was relevant either); no relevant items → recall 1 (nothing to
+/// find, vacuously complete).
+pub fn precision_recall(retrieved: &[String], relevant: &HashSet<String>) -> PrecisionRecall {
+    let hits = retrieved.iter().filter(|r| relevant.contains(*r)).count() as f64;
+    let precision = if retrieved.is_empty() {
+        if relevant.is_empty() {
+            1.0
+        } else {
+            0.0
+        }
+    } else {
+        hits / retrieved.len() as f64
+    };
+    let recall = if relevant.is_empty() { 1.0 } else { hits / relevant.len() as f64 };
+    PrecisionRecall { precision, recall }
+}
+
+/// A join-discovery query: the query column's key, its embedding, and the
+/// keys of its truly-joinable candidates.
+pub struct JoinQuery {
+    pub key: String,
+    pub embedding: Vec<f64>,
+    pub relevant: HashSet<String>,
+}
+
+/// Aggregate retrieval quality over a query workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JoinEval {
+    pub mean_precision: f64,
+    pub mean_recall: f64,
+    pub queries: usize,
+}
+
+/// Run every query against the index at cutoff `k` and average.
+pub fn evaluate_join_search(index: &KnnIndex, queries: &[JoinQuery], k: usize) -> JoinEval {
+    if queries.is_empty() {
+        return JoinEval { mean_precision: f64::NAN, mean_recall: f64::NAN, queries: 0 };
+    }
+    let mut p_sum = 0.0;
+    let mut r_sum = 0.0;
+    for q in queries {
+        let retrieved = index.neighbor_keys(&q.embedding, k, Some(q.key.as_str()));
+        let pr = precision_recall(&retrieved, &q.relevant);
+        p_sum += pr.precision;
+        r_sum += pr.recall;
+    }
+    JoinEval {
+        mean_precision: p_sum / queries.len() as f64,
+        mean_recall: r_sum / queries.len() as f64,
+        queries: queries.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(keys: &[&str]) -> HashSet<String> {
+        keys.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn precision_recall_basics() {
+        let retrieved = vec!["a".to_string(), "b".to_string(), "x".to_string()];
+        let pr = precision_recall(&retrieved, &set(&["a", "b", "c"]));
+        assert!((pr.precision - 2.0 / 3.0).abs() < 1e-12);
+        assert!((pr.recall - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_edges() {
+        assert_eq!(precision_recall(&[], &set(&["a"])).precision, 0.0);
+        assert_eq!(precision_recall(&[], &set(&[])).precision, 1.0);
+        assert_eq!(precision_recall(&["a".to_string()], &set(&[])).recall, 1.0);
+    }
+
+    #[test]
+    fn end_to_end_retrieval() {
+        // Two clusters: "numbers" around (1,0), "letters" around (0,1).
+        let mut idx = KnnIndex::new(2);
+        idx.insert("n1", &[1.0, 0.05]);
+        idx.insert("n2", &[1.0, -0.05]);
+        idx.insert("l1", &[0.05, 1.0]);
+        idx.insert("l2", &[-0.05, 1.0]);
+        let queries = vec![
+            JoinQuery { key: "qn".into(), embedding: vec![1.0, 0.0], relevant: set(&["n1", "n2"]) },
+            JoinQuery { key: "ql".into(), embedding: vec![0.0, 1.0], relevant: set(&["l1", "l2"]) },
+        ];
+        let eval = evaluate_join_search(&idx, &queries, 2);
+        assert_eq!(eval.mean_precision, 1.0);
+        assert_eq!(eval.mean_recall, 1.0);
+        assert_eq!(eval.queries, 2);
+
+        // k = 4 drags in the other cluster: precision halves, recall stays.
+        let eval4 = evaluate_join_search(&idx, &queries, 4);
+        assert_eq!(eval4.mean_precision, 0.5);
+        assert_eq!(eval4.mean_recall, 1.0);
+    }
+
+    #[test]
+    fn empty_workload_is_nan() {
+        let idx = KnnIndex::new(2);
+        let eval = evaluate_join_search(&idx, &[], 3);
+        assert!(eval.mean_precision.is_nan());
+        assert_eq!(eval.queries, 0);
+    }
+}

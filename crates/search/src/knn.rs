@@ -1,0 +1,164 @@
+//! Exact k-nearest-neighbour search under cosine similarity.
+//!
+//! Exact (brute force) rather than approximate: Observatory's entity-
+//! stability measure compares the *identity* of neighbour sets between two
+//! embedding spaces, so index recall must be 1 to avoid conflating index
+//! error with model disagreement. Vectors are L2-normalized at insertion,
+//! making each query a dot-product scan plus a top-k selection.
+
+use observatory_linalg::vector;
+
+/// One search hit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hit {
+    /// Key of the indexed item.
+    pub key: String,
+    /// Cosine similarity to the query.
+    pub score: f64,
+}
+
+/// An exact cosine kNN index over keyed vectors.
+pub struct KnnIndex {
+    dim: usize,
+    keys: Vec<String>,
+    vectors: Vec<Vec<f64>>, // unit-normalized
+}
+
+impl KnnIndex {
+    /// An empty index for vectors of dimension `dim`.
+    pub fn new(dim: usize) -> Self {
+        Self { dim, keys: Vec::new(), vectors: Vec::new() }
+    }
+
+    /// Number of indexed items.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Insert a keyed vector. Keys need not be unique (near-duplicate
+    /// mentions across tables are legitimate distinct items); zero vectors
+    /// are stored as-is and simply never score above 0.
+    ///
+    /// # Panics
+    /// Panics on a dimension mismatch.
+    pub fn insert(&mut self, key: impl Into<String>, vector: &[f64]) {
+        assert_eq!(vector.len(), self.dim, "insert: dimension mismatch");
+        self.keys.push(key.into());
+        self.vectors.push(vector::normalize(vector));
+    }
+
+    /// The `k` nearest neighbours of `query` by cosine similarity,
+    /// descending score; ties break by insertion order (stable across
+    /// runs). Set `exclude_key` to skip self-matches.
+    pub fn query(&self, query: &[f64], k: usize, exclude_key: Option<&str>) -> Vec<Hit> {
+        assert_eq!(query.len(), self.dim, "query: dimension mismatch");
+        let q = vector::normalize(query);
+        let mut scored: Vec<(usize, f64)> = self
+            .vectors
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| exclude_key != Some(self.keys[*i].as_str()))
+            .map(|(i, v)| (i, vector::dot(&q, v)))
+            .collect();
+        // Descending by score, ascending by index for deterministic ties.
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        scored
+            .into_iter()
+            .take(k)
+            .map(|(i, score)| Hit { key: self.keys[i].clone(), score })
+            .collect()
+    }
+
+    /// Convenience: the neighbour key set (for overlap computations).
+    pub fn neighbor_keys(&self, query: &[f64], k: usize, exclude_key: Option<&str>) -> Vec<String> {
+        self.query(query, k, exclude_key).into_iter().map(|h| h.key).collect()
+    }
+}
+
+/// Percent overlap between two neighbour lists: `|s₁ ∩ s₂| / K` with
+/// `K = max(len)` (paper Measure 6). Duplicated keys count once.
+pub fn neighbor_overlap(s1: &[String], s2: &[String]) -> f64 {
+    let k = s1.len().max(s2.len());
+    if k == 0 {
+        return 0.0;
+    }
+    let a: std::collections::HashSet<&String> = s1.iter().collect();
+    let b: std::collections::HashSet<&String> = s2.iter().collect();
+    a.intersection(&b).count() as f64 / k as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn index() -> KnnIndex {
+        let mut idx = KnnIndex::new(2);
+        idx.insert("east", &[1.0, 0.0]);
+        idx.insert("northeast", &[1.0, 1.0]);
+        idx.insert("north", &[0.0, 1.0]);
+        idx.insert("west", &[-1.0, 0.0]);
+        idx
+    }
+
+    #[test]
+    fn nearest_by_cosine() {
+        let hits = index().query(&[1.0, 0.1], 2, None);
+        assert_eq!(hits[0].key, "east");
+        assert_eq!(hits[1].key, "northeast");
+        assert!(hits[0].score > hits[1].score);
+    }
+
+    #[test]
+    fn scale_invariance() {
+        let idx = index();
+        let a = idx.neighbor_keys(&[2.0, 0.2], 3, None);
+        let b = idx.neighbor_keys(&[200.0, 20.0], 3, None);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn exclude_self() {
+        let idx = index();
+        let hits = idx.query(&[1.0, 0.0], 1, Some("east"));
+        assert_eq!(hits[0].key, "northeast");
+    }
+
+    #[test]
+    fn k_larger_than_index() {
+        let hits = index().query(&[1.0, 0.0], 100, None);
+        assert_eq!(hits.len(), 4);
+    }
+
+    #[test]
+    fn deterministic_tie_break() {
+        let mut idx = KnnIndex::new(2);
+        idx.insert("first", &[1.0, 0.0]);
+        idx.insert("second", &[1.0, 0.0]);
+        let hits = idx.query(&[1.0, 0.0], 2, None);
+        assert_eq!(hits[0].key, "first");
+        assert_eq!(hits[1].key, "second");
+    }
+
+    #[test]
+    fn overlap_measure() {
+        let s1 = vec!["a".into(), "b".into(), "c".into()];
+        let s2 = vec!["b".into(), "c".into(), "d".into()];
+        assert!((neighbor_overlap(&s1, &s2) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(neighbor_overlap(&s1, &s1), 1.0);
+        assert_eq!(neighbor_overlap(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn zero_vector_is_harmless() {
+        let mut idx = index();
+        idx.insert("null", &[0.0, 0.0]);
+        let hits = idx.query(&[1.0, 0.0], 5, None);
+        assert_eq!(hits.last().unwrap().key, "west"); // null scores 0 > west's −1
+        assert_eq!(hits.len(), 5);
+    }
+}

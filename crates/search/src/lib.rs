@@ -1,0 +1,27 @@
+//! # observatory-search
+//!
+//! Value-overlap measures, nearest-neighbour search, and the join-discovery
+//! pipeline.
+//!
+//! - [`overlap`]: the three syntactic joinability measures of Property 3 —
+//!   containment, Jaccard, multiset Jaccard (paper Measure 3).
+//! - [`knn`]: an exact cosine k-nearest-neighbour index, used by Property 6
+//!   (entity stability = K-NN overlap between embedding spaces) and by the
+//!   downstream join-discovery experiment.
+//! - [`join`]: embedding-based join discovery à la WarpGate (paper §6,
+//!   connection for P5): index candidate column embeddings, query by
+//!   column, evaluate precision/recall against overlap ground truth.
+//! - [`minhash`]: MinHash sketches with Jaccard/containment estimation
+//!   (the constant-space overlap estimates of the JOSIE / LSH Ensemble
+//!   line the paper builds on).
+//! - [`lsh`]: random-hyperplane LSH for approximate cosine search — the
+//!   sublinear regime the paper's LSH-Ensemble citations target.
+
+pub mod join;
+pub mod knn;
+pub mod lsh;
+pub mod minhash;
+pub mod overlap;
+
+pub use knn::KnnIndex;
+pub use overlap::{containment, jaccard, multiset_jaccard};

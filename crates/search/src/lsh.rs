@@ -1,0 +1,210 @@
+//! Random-hyperplane LSH (SimHash) for approximate cosine search.
+//!
+//! The exact [`crate::knn::KnnIndex`] is O(n) per query — fine for
+//! Observatory's experiments, linear-scan-shaped like the paper's own
+//! implementation. Production join discovery over data lakes needs
+//! sublinear candidates (the paper cites LSH Ensemble for exactly this
+//! regime). This index hashes each vector with `n_bits` random hyperplanes
+//! per hash table; a query retrieves the union of its buckets across
+//! `n_tables` tables and re-ranks those candidates exactly, trading recall
+//! for probe cost.
+
+use crate::knn::Hit;
+use observatory_linalg::{vector, SplitMix64};
+use std::collections::HashMap;
+
+/// A SimHash LSH index over keyed vectors.
+pub struct LshIndex {
+    dim: usize,
+    /// One hyperplane set per table: `n_tables × n_bits` rows of `dim`.
+    hyperplanes: Vec<Vec<Vec<f64>>>,
+    /// One bucket map per table: signature → item indices.
+    tables: Vec<HashMap<u64, Vec<usize>>>,
+    keys: Vec<String>,
+    vectors: Vec<Vec<f64>>, // unit-normalized
+}
+
+impl LshIndex {
+    /// Create an index with `n_tables` hash tables of `n_bits`-bit
+    /// signatures. More tables = higher recall, more probe cost; more bits
+    /// = smaller buckets, lower recall per table.
+    ///
+    /// # Panics
+    /// Panics if `n_bits` is 0 or exceeds 64, or `n_tables` is 0.
+    pub fn new(dim: usize, n_tables: usize, n_bits: usize, seed: u64) -> Self {
+        assert!((1..=64).contains(&n_bits), "n_bits must be in 1..=64");
+        assert!(n_tables > 0, "need at least one hash table");
+        let mut rng = SplitMix64::new(seed);
+        let hyperplanes = (0..n_tables)
+            .map(|_| {
+                (0..n_bits)
+                    .map(|_| (0..dim).map(|_| rng.next_normal()).collect())
+                    .collect()
+            })
+            .collect();
+        Self {
+            dim,
+            hyperplanes,
+            tables: vec![HashMap::new(); n_tables],
+            keys: Vec::new(),
+            vectors: Vec::new(),
+        }
+    }
+
+    /// Number of indexed items.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    fn signature(&self, table: usize, v: &[f64]) -> u64 {
+        let mut sig = 0u64;
+        for (b, plane) in self.hyperplanes[table].iter().enumerate() {
+            if vector::dot(plane, v) >= 0.0 {
+                sig |= 1 << b;
+            }
+        }
+        sig
+    }
+
+    /// Insert a keyed vector.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn insert(&mut self, key: impl Into<String>, v: &[f64]) {
+        assert_eq!(v.len(), self.dim, "insert: dimension mismatch");
+        let normalized = vector::normalize(v);
+        let idx = self.keys.len();
+        for t in 0..self.tables.len() {
+            let sig = self.signature(t, &normalized);
+            self.tables[t].entry(sig).or_default().push(idx);
+        }
+        self.keys.push(key.into());
+        self.vectors.push(normalized);
+    }
+
+    /// Approximate k nearest neighbours: candidates from all matching
+    /// buckets, re-ranked by exact cosine. May return fewer than `k` hits
+    /// when the buckets are sparse.
+    pub fn query(&self, query: &[f64], k: usize, exclude_key: Option<&str>) -> Vec<Hit> {
+        assert_eq!(query.len(), self.dim, "query: dimension mismatch");
+        let q = vector::normalize(query);
+        let mut candidates: Vec<usize> = Vec::new();
+        for t in 0..self.tables.len() {
+            if let Some(bucket) = self.tables[t].get(&self.signature(t, &q)) {
+                candidates.extend_from_slice(bucket);
+            }
+        }
+        candidates.sort_unstable();
+        candidates.dedup();
+        let mut scored: Vec<(usize, f64)> = candidates
+            .into_iter()
+            .filter(|&i| exclude_key != Some(self.keys[i].as_str()))
+            .map(|i| (i, vector::dot(&q, &self.vectors[i])))
+            .collect();
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        scored
+            .into_iter()
+            .take(k)
+            .map(|(i, score)| Hit { key: self.keys[i].clone(), score })
+            .collect()
+    }
+
+    /// Mean fraction of query buckets probed relative to the full index —
+    /// a cheap selectivity diagnostic.
+    pub fn mean_bucket_fill(&self) -> f64 {
+        if self.keys.is_empty() {
+            return 0.0;
+        }
+        let total: usize = self.tables.iter().map(|t| t.len()).sum();
+        self.keys.len() as f64 * self.tables.len() as f64 / total.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::knn::KnnIndex;
+
+    /// Clustered vectors: `n` points around each of `k` random centers.
+    fn clustered(n_per: usize, k: usize, dim: usize, seed: u64) -> Vec<(String, Vec<f64>)> {
+        let mut rng = SplitMix64::new(seed);
+        let centers: Vec<Vec<f64>> =
+            (0..k).map(|_| (0..dim).map(|_| rng.next_normal()).collect()).collect();
+        let mut out = Vec::new();
+        for (c, center) in centers.iter().enumerate() {
+            for i in 0..n_per {
+                let v: Vec<f64> =
+                    center.iter().map(|x| x + 0.1 * rng.next_normal()).collect();
+                out.push((format!("c{c}_{i}"), v));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn high_recall_on_clustered_data() {
+        let data = clustered(20, 5, 32, 1);
+        let mut exact = KnnIndex::new(32);
+        let mut lsh = LshIndex::new(32, 8, 10, 42);
+        for (k, v) in &data {
+            exact.insert(k.clone(), v);
+            lsh.insert(k.clone(), v);
+        }
+        let mut recall_sum = 0.0;
+        let queries = 20;
+        for (k, v) in data.iter().take(queries) {
+            let truth: std::collections::HashSet<String> =
+                exact.neighbor_keys(v, 5, Some(k)).into_iter().collect();
+            let approx = lsh.query(v, 5, Some(k));
+            let hits = approx.iter().filter(|h| truth.contains(&h.key)).count();
+            recall_sum += hits as f64 / truth.len() as f64;
+        }
+        let recall = recall_sum / queries as f64;
+        assert!(recall > 0.8, "LSH recall too low: {recall}");
+    }
+
+    #[test]
+    fn nearest_cluster_dominates() {
+        let data = clustered(10, 3, 16, 2);
+        let mut lsh = LshIndex::new(16, 6, 8, 7);
+        for (k, v) in &data {
+            lsh.insert(k.clone(), v);
+        }
+        let (qk, qv) = &data[0]; // a c0 point
+        let hits = lsh.query(qv, 5, Some(qk));
+        assert!(!hits.is_empty());
+        let same_cluster = hits.iter().filter(|h| h.key.starts_with("c0_")).count();
+        assert!(same_cluster >= hits.len() - 1, "{hits:?}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let data = clustered(5, 2, 8, 3);
+        let build = || {
+            let mut lsh = LshIndex::new(8, 4, 6, 11);
+            for (k, v) in &data {
+                lsh.insert(k.clone(), v);
+            }
+            lsh.query(&data[3].1, 3, None)
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn empty_and_mismatch() {
+        let lsh = LshIndex::new(4, 2, 4, 1);
+        assert!(lsh.is_empty());
+        assert!(lsh.query(&[1.0, 0.0, 0.0, 0.0], 3, None).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "n_bits")]
+    fn too_many_bits_panics() {
+        LshIndex::new(4, 2, 65, 1);
+    }
+}

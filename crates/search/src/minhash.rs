@@ -1,0 +1,197 @@
+//! MinHash sketches for overlap estimation.
+//!
+//! Exact containment/Jaccard over raw values (Property 3's ground truth)
+//! is linear in column size; at data-lake scale the joinability literature
+//! the paper builds on (LSH Ensemble, JOSIE) estimates overlap from
+//! constant-size *sketches*. A MinHash signature keeps the minimum of `k`
+//! independent hash functions over the value set; the fraction of agreeing
+//! components is an unbiased estimate of Jaccard similarity, and
+//! containment follows from Jaccard plus the two set cardinalities via
+//! `|Q ∩ C| = J(|Q| + |C|)/(1 + J)`.
+
+use observatory_table::Column;
+
+/// A MinHash signature over a column's *distinct* value set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MinHashSketch {
+    mins: Vec<u64>,
+    /// Number of distinct values sketched (needed for containment).
+    pub distinct: usize,
+}
+
+/// Builder holding the hash-function seeds so sketches are comparable.
+#[derive(Debug, Clone)]
+pub struct MinHasher {
+    seeds: Vec<u64>,
+}
+
+impl MinHasher {
+    /// A sketcher with `k` hash functions derived from `seed`.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn new(k: usize, seed: u64) -> Self {
+        assert!(k > 0, "MinHasher: need at least one hash function");
+        let mut rng = observatory_linalg::SplitMix64::new(seed);
+        Self { seeds: (0..k).map(|_| rng.next_u64() | 1).collect() }
+    }
+
+    /// Number of hash functions.
+    pub fn k(&self) -> usize {
+        self.seeds.len()
+    }
+
+    /// Sketch a column (over its distinct group keys, matching the exact
+    /// measures' set semantics).
+    pub fn sketch(&self, column: &Column) -> MinHashSketch {
+        let mut keys: Vec<String> = column.values.iter().map(|v| v.group_key()).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        let mut mins = vec![u64::MAX; self.seeds.len()];
+        for key in &keys {
+            let base = fnv1a(key.as_bytes());
+            for (slot, &seed) in mins.iter_mut().zip(&self.seeds) {
+                // Multiply-xor mix per hash function: cheap, independent
+                // enough for sketching.
+                let h = (base ^ seed).wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(31);
+                if h < *slot {
+                    *slot = h;
+                }
+            }
+        }
+        MinHashSketch { mins, distinct: keys.len() }
+    }
+}
+
+impl MinHashSketch {
+    /// Estimated Jaccard similarity: fraction of agreeing components.
+    ///
+    /// # Panics
+    /// Panics if the sketches were built with different `k`.
+    pub fn jaccard_estimate(&self, other: &MinHashSketch) -> f64 {
+        assert_eq!(self.mins.len(), other.mins.len(), "sketch size mismatch");
+        if self.distinct == 0 && other.distinct == 0 {
+            return 0.0;
+        }
+        let agree = self.mins.iter().zip(&other.mins).filter(|(a, b)| a == b).count();
+        agree as f64 / self.mins.len() as f64
+    }
+
+    /// Estimated containment of `self`'s set in `other`'s:
+    /// `Ĵ(|Q| + |C|)/((1 + Ĵ)|Q|)`, clamped to `[0, 1]`.
+    pub fn containment_estimate(&self, other: &MinHashSketch) -> f64 {
+        if self.distinct == 0 {
+            return 0.0;
+        }
+        let j = self.jaccard_estimate(other);
+        let inter = j * (self.distinct + other.distinct) as f64 / (1.0 + j);
+        (inter / self.distinct as f64).clamp(0.0, 1.0)
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::overlap::{containment, jaccard};
+    use observatory_table::Value;
+
+    fn col(range: std::ops::Range<i64>) -> Column {
+        Column::new("c", range.map(Value::Int).collect())
+    }
+
+    #[test]
+    fn identical_sets_estimate_one() {
+        let hasher = MinHasher::new(128, 7);
+        let a = hasher.sketch(&col(0..50));
+        assert_eq!(a.jaccard_estimate(&a), 1.0);
+        assert_eq!(a.containment_estimate(&a), 1.0);
+    }
+
+    #[test]
+    fn disjoint_sets_estimate_zero() {
+        let hasher = MinHasher::new(128, 7);
+        let a = hasher.sketch(&col(0..40));
+        let b = hasher.sketch(&col(1000..1040));
+        assert!(a.jaccard_estimate(&b) < 0.05);
+    }
+
+    #[test]
+    fn estimates_track_exact_measures() {
+        let hasher = MinHasher::new(256, 11);
+        // 60-value query, candidate shares 30 (J = 1/3, containment 0.5).
+        let q = col(0..60);
+        let c = col(30..90);
+        let (sq, sc) = (hasher.sketch(&q), hasher.sketch(&c));
+        let exact_j = jaccard(&q, &c);
+        let exact_c = containment(&q, &c);
+        assert!((sq.jaccard_estimate(&sc) - exact_j).abs() < 0.1, "J est {}", sq.jaccard_estimate(&sc));
+        assert!(
+            (sq.containment_estimate(&sc) - exact_c).abs() < 0.12,
+            "containment est {}",
+            sq.containment_estimate(&sc)
+        );
+    }
+
+    #[test]
+    fn more_hashes_tighter_estimates() {
+        let q = col(0..80);
+        let c = col(40..120);
+        let exact = jaccard(&q, &c);
+        let err = |k: usize| {
+            // Average error over several seeds to smooth sketch noise.
+            (0..8)
+                .map(|s| {
+                    let h = MinHasher::new(k, s);
+                    (h.sketch(&q).jaccard_estimate(&h.sketch(&c)) - exact).abs()
+                })
+                .sum::<f64>()
+                / 8.0
+        };
+        assert!(err(512) < err(16), "512 hashes: {}, 16 hashes: {}", err(512), err(16));
+    }
+
+    #[test]
+    fn duplicates_do_not_change_sketch() {
+        let hasher = MinHasher::new(64, 3);
+        let mut dup = col(0..20);
+        dup.values.extend(col(0..20).values);
+        assert_eq!(hasher.sketch(&col(0..20)), hasher.sketch(&dup));
+    }
+
+    #[test]
+    fn empty_column_safe() {
+        let hasher = MinHasher::new(32, 1);
+        let e = hasher.sketch(&Column::new("e", vec![]));
+        let a = hasher.sketch(&col(0..5));
+        assert_eq!(e.containment_estimate(&a), 0.0);
+        assert_eq!(e.jaccard_estimate(&e), 0.0);
+    }
+
+    #[test]
+    fn asymmetric_containment() {
+        let hasher = MinHasher::new(256, 5);
+        let small = col(0..20);
+        let big = col(0..100);
+        let (ss, sb) = (hasher.sketch(&small), hasher.sketch(&big));
+        // small ⊂ big: containment(small→big) ≈ 1, reverse ≈ 0.2.
+        assert!(ss.containment_estimate(&sb) > 0.85);
+        assert!(sb.containment_estimate(&ss) < 0.35);
+    }
+
+    #[test]
+    #[should_panic(expected = "sketch size mismatch")]
+    fn mixed_k_panics() {
+        let a = MinHasher::new(16, 1).sketch(&col(0..5));
+        let b = MinHasher::new(32, 1).sketch(&col(0..5));
+        a.jaccard_estimate(&b);
+    }
+}

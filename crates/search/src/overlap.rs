@@ -1,0 +1,146 @@
+//! Syntactic value-overlap measures (paper Measure 3).
+//!
+//! Given query column `C_q` and candidate `C_c`:
+//!
+//! - containment `|C_q ∩ C_c| / |C_q|` over value *sets* — "not biased
+//!   towards small sets" (JOSIE, LSH Ensemble);
+//! - Jaccard `|C_q ∩ C_c| / |C_q ∪ C_c|` over sets;
+//! - multiset Jaccard `|C_q ⩀ C_c| / |C_q ⊎ C_c|` over bags, where the
+//!   intersection takes per-value minimum multiplicities and the union the
+//!   sum. Its maximum is 0.5 (identical bags: `n / 2n`), as the paper notes
+//!   under Figure 9.
+
+use observatory_table::{Column, Value};
+use std::collections::HashMap;
+
+fn value_counts(values: &[Value]) -> HashMap<String, usize> {
+    let mut m = HashMap::new();
+    for v in values {
+        *m.entry(v.group_key()).or_insert(0) += 1;
+    }
+    m
+}
+
+/// Set containment of `query` in `candidate`: `|Q ∩ C| / |Q|`.
+///
+/// Returns 0 for an empty query column.
+pub fn containment(query: &Column, candidate: &Column) -> f64 {
+    let q = value_counts(&query.values);
+    if q.is_empty() {
+        return 0.0;
+    }
+    let c = value_counts(&candidate.values);
+    let inter = q.keys().filter(|k| c.contains_key(*k)).count();
+    inter as f64 / q.len() as f64
+}
+
+/// Set Jaccard similarity `|Q ∩ C| / |Q ∪ C|`.
+///
+/// Returns 0 when both columns are empty.
+pub fn jaccard(query: &Column, candidate: &Column) -> f64 {
+    let q = value_counts(&query.values);
+    let c = value_counts(&candidate.values);
+    let inter = q.keys().filter(|k| c.contains_key(*k)).count();
+    let union = q.len() + c.len() - inter;
+    if union == 0 {
+        return 0.0;
+    }
+    inter as f64 / union as f64
+}
+
+/// Multiset Jaccard `Σ min(q_v, c_v) / Σ (q_v + c_v)` — duplicates count,
+/// and the maximum possible value is 0.5.
+pub fn multiset_jaccard(query: &Column, candidate: &Column) -> f64 {
+    let q = value_counts(&query.values);
+    let c = value_counts(&candidate.values);
+    let total = query.values.len() + candidate.values.len();
+    if total == 0 {
+        return 0.0;
+    }
+    let inter: usize = q
+        .iter()
+        .map(|(k, &nq)| c.get(k).map_or(0, |&nc| nq.min(nc)))
+        .sum();
+    inter as f64 / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn col(vals: &[&str]) -> Column {
+        Column::new("c", vals.iter().map(|v| Value::text(*v)).collect())
+    }
+
+    #[test]
+    fn containment_basic() {
+        let q = col(&["a", "b", "c", "d"]);
+        let c = col(&["a", "b", "x", "y", "z"]);
+        assert_eq!(containment(&q, &c), 0.5);
+        // Containment is asymmetric.
+        assert_eq!(containment(&c, &q), 0.4);
+    }
+
+    #[test]
+    fn containment_full_and_none() {
+        let q = col(&["a", "b"]);
+        assert_eq!(containment(&q, &col(&["a", "b", "c"])), 1.0);
+        assert_eq!(containment(&q, &col(&["x"])), 0.0);
+        assert_eq!(containment(&col(&[]), &q), 0.0);
+    }
+
+    #[test]
+    fn containment_ignores_duplicates() {
+        let q = col(&["a", "a", "a", "b"]);
+        let c = col(&["a"]);
+        assert_eq!(containment(&q, &c), 0.5); // sets {a,b} vs {a}
+    }
+
+    #[test]
+    fn jaccard_basic() {
+        let q = col(&["a", "b", "c"]);
+        let c = col(&["b", "c", "d"]);
+        assert_eq!(jaccard(&q, &c), 0.5); // |{b,c}| / |{a,b,c,d}|
+        assert_eq!(jaccard(&q, &q), 1.0);
+        assert_eq!(jaccard(&col(&[]), &col(&[])), 0.0);
+    }
+
+    #[test]
+    fn jaccard_symmetric() {
+        let q = col(&["a", "b", "c", "x"]);
+        let c = col(&["b", "y"]);
+        assert_eq!(jaccard(&q, &c), jaccard(&c, &q));
+    }
+
+    #[test]
+    fn multiset_jaccard_counts_duplicates() {
+        let q = col(&["a", "a", "b"]);
+        let c = col(&["a", "b", "b"]);
+        // min-multiplicity intersection = min(2,1) + min(1,2) = 2; total 6.
+        assert!((multiset_jaccard(&q, &c) - 2.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multiset_jaccard_max_is_half() {
+        let q = col(&["a", "b", "c"]);
+        assert_eq!(multiset_jaccard(&q, &q), 0.5);
+    }
+
+    #[test]
+    fn measures_disagree_under_duplication() {
+        // Same set overlap, different multiset overlap — the mechanism
+        // behind the paper's Table 3 finding.
+        let q = col(&["a", "a", "a", "a", "b"]);
+        let c1 = col(&["a", "b"]);
+        let c2 = col(&["a", "a", "a", "a", "b"]);
+        assert_eq!(jaccard(&q, &c1), jaccard(&q, &c2));
+        assert!(multiset_jaccard(&q, &c2) > multiset_jaccard(&q, &c1));
+    }
+
+    #[test]
+    fn values_distinguish_kinds() {
+        let ints = Column::new("i", vec![Value::Int(1)]);
+        let texts = col(&["1"]);
+        assert_eq!(jaccard(&ints, &texts), 0.0);
+    }
+}

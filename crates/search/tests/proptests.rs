@@ -1,0 +1,105 @@
+//! Property-based tests for overlap measures and the search indexes.
+
+use observatory_search::knn::{neighbor_overlap, KnnIndex};
+use observatory_search::lsh::LshIndex;
+use observatory_search::overlap::{containment, jaccard, multiset_jaccard};
+use observatory_table::{Column, Value};
+use proptest::prelude::*;
+
+fn arb_column() -> impl Strategy<Value = Column> {
+    proptest::collection::vec(0u8..12, 1..30).prop_map(|vals| {
+        Column::new("c", vals.into_iter().map(|v| Value::Int(i64::from(v))).collect())
+    })
+}
+
+fn vectors(dim: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    proptest::collection::vec(proptest::collection::vec(-10.0f64..10.0, dim), 2..30)
+}
+
+proptest! {
+    /// Bounds, symmetry and subset laws of the overlap measures.
+    #[test]
+    fn overlap_laws(q in arb_column(), c in arb_column()) {
+        let cont = containment(&q, &c);
+        let jac = jaccard(&q, &c);
+        let mjac = multiset_jaccard(&q, &c);
+        prop_assert!((0.0..=1.0).contains(&cont));
+        prop_assert!((0.0..=1.0).contains(&jac));
+        prop_assert!((0.0..=0.5 + 1e-12).contains(&mjac));
+        // Jaccard ≤ both containments (|Q∩C|/|Q∪C| ≤ |Q∩C|/|Q| and /|C|).
+        prop_assert!(jac <= cont + 1e-12);
+        prop_assert!(jac <= containment(&c, &q) + 1e-12);
+        // Symmetric measures.
+        prop_assert!((jac - jaccard(&c, &q)).abs() < 1e-12);
+        prop_assert!((mjac - multiset_jaccard(&c, &q)).abs() < 1e-12);
+    }
+
+    /// Sub-column containment: a prefix of a column is always fully
+    /// contained in it.
+    #[test]
+    fn prefix_fully_contained(c in arb_column(), cut in 1usize..30) {
+        let cut = cut.min(c.len());
+        let prefix = Column::new("p", c.values[..cut].to_vec());
+        prop_assert!((containment(&prefix, &c) - 1.0).abs() < 1e-12);
+    }
+
+    /// kNN: top-1 of a query that equals an indexed vector is that vector
+    /// (ties broken by insertion order still score 1.0).
+    #[test]
+    fn knn_self_retrieval(vs in vectors(6), pick in 0usize..30) {
+        let nonzero: Vec<&Vec<f64>> =
+            vs.iter().filter(|v| v.iter().any(|x| x.abs() > 1e-9)).collect();
+        prop_assume!(!nonzero.is_empty());
+        let mut idx = KnnIndex::new(6);
+        for (i, v) in nonzero.iter().enumerate() {
+            idx.insert(format!("v{i}"), v);
+        }
+        let q = nonzero[pick % nonzero.len()];
+        let hits = idx.query(q, 1, None);
+        prop_assert!((hits[0].score - 1.0).abs() < 1e-9);
+    }
+
+    /// kNN scores are sorted descending and within [−1, 1].
+    #[test]
+    fn knn_scores_sorted(vs in vectors(5)) {
+        let mut idx = KnnIndex::new(5);
+        for (i, v) in vs.iter().enumerate() {
+            idx.insert(format!("v{i}"), v);
+        }
+        let hits = idx.query(&vs[0], vs.len(), None);
+        for w in hits.windows(2) {
+            prop_assert!(w[0].score + 1e-12 >= w[1].score);
+        }
+        prop_assert!(hits.iter().all(|h| (-1.0 - 1e-9..=1.0 + 1e-9).contains(&h.score)));
+    }
+
+    /// LSH hits are a subset of the index and scored like the exact index.
+    #[test]
+    fn lsh_hits_are_genuine(vs in vectors(8)) {
+        let mut exact = KnnIndex::new(8);
+        let mut lsh = LshIndex::new(8, 4, 6, 3);
+        for (i, v) in vs.iter().enumerate() {
+            exact.insert(format!("v{i}"), v);
+            lsh.insert(format!("v{i}"), v);
+        }
+        let hits = lsh.query(&vs[0], 5, None);
+        let exact_all = exact.query(&vs[0], vs.len(), None);
+        for h in &hits {
+            let matching = exact_all.iter().find(|e| e.key == h.key).expect("key exists");
+            prop_assert!((matching.score - h.score).abs() < 1e-9);
+        }
+    }
+
+    /// Neighbour overlap is bounded and reflexive.
+    #[test]
+    fn neighbor_overlap_laws(keys in proptest::collection::vec("[a-d]", 0..8)) {
+        let ks: Vec<String> = keys;
+        let o = neighbor_overlap(&ks, &ks);
+        prop_assert!((0.0..=1.0).contains(&o));
+        if !ks.is_empty() {
+            // Self-overlap counts distinct keys over list length.
+            let distinct: std::collections::HashSet<&String> = ks.iter().collect();
+            prop_assert!((o - distinct.len() as f64 / ks.len() as f64).abs() < 1e-12);
+        }
+    }
+}

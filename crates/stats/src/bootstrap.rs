@@ -1,0 +1,157 @@
+//! Bootstrap confidence intervals for measure statistics.
+//!
+//! Observatory's distributions come from finite corpora; when two models'
+//! medians sit close (RoBERTa vs DODUO on P1, say), a point estimate alone
+//! cannot say whether the ordering is stable. The percentile bootstrap —
+//! resample with replacement, recompute the statistic, take the empirical
+//! quantiles — gives a distribution-free interval for any statistic of a
+//! sample, which the harnesses can report alongside the medians.
+
+use observatory_linalg::SplitMix64;
+
+/// A two-sided confidence interval for a statistic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Point estimate on the original sample.
+    pub estimate: f64,
+    /// Lower percentile bound.
+    pub lo: f64,
+    /// Upper percentile bound.
+    pub hi: f64,
+    /// Confidence level (e.g. 0.95).
+    pub level: f64,
+}
+
+impl ConfidenceInterval {
+    /// Interval width.
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// Whether two intervals overlap (a quick "is the ordering stable?"
+    /// check; non-overlap at 95% is strong evidence of a real difference).
+    pub fn overlaps(&self, other: &ConfidenceInterval) -> bool {
+        self.lo <= other.hi && other.lo <= self.hi
+    }
+}
+
+/// Percentile-bootstrap confidence interval for `statistic` over `sample`.
+///
+/// Returns an all-NaN interval for an empty sample.
+///
+/// # Panics
+/// Panics if `level` is outside `(0, 1)` or `resamples == 0`.
+pub fn bootstrap_ci<F: Fn(&[f64]) -> f64>(
+    sample: &[f64],
+    statistic: F,
+    resamples: usize,
+    level: f64,
+    seed: u64,
+) -> ConfidenceInterval {
+    assert!(resamples > 0, "bootstrap_ci: zero resamples");
+    assert!(level > 0.0 && level < 1.0, "bootstrap_ci: level must be in (0, 1)");
+    if sample.is_empty() {
+        return ConfidenceInterval { estimate: f64::NAN, lo: f64::NAN, hi: f64::NAN, level };
+    }
+    let estimate = statistic(sample);
+    let mut rng = SplitMix64::new(seed);
+    let mut stats = Vec::with_capacity(resamples);
+    let mut scratch = vec![0.0; sample.len()];
+    for _ in 0..resamples {
+        for slot in scratch.iter_mut() {
+            *slot = sample[rng.next_below(sample.len())];
+        }
+        let s = statistic(&scratch);
+        if !s.is_nan() {
+            stats.push(s);
+        }
+    }
+    if stats.is_empty() {
+        return ConfidenceInterval { estimate, lo: f64::NAN, hi: f64::NAN, level };
+    }
+    stats.sort_by(|a, b| a.total_cmp(b));
+    let alpha = (1.0 - level) / 2.0;
+    let lo = crate::descriptive::quantile_sorted(&stats, alpha);
+    let hi = crate::descriptive::quantile_sorted(&stats, 1.0 - alpha);
+    ConfidenceInterval { estimate, lo, hi, level }
+}
+
+/// Convenience: bootstrap CI of the mean.
+pub fn mean_ci(sample: &[f64], resamples: usize, level: f64, seed: u64) -> ConfidenceInterval {
+    bootstrap_ci(sample, crate::descriptive::mean, resamples, level, seed)
+}
+
+/// Convenience: bootstrap CI of the median.
+pub fn median_ci(sample: &[f64], resamples: usize, level: f64, seed: u64) -> ConfidenceInterval {
+    bootstrap_ci(sample, |xs| crate::descriptive::quantile(xs, 0.5), resamples, level, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shifted_sample(center: f64, n: usize) -> Vec<f64> {
+        (0..n).map(|i| center + ((i as f64 * 0.7).sin())).collect()
+    }
+
+    #[test]
+    fn interval_contains_estimate() {
+        let xs = shifted_sample(10.0, 60);
+        let ci = mean_ci(&xs, 500, 0.95, 1);
+        assert!(ci.lo <= ci.estimate && ci.estimate <= ci.hi, "{ci:?}");
+        assert!(ci.width() > 0.0);
+    }
+
+    #[test]
+    fn wider_at_higher_confidence() {
+        let xs = shifted_sample(5.0, 40);
+        let ci90 = mean_ci(&xs, 800, 0.90, 2);
+        let ci99 = mean_ci(&xs, 800, 0.99, 2);
+        assert!(ci99.width() > ci90.width(), "{ci90:?} vs {ci99:?}");
+    }
+
+    #[test]
+    fn narrower_with_more_data() {
+        let small = shifted_sample(5.0, 10);
+        let large = shifted_sample(5.0, 400);
+        let ci_small = mean_ci(&small, 500, 0.95, 3);
+        let ci_large = mean_ci(&large, 500, 0.95, 3);
+        assert!(ci_large.width() < ci_small.width());
+    }
+
+    #[test]
+    fn disjoint_populations_do_not_overlap() {
+        let a = mean_ci(&shifted_sample(0.0, 50), 500, 0.95, 4);
+        let b = mean_ci(&shifted_sample(10.0, 50), 500, 0.95, 4);
+        assert!(!a.overlaps(&b));
+        assert!(a.overlaps(&a));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let xs = shifted_sample(1.0, 30);
+        let a = median_ci(&xs, 300, 0.95, 7);
+        let b = median_ci(&xs, 300, 0.95, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_sample_is_nan() {
+        let ci = mean_ci(&[], 100, 0.95, 1);
+        assert!(ci.estimate.is_nan());
+        assert!(ci.lo.is_nan());
+    }
+
+    #[test]
+    fn constant_sample_zero_width() {
+        let ci = mean_ci(&[3.0; 20], 200, 0.95, 1);
+        assert_eq!(ci.lo, 3.0);
+        assert_eq!(ci.hi, 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "level")]
+    fn bad_level_panics() {
+        mean_ci(&[1.0], 10, 1.5, 1);
+    }
+}

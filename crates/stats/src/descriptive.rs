@@ -1,0 +1,263 @@
+//! Descriptive statistics for Observatory's distribution reports.
+//!
+//! Every figure in the paper is a distribution plot (box plots in Figures
+//! 5, 7, 11, 13; density plots in Figure 10; scatter in Figure 9). The
+//! harness binaries regenerate those figures as text, which requires the
+//! same summaries the plots encode: quartiles, medians, 1.5 × IQR whiskers,
+//! histograms and three-number summaries (Table 5 reports min/median/max).
+
+/// Linear-interpolation quantile (type-7 / NumPy default) of a sample.
+///
+/// `q` is clamped to `[0, 1]`. The sample does not need to be sorted.
+///
+/// # Panics
+/// Panics if the sample is empty.
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    assert!(!xs.is_empty(), "quantile: empty sample");
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    quantile_sorted(&sorted, q)
+}
+
+/// Quantile of an already-sorted sample (ascending).
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile_sorted: empty sample");
+    let q = q.clamp(0.0, 1.0);
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Minimum, first quartile, median, third quartile, maximum.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FiveNumberSummary {
+    pub min: f64,
+    pub q1: f64,
+    pub median: f64,
+    pub q3: f64,
+    pub max: f64,
+}
+
+impl FiveNumberSummary {
+    /// Interquartile range `q3 − q1`.
+    pub fn iqr(&self) -> f64 {
+        self.q3 - self.q1
+    }
+}
+
+impl std::fmt::Display for FiveNumberSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "min={:.4} q1={:.4} med={:.4} q3={:.4} max={:.4}",
+            self.min, self.q1, self.median, self.q3, self.max
+        )
+    }
+}
+
+/// Five-number summary of a sample. NaN values are dropped first; if
+/// nothing remains the summary is all-NaN.
+pub fn five_number_summary(xs: &[f64]) -> FiveNumberSummary {
+    let mut sorted: Vec<f64> = xs.iter().copied().filter(|x| !x.is_nan()).collect();
+    if sorted.is_empty() {
+        return FiveNumberSummary {
+            min: f64::NAN,
+            q1: f64::NAN,
+            median: f64::NAN,
+            q3: f64::NAN,
+            max: f64::NAN,
+        };
+    }
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    FiveNumberSummary {
+        min: sorted[0],
+        q1: quantile_sorted(&sorted, 0.25),
+        median: quantile_sorted(&sorted, 0.5),
+        q3: quantile_sorted(&sorted, 0.75),
+        max: sorted[sorted.len() - 1],
+    }
+}
+
+/// Tukey box-plot statistics: quartiles plus 1.5 × IQR whisker fences and
+/// outliers, matching the paper's box plots (its "minimum" is
+/// `Q1 − 1.5 × IQR`, its "maximum" `Q3 + 1.5 × IQR`).
+#[derive(Debug, Clone)]
+pub struct BoxplotStats {
+    pub summary: FiveNumberSummary,
+    /// Smallest observation ≥ `Q1 − 1.5 × IQR` (lower whisker tip).
+    pub whisker_lo: f64,
+    /// Largest observation ≤ `Q3 + 1.5 × IQR` (upper whisker tip).
+    pub whisker_hi: f64,
+    /// Observations outside the whisker fences.
+    pub outliers: Vec<f64>,
+}
+
+/// Compute Tukey box-plot statistics over a sample (NaNs dropped).
+pub fn boxplot_stats(xs: &[f64]) -> BoxplotStats {
+    let summary = five_number_summary(xs);
+    if summary.min.is_nan() {
+        return BoxplotStats {
+            summary,
+            whisker_lo: f64::NAN,
+            whisker_hi: f64::NAN,
+            outliers: Vec::new(),
+        };
+    }
+    let lo_fence = summary.q1 - 1.5 * summary.iqr();
+    let hi_fence = summary.q3 + 1.5 * summary.iqr();
+    let mut whisker_lo = f64::INFINITY;
+    let mut whisker_hi = f64::NEG_INFINITY;
+    let mut outliers = Vec::new();
+    for &x in xs.iter().filter(|x| !x.is_nan()) {
+        if x < lo_fence || x > hi_fence {
+            outliers.push(x);
+        } else {
+            whisker_lo = whisker_lo.min(x);
+            whisker_hi = whisker_hi.max(x);
+        }
+    }
+    BoxplotStats { summary, whisker_lo, whisker_hi, outliers }
+}
+
+/// A fixed-width histogram over `[lo, hi]` with `bins` buckets.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    pub lo: f64,
+    pub hi: f64,
+    pub counts: Vec<usize>,
+}
+
+impl Histogram {
+    /// Histogram of a sample. Values outside `[lo, hi]` are clamped into
+    /// the edge buckets; NaNs are dropped.
+    ///
+    /// # Panics
+    /// Panics if `bins == 0` or `hi <= lo`.
+    pub fn new(xs: &[f64], lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "Histogram: zero bins");
+        assert!(hi > lo, "Histogram: degenerate range");
+        let mut counts = vec![0usize; bins];
+        let w = (hi - lo) / bins as f64;
+        for &x in xs.iter().filter(|x| !x.is_nan()) {
+            let b = (((x - lo) / w).floor() as i64).clamp(0, bins as i64 - 1) as usize;
+            counts[b] += 1;
+        }
+        Self { lo, hi, counts }
+    }
+
+    /// Total number of counted observations.
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// Render as a one-line sparkline-ish bar string (for harness output).
+    pub fn render(&self) -> String {
+        const GLYPHS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+        let max = self.counts.iter().copied().max().unwrap_or(0);
+        if max == 0 {
+            return "▁".repeat(self.counts.len());
+        }
+        self.counts
+            .iter()
+            .map(|&c| GLYPHS[(c * (GLYPHS.len() - 1) + max / 2) / max])
+            .collect()
+    }
+}
+
+/// Arithmetic mean; NaN for an empty sample.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Unbiased standard deviation; 0 for samples of size < 2.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    observatory_linalg::moments::variance(xs).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantile_interpolates() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 4.0);
+        assert_eq!(quantile(&xs, 0.5), 2.5);
+        assert_eq!(quantile(&xs, 0.25), 1.75);
+    }
+
+    #[test]
+    fn five_numbers_odd_sample() {
+        let s = five_number_summary(&[5.0, 1.0, 3.0, 2.0, 4.0]);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.q1, 2.0);
+        assert_eq!(s.q3, 4.0);
+        assert_eq!(s.iqr(), 2.0);
+    }
+
+    #[test]
+    fn five_numbers_drops_nan() {
+        let s = five_number_summary(&[1.0, f64::NAN, 3.0]);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+    }
+
+    #[test]
+    fn five_numbers_empty_is_nan() {
+        assert!(five_number_summary(&[]).median.is_nan());
+    }
+
+    #[test]
+    fn boxplot_flags_outlier() {
+        // Cluster near 10 plus a far outlier at 100.
+        let xs = [9.0, 10.0, 10.0, 11.0, 10.5, 9.5, 100.0];
+        let b = boxplot_stats(&xs);
+        assert_eq!(b.outliers, vec![100.0]);
+        assert_eq!(b.whisker_hi, 11.0);
+        assert_eq!(b.whisker_lo, 9.0);
+    }
+
+    #[test]
+    fn boxplot_no_outliers_whiskers_are_extremes() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let b = boxplot_stats(&xs);
+        assert!(b.outliers.is_empty());
+        assert_eq!(b.whisker_lo, 1.0);
+        assert_eq!(b.whisker_hi, 5.0);
+    }
+
+    #[test]
+    fn histogram_counts_and_clamping() {
+        let xs = [0.05, 0.15, 0.15, 0.95, -5.0, 5.0];
+        let h = Histogram::new(&xs, 0.0, 1.0, 10);
+        assert_eq!(h.counts[0], 2); // 0.05 and clamped −5
+        assert_eq!(h.counts[1], 2);
+        assert_eq!(h.counts[9], 2); // 0.95 and clamped 5
+        assert_eq!(h.total(), 6);
+    }
+
+    #[test]
+    fn histogram_render_length() {
+        let h = Histogram::new(&[0.5], 0.0, 1.0, 8);
+        assert_eq!(h.render().chars().count(), 8);
+    }
+
+    #[test]
+    fn mean_and_std() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert!((std_dev(&[2.0, 4.0]) - 2f64.sqrt()).abs() < 1e-12);
+        assert!(mean(&[]).is_nan());
+    }
+}

@@ -1,0 +1,120 @@
+//! Two-sample Kolmogorov–Smirnov statistic.
+//!
+//! The paper's Figure 10 argument is visual: "none of the models manifests
+//! clear separation between the two variance distributions". The KS
+//! statistic makes that argument quantitative — `D = sup |F₁ − F₂|` over
+//! the empirical CDFs — with the classic asymptotic p-value, so the
+//! harness can report *how* separated the FD and non-FD distributions are.
+
+/// Result of a two-sample KS test.
+#[derive(Debug, Clone, Copy)]
+pub struct KsResult {
+    /// The KS statistic `D ∈ [0, 1]`.
+    pub statistic: f64,
+    /// Asymptotic two-sided p-value (Kolmogorov distribution); `NaN` for
+    /// empty samples.
+    pub p_value: f64,
+}
+
+/// Two-sample KS test. NaN observations are dropped.
+pub fn ks_two_sample(a: &[f64], b: &[f64]) -> KsResult {
+    let mut xa: Vec<f64> = a.iter().copied().filter(|v| !v.is_nan()).collect();
+    let mut xb: Vec<f64> = b.iter().copied().filter(|v| !v.is_nan()).collect();
+    if xa.is_empty() || xb.is_empty() {
+        return KsResult { statistic: f64::NAN, p_value: f64::NAN };
+    }
+    xa.sort_by(|x, y| x.total_cmp(y));
+    xb.sort_by(|x, y| x.total_cmp(y));
+    let (na, nb) = (xa.len(), xb.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut d: f64 = 0.0;
+    while i < na && j < nb {
+        let x = xa[i].min(xb[j]);
+        while i < na && xa[i] <= x {
+            i += 1;
+        }
+        while j < nb && xb[j] <= x {
+            j += 1;
+        }
+        let fa = i as f64 / na as f64;
+        let fb = j as f64 / nb as f64;
+        d = d.max((fa - fb).abs());
+    }
+    let ne = (na * nb) as f64 / (na + nb) as f64;
+    let lambda = (ne.sqrt() + 0.12 + 0.11 / ne.sqrt()) * d;
+    KsResult { statistic: d, p_value: kolmogorov_sf(lambda) }
+}
+
+/// Survival function of the Kolmogorov distribution,
+/// `Q(λ) = 2 Σ_{k≥1} (−1)^{k−1} e^{−2k²λ²}`, clamped to `[0, 1]`.
+fn kolmogorov_sf(lambda: f64) -> f64 {
+    if lambda <= 0.0 {
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    let mut sign = 1.0;
+    for k in 1..=100 {
+        let term = (-2.0 * (k as f64) * (k as f64) * lambda * lambda).exp();
+        sum += sign * term;
+        sign = -sign;
+        if term < 1e-12 {
+            break;
+        }
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_samples_zero_statistic() {
+        let xs = vec![1.0, 2.0, 3.0, 4.0];
+        let r = ks_two_sample(&xs, &xs);
+        assert_eq!(r.statistic, 0.0);
+        assert!(r.p_value > 0.99);
+    }
+
+    #[test]
+    fn disjoint_samples_full_statistic() {
+        let a = vec![1.0, 2.0, 3.0];
+        let b = vec![10.0, 11.0, 12.0];
+        let r = ks_two_sample(&a, &b);
+        assert_eq!(r.statistic, 1.0);
+        assert!(r.p_value < 0.1);
+    }
+
+    #[test]
+    fn overlapping_samples_intermediate() {
+        let a: Vec<f64> = (0..100).map(|i| i as f64 / 100.0).collect();
+        let b: Vec<f64> = (0..100).map(|i| 0.25 + i as f64 / 100.0).collect();
+        let r = ks_two_sample(&a, &b);
+        assert!((r.statistic - 0.25).abs() < 0.02, "{}", r.statistic);
+        assert!(r.p_value < 0.01);
+    }
+
+    #[test]
+    fn same_distribution_high_p() {
+        // Interleaved draws from the same uniform grid.
+        let a: Vec<f64> = (0..50).map(|i| (2 * i) as f64).collect();
+        let b: Vec<f64> = (0..50).map(|i| (2 * i + 1) as f64).collect();
+        let r = ks_two_sample(&a, &b);
+        assert!(r.statistic < 0.05);
+        assert!(r.p_value > 0.9);
+    }
+
+    #[test]
+    fn handles_unequal_sizes_and_nans() {
+        let a = vec![1.0, f64::NAN, 2.0];
+        let b = vec![1.5, 2.5, 3.0, 4.0, 5.0];
+        let r = ks_two_sample(&a, &b);
+        assert!(r.statistic.is_finite());
+        assert!((0.0..=1.0).contains(&r.statistic));
+    }
+
+    #[test]
+    fn empty_is_nan() {
+        assert!(ks_two_sample(&[], &[1.0]).statistic.is_nan());
+    }
+}

@@ -1,0 +1,33 @@
+//! # observatory-stats
+//!
+//! Statistical measures used by Observatory's eight properties.
+//!
+//! - [`mcv`]: multivariate coefficients of variation. The headline
+//!   estimator is Albert & Zhang's MCV (paper Measure 1), which is defined
+//!   even when the covariance matrix is singular — the common case in
+//!   Observatory, where the number of embedding observations (≤ 1000
+//!   permutations) is smaller than the embedding dimensionality. An
+//!   inverse-based estimator is included for the ablation study.
+//! - [`spearman`]: Spearman's rank correlation coefficient with average
+//!   ranks for ties and an approximate significance test (paper Measure 3).
+//! - [`descriptive`]: quantiles, five-number summaries, box-plot statistics
+//!   (1.5 × IQR whiskers as used throughout the paper's figures), and
+//!   histograms for the distribution plots.
+//! - [`bootstrap`]: percentile-bootstrap confidence intervals for any
+//!   statistic of a measure distribution.
+//! - [`tdist`]: Student-t tail probabilities (exact Spearman p-values at
+//!   small n, via the regularized incomplete beta).
+//! - [`ks`]: the two-sample Kolmogorov–Smirnov test, quantifying the
+//!   (non-)separation of distribution pairs such as Figure 10's FD vs
+//!   non-FD variances.
+
+pub mod bootstrap;
+pub mod descriptive;
+pub mod ks;
+pub mod mcv;
+pub mod spearman;
+pub mod tdist;
+
+pub use descriptive::{five_number_summary, BoxplotStats, FiveNumberSummary};
+pub use mcv::albert_zhang_mcv;
+pub use spearman::spearman_rho;

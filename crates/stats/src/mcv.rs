@@ -1,0 +1,223 @@
+//! Multivariate coefficients of variation (MCV).
+//!
+//! The coefficient of variation `σ/μ` summarizes the variability of a
+//! univariate population *relative to its mean*, making populations with
+//! different scales comparable. Observatory needs the multivariate
+//! analogue: a scalar summary of the relative dispersion of a set of
+//! embedding vectors (paper Measure 1, used by Properties 1, 2 and 5).
+//!
+//! The paper adopts **Albert & Zhang's MCV** (Biometrical Journal 2010):
+//!
+//! ```text
+//! γ_AZ = sqrt( μᵀ Σ μ / (μᵀ μ)² )
+//! ```
+//!
+//! chosen specifically because it (a) accounts for correlations between
+//! dimensions and (b) does **not** require `Σ⁻¹`. That matters: a table
+//! with 6 rows has 720 row permutations, but BERT embeddings have 768
+//! dimensions, so the sample covariance of the 720 observations is
+//! singular and inverse-based MCVs (Van Valen, Voinov–Nikulin, Reyment)
+//! are undefined. [`voinov_nikulin_mcv`] is provided to demonstrate that
+//! failure in the `ablation_mcv` bench.
+
+use observatory_linalg::moments::moments;
+use observatory_linalg::solve::invert;
+use observatory_linalg::vector::dot;
+use observatory_linalg::Matrix;
+
+/// Albert & Zhang's multivariate coefficient of variation of the rows of
+/// `sample` (an `n × d` matrix of `n` observations).
+///
+/// Returns `0.0` for a single observation (no dispersion) and `f64::NAN`
+/// when the mean vector is exactly zero, in which case relative variation
+/// is undefined — the univariate CV has the same singularity at `μ = 0`.
+///
+/// # Panics
+/// Panics if `sample` has no rows.
+pub fn albert_zhang_mcv(sample: &Matrix) -> f64 {
+    let m = moments(sample);
+    albert_zhang_from_moments(&m.mean, &m.cov)
+}
+
+/// Albert & Zhang's MCV from precomputed moments.
+pub fn albert_zhang_from_moments(mean: &[f64], cov: &Matrix) -> f64 {
+    let mu_norm_sq = dot(mean, mean);
+    if mu_norm_sq == 0.0 {
+        return f64::NAN;
+    }
+    let sigma_mu = cov.matvec(mean);
+    let quad = dot(mean, &sigma_mu);
+    // Σ is PSD so the quadratic form is ≥ 0 up to round-off.
+    (quad.max(0.0) / (mu_norm_sq * mu_norm_sq)).sqrt()
+}
+
+/// Voinov–Nikulin-style inverse-based MCV: `1 / sqrt(μᵀ Σ⁻¹ μ)`.
+///
+/// Returns `None` when `Σ` is singular — which is guaranteed whenever the
+/// number of observations is at most the dimensionality, the typical regime
+/// in Observatory. Kept for the D3 ablation (DESIGN.md).
+pub fn voinov_nikulin_mcv(sample: &Matrix) -> Option<f64> {
+    let m = moments(sample);
+    let inv = invert(&m.cov)?;
+    let quad = dot(&m.mean, &inv.matvec(&m.mean));
+    if quad <= 0.0 {
+        return None;
+    }
+    Some(1.0 / quad.sqrt())
+}
+
+/// Van Valen's MCV: `sqrt(tr(Σ) / μᵀμ)`.
+///
+/// Defined for singular `Σ` like Albert–Zhang's, but it ignores
+/// correlations between dimensions entirely (the trace sees only marginal
+/// variances) — one of the two criteria for which the paper prefers
+/// Albert–Zhang (§3.2). Included for the D3 ablation.
+pub fn van_valen_mcv(sample: &Matrix) -> f64 {
+    let m = moments(sample);
+    let mu_norm_sq = dot(&m.mean, &m.mean);
+    if mu_norm_sq == 0.0 {
+        return f64::NAN;
+    }
+    let trace: f64 = (0..m.cov.rows()).map(|i| m.cov[(i, i)]).sum();
+    (trace.max(0.0) / mu_norm_sq).sqrt()
+}
+
+/// Univariate coefficient of variation `σ/|μ|` (unbiased σ).
+///
+/// Returns `f64::NAN` when the mean is zero.
+pub fn univariate_cv(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+    if mean == 0.0 {
+        return f64::NAN;
+    }
+    let var = observatory_linalg::moments::variance(xs);
+    var.sqrt() / mean.abs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduces_to_univariate_cv_in_1d() {
+        let xs = vec![8.0, 10.0, 12.0, 9.0, 11.0];
+        let m = Matrix::from_rows(&xs.iter().map(|&x| vec![x]).collect::<Vec<_>>());
+        let gamma = albert_zhang_mcv(&m);
+        // In 1-D: sqrt(μ² σ² / μ⁴) = σ/|μ|.
+        let cv = univariate_cv(&xs);
+        assert!((gamma - cv).abs() < 1e-12, "{gamma} vs {cv}");
+    }
+
+    #[test]
+    fn zero_dispersion_is_zero() {
+        let m = Matrix::from_rows(&vec![vec![3.0, 4.0]; 10]);
+        assert_eq!(albert_zhang_mcv(&m), 0.0);
+    }
+
+    #[test]
+    fn single_observation_is_zero() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0, 3.0]]);
+        assert_eq!(albert_zhang_mcv(&m), 0.0);
+    }
+
+    #[test]
+    fn zero_mean_is_nan() {
+        let m = Matrix::from_rows(&[vec![1.0, -1.0], vec![-1.0, 1.0]]);
+        assert!(albert_zhang_mcv(&m).is_nan());
+    }
+
+    #[test]
+    fn scale_invariance() {
+        // γ(c·X) = γ(X): both μ and Σ^(1/2) scale linearly with c.
+        let rows = vec![vec![3.0, 5.0], vec![4.0, 6.0], vec![5.0, 4.0], vec![3.5, 5.5]];
+        let m1 = Matrix::from_rows(&rows);
+        let scaled: Vec<Vec<f64>> =
+            rows.iter().map(|r| r.iter().map(|x| x * 7.5).collect()).collect();
+        let m2 = Matrix::from_rows(&scaled);
+        let (g1, g2) = (albert_zhang_mcv(&m1), albert_zhang_mcv(&m2));
+        assert!((g1 - g2).abs() < 1e-12, "{g1} vs {g2}");
+    }
+
+    #[test]
+    fn more_dispersion_larger_mcv() {
+        // Dispersion along the mean direction (γ_AZ weights Σ by μ, so
+        // only the μ-direction component of the dispersion registers).
+        let tight = Matrix::from_rows(&[vec![10.0, 10.0], vec![10.1, 10.1], vec![9.9, 9.9]]);
+        let wide = Matrix::from_rows(&[vec![10.0, 10.0], vec![13.0, 13.0], vec![7.0, 7.0]]);
+        assert!(albert_zhang_mcv(&wide) > albert_zhang_mcv(&tight));
+    }
+
+    #[test]
+    fn dispersion_orthogonal_to_mean_is_invisible() {
+        // A defining feature of γ_AZ = sqrt(μᵀΣμ/(μᵀμ)²): variation in the
+        // subspace orthogonal to μ contributes nothing.
+        let m = Matrix::from_rows(&[vec![10.0, 10.0], vec![13.0, 7.0], vec![7.0, 13.0]]);
+        assert!(albert_zhang_mcv(&m).abs() < 1e-12);
+    }
+
+    #[test]
+    fn defined_when_n_leq_d() {
+        // 3 observations in 5 dimensions: covariance is singular; the
+        // Albert–Zhang MCV must still be finite. This is the exact scenario
+        // from the paper's Measure 1 example.
+        let m = Matrix::from_rows(&[
+            vec![1.0, 2.0, 3.0, 4.0, 5.0],
+            vec![1.1, 2.1, 2.9, 4.2, 4.8],
+            vec![0.9, 1.8, 3.1, 3.9, 5.1],
+        ]);
+        let g = albert_zhang_mcv(&m);
+        assert!(g.is_finite() && g > 0.0);
+        // ... while the inverse-based estimator fails.
+        assert!(voinov_nikulin_mcv(&m).is_none());
+    }
+
+    #[test]
+    fn voinov_nikulin_defined_when_n_gt_d() {
+        // 12 noisy observations in 2 dimensions: Σ invertible.
+        let rows: Vec<Vec<f64>> = (0..12)
+            .map(|i| {
+                let x = i as f64;
+                vec![10.0 + (x * 0.7).sin(), 20.0 + (x * 1.3).cos()]
+            })
+            .collect();
+        let m = Matrix::from_rows(&rows);
+        let v = voinov_nikulin_mcv(&m).expect("invertible covariance");
+        assert!(v.is_finite() && v > 0.0);
+    }
+
+    #[test]
+    fn van_valen_matches_univariate_in_1d_and_ignores_correlation() {
+        let xs = vec![8.0, 10.0, 12.0];
+        let m = Matrix::from_rows(&xs.iter().map(|&x| vec![x]).collect::<Vec<_>>());
+        assert!((van_valen_mcv(&m) - univariate_cv(&xs)).abs() < 1e-12);
+        // Two samples with identical marginals but opposite correlation
+        // give the same Van Valen value — it is correlation-blind...
+        let pos = Matrix::from_rows(&[vec![9.0, 9.0], vec![11.0, 11.0]]);
+        let neg = Matrix::from_rows(&[vec![9.0, 11.0], vec![11.0, 9.0]]);
+        assert!((van_valen_mcv(&pos) - van_valen_mcv(&neg)).abs() < 1e-12);
+        // ...whereas Albert–Zhang distinguishes them.
+        assert!((albert_zhang_mcv(&pos) - albert_zhang_mcv(&neg)).abs() > 1e-6);
+    }
+
+    #[test]
+    fn van_valen_defined_when_singular() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![1.1, 2.1, 3.1]]);
+        assert!(van_valen_mcv(&m).is_finite());
+    }
+
+    #[test]
+    fn univariate_cv_known_value() {
+        // mean 10, sample std sqrt(variance of [8,12] around 10) = sqrt(8) ≈ 2.828
+        let cv = univariate_cv(&[8.0, 12.0]);
+        assert!((cv - (8.0f64).sqrt() / 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn univariate_cv_empty_and_zero_mean() {
+        assert!(univariate_cv(&[]).is_nan());
+        assert!(univariate_cv(&[-1.0, 1.0]).is_nan());
+    }
+}

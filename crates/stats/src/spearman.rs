@@ -1,0 +1,198 @@
+//! Spearman's rank correlation coefficient (paper Measure 3).
+//!
+//! Property 3 (Join Relationship) asks whether there is a *monotonic*
+//! relationship between a syntactic value-overlap measure and embedding
+//! cosine similarity over pairs of joinable columns. Spearman's ρ is the
+//! Pearson correlation of the rank variables; it is distribution-free,
+//! which is why the paper adopts it.
+//!
+//! Ties receive average (fractional) ranks, the standard correction, so the
+//! coefficient stays within `[-1, 1]` on data with duplicated overlap
+//! values — common with containment, which saturates at 1.0.
+
+/// Result of a Spearman correlation test.
+#[derive(Debug, Clone, Copy)]
+pub struct SpearmanResult {
+    /// Spearman's rank correlation coefficient, in `[-1, 1]`.
+    pub rho: f64,
+    /// Two-sided p-value under H₀: ρ = 0, from the t-statistic
+    /// `t = ρ √((n−2)/(1−ρ²))` with `n − 2` degrees of freedom, evaluated
+    /// with the exact Student-t tail ([`crate::tdist`]). Reported so
+    /// harnesses can reproduce the paper's "p < 0.01" claim.
+    pub p_value: f64,
+    /// Number of paired observations.
+    pub n: usize,
+}
+
+/// Average ranks of a sample (1-based; ties share the mean of their ranks).
+pub fn average_ranks(xs: &[f64]) -> Vec<f64> {
+    let n = xs.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| xs[i].total_cmp(&xs[j]));
+    let mut ranks = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        // Find the tie run [i, j).
+        let mut j = i + 1;
+        while j < n && xs[order[j]] == xs[order[i]] {
+            j += 1;
+        }
+        // Average of 1-based ranks i+1 ..= j.
+        let avg = (i + 1 + j) as f64 / 2.0;
+        for &k in &order[i..j] {
+            ranks[k] = avg;
+        }
+        i = j;
+    }
+    ranks
+}
+
+/// Pearson correlation coefficient of two equal-length samples.
+///
+/// Returns `f64::NAN` if either sample has zero variance.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "pearson: length mismatch");
+    let n = xs.len() as f64;
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        let (dx, dy) = (x - mx, y - my);
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return f64::NAN;
+    }
+    (sxy / (sxx * syy).sqrt()).clamp(-1.0, 1.0)
+}
+
+/// Spearman's ρ between two paired samples, with a tie-corrected rank
+/// transform and an approximate two-sided p-value.
+///
+/// # Panics
+/// Panics if the samples have different lengths.
+pub fn spearman_rho(xs: &[f64], ys: &[f64]) -> SpearmanResult {
+    assert_eq!(xs.len(), ys.len(), "spearman_rho: length mismatch");
+    let n = xs.len();
+    let rho = pearson(&average_ranks(xs), &average_ranks(ys));
+    let p_value = if !rho.is_finite() || n < 4 {
+        f64::NAN
+    } else if rho.abs() >= 1.0 {
+        0.0
+    } else {
+        let t = rho * ((n as f64 - 2.0) / (1.0 - rho * rho)).sqrt();
+        crate::tdist::t_two_sided_p(t, n as f64 - 2.0)
+    };
+    SpearmanResult { rho, p_value, n }
+}
+
+/// Standard normal survival function `P(Z > z)` via an `erfc`
+/// approximation (Abramowitz & Stegun 7.1.26, |error| < 1.5e−7).
+pub fn normal_sf(z: f64) -> f64 {
+    0.5 * erfc(z / std::f64::consts::SQRT_2)
+}
+
+fn erfc(x: f64) -> f64 {
+    let sign_negative = x < 0.0;
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let poly = t
+        * (0.254829592 + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
+    let result = poly * (-x * x).exp();
+    if sign_negative {
+        2.0 - result
+    } else {
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_simple() {
+        assert_eq!(average_ranks(&[30.0, 10.0, 20.0]), vec![3.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn ranks_with_ties() {
+        // 10, 20, 20, 30 → ranks 1, 2.5, 2.5, 4.
+        assert_eq!(average_ranks(&[10.0, 20.0, 20.0, 30.0]), vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn all_equal_all_mid_rank() {
+        assert_eq!(average_ranks(&[5.0, 5.0, 5.0]), vec![2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn perfect_monotone_is_one() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let ys = [1.0, 8.0, 27.0, 64.0, 125.0]; // monotone but nonlinear
+        let r = spearman_rho(&xs, &ys);
+        assert!((r.rho - 1.0).abs() < 1e-12);
+        assert!(r.p_value < 0.01);
+    }
+
+    #[test]
+    fn perfect_antitone_is_minus_one() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [9.0, 7.0, 5.0, 3.0];
+        assert!((spearman_rho(&xs, &ys).rho + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_textbook_value() {
+        // Classic example: ρ for these scores is exactly -29/165 ≈ -0.1757...
+        let iq = [106.0, 100.0, 86.0, 101.0, 99.0, 103.0, 97.0, 113.0, 112.0, 110.0];
+        let tv = [7.0, 27.0, 2.0, 50.0, 28.0, 29.0, 20.0, 12.0, 6.0, 17.0];
+        let r = spearman_rho(&iq, &tv);
+        assert!((r.rho - (-29.0 / 165.0)).abs() < 1e-12, "{}", r.rho);
+    }
+
+    #[test]
+    fn constant_sample_is_nan() {
+        let r = spearman_rho(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]);
+        assert!(r.rho.is_nan());
+    }
+
+    #[test]
+    fn independent_noise_low_rho_high_p() {
+        // Deterministic pseudo-noise that is uncorrelated by construction.
+        let xs: Vec<f64> = (0..200).map(|i| ((i * 7919) % 1000) as f64).collect();
+        let ys: Vec<f64> = (0..200).map(|i| ((i * 104729 + 311) % 1000) as f64).collect();
+        let r = spearman_rho(&xs, &ys);
+        assert!(r.rho.abs() < 0.2, "rho={}", r.rho);
+        assert!(r.p_value > 0.01, "p={}", r.p_value);
+    }
+
+    #[test]
+    fn rho_in_bounds_with_ties() {
+        let xs = [1.0, 1.0, 2.0, 2.0, 3.0, 3.0];
+        let ys = [1.0, 2.0, 1.0, 2.0, 1.0, 2.0];
+        let r = spearman_rho(&xs, &ys);
+        assert!((-1.0..=1.0).contains(&r.rho));
+    }
+
+    #[test]
+    fn normal_sf_reference_values() {
+        assert!((normal_sf(0.0) - 0.5).abs() < 1e-7);
+        assert!((normal_sf(1.96) - 0.0249979).abs() < 1e-4);
+        assert!((normal_sf(2.5758) - 0.005).abs() < 1e-4);
+    }
+
+    #[test]
+    fn pearson_perfect_linear() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [2.0, 4.0, 6.0];
+        assert!((pearson(&xs, &ys) - 1.0).abs() < 1e-12);
+    }
+}

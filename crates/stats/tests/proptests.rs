@@ -1,0 +1,108 @@
+//! Property-based tests for the statistics layer.
+
+use observatory_stats::descriptive::{boxplot_stats, five_number_summary, quantile};
+use observatory_stats::ks::ks_two_sample;
+use observatory_stats::mcv::{albert_zhang_mcv, van_valen_mcv};
+use observatory_stats::spearman::{average_ranks, spearman_rho};
+use observatory_stats::tdist::{incomplete_beta, t_two_sided_p};
+use proptest::prelude::*;
+
+fn sample() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-1e4f64..1e4, 1..60)
+}
+
+proptest! {
+    #[test]
+    fn quantiles_monotone(xs in sample(), q1 in 0.0f64..1.0, q2 in 0.0f64..1.0) {
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        prop_assert!(quantile(&xs, lo) <= quantile(&xs, hi) + 1e-12);
+    }
+
+    #[test]
+    fn five_numbers_ordered(xs in sample()) {
+        let s = five_number_summary(&xs);
+        prop_assert!(s.min <= s.q1 && s.q1 <= s.median && s.median <= s.q3 && s.q3 <= s.max);
+    }
+
+    #[test]
+    fn boxplot_partitions_sample(xs in sample()) {
+        let b = boxplot_stats(&xs);
+        // Whiskers lie within the data range, outliers outside the fences.
+        prop_assert!(b.whisker_lo >= b.summary.min - 1e-12);
+        prop_assert!(b.whisker_hi <= b.summary.max + 1e-12);
+        let fence_lo = b.summary.q1 - 1.5 * b.summary.iqr();
+        let fence_hi = b.summary.q3 + 1.5 * b.summary.iqr();
+        for o in &b.outliers {
+            prop_assert!(*o < fence_lo || *o > fence_hi);
+        }
+    }
+
+    #[test]
+    fn ranks_are_a_permutation_mean(xs in sample()) {
+        let ranks = average_ranks(&xs);
+        let n = xs.len() as f64;
+        let sum: f64 = ranks.iter().sum();
+        // Σ ranks = n(n+1)/2 regardless of ties.
+        prop_assert!((sum - n * (n + 1.0) / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spearman_invariant_under_monotone_transform(xs in proptest::collection::vec(-1e3f64..1e3, 5..40)) {
+        let ys: Vec<f64> = (0..xs.len()).map(|i| (i as f64).sin() * 100.0).collect();
+        let r1 = spearman_rho(&xs, &ys);
+        // Strictly monotone transform of xs: exp(x / 2000).
+        let tx: Vec<f64> = xs.iter().map(|x| (x / 2000.0).exp()).collect();
+        let r2 = spearman_rho(&tx, &ys);
+        if r1.rho.is_finite() && r2.rho.is_finite() {
+            prop_assert!((r1.rho - r2.rho).abs() < 1e-9, "{} vs {}", r1.rho, r2.rho);
+        }
+    }
+
+    #[test]
+    fn p_values_in_unit_interval(xs in proptest::collection::vec(-1e3f64..1e3, 5..40)) {
+        let ys: Vec<f64> = xs.iter().map(|x| x * 0.5 + 3.0).collect();
+        let r = spearman_rho(&xs, &ys);
+        if r.p_value.is_finite() {
+            prop_assert!((0.0..=1.0).contains(&r.p_value));
+        }
+    }
+
+    #[test]
+    fn az_mcv_nonnegative_and_translation_sensitive(
+        rows in proptest::collection::vec(proptest::collection::vec(1.0f64..100.0, 3), 2..12),
+    ) {
+        let m = observatory_linalg::Matrix::from_rows(&rows);
+        let g = albert_zhang_mcv(&m);
+        prop_assert!(g.is_nan() || g >= 0.0);
+        let vv = van_valen_mcv(&m);
+        prop_assert!(vv.is_nan() || vv >= 0.0);
+    }
+
+    #[test]
+    fn ks_bounds_and_identity(a in sample(), b in sample()) {
+        let r = ks_two_sample(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&r.statistic));
+        prop_assert!((0.0..=1.0).contains(&r.p_value));
+        let same = ks_two_sample(&a, &a);
+        prop_assert_eq!(same.statistic, 0.0);
+    }
+
+    #[test]
+    fn ks_symmetric(a in sample(), b in sample()) {
+        let ab = ks_two_sample(&a, &b);
+        let ba = ks_two_sample(&b, &a);
+        prop_assert!((ab.statistic - ba.statistic).abs() < 1e-12);
+    }
+
+    #[test]
+    fn incomplete_beta_monotone_in_x(a in 0.5f64..10.0, b in 0.5f64..10.0, x1 in 0.0f64..1.0, x2 in 0.0f64..1.0) {
+        let (lo, hi) = if x1 <= x2 { (x1, x2) } else { (x2, x1) };
+        prop_assert!(incomplete_beta(a, b, lo) <= incomplete_beta(a, b, hi) + 1e-9);
+    }
+
+    #[test]
+    fn t_p_monotone_decreasing_in_t(t1 in 0.0f64..10.0, t2 in 0.0f64..10.0, df in 1.0f64..100.0) {
+        let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+        prop_assert!(t_two_sided_p(hi, df) <= t_two_sided_p(lo, df) + 1e-9);
+    }
+}

@@ -1,0 +1,194 @@
+//! A small relational algebra over [`Table`]: selection, sorting, hash
+//! equijoin, and group-by-count.
+//!
+//! Observatory *finds* joinable columns (Property 3, join discovery); this
+//! module lets applications *execute* the joins it finds and validate
+//! candidates end-to-end (see `examples/lake_pipeline.rs`). Projection
+//! lives on [`Table::project`] already.
+
+use crate::table::{Column, Table};
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// Rows of `table` satisfying `predicate` (a row-index filter).
+pub fn select<F: Fn(&Table, usize) -> bool>(table: &Table, predicate: F) -> Table {
+    let keep: Vec<usize> = (0..table.num_rows()).filter(|&i| predicate(table, i)).collect();
+    table.select_rows(&keep)
+}
+
+/// Rows where column `col` equals `value`.
+pub fn select_eq(table: &Table, col: usize, value: &Value) -> Table {
+    select(table, |t, i| t.cell(i, col).group_key() == value.group_key())
+}
+
+/// Stable sort by column `col` ascending (using the total value order).
+pub fn sort_by(table: &Table, col: usize) -> Table {
+    let mut idx: Vec<usize> = (0..table.num_rows()).collect();
+    idx.sort_by(|&a, &b| table.cell(a, col).total_cmp(table.cell(b, col)));
+    table.select_rows(&idx)
+}
+
+/// Inner hash equijoin `left ⋈ right` on `left.on_left = right.on_right`.
+///
+/// Output columns: all of `left`, then all of `right` except the join
+/// column (headers from `right` are prefixed with the right table's name
+/// when they collide with a left header). Output order: left order, with
+/// right matches in right order (standard hash-join determinism).
+pub fn equijoin(left: &Table, on_left: usize, right: &Table, on_right: usize) -> Table {
+    // Build: hash the right side.
+    let mut build: HashMap<String, Vec<usize>> = HashMap::new();
+    for i in 0..right.num_rows() {
+        build.entry(right.cell(i, on_right).group_key()).or_default().push(i);
+    }
+    // Probe: collect matched (left, right) row pairs.
+    let mut pairs: Vec<(usize, usize)> = Vec::new();
+    for i in 0..left.num_rows() {
+        if let Some(rs) = build.get(&left.cell(i, on_left).group_key()) {
+            for &r in rs {
+                pairs.push((i, r));
+            }
+        }
+    }
+    // Assemble output columns.
+    let left_headers: Vec<&str> = left.columns.iter().map(|c| c.header.as_str()).collect();
+    let mut columns: Vec<Column> = Vec::new();
+    for c in &left.columns {
+        columns.push(Column {
+            header: c.header.clone(),
+            values: pairs.iter().map(|&(l, _)| c.values[l].clone()).collect(),
+            semantic_type: c.semantic_type.clone(),
+            is_subject: c.is_subject,
+        });
+    }
+    for (j, c) in right.columns.iter().enumerate() {
+        if j == on_right {
+            continue;
+        }
+        let header = if left_headers.contains(&c.header.as_str()) {
+            format!("{}.{}", right.name, c.header)
+        } else {
+            c.header.clone()
+        };
+        columns.push(Column {
+            header,
+            values: pairs.iter().map(|&(_, r)| c.values[r].clone()).collect(),
+            semantic_type: c.semantic_type.clone(),
+            is_subject: false,
+        });
+    }
+    Table::new(format!("{}_join_{}", left.name, right.name), columns)
+}
+
+/// Group by column `col` and count rows per group, sorted by descending
+/// count then by group value (deterministic).
+pub fn group_count(table: &Table, col: usize) -> Table {
+    let mut counts: HashMap<String, (Value, i64)> = HashMap::new();
+    for i in 0..table.num_rows() {
+        let v = table.cell(i, col);
+        let e = counts.entry(v.group_key()).or_insert_with(|| (v.clone(), 0));
+        e.1 += 1;
+    }
+    let mut rows: Vec<(Value, i64)> = counts.into_values().collect();
+    rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.total_cmp(&b.0)));
+    Table::new(
+        format!("{}_by_{}", table.name, table.columns[col].header),
+        vec![
+            Column::new(table.columns[col].header.clone(), rows.iter().map(|(v, _)| v.clone()).collect()),
+            Column::new("count", rows.iter().map(|&(_, n)| Value::Int(n)).collect()),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn people() -> Table {
+        Table::from_rows(
+            "people",
+            &["name", "country"],
+            vec![
+                vec![Value::text("ada"), Value::text("NL")],
+                vec![Value::text("bob"), Value::text("CA")],
+                vec![Value::text("eve"), Value::text("NL")],
+            ],
+        )
+    }
+
+    fn countries() -> Table {
+        Table::from_rows(
+            "countries",
+            &["country", "continent"],
+            vec![
+                vec![Value::text("NL"), Value::text("EU")],
+                vec![Value::text("CA"), Value::text("NA")],
+                vec![Value::text("JP"), Value::text("AS")],
+            ],
+        )
+    }
+
+    #[test]
+    fn selection() {
+        let t = select_eq(&people(), 1, &Value::text("NL"));
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.cell(0, 0), &Value::text("ada"));
+        assert_eq!(t.cell(1, 0), &Value::text("eve"));
+    }
+
+    #[test]
+    fn sorting() {
+        let t = sort_by(&people(), 0);
+        let names: Vec<String> = (0..3).map(|i| t.cell(i, 0).to_text()).collect();
+        assert_eq!(names, vec!["ada", "bob", "eve"]);
+        // Stable and deterministic.
+        assert_eq!(sort_by(&people(), 0), t);
+    }
+
+    #[test]
+    fn join_matches_and_shapes() {
+        let j = equijoin(&people(), 1, &countries(), 0);
+        assert_eq!(j.num_rows(), 3); // every person matches
+        assert_eq!(j.headers(), vec!["name", "country", "continent"]);
+        let ada = select_eq(&j, 0, &Value::text("ada"));
+        assert_eq!(ada.cell(0, 2), &Value::text("EU"));
+    }
+
+    #[test]
+    fn join_drops_unmatched() {
+        let mut p = people();
+        p.columns[1].values[0] = Value::text("XX"); // ada's country unknown
+        let j = equijoin(&p, 1, &countries(), 0);
+        assert_eq!(j.num_rows(), 2);
+    }
+
+    #[test]
+    fn join_duplicates_fan_out() {
+        // Two right rows with the same key: left row duplicates.
+        let mut c = countries();
+        c.columns[0].values[2] = Value::text("NL"); // JP row now keyed NL
+        let j = equijoin(&people(), 1, &c, 0);
+        assert_eq!(j.num_rows(), 5); // ada×2, eve×2, bob×1
+    }
+
+    #[test]
+    fn join_renames_colliding_headers() {
+        let j = equijoin(&people(), 0, &people(), 0);
+        assert_eq!(j.headers(), vec!["name", "country", "people.country"]);
+    }
+
+    #[test]
+    fn grouping_counts_and_orders() {
+        let g = group_count(&people(), 1);
+        assert_eq!(g.num_rows(), 2);
+        assert_eq!(g.cell(0, 0), &Value::text("NL"));
+        assert_eq!(g.cell(0, 1), &Value::Int(2));
+        assert_eq!(g.cell(1, 1), &Value::Int(1));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let empty = Table::new("e", vec![Column::new("country", vec![])]);
+        assert_eq!(equijoin(&empty, 0, &countries(), 0).num_rows(), 0);
+        assert_eq!(group_count(&empty, 0).num_rows(), 0);
+    }
+}

@@ -1,0 +1,223 @@
+//! Minimal CSV reading and writing.
+//!
+//! Enough CSV (RFC 4180 quoting, header row, type inference) to let the
+//! examples load user data and dump results, without an external
+//! dependency. Not a general-purpose CSV engine: one table per file,
+//! UTF-8 only, `\n` or `\r\n` record separators.
+
+use crate::table::{Column, Table};
+use crate::value::Value;
+
+/// Parse CSV text into a table. The first record is the header. Fields are
+/// type-inferred per cell: empty → NULL, `true`/`false` → bool, integer
+/// literal → int, float literal → float, `YYYY-MM-DD` → date, else text.
+///
+/// Returns an error message for ragged records or unterminated quotes.
+pub fn parse_csv(name: &str, text: &str) -> Result<Table, String> {
+    let records = split_records(text)?;
+    let mut it = records.into_iter();
+    let header = it.next().ok_or_else(|| "empty CSV".to_string())?;
+    let ncols = header.len();
+    let mut columns: Vec<Column> =
+        header.into_iter().map(|h| Column::new(h, Vec::new())).collect();
+    for (line_no, rec) in it.enumerate() {
+        if rec.len() != ncols {
+            return Err(format!(
+                "record {} has {} fields, expected {ncols}",
+                line_no + 2,
+                rec.len()
+            ));
+        }
+        for (col, field) in columns.iter_mut().zip(rec) {
+            col.values.push(infer_value(&field));
+        }
+    }
+    Ok(Table::new(name, columns))
+}
+
+/// Serialize a table to CSV with RFC 4180 quoting.
+pub fn to_csv(table: &Table) -> String {
+    let mut out = String::new();
+    push_record(&mut out, table.columns.iter().map(|c| c.header.clone()));
+    for i in 0..table.num_rows() {
+        push_record(&mut out, table.columns.iter().map(|c| c.values[i].to_text()));
+    }
+    out
+}
+
+fn push_record(out: &mut String, fields: impl Iterator<Item = String>) {
+    let mut first = true;
+    for f in fields {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        if f.contains([',', '"', '\n', '\r']) {
+            out.push('"');
+            out.push_str(&f.replace('"', "\"\""));
+            out.push('"');
+        } else {
+            out.push_str(&f);
+        }
+    }
+    out.push('\n');
+}
+
+/// Split CSV text into records of fields, honouring quotes.
+fn split_records(text: &str) -> Result<Vec<Vec<String>>, String> {
+    let mut records = Vec::new();
+    let mut record: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut chars = text.chars().peekable();
+    let mut in_quotes = false;
+    let mut any = false;
+    while let Some(c) = chars.next() {
+        any = true;
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                _ => field.push(c),
+            }
+        } else {
+            match c {
+                '"' => in_quotes = true,
+                ',' => {
+                    record.push(std::mem::take(&mut field));
+                }
+                '\r' => {
+                    if chars.peek() == Some(&'\n') {
+                        chars.next();
+                    }
+                    record.push(std::mem::take(&mut field));
+                    records.push(std::mem::take(&mut record));
+                }
+                '\n' => {
+                    record.push(std::mem::take(&mut field));
+                    records.push(std::mem::take(&mut record));
+                }
+                _ => field.push(c),
+            }
+        }
+    }
+    if in_quotes {
+        return Err("unterminated quoted field".into());
+    }
+    if !field.is_empty() || !record.is_empty() {
+        record.push(field);
+        records.push(record);
+    }
+    if !any {
+        return Err("empty CSV".into());
+    }
+    Ok(records)
+}
+
+fn infer_value(s: &str) -> Value {
+    if s.is_empty() {
+        return Value::Null;
+    }
+    match s {
+        "true" => return Value::Bool(true),
+        "false" => return Value::Bool(false),
+        _ => {}
+    }
+    if let Ok(i) = s.parse::<i64>() {
+        return Value::Int(i);
+    }
+    if let Ok(f) = s.parse::<f64>() {
+        if f.is_finite() {
+            return Value::Float(f);
+        }
+    }
+    if let Some(d) = parse_date(s) {
+        return d;
+    }
+    Value::Text(s.to_string())
+}
+
+fn parse_date(s: &str) -> Option<Value> {
+    let bytes = s.as_bytes();
+    if bytes.len() != 10 || bytes[4] != b'-' || bytes[7] != b'-' {
+        return None;
+    }
+    let year: i32 = s[0..4].parse().ok()?;
+    let month: u8 = s[5..7].parse().ok()?;
+    let day: u8 = s[8..10].parse().ok()?;
+    if !(1..=12).contains(&month) || !(1..=31).contains(&day) {
+        return None;
+    }
+    Some(Value::Date { year, month, day })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_simple() {
+        let csv = "id,name,score\n1,alice,3.5\n2,bob,4.0\n";
+        let t = parse_csv("t", csv).unwrap();
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.cell(0, 1), &Value::text("alice"));
+        assert_eq!(t.cell(1, 2), &Value::Float(4.0));
+        assert_eq!(to_csv(&t), csv);
+    }
+
+    #[test]
+    fn type_inference() {
+        let t = parse_csv("t", "a,b,c,d,e\n1,2.5,true,2020-01-31,hello\n").unwrap();
+        assert_eq!(t.cell(0, 0), &Value::Int(1));
+        assert_eq!(t.cell(0, 1), &Value::Float(2.5));
+        assert_eq!(t.cell(0, 2), &Value::Bool(true));
+        assert_eq!(t.cell(0, 3), &Value::Date { year: 2020, month: 1, day: 31 });
+        assert_eq!(t.cell(0, 4), &Value::text("hello"));
+    }
+
+    #[test]
+    fn empty_field_is_null() {
+        let t = parse_csv("t", "a,b\n,x\n").unwrap();
+        assert_eq!(t.cell(0, 0), &Value::Null);
+    }
+
+    #[test]
+    fn quoted_fields_with_commas_and_quotes() {
+        let t = parse_csv("t", "a\n\"x, \"\"y\"\"\"\n").unwrap();
+        assert_eq!(t.cell(0, 0), &Value::text("x, \"y\""));
+        // Round trip re-quotes.
+        let again = parse_csv("t", &to_csv(&t)).unwrap();
+        assert_eq!(again, t);
+    }
+
+    #[test]
+    fn crlf_records() {
+        let t = parse_csv("t", "a,b\r\n1,2\r\n").unwrap();
+        assert_eq!(t.num_rows(), 1);
+        assert_eq!(t.cell(0, 1), &Value::Int(2));
+    }
+
+    #[test]
+    fn missing_trailing_newline_ok() {
+        let t = parse_csv("t", "a\n42").unwrap();
+        assert_eq!(t.cell(0, 0), &Value::Int(42));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_csv("t", "").is_err());
+        assert!(parse_csv("t", "a,b\n1\n").is_err());
+        assert!(parse_csv("t", "a\n\"oops\n").is_err());
+    }
+
+    #[test]
+    fn not_a_date() {
+        let t = parse_csv("t", "a\n2020-13-01\n").unwrap();
+        assert_eq!(t.cell(0, 0), &Value::text("2020-13-01"));
+    }
+}

@@ -1,0 +1,37 @@
+//! # observatory-table
+//!
+//! The relational table model underneath the whole workspace.
+//!
+//! Observatory's properties are phrased over relational tables and their
+//! invariants (Codd): a table is a *set* of rows over named, typed columns.
+//! This crate provides:
+//!
+//! - [`value`]: a typed cell [`value::Value`] (null/bool/int/float/text/date)
+//!   with a total order and display form used for serialization.
+//! - [`table`]: column-major [`table::Table`] with schema metadata,
+//!   row/column access, projections and mutation helpers.
+//! - [`perm`]: row- and column-permutation machinery — applying
+//!   permutations and sampling up to *n* distinct permutations, capped at
+//!   1000 as in the paper (Properties 1 and 2).
+//! - [`sample`]: uniform row sampling at a fraction and column chunking
+//!   (Property 5's full-column chunk aggregation).
+//! - [`subject`]: subject-column detection — "the first textual column
+//!   from the left" proxy used by Property 8.
+//! - [`profile`]: per-column structural statistics (cardinality, nulls,
+//!   type mix) for workload sizing and corpus documentation.
+//! - [`algebra`]: a small relational algebra (select / sort / hash
+//!   equijoin / group-count) so applications can execute the joins that
+//!   Observatory's search layer discovers.
+//! - [`csv`]: minimal CSV read/write for the examples.
+
+pub mod algebra;
+pub mod csv;
+pub mod perm;
+pub mod profile;
+pub mod sample;
+pub mod subject;
+pub mod table;
+pub mod value;
+
+pub use table::{Column, Table};
+pub use value::Value;

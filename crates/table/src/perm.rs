@@ -1,0 +1,232 @@
+//! Row and column permutations (Properties 1 and 2).
+//!
+//! A relational table is a set of rows over a set of attributes, so any
+//! permutation of either is the "same" table. Observatory embeds many
+//! permutation variants of each table and measures the dispersion of the
+//! resulting embeddings. The number of permutations is factorial in the
+//! table size, so — exactly like the paper — we sample at most
+//! [`PERMUTATION_CAP`] distinct permutations per table, always including
+//! the identity (the original order) first.
+
+use crate::table::Table;
+use observatory_linalg::SplitMix64;
+
+/// Paper cap: "we use at most 1000 randomly generated permutations of each
+/// table" (§3.2, Measure 1).
+pub const PERMUTATION_CAP: usize = 1000;
+
+/// Apply a row permutation: row `i` of the result is row `perm[i]` of the
+/// input.
+///
+/// # Panics
+/// Panics if `perm` is not a permutation of `0..num_rows`.
+pub fn permute_rows(table: &Table, perm: &[usize]) -> Table {
+    assert_valid_perm(perm, table.num_rows(), "permute_rows");
+    table.select_rows(perm)
+}
+
+/// Apply a column permutation: column `j` of the result is column
+/// `perm[j]` of the input.
+///
+/// # Panics
+/// Panics if `perm` is not a permutation of `0..num_cols`.
+pub fn permute_columns(table: &Table, perm: &[usize]) -> Table {
+    assert_valid_perm(perm, table.num_cols(), "permute_columns");
+    table.project(perm)
+}
+
+fn assert_valid_perm(perm: &[usize], n: usize, what: &str) {
+    assert_eq!(perm.len(), n, "{what}: wrong permutation length");
+    let mut seen = vec![false; n];
+    for &p in perm {
+        assert!(p < n && !seen[p], "{what}: not a permutation");
+        seen[p] = true;
+    }
+}
+
+/// Sample up to `max` *distinct* permutations of `0..n`, identity first.
+///
+/// For small `n` where `n!` does not exceed `max`, every permutation is
+/// returned (in a deterministic order). Otherwise permutations are drawn
+/// uniformly by Fisher–Yates and deduplicated; for `n ≥ 2` the collision
+/// probability is negligible but dedup keeps the contract exact.
+pub fn sample_permutations(n: usize, max: usize, seed: u64) -> Vec<Vec<usize>> {
+    let max = max.max(1);
+    if let Some(total) = factorial_at_most(n, max) {
+        // Enumerate all n! permutations (identity is lexicographically first).
+        let mut all = Vec::with_capacity(total);
+        let mut cur: Vec<usize> = (0..n).collect();
+        loop {
+            all.push(cur.clone());
+            if !next_permutation(&mut cur) {
+                break;
+            }
+        }
+        return all;
+    }
+    let mut rng = SplitMix64::new(seed);
+    let mut out: Vec<Vec<usize>> = Vec::with_capacity(max);
+    let identity: Vec<usize> = (0..n).collect();
+    out.push(identity.clone());
+    let mut seen = std::collections::HashSet::new();
+    seen.insert(identity);
+    // Rejection loop; collisions are vanishingly rare for n! » max.
+    let mut attempts = 0usize;
+    while out.len() < max && attempts < max * 20 {
+        attempts += 1;
+        let mut p: Vec<usize> = (0..n).collect();
+        rng.shuffle(&mut p);
+        if seen.insert(p.clone()) {
+            out.push(p);
+        }
+    }
+    out
+}
+
+/// `Some(n!)` when `n! <= cap`, else `None`. Avoids overflow for large `n`.
+fn factorial_at_most(n: usize, cap: usize) -> Option<usize> {
+    let mut f: usize = 1;
+    for k in 2..=n {
+        f = f.checked_mul(k)?;
+        if f > cap {
+            return None;
+        }
+    }
+    Some(f)
+}
+
+/// In-place lexicographic next permutation; returns `false` after the last.
+fn next_permutation(p: &mut [usize]) -> bool {
+    if p.len() < 2 {
+        return false;
+    }
+    let mut i = p.len() - 1;
+    while i > 0 && p[i - 1] >= p[i] {
+        i -= 1;
+    }
+    if i == 0 {
+        return false;
+    }
+    let mut j = p.len() - 1;
+    while p[j] <= p[i - 1] {
+        j -= 1;
+    }
+    p.swap(i - 1, j);
+    p[i..].reverse();
+    true
+}
+
+/// Convenience: generate up to `max` row-shuffled variants of a table
+/// (the original order first).
+pub fn row_shuffles(table: &Table, max: usize, seed: u64) -> Vec<Table> {
+    sample_permutations(table.num_rows(), max, seed)
+        .iter()
+        .map(|p| permute_rows(table, p))
+        .collect()
+}
+
+/// Convenience: generate up to `max` column-shuffled variants of a table
+/// (the original order first).
+pub fn column_shuffles(table: &Table, max: usize, seed: u64) -> Vec<Table> {
+    sample_permutations(table.num_cols(), max, seed)
+        .iter()
+        .map(|p| permute_columns(table, p))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn t() -> Table {
+        Table::from_rows(
+            "t",
+            &["a", "b"],
+            vec![
+                vec![Value::Int(1), Value::text("x")],
+                vec![Value::Int(2), Value::text("y")],
+                vec![Value::Int(3), Value::text("z")],
+            ],
+        )
+    }
+
+    #[test]
+    fn permute_rows_reorders() {
+        let p = permute_rows(&t(), &[2, 0, 1]);
+        assert_eq!(p.cell(0, 0), &Value::Int(3));
+        assert_eq!(p.cell(1, 0), &Value::Int(1));
+        assert_eq!(p.cell(2, 1), &Value::text("y"));
+    }
+
+    #[test]
+    fn permute_columns_reorders() {
+        let p = permute_columns(&t(), &[1, 0]);
+        assert_eq!(p.headers(), vec!["b", "a"]);
+        assert_eq!(p.cell(0, 0), &Value::text("x"));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn invalid_permutation_panics() {
+        permute_rows(&t(), &[0, 0, 1]);
+    }
+
+    #[test]
+    fn small_n_enumerates_all() {
+        let ps = sample_permutations(3, 1000, 42);
+        assert_eq!(ps.len(), 6);
+        assert_eq!(ps[0], vec![0, 1, 2]); // identity first
+        let mut sorted = ps.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 6);
+    }
+
+    #[test]
+    fn large_n_caps_and_dedups() {
+        let ps = sample_permutations(10, 50, 7);
+        assert_eq!(ps.len(), 50);
+        assert_eq!(ps[0], (0..10).collect::<Vec<_>>());
+        let mut sorted = ps.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 50, "permutations must be distinct");
+    }
+
+    #[test]
+    fn exhaustion_when_factorial_below_max() {
+        // 4! = 24 < 100 → all 24 returned even though max is 100.
+        assert_eq!(sample_permutations(4, 100, 1).len(), 24);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        assert_eq!(sample_permutations(8, 20, 5), sample_permutations(8, 20, 5));
+        assert_ne!(sample_permutations(8, 20, 5), sample_permutations(8, 20, 6));
+    }
+
+    #[test]
+    fn shuffle_helpers_preserve_content() {
+        let shuffles = row_shuffles(&t(), 6, 3);
+        assert_eq!(shuffles.len(), 6);
+        for s in &shuffles {
+            let mut ids: Vec<i64> = (0..3)
+                .map(|i| match s.cell(i, 0) {
+                    Value::Int(v) => *v,
+                    _ => panic!(),
+                })
+                .collect();
+            ids.sort_unstable();
+            assert_eq!(ids, vec![1, 2, 3]);
+        }
+        let cshuffles = column_shuffles(&t(), 10, 3);
+        assert_eq!(cshuffles.len(), 2); // 2! = 2
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        assert_eq!(sample_permutations(0, 10, 1), vec![Vec::<usize>::new()]);
+        assert_eq!(sample_permutations(1, 10, 1), vec![vec![0]]);
+    }
+}

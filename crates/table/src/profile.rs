@@ -1,0 +1,170 @@
+//! Column and table profiling.
+//!
+//! Cheap structural statistics over a table — the information data-lake
+//! systems keep per column to route queries (cardinality, nulls, type
+//! mix, value-length range). Used by the dataset suites' documentation
+//! binaries and available to downstream users sizing workloads for the
+//! properties (e.g. which columns are worth sampling, P5).
+
+use crate::table::{Column, Table};
+use crate::value::ValueKind;
+
+/// Statistics of one column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnProfile {
+    pub header: String,
+    pub rows: usize,
+    pub distinct: usize,
+    pub nulls: usize,
+    /// (kind, count) per value kind present, in ValueKind declaration order.
+    pub kind_counts: Vec<(ValueKind, usize)>,
+    /// Shortest/longest text form length over non-null values.
+    pub text_len_min: usize,
+    pub text_len_max: usize,
+}
+
+impl ColumnProfile {
+    /// Fraction of null cells.
+    pub fn null_fraction(&self) -> f64 {
+        if self.rows == 0 {
+            0.0
+        } else {
+            self.nulls as f64 / self.rows as f64
+        }
+    }
+
+    /// Distinct-to-rows ratio (1.0 = key-like).
+    pub fn uniqueness(&self) -> f64 {
+        if self.rows == 0 {
+            0.0
+        } else {
+            self.distinct as f64 / self.rows as f64
+        }
+    }
+
+    /// The dominant value kind, if any non-null value exists.
+    pub fn dominant_kind(&self) -> Option<ValueKind> {
+        self.kind_counts
+            .iter()
+            .filter(|(k, _)| *k != ValueKind::Null)
+            .max_by_key(|(_, n)| *n)
+            .map(|(k, _)| *k)
+    }
+}
+
+/// Profile one column.
+pub fn profile_column(column: &Column) -> ColumnProfile {
+    const KINDS: [ValueKind; 6] = [
+        ValueKind::Null,
+        ValueKind::Bool,
+        ValueKind::Int,
+        ValueKind::Float,
+        ValueKind::Text,
+        ValueKind::Date,
+    ];
+    let mut counts = [0usize; 6];
+    let mut len_min = usize::MAX;
+    let mut len_max = 0usize;
+    for v in &column.values {
+        let idx = KINDS.iter().position(|k| *k == v.kind()).expect("exhaustive kinds");
+        counts[idx] += 1;
+        if !v.is_null() {
+            let len = v.to_text().chars().count();
+            len_min = len_min.min(len);
+            len_max = len_max.max(len);
+        }
+    }
+    ColumnProfile {
+        header: column.header.clone(),
+        rows: column.len(),
+        distinct: column.distinct_count(),
+        nulls: counts[0],
+        kind_counts: KINDS
+            .iter()
+            .zip(counts)
+            .filter(|(_, n)| *n > 0)
+            .map(|(k, n)| (*k, n))
+            .collect(),
+        text_len_min: if len_min == usize::MAX { 0 } else { len_min },
+        text_len_max: len_max,
+    }
+}
+
+/// Profile every column of a table.
+pub fn profile_table(table: &Table) -> Vec<ColumnProfile> {
+    table.columns.iter().map(profile_column).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn column() -> Column {
+        Column::new(
+            "mixed",
+            vec![
+                Value::Int(1),
+                Value::Int(1),
+                Value::Null,
+                Value::text("abcde"),
+                Value::Float(2.5),
+            ],
+        )
+    }
+
+    #[test]
+    fn counts_and_ratios() {
+        let p = profile_column(&column());
+        assert_eq!(p.rows, 5);
+        assert_eq!(p.nulls, 1);
+        assert_eq!(p.distinct, 4); // 1, NULL, "abcde", 2.5
+        assert!((p.null_fraction() - 0.2).abs() < 1e-12);
+        assert!((p.uniqueness() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kind_histogram() {
+        let p = profile_column(&column());
+        let get = |k: ValueKind| p.kind_counts.iter().find(|(kk, _)| *kk == k).map(|(_, n)| *n);
+        assert_eq!(get(ValueKind::Int), Some(2));
+        assert_eq!(get(ValueKind::Null), Some(1));
+        assert_eq!(get(ValueKind::Text), Some(1));
+        assert_eq!(get(ValueKind::Float), Some(1));
+        assert_eq!(get(ValueKind::Bool), None);
+        assert_eq!(p.dominant_kind(), Some(ValueKind::Int));
+    }
+
+    #[test]
+    fn text_lengths_ignore_nulls() {
+        let p = profile_column(&column());
+        assert_eq!(p.text_len_min, 1); // "1"
+        assert_eq!(p.text_len_max, 5); // "abcde"
+    }
+
+    #[test]
+    fn key_column_uniqueness() {
+        let c = Column::new("id", (0..10).map(Value::Int).collect());
+        let p = profile_column(&c);
+        assert_eq!(p.uniqueness(), 1.0);
+        assert_eq!(p.dominant_kind(), Some(ValueKind::Int));
+    }
+
+    #[test]
+    fn empty_column() {
+        let p = profile_column(&Column::new("e", vec![]));
+        assert_eq!(p.rows, 0);
+        assert_eq!(p.null_fraction(), 0.0);
+        assert_eq!(p.dominant_kind(), None);
+        assert_eq!(p.text_len_min, 0);
+    }
+
+    #[test]
+    fn table_profiling_covers_all_columns() {
+        let t = Table::new("t", vec![column(), Column::new("b", vec![Value::Bool(true); 5])]);
+        let ps = profile_table(&t);
+        assert_eq!(ps.len(), 2);
+        assert_eq!(ps[1].dominant_kind(), Some(ValueKind::Bool));
+        assert_eq!(ps[1].distinct, 1);
+    }
+}

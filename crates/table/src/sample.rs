@@ -1,0 +1,171 @@
+//! Row sampling and column chunking (Property 5, Sample Fidelity).
+//!
+//! Embedding a full large column is often infeasible, so practitioners
+//! sample. Property 5 quantifies the fidelity loss: the cosine similarity
+//! between the embedding of a uniform sample and the embedding of the full
+//! column. Following the paper (and TUTA), the *full* embedding is obtained
+//! by splitting the column into chunks that each fit the model input,
+//! embedding each chunk with the shared header, and aggregating.
+
+use crate::table::{Column, Table};
+use observatory_linalg::SplitMix64;
+
+/// Uniformly sample `⌈fraction × n⌉` distinct rows of a table, preserving
+/// their original relative order (sampling should not double as a shuffle —
+/// order sensitivity is Property 1's job, not Property 5's).
+///
+/// `fraction` is clamped to `[0, 1]`; at least one row is kept for
+/// non-empty tables.
+pub fn sample_rows(table: &Table, fraction: f64, seed: u64) -> Table {
+    let n = table.num_rows();
+    if n == 0 {
+        return table.clone();
+    }
+    let k = sample_size(n, fraction);
+    let mut rng = SplitMix64::new(seed);
+    let mut idx = rng.sample_indices(n, k);
+    idx.sort_unstable();
+    table.select_rows(&idx)
+}
+
+/// Uniformly sample values of a single column (order-preserving), returning
+/// a new column with the same header and annotations.
+pub fn sample_column(column: &Column, fraction: f64, seed: u64) -> Column {
+    let n = column.len();
+    if n == 0 {
+        return column.clone();
+    }
+    let k = sample_size(n, fraction);
+    let mut rng = SplitMix64::new(seed);
+    let mut idx = rng.sample_indices(n, k);
+    idx.sort_unstable();
+    Column {
+        header: column.header.clone(),
+        values: idx.iter().map(|&i| column.values[i].clone()).collect(),
+        semantic_type: column.semantic_type.clone(),
+        is_subject: column.is_subject,
+    }
+}
+
+fn sample_size(n: usize, fraction: f64) -> usize {
+    let f = fraction.clamp(0.0, 1.0);
+    ((n as f64 * f).ceil() as usize).clamp(1, n)
+}
+
+/// Split a column into chunks of at most `chunk_rows` values, each carrying
+/// the shared header (paper Measure 5 / TUTA-style full-column embedding).
+///
+/// # Panics
+/// Panics if `chunk_rows == 0`.
+pub fn chunk_column(column: &Column, chunk_rows: usize) -> Vec<Column> {
+    assert!(chunk_rows > 0, "chunk_column: zero chunk size");
+    if column.values.is_empty() {
+        return vec![column.clone()];
+    }
+    column
+        .values
+        .chunks(chunk_rows)
+        .map(|vals| Column {
+            header: column.header.clone(),
+            values: vals.to_vec(),
+            semantic_type: column.semantic_type.clone(),
+            is_subject: column.is_subject,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn col(n: usize) -> Column {
+        Column::new("c", (0..n as i64).map(Value::Int).collect())
+    }
+
+    fn tbl(n: usize) -> Table {
+        Table::new("t", vec![col(n)])
+    }
+
+    #[test]
+    fn sample_sizes_match_fraction() {
+        assert_eq!(sample_rows(&tbl(100), 0.25, 1).num_rows(), 25);
+        assert_eq!(sample_rows(&tbl(100), 0.5, 1).num_rows(), 50);
+        assert_eq!(sample_rows(&tbl(10), 0.33, 1).num_rows(), 4); // ceil
+    }
+
+    #[test]
+    fn fraction_clamped() {
+        assert_eq!(sample_rows(&tbl(10), -1.0, 1).num_rows(), 1);
+        assert_eq!(sample_rows(&tbl(10), 2.0, 1).num_rows(), 10);
+    }
+
+    #[test]
+    fn sample_preserves_relative_order() {
+        let s = sample_rows(&tbl(50), 0.4, 9);
+        let vals: Vec<i64> = s.columns[0]
+            .values
+            .iter()
+            .map(|v| match v {
+                Value::Int(x) => *x,
+                _ => panic!(),
+            })
+            .collect();
+        let mut sorted = vals.clone();
+        sorted.sort_unstable();
+        assert_eq!(vals, sorted, "sampled rows must keep original order");
+    }
+
+    #[test]
+    fn sample_distinct_rows() {
+        let s = sample_rows(&tbl(20), 0.5, 3);
+        let mut vals: Vec<String> = s.columns[0].values.iter().map(|v| v.to_text()).collect();
+        vals.sort();
+        vals.dedup();
+        assert_eq!(vals.len(), 10);
+    }
+
+    #[test]
+    fn sample_deterministic() {
+        let a = sample_rows(&tbl(30), 0.5, 77);
+        let b = sample_rows(&tbl(30), 0.5, 77);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sample_column_matches_table_sampling_contract() {
+        let c = sample_column(&col(40), 0.25, 5);
+        assert_eq!(c.len(), 10);
+        assert_eq!(c.header, "c");
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(sample_rows(&tbl(0), 0.5, 1).num_rows(), 0);
+        assert_eq!(sample_column(&Column::new("c", vec![]), 0.5, 1).len(), 0);
+    }
+
+    #[test]
+    fn chunking_covers_all_values_in_order() {
+        let c = col(10);
+        let chunks = chunk_column(&c, 3);
+        assert_eq!(chunks.len(), 4);
+        assert_eq!(chunks[0].len(), 3);
+        assert_eq!(chunks[3].len(), 1);
+        let rejoined: Vec<Value> =
+            chunks.iter().flat_map(|ch| ch.values.iter().cloned()).collect();
+        assert_eq!(rejoined, c.values);
+        assert!(chunks.iter().all(|ch| ch.header == "c"));
+    }
+
+    #[test]
+    fn chunking_exact_division() {
+        assert_eq!(chunk_column(&col(9), 3).len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero chunk size")]
+    fn chunk_zero_panics() {
+        chunk_column(&col(5), 0);
+    }
+}

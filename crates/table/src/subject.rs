@@ -1,0 +1,79 @@
+//! Subject-column detection.
+//!
+//! The *subject column* of a table, if it exists, contains the entities the
+//! table is about (paper §3.3, footnote 2). Property 8 uses the subject
+//! column as one of its context settings, with the rule: if no column is
+//! annotated as the subject, "use the first textual column from the left of
+//! a table as the proxy".
+
+use crate::table::Table;
+
+/// Index of the table's subject column.
+///
+/// Resolution order:
+/// 1. a column explicitly annotated `is_subject`;
+/// 2. the first predominantly-textual column from the left (the paper's
+///    proxy rule);
+/// 3. `None` if the table has no textual column at all.
+pub fn subject_column(table: &Table) -> Option<usize> {
+    if let Some(i) = table.columns.iter().position(|c| c.is_subject) {
+        return Some(i);
+    }
+    table.columns.iter().position(|c| c.is_textual())
+}
+
+/// Indices of the immediate left/right neighbours of column `j`
+/// (Property 8's "neighboring columns" context setting).
+pub fn neighbor_columns(table: &Table, j: usize) -> Vec<usize> {
+    let mut out = Vec::with_capacity(2);
+    if j > 0 {
+        out.push(j - 1);
+    }
+    if j + 1 < table.num_cols() {
+        out.push(j + 1);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::Column;
+    use crate::value::Value;
+
+    fn numeric(h: &str) -> Column {
+        Column::new(h, vec![Value::Int(1), Value::Int(2)])
+    }
+
+    fn textual(h: &str) -> Column {
+        Column::new(h, vec![Value::text("a"), Value::text("b")])
+    }
+
+    #[test]
+    fn annotated_subject_wins() {
+        let mut c = textual("name");
+        c.is_subject = true;
+        let t = Table::new("t", vec![textual("other"), c]);
+        assert_eq!(subject_column(&t), Some(1));
+    }
+
+    #[test]
+    fn first_textual_column_is_proxy() {
+        let t = Table::new("t", vec![numeric("id"), textual("name"), textual("city")]);
+        assert_eq!(subject_column(&t), Some(1));
+    }
+
+    #[test]
+    fn no_textual_column_is_none() {
+        let t = Table::new("t", vec![numeric("a"), numeric("b")]);
+        assert_eq!(subject_column(&t), None);
+    }
+
+    #[test]
+    fn neighbors_interior_and_edges() {
+        let t = Table::new("t", vec![numeric("a"), numeric("b"), numeric("c")]);
+        assert_eq!(neighbor_columns(&t, 1), vec![0, 2]);
+        assert_eq!(neighbor_columns(&t, 0), vec![1]);
+        assert_eq!(neighbor_columns(&t, 2), vec![1]);
+    }
+}

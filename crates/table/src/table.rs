@@ -1,0 +1,267 @@
+//! Column-major relational tables.
+//!
+//! Storage is column-major because nearly every Observatory operation is
+//! per-column: column embeddings, column shuffles, column sampling, FD
+//! partitions, overlap measures. Row views are materialized on demand.
+
+use crate::value::Value;
+
+/// A named column: header plus cell values, with optional semantic
+/// annotations used by the dataset suites.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Column {
+    /// Column header (may be empty for header-less corpora like SOTAB).
+    pub header: String,
+    /// Cell values, one per row.
+    pub values: Vec<Value>,
+    /// Optional semantic type annotation (e.g. "money", "date") used by
+    /// the SOTAB suite and the column-type-prediction downstream task.
+    pub semantic_type: Option<String>,
+    /// Whether this is the table's subject column (the column containing
+    /// the entities the table is about), if known.
+    pub is_subject: bool,
+}
+
+impl Column {
+    /// A plain column with no annotations.
+    pub fn new(header: impl Into<String>, values: Vec<Value>) -> Self {
+        Self { header: header.into(), values, semantic_type: None, is_subject: false }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the column has no values.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Fraction of values that are textual.
+    pub fn textual_fraction(&self) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        self.values.iter().filter(|v| v.is_textual()).count() as f64 / self.values.len() as f64
+    }
+
+    /// Whether the column is predominantly textual (> 50% text cells).
+    pub fn is_textual(&self) -> bool {
+        self.textual_fraction() > 0.5
+    }
+
+    /// Number of distinct values (by group key).
+    pub fn distinct_count(&self) -> usize {
+        let mut keys: Vec<String> = self.values.iter().map(|v| v.group_key()).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        keys.len()
+    }
+}
+
+/// A relational table: an ordered list of columns of equal length.
+///
+/// Row and column order are *stored* (tables arrive in some physical
+/// order) but per the relational model carry no meaning — that tension is
+/// exactly what Properties 1 and 2 measure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    /// Table name / caption.
+    pub name: String,
+    /// Columns, left to right.
+    pub columns: Vec<Column>,
+}
+
+impl Table {
+    /// Create a table from columns.
+    ///
+    /// # Panics
+    /// Panics if the columns disagree on length.
+    pub fn new(name: impl Into<String>, columns: Vec<Column>) -> Self {
+        if let Some(first) = columns.first() {
+            let n = first.len();
+            assert!(
+                columns.iter().all(|c| c.len() == n),
+                "Table::new: ragged columns"
+            );
+        }
+        Self { name: name.into(), columns }
+    }
+
+    /// Build from headers and row-major values.
+    ///
+    /// # Panics
+    /// Panics if any row's length differs from the header count.
+    pub fn from_rows(
+        name: impl Into<String>,
+        headers: &[&str],
+        rows: Vec<Vec<Value>>,
+    ) -> Self {
+        let mut columns: Vec<Column> =
+            headers.iter().map(|h| Column::new(*h, Vec::with_capacity(rows.len()))).collect();
+        for row in rows {
+            assert_eq!(row.len(), headers.len(), "from_rows: ragged row");
+            for (col, v) in columns.iter_mut().zip(row) {
+                col.values.push(v);
+            }
+        }
+        Self::new(name, columns)
+    }
+
+    /// Number of data rows.
+    pub fn num_rows(&self) -> usize {
+        self.columns.first().map_or(0, Column::len)
+    }
+
+    /// Number of columns.
+    pub fn num_cols(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Borrow a cell.
+    ///
+    /// # Panics
+    /// Panics on out-of-bounds indices.
+    pub fn cell(&self, row: usize, col: usize) -> &Value {
+        &self.columns[col].values[row]
+    }
+
+    /// Materialize row `i` as a vector of value references.
+    pub fn row(&self, i: usize) -> Vec<&Value> {
+        self.columns.iter().map(|c| &c.values[i]).collect()
+    }
+
+    /// Column headers in order.
+    pub fn headers(&self) -> Vec<&str> {
+        self.columns.iter().map(|c| c.header.as_str()).collect()
+    }
+
+    /// Find a column index by header name.
+    pub fn column_index(&self, header: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.header == header)
+    }
+
+    /// A new table containing only the given columns (in the given order).
+    ///
+    /// # Panics
+    /// Panics on out-of-bounds column indices.
+    pub fn project(&self, col_indices: &[usize]) -> Table {
+        let columns = col_indices.iter().map(|&j| self.columns[j].clone()).collect();
+        Table { name: self.name.clone(), columns }
+    }
+
+    /// A new table containing only the given rows (in the given order;
+    /// duplicates allowed, enabling bootstrap-style uses).
+    ///
+    /// # Panics
+    /// Panics on out-of-bounds row indices.
+    pub fn select_rows(&self, row_indices: &[usize]) -> Table {
+        let columns = self
+            .columns
+            .iter()
+            .map(|c| Column {
+                header: c.header.clone(),
+                values: row_indices.iter().map(|&i| c.values[i].clone()).collect(),
+                semantic_type: c.semantic_type.clone(),
+                is_subject: c.is_subject,
+            })
+            .collect();
+        Table { name: self.name.clone(), columns }
+    }
+
+    /// Truncate to the first `n` rows (used by TaBERT's first-3-rows input
+    /// convention and by token-budget row fitting).
+    pub fn head(&self, n: usize) -> Table {
+        let n = n.min(self.num_rows());
+        self.select_rows(&(0..n).collect::<Vec<_>>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_table() -> Table {
+        Table::from_rows(
+            "athletes",
+            &["id", "year", "competition"],
+            vec![
+                vec![Value::Int(1), Value::Int(1993), Value::text("Asian Championships")],
+                vec![Value::Int(2), Value::Int(1994), Value::text("Asian Games")],
+                vec![Value::Int(3), Value::Int(1997), Value::text("World Championships")],
+            ],
+        )
+    }
+
+    #[test]
+    fn shape_and_access() {
+        let t = sample_table();
+        assert_eq!(t.num_rows(), 3);
+        assert_eq!(t.num_cols(), 3);
+        assert_eq!(t.cell(1, 2), &Value::text("Asian Games"));
+        assert_eq!(t.headers(), vec!["id", "year", "competition"]);
+        assert_eq!(t.column_index("year"), Some(1));
+        assert_eq!(t.column_index("nope"), None);
+    }
+
+    #[test]
+    fn row_view() {
+        let t = sample_table();
+        let r = t.row(0);
+        assert_eq!(r[0], &Value::Int(1));
+        assert_eq!(r[2], &Value::text("Asian Championships"));
+    }
+
+    #[test]
+    fn projection_reorders_columns() {
+        let t = sample_table().project(&[2, 0]);
+        assert_eq!(t.headers(), vec!["competition", "id"]);
+        assert_eq!(t.num_rows(), 3);
+    }
+
+    #[test]
+    fn select_rows_reorders_and_duplicates() {
+        let t = sample_table().select_rows(&[2, 0, 0]);
+        assert_eq!(t.num_rows(), 3);
+        assert_eq!(t.cell(0, 0), &Value::Int(3));
+        assert_eq!(t.cell(1, 0), &Value::Int(1));
+        assert_eq!(t.cell(2, 0), &Value::Int(1));
+    }
+
+    #[test]
+    fn head_truncates_and_clamps() {
+        let t = sample_table();
+        assert_eq!(t.head(2).num_rows(), 2);
+        assert_eq!(t.head(99).num_rows(), 3);
+    }
+
+    #[test]
+    fn column_statistics() {
+        let t = sample_table();
+        assert!(t.columns[2].is_textual());
+        assert!(!t.columns[0].is_textual());
+        assert_eq!(t.columns[1].distinct_count(), 3);
+        let dup = Column::new("d", vec![Value::Int(1), Value::Int(1), Value::Int(2)]);
+        assert_eq!(dup.distinct_count(), 2);
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = Table::new("empty", vec![]);
+        assert_eq!(t.num_rows(), 0);
+        assert_eq!(t.num_cols(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_columns_panic() {
+        Table::new(
+            "bad",
+            vec![
+                Column::new("a", vec![Value::Int(1)]),
+                Column::new("b", vec![Value::Int(1), Value::Int(2)]),
+            ],
+        );
+    }
+}

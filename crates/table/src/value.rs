@@ -1,0 +1,199 @@
+//! Typed cell values.
+//!
+//! A [`Value`] is one cell of a relational table. The type mix matters to
+//! Observatory: Property 8 (Heterogeneous Context) is specifically about
+//! how models embed *non-textual* data (dates, money, quantities, ISBNs)
+//! differently with and without context, so values carry their type rather
+//! than being pre-flattened to strings. Flattening happens exactly once, at
+//! serialization time, via [`Value::to_text`].
+
+use std::fmt;
+
+/// A single cell value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// SQL NULL / missing.
+    Null,
+    Bool(bool),
+    Int(i64),
+    Float(f64),
+    Text(String),
+    /// A calendar date (year, month, day). Validity of the combination is
+    /// the producer's responsibility; the table layer only stores it.
+    Date { year: i32, month: u8, day: u8 },
+}
+
+impl Value {
+    /// Convenience constructor for text values.
+    pub fn text(s: impl Into<String>) -> Self {
+        Value::Text(s.into())
+    }
+
+    /// The coarse type tag of this value.
+    pub fn kind(&self) -> ValueKind {
+        match self {
+            Value::Null => ValueKind::Null,
+            Value::Bool(_) => ValueKind::Bool,
+            Value::Int(_) => ValueKind::Int,
+            Value::Float(_) => ValueKind::Float,
+            Value::Text(_) => ValueKind::Text,
+            Value::Date { .. } => ValueKind::Date,
+        }
+    }
+
+    /// Whether this value is textual (for Property 8's textual vs
+    /// non-textual split).
+    pub fn is_textual(&self) -> bool {
+        matches!(self, Value::Text(_))
+    }
+
+    /// Whether this value is NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The canonical text form used for model serialization and for value
+    /// overlap computation. Distinct values must map to distinct strings
+    /// within a type (floats use shortest round-trip formatting).
+    pub fn to_text(&self) -> String {
+        match self {
+            Value::Null => String::new(),
+            Value::Bool(b) => b.to_string(),
+            Value::Int(i) => i.to_string(),
+            Value::Float(x) => format_float(*x),
+            Value::Text(s) => s.clone(),
+            Value::Date { year, month, day } => format!("{year:04}-{month:02}-{day:02}"),
+        }
+    }
+
+    /// A total order over values (NULL < Bool < Int/Float by numeric value
+    /// < Text < Date), used for deterministic grouping and sorting.
+    pub fn total_cmp(&self, other: &Value) -> std::cmp::Ordering {
+        use std::cmp::Ordering::*;
+        use Value::*;
+        fn rank(v: &Value) -> u8 {
+            match v {
+                Null => 0,
+                Bool(_) => 1,
+                Int(_) | Float(_) => 2,
+                Text(_) => 3,
+                Date { .. } => 4,
+            }
+        }
+        match (self, other) {
+            (Null, Null) => Equal,
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => a.total_cmp(b),
+            (Int(a), Float(b)) => (*a as f64).total_cmp(b),
+            (Float(a), Int(b)) => a.total_cmp(&(*b as f64)),
+            (Text(a), Text(b)) => a.cmp(b),
+            (Date { year: y1, month: m1, day: d1 }, Date { year: y2, month: m2, day: d2 }) => {
+                (y1, m1, d1).cmp(&(y2, m2, d2))
+            }
+            (a, b) => rank(a).cmp(&rank(b)),
+        }
+    }
+
+    /// A hashable key for grouping equal values (FD groups, overlap
+    /// measures). Uses the text form prefixed by the kind so e.g.
+    /// `Int(1)` and `Text("1")` stay distinct.
+    pub fn group_key(&self) -> String {
+        format!("{}:{}", self.kind().label(), self.to_text())
+    }
+}
+
+fn format_float(x: f64) -> String {
+    if x == x.trunc() && x.abs() < 1e15 {
+        format!("{x:.1}")
+    } else {
+        // Shortest representation that round-trips.
+        format!("{x}")
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_text())
+    }
+}
+
+/// Coarse value types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ValueKind {
+    Null,
+    Bool,
+    Int,
+    Float,
+    Text,
+    Date,
+}
+
+impl ValueKind {
+    /// Short lowercase label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ValueKind::Null => "null",
+            ValueKind::Bool => "bool",
+            ValueKind::Int => "int",
+            ValueKind::Float => "float",
+            ValueKind::Text => "text",
+            ValueKind::Date => "date",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Ordering;
+
+    #[test]
+    fn text_forms() {
+        assert_eq!(Value::Null.to_text(), "");
+        assert_eq!(Value::Bool(true).to_text(), "true");
+        assert_eq!(Value::Int(-42).to_text(), "-42");
+        assert_eq!(Value::Float(2.5).to_text(), "2.5");
+        assert_eq!(Value::Float(3.0).to_text(), "3.0");
+        assert_eq!(Value::text("abc").to_text(), "abc");
+        assert_eq!(Value::Date { year: 1997, month: 7, day: 3 }.to_text(), "1997-07-03");
+    }
+
+    #[test]
+    fn kinds_and_predicates() {
+        assert!(Value::text("x").is_textual());
+        assert!(!Value::Int(1).is_textual());
+        assert!(Value::Null.is_null());
+        assert_eq!(Value::Float(1.0).kind(), ValueKind::Float);
+    }
+
+    #[test]
+    fn ordering_within_types() {
+        assert_eq!(Value::Int(1).total_cmp(&Value::Int(2)), Ordering::Less);
+        assert_eq!(Value::text("a").total_cmp(&Value::text("b")), Ordering::Less);
+        let d1 = Value::Date { year: 2020, month: 1, day: 2 };
+        let d2 = Value::Date { year: 2020, month: 2, day: 1 };
+        assert_eq!(d1.total_cmp(&d2), Ordering::Less);
+    }
+
+    #[test]
+    fn ordering_across_types() {
+        assert_eq!(Value::Null.total_cmp(&Value::Int(0)), Ordering::Less);
+        assert_eq!(Value::Int(5).total_cmp(&Value::text("a")), Ordering::Less);
+        // Numeric cross-type comparison is by value.
+        assert_eq!(Value::Int(2).total_cmp(&Value::Float(2.5)), Ordering::Less);
+        assert_eq!(Value::Float(2.0).total_cmp(&Value::Int(2)), Ordering::Equal);
+    }
+
+    #[test]
+    fn group_keys_distinguish_kinds() {
+        assert_ne!(Value::Int(1).group_key(), Value::text("1").group_key());
+        assert_eq!(Value::Int(1).group_key(), Value::Int(1).group_key());
+    }
+
+    #[test]
+    fn display_matches_to_text() {
+        let v = Value::Date { year: 2001, month: 12, day: 31 };
+        assert_eq!(format!("{v}"), v.to_text());
+    }
+}

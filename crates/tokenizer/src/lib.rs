@@ -1,0 +1,48 @@
+//! # observatory-tokenizer
+//!
+//! A deterministic subword tokenizer, substituting for the WordPiece /
+//! BPE vocabularies of the pretrained checkpoints (DESIGN.md §1).
+//!
+//! Requirements inherited from the paper's pipeline:
+//!
+//! 1. **Determinism** — the same text must always yield the same token ids
+//!    (synthetic "pretrained" weights are keyed by token id).
+//! 2. **Subword granularity** — cell boundaries must not coincide with
+//!    token boundaries, so that embedding retrieval genuinely has to
+//!    aggregate token spans into cells/columns/rows (paper §4.3).
+//! 3. **Shared-prefix structure** — lexically similar strings
+//!    (`"CountryName"` vs `"cntry_name"`, `"1997"` vs `"1998"`) must share
+//!    pieces, so that semantics-preserving perturbations move embeddings
+//!    *some* distance but not arbitrarily far.
+//!
+//! The implementation is the *hashing trick*: text is normalized and split
+//! into words, words longer than [`PIECE_LEN`] are split into stem +
+//! continuation pieces, digits are split per character, and each piece is
+//! mapped into a fixed id space by FNV-1a. There is no learned vocabulary
+//! file to ship, yet the id space behaves like one.
+
+pub mod tokenize;
+
+pub use tokenize::{Token, Tokenizer, PIECE_LEN};
+
+/// Special token ids (shared by every model adapter).
+pub mod special {
+    /// Padding.
+    pub const PAD: u32 = 0;
+    /// Sequence-level classification token; also DODUO's per-column marker.
+    pub const CLS: u32 = 1;
+    /// Separator between segments / cells.
+    pub const SEP: u32 = 2;
+    /// Unknown (empty after normalization).
+    pub const UNK: u32 = 3;
+    /// Mask (reserved; pretraining-style objectives).
+    pub const MASK: u32 = 4;
+    /// Row boundary marker.
+    pub const ROW: u32 = 5;
+    /// Header/value boundary marker.
+    pub const HEADER: u32 = 6;
+    /// NULL cell marker.
+    pub const NULL: u32 = 7;
+    /// First id available to content pieces.
+    pub const FIRST_CONTENT_ID: u32 = 16;
+}

@@ -1,0 +1,221 @@
+//! The tokenizer proper.
+
+use crate::special;
+
+/// Characters per subword piece when splitting long words.
+pub const PIECE_LEN: usize = 4;
+
+/// A produced token: its id plus the normalized piece text (retained for
+/// debugging and tests; model adapters only consume ids).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token id in `[0, vocab_size)`.
+    pub id: u32,
+    /// Normalized piece ("##"-prefixed for continuations).
+    pub piece: String,
+}
+
+/// A deterministic hashing-trick subword tokenizer.
+#[derive(Debug, Clone)]
+pub struct Tokenizer {
+    vocab_size: u32,
+}
+
+impl Default for Tokenizer {
+    fn default() -> Self {
+        Self::new(8192)
+    }
+}
+
+impl Tokenizer {
+    /// Create a tokenizer with the given id-space size.
+    ///
+    /// # Panics
+    /// Panics if `vocab_size` does not leave room for content pieces
+    /// beyond the reserved special ids.
+    pub fn new(vocab_size: u32) -> Self {
+        assert!(
+            vocab_size > special::FIRST_CONTENT_ID,
+            "vocab_size must exceed the reserved special-token range"
+        );
+        Self { vocab_size }
+    }
+
+    /// The id-space size.
+    pub fn vocab_size(&self) -> u32 {
+        self.vocab_size
+    }
+
+    /// Tokenize a text into subword tokens.
+    ///
+    /// Normalization: Unicode text is lowercased; runs of alphabetic
+    /// characters become words, digits are emitted one per token (so
+    /// `1997` and `1998` share three of four pieces), and any other
+    /// non-whitespace character is its own single token. Words longer than
+    /// [`PIECE_LEN`] are split into a stem piece and `##`-continuations.
+    /// Empty/whitespace-only text yields a single `[UNK]`.
+    pub fn tokenize(&self, text: &str) -> Vec<Token> {
+        let mut out = Vec::new();
+        let lower = text.to_lowercase();
+        let mut word = String::new();
+        for c in lower.chars() {
+            if c.is_alphabetic() {
+                word.push(c);
+                continue;
+            }
+            self.flush_word(&mut word, &mut out);
+            if c.is_ascii_digit() {
+                out.push(self.piece_token(&c.to_string(), false));
+            } else if !c.is_whitespace() {
+                out.push(self.piece_token(&c.to_string(), false));
+            }
+        }
+        self.flush_word(&mut word, &mut out);
+        if out.is_empty() {
+            out.push(Token { id: special::UNK, piece: "[UNK]".into() });
+        }
+        out
+    }
+
+    /// Token ids only (the common path for model adapters).
+    pub fn encode(&self, text: &str) -> Vec<u32> {
+        self.tokenize(text).into_iter().map(|t| t.id).collect()
+    }
+
+    fn flush_word(&self, word: &mut String, out: &mut Vec<Token>) {
+        if word.is_empty() {
+            return;
+        }
+        let chars: Vec<char> = word.chars().collect();
+        if chars.len() <= PIECE_LEN {
+            out.push(self.piece_token(word, false));
+        } else {
+            let mut start = 0;
+            while start < chars.len() {
+                let end = (start + PIECE_LEN).min(chars.len());
+                let piece: String = chars[start..end].iter().collect();
+                out.push(self.piece_token(&piece, start > 0));
+                start = end;
+            }
+        }
+        word.clear();
+    }
+
+    fn piece_token(&self, piece: &str, continuation: bool) -> Token {
+        let tagged = if continuation { format!("##{piece}") } else { piece.to_string() };
+        let id = special::FIRST_CONTENT_ID
+            + (fnv1a(tagged.as_bytes()) % u64::from(self.vocab_size - special::FIRST_CONTENT_ID))
+                as u32;
+        Token { id, piece: tagged }
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pieces(text: &str) -> Vec<String> {
+        Tokenizer::default().tokenize(text).into_iter().map(|t| t.piece).collect()
+    }
+
+    #[test]
+    fn deterministic() {
+        let t = Tokenizer::default();
+        assert_eq!(t.encode("World Championships"), t.encode("World Championships"));
+    }
+
+    #[test]
+    fn case_insensitive() {
+        let t = Tokenizer::default();
+        assert_eq!(t.encode("Netherlands"), t.encode("NETHERLANDS"));
+    }
+
+    #[test]
+    fn short_word_single_piece() {
+        assert_eq!(pieces("cat"), vec!["cat"]);
+    }
+
+    #[test]
+    fn long_word_split_with_continuations() {
+        assert_eq!(pieces("championships"), vec!["cham", "##pion", "##ship", "##s"]);
+    }
+
+    #[test]
+    fn digits_split_per_character() {
+        assert_eq!(pieces("1997"), vec!["1", "9", "9", "7"]);
+        // 1997 and 1998 share three of four pieces.
+        let a = Tokenizer::default().encode("1997");
+        let b = Tokenizer::default().encode("1998");
+        assert_eq!(a[..3], b[..3]);
+        assert_ne!(a[3], b[3]);
+    }
+
+    #[test]
+    fn punctuation_is_own_token() {
+        assert_eq!(pieces("a-b"), vec!["a", "-", "b"]);
+        assert_eq!(pieces("cntry_name"), vec!["cntr", "##y", "_", "name"]);
+    }
+
+    #[test]
+    fn mixed_alnum_splits_at_boundaries() {
+        assert_eq!(pieces("top10"), vec!["top", "1", "0"]);
+    }
+
+    #[test]
+    fn empty_is_unk() {
+        let t = Tokenizer::default();
+        let toks = t.tokenize("   ");
+        assert_eq!(toks.len(), 1);
+        assert_eq!(toks[0].id, special::UNK);
+    }
+
+    #[test]
+    fn ids_in_content_range() {
+        let t = Tokenizer::default();
+        for tok in t.tokenize("hello world 42 !") {
+            assert!(tok.id >= special::FIRST_CONTENT_ID);
+            assert!(tok.id < t.vocab_size());
+        }
+    }
+
+    #[test]
+    fn same_piece_same_id_across_contexts() {
+        let t = Tokenizer::default();
+        let a = t.encode("game play");
+        let b = t.encode("play game");
+        assert_eq!(a[0], b[1]);
+        assert_eq!(a[1], b[0]);
+    }
+
+    #[test]
+    fn continuation_distinct_from_stem() {
+        // "##name" (inside a long word) must differ from standalone "name".
+        let t = Tokenizer::default();
+        let standalone = t.encode("name");
+        let inside = t.tokenize("surnamename"); // sur|name… splits as surn ##amen ##ame
+        assert!(inside.iter().all(|tok| tok.id != standalone[0] || !tok.piece.starts_with("##")));
+    }
+
+    #[test]
+    fn unicode_words() {
+        let p = pieces("café münchen");
+        assert!(!p.is_empty());
+        // Deterministic under repeated calls.
+        assert_eq!(p, pieces("café münchen"));
+    }
+
+    #[test]
+    #[should_panic(expected = "vocab_size")]
+    fn tiny_vocab_panics() {
+        Tokenizer::new(8);
+    }
+}

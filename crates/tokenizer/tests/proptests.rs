@@ -1,0 +1,65 @@
+//! Property-based tests for the deterministic subword tokenizer.
+
+use observatory_tokenizer::{special, Tokenizer};
+use proptest::prelude::*;
+
+proptest! {
+    /// Any unicode string tokenizes without panicking, never produces an
+    /// empty output, and stays inside the vocabulary.
+    #[test]
+    fn total_function_with_bounded_ids(text in "\\PC{0,64}") {
+        let tok = Tokenizer::default();
+        let ids = tok.encode(&text);
+        prop_assert!(!ids.is_empty());
+        prop_assert!(ids.iter().all(|&id| id < tok.vocab_size()));
+    }
+
+    /// Tokenization is a pure function: same input, same ids.
+    #[test]
+    fn deterministic(text in "\\PC{0,64}") {
+        let a = Tokenizer::default().encode(&text);
+        let b = Tokenizer::default().encode(&text);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Case folding: mixed-case ASCII words produce the same ids as their
+    /// lowercase forms.
+    #[test]
+    fn case_insensitive(word in "[a-zA-Z]{1,16}") {
+        let tok = Tokenizer::default();
+        prop_assert_eq!(tok.encode(&word), tok.encode(&word.to_lowercase()));
+    }
+
+    /// Concatenation with whitespace composes: tokens(a + " " + b) =
+    /// tokens(a) ++ tokens(b) for word-shaped inputs.
+    #[test]
+    fn whitespace_composition(a in "[a-z]{1,12}", b in "[a-z0-9]{1,12}") {
+        let tok = Tokenizer::default();
+        let joined = tok.encode(&format!("{a} {b}"));
+        let mut expected = tok.encode(&a);
+        expected.extend(tok.encode(&b));
+        prop_assert_eq!(joined, expected);
+    }
+
+    /// Digits tokenize one-per-character so numeric strings of length n
+    /// yield exactly n tokens.
+    #[test]
+    fn digit_granularity(num in "[0-9]{1,18}") {
+        let tok = Tokenizer::default();
+        prop_assert_eq!(tok.encode(&num).len(), num.len());
+    }
+
+    /// Whitespace-only input maps to the single [UNK] token.
+    #[test]
+    fn blank_is_unk(ws in "[ \\t\\n]{0,8}") {
+        let tok = Tokenizer::default();
+        prop_assert_eq!(tok.encode(&ws), vec![special::UNK]);
+    }
+
+    /// Vocab size is honoured whatever (legal) size is chosen.
+    #[test]
+    fn custom_vocab_bounds(text in "[a-z ]{1,32}", extra in 1u32..4096) {
+        let tok = Tokenizer::new(special::FIRST_CONTENT_ID + extra);
+        prop_assert!(tok.encode(&text).iter().all(|&id| id < special::FIRST_CONTENT_ID + extra));
+    }
+}

@@ -1,0 +1,121 @@
+//! Encoder configuration.
+
+/// How the encoder injects position information — the knob that drives most
+/// of the row/column-order sensitivity Observatory measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PositionalScheme {
+    /// No positional information at all: the encoder is a set function of
+    /// its tokens (useful as an experimental lower bound).
+    None,
+    /// Learned absolute position embeddings added to token embeddings
+    /// (BERT, RoBERTa, DODUO, TaPEx, TapTap).
+    Absolute,
+    /// No absolute positions; attention logits receive a learned bias that
+    /// depends on the (bucketed) relative distance between tokens (T5).
+    RelativeBias,
+    /// Absolute positions *plus* learned row-id and column-id embeddings
+    /// per token (TAPAS; TaBERT and TURL also carry structural ids).
+    TableAware,
+}
+
+/// Hyperparameters of an [`crate::Encoder`].
+#[derive(Debug, Clone)]
+pub struct TransformerConfig {
+    /// Model (hidden) dimensionality.
+    pub dim: usize,
+    /// Number of attention heads; must divide `dim`.
+    pub n_heads: usize,
+    /// Number of encoder layers.
+    pub n_layers: usize,
+    /// FFN inner dimensionality.
+    pub ffn_dim: usize,
+    /// Maximum sequence length (token budget; the paper's analogue is the
+    /// ubiquitous 512-token limit, §4.3).
+    pub max_len: usize,
+    /// Token id space size (must match the tokenizer).
+    pub vocab_size: usize,
+    /// Positional scheme.
+    pub positional: PositionalScheme,
+    /// Whether to run a final vertical-attention pass (attention restricted
+    /// to tokens sharing a column id), TaBERT-style.
+    pub vertical_attention: bool,
+    /// Size of the row-id embedding table (row ids are taken modulo this).
+    pub max_rows: usize,
+    /// Size of the column-id embedding table.
+    pub max_cols: usize,
+    /// Relative-distance clip for `RelativeBias` (T5-style bucket radius).
+    pub max_relative_distance: usize,
+    /// Attention-logit multiplier (> 1 = sharper, more selective
+    /// attention, as trained encoders exhibit; 1 = vanilla scaled dot
+    /// product).
+    pub attention_sharpness: f64,
+    /// Gain on the attention output before the residual add (> 1 = the
+    /// contextual branch carries more of the representation relative to
+    /// the token identity — fine-tuned readout tokens like DODUO's
+    /// per-column `[CLS]` behave this way).
+    pub attention_gain: f64,
+    /// Multiplier on the positional/structural embedding scale. Models
+    /// whose pretraining makes them lean harder on positions (RoBERTa in
+    /// the paper's findings) use > 1; models whose structural ids carry the
+    /// burden (TAPAS) use < 1 for the absolute component.
+    pub pos_std_scale: f64,
+    /// Seed label; weights are a pure function of this string.
+    pub seed_label: String,
+}
+
+impl Default for TransformerConfig {
+    fn default() -> Self {
+        Self {
+            dim: 64,
+            n_heads: 4,
+            n_layers: 2,
+            ffn_dim: 128,
+            max_len: 256,
+            vocab_size: 8192,
+            positional: PositionalScheme::Absolute,
+            vertical_attention: false,
+            max_rows: 128,
+            max_cols: 64,
+            max_relative_distance: 16,
+            attention_sharpness: 1.0,
+            attention_gain: 1.0,
+            pos_std_scale: 1.0,
+            seed_label: "default".to_string(),
+        }
+    }
+}
+
+impl TransformerConfig {
+    /// Validate invariants; called by the encoder constructor.
+    ///
+    /// # Panics
+    /// Panics when heads do not divide the dimension or any size is zero.
+    pub fn validate(&self) {
+        assert!(self.dim > 0 && self.n_heads > 0 && self.n_layers > 0, "zero-sized config");
+        assert_eq!(self.dim % self.n_heads, 0, "n_heads must divide dim");
+        assert!(self.max_len > 0 && self.vocab_size > 0, "zero-sized tables");
+        assert!(self.max_rows > 0 && self.max_cols > 0, "zero-sized id tables");
+    }
+
+    /// Per-head dimensionality.
+    pub fn head_dim(&self) -> usize {
+        self.dim / self.n_heads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        TransformerConfig::default().validate();
+        assert_eq!(TransformerConfig::default().head_dim(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "n_heads must divide dim")]
+    fn bad_heads_panics() {
+        TransformerConfig { dim: 10, n_heads: 3, ..Default::default() }.validate();
+    }
+}

@@ -1,0 +1,473 @@
+//! The encoder stack: embeddings + attention layers + optional vertical
+//! attention.
+
+use crate::config::{PositionalScheme, TransformerConfig};
+use crate::layers::{
+    init_matrix, AttentionBias, FeedForward, LayerNorm, MultiHeadAttention,
+};
+use observatory_linalg::{Matrix, SplitMix64};
+
+/// Standard deviation used for embedding tables. Larger than the weight
+/// init so that token identity dominates the residual stream, the regime
+/// in which trained encoders operate.
+const EMB_STD: f64 = 0.1;
+/// Positional/structural embeddings are a fraction of the token scale:
+/// position modulates, identity dominates.
+const POS_STD: f64 = 0.04;
+
+/// One input token with its structural coordinates.
+///
+/// `row` and `col` are 1-based data coordinates; `0` means "not part of a
+/// data cell" (special tokens, header tokens, question/query tokens).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TokenInput {
+    /// Token id from the tokenizer.
+    pub id: u32,
+    /// 1-based row id, or 0.
+    pub row: u32,
+    /// 1-based column id, or 0.
+    pub col: u32,
+    /// Segment id (0 = structure/metadata, 1 = data values, 2 = auxiliary
+    /// text such as an NL question or SQL query).
+    pub segment: u8,
+}
+
+impl TokenInput {
+    /// A token with no structural coordinates (plain text).
+    pub fn plain(id: u32) -> Self {
+        Self { id, row: 0, col: 0, segment: 1 }
+    }
+}
+
+struct EncoderLayer {
+    attn: MultiHeadAttention,
+    ffn: FeedForward,
+    ln1: LayerNorm,
+    ln2: LayerNorm,
+}
+
+/// A deterministic Transformer encoder.
+///
+/// Construction materializes all weights from a `SplitMix64` stream seeded
+/// by `config.seed_label`; two encoders with the same config are bit-for-
+/// bit identical.
+pub struct Encoder {
+    config: TransformerConfig,
+    token_emb: Matrix,
+    pos_emb: Option<Matrix>,
+    row_emb: Option<Matrix>,
+    col_emb: Option<Matrix>,
+    seg_emb: Matrix,
+    rel_bias: Option<Matrix>, // (2*max_rel+1) × n_heads
+    layers: Vec<EncoderLayer>,
+    vertical: Option<EncoderLayer>,
+    ln_emb: LayerNorm,
+}
+
+impl Encoder {
+    /// Materialize an encoder for the given configuration.
+    pub fn new(config: TransformerConfig) -> Self {
+        config.validate();
+        let mut rng = SplitMix64::from_label(&config.seed_label);
+        let pos_std = POS_STD * config.pos_std_scale;
+        let token_emb = init_matrix(&mut rng, config.vocab_size, config.dim, EMB_STD);
+        let pos_emb = match config.positional {
+            PositionalScheme::Absolute | PositionalScheme::TableAware => {
+                Some(init_matrix(&mut rng, config.max_len, config.dim, pos_std))
+            }
+            _ => None,
+        };
+        let (row_emb, col_emb) = if config.positional == PositionalScheme::TableAware {
+            // Structural ids keep the base scale: they are the load-bearing
+            // coordinates for table-aware models.
+            (
+                Some(init_matrix(&mut rng, config.max_rows, config.dim, POS_STD)),
+                Some(init_matrix(&mut rng, config.max_cols, config.dim, POS_STD)),
+            )
+        } else {
+            (None, None)
+        };
+        let seg_emb = init_matrix(&mut rng, 3, config.dim, POS_STD);
+        let rel_bias = if config.positional == PositionalScheme::RelativeBias {
+            Some(init_matrix(
+                &mut rng,
+                2 * config.max_relative_distance + 1,
+                config.n_heads,
+                0.5,
+            ))
+        } else {
+            None
+        };
+        let mut layers = Vec::with_capacity(config.n_layers);
+        for _ in 0..config.n_layers {
+            layers.push(EncoderLayer {
+                attn: MultiHeadAttention::with_sharpness(
+                    &mut rng,
+                    config.dim,
+                    config.n_heads,
+                    config.attention_sharpness,
+                ),
+                ffn: FeedForward::new(&mut rng, config.dim, config.ffn_dim),
+                ln1: LayerNorm::new(config.dim),
+                ln2: LayerNorm::new(config.dim),
+            });
+        }
+        let vertical = config.vertical_attention.then(|| EncoderLayer {
+            attn: MultiHeadAttention::with_sharpness(
+                &mut rng,
+                config.dim,
+                config.n_heads,
+                config.attention_sharpness,
+            ),
+            ffn: FeedForward::new(&mut rng, config.dim, config.ffn_dim),
+            ln1: LayerNorm::new(config.dim),
+            ln2: LayerNorm::new(config.dim),
+        });
+        let ln_emb = LayerNorm::new(config.dim);
+        Self {
+            config,
+            token_emb,
+            pos_emb,
+            row_emb,
+            col_emb,
+            seg_emb,
+            rel_bias,
+            layers,
+            vertical,
+            ln_emb,
+        }
+    }
+
+    /// The configuration this encoder was built from.
+    pub fn config(&self) -> &TransformerConfig {
+        &self.config
+    }
+
+    /// Hidden dimensionality of produced embeddings.
+    pub fn dim(&self) -> usize {
+        self.config.dim
+    }
+
+    /// Token budget.
+    pub fn max_len(&self) -> usize {
+        self.config.max_len
+    }
+
+    /// Encode a token sequence into contextual embeddings (`n × dim`).
+    ///
+    /// Sequences longer than `max_len` are truncated — mirroring the hard
+    /// input limits of the real models (paper §4.3).
+    ///
+    /// # Panics
+    /// Panics on an empty input or a token id outside the vocabulary.
+    pub fn encode(&self, tokens: &[TokenInput]) -> Matrix {
+        self.encode_with_attention(tokens).0
+    }
+
+    /// Encode and also return the per-layer attention maps (head-averaged,
+    /// `n × n`, the vertical layer last when present) — the raw material of
+    /// attention-pattern analyses (paper §2.2's Koleva et al. line of
+    /// work). Same truncation and panics as [`Encoder::encode`].
+    pub fn encode_with_attention(&self, tokens: &[TokenInput]) -> (Matrix, Vec<Matrix>) {
+        assert!(!tokens.is_empty(), "encode: empty input");
+        let tokens = &tokens[..tokens.len().min(self.config.max_len)];
+        let n = tokens.len();
+        let d = self.config.dim;
+        let mut h = Matrix::zeros(n, d);
+        for (i, t) in tokens.iter().enumerate() {
+            assert!(
+                (t.id as usize) < self.config.vocab_size,
+                "token id {} out of vocabulary",
+                t.id
+            );
+            let row = h.row_mut(i);
+            row.copy_from_slice(self.token_emb.row(t.id as usize));
+            if let Some(pos) = &self.pos_emb {
+                add_into(row, pos.row(i));
+            }
+            if let (Some(rows), true) = (&self.row_emb, t.row > 0) {
+                add_into(row, rows.row(t.row as usize % self.config.max_rows));
+            }
+            if let (Some(cols), true) = (&self.col_emb, t.col > 0) {
+                add_into(row, cols.row(t.col as usize % self.config.max_cols));
+            }
+            add_into(row, self.seg_emb.row((t.segment as usize).min(2)));
+        }
+        self.ln_emb.forward_inplace(&mut h);
+
+        let max_rel = self.config.max_relative_distance as i64;
+        let rel = self.rel_bias.as_ref();
+        let bias_fn = move |head: usize, i: usize, j: usize| -> f64 {
+            let rel = rel.expect("bias_fn only installed when rel_bias exists");
+            let dist = (j as i64 - i as i64).clamp(-max_rel, max_rel) + max_rel;
+            rel[(dist as usize, head)]
+        };
+        let extras = if self.rel_bias.is_some() {
+            AttentionBias { bias: Some(&bias_fn), mask: None }
+        } else {
+            AttentionBias::none()
+        };
+
+        let mut attention_maps = Vec::with_capacity(self.layers.len() + 1);
+        for layer in &self.layers {
+            let (next, weights) = apply_layer(layer, h, &extras, self.config.attention_gain);
+            h = next;
+            attention_maps.push(weights);
+        }
+        if let Some(vert) = &self.vertical {
+            // Vertical attention: a token may attend only tokens in the same
+            // column (data tokens), or — for structure tokens (col 0) —
+            // other structure tokens.
+            let cols: Vec<u32> = tokens.iter().map(|t| t.col).collect();
+            let mask = move |i: usize, j: usize| cols[i] == cols[j];
+            let extras = AttentionBias { bias: None, mask: Some(&mask) };
+            let (next, weights) = apply_layer(vert, h, &extras, self.config.attention_gain);
+            h = next;
+            attention_maps.push(weights);
+        }
+        (h, attention_maps)
+    }
+}
+
+fn apply_layer(
+    layer: &EncoderLayer,
+    h: Matrix,
+    extras: &AttentionBias<'_>,
+    attention_gain: f64,
+) -> (Matrix, Matrix) {
+    let (mut attn_out, weights) = layer.attn.forward_with_weights(&h, extras);
+    if attention_gain != 1.0 {
+        attn_out.scale_assign(attention_gain);
+    }
+    let mut h = h.add(&attn_out);
+    layer.ln1.forward_inplace(&mut h);
+    let ffn_out = layer.ffn.forward(&h);
+    let mut h = h.add(&ffn_out);
+    layer.ln2.forward_inplace(&mut h);
+    (h, weights)
+}
+
+fn add_into(dst: &mut [f64], src: &[f64]) {
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d += s;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config(label: &str) -> TransformerConfig {
+        TransformerConfig {
+            dim: 16,
+            n_heads: 2,
+            n_layers: 2,
+            ffn_dim: 32,
+            max_len: 32,
+            vocab_size: 128,
+            seed_label: label.to_string(),
+            ..Default::default()
+        }
+    }
+
+    fn toks(ids: &[u32]) -> Vec<TokenInput> {
+        ids.iter().map(|&id| TokenInput::plain(id)).collect()
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let a = Encoder::new(tiny_config("m"));
+        let b = Encoder::new(tiny_config("m"));
+        let input = toks(&[5, 9, 17]);
+        assert_eq!(a.encode(&input), b.encode(&input));
+    }
+
+    #[test]
+    fn different_seed_labels_differ() {
+        let a = Encoder::new(tiny_config("m1"));
+        let b = Encoder::new(tiny_config("m2"));
+        let input = toks(&[5, 9, 17]);
+        assert_ne!(a.encode(&input), b.encode(&input));
+    }
+
+    #[test]
+    fn output_shape() {
+        let e = Encoder::new(tiny_config("m"));
+        let out = e.encode(&toks(&[1, 2, 3, 4]));
+        assert_eq!(out.rows(), 4);
+        assert_eq!(out.cols(), 16);
+        assert!(out.as_slice().iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn truncates_to_max_len() {
+        let e = Encoder::new(tiny_config("m"));
+        let long: Vec<TokenInput> = (0..100).map(|i| TokenInput::plain(i % 64)).collect();
+        assert_eq!(e.encode(&long).rows(), 32);
+    }
+
+    #[test]
+    fn absolute_positions_make_order_matter() {
+        let e = Encoder::new(tiny_config("m"));
+        let ab = e.encode(&toks(&[5, 9]));
+        let ba = e.encode(&toks(&[9, 5]));
+        // With absolute positions the first token's embedding depends on
+        // where it sits.
+        assert_ne!(ab.row(0), ba.row(1));
+    }
+
+    #[test]
+    fn no_positional_scheme_is_order_invariant_for_mean() {
+        let cfg = TransformerConfig {
+            positional: PositionalScheme::None,
+            ..tiny_config("m")
+        };
+        let e = Encoder::new(cfg);
+        let ab = e.encode(&toks(&[5, 9, 13]));
+        let ba = e.encode(&toks(&[13, 9, 5]));
+        // Without positions, attention is a set operation: token 5's vector
+        // is identical wherever it appears.
+        let r0: Vec<f64> = ab.row(0).to_vec();
+        let r2: Vec<f64> = ba.row(2).to_vec();
+        for (x, y) in r0.iter().zip(&r2) {
+            assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn table_aware_row_ids_change_embedding() {
+        let cfg = TransformerConfig {
+            positional: PositionalScheme::TableAware,
+            ..tiny_config("m")
+        };
+        let e = Encoder::new(cfg);
+        let a = e.encode(&[TokenInput { id: 5, row: 1, col: 1, segment: 1 }]);
+        let b = e.encode(&[TokenInput { id: 5, row: 2, col: 1, segment: 1 }]);
+        assert_ne!(a.row(0), b.row(0));
+    }
+
+    #[test]
+    fn relative_bias_is_shift_invariant() {
+        // With RelativeBias (and no absolute positions), shifting a whole
+        // sequence cannot change anything (there is nothing to shift), but
+        // relative order still matters.
+        let cfg = TransformerConfig {
+            positional: PositionalScheme::RelativeBias,
+            ..tiny_config("m")
+        };
+        let e = Encoder::new(cfg);
+        let ab = e.encode(&toks(&[5, 9]));
+        let ba = e.encode(&toks(&[9, 5]));
+        // Token 5 at distance -1 from 9 vs +1 from 9: differs.
+        assert_ne!(ab.row(0), ba.row(1));
+    }
+
+    #[test]
+    fn vertical_attention_isolates_columns() {
+        let cfg = TransformerConfig {
+            positional: PositionalScheme::None,
+            vertical_attention: true,
+            n_layers: 1,
+            ..tiny_config("m")
+        };
+        let e = Encoder::new(cfg);
+        // Two tokens in col 1, one in col 2. Changing the col-2 token does
+        // change col-1 outputs through the shared horizontal layers, but
+        // the vertical layer itself must restrict attention. We verify by
+        // using zero horizontal layers' worth of influence: with n_layers=1
+        // the horizontal layer still mixes, so instead verify determinism +
+        // that same-column tokens end closer than cross-column ones.
+        let seq = [
+            TokenInput { id: 5, row: 1, col: 1, segment: 1 },
+            TokenInput { id: 5, row: 2, col: 1, segment: 1 },
+            TokenInput { id: 50, row: 1, col: 2, segment: 1 },
+        ];
+        let out = e.encode(&seq);
+        let same = observatory_linalg::vector::cosine(out.row(0), out.row(1));
+        let diff = observatory_linalg::vector::cosine(out.row(0), out.row(2));
+        assert!(same > diff, "same-column same-token should be closer: {same} vs {diff}");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of vocabulary")]
+    fn oov_token_panics() {
+        let e = Encoder::new(tiny_config("m"));
+        e.encode(&toks(&[9999]));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty input")]
+    fn empty_input_panics() {
+        let e = Encoder::new(tiny_config("m"));
+        e.encode(&[]);
+    }
+}
+
+#[cfg(test)]
+mod attention_tests {
+    use super::*;
+
+    fn cfg(vertical: bool) -> TransformerConfig {
+        TransformerConfig {
+            dim: 16,
+            n_heads: 2,
+            n_layers: 2,
+            ffn_dim: 32,
+            max_len: 16,
+            vocab_size: 64,
+            vertical_attention: vertical,
+            seed_label: "attn".into(),
+            ..Default::default()
+        }
+    }
+
+    fn toks(n: u32) -> Vec<TokenInput> {
+        (0..n)
+            .map(|i| TokenInput { id: i % 32, row: 1 + i / 2, col: 1 + i % 2, segment: 1 })
+            .collect()
+    }
+
+    #[test]
+    fn attention_rows_are_distributions() {
+        let e = Encoder::new(cfg(false));
+        let (_, maps) = e.encode_with_attention(&toks(6));
+        assert_eq!(maps.len(), 2);
+        for map in &maps {
+            assert_eq!(map.rows(), 6);
+            assert_eq!(map.cols(), 6);
+            for i in 0..6 {
+                let row_sum: f64 = map.row(i).iter().sum();
+                assert!((row_sum - 1.0).abs() < 1e-9, "row {i} sums to {row_sum}");
+                assert!(map.row(i).iter().all(|&w| w >= 0.0));
+            }
+        }
+    }
+
+    #[test]
+    fn vertical_layer_mass_stays_in_column() {
+        let e = Encoder::new(cfg(true));
+        let seq = toks(6);
+        let (_, maps) = e.encode_with_attention(&seq);
+        assert_eq!(maps.len(), 3, "two horizontal layers + one vertical");
+        let vertical = maps.last().unwrap();
+        for (i, ti) in seq.iter().enumerate() {
+            for (j, tj) in seq.iter().enumerate() {
+                if ti.col != tj.col {
+                    assert!(
+                        vertical[(i, j)] < 1e-12,
+                        "cross-column attention leaked: {} → {}",
+                        i,
+                        j
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn encode_and_encode_with_attention_agree() {
+        let e = Encoder::new(cfg(true));
+        let seq = toks(5);
+        assert_eq!(e.encode(&seq), e.encode_with_attention(&seq).0);
+    }
+}

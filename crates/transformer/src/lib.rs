@@ -1,0 +1,33 @@
+//! # observatory-transformer
+//!
+//! A from-scratch Transformer encoder with deterministic, seeded weights —
+//! the substrate that substitutes for pretrained checkpoints (DESIGN.md §1).
+//!
+//! The encoder reproduces the architectural degrees of freedom that
+//! Observatory's analysis attributes model behaviour to:
+//!
+//! - **Positional schemes** ([`config::PositionalScheme`]): none, learned
+//!   absolute positions (BERT/RoBERTa-style), relative attention bias
+//!   (T5-style), and table-aware row/column id embeddings on top of
+//!   absolute positions (TAPAS-style).
+//! - **Vertical attention** ([`config::TransformerConfig::vertical_attention`]):
+//!   TaBERT's extra attention pass restricted to tokens of the same column
+//!   across rows.
+//! - **Segment embeddings** distinguishing headers/metadata from data
+//!   values.
+//!
+//! Weights are drawn from a [`observatory_linalg::SplitMix64`] stream
+//! seeded by the model label, so every "pretrained model" is a pure
+//! function of its name: reproducible across runs, machines and dependency
+//! versions.
+//!
+//! The forward pass is the standard pre-LN free encoder stack:
+//! embeddings → [self-attention + residual + LayerNorm → FFN(GELU) +
+//! residual + LayerNorm]ⁿ, returning one contextual vector per input token.
+
+pub mod config;
+pub mod encoder;
+pub mod layers;
+
+pub use config::{PositionalScheme, TransformerConfig};
+pub use encoder::{Encoder, TokenInput};

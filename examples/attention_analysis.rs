@@ -1,0 +1,88 @@
+//! Attention-pattern analysis of the table models — the Koleva et al.
+//! (NeurIPS TRL 2022) style of inspection the paper's related work
+//! discusses: where does each model's attention mass go? Within the same
+//! row, the same column, to the schema, or across structure?
+//!
+//! ```sh
+//! cargo run --release --example attention_analysis
+//! ```
+
+use observatory::data::wikitables::WikiTablesConfig;
+use observatory::models::adapter::BaseModel;
+use observatory::models::zoo;
+
+/// Where attention mass lands, relative to the query token's structure.
+#[derive(Default)]
+struct MassProfile {
+    same_row: f64,
+    same_column: f64,
+    schema: f64,
+    elsewhere: f64,
+    total: f64,
+}
+
+fn analyze(model: &BaseModel, table: &observatory::table::Table) -> MassProfile {
+    let (enc, maps) = model.encode_table_with_attention(table);
+    let mut p = MassProfile::default();
+    for map in &maps {
+        for (i, pi) in enc.provenance.iter().enumerate() {
+            if pi.special || pi.row == 0 {
+                continue; // profile only data-token queries
+            }
+            for (j, pj) in enc.provenance.iter().enumerate() {
+                let w = map[(i, j)];
+                p.total += w;
+                if pj.row == 0 && pj.col > 0 {
+                    p.schema += w;
+                } else if pj.col == pi.col && pj.row != pi.row {
+                    p.same_column += w;
+                } else if pj.row == pi.row {
+                    p.same_row += w;
+                } else {
+                    p.elsewhere += w;
+                }
+            }
+        }
+    }
+    p
+}
+
+fn main() {
+    let table = WikiTablesConfig { num_tables: 1, min_rows: 6, max_rows: 6, seed: 3 }
+        .generate()
+        .remove(0);
+    println!(
+        "attention mass profile over '{}' ({} rows × {} cols), data-token queries\n",
+        table.name,
+        table.num_rows(),
+        table.num_cols()
+    );
+    println!(
+        "{:<8} {:>10} {:>12} {:>9} {:>11}",
+        "model", "same-row", "same-column", "schema", "elsewhere"
+    );
+    let models: Vec<(&str, BaseModel)> = vec![
+        ("bert", zoo::bert::bert()),
+        ("tapas", zoo::tapas::tapas()),
+        ("tabert", zoo::tabert::tabert()),
+        ("doduo", zoo::doduo::doduo()),
+    ];
+    for (name, model) in &models {
+        let p = analyze(model, &table);
+        let pct = |x: f64| 100.0 * x / p.total.max(1e-12);
+        println!(
+            "{:<8} {:>9.1}% {:>11.1}% {:>8.1}% {:>10.1}%",
+            name,
+            pct(p.same_row),
+            pct(p.same_column),
+            pct(p.schema),
+            pct(p.elsewhere)
+        );
+    }
+    println!();
+    println!("reading: TaBERT's vertical pass shifts mass into same-column attention;");
+    println!("DODUO's column-wise serialization makes same-column attention structural;");
+    println!("row-wise BERT/TAPAS spread mass across rows. Trained checkpoints sharpen");
+    println!("these patterns further (Koleva et al.), but the structural skeleton is");
+    println!("already visible in the architecture alone.");
+}

@@ -1,0 +1,62 @@
+//! Functional-dependency audit of a database — exercising the FD
+//! discovery substrate directly, then asking Property 4's question: do a
+//! model's embeddings know about the dependencies we just mined?
+//!
+//! ```sh
+//! cargo run --release --example fd_audit
+//! ```
+
+use observatory::core::framework::{EvalContext, Property};
+use observatory::core::props::fd::FunctionalDependencies;
+use observatory::data::spider::SpiderConfig;
+use observatory::fd::discovery::{discover_unary_fds, DiscoveryOptions};
+use observatory::fd::groups::fd_groups;
+use observatory::models::registry::model_by_name;
+
+fn main() {
+    let corpus = SpiderConfig { num_tables: 6, rows: 24, seed: 7 }.generate();
+
+    // Step 1: mine unary FDs with determinant size 1, exactly the paper's
+    // HyFD configuration over Spider.
+    println!("## mined functional dependencies\n");
+    let mut total = 0usize;
+    for table in &corpus.tables {
+        let fds = discover_unary_fds(table, DiscoveryOptions::default());
+        for fd in &fds {
+            let groups = fd_groups(table, *fd, 2);
+            println!(
+                "{}: {} → {}   ({} FD groups with ≥2 tuples)",
+                table.name,
+                table.columns[fd.determinant].header,
+                table.columns[fd.dependent].header,
+                groups.len()
+            );
+        }
+        total += fds.len();
+    }
+    println!("\n{total} dependencies mined ({} were planted by the generator)", corpus.planted_fds.len());
+
+    // Step 2: Property 4 — is the FD structure visible in the embedding
+    // space as stable translations?
+    println!("\n## embedding-space audit (Property 4, TransE-style translation variance)\n");
+    for name in ["bert", "tapas", "doduo"] {
+        let model = model_by_name(name).unwrap();
+        let report = FunctionalDependencies::default().evaluate(
+            model.as_ref(),
+            &corpus.tables,
+            &EvalContext::default(),
+        );
+        let fd_mean = report.scalar("mean_s2/fd").unwrap_or(f64::NAN);
+        let nonfd_mean = report.scalar("mean_s2/nonfd").unwrap_or(f64::NAN);
+        println!(
+            "{name:8} S̄² with FDs: {fd_mean:.3}   without: {nonfd_mean:.3}   {}",
+            if fd_mean < 0.05 * nonfd_mean {
+                "← suspiciously clean separation"
+            } else {
+                "(overlapping — FDs are not preserved, as the paper finds)"
+            }
+        );
+    }
+    println!("\ntakeaway: don't expect imputation driven by these embeddings to respect");
+    println!("dependencies like country → continent; enforce them with the `fd` crate instead.");
+}

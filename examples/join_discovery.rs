@@ -1,0 +1,50 @@
+//! Semantic join discovery over a data lake — the paper's intro
+//! motivation and §6 downstream experiment, as an application.
+//!
+//! Pipeline: embed every candidate column (with sampling, justified by
+//! Property 5), index the embeddings, and answer "which columns in the
+//! lake join with mine?" queries. Ground truth and evaluation use the
+//! syntactic overlap measures of Property 3.
+//!
+//! ```sh
+//! cargo run --release --example join_discovery
+//! ```
+
+use observatory::core::downstream::join_discovery::{run_join_discovery, JoinDiscoveryConfig};
+use observatory::core::framework::EvalContext;
+use observatory::data::nextiajd::NextiaJdConfig;
+use observatory::models::registry::model_by_name;
+use observatory::search::overlap::{containment, multiset_jaccard};
+
+fn main() {
+    // A synthetic "lake": joinable query/candidate column pairs with
+    // planted overlap.
+    let pairs = NextiaJdConfig { num_pairs: 40, ..Default::default() }.generate();
+    println!("lake: {} candidate columns, {} queries\n", pairs.len(), pairs.len());
+
+    // Peek at what the syntactic measures say about one pair.
+    let p = &pairs[0];
+    println!(
+        "example pair: containment={:.2}, multiset-jaccard={:.2} (target was {:.1})",
+        containment(&p.query, &p.candidate),
+        multiset_jaccard(&p.query, &p.candidate),
+        p.target_containment
+    );
+
+    // T5: the paper's pick for this task thanks to its sample fidelity.
+    let model = model_by_name("t5").unwrap();
+    let config = JoinDiscoveryConfig { sample_size: 8, k: 5, ..Default::default() };
+    let result = run_join_discovery(model.as_ref(), &pairs, &config, &EvalContext::default())
+        .expect("t5 exposes column embeddings");
+
+    println!("\nfull-value embeddings:  precision {:.3}  recall {:.3}  (index {} µs)",
+        result.full.eval.mean_precision, result.full.eval.mean_recall, result.full.index_micros);
+    println!("sampled embeddings:     precision {:.3}  recall {:.3}  (index {} µs)",
+        result.sampled.eval.mean_precision,
+        result.sampled.eval.mean_recall,
+        result.sampled.index_micros);
+    let speedup = result.full.index_micros as f64 / result.sampled.index_micros.max(1) as f64;
+    println!("\nsampling keeps retrieval quality within {:.1} recall points while",
+        (result.full.eval.mean_recall - result.sampled.eval.mean_recall).abs() * 100.0);
+    println!("indexing {speedup:.1}× faster — the Property 5 → join-discovery connection.");
+}

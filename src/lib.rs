@@ -1,0 +1,50 @@
+//! # Observatory
+//!
+//! A from-scratch Rust reproduction of *Observatory: Characterizing
+//! Embeddings of Relational Tables* (PVLDB / VLDB 2023): a formal framework
+//! of eight primitive properties — with quantitative measures — for
+//! systematically analyzing the embedding representations that language
+//! models and specialized table-embedding models produce over relational
+//! tables.
+//!
+//! This crate is a facade that re-exports the workspace crates:
+//!
+//! | Re-export | Crate | Contents |
+//! |---|---|---|
+//! | [`linalg`] | `observatory-linalg` | vectors, matrices, moments, PCA, deterministic RNG |
+//! | [`stats`] | `observatory-stats` | Albert–Zhang MCV, Spearman ρ, descriptive statistics |
+//! | [`table`] | `observatory-table` | relational table model, permutations, sampling, CSV |
+//! | [`tokenizer`] | `observatory-tokenizer` | deterministic subword tokenizer |
+//! | [`transformer`] | `observatory-transformer` | from-scratch Transformer encoder |
+//! | [`fd`] | `observatory-fd` | functional-dependency discovery and verification |
+//! | [`models`] | `observatory-models` | the nine table-embedding model adapters |
+//! | [`data`] | `observatory-data` | the five synthetic dataset suites |
+//! | [`search`] | `observatory-search` | overlap measures, kNN, join discovery |
+//! | [`core`] | `observatory-core` | the eight properties, runner, reports, downstream tasks |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use observatory::core::framework::{EvalContext, Property};
+//! use observatory::core::props::row_order::RowOrderInsignificance;
+//! use observatory::data::wikitables::WikiTablesConfig;
+//!
+//! // A small corpus, one model, one property.
+//! let corpus = WikiTablesConfig { num_tables: 2, seed: 7, ..Default::default() }.generate();
+//! let model = observatory::models::registry::model_by_name("bert").unwrap();
+//! let prop = RowOrderInsignificance { max_permutations: 8 };
+//! let ctx = EvalContext::default();
+//! let report = prop.evaluate(model.as_ref(), &corpus, &ctx);
+//! assert!(!report.records.is_empty());
+//! ```
+
+pub use observatory_core as core;
+pub use observatory_data as data;
+pub use observatory_fd as fd;
+pub use observatory_linalg as linalg;
+pub use observatory_models as models;
+pub use observatory_search as search;
+pub use observatory_stats as stats;
+pub use observatory_table as table;
+pub use observatory_tokenizer as tokenizer;
+pub use observatory_transformer as transformer;

@@ -1,0 +1,271 @@
+//! `observatory` — command-line interface to the characterization
+//! framework.
+//!
+//! ```text
+//! observatory models                          list the model zoo (Table 1)
+//! observatory properties                      list properties + scope (Table 2)
+//! observatory characterize --property P1 --model bert [--csv t.csv]...
+//! observatory mine-fds --csv table.csv [--max-error 0.05]
+//! ```
+//!
+//! With no `--csv`, `characterize` runs on the built-in WikiTables-like
+//! demo corpus. Argument parsing is deliberately hand-rolled — the
+//! workspace keeps a zero-dependency runtime.
+
+use observatory::core::framework::{EvalContext, Property};
+use observatory::core::props::col_order::ColumnOrderInsignificance;
+use observatory::core::props::fd::FunctionalDependencies;
+use observatory::core::props::hetero_context::HeterogeneousContext;
+use observatory::core::props::perturbation::PerturbationRobustness;
+use observatory::core::props::row_order::RowOrderInsignificance;
+use observatory::core::props::sample_fidelity::SampleFidelity;
+use observatory::core::report::{render_report, render_table};
+use observatory::core::scope;
+use observatory::data::wikitables::WikiTablesConfig;
+use observatory::fd::approx::discover_approximate_unary_fds;
+use observatory::models::registry::{model_by_name, specs, MODEL_NAMES};
+use observatory::table::csv::parse_csv;
+use observatory::table::Table;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("models") => cmd_models(),
+        Some("properties") => cmd_properties(),
+        Some("characterize") => cmd_characterize(&args[1..]),
+        Some("mine-fds") => cmd_mine_fds(&args[1..]),
+        Some("help") | Some("--help") | Some("-h") | None => {
+            print_usage();
+            0
+        }
+        Some(other) => {
+            eprintln!("unknown command '{other}'\n");
+            print_usage();
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn print_usage() {
+    println!("observatory — characterize embeddings of relational tables\n");
+    println!("USAGE:");
+    println!("  observatory models");
+    println!("  observatory properties");
+    println!("  observatory characterize --property <P1..P8> [--model <name>]");
+    println!("                           [--csv <file>]... [--seed <n>] [--permutations <n>]");
+    println!("                           [--export <dir>]   write raw distributions as CSV");
+    println!("  observatory mine-fds --csv <file> [--max-error <fraction>]");
+    println!();
+    println!("Without --csv, characterize uses a built-in demo corpus. See DESIGN.md");
+    println!("for the full experiment harness (cargo run -p observatory-bench --bin ...).");
+}
+
+/// Extract every value of a repeatable `--flag value` option.
+fn opt_values<'a>(args: &'a [String], flag: &str) -> Vec<&'a str> {
+    args.windows(2)
+        .filter(|w| w[0] == flag)
+        .map(|w| w[1].as_str())
+        .collect()
+}
+
+fn opt_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    opt_values(args, flag).into_iter().next()
+}
+
+fn cmd_models() -> i32 {
+    let rows: Vec<Vec<String>> = specs()
+        .into_iter()
+        .map(|s| {
+            vec![
+                s.name.to_string(),
+                s.display.to_string(),
+                s.input.to_string(),
+                s.output_embedding.to_string(),
+            ]
+        })
+        .collect();
+    print!("{}", render_table(&["name", "display", "input", "output embedding"], &rows));
+    0
+}
+
+fn cmd_properties() -> i32 {
+    let names = [
+        ("P1", "Row order insignificance"),
+        ("P2", "Column order insignificance"),
+        ("P3", "Join relationship"),
+        ("P4", "Functional dependencies"),
+        ("P5", "Sample fidelity"),
+        ("P6", "Entity stability (pairwise API)"),
+        ("P7", "Perturbation robustness"),
+        ("P8", "Heterogeneous context"),
+    ];
+    let rows: Vec<Vec<String>> = names
+        .iter()
+        .map(|(id, name)| {
+            vec![
+                id.to_string(),
+                name.to_string(),
+                scope::dataset_for(id).to_string(),
+                scope::models_in_scope(id).join(", "),
+            ]
+        })
+        .collect();
+    print!("{}", render_table(&["id", "property", "dataset", "models in scope"], &rows));
+    0
+}
+
+fn load_corpus(args: &[String]) -> Result<Vec<Table>, String> {
+    let files = opt_values(args, "--csv");
+    if files.is_empty() {
+        let seed = opt_value(args, "--seed").map_or(Ok(42), str::parse).map_err(|_| "--seed must be an integer".to_string())?;
+        return Ok(WikiTablesConfig { num_tables: 4, min_rows: 5, max_rows: 8, seed }.generate());
+    }
+    files
+        .into_iter()
+        .map(|path| {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            parse_csv(path, &text).map_err(|e| format!("{path}: {e}"))
+        })
+        .collect()
+}
+
+fn cmd_characterize(args: &[String]) -> i32 {
+    let property_id = match opt_value(args, "--property") {
+        Some(p) => p.to_uppercase(),
+        None => {
+            eprintln!("characterize requires --property <P1|P2|P4|P5|P7|P8>");
+            return 2;
+        }
+    };
+    let model_name = opt_value(args, "--model").unwrap_or("bert");
+    let Some(model) = model_by_name(model_name) else {
+        eprintln!("unknown model '{model_name}'; valid: {}", MODEL_NAMES.join(", "));
+        return 2;
+    };
+    if !scope::in_scope(&property_id, model_name) {
+        eprintln!(
+            "note: {model_name} is outside the paper's Table 2 scope for {property_id}; running anyway"
+        );
+    }
+    let corpus = match load_corpus(args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            return 1;
+        }
+    };
+    let perms: usize = opt_value(args, "--permutations")
+        .map_or(Ok(24), str::parse)
+        .unwrap_or(24);
+    let seed = opt_value(args, "--seed").map_or(Ok(42), str::parse).unwrap_or(42);
+    let ctx = EvalContext { seed };
+
+    let p1 = RowOrderInsignificance { max_permutations: perms };
+    let p2 = ColumnOrderInsignificance { max_permutations: perms };
+    let p4 = FunctionalDependencies::default();
+    let p5 = SampleFidelity::default();
+    let p7 = PerturbationRobustness::default();
+    let p8 = HeterogeneousContext;
+    let property: &dyn Property = match property_id.as_str() {
+        "P1" => &p1,
+        "P2" => &p2,
+        "P4" => &p4,
+        "P5" => &p5,
+        "P7" => &p7,
+        "P8" => &p8,
+        "P3" | "P6" => {
+            eprintln!(
+                "{property_id} needs a specialized workload (join pairs / a model pair); \
+                 use the bench harness: cargo run -p observatory-bench --bin table3_join_spearman \
+                 or figure12_entity_stability"
+            );
+            return 2;
+        }
+        other => {
+            eprintln!("unknown property '{other}'");
+            return 2;
+        }
+    };
+    let report = property.evaluate(model.as_ref(), &corpus, &ctx);
+    if let Some(dir) = opt_value(args, "--export") {
+        match observatory::core::export::write_bundle(std::path::Path::new(dir), std::slice::from_ref(&report)) {
+            Ok(n) => println!("exported {n} files to {dir}"),
+            Err(e) => {
+                eprintln!("export failed: {e}");
+                return 1;
+            }
+        }
+    }
+    if report.records.is_empty() && report.scalars.is_empty() {
+        println!(
+            "{} produced no measurements for {} on this corpus (missing embedding level or \
+             unmeasurable corpus)",
+            property_id, model_name
+        );
+    } else {
+        print!("{}", render_report(&report));
+    }
+    0
+}
+
+fn cmd_mine_fds(args: &[String]) -> i32 {
+    let corpus = match load_corpus(args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            return 1;
+        }
+    };
+    let max_error: f64 = opt_value(args, "--max-error").map_or(Ok(0.0), str::parse).unwrap_or(0.0);
+    for table in &corpus {
+        println!("## {}", table.name);
+        let fds = discover_approximate_unary_fds(table, max_error);
+        if fds.is_empty() {
+            println!("(no unary dependencies at g3 ≤ {max_error})\n");
+            continue;
+        }
+        let rows: Vec<Vec<String>> = fds
+            .iter()
+            .map(|a| {
+                vec![
+                    table.columns[a.fd.determinant].header.clone(),
+                    table.columns[a.fd.dependent].header.clone(),
+                    format!("{:.4}", a.g3),
+                ]
+            })
+            .collect();
+        print!("{}", render_table(&["determinant", "dependent", "g3 error"], &rows));
+        println!();
+    }
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn opt_parsing() {
+        let a = args(&["--csv", "a.csv", "--seed", "7", "--csv", "b.csv"]);
+        assert_eq!(opt_values(&a, "--csv"), vec!["a.csv", "b.csv"]);
+        assert_eq!(opt_value(&a, "--seed"), Some("7"));
+        assert_eq!(opt_value(&a, "--nope"), None);
+    }
+
+    #[test]
+    fn demo_corpus_loads_without_csv() {
+        let corpus = load_corpus(&args(&["--seed", "3"])).unwrap();
+        assert_eq!(corpus.len(), 4);
+    }
+
+    #[test]
+    fn missing_csv_is_an_error() {
+        assert!(load_corpus(&args(&["--csv", "/nonexistent/x.csv"])).is_err());
+    }
+}

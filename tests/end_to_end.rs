@@ -1,0 +1,123 @@
+//! End-to-end integration tests: the full characterization pipeline —
+//! datasets → models → properties → reports — across crate boundaries.
+
+use observatory::core::framework::{run_property, EvalContext, Property};
+use observatory::core::props::col_order::ColumnOrderInsignificance;
+use observatory::core::props::fd::FunctionalDependencies;
+use observatory::core::props::hetero_context::HeterogeneousContext;
+use observatory::core::props::join_rel::{pairs_to_corpus, JoinRelationship};
+use observatory::core::props::perturbation::PerturbationRobustness;
+use observatory::core::props::row_order::RowOrderInsignificance;
+use observatory::core::props::sample_fidelity::SampleFidelity;
+use observatory::core::scope;
+use observatory::data::nextiajd::NextiaJdConfig;
+use observatory::data::sotab::SotabConfig;
+use observatory::data::spider::SpiderConfig;
+use observatory::data::wikitables::WikiTablesConfig;
+use observatory::models::registry::all_models;
+
+fn ctx() -> EvalContext {
+    EvalContext { seed: 42 }
+}
+
+#[test]
+fn every_property_runs_for_every_in_scope_model() {
+    let wiki = WikiTablesConfig { num_tables: 2, min_rows: 4, max_rows: 5, seed: 1 }.generate();
+    let spider = SpiderConfig { num_tables: 2, rows: 10, seed: 7 }.generate().tables;
+    let joins =
+        pairs_to_corpus(&NextiaJdConfig { num_pairs: 6, ..Default::default() }.generate());
+    let sotab = SotabConfig { num_tables: 2, rows: 4, seed: 23 }.generate();
+    let models = all_models();
+
+    let p1 = RowOrderInsignificance { max_permutations: 3 };
+    let p2 = ColumnOrderInsignificance { max_permutations: 3 };
+    let p3 = JoinRelationship;
+    let p4 = FunctionalDependencies::default();
+    let p5 = SampleFidelity { samples_per_ratio: 1, ..Default::default() };
+    let p7 = PerturbationRobustness::default();
+    let p8 = HeterogeneousContext;
+    let cases: Vec<(&dyn Property, &[observatory::table::Table])> = vec![
+        (&p1, &wiki),
+        (&p2, &wiki),
+        (&p3, &joins),
+        (&p4, &spider),
+        (&p5, &wiki),
+        (&p7, &wiki),
+        (&p8, &sotab),
+    ];
+    for (property, corpus) in cases {
+        let reports = run_property(property, &models, corpus, &ctx());
+        assert_eq!(
+            reports.len(),
+            scope::models_in_scope(property.id()).len(),
+            "{} report count",
+            property.id()
+        );
+        // Every report is internally consistent: finite values only.
+        for r in &reports {
+            for d in &r.records {
+                assert!(
+                    d.values.iter().all(|v| v.is_finite()),
+                    "{} {} {} has non-finite values",
+                    property.id(),
+                    r.model,
+                    d.label
+                );
+            }
+        }
+        // At least one in-scope model produced actual measurements.
+        assert!(
+            reports.iter().any(|r| !r.records.is_empty() || !r.scalars.is_empty()),
+            "{} produced nothing at all",
+            property.id()
+        );
+    }
+}
+
+#[test]
+fn reports_are_reproducible_across_processial_reruns() {
+    // Same seed ⇒ bitwise-identical reports (the determinism contract that
+    // the synthetic-checkpoint substitution rests on).
+    let wiki = WikiTablesConfig { num_tables: 2, min_rows: 4, max_rows: 5, seed: 5 }.generate();
+    let models = all_models();
+    let p = RowOrderInsignificance { max_permutations: 4 };
+    let a = run_property(&p, &models, &wiki, &ctx());
+    let b = run_property(&p, &models, &wiki, &ctx());
+    assert_eq!(a, b);
+}
+
+#[test]
+fn different_seeds_change_sampled_measurements() {
+    let wiki = WikiTablesConfig { num_tables: 1, min_rows: 8, max_rows: 8, seed: 5 }.generate();
+    let model = observatory::models::registry::model_by_name("bert").unwrap();
+    let p = RowOrderInsignificance { max_permutations: 5 };
+    let a = p.evaluate(model.as_ref(), &wiki, &EvalContext { seed: 1 });
+    let b = p.evaluate(model.as_ref(), &wiki, &EvalContext { seed: 2 });
+    assert_ne!(
+        a.distribution("column/cosine").map(|d| d.values.clone()),
+        b.distribution("column/cosine").map(|d| d.values.clone()),
+    );
+}
+
+#[test]
+fn scope_matrix_is_enforced_by_runner() {
+    let wiki = WikiTablesConfig { num_tables: 1, min_rows: 4, max_rows: 4, seed: 1 }.generate();
+    let models = all_models();
+    let p = FunctionalDependencies::default();
+    let reports = run_property(&p, &models, &wiki, &ctx());
+    for excluded in ["turl", "tabert", "taptap"] {
+        assert!(reports.iter().all(|r| r.model != excluded), "{excluded} must be out of scope");
+    }
+}
+
+#[test]
+fn renderable_reports() {
+    // Rendering never panics and contains the measure labels.
+    let wiki = WikiTablesConfig { num_tables: 1, min_rows: 4, max_rows: 4, seed: 1 }.generate();
+    let model = observatory::models::registry::model_by_name("tapas").unwrap();
+    let p = RowOrderInsignificance { max_permutations: 4 };
+    let report = p.evaluate(model.as_ref(), &wiki, &ctx());
+    let text = observatory::core::report::render_report(&report);
+    assert!(text.contains("P1 — tapas"));
+    assert!(text.contains("column/cosine"));
+}

@@ -1,0 +1,158 @@
+//! Property-based (proptest) invariants across crate boundaries: random
+//! tables through the full tokenize → serialize → encode → aggregate →
+//! measure pipeline.
+
+use observatory::core::framework::{EvalContext, Property};
+use observatory::core::props::row_order::RowOrderInsignificance;
+use observatory::linalg::Matrix;
+use observatory::models::registry::model_by_name;
+use observatory::search::overlap::{containment, jaccard, multiset_jaccard};
+use observatory::stats::mcv::albert_zhang_mcv;
+use observatory::stats::spearman::spearman_rho;
+use observatory::table::perm::{permute_columns, permute_rows, sample_permutations};
+use observatory::table::{Column, Table, Value};
+use proptest::prelude::*;
+
+/// Strategy: a small random table with mixed value types.
+fn arb_table() -> impl Strategy<Value = Table> {
+    let cell = prop_oneof![
+        any::<i32>().prop_map(|i| Value::Int(i64::from(i))),
+        "[a-z]{1,8}( [a-z]{1,8})?".prop_map(Value::text),
+        (-1000.0f64..1000.0).prop_map(Value::Float),
+        Just(Value::Null),
+    ];
+    (2usize..5, 2usize..6).prop_flat_map(move |(cols, rows)| {
+        proptest::collection::vec(proptest::collection::vec(cell.clone(), rows), cols).prop_map(
+            move |columns| {
+                Table::new(
+                    "t",
+                    columns
+                        .into_iter()
+                        .enumerate()
+                        .map(|(j, values)| Column::new(format!("col{j}"), values))
+                        .collect(),
+                )
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// Encoding any table yields finite embeddings with aligned provenance.
+    #[test]
+    fn encoding_always_finite_and_aligned(table in arb_table()) {
+        let model = model_by_name("bert").unwrap();
+        let enc = model.encode_table(&table);
+        prop_assert_eq!(enc.provenance.len(), enc.embeddings.rows());
+        prop_assert!(enc.embeddings.as_slice().iter().all(|x| x.is_finite()));
+    }
+
+    /// Row permutation never changes *which* embeddings exist — only,
+    /// possibly, their values; and re-permuting back restores the table.
+    #[test]
+    fn permutation_round_trip(table in arb_table()) {
+        let n = table.num_rows();
+        let perm = sample_permutations(n, 2, 7).pop().unwrap();
+        let shuffled = permute_rows(&table, &perm);
+        let mut inverse = vec![0usize; n];
+        for (i, &p) in perm.iter().enumerate() {
+            inverse[p] = i;
+        }
+        prop_assert_eq!(permute_rows(&shuffled, &inverse), table);
+    }
+
+    /// Column permutation round trip.
+    #[test]
+    fn column_permutation_round_trip(table in arb_table()) {
+        let n = table.num_cols();
+        let perm = sample_permutations(n, 2, 9).pop().unwrap();
+        let shuffled = permute_columns(&table, &perm);
+        let mut inverse = vec![0usize; n];
+        for (i, &p) in perm.iter().enumerate() {
+            inverse[p] = i;
+        }
+        prop_assert_eq!(permute_columns(&shuffled, &inverse), table);
+    }
+
+    /// P1 measure outputs are always in-range: cosine ∈ [−1, 1], MCV ≥ 0.
+    #[test]
+    fn p1_measures_in_range(table in arb_table()) {
+        let model = model_by_name("tapas").unwrap();
+        let p = RowOrderInsignificance { max_permutations: 3 };
+        let report = p.evaluate(model.as_ref(), std::slice::from_ref(&table), &EvalContext::default());
+        for d in &report.records {
+            if d.label.ends_with("cosine") {
+                prop_assert!(d.values.iter().all(|v| (-1.0..=1.0).contains(v)), "{}", d.label);
+            }
+            if d.label.ends_with("mcv") {
+                prop_assert!(d.values.iter().all(|v| *v >= 0.0), "{}", d.label);
+            }
+        }
+    }
+
+    /// Overlap measures obey their bounds and identities for any column
+    /// pair drawn from random tables.
+    #[test]
+    fn overlap_bounds(a in arb_table(), b in arb_table()) {
+        let (ca, cb) = (&a.columns[0], &b.columns[0]);
+        let c = containment(ca, cb);
+        let j = jaccard(ca, cb);
+        let m = multiset_jaccard(ca, cb);
+        prop_assert!((0.0..=1.0).contains(&c));
+        prop_assert!((0.0..=1.0).contains(&j));
+        prop_assert!((0.0..=0.5 + 1e-12).contains(&m));
+        prop_assert!(j <= c + 1e-12, "jaccard may not exceed containment");
+        // Self-identities.
+        prop_assert!((containment(ca, ca) - 1.0).abs() < 1e-12);
+        prop_assert!((jaccard(ca, ca) - 1.0).abs() < 1e-12);
+        prop_assert!((multiset_jaccard(ca, ca) - 0.5).abs() < 1e-12);
+    }
+
+    /// Spearman is antisymmetric under order reversal of one variable.
+    #[test]
+    fn spearman_antisymmetry(xs in proptest::collection::vec(-1e6f64..1e6, 5..40)) {
+        let ys: Vec<f64> = (0..xs.len()).map(|i| i as f64).collect();
+        let rev: Vec<f64> = ys.iter().rev().copied().collect();
+        let r1 = spearman_rho(&xs, &ys);
+        let r2 = spearman_rho(&xs, &rev);
+        if r1.rho.is_finite() {
+            prop_assert!((r1.rho + r2.rho).abs() < 1e-9, "{} vs {}", r1.rho, r2.rho);
+        }
+    }
+
+    /// AZ MCV is invariant under positive scaling of the whole sample.
+    #[test]
+    fn mcv_scale_invariance(
+        rows in proptest::collection::vec(proptest::collection::vec(0.1f64..10.0, 4), 2..10),
+        scale in 0.1f64..100.0,
+    ) {
+        let m1 = Matrix::from_rows(&rows);
+        let scaled: Vec<Vec<f64>> =
+            rows.iter().map(|r| r.iter().map(|x| x * scale).collect()).collect();
+        let m2 = Matrix::from_rows(&scaled);
+        let (g1, g2) = (albert_zhang_mcv(&m1), albert_zhang_mcv(&m2));
+        prop_assert!((g1 - g2).abs() < 1e-9 * (1.0 + g1.abs()), "{g1} vs {g2}");
+    }
+
+    /// CSV round trip: any random table survives serialize → parse intact
+    /// up to type inference (texts that look numeric come back numeric, so
+    /// compare the rendered forms).
+    #[test]
+    fn csv_round_trip_preserves_text_forms(table in arb_table()) {
+        let csv = observatory::table::csv::to_csv(&table);
+        let parsed = observatory::table::csv::parse_csv("t", &csv).unwrap();
+        prop_assert_eq!(parsed.num_rows(), table.num_rows());
+        prop_assert_eq!(parsed.num_cols(), table.num_cols());
+        for j in 0..table.num_cols() {
+            for i in 0..table.num_rows() {
+                prop_assert_eq!(
+                    parsed.cell(i, j).to_text(),
+                    table.cell(i, j).to_text(),
+                    "cell ({}, {})", i, j
+                );
+            }
+        }
+    }
+}
