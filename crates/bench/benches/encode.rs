@@ -18,11 +18,9 @@ fn bench_encode_table(c: &mut Criterion) {
     let mut group = c.benchmark_group("encode_table");
     group.sample_size(20);
     for model in all_models() {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(model.name()),
-            &table,
-            |b, table| b.iter(|| black_box(model.encode_table(black_box(table)))),
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(model.name()), &table, |b, table| {
+            b.iter(|| black_box(model.encode_table(black_box(table))))
+        });
     }
     group.finish();
 }

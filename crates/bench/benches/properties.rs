@@ -20,7 +20,7 @@ use observatory_data::wikitables::WikiTablesConfig;
 use std::hint::black_box;
 
 fn ctx() -> EvalContext {
-    EvalContext { seed: 42 }
+    EvalContext::with_seed(42)
 }
 
 fn bench_props(c: &mut Criterion) {
@@ -56,7 +56,9 @@ fn bench_props(c: &mut Criterion) {
         b.iter(|| black_box(p.evaluate(model.as_ref(), black_box(&wiki), &ctx())))
     });
     group.bench_function("p8_heterogeneous_context", |b| {
-        b.iter(|| black_box(HeterogeneousContext.evaluate(model.as_ref(), black_box(&sotab), &ctx())))
+        b.iter(|| {
+            black_box(HeterogeneousContext.evaluate(model.as_ref(), black_box(&sotab), &ctx()))
+        })
     });
     group.finish();
 

@@ -1,0 +1,78 @@
+//! Embedding-engine benchmarks: cold vs warm cache, and `encode_batch`
+//! throughput at 1/2/4 worker threads.
+//!
+//! The cache benchmark quantifies what the content-addressed LRU buys on
+//! a repeated-encode workload (permutation sweeps revisit identical
+//! fingerprints constantly): the warm path is a shard lookup plus an
+//! `Arc` clone, so the cold/warm ratio is the effective amortization of
+//! every re-encode the properties would otherwise pay for. The thread
+//! sweep uses private engines with caching disabled so each iteration
+//! measures real encoder work; observed speedup is bounded by the
+//! machine's core count (single-core CI boxes report ~1×).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use observatory_data::wikitables::WikiTablesConfig;
+use observatory_models::registry::model_by_name;
+use observatory_runtime::{Engine, EngineConfig};
+use observatory_table::Table;
+use std::hint::black_box;
+
+fn demo_corpus() -> Vec<Table> {
+    WikiTablesConfig { num_tables: 8, min_rows: 5, max_rows: 8, seed: 42 }.generate()
+}
+
+fn bench_cache_cold_vs_warm(c: &mut Criterion) {
+    let corpus = demo_corpus();
+    let model = model_by_name("bert").unwrap();
+    let mut group = c.benchmark_group("engine_cache");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(corpus.len() as u64));
+
+    // Cold: every iteration starts from an empty cache, so every table is
+    // a miss and runs the full encoder.
+    let engine = Engine::new(EngineConfig { jobs: 1, cache_bytes: 256 << 20 });
+    group.bench_function("cold", |b| {
+        b.iter(|| {
+            engine.clear_cache();
+            black_box(engine.encode_batch(model.as_ref(), black_box(&corpus)))
+        })
+    });
+
+    // Warm: the cache is pre-populated once; every iteration is all hits.
+    let warm = Engine::new(EngineConfig { jobs: 1, cache_bytes: 256 << 20 });
+    warm.encode_batch(model.as_ref(), &corpus);
+    group.bench_function("warm", |b| {
+        b.iter(|| black_box(warm.encode_batch(model.as_ref(), black_box(&corpus))))
+    });
+    group.finish();
+
+    let stats = warm.cache_stats();
+    println!(
+        "# engine_cache: warm hit rate {:.1}% ({} hits / {} lookups), {} entries, {} bytes",
+        stats.hit_rate() * 100.0,
+        stats.hits,
+        stats.hits + stats.misses,
+        stats.entries,
+        stats.bytes,
+    );
+}
+
+fn bench_batch_jobs(c: &mut Criterion) {
+    let corpus = demo_corpus();
+    let model = model_by_name("bert").unwrap();
+    let mut group = c.benchmark_group("encode_batch_jobs");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(corpus.len() as u64));
+    for jobs in [1usize, 2, 4] {
+        // Caching disabled: each iteration must do the real encoder work,
+        // otherwise everything after the first iteration is a hit.
+        let engine = Engine::new(EngineConfig { jobs, cache_bytes: 0 });
+        group.bench_with_input(BenchmarkId::from_parameter(jobs), &corpus, |b, corpus| {
+            b.iter(|| black_box(engine.encode_batch(model.as_ref(), black_box(corpus))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cache_cold_vs_warm, bench_batch_jobs);
+criterion_main!(benches);

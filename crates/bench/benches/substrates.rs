@@ -72,9 +72,7 @@ fn bench_pca(c: &mut Criterion) {
     let sample = Matrix::from_rows(
         &(0..720).map(|_| (0..64).map(|_| rng.next_normal()).collect()).collect::<Vec<_>>(),
     );
-    c.bench_function("pca_top2_720x64", |b| {
-        b.iter(|| black_box(Pca::fit(black_box(&sample), 2)))
-    });
+    c.bench_function("pca_top2_720x64", |b| b.iter(|| black_box(Pca::fit(black_box(&sample), 2))));
 }
 
 criterion_group!(benches, bench_tokenizer, bench_stats, bench_overlap, bench_knn, bench_pca);

@@ -2,7 +2,9 @@
 //! corpora every experiment runs on (the reproduction's analogue of the
 //! paper's §4.2 dataset descriptions).
 
-use observatory_bench::harness::{banner, join_pairs, sotab_corpus, spider_corpus, wiki_corpus, Scale};
+use observatory_bench::harness::{
+    banner, join_pairs, sotab_corpus, spider_corpus, wiki_corpus, Scale,
+};
 use observatory_core::report::render_table;
 use observatory_table::profile::profile_table;
 use observatory_table::Table;

@@ -16,9 +16,8 @@ use observatory_table::{Column, Table, Value};
 /// A "large" table: hundreds of rows, many columns (scaled-down S-testbed
 /// proportions; paper S averages 209k × 56).
 fn large_table(rows: usize, cols: usize) -> Table {
-    let base = WikiTablesConfig { num_tables: 1, min_rows: 8, max_rows: 8, seed: 9 }
-        .generate()
-        .remove(0);
+    let base =
+        WikiTablesConfig { num_tables: 1, min_rows: 8, max_rows: 8, seed: 9 }.generate().remove(0);
     let mut columns = Vec::with_capacity(cols);
     for j in 0..cols {
         let donor = &base.columns[j % base.num_cols()];
@@ -34,9 +33,8 @@ fn main() {
         "Discussion: order insignificance on large tables via partitioning",
         "paper §7 — BERT and TAPAS, large vs small tables, row shuffles",
     );
-    let small = WikiTablesConfig { num_tables: 1, min_rows: 8, max_rows: 8, seed: 9 }
-        .generate()
-        .remove(0);
+    let small =
+        WikiTablesConfig { num_tables: 1, min_rows: 8, max_rows: 8, seed: 9 }.generate().remove(0);
     let large = large_table(240, 12);
     println!(
         "small table: {}×{}; large table: {}×{} (encoded in 8-row blocks)\n",
@@ -70,9 +68,7 @@ fn main() {
                 }
             }
             let s = five_number_summary(&cosines);
-            println!(
-                "{name:6} {label:6} column-cosine under row shuffles: {s}",
-            );
+            println!("{name:6} {label:6} column-cosine under row shuffles: {s}",);
         }
         println!();
     }

@@ -3,9 +3,7 @@
 //! reports 34.0% ≥1, 12.8% ≥2, 5.4% ≥3 for DODUO over WikiTables).
 
 use observatory_bench::harness::{banner, context, wiki_corpus, Scale};
-use observatory_core::downstream::column_type::{
-    prediction_flip_experiment, ColumnTypeClassifier,
-};
+use observatory_core::downstream::column_type::{prediction_flip_experiment, ColumnTypeClassifier};
 use observatory_core::report::render_table;
 use observatory_models::registry::model_by_name;
 
@@ -21,13 +19,8 @@ fn main() {
     for name in ["doduo", "bert", "roberta", "t5", "tapas"] {
         let model = model_by_name(name).unwrap();
         let clf = ColumnTypeClassifier::train(model.as_ref(), 3, ctx.seed);
-        let stats = prediction_flip_experiment(
-            model.as_ref(),
-            &clf,
-            &corpus,
-            scale.permutations(),
-            &ctx,
-        );
+        let stats =
+            prediction_flip_experiment(model.as_ref(), &clf, &corpus, scale.permutations(), &ctx);
         rows.push(vec![
             name.to_string(),
             format!("{:.1}%", stats.at_least_1 * 100.0),

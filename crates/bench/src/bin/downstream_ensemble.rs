@@ -38,7 +38,13 @@ fn main() {
     print!(
         "{}",
         render_table(
-            &["model", "ρ(containment, cosine)", "recall@5 containment", "recall@5 embedding", "recall@5 ensemble"],
+            &[
+                "model",
+                "ρ(containment, cosine)",
+                "recall@5 containment",
+                "recall@5 embedding",
+                "recall@5 ensemble"
+            ],
             &rows
         )
     );

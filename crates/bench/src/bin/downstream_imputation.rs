@@ -36,10 +36,7 @@ fn main() {
             r.imputed.to_string(),
         ]);
     }
-    print!(
-        "{}",
-        render_table(&["imputer", "accuracy", "FD violations", "cells imputed"], &rows)
-    );
+    print!("{}", render_table(&["imputer", "accuracy", "FD violations", "cells imputed"], &rows));
     println!("\nexpected shape: embedding imputers beat the random baseline on accuracy,");
     println!("but their violation rates are NOT zero — embeddings do not encode the");
     println!("dependency (Property 4), so imputation can break it. The baseline shows");

@@ -34,10 +34,7 @@ fn main() {
     }
     print!(
         "{}",
-        render_table(
-            &["model", "perturbation", "orig acc", "pert acc", "Δ", "questions"],
-            &rows
-        )
+        render_table(&["model", "perturbation", "orig acc", "pert acc", "Δ", "questions"], &rows)
     );
     println!("\npaper reference (TAPAS fine-tuned): −6.2/−8.3 pts on WikiTableQuestions,");
     println!("−19.0/−22.2 pts on WikiSQL. expected shape: schema-reading models drop;");

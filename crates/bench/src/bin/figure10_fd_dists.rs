@@ -9,15 +9,10 @@ use observatory_core::report::render_report;
 use observatory_models::registry::all_models;
 
 fn main() {
-    banner(
-        "Figure 10: FD vs non-FD translation-variance distributions",
-        "paper §5.4, Figure 10",
-    );
+    banner("Figure 10: FD vs non-FD translation-variance distributions", "paper §5.4, Figure 10");
     let corpus = spider_corpus(Scale::from_env());
     let models = all_models();
-    for report in
-        run_property(&FunctionalDependencies::default(), &models, &corpus, &context())
-    {
+    for report in run_property(&FunctionalDependencies::default(), &models, &corpus, &context()) {
         if report.records.is_empty() {
             continue;
         }
@@ -27,9 +22,8 @@ fn main() {
             (report.distribution("s2/fd"), report.distribution("s2/nonfd"))
         {
             let fd_median = fd.summary().median;
-            let below =
-                nonfd.values.iter().filter(|v| **v < fd_median).count() as f64
-                    / nonfd.values.len() as f64;
+            let below = nonfd.values.iter().filter(|v| **v < fd_median).count() as f64
+                / nonfd.values.len() as f64;
             println!(
                 "separation check ({}): {:.0}% of non-FD variances fall below the FD median — \
                  clear separation would put ~0% there; KS D = {} (p = {})\n",

@@ -46,10 +46,10 @@ fn main() {
         print!("{}", render_table(&headers, &rows));
         // The paper's reading: which off-diagonal pair agrees most?
         let mut best = (0, 1, f64::MIN);
-        for i in 0..matrix.len() {
-            for j in (i + 1)..matrix.len() {
-                if matrix[i][j] > best.2 {
-                    best = (i, j, matrix[i][j]);
+        for (i, row) in matrix.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate().skip(i + 1) {
+                if v > best.2 {
+                    best = (i, j, v);
                 }
             }
         }

@@ -15,9 +15,7 @@ fn main() {
     );
     let corpus = wiki_corpus(Scale::from_env());
     let models = all_models();
-    for report in
-        run_property(&PerturbationRobustness::default(), &models, &corpus, &context())
-    {
+    for report in run_property(&PerturbationRobustness::default(), &models, &corpus, &context()) {
         if report.records.is_empty() {
             continue;
         }

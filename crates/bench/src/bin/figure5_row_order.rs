@@ -1,7 +1,7 @@
 //! Regenerates **Figure 5**: cosine similarity and MCV distributions of
 //! column / row / table embeddings under row shuffling, per model.
 
-use observatory_bench::harness::{banner, context, wiki_corpus, Scale};
+use observatory_bench::harness::{banner, context, runtime_report, wiki_corpus, Scale};
 use observatory_core::framework::{run_property, Property};
 use observatory_core::props::row_order::RowOrderInsignificance;
 use observatory_core::report::render_report;
@@ -16,11 +16,13 @@ fn main() {
     let corpus = wiki_corpus(scale);
     let property = RowOrderInsignificance { max_permutations: scale.permutations() };
     let models = all_models();
-    for report in run_property(&property, &models, &corpus, &context()) {
+    let ctx = context();
+    for report in run_property(&property, &models, &corpus, &ctx) {
         print!("{}", render_report(&report));
     }
     println!(
         "(models in scope: {}; levels each model lacks produce no rows, as in the paper)",
         property.name()
     );
+    runtime_report(&ctx);
 }

@@ -27,8 +27,7 @@ fn main() {
         let encodings: Vec<_> =
             perms.iter().map(|p| model.encode_table(&permute_rows(&table, p))).collect();
         for j in 0..table.num_cols() {
-            let embs: Vec<Vec<f64>> =
-                encodings.iter().filter_map(|e| e.column(j)).collect();
+            let embs: Vec<Vec<f64>> = encodings.iter().filter_map(|e| e.column(j)).collect();
             if embs.len() < 2 {
                 continue;
             }

@@ -21,19 +21,14 @@ fn main() {
     for name in ["bert", "t5"] {
         let model = model_by_name(name).unwrap();
         println!("## {}", model.display_name());
-        let encodings: Vec<_> = perms
-            .iter()
-            .map(|p| model.encode_table(&permute_columns(&table, p)))
-            .collect();
+        let encodings: Vec<_> =
+            perms.iter().map(|p| model.encode_table(&permute_columns(&table, p))).collect();
         let inverses: Vec<Vec<usize>> = perms.iter().map(|p| invert_permutation(p)).collect();
         let mut anisotropies = Vec::new();
         let mut pc1_vars = Vec::new();
         for j in 0..table.num_cols() {
-            let embs: Vec<Vec<f64>> = encodings
-                .iter()
-                .zip(&inverses)
-                .filter_map(|(e, inv)| e.column(inv[j]))
-                .collect();
+            let embs: Vec<Vec<f64>> =
+                encodings.iter().zip(&inverses).filter_map(|(e, inv)| e.column(inv[j])).collect();
             if embs.len() < 2 {
                 continue;
             }
@@ -45,10 +40,7 @@ fn main() {
             };
             println!(
                 "column '{}': pc1 var {:.4}, pc2 var {:.4}, anisotropy = {:.1}",
-                table.columns[j].header,
-                pca.explained_variance[0],
-                pca.explained_variance[1],
-                anis
+                table.columns[j].header, pca.explained_variance[0], pca.explained_variance[1], anis
             );
             anisotropies.push(anis);
             pc1_vars.push(pca.explained_variance[0]);

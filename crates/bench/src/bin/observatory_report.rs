@@ -9,7 +9,7 @@
 //! Thin shell over [`observatory_core::summary`]; individual tables and
 //! figures have dedicated binaries (DESIGN.md §5).
 
-use observatory_bench::harness::{banner, context, Scale};
+use observatory_bench::harness::{banner, context, runtime_report, Scale};
 use observatory_core::summary::{characterize_all, render_summary, SummaryConfig};
 use observatory_models::registry::all_models;
 
@@ -28,7 +28,8 @@ fn main() {
         k: 10,
     };
     let models = all_models();
-    let summary = characterize_all(&models, &config, &context());
+    let ctx = context();
+    let summary = characterize_all(&models, &config, &ctx);
     print!("{}", render_summary(&summary));
     println!("\nlegend: · = out of scope (paper Table 2); NaN/- = level unavailable");
     println!("rows: P1/P2 mean cosine under shuffling (higher = more order-robust);");
@@ -36,4 +37,5 @@ fn main() {
     println!("P5 mean fidelity at 25% samples; P6 K-NN overlap vs the anchor model;");
     println!("P7 mean cosine under synonym renames (1.0 = schema-blind);");
     println!("P8 mean cosine single-column vs entire-table context.");
+    runtime_report(&ctx);
 }

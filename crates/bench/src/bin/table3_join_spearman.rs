@@ -18,8 +18,7 @@ fn main() {
     let reports = run_property(&JoinRelationship, &models, &corpus, &context());
     let measures = ["containment", "jaccard", "multiset_jaccard"];
     let mut headers = vec!["Measure"];
-    let evaluated: Vec<_> =
-        reports.iter().filter(|r| !r.scalars.is_empty()).collect();
+    let evaluated: Vec<_> = reports.iter().filter(|r| !r.scalars.is_empty()).collect();
     let display: Vec<String> = evaluated.iter().map(|r| r.model.clone()).collect();
     headers.extend(display.iter().map(String::as_str));
     let mut rows = Vec::new();

@@ -82,18 +82,13 @@ impl Scale {
 
 /// The shared evaluation context (fixed seed: every run reproduces).
 pub fn context() -> EvalContext {
-    EvalContext { seed: 42 }
+    EvalContext::with_seed(42)
 }
 
 /// WikiTables-like corpus at the given scale.
 pub fn wiki_corpus(scale: Scale) -> Vec<Table> {
-    WikiTablesConfig {
-        num_tables: scale.wiki_tables(),
-        min_rows: 5,
-        max_rows: 8,
-        seed: 42,
-    }
-    .generate()
+    WikiTablesConfig { num_tables: scale.wiki_tables(), min_rows: 5, max_rows: 8, seed: 42 }
+        .generate()
 }
 
 /// NextiaJD-XS-like join pairs at the given scale.
@@ -120,6 +115,26 @@ pub fn banner(experiment: &str, paper_ref: &str) {
         Scale::from_env()
     );
     println!();
+}
+
+/// Print the engine's cache and encode statistics for the given context.
+/// Harness binaries call this after their workload so every figure/table
+/// run reports how much the content-addressed cache amortized.
+pub fn runtime_report(ctx: &EvalContext) {
+    let stats = ctx.engine.cache_stats();
+    let snap = ctx.engine.metrics_snapshot();
+    println!();
+    println!(
+        "# runtime: {} encodes, cache {:.1}% hit ({} hits / {} lookups), \
+         {} live entries, {:.1} MiB used, {} evictions",
+        snap.encodes,
+        stats.hit_rate() * 100.0,
+        stats.hits,
+        stats.hits + stats.misses,
+        stats.entries,
+        stats.bytes as f64 / (1024.0 * 1024.0),
+        stats.evictions,
+    );
 }
 
 #[cfg(test)]

@@ -34,7 +34,7 @@ impl ColumnTypeClassifier {
             for _ in 0..examples_per_type {
                 let col = typed_column(&mut rng, ty, 8);
                 let t = Table::new("train", vec![col]);
-                if let Some(e) = model.column_embedding(&t, 0) {
+                if let Some(e) = observatory_runtime::global().encode_table(model, &t).column(0) {
                     embs.push(e);
                 }
             }
@@ -62,10 +62,17 @@ impl ColumnTypeClassifier {
     /// Predict types for every column of a table (contextual embeddings,
     /// as DODUO does). Columns without embeddings predict `"?"`.
     pub fn predict_table(&self, model: &dyn TableEncoder, table: &Table) -> Vec<&'static str> {
-        let enc = model.encode_table(table);
-        (0..table.num_cols())
-            .map(|j| enc.column(j).map_or("?", |e| self.predict_embedding(&e)))
-            .collect()
+        let enc = observatory_runtime::global().encode_table(model, table);
+        self.predict_encoding(&enc, table.num_cols())
+    }
+
+    /// Predict types for every column of an already-encoded table.
+    pub fn predict_encoding(
+        &self,
+        enc: &observatory_models::ModelEncoding,
+        num_cols: usize,
+    ) -> Vec<&'static str> {
+        (0..num_cols).map(|j| enc.column(j).map_or("?", |e| self.predict_embedding(&e))).collect()
     }
 }
 
@@ -102,12 +109,13 @@ pub fn prediction_flip_experiment(
         let base = classifier.predict_table(model, table);
         let perms =
             sample_permutations(table.num_rows(), max_permutations, ctx.seed ^ t_idx as u64);
-        for p in perms.iter().skip(1) {
-            let pred = classifier.predict_table(model, &permute_rows(table, p));
+        let variants: Vec<Table> = perms.iter().skip(1).map(|p| permute_rows(table, p)).collect();
+        for enc in ctx.engine.encode_batch(model, &variants) {
+            let pred = classifier.predict_encoding(&enc, table.num_cols());
             let changed = base.iter().zip(&pred).filter(|(a, b)| a != b).count();
             total += 1;
             for (i, c) in counts.iter_mut().enumerate() {
-                if changed >= i + 1 {
+                if changed > i {
                     *c += 1;
                 }
             }
@@ -118,11 +126,7 @@ pub fn prediction_flip_experiment(
         at_least_1: frac(counts[0]),
         at_least_2: frac(counts[1]),
         at_least_3: frac(counts[2]),
-        mean_columns: if corpus.is_empty() {
-            0.0
-        } else {
-            col_sum as f64 / corpus.len() as f64
-        },
+        mean_columns: if corpus.is_empty() { 0.0 } else { col_sum as f64 / corpus.len() as f64 },
         permutations: total,
     }
 }
@@ -170,13 +174,8 @@ mod tests {
         let clf = ColumnTypeClassifier::train(model.as_ref(), 2, 1);
         let corpus =
             WikiTablesConfig { num_tables: 3, min_rows: 5, max_rows: 6, seed: 8 }.generate();
-        let stats = prediction_flip_experiment(
-            model.as_ref(),
-            &clf,
-            &corpus,
-            6,
-            &EvalContext::default(),
-        );
+        let stats =
+            prediction_flip_experiment(model.as_ref(), &clf, &corpus, 6, &EvalContext::default());
         assert!(stats.permutations > 0);
         assert!(stats.at_least_1 >= stats.at_least_2);
         assert!(stats.at_least_2 >= stats.at_least_3);
@@ -201,9 +200,6 @@ mod tests {
         };
         let roberta = run("roberta");
         let t5 = run("t5");
-        assert!(
-            roberta > t5,
-            "roberta flip rate {roberta:.3} should exceed t5's {t5:.3}"
-        );
+        assert!(roberta > t5, "roberta flip rate {roberta:.3} should exceed t5's {t5:.3}");
     }
 }

@@ -37,19 +37,25 @@ pub fn run_ensemble_discovery(
     pairs: &[JoinPair],
     k: usize,
     relevance_threshold: f64,
-    _ctx: &EvalContext,
+    ctx: &EvalContext,
 ) -> Option<EnsembleResult> {
     if pairs.is_empty() {
         return None;
     }
-    // Embed all columns once.
-    let cand_embs: Vec<Vec<f64>> = pairs
+    // Embed all columns once, in two engine batches.
+    let cand_tables: Vec<_> = pairs.iter().map(|p| column_as_table("cand", &p.candidate)).collect();
+    let cand_embs: Vec<Vec<f64>> = ctx
+        .engine
+        .encode_batch(model, &cand_tables)
         .iter()
-        .map(|p| model.column_embedding(&column_as_table("cand", &p.candidate), 0))
+        .map(|e| e.column(0))
         .collect::<Option<Vec<_>>>()?;
-    let query_embs: Vec<Vec<f64>> = pairs
+    let query_tables: Vec<_> = pairs.iter().map(|p| column_as_table("query", &p.query)).collect();
+    let query_embs: Vec<Vec<f64>> = ctx
+        .engine
+        .encode_batch(model, &query_tables)
         .iter()
-        .map(|p| model.column_embedding(&column_as_table("query", &p.query), 0))
+        .map(|e| e.column(0))
         .collect::<Option<Vec<_>>>()?;
 
     let mut recall = [0.0f64; 3];
@@ -67,12 +73,10 @@ pub fn run_ensemble_discovery(
         evaluated += 1;
         let syntactic: Vec<f64> =
             pairs.iter().map(|c| containment(&pair.query, &c.candidate)).collect();
-        let semantic: Vec<f64> =
-            cand_embs.iter().map(|e| cosine(&query_embs[qi], e)).collect();
+        let semantic: Vec<f64> = cand_embs.iter().map(|e| cosine(&query_embs[qi], e)).collect();
         let syn_ranks = average_ranks(&syntactic);
         let sem_ranks = average_ranks(&semantic);
-        let ensemble: Vec<f64> =
-            syn_ranks.iter().zip(&sem_ranks).map(|(a, b)| a + b).collect();
+        let ensemble: Vec<f64> = syn_ranks.iter().zip(&sem_ranks).map(|(a, b)| a + b).collect();
         for (s, scores) in [&syntactic, &semantic, &ensemble].iter().enumerate() {
             let mut order: Vec<usize> = (0..pairs.len()).collect();
             order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]).then(a.cmp(&b)));
@@ -135,14 +139,8 @@ mod tests {
     #[test]
     fn row_only_model_is_none() {
         let model = model_by_name("taptap").unwrap();
-        assert!(run_ensemble_discovery(
-            model.as_ref(),
-            &pairs(),
-            5,
-            0.2,
-            &EvalContext::default()
-        )
-        .is_none());
+        assert!(run_ensemble_discovery(model.as_ref(), &pairs(), 5, 0.2, &EvalContext::default())
+            .is_none());
     }
 
     #[test]

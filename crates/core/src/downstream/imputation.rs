@@ -50,7 +50,7 @@ pub fn impute_with_embeddings(
         if fds.is_empty() {
             continue;
         }
-        let enc = model.encode_table(table);
+        let enc = ctx.engine.encode_table(model, table);
         let rows = enc.rows_encoded.min(table.num_rows());
         if rows < 3 {
             continue;
@@ -69,9 +69,8 @@ pub fn impute_with_embeddings(
             let mut imputed_values: Vec<(usize, String)> = Vec::new();
             for &h in &hidden {
                 let eh = cells[h].as_ref().expect("checked above");
-                let donor = (0..rows)
-                    .filter(|r| *r != h && !hidden.contains(r))
-                    .max_by(|&a, &b| {
+                let donor =
+                    (0..rows).filter(|r| *r != h && !hidden.contains(r)).max_by(|&a, &b| {
                         let ca = cosine(eh, cells[a].as_ref().expect("checked"));
                         let cb = cosine(eh, cells[b].as_ref().expect("checked"));
                         ca.total_cmp(&cb)
@@ -96,8 +95,7 @@ pub fn impute_with_embeddings(
                     .map(|(_, v)| v.clone())
                     .unwrap_or_else(|| table.columns[fd.dependent].values[r].group_key())
             };
-            let mut group_deps: HashMap<String, std::collections::HashSet<String>> =
-                HashMap::new();
+            let mut group_deps: HashMap<String, std::collections::HashSet<String>> = HashMap::new();
             for r in 0..rows {
                 let det = table.columns[fd.determinant].values[r].group_key();
                 group_deps.entry(det).or_default().insert(dependent_of(r));
@@ -255,7 +253,8 @@ mod tests {
             ],
         );
         let model = model_by_name("bert").unwrap();
-        assert!(impute_with_embeddings(model.as_ref(), &[t], 0.2, &EvalContext::default())
-            .is_none());
+        assert!(
+            impute_with_embeddings(model.as_ref(), &[t], 0.2, &EvalContext::default()).is_none()
+        );
     }
 }

@@ -58,19 +58,20 @@ pub struct JoinDiscoveryResult {
 }
 
 fn full_embedding(
+    engine: &observatory_runtime::Engine,
     model: &dyn TableEncoder,
     column: &Column,
     chunk_rows: usize,
 ) -> Option<Vec<f64>> {
     let chunks = chunk_column(column, chunk_rows);
-    let embs: Vec<Vec<f64>> = chunks
-        .iter()
-        .filter_map(|c| model.column_embedding(&column_as_table("chunk", c), 0))
-        .collect();
+    let tables: Vec<_> = chunks.iter().map(|c| column_as_table("chunk", c)).collect();
+    let embs: Vec<Vec<f64>> =
+        engine.encode_batch(model, &tables).iter().filter_map(|e| e.column(0)).collect();
     (embs.len() == chunks.len()).then(|| vec_mean(&embs))
 }
 
 fn sampled_embedding(
+    engine: &observatory_runtime::Engine,
     model: &dyn TableEncoder,
     column: &Column,
     sample_size: usize,
@@ -78,7 +79,7 @@ fn sampled_embedding(
 ) -> Option<Vec<f64>> {
     let fraction = (sample_size as f64 / column.len().max(1) as f64).min(1.0);
     let sampled = sample_column(column, fraction, seed);
-    model.column_embedding(&column_as_table("sample", &sampled), 0)
+    engine.encode_table(model, &column_as_table("sample", &sampled)).column(0)
 }
 
 /// Run the experiment over NextiaJD-style pairs: candidates are all
@@ -100,9 +101,7 @@ pub fn run_join_discovery(
             pairs
                 .iter()
                 .enumerate()
-                .filter(|(_, c)| {
-                    containment(&p.query, &c.candidate) >= config.relevance_threshold
-                })
+                .filter(|(_, c)| containment(&p.query, &c.candidate) >= config.relevance_threshold)
                 .map(|(j, _)| format!("cand{j}"))
                 .collect()
         })
@@ -132,8 +131,9 @@ pub fn run_join_discovery(
         Some(PathResult { eval, index_micros, lookup_micros })
     };
 
-    let full = run_path(&|c, _| full_embedding(model, c, config.chunk_rows))?;
-    let sampled = run_path(&|c, seed| sampled_embedding(model, c, config.sample_size, seed))?;
+    let full = run_path(&|c, _| full_embedding(&ctx.engine, model, c, config.chunk_rows))?;
+    let sampled =
+        run_path(&|c, seed| sampled_embedding(&ctx.engine, model, c, config.sample_size, seed))?;
     Some(JoinDiscoveryResult { full, sampled })
 }
 

@@ -66,7 +66,7 @@ pub fn column_grounding_accuracy(
     if items.is_empty() {
         return None;
     }
-    let enc = model.encode_table(table);
+    let enc = observatory_runtime::global().encode_table(model, table);
     let columns: Vec<Option<Vec<f64>>> = (0..table.num_cols()).map(|j| enc.column(j)).collect();
     let present: Vec<&Vec<f64>> = columns.iter().flatten().collect();
     if present.is_empty() {
@@ -171,9 +171,7 @@ mod tests {
         for item in &items {
             assert!(item.question.starts_with("what is the "));
             assert!(item.answer_col < table.num_cols());
-            assert!(item
-                .question
-                .contains(&table.columns[item.answer_col].header));
+            assert!(item.question.contains(&table.columns[item.answer_col].header));
         }
     }
 
@@ -202,13 +200,9 @@ mod tests {
         // The §6 claim: schema perturbation ⇒ accuracy drop (non-negative
         // drop on average; typically strictly positive).
         let model = model_by_name("tapas").unwrap();
-        let r = qa_under_perturbation(
-            model.as_ref(),
-            &corpus(),
-            Perturbation::SchemaAbbreviation,
-            8,
-        )
-        .unwrap();
+        let r =
+            qa_under_perturbation(model.as_ref(), &corpus(), Perturbation::SchemaAbbreviation, 8)
+                .unwrap();
         assert!(r.questions > 0);
         assert!(
             r.drop() >= -0.05,

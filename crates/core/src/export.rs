@@ -22,12 +22,7 @@ pub fn write_bundle(dir: &Path, reports: &[PropertyReport]) -> std::io::Result<u
     for report in reports {
         index.push_str(&format!("## {} — {}\n\n", report.property, report.model));
         for d in &report.records {
-            let name = format!(
-                "{}_{}_{}.csv",
-                report.property,
-                report.model,
-                sanitize(&d.label)
-            );
+            let name = format!("{}_{}_{}.csv", report.property, report.model, sanitize(&d.label));
             let mut f = std::io::BufWriter::new(std::fs::File::create(dir.join(&name))?);
             writeln!(f, "value")?;
             for v in &d.values {
@@ -35,15 +30,16 @@ pub fn write_bundle(dir: &Path, reports: &[PropertyReport]) -> std::io::Result<u
             }
             f.flush()?;
             files += 1;
-            index.push_str(&format!("- [{}]({name}) — n={}, {}\n", d.label, d.values.len(), d.summary()));
+            index.push_str(&format!(
+                "- [{}]({name}) — n={}, {}\n",
+                d.label,
+                d.values.len(),
+                d.summary()
+            ));
         }
         for s in &report.scatters {
-            let name = format!(
-                "{}_{}_scatter_{}.csv",
-                report.property,
-                report.model,
-                sanitize(&s.label)
-            );
+            let name =
+                format!("{}_{}_scatter_{}.csv", report.property, report.model, sanitize(&s.label));
             let mut f = std::io::BufWriter::new(std::fs::File::create(dir.join(&name))?);
             writeln!(f, "x,y")?;
             for (x, y) in &s.points {

@@ -1,19 +1,38 @@
 //! The evaluation framework: property trait, context, and report types.
 
 use observatory_models::TableEncoder;
+use observatory_runtime::Engine;
 use observatory_stats::descriptive::{five_number_summary, FiveNumberSummary};
 use observatory_table::Table;
+use std::sync::Arc;
 
 /// Shared evaluation context.
 #[derive(Debug, Clone)]
 pub struct EvalContext {
     /// Seed for all sampling decisions (permutations, row samples, …).
     pub seed: u64,
+    /// The embedding engine all encodes route through: content-addressed
+    /// cache + worker pool + metrics (`observatory-runtime`). Shared, so
+    /// repeated property runs over one corpus reuse cached encodings.
+    pub engine: Arc<Engine>,
 }
 
 impl Default for EvalContext {
     fn default() -> Self {
-        Self { seed: 42 }
+        Self { seed: 42, engine: observatory_runtime::global() }
+    }
+}
+
+impl EvalContext {
+    /// A context with the given seed and the process-wide engine.
+    pub fn with_seed(seed: u64) -> Self {
+        Self { seed, ..Self::default() }
+    }
+
+    /// A context with a private engine (tests that assert cache/metrics
+    /// behaviour in isolation).
+    pub fn with_engine(engine: Arc<Engine>) -> Self {
+        Self { seed: 42, engine }
     }
 }
 
@@ -135,10 +154,8 @@ pub fn run_pairwise_property(
     corpus: &[Table],
     ctx: &EvalContext,
 ) -> (Vec<String>, Vec<Vec<f64>>) {
-    let in_scope: Vec<&Box<dyn TableEncoder>> = models
-        .iter()
-        .filter(|m| crate::scope::in_scope(property.id(), m.name()))
-        .collect();
+    let in_scope: Vec<&Box<dyn TableEncoder>> =
+        models.iter().filter(|m| crate::scope::in_scope(property.id(), m.name())).collect();
     let names: Vec<String> = in_scope.iter().map(|m| m.name().to_string()).collect();
     let n = in_scope.len();
     let mut matrix = vec![vec![f64::NAN; n]; n];
@@ -210,8 +227,7 @@ mod tests {
     fn runner_respects_scope() {
         // P1 excludes TapTap (Table 2).
         let models = observatory_models::registry::all_models();
-        let reports =
-            run_property(&CountingProperty, &models, &[], &EvalContext::default());
+        let reports = run_property(&CountingProperty, &models, &[], &EvalContext::default());
         assert_eq!(reports.len(), 8);
         assert!(reports.iter().all(|r| r.model != "taptap"));
     }

@@ -59,12 +59,9 @@ impl Property for ColumnOrderInsignificance {
             if perms.len() < 2 {
                 continue;
             }
-            let encodings: Vec<_> = perms
-                .iter()
-                .map(|p| model.encode_table(&permute_columns(table, p)))
-                .collect();
-            let inverses: Vec<Vec<usize>> =
-                perms.iter().map(|p| invert_permutation(p)).collect();
+            let variants: Vec<Table> = perms.iter().map(|p| permute_columns(table, p)).collect();
+            let encodings = ctx.engine.encode_batch(model, &variants);
+            let inverses: Vec<Vec<usize>> = perms.iter().map(|p| invert_permutation(p)).collect();
 
             // Column level: original column j sits at position inv[j].
             for j in 0..table.num_cols() {
@@ -151,10 +148,13 @@ mod tests {
         let model = model_by_name("bert").unwrap();
         let ctx = EvalContext::default();
         let corpus = corpus();
-        let by_cols = ColumnOrderInsignificance { max_permutations: 12 }
-            .evaluate(model.as_ref(), &corpus, &ctx);
-        let by_rows = RowOrderInsignificance { max_permutations: 12 }
-            .evaluate(model.as_ref(), &corpus, &ctx);
+        let by_cols = ColumnOrderInsignificance { max_permutations: 12 }.evaluate(
+            model.as_ref(),
+            &corpus,
+            &ctx,
+        );
+        let by_rows =
+            RowOrderInsignificance { max_permutations: 12 }.evaluate(model.as_ref(), &corpus, &ctx);
         let col_shuffle_cos = mean(&by_cols.distribution("column/cosine").unwrap().values);
         let row_shuffle_cos = mean(&by_rows.distribution("column/cosine").unwrap().values);
         assert!(

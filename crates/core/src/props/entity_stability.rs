@@ -198,7 +198,13 @@ mod tests {
         let a = model_by_name("bert").unwrap();
         let b = model_by_name("t5").unwrap();
         let s = EntityStability { k: 5, ..Default::default() }
-            .stability_between(a.as_ref(), b.as_ref(), &domain.corpus, &domain.queries, &EvalContext::default())
+            .stability_between(
+                a.as_ref(),
+                b.as_ref(),
+                &domain.corpus,
+                &domain.queries,
+                &EvalContext::default(),
+            )
             .unwrap();
         assert!((0.0..=1.0).contains(&s));
         assert!(s < 1.0, "distinct spaces should not agree perfectly: {s}");
@@ -224,18 +230,13 @@ mod tests {
     fn rowonly_model_has_no_space() {
         let domain = &entity_domains(1)[0];
         let tapex = model_by_name("tapex").unwrap();
-        assert!(EntityStability::default()
-            .build_space(tapex.as_ref(), &domain.corpus)
-            .is_none());
+        assert!(EntityStability::default().build_space(tapex.as_ref(), &domain.corpus).is_none());
     }
 
     #[test]
     fn matrix_shape_and_diagonal() {
         let domain = &entity_domains(3)[2];
-        let models: Vec<_> = ["bert", "t5"]
-            .iter()
-            .map(|n| model_by_name(n).unwrap())
-            .collect();
+        let models: Vec<_> = ["bert", "t5"].iter().map(|n| model_by_name(n).unwrap()).collect();
         let m = EntityStability { k: 3, ..Default::default() }.stability_matrix(
             &models,
             &domain.corpus,

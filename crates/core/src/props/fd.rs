@@ -180,8 +180,11 @@ mod tests {
     #[test]
     fn produces_fd_and_nonfd_distributions() {
         let model = model_by_name("bert").unwrap();
-        let report =
-            FunctionalDependencies::default().evaluate(model.as_ref(), &corpus(), &EvalContext::default());
+        let report = FunctionalDependencies::default().evaluate(
+            model.as_ref(),
+            &corpus(),
+            &EvalContext::default(),
+        );
         let fd = report.distribution("s2/fd").expect("FD distribution");
         let nonfd = report.distribution("s2/nonfd").expect("non-FD distribution");
         assert!(!fd.values.is_empty());
@@ -195,11 +198,8 @@ mod tests {
         let model = model_by_name("bert").unwrap();
         let ctx = EvalContext::default();
         let l2 = FunctionalDependencies::default().evaluate(model.as_ref(), &corpus(), &ctx);
-        let l1 = FunctionalDependencies {
-            distance: DistanceMetric::L1,
-            ..Default::default()
-        }
-        .evaluate(model.as_ref(), &corpus(), &ctx);
+        let l1 = FunctionalDependencies { distance: DistanceMetric::L1, ..Default::default() }
+            .evaluate(model.as_ref(), &corpus(), &ctx);
         assert_ne!(l2.scalar("mean_s2/fd"), l1.scalar("mean_s2/fd"));
     }
 
@@ -210,8 +210,11 @@ mod tests {
         // translations. We assert the weak form: the FD distribution is
         // not uniformly below the non-FD one.
         let model = model_by_name("bert").unwrap();
-        let report = FunctionalDependencies::default()
-            .evaluate(model.as_ref(), &corpus(), &EvalContext::default());
+        let report = FunctionalDependencies::default().evaluate(
+            model.as_ref(),
+            &corpus(),
+            &EvalContext::default(),
+        );
         let fd = report.distribution("s2/fd").unwrap();
         let nonfd = report.distribution("s2/nonfd").unwrap();
         let fd_max = fd.values.iter().copied().fold(f64::MIN, f64::max);
@@ -222,8 +225,11 @@ mod tests {
     #[test]
     fn models_without_cell_embeddings_produce_empty_reports() {
         let model = model_by_name("tapex").unwrap();
-        let report = FunctionalDependencies::default()
-            .evaluate(model.as_ref(), &corpus(), &EvalContext::default());
+        let report = FunctionalDependencies::default().evaluate(
+            model.as_ref(),
+            &corpus(),
+            &EvalContext::default(),
+        );
         assert!(report.records.is_empty());
     }
 
@@ -239,8 +245,11 @@ mod tests {
             ],
         );
         let model = model_by_name("bert").unwrap();
-        let report = FunctionalDependencies::default()
-            .evaluate(model.as_ref(), &[t], &EvalContext::default());
+        let report = FunctionalDependencies::default().evaluate(
+            model.as_ref(),
+            &[t],
+            &EvalContext::default(),
+        );
         assert!(report.records.is_empty());
     }
 }

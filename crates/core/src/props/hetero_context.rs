@@ -84,8 +84,7 @@ impl Property for HeterogeneousContext {
             let full_enc = model.encode_table(table);
             for j in 0..table.num_cols() {
                 let col = &table.columns[j];
-                let Some(single) =
-                    model.column_embedding(&column_as_table("single", col), 0)
+                let Some(single) = model.column_embedding(&column_as_table("single", col), 0)
                 else {
                     continue;
                 };
@@ -118,10 +117,8 @@ impl Property for HeterogeneousContext {
         }
         for (si, setting) in ContextSetting::ALL.iter().enumerate() {
             let [non_textual, textual] = &values[si];
-            report.push_distribution(
-                format!("{}/non-textual", setting.label()),
-                non_textual.clone(),
-            );
+            report
+                .push_distribution(format!("{}/non-textual", setting.label()), non_textual.clone());
             report.push_distribution(format!("{}/textual", setting.label()), textual.clone());
         }
         report

@@ -41,19 +41,29 @@ impl Property for PerturbationRobustness {
         &self,
         model: &dyn TableEncoder,
         corpus: &[Table],
-        _ctx: &EvalContext,
+        ctx: &EvalContext,
     ) -> PropertyReport {
         let mut report = PropertyReport::new(self.id(), model.name());
         for &kind in &self.kinds {
             let mut sims = Vec::new();
+            // Interleave (original, perturbed) pairs into one batch: the
+            // engine parallelizes across tables, and the cache serves the
+            // original-table encodings across perturbation kinds.
+            let mut variants: Vec<Table> = Vec::new();
+            let mut changed_cols: Vec<Vec<usize>> = Vec::new();
             for table in corpus {
                 let (perturbed, changed) = perturb_table(table, kind);
                 if changed.is_empty() {
                     continue;
                 }
-                let enc_orig = model.encode_table(table);
-                let enc_pert = model.encode_table(&perturbed);
-                for &j in &changed {
+                variants.push(table.clone());
+                variants.push(perturbed);
+                changed_cols.push(changed);
+            }
+            let encodings = ctx.engine.encode_batch(model, &variants);
+            for (pair, changed) in encodings.chunks_exact(2).zip(&changed_cols) {
+                let (enc_orig, enc_pert) = (&pair[0], &pair[1]);
+                for &j in changed {
                     if let (Some(a), Some(b)) = (enc_orig.column(j), enc_pert.column(j)) {
                         sims.push(cosine(&a, &b));
                     }
@@ -81,8 +91,11 @@ mod tests {
     #[test]
     fn schema_perturbations_measured() {
         let model = model_by_name("bert").unwrap();
-        let report = PerturbationRobustness::default()
-            .evaluate(model.as_ref(), &corpus(), &EvalContext::default());
+        let report = PerturbationRobustness::default().evaluate(
+            model.as_ref(),
+            &corpus(),
+            &EvalContext::default(),
+        );
         for label in ["synonym", "abbreviation"] {
             let d = report.distribution(label).unwrap_or_else(|| panic!("missing {label}"));
             assert!(!d.values.is_empty());
@@ -97,15 +110,14 @@ mod tests {
         // DODUO ignores headers: "DODUO does not show any variance because
         // DODUO only takes in data values" (§5.7).
         let model = model_by_name("doduo").unwrap();
-        let report = PerturbationRobustness::default()
-            .evaluate(model.as_ref(), &corpus(), &EvalContext::default());
+        let report = PerturbationRobustness::default().evaluate(
+            model.as_ref(),
+            &corpus(),
+            &EvalContext::default(),
+        );
         for label in ["synonym", "abbreviation"] {
             let d = report.distribution(label).unwrap();
-            assert!(
-                d.values.iter().all(|v| (v - 1.0).abs() < 1e-9),
-                "{label}: {:?}",
-                d.summary()
-            );
+            assert!(d.values.iter().all(|v| (v - 1.0).abs() < 1e-9), "{label}: {:?}", d.summary());
         }
     }
 
@@ -128,10 +140,11 @@ mod tests {
         use observatory_table::{Column, Value};
         let t = Table::new("t", vec![Column::new("zzz", vec![Value::text("x")])]);
         let model = model_by_name("bert").unwrap();
-        let report = PerturbationRobustness {
-            kinds: vec![Perturbation::SchemaSynonym],
-        }
-        .evaluate(model.as_ref(), &[t], &EvalContext::default());
+        let report = PerturbationRobustness { kinds: vec![Perturbation::SchemaSynonym] }.evaluate(
+            model.as_ref(),
+            &[t],
+            &EvalContext::default(),
+        );
         assert!(report.records.is_empty());
     }
 }

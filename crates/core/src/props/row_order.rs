@@ -66,15 +66,13 @@ impl Property for RowOrderInsignificance {
             if perms.len() < 2 {
                 continue;
             }
-            let encodings: Vec<_> =
-                perms.iter().map(|p| model.encode_table(&permute_rows(table, p))).collect();
-            let inverses: Vec<Vec<usize>> =
-                perms.iter().map(|p| invert_permutation(p)).collect();
+            let variants: Vec<Table> = perms.iter().map(|p| permute_rows(table, p)).collect();
+            let encodings = ctx.engine.encode_batch(model, &variants);
+            let inverses: Vec<Vec<usize>> = perms.iter().map(|p| invert_permutation(p)).collect();
 
             // Column level: column identity is untouched by row shuffles.
             for j in 0..table.num_cols() {
-                let embs: Vec<Vec<f64>> =
-                    encodings.iter().filter_map(|e| e.column(j)).collect();
+                let embs: Vec<Vec<f64>> = encodings.iter().filter_map(|e| e.column(j)).collect();
                 if let Some((cos, mcv)) = paired(&embs, encodings.len()) {
                     col_cos.extend(cos);
                     col_mcv.push(mcv);
@@ -83,11 +81,8 @@ impl Property for RowOrderInsignificance {
             // Row level: original row r sits at position inv[r] after the
             // shuffle; only rows inside every variant's budget are paired.
             for r in 0..table.num_rows() {
-                let embs: Vec<Vec<f64>> = encodings
-                    .iter()
-                    .zip(&inverses)
-                    .filter_map(|(e, inv)| e.row(inv[r]))
-                    .collect();
+                let embs: Vec<Vec<f64>> =
+                    encodings.iter().zip(&inverses).filter_map(|(e, inv)| e.row(inv[r])).collect();
                 if let Some((cos, mcv)) = paired(&embs, encodings.len()) {
                     row_cos.extend(cos);
                     row_mcv.push(mcv);
@@ -173,10 +168,7 @@ mod tests {
         // A 1-row table has a single permutation: nothing to measure.
         let t = Table::new(
             "one",
-            vec![observatory_table::Column::new(
-                "a",
-                vec![observatory_table::Value::Int(1)],
-            )],
+            vec![observatory_table::Column::new("a", vec![observatory_table::Value::Int(1)])],
         );
         let model = model_by_name("bert").unwrap();
         let prop = RowOrderInsignificance::default();

@@ -36,16 +36,28 @@ impl Default for SampleFidelity {
 
 impl SampleFidelity {
     /// Full-column embedding: aggregate (mean) the chunk embeddings.
+    /// Chunks are encoded through the process-wide engine (batched,
+    /// cached); see [`SampleFidelity::full_column_embedding_with`].
     pub fn full_column_embedding(
         &self,
         model: &dyn TableEncoder,
         column: &Column,
     ) -> Option<Vec<f64>> {
+        self.full_column_embedding_with(&observatory_runtime::global(), model, column)
+    }
+
+    /// [`SampleFidelity::full_column_embedding`] through an explicit
+    /// engine: all chunk encodes go through one `encode_batch` call.
+    pub fn full_column_embedding_with(
+        &self,
+        engine: &observatory_runtime::Engine,
+        model: &dyn TableEncoder,
+        column: &Column,
+    ) -> Option<Vec<f64>> {
         let chunks = chunk_column(column, self.chunk_rows);
-        let embs: Vec<Vec<f64>> = chunks
-            .iter()
-            .filter_map(|c| model.column_embedding(&column_as_table("chunk", c), 0))
-            .collect();
+        let tables: Vec<Table> = chunks.iter().map(|c| column_as_table("chunk", c)).collect();
+        let embs: Vec<Vec<f64>> =
+            engine.encode_batch(model, &tables).iter().filter_map(|e| e.column(0)).collect();
         if embs.len() != chunks.len() {
             return None;
         }
@@ -71,28 +83,29 @@ impl Property for SampleFidelity {
         let mut report = PropertyReport::new(self.id(), model.name());
         let mut fidelity: Vec<(f64, Vec<f64>)> =
             self.ratios.iter().map(|&r| (r, Vec::new())).collect();
-        let mut mcvs: Vec<(f64, Vec<f64>)> =
-            self.ratios.iter().map(|&r| (r, Vec::new())).collect();
+        let mut mcvs: Vec<(f64, Vec<f64>)> = self.ratios.iter().map(|&r| (r, Vec::new())).collect();
         for (t_idx, table) in corpus.iter().enumerate() {
             for (j, column) in table.columns.iter().enumerate() {
                 if column.len() < 4 {
                     continue;
                 }
-                let Some(full) = self.full_column_embedding(model, column) else {
+                let Some(full) = self.full_column_embedding_with(&ctx.engine, model, column) else {
                     continue;
                 };
                 for (ri, &ratio) in self.ratios.iter().enumerate() {
+                    let sample_tables: Vec<Table> = (0..self.samples_per_ratio)
+                        .map(|s| {
+                            let seed = ctx.seed
+                                ^ (t_idx as u64) << 24
+                                ^ (j as u64) << 16
+                                ^ (ri as u64) << 8
+                                ^ s as u64;
+                            column_as_table("sample", &sample_column(column, ratio, seed))
+                        })
+                        .collect();
                     let mut set = vec![full.clone()];
-                    for s in 0..self.samples_per_ratio {
-                        let seed = ctx.seed
-                            ^ (t_idx as u64) << 24
-                            ^ (j as u64) << 16
-                            ^ (ri as u64) << 8
-                            ^ s as u64;
-                        let sampled = sample_column(column, ratio, seed);
-                        let Some(emb) =
-                            model.column_embedding(&column_as_table("sample", &sampled), 0)
-                        else {
+                    for enc in ctx.engine.encode_batch(model, &sample_tables) {
+                        let Some(emb) = enc.column(0) else {
                             continue;
                         };
                         fidelity[ri].1.push(cosine(&full, &emb));
@@ -153,10 +166,7 @@ mod tests {
     fn chunked_full_embedding_defined_for_long_columns() {
         let model = model_by_name("bert").unwrap();
         let prop = SampleFidelity { chunk_rows: 4, ..Default::default() };
-        let long = Column::new(
-            "c",
-            (0..40).map(|i| observatory_table::Value::Int(i)).collect(),
-        );
+        let long = Column::new("c", (0..40).map(|i| observatory_table::Value::Int(i)).collect());
         let full = prop.full_column_embedding(model.as_ref(), &long).unwrap();
         assert_eq!(full.len(), model.dim());
         assert!(full.iter().all(|x| x.is_finite()));
@@ -165,8 +175,8 @@ mod tests {
     #[test]
     fn row_only_models_yield_empty_reports() {
         let model = model_by_name("taptap").unwrap();
-        let report = SampleFidelity::default()
-            .evaluate(model.as_ref(), &corpus(), &EvalContext::default());
+        let report =
+            SampleFidelity::default().evaluate(model.as_ref(), &corpus(), &EvalContext::default());
         assert!(report.records.is_empty());
     }
 

@@ -97,9 +97,7 @@ pub fn headline(report: &PropertyReport) -> f64 {
         },
         "P5" => report.distribution("fidelity@0.25").map_or(f64::NAN, |d| mean(&d.values)),
         "P7" => report.scalar("mean/synonym").unwrap_or(f64::NAN),
-        "P8" => report
-            .distribution("table/non-textual")
-            .map_or(f64::NAN, |d| mean(&d.values)),
+        "P8" => report.distribution("table/non-textual").map_or(f64::NAN, |d| mean(&d.values)),
         _ => f64::NAN,
     }
 }
@@ -150,16 +148,11 @@ pub fn characterize_all(
     // entity domain.
     let domain = &entity_domains(ctx.seed)[0];
     let p6 = EntityStability { k: config.k, queries: domain.queries.clone() };
-    let (names, matrix) =
-        crate::framework::run_pairwise_property(&p6, models, &domain.corpus, ctx);
+    let (names, matrix) = crate::framework::run_pairwise_property(&p6, models, &domain.corpus, ctx);
     if let Some(anchor) = names.first() {
         rows.push(SummaryRow {
             label: format!("P6 stability vs {anchor}"),
-            values: names
-                .iter()
-                .enumerate()
-                .map(|(i, n)| (n.clone(), matrix[0][i]))
-                .collect(),
+            values: names.iter().enumerate().map(|(i, n)| (n.clone(), matrix[0][i])).collect(),
         });
     }
     Summary { rows }
@@ -175,10 +168,7 @@ pub fn render_summary(summary: &Summary) -> String {
         .map(|row| {
             let mut cells = vec![row.label.clone()];
             for name in MODEL_NAMES {
-                cells.push(
-                    row.value(name)
-                        .map_or("·".to_string(), crate::report::fmt),
-                );
+                cells.push(row.value(name).map_or("·".to_string(), crate::report::fmt));
             }
             cells
         })

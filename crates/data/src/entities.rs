@@ -82,10 +82,8 @@ fn domain(
         }
         rng.shuffle(&mut mentions);
         let rows = mentions.len();
-        let mut subject = Column::new(
-            subject_header,
-            mentions.into_iter().map(Value::Text).collect(),
-        );
+        let mut subject =
+            Column::new(subject_header, mentions.into_iter().map(Value::Text).collect());
         subject.is_subject = true;
         corpus.push(Table::new(
             format!("{}_{}", name.to_lowercase().replace(' ', "_"), t_idx),
@@ -117,9 +115,8 @@ mod tests {
     fn queries_occur_in_their_corpus() {
         for d in entity_domains(2) {
             for q in &d.queries {
-                let found = d.corpus.iter().any(|t| {
-                    t.columns[0].values.iter().any(|v| v.to_text() == *q)
-                });
+                let found =
+                    d.corpus.iter().any(|t| t.columns[0].values.iter().any(|v| v.to_text() == *q));
                 assert!(found, "{} missing from {} corpus", q, d.name);
             }
         }

@@ -220,8 +220,7 @@ mod tests {
     #[test]
     fn duplicates_present() {
         let pairs = NextiaJdConfig::default().generate();
-        let with_dups =
-            pairs.iter().filter(|p| p.query.distinct_count() < p.query.len()).count();
+        let with_dups = pairs.iter().filter(|p| p.query.distinct_count() < p.query.len()).count();
         assert!(with_dups > pairs.len() / 2, "duplicates are required for multiset measures");
     }
 
@@ -257,8 +256,8 @@ mod tests {
     #[test]
     fn s_testbed_is_larger() {
         let xs = NextiaJdConfig { num_pairs: 10, ..Default::default() }.generate();
-        let s = NextiaJdConfig { num_pairs: 10, testbed: Testbed::S, ..Default::default() }
-            .generate();
+        let s =
+            NextiaJdConfig { num_pairs: 10, testbed: Testbed::S, ..Default::default() }.generate();
         let mean_len = |ps: &[JoinPair]| {
             ps.iter().map(|p| p.query.len()).sum::<usize>() as f64 / ps.len() as f64
         };

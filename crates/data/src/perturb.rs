@@ -31,8 +31,11 @@ pub enum Perturbation {
 
 impl Perturbation {
     /// All classes in presentation order.
-    pub const ALL: [Perturbation; 3] =
-        [Perturbation::SchemaSynonym, Perturbation::SchemaAbbreviation, Perturbation::ColumnEquivalence];
+    pub const ALL: [Perturbation; 3] = [
+        Perturbation::SchemaSynonym,
+        Perturbation::SchemaAbbreviation,
+        Perturbation::ColumnEquivalence,
+    ];
 
     /// Short label used in reports.
     pub fn label(&self) -> &'static str {
@@ -87,7 +90,8 @@ pub fn perturb_column(col: &mut Column, kind: Perturbation) -> bool {
 /// Content-level equivalences keyed by header semantics.
 fn column_equivalence(col: &mut Column) -> bool {
     let header = col.header.to_lowercase();
-    if header.contains("age") && col.values.iter().all(|v| matches!(v, Value::Int(_) | Value::Null)) {
+    if header.contains("age") && col.values.iter().all(|v| matches!(v, Value::Int(_) | Value::Null))
+    {
         // age → birth_year (the paper's own example).
         col.header = "birth_year".into();
         for v in &mut col.values {
@@ -146,7 +150,7 @@ mod tests {
         assert_eq!(p.columns[1].header, "years_old");
         assert_eq!(p.columns[3].header, "zzz"); // no synonym: untouched
         assert_eq!(changed, vec![0, 1, 2]); // price → cost
-        // Data values never change at the schema level.
+                                            // Data values never change at the schema level.
         assert_eq!(p.columns[0].values, table().columns[0].values);
     }
 

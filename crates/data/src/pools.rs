@@ -138,7 +138,15 @@ pub const NUTRIENTS: [&str; 10] = [
 
 /// Query-entity domain: most valuable US technology companies (Figure 12).
 pub const TECH_COMPANIES: [&str; 10] = [
-    "Apple", "Microsoft", "Alphabet", "Amazon", "Nvidia", "Meta", "Tesla", "Broadcom", "Oracle",
+    "Apple",
+    "Microsoft",
+    "Alphabet",
+    "Amazon",
+    "Nvidia",
+    "Meta",
+    "Tesla",
+    "Broadcom",
+    "Oracle",
     "Adobe",
 ];
 

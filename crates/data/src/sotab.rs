@@ -109,27 +109,40 @@ impl SemanticType {
 
     /// Draw one value of this type.
     pub fn sample(&self, rng: &mut SplitMix64) -> Value {
-        let pick = |rng: &mut SplitMix64, pool: &[&str]| pool[rng.next_below(pool.len())].to_string();
+        let pick =
+            |rng: &mut SplitMix64, pool: &[&str]| pool[rng.next_below(pool.len())].to_string();
         match self {
             SemanticType::Date => Value::Date {
                 year: 1990 + rng.next_below(36) as i32,
                 month: 1 + rng.next_below(12) as u8,
                 day: 1 + rng.next_below(28) as u8,
             },
-            SemanticType::Isbn => {
-                Value::text(format!("978-{}-{:05}-{:03}-{}", 1 + rng.next_below(9), rng.next_below(100_000), rng.next_below(1000), rng.next_below(10)))
-            }
-            SemanticType::PostalCode => {
-                Value::text(format!("{:04} {}{}", 1000 + rng.next_below(9000), (b'A' + rng.next_below(26) as u8) as char, (b'A' + rng.next_below(26) as u8) as char))
-            }
+            SemanticType::Isbn => Value::text(format!(
+                "978-{}-{:05}-{:03}-{}",
+                1 + rng.next_below(9),
+                rng.next_below(100_000),
+                rng.next_below(1000),
+                rng.next_below(10)
+            )),
+            SemanticType::PostalCode => Value::text(format!(
+                "{:04} {}{}",
+                1000 + rng.next_below(9000),
+                (b'A' + rng.next_below(26) as u8) as char,
+                (b'A' + rng.next_below(26) as u8) as char
+            )),
             SemanticType::Money => Value::Float((rng.next_below(100_000) as f64 + 100.0) / 100.0),
             SemanticType::Quantity => Value::Float((rng.next_below(10_000) as f64) / 10.0),
             SemanticType::Year => Value::Int(1900 + rng.next_below(126) as i64),
-            SemanticType::Phone => {
-                Value::text(format!("+{} {} {:06}", 1 + rng.next_below(98), 100 + rng.next_below(900), rng.next_below(1_000_000)))
-            }
+            SemanticType::Phone => Value::text(format!(
+                "+{} {} {:06}",
+                1 + rng.next_below(98),
+                100 + rng.next_below(900),
+                rng.next_below(1_000_000)
+            )),
             SemanticType::Percentage => Value::Float((rng.next_below(1000) as f64) / 10.0),
-            SemanticType::Duration => Value::text(format!("{}h {:02}m", rng.next_below(12), rng.next_below(60))),
+            SemanticType::Duration => {
+                Value::text(format!("{}h {:02}m", rng.next_below(12), rng.next_below(60)))
+            }
             SemanticType::Count => Value::Int(rng.next_below(100_000) as i64),
             SemanticType::BookTitle => Value::text(pick(rng, &pools::BOOK_TITLES)),
             SemanticType::PersonName => Value::text(pick(rng, &pools::FIRST_NAMES)),
@@ -191,10 +204,8 @@ impl SotabConfig {
                     if ty == SemanticType::Money {
                         // Currency context column right of the amounts.
                         let code = pools::CURRENCIES[rng.next_below(pools::CURRENCIES.len())];
-                        let mut cur = Column::new(
-                            "",
-                            (0..self.rows).map(|_| Value::text(code)).collect(),
-                        );
+                        let mut cur =
+                            Column::new("", (0..self.rows).map(|_| Value::text(code)).collect());
                         cur.semantic_type = Some("currency".into());
                         columns.push(cur);
                     }

@@ -107,7 +107,10 @@ impl SpiderConfig {
 /// overwhelming probability it neither determines nor is determined by
 /// anything (violations are guaranteed post-hoc by the callers' miners).
 fn noise_column(rng: &mut SplitMix64, header: &str, rows: usize) -> Column {
-    Column::new(header, (0..rows).map(|_| Value::Int(rng.next_below(1_000_000_000) as i64)).collect())
+    Column::new(
+        header,
+        (0..rows).map(|_| Value::Int(rng.next_below(1_000_000_000) as i64)).collect(),
+    )
 }
 
 fn geography_table(rng: &mut SplitMix64, rows: usize, idx: usize) -> (Table, Vec<(usize, usize)>) {

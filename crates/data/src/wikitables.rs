@@ -38,8 +38,7 @@ impl WikiTablesConfig {
         let mut rng = SplitMix64::new(self.seed);
         (0..self.num_tables)
             .map(|i| {
-                let rows =
-                    self.min_rows + rng.next_below(self.max_rows - self.min_rows + 1);
+                let rows = self.min_rows + rng.next_below(self.max_rows - self.min_rows + 1);
                 match i % 5 {
                     0 => athlete_results(&mut rng, rows, i),
                     1 => films(&mut rng, rows, i),
@@ -228,8 +227,7 @@ mod tests {
     #[test]
     fn templates_rotate() {
         let tables = WikiTablesConfig { num_tables: 5, ..Default::default() }.generate();
-        let names: Vec<&str> =
-            tables.iter().map(|t| t.name.split('_').next().unwrap()).collect();
+        let names: Vec<&str> = tables.iter().map(|t| t.name.split('_').next().unwrap()).collect();
         assert_eq!(names, vec!["athlete", "films", "cities", "companies", "people"]);
     }
 
@@ -247,8 +245,7 @@ mod tests {
     #[test]
     fn entities_repeat_across_tables() {
         // Entity-rich means mentions recur — required by Property 6.
-        let tables =
-            WikiTablesConfig { num_tables: 20, ..Default::default() }.generate();
+        let tables = WikiTablesConfig { num_tables: 20, ..Default::default() }.generate();
         let mut mentions = std::collections::HashMap::<String, usize>::new();
         for t in &tables {
             for c in &t.columns {

@@ -67,17 +67,15 @@ pub fn discover_approximate_unary_fds(table: &Table, max_error: f64) -> Vec<Appr
     let partitions: Vec<StrippedPartition> =
         (0..n_cols).map(|c| StrippedPartition::from_column(table, c)).collect();
     let is_key: Vec<bool> = partitions.iter().map(|p| p.classes.is_empty()).collect();
-    let is_constant: Vec<bool> = partitions
-        .iter()
-        .map(|p| p.classes.len() == 1 && p.classes[0].len() == n_rows)
-        .collect();
+    let is_constant: Vec<bool> =
+        partitions.iter().map(|p| p.classes.len() == 1 && p.classes[0].len() == n_rows).collect();
     let mut out = Vec::new();
-    for x in 0..n_cols {
-        if is_key[x] {
+    for (x, &key) in is_key.iter().enumerate() {
+        if key {
             continue;
         }
-        for y in 0..n_cols {
-            if x == y || is_constant[y] {
+        for (y, &constant) in is_constant.iter().enumerate() {
+            if x == y || constant {
                 continue;
             }
             let g3 = g3_error(table, x, y);

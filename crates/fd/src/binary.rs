@@ -124,10 +124,7 @@ mod tests {
     fn small_tables_empty() {
         let t = Table::new(
             "two",
-            vec![
-                Column::new("a", vec![Value::Int(1)]),
-                Column::new("b", vec![Value::Int(2)]),
-            ],
+            vec![Column::new("a", vec![Value::Int(1)]), Column::new("b", vec![Value::Int(2)])],
         );
         assert!(discover_binary_fds(&t).is_empty());
     }

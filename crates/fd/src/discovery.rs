@@ -54,8 +54,7 @@ pub fn holds_unary_naive(table: &Table, determinant: usize, dependent: usize) ->
     let dep = &table.columns[dependent].values;
     for i in 0..det.len() {
         for j in (i + 1)..det.len() {
-            if det[i].group_key() == det[j].group_key()
-                && dep[i].group_key() != dep[j].group_key()
+            if det[i].group_key() == det[j].group_key() && dep[i].group_key() != dep[j].group_key()
             {
                 return false;
             }
@@ -78,10 +77,8 @@ pub fn discover_unary_fds(table: &Table, options: DiscoveryOptions) -> Vec<Fd> {
     let partitions: Vec<StrippedPartition> =
         (0..n_cols).map(|c| StrippedPartition::from_column(table, c)).collect();
     let is_key: Vec<bool> = partitions.iter().map(|p| p.classes.is_empty()).collect();
-    let is_constant: Vec<bool> = partitions
-        .iter()
-        .map(|p| p.classes.len() == 1 && p.classes[0].len() == n_rows)
-        .collect();
+    let is_constant: Vec<bool> =
+        partitions.iter().map(|p| p.classes.len() == 1 && p.classes[0].len() == n_rows).collect();
     let mut fds = Vec::new();
     for x in 0..n_cols {
         if options.skip_key_determinants && is_key[x] {

@@ -120,16 +120,8 @@ pub(crate) mod tests_support {
 
     /// The paper's Figure 3 table: country → continent holds.
     pub(crate) fn figure3_table() -> Table {
-        let countries = [
-            "Netherlands",
-            "Netherlands",
-            "Canada",
-            "USA",
-            "Netherlands",
-            "USA",
-            "USA",
-            "Canada",
-        ];
+        let countries =
+            ["Netherlands", "Netherlands", "Canada", "USA", "Netherlands", "USA", "USA", "Canada"];
         let continents = [
             "Europe",
             "Europe",

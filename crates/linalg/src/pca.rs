@@ -125,8 +125,8 @@ mod tests {
         let mut rows = Vec::new();
         for i in 0..20 {
             let t = (i as f64 - 10.0) / 2.0; // major axis coordinate
-            // Both ± minor offsets at every t, so minor is uncorrelated
-            // with major and the principal axis is exactly (1, 1)/√2.
+                                             // Both ± minor offsets at every t, so minor is uncorrelated
+                                             // with major and the principal axis is exactly (1, 1)/√2.
             rows.push(vec![t + 0.1, t - 0.1]);
             rows.push(vec![t - 0.1, t + 0.1]);
         }

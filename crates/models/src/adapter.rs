@@ -155,10 +155,7 @@ impl BaseModel {
     /// the returned encoding indexes the attention maps' rows/columns.
     /// Row-template serializations return no maps (rows are independent
     /// sequences).
-    pub fn encode_table_with_attention(
-        &self,
-        table: &Table,
-    ) -> (ModelEncoding, Vec<Matrix>) {
+    pub fn encode_table_with_attention(&self, table: &Table) -> (ModelEncoding, Vec<Matrix>) {
         let capped;
         let table = match self.max_input_rows {
             Some(k) if table.num_rows() > k => {
@@ -204,7 +201,10 @@ impl BaseModel {
 
     fn run(&self, s: Serialized, cols: usize) -> ModelEncoding {
         let (embeddings, provenance) = if s.is_empty() {
-            (Matrix::zeros(1, self.encoder.dim()), vec![TokenProvenance { row: 0, col: 0, special: true }])
+            (
+                Matrix::zeros(1, self.encoder.dim()),
+                vec![TokenProvenance { row: 0, col: 0, special: true }],
+            )
         } else {
             (self.encoder.encode(&s.tokens), s.provenance)
         };

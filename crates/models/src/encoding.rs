@@ -21,7 +21,8 @@ pub enum Level {
 
 impl Level {
     /// All levels, in the paper's order.
-    pub const ALL: [Level; 5] = [Level::Table, Level::Column, Level::Row, Level::Cell, Level::Entity];
+    pub const ALL: [Level; 5] =
+        [Level::Table, Level::Column, Level::Row, Level::Cell, Level::Entity];
 
     /// Lowercase label.
     pub fn label(&self) -> &'static str {
@@ -104,6 +105,7 @@ pub struct TokenProvenance {
 
 /// Token embeddings plus provenance and readout metadata for one encoded
 /// table.
+#[derive(Debug, Clone, PartialEq)]
 pub struct ModelEncoding {
     /// Contextual token embeddings (`n_tokens × dim`).
     pub embeddings: Matrix,
@@ -231,12 +233,8 @@ mod tests {
 
     fn encoding() -> ModelEncoding {
         // 4 tokens: [CLS], cell(1,1), cell(1,1), cell(1,2)
-        let embeddings = Matrix::from_rows(&[
-            vec![1.0, 0.0],
-            vec![0.0, 2.0],
-            vec![0.0, 4.0],
-            vec![5.0, 5.0],
-        ]);
+        let embeddings =
+            Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 2.0], vec![0.0, 4.0], vec![5.0, 5.0]]);
         let provenance = vec![
             TokenProvenance { row: 0, col: 0, special: true },
             TokenProvenance { row: 1, col: 1, special: false },

@@ -31,4 +31,4 @@ pub mod serialize;
 pub mod zoo;
 
 pub use adapter::TableEncoder;
-pub use encoding::{Capabilities, Level, ModelEncoding};
+pub use encoding::{Capabilities, Level, ModelEncoding, Readout, TokenProvenance};

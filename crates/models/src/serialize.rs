@@ -132,7 +132,12 @@ pub fn serialize_row_wise(
             let col_id = (j + 1) as u32;
             let v = &col.values[i];
             if v.is_null() {
-                s.tokens.push(TokenInput { id: special::NULL, row: row_id, col: col_id, segment: 1 });
+                s.tokens.push(TokenInput {
+                    id: special::NULL,
+                    row: row_id,
+                    col: col_id,
+                    segment: 1,
+                });
                 s.provenance.push(TokenProvenance { row: row_id, col: col_id, special: false });
             } else {
                 s.push_text(tokenizer, &v.to_text(), row_id, col_id, 1);
@@ -163,7 +168,12 @@ pub fn serialize_column_wise(table: &Table, tokenizer: &Tokenizer, n_rows: usize
             let row_id = (i + 1) as u32;
             let v = &col.values[i];
             if v.is_null() {
-                s.tokens.push(TokenInput { id: special::NULL, row: row_id, col: col_id, segment: 1 });
+                s.tokens.push(TokenInput {
+                    id: special::NULL,
+                    row: row_id,
+                    col: col_id,
+                    segment: 1,
+                });
                 s.provenance.push(TokenProvenance { row: row_id, col: col_id, special: false });
             } else {
                 s.push_text(tokenizer, &v.to_text(), row_id, col_id, 1);
@@ -199,7 +209,11 @@ pub fn serialize_row_template(table: &Table, tokenizer: &Tokenizer, i: usize) ->
 ///
 /// `serialize(k)` must be monotone in length (more rows → more tokens).
 /// Returns 0 when even the rowless serialization overflows.
-pub fn fit_rows<F: Fn(usize) -> usize>(total_rows: usize, budget: usize, serialized_len: F) -> usize {
+pub fn fit_rows<F: Fn(usize) -> usize>(
+    total_rows: usize,
+    budget: usize,
+    serialized_len: F,
+) -> usize {
     if serialized_len(0) > budget {
         return 0;
     }
@@ -265,10 +279,8 @@ mod tests {
     #[test]
     fn auxiliary_text_uses_segment_2() {
         let tok = Tokenizer::default();
-        let opts = RowWiseOptions {
-            auxiliary_text: Some("how many games".into()),
-            ..Default::default()
-        };
+        let opts =
+            RowWiseOptions { auxiliary_text: Some("how many games".into()), ..Default::default() };
         let s = serialize_row_wise(&table(), &tok, 1, &opts);
         assert!(s.tokens.iter().any(|t| t.segment == 2));
     }
@@ -335,9 +347,8 @@ mod tests {
         let t = table();
         let opts = RowWiseOptions::default();
         for budget in [0usize, 5, 10, 20, 40, 100] {
-            let by_search = fit_rows(t.num_rows(), budget, |k| {
-                serialize_row_wise(&t, &tok, k, &opts).len()
-            });
+            let by_search =
+                fit_rows(t.num_rows(), budget, |k| serialize_row_wise(&t, &tok, k, &opts).len());
             let mut by_scan = 0;
             for k in 0..=t.num_rows() {
                 if serialize_row_wise(&t, &tok, k, &opts).len() <= budget {

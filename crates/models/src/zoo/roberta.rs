@@ -65,8 +65,7 @@ mod tests {
         for seed in 0..4u64 {
             let t = table(seed);
             let shuffles = perm::column_shuffles(&t, 6, seed);
-            let (r0, b0) =
-                (r.column_embedding(&t, 0).unwrap(), b.column_embedding(&t, 0).unwrap());
+            let (r0, b0) = (r.column_embedding(&t, 0).unwrap(), b.column_embedding(&t, 0).unwrap());
             for s in shuffles.iter().skip(1) {
                 let j = s.column_index("id").unwrap();
                 r_cos.push(cosine(&r0, &r.column_embedding(s, j).unwrap()));

@@ -25,10 +25,8 @@ pub fn tapas_with_question(question: Option<&str>) -> BaseModel {
         pos_std_scale: 0.5,
         ..super::base_config("tapas")
     };
-    let opts = RowWiseOptions {
-        auxiliary_text: question.map(str::to_string),
-        ..Default::default()
-    };
+    let opts =
+        RowWiseOptions { auxiliary_text: question.map(str::to_string), ..Default::default() };
     BaseModel::new(
         "tapas",
         "TAPAS",

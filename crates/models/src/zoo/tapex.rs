@@ -15,10 +15,7 @@ pub fn tapex() -> BaseModel {
 
 /// Construct a TaPEx adapter whose serialization prepends a SQL query.
 pub fn tapex_with_query(query: Option<&str>) -> BaseModel {
-    let opts = RowWiseOptions {
-        auxiliary_text: query.map(str::to_string),
-        ..Default::default()
-    };
+    let opts = RowWiseOptions { auxiliary_text: query.map(str::to_string), ..Default::default() };
     BaseModel::new(
         "tapex",
         "TaPEx",
@@ -38,10 +35,7 @@ mod tests {
     use observatory_table::{Column, Table, Value};
 
     fn table() -> Table {
-        Table::new(
-            "t",
-            vec![Column::new("a", vec![Value::Int(1), Value::Int(2), Value::Int(3)])],
-        )
+        Table::new("t", vec![Column::new("a", vec![Value::Int(1), Value::Int(2), Value::Int(3)])])
     }
 
     #[test]

@@ -1,0 +1,270 @@
+//! Stable 128-bit content fingerprints for (model, table) encode requests.
+//!
+//! The cache in this crate is *content-addressed*: two encode requests hit
+//! the same entry iff they would produce bit-identical [`ModelEncoding`]s.
+//! Every input the deterministic encoders consume is therefore folded into
+//! the fingerprint — the model's registry name (weights are seeded from
+//! it), the table name (serializers may use it as a caption), each column's
+//! header, semantic-type annotation, and subject flag, and every cell value
+//! in storage order with its type tag. Row and column *order* is part of
+//! the content on purpose: Properties 1 and 2 encode permuted variants of
+//! one logical table, and those variants must not collide.
+//!
+//! The hash is a 128-bit FNV-1a with explicit domain-separation tags and
+//! length prefixes, so concatenation ambiguities ("ab","c" vs "a","bc")
+//! cannot produce collisions. 128 bits keeps accidental collision
+//! probability negligible (~2⁻⁶⁴ birthday bound at 2³² cached entries),
+//! which is why the cache can key on the fingerprint alone without storing
+//! the table for verification.
+
+use observatory_table::{Table, Value};
+
+/// FNV-1a 128-bit offset basis.
+const FNV_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+/// FNV-1a 128-bit prime.
+const FNV_PRIME: u128 = 0x0000000001000000000000000000013b;
+
+/// A 128-bit content hash identifying one encode request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fingerprint(pub u128);
+
+impl Fingerprint {
+    /// Lowercase hex form (32 chars), for logs and reports.
+    pub fn to_hex(self) -> String {
+        format!("{:032x}", self.0)
+    }
+
+    /// The shard index for an `n_shards`-way sharded structure. Uses the
+    /// high bits, which FNV mixes well.
+    pub fn shard(self, n_shards: usize) -> usize {
+        ((self.0 >> 64) as u64 % n_shards as u64) as usize
+    }
+}
+
+/// Incremental FNV-1a-128 hasher with domain-separated field writers.
+#[derive(Debug, Clone)]
+pub struct FingerprintHasher {
+    state: u128,
+}
+
+/// Field tags. Each variable-length field is written as `tag, len, bytes`
+/// so field boundaries are unambiguous.
+mod tag {
+    pub const MODEL: u8 = 0x01;
+    pub const TABLE_NAME: u8 = 0x02;
+    pub const COLUMN: u8 = 0x03;
+    pub const HEADER: u8 = 0x04;
+    pub const SEMANTIC: u8 = 0x05;
+    pub const SUBJECT: u8 = 0x06;
+    pub const SHAPE: u8 = 0x07;
+    pub const NULL: u8 = 0x10;
+    pub const BOOL: u8 = 0x11;
+    pub const INT: u8 = 0x12;
+    pub const FLOAT: u8 = 0x13;
+    pub const TEXT: u8 = 0x14;
+    pub const DATE: u8 = 0x15;
+    pub const CONFIG: u8 = 0x20;
+}
+
+impl Default for FingerprintHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FingerprintHasher {
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Self { state: FNV_OFFSET }
+    }
+
+    /// Fold raw bytes into the state.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= b as u128;
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    fn write_u8(&mut self, v: u8) {
+        self.write(&[v]);
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Length-prefixed string field under `t`.
+    fn write_str(&mut self, t: u8, s: &str) {
+        self.write_u8(t);
+        self.write_u64(s.len() as u64);
+        self.write(s.as_bytes());
+    }
+
+    fn write_value(&mut self, v: &Value) {
+        match v {
+            Value::Null => self.write_u8(tag::NULL),
+            Value::Bool(b) => {
+                self.write_u8(tag::BOOL);
+                self.write_u8(*b as u8);
+            }
+            Value::Int(i) => {
+                self.write_u8(tag::INT);
+                self.write(&i.to_le_bytes());
+            }
+            Value::Float(x) => {
+                self.write_u8(tag::FLOAT);
+                // Bit pattern, not text: distinguishes -0.0 from 0.0 and
+                // every NaN payload, matching "same bits in, same bits out".
+                self.write(&x.to_bits().to_le_bytes());
+            }
+            Value::Text(s) => {
+                self.write_u8(tag::TEXT);
+                self.write_u64(s.len() as u64);
+                self.write(s.as_bytes());
+            }
+            Value::Date { year, month, day } => {
+                self.write_u8(tag::DATE);
+                self.write(&year.to_le_bytes());
+                self.write(&[*month, *day]);
+            }
+        }
+    }
+
+    /// Finish and return the fingerprint.
+    pub fn finish(&self) -> Fingerprint {
+        Fingerprint(self.state)
+    }
+}
+
+/// Fingerprint one encode request: the named model applied to `table`,
+/// with an optional encoder-configuration string (e.g. an auxiliary
+/// caption or question that changes serialization).
+pub fn fingerprint_request(model: &str, table: &Table, config: Option<&str>) -> Fingerprint {
+    let mut h = FingerprintHasher::new();
+    h.write_str(tag::MODEL, model);
+    h.write_str(tag::TABLE_NAME, &table.name);
+    h.write_u8(tag::SHAPE);
+    h.write_u64(table.num_rows() as u64);
+    h.write_u64(table.num_cols() as u64);
+    for col in &table.columns {
+        h.write_u8(tag::COLUMN);
+        h.write_str(tag::HEADER, &col.header);
+        match &col.semantic_type {
+            Some(s) => h.write_str(tag::SEMANTIC, s),
+            None => h.write_u8(tag::NULL),
+        }
+        h.write_u8(tag::SUBJECT);
+        h.write_u8(col.is_subject as u8);
+        for v in &col.values {
+            h.write_value(v);
+        }
+    }
+    if let Some(cfg) = config {
+        h.write_str(tag::CONFIG, cfg);
+    }
+    h.finish()
+}
+
+/// Fingerprint a plain (model, table) request with no config overrides.
+pub fn fingerprint_table(model: &str, table: &Table) -> Fingerprint {
+    fingerprint_request(model, table, None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use observatory_table::Column;
+
+    fn sample() -> Table {
+        Table::from_rows(
+            "athletes",
+            &["id", "competition"],
+            vec![
+                vec![Value::Int(1), Value::text("Asian Championships")],
+                vec![Value::Int(2), Value::text("World Championships")],
+            ],
+        )
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(fingerprint_table("bert", &sample()), fingerprint_table("bert", &sample()));
+    }
+
+    #[test]
+    fn model_name_separates() {
+        assert_ne!(fingerprint_table("bert", &sample()), fingerprint_table("tapas", &sample()));
+    }
+
+    #[test]
+    fn cell_edit_separates() {
+        let mut t = sample();
+        t.columns[1].values[0] = Value::text("Asian Games");
+        assert_ne!(fingerprint_table("bert", &sample()), fingerprint_table("bert", &t));
+    }
+
+    #[test]
+    fn header_and_annotations_separate() {
+        let mut t = sample();
+        t.columns[0].header = "ID".into();
+        assert_ne!(fingerprint_table("bert", &sample()), fingerprint_table("bert", &t));
+        let mut t = sample();
+        t.columns[0].semantic_type = Some("identifier".into());
+        assert_ne!(fingerprint_table("bert", &sample()), fingerprint_table("bert", &t));
+        let mut t = sample();
+        t.columns[0].is_subject = true;
+        assert_ne!(fingerprint_table("bert", &sample()), fingerprint_table("bert", &t));
+    }
+
+    #[test]
+    fn row_and_column_order_are_content() {
+        let t = sample();
+        let rows_swapped = t.select_rows(&[1, 0]);
+        let cols_swapped = t.project(&[1, 0]);
+        let fp = fingerprint_table("bert", &t);
+        assert_ne!(fp, fingerprint_table("bert", &rows_swapped));
+        assert_ne!(fp, fingerprint_table("bert", &cols_swapped));
+    }
+
+    #[test]
+    fn config_separates() {
+        let t = sample();
+        assert_ne!(
+            fingerprint_request("bert", &t, None),
+            fingerprint_request("bert", &t, Some("caption: athletes"))
+        );
+        assert_ne!(
+            fingerprint_request("bert", &t, Some("a")),
+            fingerprint_request("bert", &t, Some("b"))
+        );
+    }
+
+    #[test]
+    fn value_types_stay_distinct() {
+        // Int(49) vs Text("1") — byte-level ambiguity must not collide.
+        let a = Table::new("t", vec![Column::new("c", vec![Value::Int(49)])]);
+        let b = Table::new("t", vec![Column::new("c", vec![Value::text("1")])]);
+        assert_ne!(fingerprint_table("m", &a), fingerprint_table("m", &b));
+        // Float bit pattern: -0.0 and 0.0 differ.
+        let x = Table::new("t", vec![Column::new("c", vec![Value::Float(0.0)])]);
+        let y = Table::new("t", vec![Column::new("c", vec![Value::Float(-0.0)])]);
+        assert_ne!(fingerprint_table("m", &x), fingerprint_table("m", &y));
+    }
+
+    #[test]
+    fn concatenation_ambiguity() {
+        // ("ab", "c") vs ("a", "bc") headers must hash differently.
+        let a = Table::new("t", vec![Column::new("ab", vec![]), Column::new("c", vec![])]);
+        let b = Table::new("t", vec![Column::new("a", vec![]), Column::new("bc", vec![])]);
+        assert_ne!(fingerprint_table("m", &a), fingerprint_table("m", &b));
+    }
+
+    #[test]
+    fn hex_and_shard() {
+        let fp = fingerprint_table("bert", &sample());
+        assert_eq!(fp.to_hex().len(), 32);
+        assert!(fp.shard(16) < 16);
+        assert_eq!(Fingerprint(0).shard(16), 0);
+    }
+}

@@ -1,0 +1,382 @@
+//! # observatory-runtime
+//!
+//! The embedding engine: the single entry point through which every
+//! property, downstream task, bench, and CLI run encodes tables.
+//!
+//! An [`Engine`] composes three pieces, each its own module:
+//!
+//! - [`fingerprint`] — stable 128-bit content hashes of (model, table,
+//!   config) encode requests;
+//! - [`cache`] — a sharded, byte-accounted LRU keyed by fingerprint, so
+//!   re-encoding the *same bytes* (ablation sweeps, repeated properties on
+//!   one corpus, downstream tasks revisiting tables) is a pointer clone;
+//! - [`pool`] — a scoped worker pool whose batched results are returned in
+//!   index order, making parallel encoding **bit-identical** to the serial
+//!   loop at any `--jobs` value.
+//!
+//! Determinism guarantee: encoders in this workspace are pure functions of
+//! (model weights, table bytes). The engine only ever (a) reorders *when*
+//! encodes happen, never their inputs, and (b) substitutes a cached result
+//! for a recompute of the same fingerprint. Both transformations preserve
+//! exact `f64` equality of every result, which the cross-thread
+//! determinism suite asserts model-by-model.
+//!
+//! [`metrics`] observes all of it with lock-free counters and fixed-bucket
+//! latency histograms, rendered by the CLI as a post-run footer.
+
+pub mod cache;
+pub mod fingerprint;
+pub mod metrics;
+pub mod pool;
+
+pub use cache::{CacheStats, EncodingCache};
+pub use fingerprint::{fingerprint_request, fingerprint_table, Fingerprint, FingerprintHasher};
+pub use metrics::{Metrics, MetricsSnapshot, ModelStats};
+pub use pool::{resolve_jobs, run_indexed};
+
+use observatory_models::{ModelEncoding, TableEncoder};
+use observatory_table::Table;
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+/// Engine construction parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Worker threads for [`Engine::encode_batch`] (1 = serial inline).
+    pub jobs: usize,
+    /// Encoding-cache capacity in bytes (0 disables caching).
+    pub cache_bytes: usize,
+}
+
+/// Default cache budget: 256 MiB, a few thousand typical encodings.
+pub const DEFAULT_CACHE_BYTES: usize = 256 << 20;
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self { jobs: resolve_jobs(None), cache_bytes: DEFAULT_CACHE_BYTES }
+    }
+}
+
+impl EngineConfig {
+    /// Defaults overridden by `OBSERVATORY_JOBS` / `OBSERVATORY_CACHE_MB`.
+    pub fn from_env() -> Self {
+        let cache_bytes = std::env::var("OBSERVATORY_CACHE_MB")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .map_or(DEFAULT_CACHE_BYTES, |mb| mb << 20);
+        Self { jobs: resolve_jobs(None), cache_bytes }
+    }
+
+    /// Serial, cache-less engine — the reference configuration the
+    /// determinism tests compare against.
+    pub fn serial_uncached() -> Self {
+        Self { jobs: 1, cache_bytes: 0 }
+    }
+}
+
+/// The embedding engine: cache + pool + metrics behind one handle.
+/// Cheap to share (`Arc<Engine>`); all methods take `&self`.
+pub struct Engine {
+    config: EngineConfig,
+    cache: EncodingCache,
+    metrics: Metrics,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("jobs", &self.config.jobs)
+            .field("cache_bytes", &self.config.cache_bytes)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Self::new(EngineConfig::default())
+    }
+}
+
+impl Engine {
+    /// Build an engine from a config.
+    pub fn new(config: EngineConfig) -> Self {
+        Self { cache: EncodingCache::new(config.cache_bytes), metrics: Metrics::new(), config }
+    }
+
+    /// Worker thread count used by [`Engine::encode_batch`].
+    pub fn jobs(&self) -> usize {
+        self.config.jobs
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Engine metrics registry (for recording; use
+    /// [`Engine::metrics_snapshot`] to read).
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Frozen metrics state.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// Cache statistics.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Drop all cached encodings (counters survive). Benches use this to
+    /// measure cold-cache throughput on a warm process.
+    pub fn clear_cache(&self) {
+        self.cache.clear();
+    }
+
+    /// Encode one table through the cache. On a miss the model runs and
+    /// the result is admitted; on a hit the model is never consulted.
+    pub fn encode_table(&self, model: &dyn TableEncoder, table: &Table) -> Arc<ModelEncoding> {
+        let fp = fingerprint_table(model.name(), table);
+        self.encode_fingerprinted(model, table, fp)
+    }
+
+    fn encode_fingerprinted(
+        &self,
+        model: &dyn TableEncoder,
+        table: &Table,
+        fp: Fingerprint,
+    ) -> Arc<ModelEncoding> {
+        if let Some(hit) = self.cache.get(fp) {
+            self.metrics.record_hit();
+            return hit;
+        }
+        self.metrics.record_miss();
+        let start = Instant::now();
+        let encoding = Arc::new(model.encode_table(table));
+        self.metrics.record_encode(model.name(), start.elapsed(), encoding.embeddings.rows());
+        self.cache.insert(fp, Arc::clone(&encoding));
+        encoding
+    }
+
+    /// Encode a batch of tables on the worker pool. Results are in input
+    /// order and bit-identical to calling [`Engine::encode_table`] in a
+    /// serial loop, for any job count.
+    ///
+    /// Duplicate tables inside one batch (frequent in permutation sweeps,
+    /// where the identity permutation reappears) are encoded once and the
+    /// resulting `Arc` shared across their positions.
+    pub fn encode_batch(
+        &self,
+        model: &dyn TableEncoder,
+        tables: &[Table],
+    ) -> Vec<Arc<ModelEncoding>> {
+        self.metrics.record_batch();
+        let fps: Vec<Fingerprint> =
+            tables.iter().map(|t| fingerprint_table(model.name(), t)).collect();
+        // Deduplicate within the batch: map each input position to the
+        // first position carrying its fingerprint.
+        let mut first_of: HashMap<u128, usize> = HashMap::with_capacity(tables.len());
+        let mut unique: Vec<usize> = Vec::with_capacity(tables.len());
+        let mut unique_slot: Vec<usize> = Vec::with_capacity(tables.len());
+        for (i, fp) in fps.iter().enumerate() {
+            let slot = *first_of.entry(fp.0).or_insert_with(|| {
+                unique.push(i);
+                unique.len() - 1
+            });
+            unique_slot.push(slot);
+        }
+        let encoded: Vec<Arc<ModelEncoding>> = run_indexed(self.config.jobs, unique.len(), |u| {
+            let i = unique[u];
+            self.encode_fingerprinted(model, &tables[i], fps[i])
+        });
+        unique_slot.into_iter().map(|slot| Arc::clone(&encoded[slot])).collect()
+    }
+}
+
+static GLOBAL: OnceLock<Arc<Engine>> = OnceLock::new();
+
+/// Install the process-wide engine. Returns `false` (and changes nothing)
+/// if one was already installed — the CLI calls this exactly once, before
+/// any encode, from `--jobs`/env flags.
+pub fn configure_global(config: EngineConfig) -> bool {
+    GLOBAL.set(Arc::new(Engine::new(config))).is_ok()
+}
+
+/// The process-wide engine, created from [`EngineConfig::from_env`] on
+/// first use if [`configure_global`] was never called.
+pub fn global() -> Arc<Engine> {
+    Arc::clone(GLOBAL.get_or_init(|| Arc::new(Engine::new(EngineConfig::from_env()))))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use observatory_linalg::Matrix;
+    use observatory_models::{Capabilities, Readout, TokenProvenance};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// A cheap deterministic encoder: embeddings are a pure function of
+    /// the table's cell text, and an atomic counter observes real runs.
+    struct StubModel {
+        runs: AtomicU64,
+    }
+
+    impl StubModel {
+        fn new() -> Self {
+            Self { runs: AtomicU64::new(0) }
+        }
+    }
+
+    impl TableEncoder for StubModel {
+        fn name(&self) -> &str {
+            "stub"
+        }
+        fn display_name(&self) -> &str {
+            "Stub"
+        }
+        fn dim(&self) -> usize {
+            4
+        }
+        fn capabilities(&self) -> Capabilities {
+            Capabilities::all()
+        }
+        fn encode_table(&self, table: &Table) -> ModelEncoding {
+            self.runs.fetch_add(1, Ordering::SeqCst);
+            let mut rows = Vec::new();
+            let mut provenance = Vec::new();
+            for (j, col) in table.columns.iter().enumerate() {
+                for (i, v) in col.values.iter().enumerate() {
+                    let s = v.to_text();
+                    let h = s.bytes().fold(0u64, |a, b| a.wrapping_mul(31).wrapping_add(b as u64));
+                    rows.push(vec![h as f64, i as f64, j as f64, s.len() as f64]);
+                    provenance.push(TokenProvenance {
+                        row: (i + 1) as u32,
+                        col: (j + 1) as u32,
+                        special: false,
+                    });
+                }
+            }
+            if rows.is_empty() {
+                rows.push(vec![0.0; 4]);
+                provenance.push(TokenProvenance { row: 0, col: 0, special: true });
+            }
+            ModelEncoding {
+                embeddings: Matrix::from_rows(&rows),
+                provenance,
+                table_cls: None,
+                column_cls: vec![None; table.num_cols()],
+                rows_encoded: table.num_rows(),
+                cols_encoded: table.num_cols(),
+                column_readout: Readout::MeanPool,
+                table_readout: Readout::MeanPool,
+                capabilities: Capabilities::all(),
+            }
+        }
+        fn encode_text(&self, text: &str) -> Vec<f64> {
+            vec![text.len() as f64; 4]
+        }
+    }
+
+    fn table(tag: i64) -> Table {
+        use observatory_table::{Column, Value};
+        Table::new(
+            format!("t{tag}"),
+            vec![
+                Column::new("id", (0..6).map(|i| Value::Int(i + tag)).collect()),
+                Column::new(
+                    "name",
+                    (0..6).map(|i| Value::text(format!("row {i} of {tag}"))).collect(),
+                ),
+            ],
+        )
+    }
+
+    #[test]
+    fn cache_hit_skips_model() {
+        let engine = Engine::new(EngineConfig { jobs: 1, cache_bytes: 1 << 22 });
+        let model = StubModel::new();
+        let t = table(1);
+        let a = engine.encode_table(&model, &t);
+        let b = engine.encode_table(&model, &t);
+        assert_eq!(model.runs.load(Ordering::SeqCst), 1, "second call must be a hit");
+        assert_eq!(a.embeddings, b.embeddings);
+        let s = engine.metrics_snapshot();
+        assert_eq!((s.cache_hits, s.cache_misses, s.encodes), (1, 1, 1));
+    }
+
+    #[test]
+    fn batch_matches_serial_at_any_jobs() {
+        let tables: Vec<Table> = (0..12).map(table).collect();
+        let reference: Vec<ModelEncoding> = {
+            let model = StubModel::new();
+            tables.iter().map(|t| model.encode_table(t)).collect()
+        };
+        for jobs in [1, 2, 4, 8] {
+            let engine = Engine::new(EngineConfig { jobs, cache_bytes: 0 });
+            let model = StubModel::new();
+            let out = engine.encode_batch(&model, &tables);
+            assert_eq!(out.len(), tables.len());
+            for (got, want) in out.iter().zip(&reference) {
+                assert_eq!(got.embeddings, want.embeddings, "jobs={jobs}");
+                assert_eq!(got.provenance, want.provenance, "jobs={jobs}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_deduplicates_identical_tables() {
+        let engine = Engine::new(EngineConfig { jobs: 2, cache_bytes: 1 << 22 });
+        let model = StubModel::new();
+        let t = table(7);
+        let batch = vec![t.clone(), table(8), t.clone(), t.clone()];
+        let out = engine.encode_batch(&model, &batch);
+        assert_eq!(model.runs.load(Ordering::SeqCst), 2, "3 duplicates encode once");
+        assert_eq!(out[0].embeddings, out[2].embeddings);
+        assert!(Arc::ptr_eq(&out[0], &out[3]), "duplicates share one Arc");
+    }
+
+    #[test]
+    fn disabled_cache_still_correct() {
+        let engine = Engine::new(EngineConfig { jobs: 1, cache_bytes: 0 });
+        let model = StubModel::new();
+        let t = table(3);
+        let a = engine.encode_table(&model, &t);
+        let b = engine.encode_table(&model, &t);
+        assert_eq!(model.runs.load(Ordering::SeqCst), 2);
+        assert_eq!(a.embeddings, b.embeddings);
+    }
+
+    #[test]
+    fn metrics_invariants_after_workload() {
+        let engine = Engine::new(EngineConfig { jobs: 2, cache_bytes: 1 << 22 });
+        let model = StubModel::new();
+        let tables: Vec<Table> = (0..5).map(table).collect();
+        engine.encode_batch(&model, &tables);
+        engine.encode_batch(&model, &tables); // all hits
+        let s = engine.metrics_snapshot();
+        assert_eq!(s.lookups(), s.cache_hits + s.cache_misses);
+        assert_eq!(s.encodes, s.cache_misses);
+        assert_eq!(s.encode_latency.count, s.encodes);
+        assert_eq!(s.cache_hits, 5);
+        assert_eq!(s.batches, 2);
+        assert_eq!(engine.cache_stats().hits, 5);
+    }
+
+    #[test]
+    fn global_is_a_singleton() {
+        let a = global();
+        let b = global();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(!configure_global(EngineConfig::default()), "already installed");
+    }
+
+    #[test]
+    fn engine_debug_is_compact() {
+        let engine = Engine::new(EngineConfig { jobs: 3, cache_bytes: 1024 });
+        let s = format!("{engine:?}");
+        assert!(s.contains("jobs: 3"));
+    }
+}

@@ -1,0 +1,295 @@
+//! Runtime metrics: atomic counters and fixed-bucket latency histograms.
+//!
+//! Everything on the hot path is lock-free (`AtomicU64` with relaxed
+//! ordering — counters need atomicity, not ordering); only the per-model
+//! breakdown takes a short mutex, once per *encode*, never per token.
+//! [`Metrics::snapshot`] produces an immutable [`MetricsSnapshot`] that the
+//! CLI renders as a post-run footer and tests assert invariants against.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Histogram bucket upper bounds in nanoseconds: powers of 4 from 1 µs to
+/// ~4.4 min, plus a catch-all. Fixed buckets keep recording allocation-free
+/// and snapshots mergeable.
+pub const BUCKET_BOUNDS_NS: [u64; 12] = [
+    1_000,
+    4_000,
+    16_000,
+    64_000,
+    256_000,
+    1_024_000,
+    4_096_000,
+    16_384_000,
+    65_536_000,
+    262_144_000,
+    1_048_576_000,
+    u64::MAX,
+];
+
+/// A fixed-bucket latency histogram.
+#[derive(Default)]
+pub struct Histogram {
+    buckets: [AtomicU64; 12],
+    sum_ns: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    /// Record one observation.
+    pub fn record(&self, d: Duration) {
+        let ns = u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+        let idx = BUCKET_BOUNDS_NS.iter().position(|&b| ns <= b).unwrap_or(11);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Immutable copy of the current state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            sum_ns: self.sum_ns.load(Ordering::Relaxed),
+            count: self.count.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Frozen histogram state.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    /// Observation count per bucket (bounds in [`BUCKET_BOUNDS_NS`]).
+    pub buckets: [u64; 12],
+    /// Sum of all observations, ns.
+    pub sum_ns: u64,
+    /// Total observations.
+    pub count: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean observation in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ns as f64 / self.count as f64
+        }
+    }
+}
+
+/// Per-model encode totals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ModelStats {
+    /// Tables actually encoded (cache misses).
+    pub encodes: u64,
+    /// Total wall time spent encoding, ns.
+    pub encode_ns: u64,
+    /// Token embeddings produced (rows of the embedding matrices).
+    pub tokens: u64,
+}
+
+/// Engine-wide metrics registry. All recording methods take `&self`.
+#[derive(Default)]
+pub struct Metrics {
+    encodes: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    batches: AtomicU64,
+    tokens: AtomicU64,
+    encode_latency: Histogram,
+    per_model: Mutex<BTreeMap<String, ModelStats>>,
+}
+
+impl Metrics {
+    /// A zeroed registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one real encode (a cache miss that ran the model).
+    pub fn record_encode(&self, model: &str, elapsed: Duration, tokens: usize) {
+        self.encodes.fetch_add(1, Ordering::Relaxed);
+        self.tokens.fetch_add(tokens as u64, Ordering::Relaxed);
+        self.encode_latency.record(elapsed);
+        let ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        let mut per_model = self.per_model.lock().unwrap();
+        let entry = per_model.entry(model.to_string()).or_default();
+        entry.encodes += 1;
+        entry.encode_ns += ns;
+        entry.tokens += tokens as u64;
+    }
+
+    /// Record a cache hit.
+    pub fn record_hit(&self) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a cache miss.
+    pub fn record_miss(&self) {
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one `encode_batch` call.
+    pub fn record_batch(&self) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Freeze the current state.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            encodes: self.encodes.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            tokens: self.tokens.load(Ordering::Relaxed),
+            encode_latency: self.encode_latency.snapshot(),
+            per_model: self.per_model.lock().unwrap().clone(),
+        }
+    }
+}
+
+/// Frozen engine metrics, renderable as a plain-text report.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MetricsSnapshot {
+    /// Tables actually encoded (= cache misses that ran a model).
+    pub encodes: u64,
+    /// Engine-level cache hits.
+    pub cache_hits: u64,
+    /// Engine-level cache misses.
+    pub cache_misses: u64,
+    /// `encode_batch` invocations.
+    pub batches: u64,
+    /// Token embeddings produced.
+    pub tokens: u64,
+    /// Latency distribution over real encodes.
+    pub encode_latency: HistogramSnapshot,
+    /// Per-model totals, sorted by model name.
+    pub per_model: BTreeMap<String, ModelStats>,
+}
+
+impl MetricsSnapshot {
+    /// Total engine lookups (hits + misses).
+    pub fn lookups(&self) -> u64 {
+        self.cache_hits + self.cache_misses
+    }
+
+    /// Cache hit rate over engine lookups (0 when none).
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups() == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.lookups() as f64
+        }
+    }
+
+    /// Multi-line plain-text report (the CLI's `-- runtime --` footer).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "encodes: {}  (cache: {} hits / {} misses, {:.1}% hit rate, {} batches)\n",
+            self.encodes,
+            self.cache_hits,
+            self.cache_misses,
+            100.0 * self.hit_rate(),
+            self.batches,
+        ));
+        out.push_str(&format!(
+            "tokens embedded: {}   mean encode: {}\n",
+            self.tokens,
+            fmt_ns(self.encode_latency.mean_ns()),
+        ));
+        for (name, m) in &self.per_model {
+            let mean = if m.encodes == 0 { 0.0 } else { m.encode_ns as f64 / m.encodes as f64 };
+            out.push_str(&format!(
+                "  {name:<12} {:>6} encodes  {:>10} tokens  mean {}\n",
+                m.encodes,
+                m.tokens,
+                fmt_ns(mean),
+            ));
+        }
+        out
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.0} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.1} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.1} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_mean() {
+        let h = Histogram::default();
+        h.record(Duration::from_nanos(500)); // bucket 0
+        h.record(Duration::from_micros(10)); // 16µs bucket
+        h.record(Duration::from_millis(2)); // 4.096ms bucket
+        let s = h.snapshot();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.buckets.iter().sum::<u64>(), 3);
+        assert_eq!(s.buckets[0], 1);
+        assert_eq!(s.buckets[2], 1);
+        assert_eq!(s.buckets[6], 1);
+        assert!((s.mean_ns() - (500.0 + 10_000.0 + 2_000_000.0) / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bounds_are_sorted() {
+        assert!(BUCKET_BOUNDS_NS.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn snapshot_invariants() {
+        let m = Metrics::new();
+        m.record_miss();
+        m.record_encode("bert", Duration::from_micros(100), 64);
+        m.record_miss();
+        m.record_encode("tapas", Duration::from_micros(200), 32);
+        m.record_hit();
+        m.record_batch();
+        let s = m.snapshot();
+        assert_eq!(s.lookups(), s.cache_hits + s.cache_misses);
+        assert_eq!(s.encodes, s.cache_misses, "every miss ran exactly one encode");
+        assert_eq!(s.encode_latency.count, s.encodes);
+        assert_eq!(s.tokens, 96);
+        assert_eq!(s.per_model.len(), 2);
+        assert_eq!(s.per_model["bert"].encodes, 1);
+        assert!((s.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_mentions_models() {
+        let m = Metrics::new();
+        m.record_encode("bert", Duration::from_micros(5), 10);
+        let text = m.snapshot().render();
+        assert!(text.contains("bert"));
+        assert!(text.contains("hit rate"));
+    }
+
+    #[test]
+    fn empty_snapshot_is_safe() {
+        let s = Metrics::new().snapshot();
+        assert_eq!(s.hit_rate(), 0.0);
+        assert_eq!(s.encode_latency.mean_ns(), 0.0);
+        assert!(!s.render().is_empty());
+    }
+
+    #[test]
+    fn ns_formatting() {
+        assert!(fmt_ns(10.0).ends_with("ns"));
+        assert!(fmt_ns(10_000.0).ends_with("µs"));
+        assert!(fmt_ns(10_000_000.0).ends_with("ms"));
+        assert!(fmt_ns(10_000_000_000.0).ends_with(" s"));
+    }
+}

@@ -1,0 +1,95 @@
+//! Property tests for the content fingerprint: permutations and edits of
+//! a table's content must change its fingerprint, and fingerprinting must
+//! be a pure function of content.
+
+use observatory_runtime::fingerprint_table;
+use observatory_table::{Column, Table, Value};
+use proptest::prelude::*;
+
+/// A table whose every cell is unique and position-tagged, so *any*
+/// non-identity row or column permutation changes the stored bytes.
+fn tagged_table(rows: usize, cols: usize) -> Table {
+    let columns = (0..cols)
+        .map(|j| {
+            Column::new(
+                format!("col{j}"),
+                (0..rows).map(|i| Value::text(format!("cell r{i} c{j}"))).collect(),
+            )
+        })
+        .collect();
+    Table::new("tagged", columns)
+}
+
+/// Deterministic non-identity rotation of `0..n` by `k` (requires n >= 2).
+fn rotation(n: usize, k: usize) -> Vec<usize> {
+    let k = 1 + k % (n - 1);
+    (0..n).map(|i| (i + k) % n).collect()
+}
+
+proptest! {
+    #[test]
+    fn row_permutation_changes_fingerprint(
+        rows in 2usize..10,
+        cols in 1usize..6,
+        k in 0usize..16,
+    ) {
+        let t = tagged_table(rows, cols);
+        let permuted = t.select_rows(&rotation(rows, k));
+        prop_assert_ne!(
+            fingerprint_table("bert", &t),
+            fingerprint_table("bert", &permuted)
+        );
+    }
+
+    #[test]
+    fn column_permutation_changes_fingerprint(
+        rows in 1usize..8,
+        cols in 2usize..6,
+        k in 0usize..16,
+    ) {
+        let t = tagged_table(rows, cols);
+        let permuted = t.project(&rotation(cols, k));
+        prop_assert_ne!(
+            fingerprint_table("bert", &t),
+            fingerprint_table("bert", &permuted)
+        );
+    }
+
+    #[test]
+    fn cell_edit_changes_fingerprint(
+        rows in 1usize..8,
+        cols in 1usize..6,
+        pick in any::<u64>(),
+        suffix in "[a-z]{1,8}",
+    ) {
+        let t = tagged_table(rows, cols);
+        let i = (pick as usize) % rows;
+        let j = (pick as usize / rows) % cols;
+        let mut edited = t.clone();
+        let original = edited.columns[j].values[i].to_text();
+        edited.columns[j].values[i] = Value::text(format!("{original} {suffix}"));
+        prop_assert_ne!(
+            fingerprint_table("bert", &t),
+            fingerprint_table("bert", &edited)
+        );
+    }
+
+    #[test]
+    fn fingerprint_is_pure(rows in 0usize..8, cols in 0usize..6) {
+        let a = tagged_table(rows, cols);
+        let b = tagged_table(rows, cols);
+        prop_assert_eq!(fingerprint_table("m", &a), fingerprint_table("m", &b));
+        // ... and clones are transparent.
+        prop_assert_eq!(fingerprint_table("m", &a), fingerprint_table("m", &a.clone()));
+    }
+
+    #[test]
+    fn typed_values_fingerprint_by_bits(x in any::<i64>()) {
+        let int_t = Table::new("t", vec![Column::new("c", vec![Value::Int(x)])]);
+        let txt_t = Table::new("t", vec![Column::new("c", vec![Value::text(x.to_string())])]);
+        prop_assert_ne!(
+            fingerprint_table("m", &int_t),
+            fingerprint_table("m", &txt_t)
+        );
+    }
+}

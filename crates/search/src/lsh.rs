@@ -36,11 +36,7 @@ impl LshIndex {
         assert!(n_tables > 0, "need at least one hash table");
         let mut rng = SplitMix64::new(seed);
         let hyperplanes = (0..n_tables)
-            .map(|_| {
-                (0..n_bits)
-                    .map(|_| (0..dim).map(|_| rng.next_normal()).collect())
-                    .collect()
-            })
+            .map(|_| (0..n_bits).map(|_| (0..dim).map(|_| rng.next_normal()).collect()).collect())
             .collect();
         Self {
             dim,
@@ -138,8 +134,7 @@ mod tests {
         let mut out = Vec::new();
         for (c, center) in centers.iter().enumerate() {
             for i in 0..n_per {
-                let v: Vec<f64> =
-                    center.iter().map(|x| x + 0.1 * rng.next_normal()).collect();
+                let v: Vec<f64> = center.iter().map(|x| x + 0.1 * rng.next_normal()).collect();
                 out.push((format!("c{c}_{i}"), v));
             }
         }

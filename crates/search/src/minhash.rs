@@ -133,7 +133,11 @@ mod tests {
         let (sq, sc) = (hasher.sketch(&q), hasher.sketch(&c));
         let exact_j = jaccard(&q, &c);
         let exact_c = containment(&q, &c);
-        assert!((sq.jaccard_estimate(&sc) - exact_j).abs() < 0.1, "J est {}", sq.jaccard_estimate(&sc));
+        assert!(
+            (sq.jaccard_estimate(&sc) - exact_j).abs() < 0.1,
+            "J est {}",
+            sq.jaccard_estimate(&sc)
+        );
         assert!(
             (sq.containment_estimate(&sc) - exact_c).abs() < 0.12,
             "containment est {}",

@@ -57,10 +57,7 @@ pub fn multiset_jaccard(query: &Column, candidate: &Column) -> f64 {
     if total == 0 {
         return 0.0;
     }
-    let inter: usize = q
-        .iter()
-        .map(|(k, &nq)| c.get(k).map_or(0, |&nc| nq.min(nc)))
-        .sum();
+    let inter: usize = q.iter().map(|(k, &nq)| c.get(k).map_or(0, |&nc| nq.min(nc))).sum();
     inter as f64 / total as f64
 }
 

@@ -163,10 +163,7 @@ impl Histogram {
         if max == 0 {
             return "▁".repeat(self.counts.len());
         }
-        self.counts
-            .iter()
-            .map(|&c| GLYPHS[(c * (GLYPHS.len() - 1) + max / 2) / max])
-            .collect()
+        self.counts.iter().map(|&c| GLYPHS[(c * (GLYPHS.len() - 1) + max / 2) / max]).collect()
     }
 }
 

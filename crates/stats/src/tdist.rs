@@ -24,7 +24,8 @@ pub fn ln_gamma(x: f64) -> f64 {
     ];
     if x < 0.5 {
         // Reflection formula.
-        return std::f64::consts::PI.ln() - (std::f64::consts::PI * x).sin().ln()
+        return std::f64::consts::PI.ln()
+            - (std::f64::consts::PI * x).sin().ln()
             - ln_gamma(1.0 - x);
     }
     let x = x - 1.0;
@@ -46,8 +47,7 @@ pub fn incomplete_beta(a: f64, b: f64, x: f64) -> f64 {
     if x == 1.0 {
         return 1.0;
     }
-    let ln_front =
-        ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
     let front = ln_front.exp();
     // Use the symmetry that keeps the continued fraction convergent.
     if x < (a + 1.0) / (a + b + 2.0) {

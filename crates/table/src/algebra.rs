@@ -93,7 +93,10 @@ pub fn group_count(table: &Table, col: usize) -> Table {
     Table::new(
         format!("{}_by_{}", table.name, table.columns[col].header),
         vec![
-            Column::new(table.columns[col].header.clone(), rows.iter().map(|(v, _)| v.clone()).collect()),
+            Column::new(
+                table.columns[col].header.clone(),
+                rows.iter().map(|(v, _)| v.clone()).collect(),
+            ),
             Column::new("count", rows.iter().map(|&(_, n)| Value::Int(n)).collect()),
         ],
     )

@@ -18,8 +18,7 @@ pub fn parse_csv(name: &str, text: &str) -> Result<Table, String> {
     let mut it = records.into_iter();
     let header = it.next().ok_or_else(|| "empty CSV".to_string())?;
     let ncols = header.len();
-    let mut columns: Vec<Column> =
-        header.into_iter().map(|h| Column::new(h, Vec::new())).collect();
+    let mut columns: Vec<Column> = header.into_iter().map(|h| Column::new(h, Vec::new())).collect();
     for (line_no, rec) in it.enumerate() {
         if rec.len() != ncols {
             return Err(format!(

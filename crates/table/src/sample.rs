@@ -152,8 +152,7 @@ mod tests {
         assert_eq!(chunks.len(), 4);
         assert_eq!(chunks[0].len(), 3);
         assert_eq!(chunks[3].len(), 1);
-        let rejoined: Vec<Value> =
-            chunks.iter().flat_map(|ch| ch.values.iter().cloned()).collect();
+        let rejoined: Vec<Value> = chunks.iter().flat_map(|ch| ch.values.iter().cloned()).collect();
         assert_eq!(rejoined, c.values);
         assert!(chunks.iter().all(|ch| ch.header == "c"));
     }

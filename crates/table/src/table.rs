@@ -81,10 +81,7 @@ impl Table {
     pub fn new(name: impl Into<String>, columns: Vec<Column>) -> Self {
         if let Some(first) = columns.first() {
             let n = first.len();
-            assert!(
-                columns.iter().all(|c| c.len() == n),
-                "Table::new: ragged columns"
-            );
+            assert!(columns.iter().all(|c| c.len() == n), "Table::new: ragged columns");
         }
         Self { name: name.into(), columns }
     }
@@ -93,11 +90,7 @@ impl Table {
     ///
     /// # Panics
     /// Panics if any row's length differs from the header count.
-    pub fn from_rows(
-        name: impl Into<String>,
-        headers: &[&str],
-        rows: Vec<Vec<Value>>,
-    ) -> Self {
+    pub fn from_rows(name: impl Into<String>, headers: &[&str], rows: Vec<Vec<Value>>) -> Self {
         let mut columns: Vec<Column> =
             headers.iter().map(|h| Column::new(*h, Vec::with_capacity(rows.len()))).collect();
         for row in rows {

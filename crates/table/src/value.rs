@@ -20,7 +20,11 @@ pub enum Value {
     Text(String),
     /// A calendar date (year, month, day). Validity of the combination is
     /// the producer's responsibility; the table layer only stores it.
-    Date { year: i32, month: u8, day: u8 },
+    Date {
+        year: i32,
+        month: u8,
+        day: u8,
+    },
 }
 
 impl Value {

@@ -64,9 +64,9 @@ impl Tokenizer {
                 continue;
             }
             self.flush_word(&mut word, &mut out);
-            if c.is_ascii_digit() {
-                out.push(self.piece_token(&c.to_string(), false));
-            } else if !c.is_whitespace() {
+            // Digits and punctuation become single-character pieces;
+            // whitespace only delimits.
+            if !c.is_whitespace() {
                 out.push(self.piece_token(&c.to_string(), false));
             }
         }

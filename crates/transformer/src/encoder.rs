@@ -2,9 +2,7 @@
 //! attention.
 
 use crate::config::{PositionalScheme, TransformerConfig};
-use crate::layers::{
-    init_matrix, AttentionBias, FeedForward, LayerNorm, MultiHeadAttention,
-};
+use crate::layers::{init_matrix, AttentionBias, FeedForward, LayerNorm, MultiHeadAttention};
 use observatory_linalg::{Matrix, SplitMix64};
 
 /// Standard deviation used for embedding tables. Larger than the weight
@@ -89,12 +87,7 @@ impl Encoder {
         };
         let seg_emb = init_matrix(&mut rng, 3, config.dim, POS_STD);
         let rel_bias = if config.positional == PositionalScheme::RelativeBias {
-            Some(init_matrix(
-                &mut rng,
-                2 * config.max_relative_distance + 1,
-                config.n_heads,
-                0.5,
-            ))
+            Some(init_matrix(&mut rng, 2 * config.max_relative_distance + 1, config.n_heads, 0.5))
         } else {
             None
         };
@@ -318,10 +311,7 @@ mod tests {
 
     #[test]
     fn no_positional_scheme_is_order_invariant_for_mean() {
-        let cfg = TransformerConfig {
-            positional: PositionalScheme::None,
-            ..tiny_config("m")
-        };
+        let cfg = TransformerConfig { positional: PositionalScheme::None, ..tiny_config("m") };
         let e = Encoder::new(cfg);
         let ab = e.encode(&toks(&[5, 9, 13]));
         let ba = e.encode(&toks(&[13, 9, 5]));
@@ -336,10 +326,8 @@ mod tests {
 
     #[test]
     fn table_aware_row_ids_change_embedding() {
-        let cfg = TransformerConfig {
-            positional: PositionalScheme::TableAware,
-            ..tiny_config("m")
-        };
+        let cfg =
+            TransformerConfig { positional: PositionalScheme::TableAware, ..tiny_config("m") };
         let e = Encoder::new(cfg);
         let a = e.encode(&[TokenInput { id: 5, row: 1, col: 1, segment: 1 }]);
         let b = e.encode(&[TokenInput { id: 5, row: 2, col: 1, segment: 1 }]);
@@ -351,10 +339,8 @@ mod tests {
         // With RelativeBias (and no absolute positions), shifting a whole
         // sequence cannot change anything (there is nothing to shift), but
         // relative order still matters.
-        let cfg = TransformerConfig {
-            positional: PositionalScheme::RelativeBias,
-            ..tiny_config("m")
-        };
+        let cfg =
+            TransformerConfig { positional: PositionalScheme::RelativeBias, ..tiny_config("m") };
         let e = Encoder::new(cfg);
         let ab = e.encode(&toks(&[5, 9]));
         let ba = e.encode(&toks(&[9, 5]));

@@ -149,7 +149,12 @@ impl MultiHeadAttention {
     }
 
     /// Initialize with an explicit attention sharpness.
-    pub fn with_sharpness(rng: &mut SplitMix64, dim: usize, n_heads: usize, sharpness: f64) -> Self {
+    pub fn with_sharpness(
+        rng: &mut SplitMix64,
+        dim: usize,
+        n_heads: usize,
+        sharpness: f64,
+    ) -> Self {
         assert_eq!(dim % n_heads, 0, "attention: heads must divide dim");
         Self {
             // Q/K are hotter than the default so attention logits are
@@ -173,11 +178,7 @@ impl MultiHeadAttention {
     /// averaged over heads (`n × n`, rows = queries). Used by attention
     /// introspection (the Koleva et al. style analysis the paper's related
     /// work discusses).
-    pub fn forward_with_weights(
-        &self,
-        x: &Matrix,
-        extras: &AttentionBias<'_>,
-    ) -> (Matrix, Matrix) {
+    pub fn forward_with_weights(&self, x: &Matrix, extras: &AttentionBias<'_>) -> (Matrix, Matrix) {
         let n = x.rows();
         let dim = self.q.out_dim();
         let q = self.q.forward(x);
@@ -192,9 +193,9 @@ impl MultiHeadAttention {
             let hi = lo + self.head_dim;
             for i in 0..n {
                 let qi = &q.row(i)[lo..hi];
-                for j in 0..n {
-                    let permitted = extras.mask.map_or(true, |m| m(i, j));
-                    logits[j] = if permitted {
+                for (j, logit) in logits.iter_mut().enumerate() {
+                    let permitted = extras.mask.is_none_or(|m| m(i, j));
+                    *logit = if permitted {
                         let kj = &k.row(j)[lo..hi];
                         let mut l = observatory_linalg::vector::dot(qi, kj) * scale;
                         if let Some(b) = extras.bias {

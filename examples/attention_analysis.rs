@@ -48,9 +48,8 @@ fn analyze(model: &BaseModel, table: &observatory::table::Table) -> MassProfile 
 }
 
 fn main() {
-    let table = WikiTablesConfig { num_tables: 1, min_rows: 6, max_rows: 6, seed: 3 }
-        .generate()
-        .remove(0);
+    let table =
+        WikiTablesConfig { num_tables: 1, min_rows: 6, max_rows: 6, seed: 3 }.generate().remove(0);
     println!(
         "attention mass profile over '{}' ({} rows × {} cols), data-token queries\n",
         table.name,

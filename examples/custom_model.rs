@@ -128,8 +128,7 @@ impl Property for ColumnSeparation {
         let mut separations = Vec::new();
         for table in corpus {
             let enc = model.encode_table(table);
-            let cols: Vec<Vec<f64>> =
-                (0..table.num_cols()).filter_map(|j| enc.column(j)).collect();
+            let cols: Vec<Vec<f64>> = (0..table.num_cols()).filter_map(|j| enc.column(j)).collect();
             for i in 0..cols.len() {
                 for j in (i + 1)..cols.len() {
                     separations.push(1.0 - observatory::linalg::vector::cosine(&cols[i], &cols[j]));

@@ -34,7 +34,10 @@ fn main() {
         }
         total += fds.len();
     }
-    println!("\n{total} dependencies mined ({} were planted by the generator)", corpus.planted_fds.len());
+    println!(
+        "\n{total} dependencies mined ({} were planted by the generator)",
+        corpus.planted_fds.len()
+    );
 
     // Step 2: Property 4 — is the FD structure visible in the embedding
     // space as stable translations?

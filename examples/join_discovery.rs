@@ -37,14 +37,20 @@ fn main() {
     let result = run_join_discovery(model.as_ref(), &pairs, &config, &EvalContext::default())
         .expect("t5 exposes column embeddings");
 
-    println!("\nfull-value embeddings:  precision {:.3}  recall {:.3}  (index {} µs)",
-        result.full.eval.mean_precision, result.full.eval.mean_recall, result.full.index_micros);
-    println!("sampled embeddings:     precision {:.3}  recall {:.3}  (index {} µs)",
+    println!(
+        "\nfull-value embeddings:  precision {:.3}  recall {:.3}  (index {} µs)",
+        result.full.eval.mean_precision, result.full.eval.mean_recall, result.full.index_micros
+    );
+    println!(
+        "sampled embeddings:     precision {:.3}  recall {:.3}  (index {} µs)",
         result.sampled.eval.mean_precision,
         result.sampled.eval.mean_recall,
-        result.sampled.index_micros);
+        result.sampled.index_micros
+    );
     let speedup = result.full.index_micros as f64 / result.sampled.index_micros.max(1) as f64;
-    println!("\nsampling keeps retrieval quality within {:.1} recall points while",
-        (result.full.eval.mean_recall - result.sampled.eval.mean_recall).abs() * 100.0);
+    println!(
+        "\nsampling keeps retrieval quality within {:.1} recall points while",
+        (result.full.eval.mean_recall - result.sampled.eval.mean_recall).abs() * 100.0
+    );
     println!("indexing {speedup:.1}× faster — the Property 5 → join-discovery connection.");
 }

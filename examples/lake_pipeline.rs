@@ -42,10 +42,7 @@ fn main() {
     let q_enc = encode_partitioned(model.as_ref(), &lake[qt], 8);
     let q_emb = q_enc.column(qj).expect("query column embeds");
     let hits = index.query(&q_emb, 6, Some(&format!("{qt}:{qj}")));
-    println!(
-        "\njoin candidates for {}.{}:",
-        lake[qt].name, lake[qt].columns[qj].header
-    );
+    println!("\njoin candidates for {}.{}:", lake[qt].name, lake[qt].columns[qj].header);
     let mut best: Option<(usize, usize, f64)> = None;
     for h in &hits {
         let (ti, j) = parse_key(&h.key);
@@ -61,10 +58,7 @@ fn main() {
 
     // 4. Execute the best cross-table join and aggregate.
     let (ti, j, c) = best.expect("a candidate exists");
-    println!(
-        "\nexecuting: {} ⋈ {} on city (containment {:.2})",
-        lake[qt].name, lake[ti].name, c
-    );
+    println!("\nexecuting: {} ⋈ {} on city (containment {:.2})", lake[qt].name, lake[ti].name, c);
     let joined = equijoin(&lake[qt], qj, &lake[ti], j);
     println!("joined rows: {}", joined.num_rows());
     let counts = group_count(&joined, 1); // by country

@@ -57,18 +57,12 @@ fn main() {
         if row_order.is_nan() && col_order.is_nan() {
             continue;
         }
-        let overall = [row_order, col_order, perturb]
-            .iter()
-            .filter(|v| !v.is_nan())
-            .sum::<f64>()
-            / 3.0;
-        rows.push((overall, vec![
-            name.to_string(),
-            fmt(row_order),
-            fmt(col_order),
-            fmt(perturb),
-            fmt(overall),
-        ]));
+        let overall =
+            [row_order, col_order, perturb].iter().filter(|v| !v.is_nan()).sum::<f64>() / 3.0;
+        rows.push((
+            overall,
+            vec![name.to_string(), fmt(row_order), fmt(col_order), fmt(perturb), fmt(overall)],
+        ));
     }
     rows.sort_by(|a, b| b.0.total_cmp(&a.0));
     let table_rows: Vec<Vec<String>> = rows.iter().map(|(_, r)| r.clone()).collect();

@@ -41,9 +41,15 @@ fn main() {
     let summary = cosine.summary();
     println!("column-level cosine median under row shuffling: {:.4}", summary.median);
     if summary.q1 > 0.95 {
-        println!("→ {} column embeddings are robust to row order on this corpus", model.display_name());
+        println!(
+            "→ {} column embeddings are robust to row order on this corpus",
+            model.display_name()
+        );
     } else {
-        println!("→ {} column embeddings are sensitive to row order — beware when", model.display_name());
+        println!(
+            "→ {} column embeddings are sensitive to row order — beware when",
+            model.display_name()
+        );
         println!("  using them over tables whose physical row order is arbitrary");
     }
 }

@@ -20,6 +20,7 @@
 //! | [`models`] | `observatory-models` | the nine table-embedding model adapters |
 //! | [`data`] | `observatory-data` | the five synthetic dataset suites |
 //! | [`search`] | `observatory-search` | overlap measures, kNN, join discovery |
+//! | [`runtime`] | `observatory-runtime` | embedding engine: cache, worker pool, metrics |
 //! | [`core`] | `observatory-core` | the eight properties, runner, reports, downstream tasks |
 //!
 //! ## Quickstart
@@ -43,6 +44,7 @@ pub use observatory_data as data;
 pub use observatory_fd as fd;
 pub use observatory_linalg as linalg;
 pub use observatory_models as models;
+pub use observatory_runtime as runtime;
 pub use observatory_search as search;
 pub use observatory_stats as stats;
 pub use observatory_table as table;

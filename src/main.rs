@@ -24,6 +24,7 @@ use observatory::core::scope;
 use observatory::data::wikitables::WikiTablesConfig;
 use observatory::fd::approx::discover_approximate_unary_fds;
 use observatory::models::registry::{model_by_name, specs, MODEL_NAMES};
+use observatory::runtime::EngineConfig;
 use observatory::table::csv::parse_csv;
 use observatory::table::Table;
 
@@ -54,6 +55,7 @@ fn print_usage() {
     println!("  observatory properties");
     println!("  observatory characterize --property <P1..P8> [--model <name>]");
     println!("                           [--csv <file>]... [--seed <n>] [--permutations <n>]");
+    println!("                           [--jobs <n>]       encode worker threads (also OBSERVATORY_JOBS)");
     println!("                           [--export <dir>]   write raw distributions as CSV");
     println!("  observatory mine-fds --csv <file> [--max-error <fraction>]");
     println!();
@@ -63,14 +65,21 @@ fn print_usage() {
 
 /// Extract every value of a repeatable `--flag value` option.
 fn opt_values<'a>(args: &'a [String], flag: &str) -> Vec<&'a str> {
-    args.windows(2)
-        .filter(|w| w[0] == flag)
-        .map(|w| w[1].as_str())
-        .collect()
+    args.windows(2).filter(|w| w[0] == flag).map(|w| w[1].as_str()).collect()
 }
 
 fn opt_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
     opt_values(args, flag).into_iter().next()
+}
+
+/// Parse a numeric `--flag value`. A *malformed* value is a hard usage
+/// error (the caller exits 2) — it must never be silently replaced by the
+/// default, which would run the wrong experiment while looking correct.
+fn parse_opt<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> Result<T, String> {
+    match opt_value(args, flag) {
+        None => Ok(default),
+        Some(raw) => raw.parse::<T>().map_err(|_| format!("invalid value '{raw}' for {flag}")),
+    }
 }
 
 fn cmd_models() -> i32 {
@@ -118,7 +127,7 @@ fn cmd_properties() -> i32 {
 fn load_corpus(args: &[String]) -> Result<Vec<Table>, String> {
     let files = opt_values(args, "--csv");
     if files.is_empty() {
-        let seed = opt_value(args, "--seed").map_or(Ok(42), str::parse).map_err(|_| "--seed must be an integer".to_string())?;
+        let seed = parse_opt(args, "--seed", 42u64)?;
         return Ok(WikiTablesConfig { num_tables: 4, min_rows: 5, max_rows: 8, seed }.generate());
     }
     files
@@ -149,6 +158,20 @@ fn cmd_characterize(args: &[String]) -> i32 {
             "note: {model_name} is outside the paper's Table 2 scope for {property_id}; running anyway"
         );
     }
+    // Usage errors (malformed flag values) are checked before any I/O so
+    // they always exit 2; unreadable corpus files exit 1 below.
+    let (perms, seed) = match (|| {
+        Ok::<_, String>((
+            parse_opt(args, "--permutations", 24usize)?,
+            parse_opt(args, "--seed", 42u64)?,
+        ))
+    })() {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
     let corpus = match load_corpus(args) {
         Ok(c) => c,
         Err(e) => {
@@ -156,11 +179,22 @@ fn cmd_characterize(args: &[String]) -> i32 {
             return 1;
         }
     };
-    let perms: usize = opt_value(args, "--permutations")
-        .map_or(Ok(24), str::parse)
-        .unwrap_or(24);
-    let seed = opt_value(args, "--seed").map_or(Ok(42), str::parse).unwrap_or(42);
-    let ctx = EvalContext { seed };
+    match opt_value(args, "--jobs") {
+        None => {} // engine defaults: OBSERVATORY_JOBS, else available cores
+        Some(raw) => match raw.parse::<usize>() {
+            Ok(jobs) if jobs >= 1 => {
+                let config = EngineConfig { jobs, ..EngineConfig::from_env() };
+                if !observatory::runtime::configure_global(config) {
+                    eprintln!("note: engine already initialized; --jobs ignored");
+                }
+            }
+            _ => {
+                eprintln!("invalid value '{raw}' for --jobs (expected an integer >= 1)");
+                return 2;
+            }
+        },
+    }
+    let ctx = EvalContext::with_seed(seed);
 
     let p1 = RowOrderInsignificance { max_permutations: perms };
     let p2 = ColumnOrderInsignificance { max_permutations: perms };
@@ -190,7 +224,10 @@ fn cmd_characterize(args: &[String]) -> i32 {
     };
     let report = property.evaluate(model.as_ref(), &corpus, &ctx);
     if let Some(dir) = opt_value(args, "--export") {
-        match observatory::core::export::write_bundle(std::path::Path::new(dir), std::slice::from_ref(&report)) {
+        match observatory::core::export::write_bundle(
+            std::path::Path::new(dir),
+            std::slice::from_ref(&report),
+        ) {
             Ok(n) => println!("exported {n} files to {dir}"),
             Err(e) => {
                 eprintln!("export failed: {e}");
@@ -207,10 +244,42 @@ fn cmd_characterize(args: &[String]) -> i32 {
     } else {
         print!("{}", render_report(&report));
     }
+    print_runtime_footer(&ctx);
     0
 }
 
+/// Post-run engine report: encode/cache counters, latency, cache bytes.
+fn print_runtime_footer(ctx: &EvalContext) {
+    let snapshot = ctx.engine.metrics_snapshot();
+    let cache = ctx.engine.cache_stats();
+    println!("\n-- runtime ({} jobs) --", ctx.engine.jobs());
+    print!("{}", snapshot.render());
+    println!(
+        "cache: {} live entries, {:.1} MiB used / {:.0} MiB capacity, {} evictions",
+        cache.entries,
+        cache.bytes as f64 / (1 << 20) as f64,
+        cache.capacity as f64 / (1 << 20) as f64,
+        cache.evictions,
+    );
+}
+
 fn cmd_mine_fds(args: &[String]) -> i32 {
+    // Usage errors first (exit 2), I/O errors after (exit 1).
+    let max_error: f64 = match parse_opt(args, "--max-error", 0.0) {
+        Ok(v) if (0.0..=1.0).contains(&v) => v,
+        Ok(v) => {
+            eprintln!("invalid value '{v}' for --max-error (expected a fraction in [0, 1])");
+            return 2;
+        }
+        Err(e) => {
+            eprintln!("{e} (expected a fraction in [0, 1])");
+            return 2;
+        }
+    };
+    if let Err(e) = parse_opt::<u64>(args, "--seed", 42) {
+        eprintln!("{e}");
+        return 2;
+    }
     let corpus = match load_corpus(args) {
         Ok(c) => c,
         Err(e) => {
@@ -218,7 +287,6 @@ fn cmd_mine_fds(args: &[String]) -> i32 {
             return 1;
         }
     };
-    let max_error: f64 = opt_value(args, "--max-error").map_or(Ok(0.0), str::parse).unwrap_or(0.0);
     for table in &corpus {
         println!("## {}", table.name);
         let fds = discover_approximate_unary_fds(table, max_error);
@@ -267,5 +335,55 @@ mod tests {
     #[test]
     fn missing_csv_is_an_error() {
         assert!(load_corpus(&args(&["--csv", "/nonexistent/x.csv"])).is_err());
+    }
+
+    #[test]
+    fn parse_opt_uses_default_only_when_absent() {
+        let a = args(&["--permutations", "8"]);
+        assert_eq!(parse_opt(&a, "--permutations", 24usize), Ok(8));
+        assert_eq!(parse_opt(&a, "--seed", 42u64), Ok(42));
+    }
+
+    #[test]
+    fn parse_opt_rejects_malformed_values() {
+        // The old behaviour silently fell back to the default; malformed
+        // values must now surface as usage errors.
+        for bad in ["abc", "12x", "", "-3"] {
+            let a = args(&["--permutations", bad]);
+            let r = parse_opt::<usize>(&a, "--permutations", 24);
+            assert!(r.is_err(), "'{bad}' must be rejected, got {r:?}");
+            assert!(r.unwrap_err().contains("--permutations"));
+        }
+        let a = args(&["--max-error", "zero"]);
+        assert!(parse_opt::<f64>(&a, "--max-error", 0.0).is_err());
+        let a = args(&["--seed", "4.5"]);
+        assert!(parse_opt::<u64>(&a, "--seed", 42).is_err());
+    }
+
+    #[test]
+    fn malformed_seed_fails_corpus_load() {
+        let err = load_corpus(&args(&["--seed", "notanumber"])).unwrap_err();
+        assert!(err.contains("--seed"));
+    }
+
+    #[test]
+    fn malformed_flags_are_usage_errors_exit_2() {
+        // Every malformed numeric flag must be a hard usage error (exit
+        // code 2) on both subcommands, checked before any work happens.
+        assert_eq!(cmd_characterize(&args(&["--property", "P1", "--seed", "xyz"])), 2);
+        assert_eq!(cmd_characterize(&args(&["--property", "P1", "--permutations", "many"])), 2);
+        assert_eq!(cmd_characterize(&args(&["--property", "P1", "--jobs", "0"])), 2);
+        assert_eq!(cmd_characterize(&args(&["--property", "P1", "--jobs", "two"])), 2);
+        assert_eq!(cmd_mine_fds(&args(&["--max-error", "lots"])), 2);
+        assert_eq!(cmd_mine_fds(&args(&["--max-error", "2.0"])), 2, "out of [0,1] range");
+        assert_eq!(cmd_mine_fds(&args(&["--seed", "x"])), 2);
+    }
+
+    #[test]
+    fn unreadable_csv_is_exit_1_not_2() {
+        // I/O failures are runtime errors (1), distinct from usage (2).
+        let a = args(&["--property", "P1", "--csv", "/nonexistent/x.csv"]);
+        assert_eq!(cmd_characterize(&a), 1);
+        assert_eq!(cmd_mine_fds(&args(&["--csv", "/nonexistent/x.csv"])), 1);
     }
 }

@@ -17,15 +17,14 @@ use observatory::data::wikitables::WikiTablesConfig;
 use observatory::models::registry::all_models;
 
 fn ctx() -> EvalContext {
-    EvalContext { seed: 42 }
+    EvalContext::with_seed(42)
 }
 
 #[test]
 fn every_property_runs_for_every_in_scope_model() {
     let wiki = WikiTablesConfig { num_tables: 2, min_rows: 4, max_rows: 5, seed: 1 }.generate();
     let spider = SpiderConfig { num_tables: 2, rows: 10, seed: 7 }.generate().tables;
-    let joins =
-        pairs_to_corpus(&NextiaJdConfig { num_pairs: 6, ..Default::default() }.generate());
+    let joins = pairs_to_corpus(&NextiaJdConfig { num_pairs: 6, ..Default::default() }.generate());
     let sotab = SotabConfig { num_tables: 2, rows: 4, seed: 23 }.generate();
     let models = all_models();
 
@@ -91,8 +90,8 @@ fn different_seeds_change_sampled_measurements() {
     let wiki = WikiTablesConfig { num_tables: 1, min_rows: 8, max_rows: 8, seed: 5 }.generate();
     let model = observatory::models::registry::model_by_name("bert").unwrap();
     let p = RowOrderInsignificance { max_permutations: 5 };
-    let a = p.evaluate(model.as_ref(), &wiki, &EvalContext { seed: 1 });
-    let b = p.evaluate(model.as_ref(), &wiki, &EvalContext { seed: 2 });
+    let a = p.evaluate(model.as_ref(), &wiki, &EvalContext::with_seed(1));
+    let b = p.evaluate(model.as_ref(), &wiki, &EvalContext::with_seed(2));
     assert_ne!(
         a.distribution("column/cosine").map(|d| d.values.clone()),
         b.distribution("column/cosine").map(|d| d.values.clone()),

@@ -143,7 +143,6 @@ fn custom_property_runs_on_stock_models() {
 fn custom_model_boxes_into_registry_style_collections() {
     let mut models: Vec<Box<dyn TableEncoder>> = observatory::models::registry::all_models();
     models.push(Box::new(ByteHistogram));
-    let reports =
-        run_property(&NormProbe, &models, &demo_corpus(), &EvalContext::default());
+    let reports = run_property(&NormProbe, &models, &demo_corpus(), &EvalContext::default());
     assert!(reports.iter().any(|r| r.model == "byte-histogram"));
 }

@@ -17,7 +17,7 @@ use observatory::stats::descriptive::mean;
 use observatory::table::Table;
 
 fn ctx() -> EvalContext {
-    EvalContext { seed: 42 }
+    EvalContext::with_seed(42)
 }
 
 fn wiki() -> Vec<Table> {
@@ -35,7 +35,10 @@ fn row_order_hierarchy() {
     let corpus = wiki();
     let p = RowOrderInsignificance { max_permutations: 10 };
     let score = |name: &str| {
-        mean_of(&p.evaluate(model_by_name(name).unwrap().as_ref(), &corpus, &ctx()), "column/cosine")
+        mean_of(
+            &p.evaluate(model_by_name(name).unwrap().as_ref(), &corpus, &ctx()),
+            "column/cosine",
+        )
     };
     let (bert, t5, tapas, tabert, doduo) =
         (score("bert"), score("t5"), score("tapas"), score("tabert"), score("doduo"));

@@ -1,0 +1,131 @@
+//! Integration tests for the embedding engine (`observatory-runtime`):
+//! cross-thread determinism for every registry model, cache hit-rate on
+//! repeated-encode workloads, and metrics invariants after a real
+//! property run.
+//!
+//! Every test builds *private* `Engine` instances so results never depend
+//! on the process-global engine's cache contents or on test ordering.
+
+use observatory::core::framework::{EvalContext, Property};
+use observatory::core::props::row_order::RowOrderInsignificance;
+use observatory::data::wikitables::WikiTablesConfig;
+use observatory::models::registry::all_models;
+use observatory::runtime::{Engine, EngineConfig};
+use observatory::table::Table;
+use std::sync::Arc;
+
+fn corpus(n: usize) -> Vec<Table> {
+    WikiTablesConfig { num_tables: n, min_rows: 5, max_rows: 7, seed: 42 }.generate()
+}
+
+/// The tentpole guarantee: for every model in the registry, `encode_batch`
+/// at jobs=4 equals jobs=1 equals a direct serial `encode_table` loop —
+/// exact `f64` equality, not approximate.
+#[test]
+fn parallel_encoding_is_bit_identical_to_serial_for_every_model() {
+    let tables = corpus(4);
+    for model in all_models() {
+        // Reference: the raw encoder, no engine at all.
+        let reference: Vec<_> = tables.iter().map(|t| model.encode_table(t)).collect();
+        for jobs in [1usize, 4] {
+            let engine = Engine::new(EngineConfig { jobs, cache_bytes: 0 });
+            let out = engine.encode_batch(model.as_ref(), &tables);
+            assert_eq!(out.len(), reference.len());
+            for (i, (got, want)) in out.iter().zip(&reference).enumerate() {
+                assert_eq!(
+                    got.as_ref(),
+                    want,
+                    "model {} table {i} jobs={jobs}: engine result differs from direct encode",
+                    model.name()
+                );
+            }
+        }
+    }
+}
+
+/// Cached replays are the *same* result (shared `Arc`), so caching can
+/// never change a measure's value.
+#[test]
+fn cache_replays_are_pointer_identical() {
+    let tables = corpus(3);
+    let model = observatory::models::registry::model_by_name("bert").unwrap();
+    let engine = Engine::new(EngineConfig { jobs: 2, cache_bytes: 64 << 20 });
+    let first = engine.encode_batch(model.as_ref(), &tables);
+    let second = engine.encode_batch(model.as_ref(), &tables);
+    for (a, b) in first.iter().zip(&second) {
+        assert!(Arc::ptr_eq(a, b), "replay must come from the cache");
+    }
+}
+
+/// The repeated-encode workload of the acceptance criteria: re-running the
+/// same corpus through the engine must exceed a 90% hit rate.
+#[test]
+fn repeated_workload_exceeds_ninety_percent_hit_rate() {
+    let tables = corpus(5);
+    let model = observatory::models::registry::model_by_name("bert").unwrap();
+    let engine = Engine::new(EngineConfig { jobs: 1, cache_bytes: 64 << 20 });
+    for _ in 0..20 {
+        engine.encode_batch(model.as_ref(), &tables);
+    }
+    let stats = engine.cache_stats();
+    assert!(
+        stats.hit_rate() > 0.9,
+        "hit rate {:.3} on a 20× repeated workload (hits {}, misses {})",
+        stats.hit_rate(),
+        stats.hits,
+        stats.misses
+    );
+}
+
+/// Metrics invariants after a real property evaluation (P1 on the demo
+/// corpus): lookups balance, histograms count every encode, and the
+/// per-model table attributes all of them.
+#[test]
+fn metrics_invariants_hold_after_property_run() {
+    let engine = Arc::new(Engine::new(EngineConfig { jobs: 2, cache_bytes: 64 << 20 }));
+    let ctx = EvalContext::with_engine(Arc::clone(&engine));
+    let model = observatory::models::registry::model_by_name("bert").unwrap();
+    let prop = RowOrderInsignificance { max_permutations: 6 };
+    let report = prop.evaluate(model.as_ref(), &corpus(3), &ctx);
+    assert!(!report.records.is_empty());
+
+    let snap = engine.metrics_snapshot();
+    assert!(snap.encodes > 0, "the property must have encoded something");
+    assert_eq!(snap.lookups(), snap.cache_hits + snap.cache_misses);
+    assert_eq!(snap.encodes, snap.cache_misses, "every miss encodes, every hit skips");
+    assert_eq!(snap.encode_latency.count, snap.encodes, "histogram counts every encode");
+    let per_model: u64 = snap.per_model.values().map(|m| m.encodes).sum();
+    assert_eq!(per_model, snap.encodes, "per-model table attributes every encode");
+    assert!(snap.per_model.contains_key("bert"));
+
+    let stats = engine.cache_stats();
+    assert_eq!(stats.hits, snap.cache_hits);
+    assert_eq!(stats.misses, snap.cache_misses);
+}
+
+/// Property evaluations are engine-invariant: any jobs count and cache
+/// size produces byte-identical reports (the CLI's `--jobs` contract).
+#[test]
+fn property_reports_identical_across_engine_configs() {
+    let tables = corpus(3);
+    let model = observatory::models::registry::model_by_name("turl").unwrap();
+    let prop = RowOrderInsignificance { max_permutations: 8 };
+    let configs =
+        [EngineConfig { jobs: 1, cache_bytes: 0 }, EngineConfig { jobs: 4, cache_bytes: 64 << 20 }];
+    let reports: Vec<_> = configs
+        .iter()
+        .map(|cfg| {
+            let ctx = EvalContext::with_engine(Arc::new(Engine::new(cfg.clone())));
+            prop.evaluate(model.as_ref(), &tables, &ctx)
+        })
+        .collect();
+    assert!(!reports[0].records.is_empty());
+    assert_eq!(reports[0].records.len(), reports[1].records.len());
+    for (a, b) in reports[0].records.iter().zip(&reports[1].records) {
+        assert_eq!(a.label, b.label);
+        assert_eq!(a.values.len(), b.values.len());
+        for (x, y) in a.values.iter().zip(&b.values) {
+            assert_eq!(x.to_bits(), y.to_bits(), "exact f64 equality in '{}'", a.label);
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// Inclusive size bounds for collection strategies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SizeRange {
+    /// Minimum length (inclusive).
+    pub min: usize,
+    /// Maximum length (inclusive).
+    pub max: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self { min: n, max: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        Self { min: r.start, max: r.end - 1 }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        Self { min: *r.start(), max: *r.end() }
+    }
+}
+
+/// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+#[derive(Clone)]
+pub struct VecStrategy<S> {
+    elem: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.size.max - self.size.min) as u64 + 1;
+        let len = self.size.min + rng.below(span) as usize;
+        (0..len).map(|_| self.elem.generate(rng)).collect()
+    }
+}
+
+/// Build a vector strategy from an element strategy and a size.
+pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { elem, size: size.into() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_and_ranged_lengths() {
+        let mut rng = TestRng::from_seed(31);
+        for _ in 0..50 {
+            assert_eq!(vec(0u8..4, 5).generate(&mut rng).len(), 5);
+            let v = vec(0u8..4, 2..6).generate(&mut rng);
+            assert!(v.len() >= 2 && v.len() <= 5);
+        }
+    }
+
+    #[test]
+    fn nested_vectors() {
+        let mut rng = TestRng::from_seed(32);
+        let v = vec(vec(0u8..3, 4), 2..4).generate(&mut rng);
+        assert!(v.len() >= 2 && v.len() < 4);
+        assert!(v.iter().all(|inner| inner.len() == 4));
+    }
+}

@@ -1,0 +1,167 @@
+//! A dependency-free, offline subset of the `proptest` crate.
+//!
+//! The build environment for this workspace has no network access to a
+//! cargo registry, so the real `proptest` cannot be fetched. This crate
+//! implements the *subset of the proptest API that this workspace's tests
+//! actually use* — `proptest!`, strategies (`Just`, ranges, tuples,
+//! `prop_oneof!`, `prop_map`/`prop_flat_map`, `collection::vec`, string
+//! patterns, `any::<T>()`), `ProptestConfig { cases, .. }`, and the
+//! `prop_assert*`/`prop_assume!` macros — with deterministic per-test
+//! seeding and **no shrinking** (failures report the generated case via
+//! the panic message).
+//!
+//! Semantics: each `#[test]` inside `proptest! { .. }` runs
+//! `ProptestConfig::cases` cases. Generation is seeded from the test's
+//! module path and name, so runs are reproducible across processes.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// The main proptest entry point: a block of `#[test]` functions whose
+/// arguments are drawn from strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($arg:pat_param in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut __rng = $crate::test_runner::TestRng::from_name(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                for __case in 0..__config.cases {
+                    let _ = __case;
+                    let mut __one_case = || {
+                        $(
+                            let $arg = $crate::strategy::Strategy::generate(
+                                &($strat), &mut __rng,
+                            );
+                        )*
+                        $body
+                    };
+                    __one_case();
+                }
+            }
+        )*
+    };
+}
+
+/// `assert!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// `assert_eq!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// `assert_ne!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Skip the current case when the assumption does not hold. (Inside the
+/// generated per-case closure, `return` abandons just this case.)
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// Uniform choice between strategies that share a value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::boxed_strategy($s)),+])
+    };
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::boxed_strategy($s)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        /// Ranges respect their bounds.
+        #[test]
+        fn ranges_in_bounds(x in 3usize..17, y in -5i64..5, z in 0.5f64..2.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-5..5).contains(&y));
+            prop_assert!((0.5..2.0).contains(&z));
+        }
+
+        /// Collection sizes respect their range; maps apply.
+        #[test]
+        fn vec_and_map(xs in crate::collection::vec((0u8..4).prop_map(|v| v * 2), 2..6)) {
+            prop_assert!(xs.len() >= 2 && xs.len() < 6);
+            prop_assert!(xs.iter().all(|v| *v % 2 == 0 && *v < 8));
+        }
+
+        /// String patterns honour classes and repetition counts.
+        #[test]
+        fn string_patterns(s in "[a-c]{2,5}", t in "[0-9]{1,3}( [a-z]{1,2})?") {
+            prop_assert!(s.len() >= 2 && s.len() <= 5);
+            prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+            prop_assert!(!t.is_empty());
+        }
+
+        /// prop_oneof unions, Just, tuples and flat_map compose.
+        #[test]
+        fn unions_and_tuples(
+            v in prop_oneof![Just(1u8), Just(2u8), (5u8..7)],
+            pair in (1usize..3, 0u32..10).prop_flat_map(|(n, k)| {
+                crate::collection::vec(Just(k), n)
+            }),
+        ) {
+            prop_assert!(v == 1 || v == 2 || v == 5 || v == 6);
+            prop_assert!(!pair.is_empty() && pair.len() < 3);
+        }
+
+        /// prop_assume skips cases without failing.
+        #[test]
+        fn assume_skips(x in 0u8..10) {
+            prop_assume!(x < 5);
+            prop_assert!(x < 5);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::test_runner::TestRng::from_name("fixed");
+        let mut b = crate::test_runner::TestRng::from_name("fixed");
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

@@ -1,0 +1,254 @@
+//! A tiny regex-subset generator backing `&str` strategies.
+//!
+//! Supported syntax (everything the workspace's patterns use):
+//!
+//! - literal characters
+//! - character classes `[a-z0-9 ]` with ranges and `\t`/`\n`/`\r`/`\\`
+//!   escapes
+//! - `\PC` — any printable ASCII character (proptest's "any char that is
+//!   not a control character" class, restricted to ASCII here)
+//! - `\d`, `\w`, `\s` shorthand classes
+//! - groups `( ... )`
+//! - quantifiers `{n}`, `{m,n}`, `?`, `*`, `+` (`*`/`+` capped at 8)
+
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+enum Node {
+    Lit(char),
+    /// Inclusive character ranges.
+    Class(Vec<(char, char)>),
+    Seq(Vec<Node>),
+    Rep(Box<Node>, u32, u32),
+}
+
+/// Generate one string matching `pattern`.
+pub fn generate_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pos = 0usize;
+    let node = parse_seq(&chars, &mut pos, pattern);
+    assert!(pos == chars.len(), "unsupported pattern syntax in {pattern:?} at {pos}");
+    let mut out = String::new();
+    gen(&node, rng, &mut out);
+    out
+}
+
+fn parse_seq(chars: &[char], pos: &mut usize, pat: &str) -> Node {
+    let mut items = Vec::new();
+    while *pos < chars.len() && chars[*pos] != ')' {
+        let atom = parse_atom(chars, pos, pat);
+        let atom = parse_quantifier(chars, pos, atom, pat);
+        items.push(atom);
+    }
+    Node::Seq(items)
+}
+
+fn parse_atom(chars: &[char], pos: &mut usize, pat: &str) -> Node {
+    match chars[*pos] {
+        '[' => {
+            *pos += 1;
+            let mut ranges = Vec::new();
+            while chars[*pos] != ']' {
+                let lo = class_char(chars, pos, pat);
+                if chars[*pos] == '-' && chars[*pos + 1] != ']' {
+                    *pos += 1;
+                    let hi = class_char(chars, pos, pat);
+                    ranges.push((lo, hi));
+                } else {
+                    ranges.push((lo, lo));
+                }
+            }
+            *pos += 1; // ']'
+            Node::Class(ranges)
+        }
+        '(' => {
+            *pos += 1;
+            let inner = parse_seq(chars, pos, pat);
+            assert!(*pos < chars.len() && chars[*pos] == ')', "unclosed group in pattern {pat:?}");
+            *pos += 1;
+            inner
+        }
+        '\\' => {
+            *pos += 1;
+            let c = chars[*pos];
+            *pos += 1;
+            match c {
+                'P' => {
+                    // \PC / \pC: printable (non-control) character.
+                    assert!(
+                        chars.get(*pos) == Some(&'C'),
+                        "unsupported escape \\P{:?} in {pat:?}",
+                        chars.get(*pos)
+                    );
+                    *pos += 1;
+                    Node::Class(vec![(' ', '~')])
+                }
+                'd' => Node::Class(vec![('0', '9')]),
+                'w' => Node::Class(vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')]),
+                's' => Node::Class(vec![(' ', ' '), ('\t', '\t'), ('\n', '\n')]),
+                't' => Node::Lit('\t'),
+                'n' => Node::Lit('\n'),
+                'r' => Node::Lit('\r'),
+                other => Node::Lit(other),
+            }
+        }
+        c => {
+            *pos += 1;
+            Node::Lit(c)
+        }
+    }
+}
+
+fn class_char(chars: &[char], pos: &mut usize, pat: &str) -> char {
+    let c = chars[*pos];
+    *pos += 1;
+    if c != '\\' {
+        return c;
+    }
+    let e = chars[*pos];
+    *pos += 1;
+    match e {
+        't' => '\t',
+        'n' => '\n',
+        'r' => '\r',
+        other if !other.is_alphanumeric() => other,
+        other => panic!("unsupported class escape \\{other} in {pat:?}"),
+    }
+}
+
+fn parse_quantifier(chars: &[char], pos: &mut usize, atom: Node, pat: &str) -> Node {
+    if *pos >= chars.len() {
+        return atom;
+    }
+    match chars[*pos] {
+        '?' => {
+            *pos += 1;
+            Node::Rep(Box::new(atom), 0, 1)
+        }
+        '*' => {
+            *pos += 1;
+            Node::Rep(Box::new(atom), 0, 8)
+        }
+        '+' => {
+            *pos += 1;
+            Node::Rep(Box::new(atom), 1, 8)
+        }
+        '{' => {
+            *pos += 1;
+            let mut lo = 0u32;
+            while chars[*pos].is_ascii_digit() {
+                lo = lo * 10 + chars[*pos].to_digit(10).unwrap();
+                *pos += 1;
+            }
+            let hi = if chars[*pos] == ',' {
+                *pos += 1;
+                let mut hi = 0u32;
+                while chars[*pos].is_ascii_digit() {
+                    hi = hi * 10 + chars[*pos].to_digit(10).unwrap();
+                    *pos += 1;
+                }
+                hi
+            } else {
+                lo
+            };
+            assert!(chars[*pos] == '}', "malformed quantifier in {pat:?}");
+            *pos += 1;
+            Node::Rep(Box::new(atom), lo, hi)
+        }
+        _ => atom,
+    }
+}
+
+fn gen(node: &Node, rng: &mut TestRng, out: &mut String) {
+    match node {
+        Node::Lit(c) => out.push(*c),
+        Node::Class(ranges) => {
+            let total: u64 = ranges.iter().map(|(lo, hi)| (*hi as u64) - (*lo as u64) + 1).sum();
+            let mut draw = rng.below(total);
+            for (lo, hi) in ranges {
+                let span = (*hi as u64) - (*lo as u64) + 1;
+                if draw < span {
+                    out.push(char::from_u32(*lo as u32 + draw as u32).unwrap());
+                    return;
+                }
+                draw -= span;
+            }
+            unreachable!("class draw out of range");
+        }
+        Node::Seq(items) => {
+            for item in items {
+                gen(item, rng, out);
+            }
+        }
+        Node::Rep(inner, lo, hi) => {
+            let n = if lo == hi { *lo } else { *lo + rng.below(u64::from(hi - lo + 1)) as u32 };
+            for _ in 0..n {
+                gen(inner, rng, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::from_seed(11)
+    }
+
+    #[test]
+    fn class_with_ranges_and_space() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = generate_pattern("[a-z ]{1,32}", &mut r);
+            assert!(!s.is_empty() && s.len() <= 32);
+            assert!(s.chars().all(|c| c == ' ' || c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn digits() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = generate_pattern("[0-9]{1,18}", &mut r);
+            assert!(!s.is_empty() && s.len() <= 18);
+            assert!(s.chars().all(|c| c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn optional_group() {
+        let mut r = rng();
+        let mut seen_short = false;
+        let mut seen_long = false;
+        for _ in 0..200 {
+            let s = generate_pattern("[a-z]{1,8}( [a-z]{1,8})?", &mut r);
+            if s.contains(' ') {
+                seen_long = true;
+            } else {
+                seen_short = true;
+            }
+        }
+        assert!(seen_short && seen_long);
+    }
+
+    #[test]
+    fn printable_class() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = generate_pattern("\\PC{0,48}", &mut r);
+            assert!(s.len() <= 48);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn whitespace_class_escapes() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = generate_pattern("[ \\t\\n]{0,8}", &mut r);
+            assert!(s.chars().all(|c| c == ' ' || c == '\t' || c == '\n'));
+        }
+    }
+}
