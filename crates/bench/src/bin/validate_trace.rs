@@ -1,0 +1,252 @@
+//! `validate_trace` — CI gate for the observability exporters.
+//!
+//! ```text
+//! validate_trace <trace.json> [metrics.prom]
+//! ```
+//!
+//! Parses the Chrome trace-event JSON back through the workspace's own
+//! zero-dependency parser (no jq, no serde) and checks that:
+//!
+//! - the document is well-formed JSON with a `traceEvents` array;
+//! - the provenance manifest is embedded (`otherData.version` and
+//!   `otherData.seed`-style pairs are present and non-empty);
+//! - every complete (`"ph":"X"`) span has a numeric `args.id`, a parent
+//!   that is either `null` or the id of another span in the document, and
+//!   `parent < id` (ids are allocation-ordered, so a child can never
+//!   predate its parent);
+//! - parented spans nest: the child interval lies inside the parent's
+//!   (with a small slack for clock granularity);
+//! - at least one `props` span and one `encode_batch` span exist, and
+//!   every `encode_batch` span's parent chain reaches a `props` span.
+//!
+//! With a second argument the Prometheus text is run through
+//! [`observatory_obs::prom::validate`] and probed for the metric families
+//! the exposition schema promises.
+//!
+//! Exit code 0 on success; 1 with a diagnostic on the first failure.
+
+use observatory_obs::json::{parse, Json};
+use std::collections::HashMap;
+
+/// Nesting slack: span close timestamps are micro-rounded by the export.
+const SLACK_US: f64 = 10.0;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.len() > 2 {
+        eprintln!("usage: validate_trace <trace.json> [metrics.prom]");
+        std::process::exit(2);
+    }
+    if let Err(e) = run(&args[0], args.get(1).map(String::as_str)) {
+        eprintln!("validate_trace: {e}");
+        std::process::exit(1);
+    }
+    println!("validate_trace: ok");
+}
+
+fn run(trace_path: &str, metrics_path: Option<&str>) -> Result<(), String> {
+    let text = std::fs::read_to_string(trace_path)
+        .map_err(|e| format!("cannot read {trace_path}: {e}"))?;
+    let spans = validate_trace_doc(&text)?;
+    println!("{trace_path}: {} spans, nesting ok, provenance ok", spans);
+    if let Some(path) = metrics_path {
+        let prom = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let summary = observatory_obs::prom::validate(&prom)
+            .map_err(|e| format!("{path}: exposition invalid: {e}"))?;
+        for family in [
+            "observatory_run_info",
+            "observatory_encodes_total",
+            "observatory_cache_lookups_total",
+            "observatory_cache_shard_entries",
+            "observatory_cache_high_water_bytes",
+            "observatory_encode_latency_seconds_bucket",
+            "observatory_encode_latency_quantile_seconds",
+            "observatory_span_total",
+        ] {
+            if !summary.has(family) {
+                return Err(format!("{path}: missing metric family {family}"));
+            }
+        }
+        println!(
+            "{path}: {} metrics / {} samples, schema ok",
+            summary.metrics.len(),
+            summary.samples
+        );
+    }
+    Ok(())
+}
+
+/// A complete-event span as reconstructed from the export.
+struct SpanEvt {
+    name: String,
+    target: String,
+    parent: Option<u64>,
+    ts: f64,
+    dur: f64,
+}
+
+/// Validate the trace document; returns the number of spans.
+fn validate_trace_doc(text: &str) -> Result<usize, String> {
+    let doc = parse(text).map_err(|e| format!("trace JSON malformed: {e}"))?;
+    let other = doc.get("otherData").ok_or("missing otherData (provenance manifest)")?;
+    let manifest = other.as_object().ok_or("otherData is not an object")?;
+    for key in ["version", "dropped_records"] {
+        let v = other.get(key).and_then(Json::as_str).unwrap_or("");
+        if v.is_empty() {
+            return Err(format!("provenance manifest missing '{key}'"));
+        }
+    }
+    if manifest.len() < 4 {
+        return Err(format!("provenance manifest suspiciously small ({} pairs)", manifest.len()));
+    }
+    let events =
+        doc.get("traceEvents").and_then(Json::as_array).ok_or("missing traceEvents array")?;
+
+    let mut spans: HashMap<u64, SpanEvt> = HashMap::new();
+    for ev in events {
+        if ev.get("ph").and_then(Json::as_str) != Some("X") {
+            continue;
+        }
+        let args = ev.get("args").ok_or("X event without args")?;
+        let id =
+            args.get("id").and_then(Json::as_f64).ok_or("span without numeric args.id")? as u64;
+        let parent = match args.get("parent") {
+            None | Some(Json::Null) => None,
+            Some(p) => Some(p.as_f64().ok_or("args.parent is neither null nor a number")? as u64),
+        };
+        let span = SpanEvt {
+            name: ev.get("name").and_then(Json::as_str).unwrap_or_default().to_string(),
+            target: ev.get("cat").and_then(Json::as_str).unwrap_or_default().to_string(),
+            parent,
+            ts: ev.get("ts").and_then(Json::as_f64).ok_or("span without ts")?,
+            dur: ev.get("dur").and_then(Json::as_f64).ok_or("span without dur")?,
+        };
+        if spans.insert(id, span).is_some() {
+            return Err(format!("duplicate span id {id}"));
+        }
+    }
+    if spans.is_empty() {
+        return Err("trace contains no spans — was OBSERVATORY_LOG raised?".into());
+    }
+
+    // Structural checks: parent exists, allocation order, interval nesting.
+    for (id, s) in &spans {
+        if let Some(pid) = s.parent {
+            let p = spans
+                .get(&pid)
+                .ok_or_else(|| format!("span {id} ({}) has unknown parent {pid}", s.name))?;
+            if pid >= *id {
+                return Err(format!("span {id} has parent {pid} >= its own id"));
+            }
+            if s.ts + SLACK_US < p.ts || s.ts + s.dur > p.ts + p.dur + SLACK_US {
+                return Err(format!(
+                    "span {id} ({}) [{:.1}, {:.1}] escapes parent {pid} ({}) [{:.1}, {:.1}]",
+                    s.name,
+                    s.ts,
+                    s.ts + s.dur,
+                    p.name,
+                    p.ts,
+                    p.ts + p.dur,
+                ));
+            }
+        }
+    }
+
+    // Semantic checks: the pipeline spans the issue promises must exist
+    // and encode batches must hang off a property (or downstream) span.
+    if !spans.values().any(|s| s.target == "props" || s.target == "downstream") {
+        return Err("no props/downstream span in trace".into());
+    }
+    let batches: Vec<(&u64, &SpanEvt)> =
+        spans.iter().filter(|(_, s)| s.name == "encode_batch").collect();
+    if batches.is_empty() {
+        return Err("no encode_batch span in trace".into());
+    }
+    for (id, batch) in batches {
+        let mut cursor = batch.parent;
+        let mut hops = 0usize;
+        let rooted = loop {
+            match cursor {
+                None => break false,
+                Some(pid) => {
+                    let p = &spans[&pid];
+                    if p.target == "props" || p.target == "downstream" {
+                        break true;
+                    }
+                    cursor = p.parent;
+                    hops += 1;
+                    if hops > spans.len() {
+                        return Err(format!("parent cycle above encode_batch span {id}"));
+                    }
+                }
+            }
+        };
+        if !rooted {
+            return Err(format!("encode_batch span {id} has no property span ancestor"));
+        }
+    }
+    Ok(spans.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn evt(name: &str, target: &str, id: u64, parent: Option<u64>, ts: f64, dur: f64) -> String {
+        let parent = parent.map_or("null".to_string(), |p| p.to_string());
+        format!(
+            "{{\"ph\": \"X\", \"name\": \"{name}\", \"cat\": \"{target}\", \"pid\": 1, \
+             \"tid\": 0, \"ts\": {ts}, \"dur\": {dur}, \
+             \"args\": {{\"id\": {id}, \"parent\": {parent}}}}}"
+        )
+    }
+
+    fn doc(events: &[String]) -> String {
+        format!(
+            "{{\"otherData\": {{\"version\": \"0.1.0\", \"models\": \"bert\", \
+             \"seed\": \"42\", \"dropped_records\": \"0\"}}, \
+             \"traceEvents\": [{}]}}",
+            events.join(", ")
+        )
+    }
+
+    #[test]
+    fn well_formed_trace_passes() {
+        let text = doc(&[
+            evt("P1", "props", 1, None, 0.0, 1000.0),
+            evt("encode_batch", "runtime", 2, Some(1), 10.0, 500.0),
+            evt("encode", "runtime", 3, Some(2), 20.0, 100.0),
+        ]);
+        assert_eq!(validate_trace_doc(&text).unwrap(), 3);
+    }
+
+    #[test]
+    fn orphan_encode_batch_fails() {
+        let text = doc(&[
+            evt("P1", "props", 1, None, 0.0, 1000.0),
+            evt("encode_batch", "runtime", 2, None, 10.0, 500.0),
+        ]);
+        assert!(validate_trace_doc(&text).unwrap_err().contains("no property span ancestor"));
+    }
+
+    #[test]
+    fn escaping_interval_fails() {
+        let text = doc(&[
+            evt("P1", "props", 1, None, 0.0, 100.0),
+            evt("encode_batch", "runtime", 2, Some(1), 50.0, 5000.0),
+        ]);
+        assert!(validate_trace_doc(&text).unwrap_err().contains("escapes parent"));
+    }
+
+    #[test]
+    fn unknown_parent_fails() {
+        let text = doc(&[evt("P1", "props", 1, Some(99), 0.0, 100.0)]);
+        assert!(validate_trace_doc(&text).unwrap_err().contains("unknown parent"));
+    }
+
+    #[test]
+    fn missing_manifest_fails() {
+        let text = "{\"otherData\": {}, \"traceEvents\": []}";
+        assert!(validate_trace_doc(text).is_err());
+    }
+}

@@ -11,6 +11,7 @@ use observatory_data::nextiajd::{JoinPair, NextiaJdConfig};
 use observatory_data::sotab::SotabConfig;
 use observatory_data::spider::SpiderConfig;
 use observatory_data::wikitables::WikiTablesConfig;
+use observatory_obs as obs;
 use observatory_table::Table;
 
 /// Workload scale for the harness binaries.
@@ -106,8 +107,20 @@ pub fn sotab_corpus(scale: Scale) -> Vec<Table> {
     SotabConfig { num_tables: scale.sotab_tables(), rows: 8, seed: 23 }.generate()
 }
 
-/// Print the standard experiment banner.
+/// Environment variable naming a Chrome trace-event JSON output file; when
+/// set, [`runtime_report`] drains the span collector into it.
+pub const TRACE_OUT_ENV: &str = "OBSERVATORY_TRACE_OUT";
+/// Environment variable naming a Prometheus text-exposition output file.
+pub const METRICS_OUT_ENV: &str = "OBSERVATORY_METRICS_OUT";
+
+/// Print the standard experiment banner. Also initializes the span filter
+/// from `OBSERVATORY_LOG`; when `OBSERVATORY_TRACE_OUT` is set the level
+/// is raised so the exported trace is populated.
 pub fn banner(experiment: &str, paper_ref: &str) {
+    obs::init_from_env();
+    if std::env::var_os(TRACE_OUT_ENV).is_some() {
+        obs::raise_level(obs::Level::Debug);
+    }
     println!("# Observatory — {experiment}");
     println!("# Reproduces: {paper_ref}");
     println!(
@@ -120,6 +133,11 @@ pub fn banner(experiment: &str, paper_ref: &str) {
 /// Print the engine's cache and encode statistics for the given context.
 /// Harness binaries call this after their workload so every figure/table
 /// run reports how much the content-addressed cache amortized.
+///
+/// When `OBSERVATORY_TRACE_OUT` / `OBSERVATORY_METRICS_OUT` name files,
+/// the collected trace and the engine metrics are also exported there
+/// (Chrome trace-event JSON and Prometheus text, respectively), stamped
+/// with a provenance manifest.
 pub fn runtime_report(ctx: &EvalContext) {
     let stats = ctx.engine.cache_stats();
     let snap = ctx.engine.metrics_snapshot();
@@ -135,6 +153,44 @@ pub fn runtime_report(ctx: &EvalContext) {
         stats.bytes as f64 / (1024.0 * 1024.0),
         stats.evictions,
     );
+    export_observability(ctx);
+}
+
+/// Export the trace / metrics files requested via environment variables.
+/// A failed write is reported but never aborts a finished experiment.
+fn export_observability(ctx: &EvalContext) {
+    let trace_out = std::env::var(TRACE_OUT_ENV).ok();
+    let metrics_out = std::env::var(METRICS_OUT_ENV).ok();
+    if trace_out.is_none() && metrics_out.is_none() {
+        return;
+    }
+    let mut manifest = obs::Manifest::for_run();
+    manifest
+        .set("command", "bench-harness")
+        .set("scale", format!("{:?}", Scale::from_env()))
+        .set("seed", "42")
+        .set("jobs", ctx.engine.jobs().to_string())
+        .set("cache_capacity_bytes", ctx.engine.cache_stats().capacity.to_string());
+    let trace = obs::drain();
+    if let Some(path) = trace_out {
+        let text = obs::chrome_trace(&trace, &manifest);
+        match std::fs::write(&path, text) {
+            Ok(()) => println!("# trace: {} spans -> {path}", trace.spans.len()),
+            Err(e) => eprintln!("# trace export failed ({path}): {e}"),
+        }
+    }
+    if let Some(path) = metrics_out {
+        let text = observatory_runtime::prometheus_text(
+            &ctx.engine.metrics_snapshot(),
+            &ctx.engine.cache_stats(),
+            &manifest,
+            Some(&trace),
+        );
+        match std::fs::write(&path, text) {
+            Ok(()) => println!("# metrics -> {path}"),
+            Err(e) => eprintln!("# metrics export failed ({path}): {e}"),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -15,6 +15,7 @@ use observatory_data::sotab::{typed_column, SemanticType};
 use observatory_linalg::vector::cosine;
 use observatory_linalg::SplitMix64;
 use observatory_models::TableEncoder;
+use observatory_obs as obs;
 use observatory_table::perm::{permute_rows, sample_permutations};
 use observatory_table::Table;
 
@@ -101,6 +102,9 @@ pub fn prediction_flip_experiment(
     max_permutations: usize,
     ctx: &EvalContext,
 ) -> FlipStats {
+    let _span = obs::span(obs::Level::Info, "downstream", "column_type_flips")
+        .with("model", model.name())
+        .with("tables", corpus.len());
     let mut counts = [0usize; 3];
     let mut total = 0usize;
     let mut col_sum = 0usize;

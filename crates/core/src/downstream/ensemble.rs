@@ -14,6 +14,7 @@ use crate::props::common::column_as_table;
 use observatory_data::nextiajd::JoinPair;
 use observatory_linalg::vector::cosine;
 use observatory_models::TableEncoder;
+use observatory_obs as obs;
 use observatory_search::overlap::{containment, multiset_jaccard};
 use observatory_stats::spearman::average_ranks;
 use std::collections::HashSet;
@@ -39,6 +40,9 @@ pub fn run_ensemble_discovery(
     relevance_threshold: f64,
     ctx: &EvalContext,
 ) -> Option<EnsembleResult> {
+    let _span = obs::span(obs::Level::Info, "downstream", "ensemble_discovery")
+        .with("model", model.name())
+        .with("pairs", pairs.len());
     if pairs.is_empty() {
         return None;
     }

@@ -16,6 +16,7 @@ use observatory_fd::discovery::{discover_unary_fds, DiscoveryOptions};
 use observatory_linalg::vector::cosine;
 use observatory_linalg::SplitMix64;
 use observatory_models::TableEncoder;
+use observatory_obs as obs;
 use observatory_table::Table;
 use std::collections::HashMap;
 
@@ -41,6 +42,9 @@ pub fn impute_with_embeddings(
     mask_fraction: f64,
     ctx: &EvalContext,
 ) -> Option<ImputationResult> {
+    let _span = obs::span(obs::Level::Info, "downstream", "imputation")
+        .with("model", model.name())
+        .with("tables", corpus.len());
     let mut rng = SplitMix64::new(ctx.seed ^ 0x1377);
     let mut correct = 0usize;
     let mut violations = 0usize;

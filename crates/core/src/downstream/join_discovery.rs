@@ -13,6 +13,7 @@ use crate::props::common::column_as_table;
 use observatory_data::nextiajd::JoinPair;
 use observatory_linalg::vector::mean as vec_mean;
 use observatory_models::TableEncoder;
+use observatory_obs as obs;
 use observatory_search::join::{evaluate_join_search, JoinEval, JoinQuery};
 use observatory_search::knn::KnnIndex;
 use observatory_search::overlap::containment;
@@ -91,6 +92,9 @@ pub fn run_join_discovery(
     config: &JoinDiscoveryConfig,
     ctx: &EvalContext,
 ) -> Option<JoinDiscoveryResult> {
+    let _span = obs::span(obs::Level::Info, "downstream", "join_discovery")
+        .with("model", model.name())
+        .with("pairs", pairs.len());
     if pairs.is_empty() {
         return None;
     }

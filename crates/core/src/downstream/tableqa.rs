@@ -16,6 +16,7 @@
 use observatory_data::perturb::{perturb_table, Perturbation};
 use observatory_linalg::vector::cosine;
 use observatory_models::TableEncoder;
+use observatory_obs as obs;
 use observatory_table::subject::subject_column;
 use observatory_table::Table;
 
@@ -121,6 +122,9 @@ pub fn qa_under_perturbation(
     kind: Perturbation,
     max_questions_per_table: usize,
 ) -> Option<QaRobustness> {
+    let _span = obs::span(obs::Level::Info, "downstream", "tableqa_robustness")
+        .with("model", model.name())
+        .with("tables", corpus.len());
     let mut orig_correct = 0.0;
     let mut pert_correct = 0.0;
     let mut total = 0usize;

@@ -11,6 +11,7 @@
 use crate::framework::{EvalContext, Property, PropertyReport};
 use crate::props::common::{cosines_and_mcv, invert_permutation};
 use observatory_models::TableEncoder;
+use observatory_obs as obs;
 use observatory_table::perm::{permute_columns, sample_permutations, PERMUTATION_CAP};
 use observatory_table::Table;
 
@@ -42,6 +43,9 @@ impl Property for ColumnOrderInsignificance {
         corpus: &[Table],
         ctx: &EvalContext,
     ) -> PropertyReport {
+        let _span = obs::span(obs::Level::Info, "props", "P2")
+            .with("model", model.name())
+            .with("tables", corpus.len());
         let mut report = PropertyReport::new(self.id(), model.name());
         let mut col_cos = Vec::new();
         let mut col_mcv = Vec::new();

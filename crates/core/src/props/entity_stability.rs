@@ -11,6 +11,7 @@
 
 use crate::framework::{EvalContext, PairwiseProperty};
 use observatory_models::TableEncoder;
+use observatory_obs as obs;
 use observatory_search::knn::{neighbor_overlap, KnnIndex};
 use observatory_table::subject::subject_column;
 use observatory_table::Table;
@@ -49,6 +50,10 @@ impl PairwiseProperty for EntityStability {
         corpus: &[Table],
         ctx: &EvalContext,
     ) -> Option<f64> {
+        let _span = obs::span(obs::Level::Info, "props", "P6")
+            .with("model_a", model_a.name())
+            .with("model_b", model_b.name())
+            .with("tables", corpus.len());
         self.stability_between(model_a, model_b, corpus, &self.queries, ctx)
     }
 }

@@ -21,6 +21,7 @@ use observatory_fd::discovery::{discover_unary_fds, holds_unary, DiscoveryOption
 use observatory_linalg::vector::{l1_distance, l2_distance};
 use observatory_linalg::{moments::variance, SplitMix64};
 use observatory_models::{ModelEncoding, TableEncoder};
+use observatory_obs as obs;
 use observatory_stats::descriptive::mean;
 use observatory_table::Table;
 use std::collections::HashMap;
@@ -106,6 +107,9 @@ impl Property for FunctionalDependencies {
         corpus: &[Table],
         ctx: &EvalContext,
     ) -> PropertyReport {
+        let _span = obs::span(obs::Level::Info, "props", "P4")
+            .with("model", model.name())
+            .with("tables", corpus.len());
         let mut report = PropertyReport::new(self.id(), model.name());
         let mut s2_fd = Vec::new();
         let mut s2_nonfd = Vec::new();

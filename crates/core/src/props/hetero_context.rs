@@ -15,6 +15,7 @@ use crate::framework::{EvalContext, Property, PropertyReport};
 use crate::props::common::column_as_table;
 use observatory_linalg::vector::cosine;
 use observatory_models::TableEncoder;
+use observatory_obs as obs;
 use observatory_table::subject::{neighbor_columns, subject_column};
 use observatory_table::Table;
 
@@ -75,6 +76,9 @@ impl Property for HeterogeneousContext {
         corpus: &[Table],
         _ctx: &EvalContext,
     ) -> PropertyReport {
+        let _span = obs::span(obs::Level::Info, "props", "P8")
+            .with("model", model.name())
+            .with("tables", corpus.len());
         let mut report = PropertyReport::new(self.id(), model.name());
         // records[setting][textual? 1 : 0]
         let mut values: Vec<[Vec<f64>; 2]> =

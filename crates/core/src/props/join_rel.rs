@@ -16,6 +16,7 @@ use crate::framework::{EvalContext, Property, PropertyReport, Scatter};
 use observatory_data::nextiajd::JoinPair;
 use observatory_linalg::vector::cosine;
 use observatory_models::TableEncoder;
+use observatory_obs as obs;
 use observatory_search::overlap::{containment, jaccard, multiset_jaccard};
 use observatory_stats::spearman::spearman_rho;
 use observatory_table::Table;
@@ -49,6 +50,9 @@ impl Property for JoinRelationship {
         corpus: &[Table],
         _ctx: &EvalContext,
     ) -> PropertyReport {
+        let _span = obs::span(obs::Level::Info, "props", "P3")
+            .with("model", model.name())
+            .with("tables", corpus.len());
         let mut report = PropertyReport::new(self.id(), model.name());
         let mut cosines = Vec::new();
         let mut contain = Vec::new();

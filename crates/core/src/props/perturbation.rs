@@ -11,6 +11,7 @@ use crate::framework::{EvalContext, Property, PropertyReport};
 use observatory_data::perturb::{perturb_table, Perturbation};
 use observatory_linalg::vector::cosine;
 use observatory_models::TableEncoder;
+use observatory_obs as obs;
 use observatory_stats::descriptive::mean;
 use observatory_table::Table;
 
@@ -43,6 +44,9 @@ impl Property for PerturbationRobustness {
         corpus: &[Table],
         ctx: &EvalContext,
     ) -> PropertyReport {
+        let _span = obs::span(obs::Level::Info, "props", "P7")
+            .with("model", model.name())
+            .with("tables", corpus.len());
         let mut report = PropertyReport::new(self.id(), model.name());
         for &kind in &self.kinds {
             let mut sims = Vec::new();

@@ -18,6 +18,7 @@
 use crate::framework::{EvalContext, Property, PropertyReport};
 use crate::props::common::{cosines_and_mcv, invert_permutation};
 use observatory_models::TableEncoder;
+use observatory_obs as obs;
 use observatory_table::perm::{permute_rows, sample_permutations, PERMUTATION_CAP};
 use observatory_table::Table;
 
@@ -49,6 +50,10 @@ impl Property for RowOrderInsignificance {
         corpus: &[Table],
         ctx: &EvalContext,
     ) -> PropertyReport {
+        let _span = obs::span(obs::Level::Info, "props", "P1")
+            .with("model", model.name())
+            .with("tables", corpus.len())
+            .with("max_permutations", self.max_permutations);
         let mut report = PropertyReport::new(self.id(), model.name());
         let mut col_cos = Vec::new();
         let mut col_mcv = Vec::new();

@@ -13,6 +13,7 @@ use crate::props::common::column_as_table;
 use observatory_linalg::vector::{cosine, mean as vec_mean};
 use observatory_linalg::Matrix;
 use observatory_models::TableEncoder;
+use observatory_obs as obs;
 use observatory_stats::mcv::albert_zhang_mcv;
 use observatory_table::sample::{chunk_column, sample_column};
 use observatory_table::{Column, Table};
@@ -80,6 +81,9 @@ impl Property for SampleFidelity {
         corpus: &[Table],
         ctx: &EvalContext,
     ) -> PropertyReport {
+        let _span = obs::span(obs::Level::Info, "props", "P5")
+            .with("model", model.name())
+            .with("tables", corpus.len());
         let mut report = PropertyReport::new(self.id(), model.name());
         let mut fidelity: Vec<(f64, Vec<f64>)> =
             self.ratios.iter().map(|&r| (r, Vec::new())).collect();

@@ -1,0 +1,219 @@
+//! Chrome trace-event JSON exporter.
+//!
+//! Emits the [Trace Event Format] object form: spans become `"ph":"X"`
+//! (complete) events with microsecond `ts`/`dur`, instant events become
+//! `"ph":"i"`, and the provenance [`Manifest`] lands in `otherData`.
+//! The output loads directly in `chrome://tracing` and Perfetto; span
+//! ids and parent edges ride along in `args` so tooling (and our
+//! round-trip tests) can rebuild the exact span forest.
+//!
+//! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use crate::collector::Trace;
+use crate::json::escape;
+use crate::level::Level;
+use crate::manifest::Manifest;
+use std::fmt::Write as _;
+
+/// Render a drained [`Trace`] plus its provenance [`Manifest`] as a
+/// Chrome trace-event JSON document.
+pub fn chrome_trace(trace: &Trace, manifest: &Manifest) -> String {
+    let mut out = String::with_capacity(256 + 160 * (trace.spans.len() + trace.events.len()));
+    out.push_str("{\n\"displayTimeUnit\": \"ms\",\n\"otherData\": {");
+    // Manifest + collector bookkeeping.
+    let mut first = true;
+    for (k, v) in manifest.pairs() {
+        sep(&mut out, &mut first);
+        let _ = write!(out, "\"{}\": \"{}\"", escape(k), escape(v));
+    }
+    sep(&mut out, &mut first);
+    let _ = write!(out, "\"dropped_records\": \"{}\"", trace.dropped);
+    out.push_str("},\n\"traceEvents\": [\n");
+
+    let mut first_event = true;
+    // Process metadata.
+    push_meta(&mut out, &mut first_event, "process_name", 0, "observatory");
+    let mut tids: Vec<u64> = trace.spans.iter().map(|s| s.tid).collect();
+    tids.extend(trace.events.iter().map(|e| e.tid));
+    tids.sort_unstable();
+    tids.dedup();
+    for tid in tids {
+        push_meta(&mut out, &mut first_event, "thread_name", tid, &format!("thread-{tid}"));
+    }
+
+    for s in &trace.spans {
+        sep_line(&mut out, &mut first_event);
+        let _ = write!(
+            out,
+            "{{\"ph\": \"X\", \"name\": \"{}\", \"cat\": \"{}\", \"pid\": 1, \"tid\": {}, \
+             \"ts\": {:.3}, \"dur\": {:.3}, \"args\": {{\"id\": {}, ",
+            escape(s.name),
+            escape(s.target),
+            s.tid,
+            s.start_ns as f64 / 1_000.0,
+            s.dur_ns as f64 / 1_000.0,
+            s.id,
+        );
+        match s.parent {
+            Some(p) => {
+                let _ = write!(out, "\"parent\": {p}, ");
+            }
+            None => out.push_str("\"parent\": null, "),
+        }
+        let _ = write!(out, "\"level\": \"{}\"", level_name(s.level));
+        if s.panicked {
+            out.push_str(", \"panicked\": true");
+        }
+        for (k, v) in &s.fields {
+            let _ = write!(out, ", \"{}\": \"{}\"", escape(k), escape(v));
+        }
+        out.push_str("}}");
+    }
+
+    for e in &trace.events {
+        sep_line(&mut out, &mut first_event);
+        let _ = write!(
+            out,
+            "{{\"ph\": \"i\", \"s\": \"t\", \"name\": \"{}\", \"cat\": \"{}\", \"pid\": 1, \
+             \"tid\": {}, \"ts\": {:.3}, \"args\": {{\"level\": \"{}\"",
+            escape(e.name),
+            escape(e.target),
+            e.tid,
+            e.ts_ns as f64 / 1_000.0,
+            level_name(e.level),
+        );
+        for (k, v) in &e.fields {
+            let _ = write!(out, ", \"{}\": \"{}\"", escape(k), escape(v));
+        }
+        out.push_str("}}");
+    }
+
+    out.push_str("\n]\n}\n");
+    out
+}
+
+fn level_name(l: Level) -> &'static str {
+    l.name()
+}
+
+fn sep(out: &mut String, first: &mut bool) {
+    if !*first {
+        out.push_str(", ");
+    }
+    *first = false;
+}
+
+fn sep_line(out: &mut String, first: &mut bool) {
+    if !*first {
+        out.push_str(",\n");
+    }
+    *first = false;
+}
+
+fn push_meta(out: &mut String, first: &mut bool, name: &str, tid: u64, value: &str) {
+    sep_line(out, first);
+    let _ = write!(
+        out,
+        "{{\"ph\": \"M\", \"name\": \"{name}\", \"pid\": 1, \"tid\": {tid}, \
+         \"args\": {{\"name\": \"{}\"}}}}",
+        escape(value)
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collector::{EventRecord, SpanRecord};
+    use crate::json;
+
+    fn sample_trace() -> Trace {
+        Trace {
+            spans: vec![
+                SpanRecord {
+                    id: 1,
+                    parent: None,
+                    name: "P1",
+                    target: "props",
+                    level: Level::Info,
+                    tid: 1,
+                    start_ns: 1_000,
+                    dur_ns: 9_000_000,
+                    fields: vec![("model", "bert \"q\"".into())],
+                    panicked: false,
+                },
+                SpanRecord {
+                    id: 2,
+                    parent: Some(1),
+                    name: "encode_batch",
+                    target: "runtime",
+                    level: Level::Debug,
+                    tid: 1,
+                    start_ns: 2_000,
+                    dur_ns: 500_000,
+                    fields: vec![("tables", "12".into())],
+                    panicked: true,
+                },
+            ],
+            events: vec![EventRecord {
+                name: "evict",
+                target: "cache",
+                level: Level::Debug,
+                tid: 2,
+                ts_ns: 3_000,
+                fields: vec![("count", "4".into())],
+            }],
+            dropped: 7,
+        }
+    }
+
+    #[test]
+    fn output_is_valid_json_with_expected_shape() {
+        let mut m = Manifest::new();
+        m.set("seed", "42").set("dataset", "wiki\\demo");
+        let text = chrome_trace(&sample_trace(), &m);
+        let doc = json::parse(&text).expect("chrome export must parse");
+        assert_eq!(doc.get("otherData").unwrap().get("seed").unwrap().as_str(), Some("42"));
+        assert_eq!(
+            doc.get("otherData").unwrap().get("dataset").unwrap().as_str(),
+            Some("wiki\\demo")
+        );
+        assert_eq!(
+            doc.get("otherData").unwrap().get("dropped_records").unwrap().as_str(),
+            Some("7")
+        );
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        // 1 process meta + 2 thread metas + 2 spans + 1 instant.
+        assert_eq!(events.len(), 6);
+        let xs: Vec<_> =
+            events.iter().filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X")).collect();
+        assert_eq!(xs.len(), 2);
+        let child = xs.iter().find(|e| e.get("name").unwrap().as_str() == Some("encode_batch"));
+        let child = child.unwrap();
+        assert_eq!(child.get("args").unwrap().get("parent").unwrap().as_f64(), Some(1.0));
+        assert_eq!(child.get("args").unwrap().get("panicked"), Some(&json::Json::Bool(true)));
+        assert_eq!(child.get("ts").unwrap().as_f64(), Some(2.0));
+        assert_eq!(child.get("dur").unwrap().as_f64(), Some(500.0));
+        let instant =
+            events.iter().find(|e| e.get("ph").and_then(|p| p.as_str()) == Some("i")).unwrap();
+        assert_eq!(instant.get("cat").unwrap().as_str(), Some("cache"));
+        assert_eq!(instant.get("args").unwrap().get("count").unwrap().as_str(), Some("4"));
+    }
+
+    #[test]
+    fn escaped_field_values_round_trip() {
+        let text = chrome_trace(&sample_trace(), &Manifest::new());
+        let doc = json::parse(&text).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        let p1 =
+            events.iter().find(|e| e.get("name").and_then(|n| n.as_str()) == Some("P1")).unwrap();
+        assert_eq!(p1.get("args").unwrap().get("model").unwrap().as_str(), Some("bert \"q\""));
+    }
+
+    #[test]
+    fn empty_trace_still_valid() {
+        let text = chrome_trace(&Trace::default(), &Manifest::new());
+        let doc = json::parse(&text).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        assert_eq!(events.len(), 1, "process metadata only");
+    }
+}

@@ -1,0 +1,277 @@
+//! Lock-striped, bounded global sink for finished spans and events.
+//!
+//! Records are pushed by [`crate::span`] guards on drop and by
+//! [`crate::event`]. The sink is striped by thread id so concurrent
+//! workers contend on different locks, and each stripe is bounded: when
+//! full, new records are counted in `dropped` and discarded — tracing
+//! must never grow memory without bound inside a million-encode run.
+
+use crate::level::Level;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Number of independently locked stripes.
+pub const N_STRIPES: usize = 8;
+
+/// Default total span capacity (records, across stripes).
+pub const DEFAULT_SPAN_CAP: usize = 1 << 17;
+
+/// Default total event capacity (records, across stripes).
+pub const DEFAULT_EVENT_CAP: usize = 1 << 15;
+
+/// A finished span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Unique (per process) span id; ids increase with creation order.
+    pub id: u64,
+    /// Enclosing span, if any. Always `parent < id`.
+    pub parent: Option<u64>,
+    /// Span name, e.g. `"encode_batch"`.
+    pub name: &'static str,
+    /// Subsystem, e.g. `"runtime"` / `"props"` / `"pool"`.
+    pub target: &'static str,
+    /// Level the span was recorded at.
+    pub level: Level,
+    /// Dense per-process thread id (not the OS tid).
+    pub tid: u64,
+    /// Start, nanoseconds since the collector epoch.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Structured fields, in insertion order.
+    pub fields: Vec<(&'static str, String)>,
+    /// True when the span closed while its thread was unwinding.
+    pub panicked: bool,
+}
+
+impl SpanRecord {
+    /// End timestamp (ns since epoch), saturating.
+    pub fn end_ns(&self) -> u64 {
+        self.start_ns.saturating_add(self.dur_ns)
+    }
+}
+
+/// An instantaneous event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventRecord {
+    /// Event name, e.g. `"evict"`.
+    pub name: &'static str,
+    /// Subsystem, e.g. `"cache"`.
+    pub target: &'static str,
+    /// Level the event was recorded at.
+    pub level: Level,
+    /// Dense per-process thread id.
+    pub tid: u64,
+    /// Timestamp, ns since the collector epoch.
+    pub ts_ns: u64,
+    /// Structured fields.
+    pub fields: Vec<(&'static str, String)>,
+}
+
+/// Everything drained from the collector: spans sorted by start time,
+/// events sorted by timestamp, plus bookkeeping counters.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Trace {
+    /// Finished spans, ascending `start_ns`.
+    pub spans: Vec<SpanRecord>,
+    /// Events, ascending `ts_ns`.
+    pub events: Vec<EventRecord>,
+    /// Records discarded because a stripe was full.
+    pub dropped: u64,
+}
+
+impl Trace {
+    /// Look up a span by id.
+    pub fn span(&self, id: u64) -> Option<&SpanRecord> {
+        self.spans.iter().find(|s| s.id == id)
+    }
+
+    /// Spans with the given name.
+    pub fn spans_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a SpanRecord> {
+        self.spans.iter().filter(move |s| s.name == name)
+    }
+
+    /// Structural well-formedness of the span forest:
+    /// every `parent` id exists, `parent < id` (no cycles), and the child
+    /// interval nests inside the parent's (1 µs slack for clock rounding).
+    pub fn check_nesting(&self) -> Result<(), String> {
+        const SLACK_NS: u64 = 1_000;
+        for s in &self.spans {
+            let Some(p) = s.parent else { continue };
+            if p >= s.id {
+                return Err(format!("span {} '{}' has parent {} >= own id", s.id, s.name, p));
+            }
+            let Some(parent) = self.span(p) else {
+                return Err(format!("span {} '{}' references missing parent {}", s.id, s.name, p));
+            };
+            if s.start_ns + SLACK_NS < parent.start_ns {
+                return Err(format!(
+                    "span {} '{}' starts before its parent '{}'",
+                    s.id, s.name, parent.name
+                ));
+            }
+            if s.end_ns() > parent.end_ns().saturating_add(SLACK_NS) {
+                return Err(format!(
+                    "span {} '{}' ends after its parent '{}' ({} > {})",
+                    s.id,
+                    s.name,
+                    parent.name,
+                    s.end_ns(),
+                    parent.end_ns()
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[derive(Default)]
+struct Stripe {
+    spans: Mutex<Vec<SpanRecord>>,
+    events: Mutex<Vec<EventRecord>>,
+}
+
+pub(crate) struct Collector {
+    stripes: Vec<Stripe>,
+    span_cap: usize,
+    event_cap: usize,
+    epoch: Instant,
+    dropped: AtomicU64,
+}
+
+impl Collector {
+    fn new() -> Self {
+        Self {
+            stripes: (0..N_STRIPES).map(|_| Stripe::default()).collect(),
+            span_cap: DEFAULT_SPAN_CAP / N_STRIPES,
+            event_cap: DEFAULT_EVENT_CAP / N_STRIPES,
+            epoch: Instant::now(),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn epoch(&self) -> Instant {
+        self.epoch
+    }
+
+    fn stripe(&self, tid: u64) -> &Stripe {
+        &self.stripes[(tid as usize) % N_STRIPES]
+    }
+
+    pub(crate) fn push_span(&self, record: SpanRecord) {
+        let mut spans = self.stripe(record.tid).spans.lock().unwrap();
+        if spans.len() >= self.span_cap {
+            drop(spans);
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        spans.push(record);
+    }
+
+    pub(crate) fn push_event(&self, record: EventRecord) {
+        let mut events = self.stripe(record.tid).events.lock().unwrap();
+        if events.len() >= self.event_cap {
+            drop(events);
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        events.push(record);
+    }
+
+    fn drain(&self) -> Trace {
+        let mut trace = Trace::default();
+        for stripe in &self.stripes {
+            trace.spans.append(&mut stripe.spans.lock().unwrap());
+            trace.events.append(&mut stripe.events.lock().unwrap());
+        }
+        trace.spans.sort_by_key(|s| (s.start_ns, s.id));
+        trace.events.sort_by_key(|e| e.ts_ns);
+        trace.dropped = self.dropped.swap(0, Ordering::Relaxed);
+        trace
+    }
+}
+
+static COLLECTOR: OnceLock<Collector> = OnceLock::new();
+
+pub(crate) fn collector() -> &'static Collector {
+    COLLECTOR.get_or_init(Collector::new)
+}
+
+/// Remove and return everything collected so far (spans sorted by start
+/// time). Dropped-record count is reset.
+pub fn drain() -> Trace {
+    collector().drain()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(id: u64, parent: Option<u64>, start: u64, dur: u64) -> SpanRecord {
+        SpanRecord {
+            id,
+            parent,
+            name: "s",
+            target: "t",
+            level: Level::Info,
+            tid: 0,
+            start_ns: start,
+            dur_ns: dur,
+            fields: vec![],
+            panicked: false,
+        }
+    }
+
+    #[test]
+    fn nesting_accepts_well_formed() {
+        let t = Trace {
+            spans: vec![rec(1, None, 0, 100), rec(2, Some(1), 10, 50), rec(3, Some(2), 20, 10)],
+            ..Default::default()
+        };
+        assert!(t.check_nesting().is_ok());
+    }
+
+    #[test]
+    fn nesting_rejects_missing_parent() {
+        let t = Trace { spans: vec![rec(2, Some(1), 0, 10)], ..Default::default() };
+        assert!(t.check_nesting().unwrap_err().contains("missing parent"));
+    }
+
+    #[test]
+    fn nesting_rejects_forward_parent() {
+        let t = Trace {
+            spans: vec![rec(1, Some(2), 0, 10), rec(2, None, 0, 100)],
+            ..Default::default()
+        };
+        assert!(t.check_nesting().is_err());
+    }
+
+    #[test]
+    fn nesting_rejects_escaping_child() {
+        let t = Trace {
+            spans: vec![rec(1, None, 0, 100), rec(2, Some(1), 50, 500_000)],
+            ..Default::default()
+        };
+        assert!(t.check_nesting().unwrap_err().contains("ends after"));
+    }
+
+    #[test]
+    fn bounded_stripe_counts_drops() {
+        let c = Collector {
+            stripes: (0..N_STRIPES).map(|_| Stripe::default()).collect(),
+            span_cap: 2,
+            event_cap: 1,
+            epoch: Instant::now(),
+            dropped: AtomicU64::new(0),
+        };
+        for i in 0..5 {
+            c.push_span(rec(i, None, i, 1)); // all tid 0 → one stripe
+        }
+        let t = c.drain();
+        assert_eq!(t.spans.len(), 2);
+        assert_eq!(t.dropped, 3);
+        // Drain resets the counter.
+        assert_eq!(c.drain().dropped, 0);
+    }
+}

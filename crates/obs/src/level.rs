@@ -1,0 +1,142 @@
+//! Runtime log/trace level filter.
+//!
+//! A single process-wide `AtomicU8` gates every instrumentation site:
+//! `enabled(level)` is one relaxed load plus a compare, so with the
+//! default level ([`Level::Off`]) tracing costs a predictable branch —
+//! the "<5% overhead on the runtime bench" budget in DESIGN.md.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Environment variable consulted by [`init_from_env`].
+pub const LOG_ENV_VAR: &str = "OBSERVATORY_LOG";
+
+/// Verbosity level, ordered: `Off < Error < Info < Debug < Trace`.
+/// A site at level `L` records iff `L <= current level`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// Record nothing (the default).
+    Off = 0,
+    /// Failures only.
+    Error = 1,
+    /// Pipeline stages: properties, downstream tasks, encode batches.
+    Info = 2,
+    /// Per-encode spans and cache events.
+    Debug = 3,
+    /// Worker threads and per-lookup events.
+    Trace = 4,
+}
+
+impl Level {
+    /// Parse a level name (case-insensitive). Unknown names map to
+    /// `Info` so a typo still yields a usable trace rather than silence.
+    pub fn parse(s: &str) -> Level {
+        match s.to_ascii_lowercase().as_str() {
+            "off" | "none" | "0" => Level::Off,
+            "error" => Level::Error,
+            "info" => Level::Info,
+            "debug" => Level::Debug,
+            "trace" => Level::Trace,
+            _ => Level::Info,
+        }
+    }
+
+    /// Canonical lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Off => "off",
+            Level::Error => "error",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+
+    fn from_u8(v: u8) -> Level {
+        match v {
+            0 => Level::Off,
+            1 => Level::Error,
+            2 => Level::Info,
+            3 => Level::Debug,
+            _ => Level::Trace,
+        }
+    }
+}
+
+static LEVEL: AtomicU8 = AtomicU8::new(Level::Off as u8);
+
+/// Install a new process-wide level.
+pub fn set_level(level: Level) {
+    LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// The current process-wide level.
+pub fn current_level() -> Level {
+    Level::from_u8(LEVEL.load(Ordering::Relaxed))
+}
+
+/// Whether a site at `level` should record. This is the fast path:
+/// one relaxed atomic load and an integer compare.
+#[inline(always)]
+pub fn enabled(level: Level) -> bool {
+    level as u8 <= LEVEL.load(Ordering::Relaxed) && level != Level::Off
+}
+
+/// Initialize the level from `OBSERVATORY_LOG` (unset ⇒ [`Level::Off`]).
+/// Returns the installed level.
+pub fn init_from_env() -> Level {
+    let level = match std::env::var(LOG_ENV_VAR) {
+        Ok(v) if !v.is_empty() => Level::parse(&v),
+        _ => Level::Off,
+    };
+    set_level(level);
+    level
+}
+
+/// Raise the level to at least `floor` (never lowers it). Used by
+/// `--trace-out`, which needs span collection even when the env filter
+/// is off.
+pub fn raise_level(floor: Level) {
+    if current_level() < floor {
+        set_level(floor);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_names() {
+        assert_eq!(Level::parse("off"), Level::Off);
+        assert_eq!(Level::parse("TRACE"), Level::Trace);
+        assert_eq!(Level::parse("Debug"), Level::Debug);
+        assert_eq!(Level::parse("error"), Level::Error);
+        assert_eq!(Level::parse("garbage"), Level::Info, "typos degrade to info");
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for l in [Level::Off, Level::Error, Level::Info, Level::Debug, Level::Trace] {
+            assert_eq!(Level::parse(l.name()), l);
+        }
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Level::Off < Level::Error);
+        assert!(Level::Error < Level::Info);
+        assert!(Level::Info < Level::Debug);
+        assert!(Level::Debug < Level::Trace);
+    }
+
+    #[test]
+    fn off_is_never_enabled() {
+        // Even at level Trace, an Off-level site never records.
+        let prev = current_level();
+        set_level(Level::Trace);
+        assert!(!enabled(Level::Off));
+        assert!(enabled(Level::Trace));
+        set_level(prev);
+    }
+}

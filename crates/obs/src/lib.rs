@@ -1,0 +1,71 @@
+//! # observatory-obs
+//!
+//! The observability layer for the Observatory workspace: structured,
+//! hierarchical span tracing plus exporters, with **zero dependencies**
+//! and a disabled-path cost of one relaxed atomic load.
+//!
+//! The paper's evaluation (§5) is a long multi-stage pipeline —
+//! per-property permutation loops over thousands of encodes, then
+//! downstream tasks — and "where does the time go?" must be answerable
+//! without a profiler. This crate provides:
+//!
+//! - [`level`] — the `OBSERVATORY_LOG=off|error|info|debug|trace` runtime
+//!   filter. When the level is [`Level::Off`] (the default), every
+//!   instrumentation site reduces to a branch on one atomic.
+//! - [`span`] — RAII span guards ([`span()`]): panic-safe (the record is
+//!   emitted from `Drop`, which runs during unwinding and marks the span
+//!   `panicked`), thread-aware (parents default to the innermost open
+//!   span *on the same thread*; cross-thread parents — a worker encode
+//!   under its batch span — are wired explicitly with
+//!   [`Span::with_parent`]).
+//! - [`collector`] — a lock-striped, bounded global sink. Overflow never
+//!   blocks or reallocates past the cap; it increments a drop counter
+//!   that the exporters surface.
+//! - [`chrome`] — Chrome trace-event JSON (`chrome://tracing`, Perfetto).
+//! - [`prom`] — a Prometheus text-exposition builder + line validator.
+//! - [`manifest`] — the per-run provenance manifest (models, dataset,
+//!   seed, permutations, jobs, cache config, version, wall time) embedded
+//!   in both export formats.
+//! - [`json`] — a minimal JSON parser so tests and the `validate_trace`
+//!   tool can round-trip the Chrome export without external crates.
+//!
+//! ## Span taxonomy
+//!
+//! | target | spans | level |
+//! |---|---|---|
+//! | `props` | `P1` … `P8` (one per `Property::evaluate`) | info |
+//! | `downstream` | `column_type`, `join_discovery`, `tableqa`, `imputation`, `ensemble` | info |
+//! | `runtime` | `encode_batch` (per batch), `encode` (per cache miss) | info / debug |
+//! | `pool` | `worker` (per spawned worker thread) | trace |
+//! | `cache` | `evict`, `reject_oversized` events | debug / trace |
+//!
+//! ## Quick use
+//!
+//! ```
+//! use observatory_obs as obs;
+//! obs::set_level(obs::Level::Debug);
+//! {
+//!     let _outer = obs::span(obs::Level::Info, "props", "P1").with("model", "bert");
+//!     let _inner = obs::span(obs::Level::Debug, "runtime", "encode_batch");
+//! } // spans close on drop, innermost first
+//! let trace = obs::drain();
+//! assert_eq!(trace.spans.len(), 2);
+//! obs::set_level(obs::Level::Off);
+//! ```
+
+pub mod chrome;
+pub mod collector;
+pub mod json;
+pub mod level;
+pub mod manifest;
+pub mod prom;
+pub mod span;
+
+pub use chrome::chrome_trace;
+pub use collector::{drain, EventRecord, SpanRecord, Trace};
+pub use level::{
+    current_level, enabled, init_from_env, raise_level, set_level, Level, LOG_ENV_VAR,
+};
+pub use manifest::Manifest;
+pub use prom::PromBuf;
+pub use span::{current_span_id, event, event_with, span, Span};

@@ -1,0 +1,163 @@
+//! Per-run provenance manifest.
+//!
+//! Every exported trace and metrics file embeds the configuration that
+//! produced it — model set, dataset, seed, permutations, jobs, cache
+//! config, a git-describe-ish version, and wall time — so an artifact
+//! found on disk six months later is self-describing. The manifest is an
+//! ordered key→value list; exporters render it as the Chrome trace's
+//! `otherData` object and as a Prometheus `observatory_run_info` gauge
+//! with one label per entry.
+
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Ordered provenance key→value pairs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Manifest {
+    entries: Vec<(String, String)>,
+}
+
+impl Manifest {
+    /// An empty manifest.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A manifest pre-populated with the standard fields every run
+    /// shares: `version` (crate version + short git commit when a `.git`
+    /// directory is discoverable) and `started_unix_s`.
+    pub fn for_run() -> Self {
+        let mut m = Self::new();
+        m.set("version", version_string());
+        let now = SystemTime::now().duration_since(UNIX_EPOCH).map_or(0, |d| d.as_secs());
+        m.set("started_unix_s", now.to_string());
+        m
+    }
+
+    /// Insert or replace a key.
+    pub fn set(&mut self, key: impl Into<String>, value: impl Into<String>) -> &mut Self {
+        let key = key.into();
+        let value = value.into();
+        match self.entries.iter_mut().find(|(k, _)| *k == key) {
+            Some(slot) => slot.1 = value,
+            None => self.entries.push((key, value)),
+        }
+        self
+    }
+
+    /// Look up a key.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    /// All entries in insertion order.
+    pub fn pairs(&self) -> &[(String, String)] {
+        &self.entries
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the manifest is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// `<crate version>+g<short sha>` when a git checkout is discoverable
+/// from the current directory upward, else just the crate version.
+/// Reads `.git/HEAD` (and the ref file / `packed-refs` it points to)
+/// directly — no subprocess, works offline.
+pub fn version_string() -> String {
+    let base = env!("CARGO_PKG_VERSION");
+    match git_head_commit() {
+        Some(sha) => format!("{base}+g{}", &sha[..sha.len().min(12)]),
+        None => base.to_string(),
+    }
+}
+
+/// Short commit hash of `HEAD`, read straight from the `.git` directory.
+pub fn git_head_commit() -> Option<String> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let git = dir.join(".git");
+        if git.is_dir() {
+            return read_head(&git);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn read_head(git: &std::path::Path) -> Option<String> {
+    let head = std::fs::read_to_string(git.join("HEAD")).ok()?;
+    let head = head.trim();
+    if let Some(refname) = head.strip_prefix("ref: ") {
+        if let Ok(sha) = std::fs::read_to_string(git.join(refname)) {
+            return valid_sha(sha.trim());
+        }
+        // Ref may be packed.
+        if let Ok(packed) = std::fs::read_to_string(git.join("packed-refs")) {
+            for line in packed.lines() {
+                if let Some(sha) = line.strip_suffix(refname).map(str::trim) {
+                    if let Some(v) = valid_sha(sha) {
+                        return Some(v);
+                    }
+                }
+            }
+        }
+        None
+    } else {
+        valid_sha(head)
+    }
+}
+
+fn valid_sha(s: &str) -> Option<String> {
+    (s.len() >= 7 && s.bytes().all(|b| b.is_ascii_hexdigit())).then(|| s.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_replace() {
+        let mut m = Manifest::new();
+        assert!(m.is_empty());
+        m.set("model", "bert").set("seed", "42");
+        assert_eq!(m.get("model"), Some("bert"));
+        m.set("model", "tapas");
+        assert_eq!(m.get("model"), Some("tapas"));
+        assert_eq!(m.len(), 2, "replace must not duplicate");
+        assert_eq!(m.get("missing"), None);
+    }
+
+    #[test]
+    fn insertion_order_preserved() {
+        let mut m = Manifest::new();
+        m.set("z", "1").set("a", "2").set("m", "3");
+        let keys: Vec<&str> = m.pairs().iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, vec!["z", "a", "m"]);
+    }
+
+    #[test]
+    fn for_run_has_standard_fields() {
+        let m = Manifest::for_run();
+        assert!(m.get("version").is_some());
+        assert!(m.get("started_unix_s").unwrap().parse::<u64>().is_ok());
+        // This workspace is a git checkout, so the version should carry
+        // a commit suffix when run from inside it.
+        let v = m.get("version").unwrap();
+        assert!(v.starts_with(env!("CARGO_PKG_VERSION")), "{v}");
+    }
+
+    #[test]
+    fn sha_validation() {
+        assert!(valid_sha("0123abc").is_some());
+        assert!(valid_sha("0123abcdef0123abcdef0123abcdef0123abcdef").is_some());
+        assert!(valid_sha("xyz").is_none());
+        assert!(valid_sha("012").is_none());
+    }
+}

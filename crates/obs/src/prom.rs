@@ -1,0 +1,420 @@
+//! Prometheus text-exposition builder and validator.
+//!
+//! [`PromBuf`] writes the [text exposition format] (version 0.0.4):
+//! `# HELP` / `# TYPE` comments followed by samples with escaped label
+//! values. [`validate`] parses a document line-by-line — pure Rust, no
+//! jq — and is what the `validate_trace` tool and the CI smoke step use
+//! to schema-check `--metrics-out` files.
+//!
+//! [text exposition format]: https://prometheus.io/docs/instrumenting/exposition_formats/
+
+use crate::collector::Trace;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Incremental builder for a Prometheus text document.
+#[derive(Debug, Default)]
+pub struct PromBuf {
+    out: String,
+}
+
+impl PromBuf {
+    /// An empty document.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Write the `# HELP` and `# TYPE` header for a metric family.
+    /// `kind` is `"counter"`, `"gauge"`, `"histogram"`, or `"untyped"`.
+    pub fn family(&mut self, name: &str, kind: &str, help: &str) -> &mut Self {
+        let _ = writeln!(self.out, "# HELP {name} {}", escape_help(help));
+        let _ = writeln!(self.out, "# TYPE {name} {kind}");
+        self
+    }
+
+    /// Write one sample line. Non-finite values render as `NaN`/`+Inf`/
+    /// `-Inf` per the format.
+    pub fn sample(&mut self, name: &str, labels: &[(&str, &str)], value: f64) -> &mut Self {
+        self.out.push_str(name);
+        if !labels.is_empty() {
+            self.out.push('{');
+            for (i, (k, v)) in labels.iter().enumerate() {
+                if i > 0 {
+                    self.out.push(',');
+                }
+                let _ = write!(self.out, "{k}=\"{}\"", escape_label(v));
+            }
+            self.out.push('}');
+        }
+        let _ = writeln!(self.out, " {}", fmt_value(value));
+        self
+    }
+
+    /// Convenience: header + single unlabeled sample.
+    pub fn scalar(&mut self, name: &str, kind: &str, help: &str, value: f64) -> &mut Self {
+        self.family(name, kind, help).sample(name, &[], value)
+    }
+
+    /// Write a full histogram family from fixed bucket upper bounds (ns)
+    /// and per-bucket counts. Rendered in **seconds** (the Prometheus
+    /// base unit), cumulative, with the mandatory `+Inf` bucket, `_sum`
+    /// and `_count` series.
+    #[allow(clippy::too_many_arguments)] // mirrors the exposition schema
+    pub fn histogram_ns(
+        &mut self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        bounds_ns: &[u64],
+        counts: &[u64],
+        sum_ns: u64,
+        count: u64,
+    ) -> &mut Self {
+        assert_eq!(bounds_ns.len(), counts.len(), "one count per bound");
+        self.family(name, "histogram", help);
+        let mut cumulative = 0u64;
+        let mut labels_le: Vec<(&str, String)> =
+            labels.iter().map(|(k, v)| (*k, (*v).to_string())).collect();
+        labels_le.push(("le", String::new()));
+        for (bound, c) in bounds_ns.iter().zip(counts) {
+            cumulative += c;
+            let le = if *bound == u64::MAX {
+                "+Inf".to_string()
+            } else {
+                fmt_value(*bound as f64 / 1e9)
+            };
+            labels_le.last_mut().unwrap().1 = le;
+            let borrowed: Vec<(&str, &str)> =
+                labels_le.iter().map(|(k, v)| (*k, v.as_str())).collect();
+            self.sample(&format!("{name}_bucket"), &borrowed, cumulative as f64);
+        }
+        if bounds_ns.last() != Some(&u64::MAX) {
+            labels_le.last_mut().unwrap().1 = "+Inf".into();
+            let borrowed: Vec<(&str, &str)> =
+                labels_le.iter().map(|(k, v)| (*k, v.as_str())).collect();
+            self.sample(&format!("{name}_bucket"), &borrowed, count as f64);
+        }
+        self.sample(&format!("{name}_sum"), labels, sum_ns as f64 / 1e9);
+        self.sample(&format!("{name}_count"), labels, count as f64);
+        self
+    }
+
+    /// Fold per-span-name aggregates (count + total seconds) from a
+    /// drained trace into the document, plus the dropped-record counter.
+    pub fn span_aggregates(&mut self, trace: &Trace) -> &mut Self {
+        let mut agg: BTreeMap<(&str, &str), (u64, u64)> = BTreeMap::new();
+        for s in &trace.spans {
+            let e = agg.entry((s.target, s.name)).or_insert((0, 0));
+            e.0 += 1;
+            e.1 = e.1.saturating_add(s.dur_ns);
+        }
+        self.family("observatory_span_total", "counter", "Closed spans per (target, name).");
+        for ((target, name), (count, _)) in &agg {
+            self.sample(
+                "observatory_span_total",
+                &[("target", target), ("name", name)],
+                *count as f64,
+            );
+        }
+        self.family(
+            "observatory_span_seconds_total",
+            "counter",
+            "Total time inside spans per (target, name); nested spans double-count their parents.",
+        );
+        for ((target, name), (_, ns)) in &agg {
+            self.sample(
+                "observatory_span_seconds_total",
+                &[("target", target), ("name", name)],
+                *ns as f64 / 1e9,
+            );
+        }
+        self.scalar(
+            "observatory_trace_dropped_records",
+            "counter",
+            "Span/event records discarded because the collector was full.",
+            trace.dropped as f64,
+        )
+    }
+
+    /// Finish and return the document.
+    pub fn finish(self) -> String {
+        self.out
+    }
+
+    /// Current document length in bytes.
+    pub fn len(&self) -> usize {
+        self.out.len()
+    }
+
+    /// Whether nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.out.is_empty()
+    }
+}
+
+fn fmt_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".into()
+    } else if v.is_infinite() {
+        if v > 0.0 {
+            "+Inf".into()
+        } else {
+            "-Inf".into()
+        }
+    } else if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+fn escape_help(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// Summary returned by [`validate`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PromSummary {
+    /// Distinct metric names with at least one sample.
+    pub metrics: Vec<String>,
+    /// Total sample lines.
+    pub samples: usize,
+}
+
+impl PromSummary {
+    /// Whether a metric name has samples.
+    pub fn has(&self, name: &str) -> bool {
+        self.metrics.iter().any(|m| m == name)
+    }
+}
+
+/// Line-by-line validation of a Prometheus text document:
+/// comment lines must be well-formed `# HELP`/`# TYPE`, sample lines
+/// must be `name[{labels}] value`, metric/label names must be legal,
+/// values must parse, and histogram `_bucket` series must be cumulative
+/// (non-decreasing in `le` order of appearance).
+pub fn validate(text: &str) -> Result<PromSummary, String> {
+    let mut summary = PromSummary::default();
+    let mut bucket_last: BTreeMap<String, f64> = BTreeMap::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let n = lineno + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let comment = comment.trim_start();
+            if comment.starts_with("HELP") || comment.starts_with("TYPE") {
+                let mut parts = comment.splitn(3, ' ');
+                let kw = parts.next().unwrap_or("");
+                let name = parts.next().unwrap_or("");
+                if !valid_metric_name(name) {
+                    return Err(format!("line {n}: bad metric name in # {kw}: '{name}'"));
+                }
+                if kw == "TYPE" {
+                    let t = parts.next().unwrap_or("").trim();
+                    if !matches!(t, "counter" | "gauge" | "histogram" | "summary" | "untyped") {
+                        return Err(format!("line {n}: unknown TYPE '{t}'"));
+                    }
+                }
+            }
+            continue; // other comments are legal and ignored
+        }
+        // Sample line: name[{labels}] value [timestamp]
+        let (name, rest) = match line.find(['{', ' ']) {
+            Some(i) => line.split_at(i),
+            None => return Err(format!("line {n}: no value: '{line}'")),
+        };
+        if !valid_metric_name(name) {
+            return Err(format!("line {n}: bad metric name '{name}'"));
+        }
+        let mut le_label: Option<f64> = None;
+        let rest = if let Some(body) = rest.strip_prefix('{') {
+            let close = body.find('}').ok_or_else(|| format!("line {n}: unclosed labels"))?;
+            let labels = &body[..close];
+            for pair in split_labels(labels) {
+                let (k, v) = pair
+                    .split_once('=')
+                    .ok_or_else(|| format!("line {n}: bad label pair '{pair}'"))?;
+                if !valid_label_name(k) {
+                    return Err(format!("line {n}: bad label name '{k}'"));
+                }
+                let v = v.trim();
+                if !(v.starts_with('"') && v.ends_with('"') && v.len() >= 2) {
+                    return Err(format!("line {n}: unquoted label value '{v}'"));
+                }
+                if k == "le" {
+                    let raw = &v[1..v.len() - 1];
+                    le_label = Some(parse_value(raw).map_err(|e| format!("line {n}: {e}"))?);
+                }
+            }
+            &body[close + 1..]
+        } else {
+            rest
+        };
+        let value_str = rest.split_whitespace().next().unwrap_or("");
+        let value = parse_value(value_str).map_err(|e| format!("line {n}: {e}"))?;
+        if let (Some(series), Some(_le)) = (name.strip_suffix("_bucket"), le_label) {
+            let prev = bucket_last.entry(series.to_string()).or_insert(f64::NEG_INFINITY);
+            if value < *prev {
+                return Err(format!(
+                    "line {n}: histogram '{series}' buckets not cumulative ({value} < {prev})"
+                ));
+            }
+            *prev = value;
+        }
+        if !summary.metrics.iter().any(|m| m == name) {
+            summary.metrics.push(name.to_string());
+        }
+        summary.samples += 1;
+    }
+    if summary.samples == 0 {
+        return Err("no samples in document".into());
+    }
+    Ok(summary)
+}
+
+/// Split a label body on commas that are outside quoted values.
+fn split_labels(body: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut start = 0;
+    let mut in_quotes = false;
+    let mut escaped = false;
+    for (i, c) in body.char_indices() {
+        match c {
+            '\\' if in_quotes => escaped = !escaped,
+            '"' if !escaped => in_quotes = !in_quotes,
+            ',' if !in_quotes => {
+                if !body[start..i].trim().is_empty() {
+                    out.push(body[start..i].trim());
+                }
+                start = i + 1;
+                escaped = false;
+            }
+            _ => escaped = false,
+        }
+    }
+    if !body[start..].trim().is_empty() {
+        out.push(body[start..].trim());
+    }
+    out
+}
+
+fn parse_value(s: &str) -> Result<f64, String> {
+    match s {
+        "+Inf" => Ok(f64::INFINITY),
+        "-Inf" => Ok(f64::NEG_INFINITY),
+        "NaN" => Ok(f64::NAN),
+        _ => s.parse::<f64>().map_err(|_| format!("bad value '{s}'")),
+    }
+}
+
+fn valid_metric_name(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_name(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_emits_valid_text() {
+        let mut b = PromBuf::new();
+        b.scalar("observatory_encodes_total", "counter", "Total encodes.", 42.0);
+        b.family("observatory_cache_bytes", "gauge", "Live bytes per shard.");
+        b.sample("observatory_cache_bytes", &[("shard", "0")], 123.0);
+        b.sample("observatory_cache_bytes", &[("shard", "1")], 4.5);
+        let text = b.finish();
+        let s = validate(&text).expect("builder output must validate");
+        assert_eq!(s.samples, 3);
+        assert!(s.has("observatory_encodes_total"));
+        assert!(s.has("observatory_cache_bytes"));
+        assert!(text.contains("observatory_cache_bytes{shard=\"0\"} 123"));
+    }
+
+    #[test]
+    fn histogram_is_cumulative_with_inf() {
+        let mut b = PromBuf::new();
+        b.histogram_ns(
+            "observatory_encode_latency_seconds",
+            "Encode latency.",
+            &[],
+            &[1_000, 4_000, u64::MAX],
+            &[2, 3, 1],
+            12_345,
+            6,
+        );
+        let text = b.finish();
+        validate(&text).expect("histogram must validate");
+        assert!(text.contains("le=\"+Inf\"} 6"));
+        assert!(text.contains("observatory_encode_latency_seconds_count 6"));
+        assert!(text.contains("observatory_encode_latency_seconds_sum 0.000012345"));
+    }
+
+    #[test]
+    fn label_escaping_survives_validation() {
+        let mut b = PromBuf::new();
+        b.family("m_total", "counter", "Help with \\ backslash\nand newline.");
+        b.sample("m_total", &[("model", "we\"ird\\name")], 1.0);
+        validate(&b.finish()).expect("escaped labels must validate");
+    }
+
+    #[test]
+    fn validator_rejects_malformed() {
+        assert!(validate("").is_err(), "empty doc");
+        assert!(validate("1bad_name 3\n").is_err(), "leading digit");
+        assert!(validate("m{x=\"1\"\n").is_err(), "unclosed labels");
+        assert!(validate("m{x=1} 3\n").is_err(), "unquoted label value");
+        assert!(validate("m notanumber\n").is_err(), "bad value");
+        assert!(validate("# TYPE m bogus\nm 1\n").is_err(), "unknown TYPE");
+        let noncumulative = "h_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\n";
+        assert!(validate(noncumulative).is_err(), "non-cumulative buckets");
+    }
+
+    #[test]
+    fn validator_accepts_special_values() {
+        let s = validate("m_gauge NaN\nn_gauge +Inf\n").unwrap();
+        assert_eq!(s.samples, 2);
+    }
+
+    #[test]
+    fn span_aggregates_fold_trace() {
+        use crate::collector::SpanRecord;
+        use crate::level::Level;
+        let mk = |id, name: &'static str, dur| SpanRecord {
+            id,
+            parent: None,
+            name,
+            target: "props",
+            level: Level::Info,
+            tid: 1,
+            start_ns: 0,
+            dur_ns: dur,
+            fields: vec![],
+            panicked: false,
+        };
+        let trace = Trace {
+            spans: vec![mk(1, "P1", 1_000_000), mk(2, "P1", 2_000_000), mk(3, "P2", 500_000)],
+            events: vec![],
+            dropped: 2,
+        };
+        let mut b = PromBuf::new();
+        b.span_aggregates(&trace);
+        let text = b.finish();
+        validate(&text).unwrap();
+        assert!(text.contains("observatory_span_total{target=\"props\",name=\"P1\"} 2"));
+        assert!(text.contains("observatory_span_seconds_total{target=\"props\",name=\"P1\"} 0.003"));
+        assert!(text.contains("observatory_trace_dropped_records 2"));
+    }
+}

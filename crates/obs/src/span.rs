@@ -1,0 +1,168 @@
+//! RAII span guards and instant events.
+//!
+//! [`span()`] opens a span; the returned [`Span`] records itself into the
+//! global collector when dropped — including during panic unwinding, in
+//! which case the record is marked `panicked`. Parentage is tracked with
+//! a thread-local stack of open span ids: a new span's parent is the
+//! innermost open span *on the same thread*. Cross-thread edges (worker
+//! encodes under the batch span that spawned them) are wired explicitly
+//! with [`Span::with_parent`].
+//!
+//! When the site's level is filtered out, [`span()`] returns an inert
+//! guard: no allocation, no thread-local access, no collector touch —
+//! the whole call is the [`crate::enabled`] branch.
+
+use crate::collector::{collector, EventRecord, SpanRecord};
+use crate::level::{enabled, Level};
+use std::cell::RefCell;
+use std::fmt::Display;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Monotonic span-id source; 0 is never issued.
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Dense per-process thread-id source.
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+    /// Stack of open span ids on this thread (innermost last).
+    static STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+fn thread_id() -> u64 {
+    TID.with(|t| *t)
+}
+
+/// Id of the innermost open span on the current thread, if any.
+pub fn current_span_id() -> Option<u64> {
+    STACK.with(|s| s.borrow().last().copied())
+}
+
+struct ActiveSpan {
+    id: u64,
+    parent: Option<u64>,
+    name: &'static str,
+    target: &'static str,
+    level: Level,
+    tid: u64,
+    start: Instant,
+    fields: Vec<(&'static str, String)>,
+}
+
+/// An open span; closing (dropping) it emits a [`SpanRecord`].
+/// Inert (all methods no-ops) when the creating site was filtered out.
+#[must_use = "a span records its duration when dropped; binding it to _ closes it immediately"]
+pub struct Span(Option<ActiveSpan>);
+
+/// Open a span at `level`. Returns an inert guard unless
+/// [`enabled`]`(level)` — the disabled path is one atomic load.
+#[inline]
+pub fn span(level: Level, target: &'static str, name: &'static str) -> Span {
+    if !enabled(level) {
+        return Span(None);
+    }
+    let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+    let parent = current_span_id();
+    STACK.with(|s| s.borrow_mut().push(id));
+    Span(Some(ActiveSpan {
+        id,
+        parent,
+        name,
+        target,
+        level,
+        tid: thread_id(),
+        start: Instant::now(),
+        fields: Vec::new(),
+    }))
+}
+
+impl Span {
+    /// Attach a field (builder style).
+    pub fn with(mut self, key: &'static str, value: impl Display) -> Span {
+        self.record(key, value);
+        self
+    }
+
+    /// Attach a field to an already-open span.
+    pub fn record(&mut self, key: &'static str, value: impl Display) {
+        if let Some(a) = self.0.as_mut() {
+            a.fields.push((key, value.to_string()));
+        }
+    }
+
+    /// Override the parent edge (builder style). Use when the logical
+    /// parent lives on another thread, where the thread-local stack
+    /// cannot see it.
+    pub fn with_parent(mut self, parent: Option<u64>) -> Span {
+        if let Some(a) = self.0.as_mut() {
+            if parent.is_some() {
+                a.parent = parent;
+            }
+        }
+        self
+    }
+
+    /// This span's id (`None` when inert). Pass to [`Span::with_parent`]
+    /// on spans opened from other threads.
+    pub fn id(&self) -> Option<u64> {
+        self.0.as_ref().map(|a| a.id)
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(a) = self.0.take() else { return };
+        // Pop this span from the thread's open stack. Guards are dropped
+        // innermost-first in straight-line code *and* during unwinding,
+        // so the top is normally `a.id`; a stale deeper entry (a guard
+        // leaked with `mem::forget`) is removed defensively.
+        STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            if stack.last() == Some(&a.id) {
+                stack.pop();
+            } else if let Some(pos) = stack.iter().rposition(|&id| id == a.id) {
+                stack.remove(pos);
+            }
+        });
+        let c = collector();
+        let start_ns = u64::try_from(a.start.saturating_duration_since(c.epoch()).as_nanos())
+            .unwrap_or(u64::MAX);
+        let dur_ns = u64::try_from(a.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        c.push_span(SpanRecord {
+            id: a.id,
+            parent: a.parent,
+            name: a.name,
+            target: a.target,
+            level: a.level,
+            tid: a.tid,
+            start_ns,
+            dur_ns,
+            fields: a.fields,
+            panicked: std::thread::panicking(),
+        });
+    }
+}
+
+/// Record an instantaneous event with no fields.
+#[inline]
+pub fn event(level: Level, target: &'static str, name: &'static str) {
+    event_with(level, target, name, Vec::new);
+}
+
+/// Record an instantaneous event; `fields` is only invoked (and only
+/// allocates) when the site is enabled.
+#[inline]
+pub fn event_with<F>(level: Level, target: &'static str, name: &'static str, fields: F)
+where
+    F: FnOnce() -> Vec<(&'static str, String)>,
+{
+    if !enabled(level) {
+        return;
+    }
+    let c = collector();
+    let ts_ns = u64::try_from(Instant::now().saturating_duration_since(c.epoch()).as_nanos())
+        .unwrap_or(u64::MAX);
+    c.push_event(EventRecord { name, target, level, tid: thread_id(), ts_ns, fields: fields() });
+}

@@ -1,0 +1,169 @@
+//! Integration tests for the global tracing machinery: span nesting,
+//! level filtering, cross-thread parents, panic safety, and exporter
+//! round-trips through the real collector.
+//!
+//! The level and collector are process-wide, so every test takes the
+//! same lock and filters drained records by names unique to itself —
+//! tests must not see each other's spans.
+
+use observatory_obs as obs;
+use std::sync::Mutex;
+
+static GLOBAL_LOCK: Mutex<()> = Mutex::new(());
+
+/// Run `f` with the global level set to `level`, serialized against the
+/// other tests, restoring Off afterwards.
+fn with_level<T>(level: obs::Level, f: impl FnOnce() -> T) -> T {
+    let _guard = GLOBAL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    obs::set_level(level);
+    let out = f();
+    obs::set_level(obs::Level::Off);
+    out
+}
+
+#[test]
+fn spans_nest_and_close_in_order() {
+    let trace = with_level(obs::Level::Debug, || {
+        {
+            let _outer = obs::span(obs::Level::Info, "test", "nest_outer").with("k", "v");
+            let _mid = obs::span(obs::Level::Info, "test", "nest_mid");
+            let _inner = obs::span(obs::Level::Debug, "test", "nest_inner");
+        }
+        obs::drain()
+    });
+    let outer = trace.spans_named("nest_outer").next().expect("outer recorded");
+    let mid = trace.spans_named("nest_mid").next().expect("mid recorded");
+    let inner = trace.spans_named("nest_inner").next().expect("inner recorded");
+    assert_eq!(outer.parent, None);
+    assert_eq!(mid.parent, Some(outer.id));
+    assert_eq!(inner.parent, Some(mid.id));
+    assert_eq!(outer.fields, vec![("k", "v".to_string())]);
+    assert!(!outer.panicked);
+    trace.check_nesting().expect("well-formed forest");
+}
+
+#[test]
+fn level_filter_suppresses_and_is_inert() {
+    let trace = with_level(obs::Level::Info, || {
+        let filtered = obs::span(obs::Level::Debug, "test", "filtered_out");
+        assert_eq!(filtered.id(), None, "filtered span is inert");
+        drop(filtered);
+        let _kept = obs::span(obs::Level::Info, "test", "level_kept");
+        obs::event(obs::Level::Trace, "test", "filtered_event");
+        obs::event(obs::Level::Info, "test", "kept_event");
+        drop(_kept);
+        obs::drain()
+    });
+    assert_eq!(trace.spans_named("filtered_out").count(), 0);
+    assert_eq!(trace.spans_named("level_kept").count(), 1);
+    assert!(!trace.events.iter().any(|e| e.name == "filtered_event"));
+    assert!(trace.events.iter().any(|e| e.name == "kept_event"));
+}
+
+#[test]
+fn off_records_nothing_at_all() {
+    let _guard = GLOBAL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    obs::set_level(obs::Level::Off);
+    let before = obs::drain();
+    drop(before);
+    {
+        let _s = obs::span(obs::Level::Error, "test", "off_span");
+        obs::event(obs::Level::Error, "test", "off_event");
+    }
+    let trace = obs::drain();
+    assert_eq!(trace.spans_named("off_span").count(), 0);
+    assert!(!trace.events.iter().any(|e| e.name == "off_event"));
+}
+
+#[test]
+fn cross_thread_parent_via_with_parent() {
+    let trace = with_level(obs::Level::Trace, || {
+        let batch = obs::span(obs::Level::Info, "test", "xthread_batch");
+        let parent_id = batch.id();
+        std::thread::scope(|scope| {
+            for _ in 0..2 {
+                scope.spawn(|| {
+                    let _w = obs::span(obs::Level::Trace, "test", "xthread_worker")
+                        .with_parent(parent_id);
+                });
+            }
+        });
+        drop(batch);
+        obs::drain()
+    });
+    let batch = trace.spans_named("xthread_batch").next().unwrap();
+    let workers: Vec<_> = trace.spans_named("xthread_worker").collect();
+    assert_eq!(workers.len(), 2);
+    for w in &workers {
+        assert_eq!(w.parent, Some(batch.id), "explicit cross-thread parent");
+        assert_ne!(w.tid, batch.tid, "workers run on other threads");
+    }
+    trace.check_nesting().expect("cross-thread forest still nests");
+}
+
+#[test]
+fn panicking_worker_still_closes_its_spans() {
+    let trace = with_level(obs::Level::Debug, || {
+        let handle = std::thread::spawn(|| {
+            let _outer = obs::span(obs::Level::Info, "test", "panic_outer");
+            let _inner = obs::span(obs::Level::Info, "test", "panic_inner");
+            panic!("worker poisoned");
+        });
+        assert!(handle.join().is_err(), "worker must panic");
+        obs::drain()
+    });
+    let outer = trace.spans_named("panic_outer").next().expect("outer closed during unwind");
+    let inner = trace.spans_named("panic_inner").next().expect("inner closed during unwind");
+    assert!(outer.panicked && inner.panicked, "unwound spans are marked");
+    assert_eq!(inner.parent, Some(outer.id), "parentage survives the panic");
+    trace.check_nesting().expect("panicked spans still nest");
+}
+
+#[test]
+fn chrome_export_round_trips_through_parser() {
+    let trace = with_level(obs::Level::Debug, || {
+        {
+            let _p = obs::span(obs::Level::Info, "props", "roundtrip_P1").with("model", "bert");
+            let _b = obs::span(obs::Level::Debug, "runtime", "roundtrip_batch");
+            obs::event_with(obs::Level::Debug, "cache", "roundtrip_evict", || {
+                vec![("count", "3".into())]
+            });
+        }
+        obs::drain()
+    });
+    let mut manifest = obs::Manifest::new();
+    manifest.set("seed", "42").set("models", "bert");
+    let json_text = obs::chrome_trace(&trace, &manifest);
+    let doc = obs::json::parse(&json_text).expect("export parses");
+    assert_eq!(doc.get("otherData").unwrap().get("seed").unwrap().as_str(), Some("42"));
+    let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+    let batch = events
+        .iter()
+        .find(|e| e.get("name").and_then(|n| n.as_str()) == Some("roundtrip_batch"))
+        .expect("batch span exported");
+    let parent = batch.get("args").unwrap().get("parent").unwrap().as_f64().unwrap();
+    let p1 = events
+        .iter()
+        .find(|e| e.get("name").and_then(|n| n.as_str()) == Some("roundtrip_P1"))
+        .unwrap();
+    assert_eq!(p1.get("args").unwrap().get("id").unwrap().as_f64(), Some(parent));
+    assert!(events
+        .iter()
+        .any(|e| e.get("name").and_then(|n| n.as_str()) == Some("roundtrip_evict")));
+}
+
+#[test]
+fn prometheus_span_aggregates_validate() {
+    let trace = with_level(obs::Level::Info, || {
+        for _ in 0..3 {
+            let _s = obs::span(obs::Level::Info, "props", "prom_agg_span");
+        }
+        obs::drain()
+    });
+    let mut buf = obs::PromBuf::new();
+    buf.span_aggregates(&trace);
+    let text = buf.finish();
+    let summary = obs::prom::validate(&text).expect("aggregates validate");
+    assert!(summary.has("observatory_span_total"));
+    assert!(text.contains("name=\"prom_agg_span\"} 3"));
+}

@@ -17,6 +17,7 @@
 
 use crate::fingerprint::Fingerprint;
 use observatory_models::{ModelEncoding, TokenProvenance};
+use observatory_obs as obs;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -47,8 +48,17 @@ struct Shard {
     bytes: usize,
 }
 
-/// Aggregate cache statistics.
+/// Occupancy of one cache shard.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShardOccupancy {
+    /// Live entries in the shard.
+    pub entries: usize,
+    /// Approximate live bytes in the shard.
+    pub bytes: usize,
+}
+
+/// Aggregate cache statistics.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct CacheStats {
     /// Lookups that found a live entry.
     pub hits: u64,
@@ -64,7 +74,18 @@ pub struct CacheStats {
     pub bytes: usize,
     /// Configured capacity in bytes (0 = disabled).
     pub capacity: usize,
+    /// Per-shard occupancy, index = shard number ([`N_SHARDS`] entries).
+    /// Skew here means fingerprints are clustering (or one shard's
+    /// working set is hot) — the signal the Prometheus export exposes
+    /// per shard.
+    pub shards: Vec<ShardOccupancy>,
+    /// Largest total live-byte footprint ever observed (monotone across
+    /// `clear`, approximate under concurrency).
+    pub high_water_bytes: usize,
 }
+
+/// Alias used by the observability layer: a frozen cache state.
+pub type CacheSnapshot = CacheStats;
 
 impl CacheStats {
     /// Fraction of lookups served from cache (0 when no lookups yet).
@@ -89,6 +110,11 @@ pub struct EncodingCache {
     misses: AtomicU64,
     evictions: AtomicU64,
     insertions: AtomicU64,
+    /// Total live bytes across shards, maintained incrementally so the
+    /// high-water mark can be tracked without locking every shard.
+    total_bytes: AtomicU64,
+    /// Largest `total_bytes` ever observed.
+    high_water: AtomicU64,
 }
 
 impl EncodingCache {
@@ -105,6 +131,8 @@ impl EncodingCache {
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             insertions: AtomicU64::new(0),
+            total_bytes: AtomicU64::new(0),
+            high_water: AtomicU64::new(0),
         }
     }
 
@@ -147,14 +175,21 @@ impl EncodingCache {
     pub fn insert(&self, fp: Fingerprint, value: Arc<ModelEncoding>) {
         let bytes = encoding_bytes(&value);
         if !self.enabled() || bytes > self.shard_capacity {
+            if self.enabled() {
+                obs::event_with(obs::Level::Trace, "cache", "reject_oversized", || {
+                    vec![("bytes", bytes.to_string())]
+                });
+            }
             return;
         }
         let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
         let mut evicted = 0u64;
+        let mut freed = 0usize;
         {
             let mut shard = self.shard(fp).lock().unwrap();
             if let Some(old) = shard.map.remove(&fp.0) {
                 shard.bytes -= old.bytes;
+                freed += old.bytes;
             }
             while shard.bytes + bytes > self.shard_capacity {
                 // Stamp scan: O(entries), but shards stay small (≤ 1/16 of
@@ -167,34 +202,47 @@ impl EncodingCache {
                     .expect("non-empty: bytes > 0 implies entries exist");
                 let old = shard.map.remove(&lru).unwrap();
                 shard.bytes -= old.bytes;
+                freed += old.bytes;
                 evicted += 1;
             }
             shard.bytes += bytes;
             shard.map.insert(fp.0, Entry { value, bytes, stamp });
         }
         self.insertions.fetch_add(1, Ordering::Relaxed);
+        if freed > 0 {
+            self.total_bytes.fetch_sub(freed as u64, Ordering::Relaxed);
+        }
+        let live = self.total_bytes.fetch_add(bytes as u64, Ordering::Relaxed) + bytes as u64;
+        self.high_water.fetch_max(live, Ordering::Relaxed);
         if evicted > 0 {
             self.evictions.fetch_add(evicted, Ordering::Relaxed);
+            obs::event_with(obs::Level::Debug, "cache", "evict", || {
+                vec![("count", evicted.to_string()), ("freed_bytes", freed.to_string())]
+            });
         }
     }
 
-    /// Drop every entry (counters are preserved).
+    /// Drop every entry (counters and the high-water mark are preserved).
     pub fn clear(&self) {
         for shard in &self.shards {
             let mut s = shard.lock().unwrap();
             s.map.clear();
             s.bytes = 0;
         }
+        self.total_bytes.store(0, Ordering::Relaxed);
     }
 
-    /// Current statistics snapshot.
+    /// Current statistics snapshot, including per-shard occupancy and
+    /// the high-water byte mark.
     pub fn stats(&self) -> CacheStats {
         let mut entries = 0;
         let mut bytes = 0;
+        let mut shards = Vec::with_capacity(self.shards.len());
         for shard in &self.shards {
             let s = shard.lock().unwrap();
             entries += s.map.len();
             bytes += s.bytes;
+            shards.push(ShardOccupancy { entries: s.map.len(), bytes: s.bytes });
         }
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
@@ -204,6 +252,8 @@ impl EncodingCache {
             entries,
             bytes,
             capacity: self.capacity,
+            shards,
+            high_water_bytes: self.high_water.load(Ordering::Relaxed) as usize,
         }
     }
 }
@@ -296,6 +346,50 @@ mod tests {
         let s = cache.stats();
         assert_eq!(s.entries, 0);
         assert_eq!(s.misses, 1);
+    }
+
+    #[test]
+    fn per_shard_occupancy_and_high_water() {
+        let cache = EncodingCache::new(1 << 24);
+        let e = encoding(16, 32);
+        let per = encoding_bytes(&e);
+        // fp() spreads keys across shards via the high bits.
+        cache.insert(fp(1), Arc::clone(&e));
+        cache.insert(fp(2), Arc::clone(&e));
+        cache.insert(fp(3), Arc::clone(&e));
+        let s = cache.stats();
+        assert_eq!(s.shards.len(), N_SHARDS);
+        let shard_entries: usize = s.shards.iter().map(|sh| sh.entries).sum();
+        let shard_bytes: usize = s.shards.iter().map(|sh| sh.bytes).sum();
+        assert_eq!(shard_entries, s.entries, "shard occupancies sum to the total");
+        assert_eq!(shard_bytes, s.bytes);
+        assert_eq!(s.high_water_bytes, 3 * per);
+        // Clearing drops live bytes but the high-water mark survives.
+        cache.clear();
+        let after = cache.stats();
+        assert_eq!(after.bytes, 0);
+        assert!(after.shards.iter().all(|sh| sh.entries == 0 && sh.bytes == 0));
+        assert_eq!(after.high_water_bytes, 3 * per, "high water is monotone");
+        // Refilling less than before does not lower the mark.
+        cache.insert(fp(9), e);
+        assert_eq!(cache.stats().high_water_bytes, 3 * per);
+    }
+
+    #[test]
+    fn high_water_tracks_peak_not_current_under_eviction() {
+        // Capacity for two entries per shard; same-shard keys force
+        // eviction, so live bytes never exceed 2×, and the peak equals
+        // the pre-eviction maximum.
+        let one = encoding_bytes(&encoding(4, 8));
+        let cache = EncodingCache::new((2 * one + one / 2) * N_SHARDS);
+        let k = |n: u128| Fingerprint(n);
+        for n in 1..=4u128 {
+            cache.insert(k(n), encoding(4, 8));
+        }
+        let s = cache.stats();
+        assert!(s.evictions >= 2);
+        assert_eq!(s.bytes, 2 * one);
+        assert_eq!(s.high_water_bytes, 2 * one, "peak live footprint");
     }
 
     #[test]

@@ -1,0 +1,212 @@
+//! Prometheus text exposition of the engine's runtime state.
+//!
+//! Folds a [`MetricsSnapshot`] (encode/cache counters, per-model totals,
+//! the fixed-bucket latency histogram with p50/p95/p99 estimates), a
+//! [`CacheStats`] (per-shard occupancy + high-water mark), a provenance
+//! [`Manifest`], and optionally a drained span [`Trace`] into one
+//! `metrics.prom` document. The CLI's `--metrics-out` and the bench
+//! harness's `OBSERVATORY_METRICS_OUT` both render through here, so the
+//! exposition schema has exactly one definition.
+
+use crate::cache::CacheStats;
+use crate::metrics::{MetricsSnapshot, BUCKET_BOUNDS_NS};
+use observatory_obs::{Manifest, PromBuf, Trace};
+
+/// Render the full Prometheus document. `trace` adds per-span-name
+/// aggregates when present.
+pub fn prometheus_text(
+    snapshot: &MetricsSnapshot,
+    cache: &CacheStats,
+    manifest: &Manifest,
+    trace: Option<&Trace>,
+) -> String {
+    let mut buf = PromBuf::new();
+
+    // Provenance: one constant gauge carrying the manifest as labels.
+    buf.family("observatory_run_info", "gauge", "Run provenance manifest; value is always 1.");
+    let labels: Vec<(&str, &str)> =
+        manifest.pairs().iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
+    buf.sample("observatory_run_info", &labels, 1.0);
+
+    // Engine counters.
+    buf.scalar(
+        "observatory_encodes_total",
+        "counter",
+        "Tables actually encoded (cache misses that ran a model).",
+        snapshot.encodes as f64,
+    );
+    buf.scalar(
+        "observatory_encode_batches_total",
+        "counter",
+        "encode_batch invocations.",
+        snapshot.batches as f64,
+    );
+    buf.scalar(
+        "observatory_tokens_embedded_total",
+        "counter",
+        "Token embeddings produced.",
+        snapshot.tokens as f64,
+    );
+    buf.family("observatory_cache_lookups_total", "counter", "Engine cache lookups by result.");
+    buf.sample("observatory_cache_lookups_total", &[("result", "hit")], snapshot.cache_hits as f64);
+    buf.sample(
+        "observatory_cache_lookups_total",
+        &[("result", "miss")],
+        snapshot.cache_misses as f64,
+    );
+    buf.scalar(
+        "observatory_cache_hit_ratio",
+        "gauge",
+        "Cache hits over lookups (0 when no lookups).",
+        snapshot.hit_rate(),
+    );
+
+    // Cache occupancy, per shard and aggregate.
+    buf.scalar(
+        "observatory_cache_evictions_total",
+        "counter",
+        "Entries evicted to make room.",
+        cache.evictions as f64,
+    );
+    buf.scalar(
+        "observatory_cache_insertions_total",
+        "counter",
+        "Entries admitted.",
+        cache.insertions as f64,
+    );
+    buf.scalar(
+        "observatory_cache_capacity_bytes",
+        "gauge",
+        "Configured cache capacity (0 = disabled).",
+        cache.capacity as f64,
+    );
+    buf.scalar(
+        "observatory_cache_high_water_bytes",
+        "gauge",
+        "Largest live-byte footprint observed this run.",
+        cache.high_water_bytes as f64,
+    );
+    buf.family("observatory_cache_shard_entries", "gauge", "Live entries per shard.");
+    for (i, sh) in cache.shards.iter().enumerate() {
+        let shard = i.to_string();
+        buf.sample("observatory_cache_shard_entries", &[("shard", &shard)], sh.entries as f64);
+    }
+    buf.family("observatory_cache_shard_bytes", "gauge", "Approximate live bytes per shard.");
+    for (i, sh) in cache.shards.iter().enumerate() {
+        let shard = i.to_string();
+        buf.sample("observatory_cache_shard_bytes", &[("shard", &shard)], sh.bytes as f64);
+    }
+
+    // Latency histogram + quantile estimates from the fixed buckets.
+    let lat = &snapshot.encode_latency;
+    buf.histogram_ns(
+        "observatory_encode_latency_seconds",
+        "Wall time per real encode.",
+        &[],
+        &BUCKET_BOUNDS_NS,
+        &lat.buckets,
+        lat.sum_ns,
+        lat.count,
+    );
+    buf.family(
+        "observatory_encode_latency_quantile_seconds",
+        "gauge",
+        "Latency quantiles estimated from the fixed buckets.",
+    );
+    for (q, v) in [("0.5", lat.p50_ns()), ("0.95", lat.p95_ns()), ("0.99", lat.p99_ns())] {
+        buf.sample("observatory_encode_latency_quantile_seconds", &[("quantile", q)], v / 1e9);
+    }
+
+    // Per-model breakdown.
+    buf.family("observatory_model_encodes_total", "counter", "Real encodes per model.");
+    for (name, m) in &snapshot.per_model {
+        buf.sample("observatory_model_encodes_total", &[("model", name)], m.encodes as f64);
+    }
+    buf.family("observatory_model_tokens_total", "counter", "Token embeddings per model.");
+    for (name, m) in &snapshot.per_model {
+        buf.sample("observatory_model_tokens_total", &[("model", name)], m.tokens as f64);
+    }
+    buf.family(
+        "observatory_model_encode_seconds_total",
+        "counter",
+        "Wall time encoding per model.",
+    );
+    for (name, m) in &snapshot.per_model {
+        buf.sample(
+            "observatory_model_encode_seconds_total",
+            &[("model", name)],
+            m.encode_ns as f64 / 1e9,
+        );
+    }
+
+    if let Some(trace) = trace {
+        buf.span_aggregates(trace);
+    }
+    buf.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Metrics;
+    use crate::EncodingCache;
+    use observatory_obs::prom::validate;
+    use std::time::Duration;
+
+    fn sample_inputs() -> (MetricsSnapshot, CacheStats, Manifest) {
+        let m = Metrics::new();
+        m.record_miss();
+        m.record_encode("bert", Duration::from_micros(120), 64);
+        m.record_miss();
+        m.record_encode("tapas", Duration::from_millis(3), 32);
+        m.record_hit();
+        m.record_batch();
+        let cache = EncodingCache::new(1 << 20).stats();
+        let mut manifest = Manifest::new();
+        manifest.set("models", "bert,tapas").set("seed", "42").set("dataset", "demo");
+        (m.snapshot(), cache, manifest)
+    }
+
+    #[test]
+    fn exposition_validates_and_carries_everything() {
+        let (snap, cache, manifest) = sample_inputs();
+        let text = prometheus_text(&snap, &cache, &manifest, None);
+        let summary = validate(&text).expect("exposition must validate");
+        for name in [
+            "observatory_run_info",
+            "observatory_encodes_total",
+            "observatory_cache_lookups_total",
+            "observatory_cache_shard_entries",
+            "observatory_cache_shard_bytes",
+            "observatory_cache_high_water_bytes",
+            "observatory_encode_latency_seconds_bucket",
+            "observatory_encode_latency_seconds_sum",
+            "observatory_encode_latency_seconds_count",
+            "observatory_encode_latency_quantile_seconds",
+            "observatory_model_encodes_total",
+        ] {
+            assert!(summary.has(name), "missing {name}\n{text}");
+        }
+        assert!(text.contains("observatory_run_info{models=\"bert,tapas\",seed=\"42\""));
+        assert!(text.contains("model=\"bert\"} 1"));
+        assert!(text.contains("quantile=\"0.99\""));
+    }
+
+    #[test]
+    fn shard_gauges_cover_all_shards() {
+        let (snap, cache, manifest) = sample_inputs();
+        let text = prometheus_text(&snap, &cache, &manifest, None);
+        let lines =
+            text.lines().filter(|l| l.starts_with("observatory_cache_shard_entries{")).count();
+        assert_eq!(lines, crate::cache::N_SHARDS);
+    }
+
+    #[test]
+    fn trace_aggregates_are_folded_in() {
+        let (snap, cache, manifest) = sample_inputs();
+        let trace = Trace::default();
+        let text = prometheus_text(&snap, &cache, &manifest, Some(&trace));
+        let summary = validate(&text).unwrap();
+        assert!(summary.has("observatory_trace_dropped_records"));
+    }
+}

@@ -25,16 +25,19 @@
 //! latency histograms, rendered by the CLI as a post-run footer.
 
 pub mod cache;
+pub mod expose;
 pub mod fingerprint;
 pub mod metrics;
 pub mod pool;
 
-pub use cache::{CacheStats, EncodingCache};
+pub use cache::{CacheSnapshot, CacheStats, EncodingCache, ShardOccupancy};
+pub use expose::prometheus_text;
 pub use fingerprint::{fingerprint_request, fingerprint_table, Fingerprint, FingerprintHasher};
 pub use metrics::{Metrics, MetricsSnapshot, ModelStats};
 pub use pool::{resolve_jobs, run_indexed};
 
 use observatory_models::{ModelEncoding, TableEncoder};
+use observatory_obs as obs;
 use observatory_table::Table;
 use std::collections::HashMap;
 use std::sync::{Arc, OnceLock};
@@ -140,23 +143,34 @@ impl Engine {
     /// the result is admitted; on a hit the model is never consulted.
     pub fn encode_table(&self, model: &dyn TableEncoder, table: &Table) -> Arc<ModelEncoding> {
         let fp = fingerprint_table(model.name(), table);
-        self.encode_fingerprinted(model, table, fp)
+        self.encode_fingerprinted(model, table, fp, None)
     }
 
+    /// `parent` is the batch span id when the call runs on a pool worker
+    /// — the worker's thread-local span stack cannot see the caller's
+    /// spans, so the edge is threaded explicitly.
     fn encode_fingerprinted(
         &self,
         model: &dyn TableEncoder,
         table: &Table,
         fp: Fingerprint,
+        parent: Option<u64>,
     ) -> Arc<ModelEncoding> {
         if let Some(hit) = self.cache.get(fp) {
             self.metrics.record_hit();
+            obs::event(obs::Level::Trace, "cache", "hit");
             return hit;
         }
         self.metrics.record_miss();
+        let mut span = obs::span(obs::Level::Debug, "runtime", "encode")
+            .with_parent(parent)
+            .with("model", model.name())
+            .with("rows", table.num_rows())
+            .with("cols", table.num_cols());
         let start = Instant::now();
         let encoding = Arc::new(model.encode_table(table));
         self.metrics.record_encode(model.name(), start.elapsed(), encoding.embeddings.rows());
+        span.record("tokens", encoding.embeddings.rows());
         self.cache.insert(fp, Arc::clone(&encoding));
         encoding
     }
@@ -174,6 +188,10 @@ impl Engine {
         tables: &[Table],
     ) -> Vec<Arc<ModelEncoding>> {
         self.metrics.record_batch();
+        let mut batch_span = obs::span(obs::Level::Info, "runtime", "encode_batch")
+            .with("model", model.name())
+            .with("tables", tables.len())
+            .with("jobs", self.config.jobs);
         let fps: Vec<Fingerprint> =
             tables.iter().map(|t| fingerprint_table(model.name(), t)).collect();
         // Deduplicate within the batch: map each input position to the
@@ -188,9 +206,11 @@ impl Engine {
             });
             unique_slot.push(slot);
         }
+        batch_span.record("unique", unique.len());
+        let parent = batch_span.id();
         let encoded: Vec<Arc<ModelEncoding>> = run_indexed(self.config.jobs, unique.len(), |u| {
             let i = unique[u];
-            self.encode_fingerprinted(model, &tables[i], fps[i])
+            self.encode_fingerprinted(model, &tables[i], fps[i], parent)
         });
         unique_slot.into_iter().map(|slot| Arc::clone(&encoded[slot])).collect()
     }

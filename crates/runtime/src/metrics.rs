@@ -39,11 +39,18 @@ pub struct Histogram {
 
 impl Histogram {
     /// Record one observation.
+    ///
+    /// `sum_ns` accumulation is **saturating**: a pathological duration
+    /// stream (e.g. repeated `Duration::MAX` observations from a clock
+    /// glitch) pins the sum at `u64::MAX` instead of wrapping to a small
+    /// number, which would silently corrupt every derived mean.
     pub fn record(&self, d: Duration) {
         let ns = u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
         let idx = BUCKET_BOUNDS_NS.iter().position(|&b| ns <= b).unwrap_or(11);
         self.buckets[idx].fetch_add(1, Ordering::Relaxed);
-        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        let _ = self
+            .sum_ns
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| Some(cur.saturating_add(ns)));
         self.count.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -76,6 +83,67 @@ impl HistogramSnapshot {
         } else {
             self.sum_ns as f64 / self.count as f64
         }
+    }
+
+    /// Fold another snapshot into this one. Bucket counts and the total
+    /// count add; `sum_ns` saturates like [`Histogram::record`] does.
+    /// Merging is how per-engine histograms aggregate across processes
+    /// or bench shards.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b = b.saturating_add(*o);
+        }
+        self.sum_ns = self.sum_ns.saturating_add(other.sum_ns);
+        self.count = self.count.saturating_add(other.count);
+    }
+
+    /// Estimate the `q`-quantile (`q ∈ [0, 1]`, clamped) in nanoseconds
+    /// from the fixed buckets, interpolating linearly inside the bucket
+    /// that contains the target rank. The catch-all bucket has no upper
+    /// bound, so ranks landing there return its lower bound — a
+    /// deliberate under-estimate rather than a fabricated tail. Empty
+    /// histograms return 0.
+    pub fn percentile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = q * self.count as f64;
+        let mut cumulative = 0u64;
+        let mut lower = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            let upper = BUCKET_BOUNDS_NS[i];
+            if n > 0 {
+                let before = cumulative as f64;
+                cumulative += n;
+                if cumulative as f64 >= target {
+                    if upper == u64::MAX {
+                        return lower as f64;
+                    }
+                    let frac = ((target - before) / n as f64).clamp(0.0, 1.0);
+                    return lower as f64 + frac * (upper - lower) as f64;
+                }
+            }
+            if upper != u64::MAX {
+                lower = upper;
+            }
+        }
+        lower as f64
+    }
+
+    /// Convenience accessors for the standard latency quantiles.
+    pub fn p50_ns(&self) -> f64 {
+        self.percentile(0.50)
+    }
+
+    /// 95th percentile estimate, ns.
+    pub fn p95_ns(&self) -> f64 {
+        self.percentile(0.95)
+    }
+
+    /// 99th percentile estimate, ns.
+    pub fn p99_ns(&self) -> f64 {
+        self.percentile(0.99)
     }
 }
 
@@ -196,9 +264,12 @@ impl MetricsSnapshot {
             self.batches,
         ));
         out.push_str(&format!(
-            "tokens embedded: {}   mean encode: {}\n",
+            "tokens embedded: {}   mean encode: {}   p50/p95/p99: {} / {} / {}\n",
             self.tokens,
             fmt_ns(self.encode_latency.mean_ns()),
+            fmt_ns(self.encode_latency.p50_ns()),
+            fmt_ns(self.encode_latency.p95_ns()),
+            fmt_ns(self.encode_latency.p99_ns()),
         ));
         for (name, m) in &self.per_model {
             let mean = if m.encodes == 0 { 0.0 } else { m.encode_ns as f64 / m.encodes as f64 };
@@ -247,6 +318,145 @@ mod tests {
     #[test]
     fn bounds_are_sorted() {
         assert!(BUCKET_BOUNDS_NS.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn percentile_empty_is_zero() {
+        let s = HistogramSnapshot::default();
+        assert_eq!(s.percentile(0.5), 0.0);
+        assert_eq!(s.p99_ns(), 0.0);
+    }
+
+    #[test]
+    fn percentile_single_bucket_interpolates_within_bounds() {
+        // 100 observations all in the 4µs..16µs bucket (index 2).
+        let mut s = HistogramSnapshot::default();
+        s.buckets[2] = 100;
+        s.count = 100;
+        s.sum_ns = 100 * 10_000;
+        for q in [0.0, 0.25, 0.5, 0.95, 1.0] {
+            let p = s.percentile(q);
+            assert!((4_000.0..=16_000.0).contains(&p), "q={q}: {p} outside the bucket's bounds");
+        }
+        // Interpolation is monotone in q.
+        assert!(s.percentile(0.2) < s.percentile(0.8));
+        // Median of a uniform fill sits at the bucket midpoint.
+        assert!((s.percentile(0.5) - 10_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn percentile_across_buckets() {
+        // 90 fast (≤1µs), 10 slow (1.024ms..4.096ms bucket).
+        let mut s = HistogramSnapshot::default();
+        s.buckets[0] = 90;
+        s.buckets[6] = 10;
+        s.count = 100;
+        assert!(s.p50_ns() <= 1_000.0, "median in the fast bucket");
+        assert!(s.p95_ns() >= 1_024_000.0, "p95 in the slow bucket");
+        assert!(s.p95_ns() <= 4_096_000.0);
+        assert!(s.p99_ns() >= s.p95_ns(), "quantiles are monotone");
+    }
+
+    #[test]
+    fn percentile_catch_all_returns_lower_bound() {
+        // All mass in the unbounded catch-all bucket: the estimate must
+        // be its (finite) lower bound, not an invented upper bound.
+        let mut s = HistogramSnapshot::default();
+        s.buckets[11] = 5;
+        s.count = 5;
+        assert_eq!(s.percentile(0.5), BUCKET_BOUNDS_NS[10] as f64);
+        assert_eq!(s.percentile(1.0), BUCKET_BOUNDS_NS[10] as f64);
+    }
+
+    #[test]
+    fn percentile_clamps_q() {
+        let mut s = HistogramSnapshot::default();
+        s.buckets[0] = 4;
+        s.count = 4;
+        assert_eq!(s.percentile(-3.0), s.percentile(0.0));
+        assert_eq!(s.percentile(7.0), s.percentile(1.0));
+    }
+
+    #[test]
+    fn merge_adds_everything() {
+        let a_src = Histogram::default();
+        a_src.record(Duration::from_nanos(500));
+        a_src.record(Duration::from_micros(10));
+        let b_src = Histogram::default();
+        b_src.record(Duration::from_micros(10));
+        b_src.record(Duration::from_millis(2));
+        let mut a = a_src.snapshot();
+        let b = b_src.snapshot();
+        a.merge(&b);
+        assert_eq!(a.count, 4);
+        assert_eq!(a.buckets.iter().sum::<u64>(), 4);
+        assert_eq!(a.buckets[2], 2, "shared bucket adds");
+        assert_eq!(a.sum_ns, 500 + 10_000 + 10_000 + 2_000_000);
+        // Merging an empty snapshot is the identity.
+        let before = a.clone();
+        a.merge(&HistogramSnapshot::default());
+        assert_eq!(a, before);
+        // Merging *into* an empty snapshot copies.
+        let mut empty = HistogramSnapshot::default();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn merge_saturates_sum() {
+        let mut a = HistogramSnapshot { buckets: [0; 12], sum_ns: u64::MAX - 10, count: 1 };
+        a.buckets[11] = 1;
+        let mut b = HistogramSnapshot { buckets: [0; 12], sum_ns: 1_000, count: 1 };
+        b.buckets[11] = 1;
+        a.merge(&b);
+        assert_eq!(a.sum_ns, u64::MAX, "saturates instead of wrapping");
+        assert_eq!(a.count, 2);
+    }
+
+    #[test]
+    fn record_saturates_instead_of_wrapping() {
+        // Pathological durations: two near-u64::MAX observations would
+        // wrap `sum_ns` to a tiny value with wrapping arithmetic; the
+        // accumulator must saturate instead.
+        let h = Histogram::default();
+        h.record(Duration::MAX);
+        h.record(Duration::MAX);
+        h.record(Duration::from_micros(3));
+        let s = h.snapshot();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.sum_ns, u64::MAX, "pinned at the ceiling, not wrapped");
+        // Invariant: the sum is never less than count × the lower bound
+        // of the smallest non-empty bucket (impossible under wrapping).
+        let min_bucket_lower = s
+            .buckets
+            .iter()
+            .position(|&n| n > 0)
+            .map(|i| if i == 0 { 0 } else { BUCKET_BOUNDS_NS[i - 1] })
+            .unwrap();
+        assert!(
+            s.sum_ns >= s.count.saturating_mul(min_bucket_lower),
+            "sum_ns {} < count {} × min bucket lower bound {}",
+            s.sum_ns,
+            s.count,
+            min_bucket_lower
+        );
+    }
+
+    #[test]
+    fn sum_invariant_holds_on_normal_workloads() {
+        let h = Histogram::default();
+        for us in [5u64, 50, 500, 5_000, 50_000] {
+            h.record(Duration::from_micros(us));
+        }
+        let s = h.snapshot();
+        let min_bucket_lower = s
+            .buckets
+            .iter()
+            .position(|&n| n > 0)
+            .map(|i| if i == 0 { 0 } else { BUCKET_BOUNDS_NS[i - 1] })
+            .unwrap();
+        assert!(s.sum_ns >= s.count * min_bucket_lower);
+        assert_eq!(s.sum_ns, 5_000 + 50_000 + 500_000 + 5_000_000 + 50_000_000);
     }
 
     #[test]

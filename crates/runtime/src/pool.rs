@@ -13,6 +13,7 @@
 //! `&[Table]`) flows into workers without `'static` bounds or `Arc`
 //! plumbing, and panics propagate to the caller instead of being lost.
 
+use observatory_obs as obs;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 
@@ -45,21 +46,33 @@ where
     let (tx, rx) = mpsc::channel::<(usize, T)>();
     let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
     slots.resize_with(n, || None);
+    // The spawning thread's innermost span (e.g. `encode_batch`) becomes
+    // the explicit parent of each worker span: workers have their own
+    // (empty) span stacks, so the edge cannot come from thread-locals.
+    let pool_parent = obs::current_span_id();
     std::thread::scope(|scope| {
-        for _ in 0..workers {
+        for w in 0..workers {
             let tx = tx.clone();
             let cursor = &cursor;
             let f = &f;
-            scope.spawn(move || loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
+            scope.spawn(move || {
+                let mut span = obs::span(obs::Level::Trace, "pool", "worker")
+                    .with_parent(pool_parent)
+                    .with("worker", w);
+                let mut items = 0usize;
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    // A send can only fail if the receiver is gone, which
+                    // means the parent scope is unwinding already.
+                    if tx.send((i, f(i))).is_err() {
+                        break;
+                    }
+                    items += 1;
                 }
-                // A send can only fail if the receiver is gone, which
-                // means the parent scope is unwinding already.
-                if tx.send((i, f(i))).is_err() {
-                    break;
-                }
+                span.record("items", items);
             });
         }
         drop(tx);

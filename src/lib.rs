@@ -21,6 +21,7 @@
 //! | [`data`] | `observatory-data` | the five synthetic dataset suites |
 //! | [`search`] | `observatory-search` | overlap measures, kNN, join discovery |
 //! | [`runtime`] | `observatory-runtime` | embedding engine: cache, worker pool, metrics |
+//! | [`obs`] | `observatory-obs` | structured tracing: spans, collector, Chrome + Prometheus exporters |
 //! | [`core`] | `observatory-core` | the eight properties, runner, reports, downstream tasks |
 //!
 //! ## Quickstart
@@ -44,6 +45,7 @@ pub use observatory_data as data;
 pub use observatory_fd as fd;
 pub use observatory_linalg as linalg;
 pub use observatory_models as models;
+pub use observatory_obs as obs;
 pub use observatory_runtime as runtime;
 pub use observatory_search as search;
 pub use observatory_stats as stats;

@@ -24,11 +24,13 @@ use observatory::core::scope;
 use observatory::data::wikitables::WikiTablesConfig;
 use observatory::fd::approx::discover_approximate_unary_fds;
 use observatory::models::registry::{model_by_name, specs, MODEL_NAMES};
+use observatory::obs;
 use observatory::runtime::EngineConfig;
 use observatory::table::csv::parse_csv;
 use observatory::table::Table;
 
 fn main() {
+    obs::init_from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let code = match args.first().map(String::as_str) {
         Some("models") => cmd_models(),
@@ -57,10 +59,19 @@ fn print_usage() {
     println!("                           [--csv <file>]... [--seed <n>] [--permutations <n>]");
     println!("                           [--jobs <n>]       encode worker threads (also OBSERVATORY_JOBS)");
     println!("                           [--export <dir>]   write raw distributions as CSV");
+    println!(
+        "                           [--trace-out <file>]   Chrome trace-event JSON of the run"
+    );
+    println!(
+        "                           [--metrics-out <file>] Prometheus text exposition of the run"
+    );
     println!("  observatory mine-fds --csv <file> [--max-error <fraction>]");
     println!();
     println!("Without --csv, characterize uses a built-in demo corpus. See DESIGN.md");
     println!("for the full experiment harness (cargo run -p observatory-bench --bin ...).");
+    println!();
+    println!("OBSERVATORY_LOG=off|error|info|debug|trace controls span collection (default off;");
+    println!("--trace-out raises it to at least debug so the trace is populated).");
 }
 
 /// Extract every value of a repeatable `--flag value` option.
@@ -194,7 +205,15 @@ fn cmd_characterize(args: &[String]) -> i32 {
             }
         },
     }
+    let trace_out = opt_value(args, "--trace-out").map(str::to_owned);
+    let metrics_out = opt_value(args, "--metrics-out").map(str::to_owned);
+    if trace_out.is_some() {
+        // An empty trace file would be useless; make sure the property,
+        // encode_batch and encode spans are actually collected.
+        obs::raise_level(obs::Level::Debug);
+    }
     let ctx = EvalContext::with_seed(seed);
+    let started = std::time::Instant::now();
 
     let p1 = RowOrderInsignificance { max_permutations: perms };
     let p2 = ColumnOrderInsignificance { max_permutations: perms };
@@ -245,7 +264,69 @@ fn cmd_characterize(args: &[String]) -> i32 {
         print!("{}", render_report(&report));
     }
     print_runtime_footer(&ctx);
+    if trace_out.is_some() || metrics_out.is_some() {
+        let manifest = run_manifest(args, &property_id, model_name, perms, seed, &ctx, started);
+        if let Err(e) = write_observability(&ctx, &manifest, trace_out, metrics_out) {
+            eprintln!("{e}");
+            return 1;
+        }
+    }
     0
+}
+
+/// Provenance manifest for `--trace-out` / `--metrics-out`: enough to
+/// reproduce the run and attribute its outputs.
+fn run_manifest(
+    args: &[String],
+    property_id: &str,
+    model_name: &str,
+    perms: usize,
+    seed: u64,
+    ctx: &EvalContext,
+    started: std::time::Instant,
+) -> obs::Manifest {
+    let csvs = opt_values(args, "--csv");
+    let dataset = if csvs.is_empty() { "wikitables-demo".to_string() } else { csvs.join(",") };
+    let mut manifest = obs::Manifest::for_run();
+    manifest
+        .set("command", "characterize")
+        .set("property", property_id)
+        .set("models", model_name)
+        .set("dataset", &dataset)
+        .set("seed", seed.to_string())
+        .set("permutations", perms.to_string())
+        .set("jobs", ctx.engine.jobs().to_string())
+        .set("cache_capacity_bytes", ctx.engine.cache_stats().capacity.to_string())
+        .set("wall_ms", started.elapsed().as_millis().to_string());
+    manifest
+}
+
+/// Drain the collected trace once and render whichever exports were
+/// requested. The span aggregates fold into the Prometheus text, so both
+/// outputs come from the same drain.
+fn write_observability(
+    ctx: &EvalContext,
+    manifest: &obs::Manifest,
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
+) -> Result<(), String> {
+    let trace = obs::drain();
+    if let Some(path) = trace_out {
+        let text = obs::chrome_trace(&trace, manifest);
+        std::fs::write(&path, text).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("trace: {} spans -> {path}", trace.spans.len());
+    }
+    if let Some(path) = metrics_out {
+        let text = observatory::runtime::prometheus_text(
+            &ctx.engine.metrics_snapshot(),
+            &ctx.engine.cache_stats(),
+            manifest,
+            Some(&trace),
+        );
+        std::fs::write(&path, text).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("metrics -> {path}");
+    }
+    Ok(())
 }
 
 /// Post-run engine report: encode/cache counters, latency, cache bytes.

@@ -1,0 +1,198 @@
+//! Round-trip tests for the observability exporters: run the real CLI
+//! binary with `--trace-out` / `--metrics-out`, parse both artifacts back
+//! through the workspace's own zero-dependency parsers, and check the
+//! structural promises the exposition makes (span nesting, encode→property
+//! parentage, provenance manifest, metric schema).
+
+use observatory::obs::json::{parse, Json};
+use observatory::obs::prom::validate;
+use std::collections::HashMap;
+use std::process::Command;
+
+fn temp_path(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("observatory-obs-test-{}-{name}", std::process::id()));
+    p
+}
+
+/// One characterize run with both exporters; returns (trace, metrics).
+fn run_characterize(extra_env: &[(&str, &str)]) -> (String, String) {
+    let trace = temp_path("trace.json");
+    let metrics = temp_path("metrics.prom");
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_observatory"));
+    cmd.args([
+        "characterize",
+        "--property",
+        "P1",
+        "--permutations",
+        "4",
+        "--trace-out",
+        trace.to_str().unwrap(),
+        "--metrics-out",
+        metrics.to_str().unwrap(),
+    ]);
+    for (k, v) in extra_env {
+        cmd.env(k, v);
+    }
+    let out = cmd.output().expect("CLI binary runs");
+    assert!(
+        out.status.success(),
+        "characterize failed:\n{}\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr),
+    );
+    let trace_text = std::fs::read_to_string(&trace).expect("trace file written");
+    let metrics_text = std::fs::read_to_string(&metrics).expect("metrics file written");
+    let _ = std::fs::remove_file(&trace);
+    let _ = std::fs::remove_file(&metrics);
+    (trace_text, metrics_text)
+}
+
+struct SpanEvt {
+    name: String,
+    target: String,
+    parent: Option<u64>,
+    ts: f64,
+    dur: f64,
+}
+
+fn spans_of(doc: &Json) -> HashMap<u64, SpanEvt> {
+    let mut spans = HashMap::new();
+    for ev in doc.get("traceEvents").and_then(Json::as_array).expect("traceEvents") {
+        if ev.get("ph").and_then(Json::as_str) != Some("X") {
+            continue;
+        }
+        let args = ev.get("args").expect("span args");
+        let id = args.get("id").and_then(Json::as_f64).expect("span id") as u64;
+        let parent = match args.get("parent") {
+            None | Some(Json::Null) => None,
+            Some(p) => Some(p.as_f64().expect("numeric parent") as u64),
+        };
+        spans.insert(
+            id,
+            SpanEvt {
+                name: ev.get("name").and_then(Json::as_str).unwrap_or_default().to_string(),
+                target: ev.get("cat").and_then(Json::as_str).unwrap_or_default().to_string(),
+                parent,
+                ts: ev.get("ts").and_then(Json::as_f64).expect("ts"),
+                dur: ev.get("dur").and_then(Json::as_f64).expect("dur"),
+            },
+        );
+    }
+    spans
+}
+
+#[test]
+fn trace_round_trips_with_nesting_and_provenance() {
+    let (trace_text, metrics_text) = run_characterize(&[]);
+    let doc = parse(&trace_text).expect("trace parses as JSON");
+
+    // Provenance manifest rides in otherData on the trace side.
+    let other = doc.get("otherData").expect("otherData manifest");
+    for key in ["version", "models", "dataset", "seed", "permutations", "jobs", "wall_ms"] {
+        let v = other.get(key).and_then(Json::as_str).unwrap_or("");
+        assert!(!v.is_empty(), "manifest missing {key}\n{trace_text}");
+    }
+    assert_eq!(other.get("property").and_then(Json::as_str), Some("P1"));
+
+    let spans = spans_of(&doc);
+    assert!(!spans.is_empty(), "trace has spans");
+
+    // Well-formed nesting: known parent, allocation order, containment.
+    const SLACK_US: f64 = 10.0;
+    for (id, s) in &spans {
+        if let Some(pid) = s.parent {
+            let p = spans.get(&pid).unwrap_or_else(|| panic!("span {id} unknown parent {pid}"));
+            assert!(pid < *id, "parent id must precede child id");
+            assert!(
+                s.ts + SLACK_US >= p.ts && s.ts + s.dur <= p.ts + p.dur + SLACK_US,
+                "span {id} ({}) escapes parent {pid} ({})",
+                s.name,
+                p.name,
+            );
+        }
+    }
+
+    // Every encode_batch span must hang off the P1 property span.
+    let batches: Vec<&SpanEvt> = spans.values().filter(|s| s.name == "encode_batch").collect();
+    assert!(!batches.is_empty(), "no encode_batch spans recorded");
+    for batch in batches {
+        let mut cursor = batch.parent;
+        let mut reached_property = false;
+        while let Some(pid) = cursor {
+            let p = &spans[&pid];
+            if p.target == "props" {
+                assert_eq!(p.name, "P1");
+                reached_property = true;
+                break;
+            }
+            cursor = p.parent;
+        }
+        assert!(reached_property, "encode_batch span has no property ancestor");
+    }
+    // No span recorded under panic in a clean run.
+    assert!(!trace_text.contains("\"panicked\": true"));
+
+    // Metrics side: validates, carries the schema and the same manifest.
+    let summary = validate(&metrics_text).expect("prometheus text validates");
+    for family in [
+        "observatory_run_info",
+        "observatory_encodes_total",
+        "observatory_cache_lookups_total",
+        "observatory_cache_shard_entries",
+        "observatory_cache_shard_bytes",
+        "observatory_cache_high_water_bytes",
+        "observatory_encode_latency_seconds_bucket",
+        "observatory_encode_latency_quantile_seconds",
+        "observatory_model_encodes_total",
+        "observatory_span_total",
+    ] {
+        assert!(summary.has(family), "metrics missing {family}\n{metrics_text}");
+    }
+    assert!(metrics_text.contains("property=\"P1\""), "manifest labels in run_info");
+    assert!(metrics_text.contains("quantile=\"0.99\""));
+}
+
+#[test]
+fn off_level_without_exporters_stays_silent() {
+    // OBSERVATORY_LOG defaults to off; without --trace-out the CLI must not
+    // mention traces at all, and must still succeed.
+    let out = Command::new(env!("CARGO_BIN_EXE_observatory"))
+        .args(["characterize", "--property", "P1", "--permutations", "2"])
+        .env("OBSERVATORY_LOG", "off")
+        .output()
+        .expect("CLI binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(!stdout.contains("trace:"), "no trace output expected:\n{stdout}");
+}
+
+#[test]
+fn trace_level_env_is_respected() {
+    // At OBSERVATORY_LOG=trace the pool worker spans appear too.
+    let (trace_text, _) =
+        run_characterize(&[("OBSERVATORY_LOG", "trace"), ("OBSERVATORY_JOBS", "2")]);
+    let doc = parse(&trace_text).expect("trace parses");
+    let spans = spans_of(&doc);
+    assert!(
+        spans.values().any(|s| s.target == "pool" && s.name == "worker"),
+        "worker spans expected at trace level",
+    );
+}
+
+#[test]
+fn unwritable_trace_path_is_io_error_exit_1() {
+    let out = Command::new(env!("CARGO_BIN_EXE_observatory"))
+        .args([
+            "characterize",
+            "--property",
+            "P1",
+            "--permutations",
+            "2",
+            "--trace-out",
+            "/nonexistent-dir/trace.json",
+        ])
+        .output()
+        .expect("CLI binary runs");
+    assert_eq!(out.status.code(), Some(1), "I/O failure must exit 1");
+}
