@@ -153,6 +153,15 @@ pub fn runtime_report(ctx: &EvalContext) {
         stats.bytes as f64 / (1024.0 * 1024.0),
         stats.evictions,
     );
+    let kernels = observatory_linalg::kernels::stats::snapshot();
+    if kernels.total_calls() > 0 {
+        println!(
+            "# kernels: {}  (total {:.1}ms over {} calls)",
+            kernels.render(),
+            kernels.total_ns() as f64 / 1.0e6,
+            kernels.total_calls(),
+        );
+    }
     export_observability(ctx);
 }
 

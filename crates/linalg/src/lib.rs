@@ -10,6 +10,16 @@
 //!   elementwise arithmetic and mean vectors.
 //! - [`matrix`]: a row-major dense [`matrix::Matrix`] with multiplication,
 //!   transpose, row views and per-row map/reduce helpers.
+//! - [`kernels`]: the fused, tiled, row-parallel encoder kernels
+//!   (register-tiled matmul with a transposed-B fast path, bias/GELU-fused
+//!   linear maps, head-batched attention) plus their scalar reference
+//!   implementations and the kernel timing counters.
+//! - [`fastmath`]: branch-light, vectorizable polynomial `exp`/`tanh`/GELU
+//!   approximations with documented, regression-tested ULP bounds — the
+//!   kernels' softmax and GELU epilogue run on these.
+//! - [`parallel`]: the scoped worker-pool primitive (ordered results,
+//!   dynamic self-scheduling, nested-parallelism guard) that both the
+//!   kernels and `observatory-runtime`'s table-batch pool run on.
 //! - [`moments`]: mean vector and covariance matrix of a sample of vectors
 //!   (the inputs to the multivariate coefficient of variation).
 //! - [`pca`]: principal component analysis via power iteration with
@@ -19,8 +29,11 @@
 //! - [`rng`]: a tiny deterministic `SplitMix64` generator plus Box–Muller
 //!   normal sampling, used for reproducible weight initialization.
 
+pub mod fastmath;
+pub mod kernels;
 pub mod matrix;
 pub mod moments;
+pub mod parallel;
 pub mod pca;
 pub mod rng;
 pub mod solve;

@@ -102,15 +102,27 @@ impl Matrix {
     /// AXPY over the output row — this vectorizes well and is the layout
     /// recommended for row-major data.
     ///
+    /// Rows of `self` with `a == 0.0` entries skip their AXPY **only**
+    /// when the corresponding row of `other` is entirely finite: IEEE-754
+    /// defines `0 × ±∞` and `0 × NaN` as NaN, so an unconditional skip
+    /// would silently swallow non-finite values flowing in from `other`
+    /// and report a clean product where the true result is poisoned.
+    /// Kernel-layer consumers use [`crate::kernels::matmul`], which has
+    /// no skip at all.
+    ///
     /// # Panics
     /// Panics if `self.cols != other.rows`.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.cols, other.rows, "matmul: inner dimension mismatch");
+        // One O(k·m) pass so the O(n·k·m) loop can keep its branch-
+        // predictable sparse fast path without losing NaN/∞ propagation.
+        let row_finite: Vec<bool> =
+            (0..other.rows).map(|k| other.row(k).iter().all(|b| b.is_finite())).collect();
         let mut out = Matrix::zeros(self.rows, other.cols);
         for i in 0..self.rows {
             let a_row = self.row(i);
             for (k, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
+                if a == 0.0 && row_finite[k] {
                     continue;
                 }
                 let b_row = other.row(k);
@@ -239,6 +251,31 @@ mod tests {
     fn from_rows_matches_from_vec() {
         let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
         assert_eq!(a, Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]));
+    }
+
+    #[test]
+    fn matmul_zero_times_nonfinite_propagates() {
+        // Regression: the `a == 0.0` sparse skip used to suppress NaN/±∞
+        // flowing in from `other` (IEEE-754: 0 × ∞ = NaN). A zero in A
+        // meeting a non-finite row of B must still poison the output.
+        let a = Matrix::from_vec(2, 2, vec![0.0, 1.0, 2.0, 0.0]);
+        let b = Matrix::from_vec(2, 2, vec![f64::INFINITY, 5.0, 6.0, f64::NAN]);
+        let c = a.matmul(&b);
+        assert!(c[(0, 0)].is_nan(), "0×∞ + 1×6 must be NaN, got {}", c[(0, 0)]);
+        assert!(c[(0, 1)].is_nan(), "0×5 + 1×NaN must be NaN, got {}", c[(0, 1)]);
+        assert!(c[(1, 0)].is_infinite(), "2×∞ + 0×6 must be ∞, got {}", c[(1, 0)]);
+        assert!(c[(1, 1)].is_nan(), "2×5 + 0×NaN must be NaN, got {}", c[(1, 1)]);
+    }
+
+    #[test]
+    fn matmul_zero_skip_still_fast_path_on_finite_rows() {
+        // The sparse skip survives for finite B: a fully-zero A row gives
+        // an exactly-zero output row, not an accumulation of -0.0 noise.
+        let a = Matrix::from_vec(2, 2, vec![0.0, 0.0, 1.0, 1.0]);
+        let b = Matrix::from_vec(2, 2, vec![-1.0, 2.0, 3.0, -4.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.row(0), &[0.0, 0.0]);
+        assert_eq!(c.row(1), &[2.0, -2.0]);
     }
 
     #[test]

@@ -1,0 +1,229 @@
+//! The workspace's parallel-for primitive: scoped workers, ordered
+//! results, zero `'static` bounds.
+//!
+//! This module is the dependency-inverted core of the
+//! `observatory-runtime` worker pool. The runtime crate sits *above* the
+//! transformer in the crate graph (runtime → models → transformer →
+//! linalg), so the primitive the encoder kernels parallelize on lives
+//! here, at the bottom, and `observatory_runtime::pool` wraps it with
+//! span instrumentation. One pool implementation, two entry points —
+//! table-level batches (runtime) and row/head-level kernel loops
+//! (transformer) — both honouring the same `--jobs` /
+//! `OBSERVATORY_JOBS` setting.
+//!
+//! Determinism: [`run_indexed`] evaluates a pure `f(0..n)` on up to
+//! `jobs` threads and returns results **in index order**, so callers
+//! observe exactly the output of the serial loop regardless of worker
+//! count or scheduling. Work distribution is a single shared atomic
+//! cursor (dynamic self-scheduling), which load-balances skewed
+//! workloads without a per-item cost model.
+//!
+//! Nesting: worker threads mark themselves with a thread-local flag.
+//! [`current_jobs`] reports `1` inside a worker, so a kernel invoked
+//! from an `encode_batch` worker runs serially instead of spawning
+//! `jobs²` threads. The flag changes only *where* work runs, never its
+//! result.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+thread_local! {
+    /// Set while the current thread is a pool worker.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Process-wide default worker count for kernel-level parallelism.
+/// `0` means "not configured": fall back to [`resolve_jobs`]`(None)`.
+static DEFAULT_JOBS: AtomicUsize = AtomicUsize::new(0);
+
+/// Install the process-wide default used by [`current_jobs`]. The CLI
+/// calls this from `--jobs`; benches call it to pin serial vs parallel
+/// configurations. Passing `0` clears the override.
+pub fn set_default_jobs(jobs: usize) {
+    DEFAULT_JOBS.store(jobs, Ordering::Relaxed);
+}
+
+/// Resolve a worker count: explicit request > `OBSERVATORY_JOBS` env
+/// var > available parallelism (capped at 8 — encode batches rarely
+/// scale past that within the default cache budget). Always at least 1.
+pub fn resolve_jobs(requested: Option<usize>) -> usize {
+    requested
+        .or_else(|| std::env::var("OBSERVATORY_JOBS").ok().and_then(|v| v.parse::<usize>().ok()))
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get().min(8)))
+        .max(1)
+}
+
+/// The worker count kernels should use *right now*: `1` on a pool
+/// worker thread (nested parallelism would oversubscribe), otherwise
+/// the [`set_default_jobs`] override or [`resolve_jobs`]`(None)`.
+pub fn current_jobs() -> usize {
+    if IN_WORKER.with(Cell::get) {
+        return 1;
+    }
+    match DEFAULT_JOBS.load(Ordering::Relaxed) {
+        0 => resolve_jobs(None),
+        n => n,
+    }
+}
+
+/// Whether the current thread is a pool worker.
+pub fn in_worker() -> bool {
+    IN_WORKER.with(Cell::get)
+}
+
+/// Evaluate `f(0..n)` on up to `jobs` threads; results are returned in
+/// index order. `jobs <= 1` (or `n <= 1`) runs inline on the caller's
+/// thread with zero spawn overhead.
+///
+/// # Panics
+/// Re-raises the first worker panic.
+pub fn run_indexed<T, F>(jobs: usize, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    run_indexed_scoped(jobs, n, |_| (), |(), i| f(i))
+}
+
+/// [`run_indexed`] with a per-worker context: `setup(w)` runs once on
+/// each spawned worker thread `w` before it pulls work, and the value it
+/// returns is threaded through every `f(&mut ctx, i)` call that worker
+/// makes, then dropped when the worker exits. The runtime pool uses
+/// this to open an RAII tracing span per worker; kernels that need
+/// per-thread scratch buffers can reuse it.
+///
+/// The inline fast path (`jobs <= 1 || n <= 1`) spawns no workers and
+/// therefore calls `setup` **zero** times — `f` runs with a fresh
+/// context built from `setup(0)` only when at least one thread spawns.
+/// Inline execution uses a single `setup`-free context obtained the
+/// same way workers do, so `f` must not rely on `setup` being called
+/// exactly once per run. Results are bit-identical to the serial loop
+/// for any `jobs`, because `f` is pure in `i`.
+///
+/// # Panics
+/// Re-raises the first worker panic.
+pub fn run_indexed_scoped<T, G, S, F>(jobs: usize, n: usize, setup: S, f: F) -> Vec<T>
+where
+    T: Send,
+    S: Fn(usize) -> G + Sync,
+    F: Fn(&mut G, usize) -> T + Sync,
+{
+    if jobs <= 1 || n <= 1 {
+        let mut ctx = setup(0);
+        return (0..n).map(|i| f(&mut ctx, i)).collect();
+    }
+    let workers = jobs.min(n);
+    let cursor = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, T)>();
+    let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let tx = tx.clone();
+            let cursor = &cursor;
+            let f = &f;
+            let setup = &setup;
+            scope.spawn(move || {
+                IN_WORKER.with(|flag| flag.set(true));
+                let mut ctx = setup(w);
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    // A send can only fail if the receiver is gone, which
+                    // means the parent scope is unwinding already.
+                    if tx.send((i, f(&mut ctx, i))).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(tx);
+        for (i, v) in rx {
+            slots[i] = Some(v);
+        }
+    });
+    slots.into_iter().map(|s| s.expect("every index produced")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordered_results_any_job_count() {
+        let expect: Vec<usize> = (0..100).map(|i| i * i).collect();
+        for jobs in [1, 2, 3, 4, 8, 64] {
+            assert_eq!(run_indexed(jobs, 100, |i| i * i), expect, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert_eq!(run_indexed(4, 0, |i| i), Vec::<usize>::new());
+        assert_eq!(run_indexed(4, 1, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn scoped_context_threads_through() {
+        // Each worker counts its own items; the sum of all contexts'
+        // items equals n (observed via a side channel).
+        use std::sync::atomic::AtomicUsize;
+        let total = AtomicUsize::new(0);
+        struct Tally<'a>(usize, &'a AtomicUsize);
+        impl Drop for Tally<'_> {
+            fn drop(&mut self) {
+                self.1.fetch_add(self.0, Ordering::SeqCst);
+            }
+        }
+        let out = run_indexed_scoped(
+            3,
+            20,
+            |_w| Tally(0, &total),
+            |t, i| {
+                t.0 += 1;
+                i * 2
+            },
+        );
+        assert_eq!(out, (0..20).map(|i| i * 2).collect::<Vec<_>>());
+        assert_eq!(total.load(Ordering::SeqCst), 20, "every item tallied exactly once");
+    }
+
+    #[test]
+    fn workers_report_in_worker() {
+        assert!(!in_worker(), "caller thread is not a worker");
+        let flags = run_indexed(4, 8, |_| in_worker());
+        assert!(flags.iter().all(|&f| f), "worker threads must set the flag");
+        // Nested parallelism collapses to serial.
+        let nested = run_indexed(4, 4, |_| current_jobs());
+        assert!(nested.iter().all(|&j| j == 1), "nested jobs clamp to 1: {nested:?}");
+    }
+
+    #[test]
+    fn default_jobs_override() {
+        set_default_jobs(3);
+        assert_eq!(current_jobs(), 3);
+        set_default_jobs(0);
+        assert!(current_jobs() >= 1);
+    }
+
+    #[test]
+    fn resolve_jobs_precedence() {
+        assert_eq!(resolve_jobs(Some(3)), 3);
+        assert_eq!(resolve_jobs(Some(0)), 1, "clamped to >= 1");
+        assert!(resolve_jobs(None) >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "panicked")]
+    fn worker_panic_propagates() {
+        run_indexed(2, 8, |i| {
+            if i == 5 {
+                panic!("worker boom");
+            }
+            i
+        });
+    }
+}

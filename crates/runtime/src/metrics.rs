@@ -368,6 +368,83 @@ mod tests {
         assert_eq!(s.percentile(1.0), BUCKET_BOUNDS_NS[10] as f64);
     }
 
+    /// Bounds of the bucket range covering all observations: lower bound
+    /// of the first non-empty bucket, upper bound of the last (the
+    /// catch-all's "upper" is its finite lower bound, matching the
+    /// documented under-estimate).
+    fn observed_bounds(s: &HistogramSnapshot) -> (f64, f64) {
+        let first = s.buckets.iter().position(|&n| n > 0).expect("non-empty");
+        let last = s.buckets.iter().rposition(|&n| n > 0).expect("non-empty");
+        let lower = if first == 0 { 0.0 } else { BUCKET_BOUNDS_NS[first - 1] as f64 };
+        let upper = BUCKET_BOUNDS_NS[if last == 11 { 10 } else { last }] as f64;
+        (lower, upper)
+    }
+
+    #[test]
+    fn percentile_boundary_quantiles_stay_in_observed_buckets() {
+        // q = 0.0 and q = 1.0 are the degenerate ranks; both must land
+        // inside the observed bucket range, never below the smallest
+        // non-empty bucket's lower bound or past the largest's upper.
+        let h = Histogram::default();
+        for us in [2u64, 2, 9, 30, 900] {
+            h.record(Duration::from_micros(us));
+        }
+        let s = h.snapshot();
+        let (lo, hi) = observed_bounds(&s);
+        let p0 = s.percentile(0.0);
+        let p1 = s.percentile(1.0);
+        assert!((lo..=hi).contains(&p0), "q=0.0: {p0} outside [{lo}, {hi}]");
+        assert!((lo..=hi).contains(&p1), "q=1.0: {p1} outside [{lo}, {hi}]");
+        assert!(p0 <= p1, "boundary quantiles are ordered");
+        // q=0 stays at or below the median, q=1 at or above.
+        assert!(p0 <= s.p50_ns() && s.p50_ns() <= p1);
+    }
+
+    #[test]
+    fn percentile_boundaries_single_observation() {
+        let h = Histogram::default();
+        h.record(Duration::from_micros(10)); // 4µs..16µs bucket
+        let s = h.snapshot();
+        let (lo, hi) = observed_bounds(&s);
+        assert_eq!((lo, hi), (4_000.0, 16_000.0));
+        for q in [0.0, 1.0] {
+            let p = s.percentile(q);
+            assert!((lo..=hi).contains(&p), "q={q}: {p} outside the only bucket");
+        }
+    }
+
+    #[test]
+    fn percentile_boundaries_after_merge() {
+        // Merging disjoint-bucket snapshots must keep boundary quantiles
+        // inside the union's observed bounds: q=0 in the fast source's
+        // range, q=1 in the slow source's.
+        let fast = Histogram::default();
+        for _ in 0..50 {
+            fast.record(Duration::from_nanos(700)); // bucket 0
+        }
+        let slow = Histogram::default();
+        for _ in 0..50 {
+            slow.record(Duration::from_millis(100)); // 65.5ms..262ms bucket
+        }
+        let mut merged = fast.snapshot();
+        merged.merge(&slow.snapshot());
+        assert_eq!(merged.count, 100);
+        let (lo, hi) = observed_bounds(&merged);
+        assert_eq!((lo, hi), (0.0, 262_144_000.0));
+        let p0 = merged.percentile(0.0);
+        let p1 = merged.percentile(1.0);
+        assert!((0.0..=1_000.0).contains(&p0), "q=0.0 must sit in the fast bucket: {p0}");
+        assert!(
+            (65_536_000.0..=262_144_000.0).contains(&p1),
+            "q=1.0 must sit in the slow bucket: {p1}"
+        );
+        // Interior quantiles stay within the union too.
+        for q in [0.25, 0.5, 0.75, 0.95] {
+            let p = merged.percentile(q);
+            assert!((lo..=hi).contains(&p), "q={q}: {p} outside [{lo}, {hi}]");
+        }
+    }
+
     #[test]
     fn percentile_clamps_q() {
         let mut s = HistogramSnapshot::default();

@@ -1,35 +1,45 @@
 //! Scoped worker pool with ordered, deterministic results.
 //!
-//! [`run_indexed`] evaluates a pure function over indices `0..n` on up to
-//! `jobs` OS threads and returns results **in index order**, so callers
-//! observe exactly the output of the serial loop regardless of worker
-//! count or scheduling. Work distribution is a single shared atomic
-//! cursor (dynamic self-scheduling): threads pull the next index when
-//! free, which load-balances the heavily skewed encode costs of real
-//! corpora (a 200-row table can cost 50× a 4-row one) without any
-//! per-item cost model.
+//! The scheduling core — dynamic self-scheduling over an atomic cursor,
+//! results returned **in index order**, borrowed data flowing into
+//! workers via `std::thread::scope` — lives in
+//! [`observatory_linalg::parallel`], at the bottom of the crate graph,
+//! so the transformer's encoder kernels can row-parallelize on the same
+//! primitive (the runtime crate sits *above* the transformer and cannot
+//! be a dependency of it). This module wraps the primitive with the
+//! engine's observability: each spawned worker opens a `pool/worker`
+//! span (trace level) parented to the caller's innermost span, and
+//! records how many items it processed.
 //!
-//! Built on `std::thread::scope`, so borrowed data (`&dyn TableEncoder`,
-//! `&[Table]`) flows into workers without `'static` bounds or `Arc`
-//! plumbing, and panics propagate to the caller instead of being lost.
+//! Callers observe exactly the output of the serial loop regardless of
+//! worker count or scheduling; panics propagate to the caller instead of
+//! being lost. Worker threads are flagged thread-locally, which clamps
+//! nested kernel parallelism to 1 (see
+//! [`observatory_linalg::parallel::current_jobs`]) so a parallel
+//! `encode_batch` never oversubscribes the machine with `jobs²` threads.
 
+use observatory_linalg::parallel;
 use observatory_obs as obs;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc;
 
-/// Resolve a worker count: explicit request > `OBSERVATORY_JOBS` env var >
-/// available parallelism (capped at 8 — encode batches rarely scale past
-/// that within the default cache budget). Always at least 1.
-pub fn resolve_jobs(requested: Option<usize>) -> usize {
-    requested
-        .or_else(|| std::env::var("OBSERVATORY_JOBS").ok().and_then(|v| v.parse::<usize>().ok()))
-        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get().min(8)))
-        .max(1)
+pub use observatory_linalg::parallel::resolve_jobs;
+
+/// Per-worker context: an RAII span that records its item count when the
+/// worker exits (dropping the tally emits `items` before the span
+/// closes).
+struct WorkerSpan {
+    span: obs::Span,
+    items: usize,
+}
+
+impl Drop for WorkerSpan {
+    fn drop(&mut self) {
+        self.span.record("items", self.items);
+    }
 }
 
 /// Evaluate `f(0..n)` on up to `jobs` threads; results are returned in
 /// index order. `jobs <= 1` (or `n <= 1`) runs inline on the caller's
-/// thread with zero spawn overhead.
+/// thread with zero spawn overhead (and no worker span).
 ///
 /// # Panics
 /// Re-raises the first worker panic.
@@ -41,46 +51,24 @@ where
     if jobs <= 1 || n <= 1 {
         return (0..n).map(f).collect();
     }
-    let workers = jobs.min(n);
-    let cursor = AtomicUsize::new(0);
-    let (tx, rx) = mpsc::channel::<(usize, T)>();
-    let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
-    slots.resize_with(n, || None);
     // The spawning thread's innermost span (e.g. `encode_batch`) becomes
     // the explicit parent of each worker span: workers have their own
     // (empty) span stacks, so the edge cannot come from thread-locals.
     let pool_parent = obs::current_span_id();
-    std::thread::scope(|scope| {
-        for w in 0..workers {
-            let tx = tx.clone();
-            let cursor = &cursor;
-            let f = &f;
-            scope.spawn(move || {
-                let mut span = obs::span(obs::Level::Trace, "pool", "worker")
-                    .with_parent(pool_parent)
-                    .with("worker", w);
-                let mut items = 0usize;
-                loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    // A send can only fail if the receiver is gone, which
-                    // means the parent scope is unwinding already.
-                    if tx.send((i, f(i))).is_err() {
-                        break;
-                    }
-                    items += 1;
-                }
-                span.record("items", items);
-            });
-        }
-        drop(tx);
-        for (i, v) in rx {
-            slots[i] = Some(v);
-        }
-    });
-    slots.into_iter().map(|s| s.expect("every index produced")).collect()
+    parallel::run_indexed_scoped(
+        jobs,
+        n,
+        |w| WorkerSpan {
+            span: obs::span(obs::Level::Trace, "pool", "worker")
+                .with_parent(pool_parent)
+                .with("worker", w),
+            items: 0,
+        },
+        |ctx, i| {
+            ctx.items += 1;
+            f(i)
+        },
+    )
 }
 
 #[cfg(test)]
@@ -123,6 +111,14 @@ mod tests {
         assert_eq!(resolve_jobs(Some(3)), 3);
         assert_eq!(resolve_jobs(Some(0)), 1, "clamped to >= 1");
         assert!(resolve_jobs(None) >= 1);
+    }
+
+    #[test]
+    fn workers_clamp_nested_kernel_jobs() {
+        // Inside a pool worker, kernel-level parallelism must collapse
+        // to serial so encode_batch never spawns jobs² threads.
+        let nested = run_indexed(4, 4, |_| observatory_linalg::parallel::current_jobs());
+        assert!(nested.iter().all(|&j| j == 1), "nested jobs clamp to 1: {nested:?}");
     }
 
     #[test]

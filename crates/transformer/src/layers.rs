@@ -1,7 +1,17 @@
 //! Transformer building blocks: linear maps, layer normalization,
 //! multi-head self-attention and the GELU feed-forward network.
+//!
+//! All dense math runs on the fused, tiled, row-parallel kernels in
+//! [`observatory_linalg::kernels`]; the worker count comes from
+//! [`observatory_linalg::parallel::current_jobs`] (the CLI's `--jobs` /
+//! `OBSERVATORY_JOBS`, clamped to 1 inside runtime pool workers so a
+//! parallel `encode_batch` never oversubscribes). Kernel-level spans are
+//! emitted at `Level::Trace` under the `kernels` target.
 
-use observatory_linalg::{Matrix, SplitMix64};
+use observatory_linalg::{kernels, parallel, Matrix, SplitMix64};
+use observatory_obs as obs;
+
+pub use observatory_linalg::kernels::{gelu, softmax_inplace};
 
 /// Standard deviation of initialized projection weights. Trained encoders
 /// are strongly contextual: the attention value/output path must carry
@@ -40,16 +50,13 @@ impl Linear {
         Self { w: init_matrix(rng, in_dim, out_dim, std), b: vec![0.0; out_dim] }
     }
 
-    /// Apply to every row of `x` (`n × in_dim` → `n × out_dim`).
+    /// Apply to every row of `x` (`n × in_dim` → `n × out_dim`) through
+    /// the fused bias kernel, parallel across row blocks.
     pub fn forward(&self, x: &Matrix) -> Matrix {
-        let mut y = x.matmul(&self.w);
-        for i in 0..y.rows() {
-            let row = y.row_mut(i);
-            for (o, b) in row.iter_mut().zip(&self.b) {
-                *o += b;
-            }
-        }
-        y
+        let _span = obs::span(obs::Level::Trace, "kernels", "linear")
+            .with("rows", x.rows())
+            .with("out_dim", self.w.cols());
+        kernels::linear_bias(x, &self.w, &self.b, parallel::current_jobs())
     }
 
     /// Output dimensionality.
@@ -85,31 +92,6 @@ impl LayerNorm {
                 *v = (*v - mean) * inv * g + b;
             }
         }
-    }
-}
-
-/// GELU activation (tanh approximation), applied elementwise.
-pub fn gelu(x: f64) -> f64 {
-    0.5 * x * (1.0 + ((2.0 / std::f64::consts::PI).sqrt() * (x + 0.044715 * x * x * x)).tanh())
-}
-
-/// Numerically-stable softmax over a slice, in place. All-`-inf` rows
-/// (fully masked) become uniform — they correspond to tokens with no
-/// permitted attention targets and must not produce NaNs.
-pub fn softmax_inplace(xs: &mut [f64]) {
-    let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-    if !max.is_finite() {
-        let u = 1.0 / xs.len() as f64;
-        xs.iter_mut().for_each(|x| *x = u);
-        return;
-    }
-    let mut sum = 0.0;
-    for x in xs.iter_mut() {
-        *x = (*x - max).exp();
-        sum += *x;
-    }
-    for x in xs.iter_mut() {
-        *x /= sum;
     }
 }
 
@@ -178,50 +160,49 @@ impl MultiHeadAttention {
     /// averaged over heads (`n × n`, rows = queries). Used by attention
     /// introspection (the Koleva et al. style analysis the paper's related
     /// work discusses).
+    ///
+    /// The bias/mask closures in `extras` are evaluated **once** into
+    /// flat per-head matrices, then the head-batched
+    /// [`kernels::attention`] runs pure slice arithmetic, parallel
+    /// across query rows. Fully-masked queries attend only themselves
+    /// (see the kernel docs — the former uniform fallback leaked masked
+    /// key content into the output).
     pub fn forward_with_weights(&self, x: &Matrix, extras: &AttentionBias<'_>) -> (Matrix, Matrix) {
         let n = x.rows();
-        let dim = self.q.out_dim();
+        let mut span = obs::span(obs::Level::Trace, "kernels", "attention")
+            .with("rows", n)
+            .with("heads", self.n_heads);
+        let jobs = parallel::current_jobs();
         let q = self.q.forward(x);
         let k = self.k.forward(x);
         let v = self.v.forward(x);
         let scale = self.sharpness / (self.head_dim as f64).sqrt();
-        let mut out = Matrix::zeros(n, dim);
-        let mut weights = Matrix::zeros(n, n);
-        let mut logits = vec![0.0f64; n];
-        for h in 0..self.n_heads {
-            let lo = h * self.head_dim;
-            let hi = lo + self.head_dim;
-            for i in 0..n {
-                let qi = &q.row(i)[lo..hi];
-                for (j, logit) in logits.iter_mut().enumerate() {
-                    let permitted = extras.mask.is_none_or(|m| m(i, j));
-                    *logit = if permitted {
-                        let kj = &k.row(j)[lo..hi];
-                        let mut l = observatory_linalg::vector::dot(qi, kj) * scale;
-                        if let Some(b) = extras.bias {
-                            l += b(h, i, j);
-                        }
-                        l
-                    } else {
-                        f64::NEG_INFINITY
-                    };
-                }
-                softmax_inplace(&mut logits);
-                let out_row = out.row_mut(i);
-                for (j, &w) in logits.iter().enumerate() {
-                    weights[(i, j)] += w;
-                    if w == 0.0 {
-                        continue;
-                    }
-                    let vj = &v.row(j)[lo..hi];
-                    for (o, &vv) in out_row[lo..hi].iter_mut().zip(vj) {
-                        *o += w * vv;
+        // Materialize the dynamic bias/mask once per forward call; the
+        // kernel's inner loops never see a closure.
+        let mask_buf: Option<Vec<bool>> =
+            extras.mask.map(|m| (0..n * n).map(|idx| m(idx / n, idx % n)).collect());
+        let bias_buf: Option<Vec<f64>> = extras.bias.map(|b| {
+            let mut buf = Vec::with_capacity(self.n_heads * n * n);
+            for h in 0..self.n_heads {
+                for i in 0..n {
+                    for j in 0..n {
+                        buf.push(b(h, i, j));
                     }
                 }
             }
-        }
+            buf
+        });
+        let spec = kernels::AttentionSpec {
+            n_heads: self.n_heads,
+            head_dim: self.head_dim,
+            scale,
+            bias: bias_buf.as_deref(),
+            mask: mask_buf.as_deref(),
+        };
+        let (ctx, mut weights) = kernels::attention(&q, &k, &v, &spec, jobs);
         weights.scale_assign(1.0 / self.n_heads as f64);
-        (self.o.forward(&out), weights)
+        span.record("jobs", jobs);
+        (self.o.forward(&ctx), weights)
     }
 }
 
@@ -238,15 +219,15 @@ impl FeedForward {
         Self { fc1: Linear::new(rng, dim, ffn_dim), fc2: Linear::new(rng, ffn_dim, dim) }
     }
 
-    /// Apply to every row.
+    /// Apply to every row: the first projection, bias and GELU run as
+    /// one fused kernel pass, then the second fused bias projection.
     pub fn forward(&self, x: &Matrix) -> Matrix {
-        let mut h = self.fc1.forward(x);
-        for i in 0..h.rows() {
-            for v in h.row_mut(i) {
-                *v = gelu(*v);
-            }
-        }
-        self.fc2.forward(&h)
+        let _span = obs::span(obs::Level::Trace, "kernels", "ffn")
+            .with("rows", x.rows())
+            .with("ffn_dim", self.fc1.w.cols());
+        let jobs = parallel::current_jobs();
+        let h = kernels::linear_bias_gelu(x, &self.fc1.w, &self.fc1.b, jobs);
+        kernels::linear_bias(&h, &self.fc2.w, &self.fc2.b, jobs)
     }
 }
 
@@ -337,6 +318,38 @@ mod tests {
         let yb = attn.forward(&b, &extras);
         assert_eq!(ya.row(0), yb.row(0));
         assert_ne!(ya.row(1), yb.row(1));
+
+        // Fully-masked query: token 0 may attend *nothing*. The old
+        // uniform-softmax fallback attended every key — including the
+        // masked ones — leaking token 1's content through the value
+        // aggregation. A fully-masked query must now be insensitive to
+        // every other token.
+        let none_mask = |i: usize, _j: usize| i != 0;
+        let extras = AttentionBias { bias: None, mask: Some(&none_mask) };
+        let ya = attn.forward(&a, &extras);
+        let yb = attn.forward(&b, &extras);
+        assert_eq!(
+            ya.row(0),
+            yb.row(0),
+            "fully-masked query leaked masked key content into its output"
+        );
+    }
+
+    #[test]
+    fn fully_masked_query_attends_only_itself() {
+        let mut rng = SplitMix64::new(3);
+        let attn = MultiHeadAttention::new(&mut rng, 8, 2);
+        let x = Matrix::from_rows(&[vec![0.5; 8], vec![1.0; 8], vec![-1.5; 8]]);
+        let none_mask = |i: usize, _j: usize| i != 1;
+        let extras = AttentionBias { bias: None, mask: Some(&none_mask) };
+        let (_, weights) = attn.forward_with_weights(&x, &extras);
+        // Head-averaged weights: the fully-masked row is a self-delta.
+        assert_eq!(weights.row(1), &[0.0, 1.0, 0.0]);
+        // Unmasked rows remain proper distributions.
+        for i in [0usize, 2] {
+            let sum: f64 = weights.row(i).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "row {i} sums to {sum}");
+        }
     }
 
     #[test]

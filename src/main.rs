@@ -195,6 +195,9 @@ fn cmd_characterize(args: &[String]) -> i32 {
         Some(raw) => match raw.parse::<usize>() {
             Ok(jobs) if jobs >= 1 => {
                 let config = EngineConfig { jobs, ..EngineConfig::from_env() };
+                // Kernel-level (row/head) parallelism inside the encoder
+                // follows the same setting; pool workers clamp it to 1.
+                observatory::linalg::parallel::set_default_jobs(jobs);
                 if !observatory::runtime::configure_global(config) {
                     eprintln!("note: engine already initialized; --jobs ignored");
                 }
@@ -342,6 +345,10 @@ fn print_runtime_footer(ctx: &EvalContext) {
         cache.capacity as f64 / (1 << 20) as f64,
         cache.evictions,
     );
+    let kernels = observatory::linalg::kernels::stats::snapshot();
+    if kernels.total_calls() > 0 {
+        println!("kernels: {}", kernels.render());
+    }
 }
 
 fn cmd_mine_fds(args: &[String]) -> i32 {

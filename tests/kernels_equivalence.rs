@@ -1,0 +1,188 @@
+//! Cross-crate kernel equivalence: the fused/tiled/parallel encoder
+//! kernels against their naive scalar references, on randomized inputs.
+//!
+//! Two contracts are enforced (CI runs this file as the dedicated
+//! equivalence job):
+//!
+//! 1. **Kernel vs reference.** `matmul` and `linear_bias` must match the
+//!    naive implementations *bit for bit* (same ascending-`k`
+//!    accumulation order, only regrouped into register tiles).
+//!    `linear_bias_gelu` and `attention` run on the `fastmath`
+//!    polynomial transcendentals and must stay within the documented
+//!    ULP bound (≤ 1e-12 relative) of the libm references.
+//! 2. **Job-count determinism.** Every kernel — and a whole encoder
+//!    forward pass — must be bit-identical at `--jobs 1` and
+//!    `--jobs 4`. Parallelism distributes whole row blocks; it never
+//!    changes any reduction order.
+
+use observatory::linalg::kernels::{self, reference, AttentionSpec};
+use observatory::linalg::{parallel, Matrix, SplitMix64};
+use observatory::transformer::{Encoder, TokenInput, TransformerConfig};
+use proptest::prelude::*;
+
+fn random_matrix(rng: &mut SplitMix64, rows: usize, cols: usize) -> Matrix {
+    let mut m = Matrix::zeros(rows, cols);
+    for i in 0..rows {
+        for j in 0..cols {
+            m[(i, j)] = rng.next_normal_with(0.0, 0.5);
+        }
+    }
+    m
+}
+
+/// Exact equality, reported element-wise (`==`, so `-0.0 == 0.0`).
+fn assert_bit_identical(got: &Matrix, want: &Matrix, what: &str) {
+    assert_eq!((got.rows(), got.cols()), (want.rows(), want.cols()), "{what}: shape");
+    for (i, (g, w)) in got.as_slice().iter().zip(want.as_slice()).enumerate() {
+        assert!(g == w, "{what}: element {i} differs: {g:?} vs {w:?}");
+    }
+}
+
+/// Relative-or-absolute closeness for the fastmath-backed kernels.
+fn assert_close(got: &Matrix, want: &Matrix, tol: f64, what: &str) {
+    assert_eq!((got.rows(), got.cols()), (want.rows(), want.cols()), "{what}: shape");
+    for (i, (&g, &w)) in got.as_slice().iter().zip(want.as_slice()).enumerate() {
+        let err = (g - w).abs() / g.abs().max(w.abs()).max(1.0);
+        assert!(err <= tol, "{what}: element {i}: {g} vs {w} (err {err:e})");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Fused matmul ≡ naive matmul, bitwise, at jobs 1 and 4.
+    #[test]
+    fn matmul_matches_naive_bitwise(
+        seed in any::<u64>(),
+        n in 1usize..40,
+        kd in 1usize..24,
+        m in 1usize..40,
+    ) {
+        let mut rng = SplitMix64::new(seed);
+        let a = random_matrix(&mut rng, n, kd);
+        let b = random_matrix(&mut rng, kd, m);
+        let want = reference::matmul(&a, &b);
+        let got1 = kernels::matmul(&a, &b, 1);
+        let got4 = kernels::matmul(&a, &b, 4);
+        assert_bit_identical(&got1, &want, "matmul jobs=1 vs naive");
+        assert_bit_identical(&got4, &got1, "matmul jobs=4 vs jobs=1");
+    }
+
+    /// Fused linear layers vs naive: bias exactly, GELU within the
+    /// documented fastmath bound; both bit-stable across job counts.
+    #[test]
+    fn linear_kernels_match_naive(
+        seed in any::<u64>(),
+        n in 1usize..32,
+        d_in in 1usize..20,
+        d_out in 1usize..28,
+    ) {
+        let mut rng = SplitMix64::new(seed);
+        let x = random_matrix(&mut rng, n, d_in);
+        let w = random_matrix(&mut rng, d_in, d_out);
+        let bias: Vec<f64> = (0..d_out).map(|_| rng.next_normal_with(0.0, 0.2)).collect();
+
+        let want = reference::linear_bias(&x, &w, &bias);
+        let got = kernels::linear_bias(&x, &w, &bias, 4);
+        assert_bit_identical(&got, &want, "linear_bias vs naive");
+
+        let want_g = reference::linear_bias_gelu(&x, &w, &bias);
+        let got_g1 = kernels::linear_bias_gelu(&x, &w, &bias, 1);
+        let got_g4 = kernels::linear_bias_gelu(&x, &w, &bias, 4);
+        assert_close(&got_g1, &want_g, 1e-12, "linear_bias_gelu vs naive");
+        assert_bit_identical(&got_g4, &got_g1, "linear_bias_gelu jobs=4 vs jobs=1");
+    }
+
+    /// Fused attention vs naive (ULP-bounded via fastmath softmax),
+    /// bit-identical across job counts, with random mask/bias — including
+    /// fully-masked query rows, which must attend only themselves.
+    #[test]
+    fn attention_matches_naive(
+        seed in any::<u64>(),
+        n in 2usize..24,
+        head_dim in 1usize..8,
+        n_heads in 1usize..4,
+        use_bias in any::<bool>(),
+        mask_bits in proptest::collection::vec(any::<bool>(), 24 * 24),
+        mask_a_row in any::<bool>(),
+        masked_row_pick in any::<u8>(),
+    ) {
+        // The vendored proptest has no `Arbitrary for Option<T>`; model the
+        // optional fully-masked row as a (bool, pick) pair instead.
+        let fully_mask_row = mask_a_row.then_some(masked_row_pick);
+        let dim = n_heads * head_dim;
+        let mut rng = SplitMix64::new(seed);
+        let q = random_matrix(&mut rng, n, dim);
+        let k = random_matrix(&mut rng, n, dim);
+        let v = random_matrix(&mut rng, n, dim);
+        let bias: Vec<f64> =
+            (0..n_heads * n * n).map(|_| rng.next_normal_with(0.0, 0.3)).collect();
+        let mut mask: Vec<bool> = mask_bits[..n * n].to_vec();
+        // Keep at least one permitted key per row except the deliberately
+        // fully-masked one, so both softmax branches are exercised.
+        for i in 0..n {
+            if !mask[i * n..(i + 1) * n].iter().any(|&b| b) {
+                mask[i * n + i] = true;
+            }
+        }
+        if let Some(r) = fully_mask_row {
+            let r = r as usize % n;
+            mask[r * n..(r + 1) * n].fill(false);
+        }
+        let spec = AttentionSpec {
+            n_heads,
+            head_dim,
+            scale: 1.0 / (head_dim as f64).sqrt(),
+            bias: use_bias.then_some(&bias[..]),
+            mask: Some(&mask),
+        };
+        let (want_out, want_w) = reference::attention(&q, &k, &v, &spec);
+        let (got_out, got_w) = kernels::attention(&q, &k, &v, &spec, 1);
+        let (got_out4, got_w4) = kernels::attention(&q, &k, &v, &spec, 4);
+        assert_close(&got_out, &want_out, 1e-12, "attention out vs naive");
+        assert_close(&got_w, &want_w, 1e-12, "attention weights vs naive");
+        assert_bit_identical(&got_out4, &got_out, "attention out jobs=4 vs jobs=1");
+        assert_bit_identical(&got_w4, &got_w, "attention weights jobs=4 vs jobs=1");
+
+        if let Some(r) = fully_mask_row {
+            let r = r as usize % n;
+            // The fully-masked query's output is exactly its own value
+            // row — no mass on any other (masked) token.
+            for (d, (&g, &vv)) in got_out.row(r).iter().zip(v.row(r)).enumerate() {
+                prop_assert!(
+                    g == vv,
+                    "fully-masked row {r} col {d}: {g} != own value {vv}"
+                );
+            }
+        }
+    }
+}
+
+/// A whole encoder forward (attention + FFN + layer norms, 2 layers) is
+/// bit-identical when the process-default job count — what the CLI's
+/// `--jobs` flag sets — flips between 1 and 4. The shape is chosen above
+/// the kernels' parallel-gating threshold so the worker pool genuinely
+/// engages at jobs = 4.
+#[test]
+fn encoder_forward_bit_identical_across_jobs() {
+    let seq = 128usize;
+    let encoder = Encoder::new(TransformerConfig {
+        dim: 64,
+        n_heads: 4,
+        n_layers: 2,
+        ffn_dim: 128,
+        max_len: seq,
+        vocab_size: 256,
+        seed_label: "kernels-equivalence".into(),
+        ..Default::default()
+    });
+    let tokens: Vec<TokenInput> = (0..seq).map(|i| TokenInput::plain((i % 256) as u32)).collect();
+
+    parallel::set_default_jobs(1);
+    let serial = encoder.encode(&tokens);
+    parallel::set_default_jobs(4);
+    let parallel_out = encoder.encode(&tokens);
+    parallel::set_default_jobs(0);
+
+    assert_bit_identical(&parallel_out, &serial, "encoder forward jobs=4 vs jobs=1");
+}
