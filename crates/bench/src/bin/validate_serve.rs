@@ -1,0 +1,175 @@
+//! `validate_serve` — CI gate for the embedding service.
+//!
+//! ```text
+//! validate_serve <host:port>
+//! ```
+//!
+//! Runs a pure-Rust conformance pass against a live `observatory serve`
+//! process (no curl/jq in the loop — responses are parsed with the
+//! workspace's own JSON parser and Prometheus validator):
+//!
+//! 1. `GET /healthz` answers 200 with `status: "ok"` (polled, so the
+//!    harness can start the server as a sibling process);
+//! 2. `POST /v1/embed` round-trips a small table: 200, echoed `id`,
+//!    correct `count`, non-empty finite vectors, and a repeat request is
+//!    bit-identical (the engine cache and the encode path are
+//!    deterministic end to end);
+//! 3. `POST /v1/knn` ranks an obvious nearest neighbour first;
+//! 4. malformed JSON answers 400, an unknown model answers 400, an
+//!    unknown route answers 404 — errors are *answered*, never dropped;
+//! 5. `GET /metrics` parses as a valid Prometheus exposition carrying
+//!    both the engine families and the server families.
+//!
+//! Exit code 0 on success; 1 with a diagnostic on the first failure.
+
+use observatory_bench::httpc;
+use observatory_obs::json::{parse, Json};
+use std::net::SocketAddr;
+use std::time::Duration;
+
+const TIMEOUT: Duration = Duration::from_secs(30);
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(addr_raw) = args.first() else {
+        eprintln!("usage: validate_serve <host:port>");
+        std::process::exit(2);
+    };
+    let addr = match httpc::resolve(addr_raw) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("validate_serve: {e}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = run(addr) {
+        eprintln!("validate_serve: {e}");
+        std::process::exit(1);
+    }
+    println!("validate_serve: ok");
+}
+
+const EMBED: &str = r#"{"model":"bert","level":"column","id":"smoke-1",
+  "table":{"name":"smoke","columns":[
+    {"header":"id","values":[1,2,3]},
+    {"header":"name","values":["alpha","beta","gamma"]}]}}"#;
+
+fn run(addr: SocketAddr) -> Result<(), String> {
+    // 1. Liveness.
+    let health = httpc::await_healthy(addr, Duration::from_secs(30))?;
+    let h = parse(&health.body).map_err(|e| format!("healthz body invalid: {e}"))?;
+    if h.get("status").and_then(Json::as_str) != Some("ok") {
+        return Err(format!("healthz status not ok: {}", health.body));
+    }
+    println!("healthz: ok ({})", health.body.trim());
+
+    // 2. Embed round trip + determinism.
+    let first = embed_ok(addr)?;
+    let second = embed_ok(addr)?;
+    if first != second {
+        return Err("repeated /v1/embed responses differ byte-for-byte".into());
+    }
+    println!("embed: ok (deterministic, {} bytes)", first.len());
+
+    // 3. kNN sanity.
+    let knn = httpc::post(
+        addr,
+        "/v1/knn",
+        r#"{"k":1,"items":[{"key":"x","vector":[1,0]},{"key":"y","vector":[0,1]}],"queries":[[0.95,0.05]]}"#,
+        TIMEOUT,
+    )?;
+    if knn.status != 200 {
+        return Err(format!("knn answered {}: {}", knn.status, knn.body));
+    }
+    let v = parse(&knn.body).map_err(|e| format!("knn body invalid: {e}"))?;
+    let top = v
+        .get("results")
+        .and_then(Json::as_array)
+        .and_then(|r| r.first())
+        .and_then(Json::as_array)
+        .and_then(|hits| hits.first())
+        .and_then(|hit| hit.get("key"))
+        .and_then(Json::as_str);
+    if top != Some("x") {
+        return Err(format!("knn ranked {top:?} first, expected 'x': {}", knn.body));
+    }
+    println!("knn: ok");
+
+    // 4. Error paths are answered.
+    for (path, body, want) in [
+        ("/v1/embed", "{broken", 400u16),
+        (
+            "/v1/embed",
+            r#"{"model":"no-such-model","table":{"columns":[{"header":"c","values":[1]}]}}"#,
+            400,
+        ),
+        ("/v1/nope", "{}", 404),
+    ] {
+        let r = httpc::post(addr, path, body, TIMEOUT)?;
+        if r.status != want {
+            return Err(format!("POST {path} answered {} (wanted {want}): {}", r.status, r.body));
+        }
+    }
+    println!("error paths: ok (400/400/404)");
+
+    // 5. Metrics exposition.
+    let metrics = httpc::get(addr, "/metrics", TIMEOUT)?;
+    if metrics.status != 200 {
+        return Err(format!("metrics answered {}", metrics.status));
+    }
+    let summary = observatory_obs::prom::validate(&metrics.body)
+        .map_err(|e| format!("/metrics exposition invalid: {e}"))?;
+    for family in [
+        "observatory_run_info",
+        "observatory_encodes_total",
+        "observatory_cache_lookups_total",
+        "observatory_server_requests_total",
+        "observatory_server_queue_depth",
+        "observatory_server_shed_total",
+        "observatory_server_batches_total",
+        "observatory_server_request_latency_seconds_bucket",
+    ] {
+        if !summary.has(family) {
+            return Err(format!("/metrics missing family {family}"));
+        }
+    }
+    println!("metrics: ok ({} families, {} samples)", summary.metrics.len(), summary.samples);
+    Ok(())
+}
+
+/// POST the fixed embed request; verify the schema; return the raw body.
+fn embed_ok(addr: SocketAddr) -> Result<String, String> {
+    let r = httpc::post(addr, "/v1/embed", EMBED, TIMEOUT)?;
+    if r.status != 200 {
+        return Err(format!("embed answered {}: {}", r.status, r.body));
+    }
+    let v = parse(&r.body).map_err(|e| format!("embed body invalid: {e}"))?;
+    if v.get("id").and_then(Json::as_str) != Some("smoke-1") {
+        return Err(format!("embed did not echo the id: {}", r.body));
+    }
+    if v.get("count").and_then(Json::as_f64) != Some(2.0) {
+        return Err(format!("embed count != 2: {}", r.body));
+    }
+    let embeddings = v
+        .get("embeddings")
+        .and_then(Json::as_array)
+        .ok_or_else(|| format!("embed has no embeddings array: {}", r.body))?;
+    if embeddings.len() != 2 {
+        return Err(format!("expected 2 column vectors, got {}", embeddings.len()));
+    }
+    for (i, vec) in embeddings.iter().enumerate() {
+        let arr = vec
+            .as_array()
+            .ok_or_else(|| format!("embeddings[{i}] is not an array (null readout?)"))?;
+        if arr.is_empty() {
+            return Err(format!("embeddings[{i}] is empty"));
+        }
+        for x in arr {
+            let f = x.as_f64().ok_or_else(|| format!("embeddings[{i}] holds a non-number"))?;
+            if !f.is_finite() {
+                return Err(format!("embeddings[{i}] holds a non-finite value"));
+            }
+        }
+    }
+    Ok(r.body)
+}

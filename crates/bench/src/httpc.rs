@@ -1,0 +1,109 @@
+//! Minimal one-shot HTTP/1.1 client for the serving harness binaries
+//! (`loadgen`, `validate_serve`).
+//!
+//! The service speaks `Connection: close`, one request per connection, so
+//! the client is exactly: connect, write the request, read to EOF, split
+//! status line from body. Zero dependencies, like everything else in the
+//! workspace.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A parsed one-shot response.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Raw header block (status line + headers).
+    pub head: String,
+    /// Response body.
+    pub body: String,
+}
+
+impl Response {
+    /// First header value with the given (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.head.lines().skip(1).find_map(|line| {
+            let (k, v) = line.split_once(':')?;
+            k.trim().eq_ignore_ascii_case(name).then(|| v.trim())
+        })
+    }
+}
+
+/// Issue one request on a fresh connection and read the full response.
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+    timeout: Duration,
+) -> Result<Response, String> {
+    let mut stream =
+        TcpStream::connect_timeout(&addr, timeout).map_err(|e| format!("connect {addr}: {e}"))?;
+    // One-shot request/response: disable Nagle so the request is not
+    // held back waiting for ACKs it will never batch with.
+    stream.set_nodelay(true).map_err(|e| e.to_string())?;
+    stream.set_read_timeout(Some(timeout)).map_err(|e| e.to_string())?;
+    stream.set_write_timeout(Some(timeout)).map_err(|e| e.to_string())?;
+    let raw = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    );
+    stream.write_all(raw.as_bytes()).map_err(|e| format!("write {addr}{path}: {e}"))?;
+    let mut buf = String::new();
+    stream.read_to_string(&mut buf).map_err(|e| format!("read {addr}{path}: {e}"))?;
+    let status = buf
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| format!("no status line in response from {path}: {buf:?}"))?;
+    let (head, body) = buf.split_once("\r\n\r\n").unwrap_or((buf.as_str(), ""));
+    Ok(Response { status, head: head.to_string(), body: body.to_string() })
+}
+
+/// `GET path` with an empty body.
+pub fn get(addr: SocketAddr, path: &str, timeout: Duration) -> Result<Response, String> {
+    request(addr, "GET", path, "", timeout)
+}
+
+/// `POST path` with a JSON body.
+pub fn post(
+    addr: SocketAddr,
+    path: &str,
+    body: &str,
+    timeout: Duration,
+) -> Result<Response, String> {
+    request(addr, "POST", path, body, timeout)
+}
+
+/// Poll `GET /healthz` until it answers 200 or the deadline lapses —
+/// lets harnesses start the server as a sibling process without races.
+pub fn await_healthy(addr: SocketAddr, deadline: Duration) -> Result<Response, String> {
+    let start = std::time::Instant::now();
+    loop {
+        match get(addr, "/healthz", Duration::from_secs(2)) {
+            Ok(r) if r.status == 200 => return Ok(r),
+            Ok(r) => {
+                if start.elapsed() > deadline {
+                    return Err(format!("healthz answered {} past the deadline", r.status));
+                }
+            }
+            Err(e) => {
+                if start.elapsed() > deadline {
+                    return Err(format!("server never became healthy: {e}"));
+                }
+            }
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+}
+
+/// Parse `host:port` into a socket address (resolving if needed).
+pub fn resolve(addr: &str) -> Result<SocketAddr, String> {
+    use std::net::ToSocketAddrs;
+    addr.to_socket_addrs()
+        .map_err(|e| format!("cannot resolve '{addr}': {e}"))?
+        .next()
+        .ok_or_else(|| format!("'{addr}' resolved to nothing"))
+}

@@ -4,6 +4,8 @@
 //! evaluation (run with `cargo run -p observatory-bench --bin <name>`) and
 //! criterion benches (`cargo bench -p observatory-bench`). The shared
 //! workload builders live in [`harness`]; DESIGN.md §5 maps every
-//! experiment id to its binary.
+//! experiment id to its binary. The serving harness (`loadgen`,
+//! `validate_serve`) shares the one-shot HTTP client in [`httpc`].
 
 pub mod harness;
+pub mod httpc;

@@ -8,6 +8,16 @@ use crate::zoo;
 pub const MODEL_NAMES: [&str; 9] =
     ["bert", "roberta", "t5", "tapas", "tabert", "tapex", "turl", "doduo", "taptap"];
 
+/// Whether `name` is a registry model — without constructing it.
+///
+/// [`model_by_name`] generates the model's deterministic weights, which
+/// costs tens of milliseconds; admission paths that only need to
+/// *validate* a name (e.g. the serving front door) must use this
+/// instead.
+pub fn is_known_model(name: &str) -> bool {
+    MODEL_NAMES.contains(&name)
+}
+
 /// Construct a model by its stable name. Returns `None` for unknown names.
 pub fn model_by_name(name: &str) -> Option<Box<dyn TableEncoder>> {
     Some(match name {
@@ -128,6 +138,17 @@ pub fn specs() -> Vec<ModelSpec> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn name_check_agrees_with_construction() {
+        for name in MODEL_NAMES {
+            assert!(is_known_model(name), "{name}");
+        }
+        for bogus in ["gpt9", "", "BERT", "bert "] {
+            assert!(!is_known_model(bogus), "{bogus:?}");
+            assert!(model_by_name(bogus).is_none(), "{bogus:?}");
+        }
+    }
 
     #[test]
     fn registry_covers_all_names() {

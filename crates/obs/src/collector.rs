@@ -8,8 +8,17 @@
 
 use crate::level::Level;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Mutex, MutexGuard, OnceLock};
 use std::time::Instant;
+
+/// Lock a stripe, recovering from poisoning. A panicking instrumented
+/// thread (spans are pushed from `Drop` during unwinding) must never
+/// poison a stripe and silently discard every later record on it — the
+/// protected state is a trace buffer, so keeping the partially written
+/// vector is always safe.
+fn lock_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
 
 /// Number of independently locked stripes.
 pub const N_STRIPES: usize = 8;
@@ -160,7 +169,7 @@ impl Collector {
     }
 
     pub(crate) fn push_span(&self, record: SpanRecord) {
-        let mut spans = self.stripe(record.tid).spans.lock().unwrap();
+        let mut spans = lock_recover(&self.stripe(record.tid).spans);
         if spans.len() >= self.span_cap {
             drop(spans);
             self.dropped.fetch_add(1, Ordering::Relaxed);
@@ -170,7 +179,7 @@ impl Collector {
     }
 
     pub(crate) fn push_event(&self, record: EventRecord) {
-        let mut events = self.stripe(record.tid).events.lock().unwrap();
+        let mut events = lock_recover(&self.stripe(record.tid).events);
         if events.len() >= self.event_cap {
             drop(events);
             self.dropped.fetch_add(1, Ordering::Relaxed);
@@ -182,8 +191,8 @@ impl Collector {
     fn drain(&self) -> Trace {
         let mut trace = Trace::default();
         for stripe in &self.stripes {
-            trace.spans.append(&mut stripe.spans.lock().unwrap());
-            trace.events.append(&mut stripe.events.lock().unwrap());
+            trace.spans.append(&mut lock_recover(&stripe.spans));
+            trace.events.append(&mut lock_recover(&stripe.events));
         }
         trace.spans.sort_by_key(|s| (s.start_ns, s.id));
         trace.events.sort_by_key(|e| e.ts_ns);
@@ -254,6 +263,33 @@ mod tests {
             ..Default::default()
         };
         assert!(t.check_nesting().unwrap_err().contains("ends after"));
+    }
+
+    #[test]
+    fn survives_poisoned_stripes() {
+        // Poison every stripe mutex by panicking while holding it, then
+        // verify pushes and drain still work: a tracing buffer must never
+        // become a single point of failure for the instrumented program.
+        let c = std::sync::Arc::new(Collector::new());
+        for i in 0..N_STRIPES {
+            let c2 = std::sync::Arc::clone(&c);
+            let _ = std::thread::Builder::new()
+                .spawn(move || {
+                    let _spans = c2.stripes[i].spans.lock().unwrap();
+                    let _events = c2.stripes[i].events.lock().unwrap();
+                    panic!("poison stripe {i}");
+                })
+                .unwrap()
+                .join();
+        }
+        for tid in 0..N_STRIPES as u64 {
+            let mut r = rec(tid + 1, None, tid, 1);
+            r.tid = tid;
+            c.push_span(r);
+        }
+        let t = c.drain();
+        assert_eq!(t.spans.len(), N_STRIPES, "all stripes usable after poisoning");
+        assert_eq!(t.dropped, 0);
     }
 
     #[test]

@@ -20,7 +20,18 @@ use observatory_models::{ModelEncoding, TokenProvenance};
 use observatory_obs as obs;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Lock a shard, recovering from poisoning. A worker that panics while
+/// holding a shard lock (e.g. an allocation failure mid-insert) must not
+/// wedge every later request on that shard — the protected state is a
+/// cache, so the worst case after recovery is a stale or missing entry,
+/// which the cache's contract (a hit is an optimization, never a
+/// correctness requirement) already tolerates. The long-lived server
+/// (`observatory serve`) relies on this to survive a panicking handler.
+fn lock_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
 
 /// Number of independently locked shards. 16 keeps worst-case contention
 /// (jobs ≤ 16) at ~1 waiter per lock while the per-shard maps stay large
@@ -152,7 +163,7 @@ impl EncodingCache {
             return None;
         }
         let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
-        let mut shard = self.shard(fp).lock().unwrap();
+        let mut shard = lock_recover(self.shard(fp));
         match shard.map.get_mut(&fp.0) {
             Some(e) => {
                 e.stamp = stamp;
@@ -186,7 +197,7 @@ impl EncodingCache {
         let mut evicted = 0u64;
         let mut freed = 0usize;
         {
-            let mut shard = self.shard(fp).lock().unwrap();
+            let mut shard = lock_recover(self.shard(fp));
             if let Some(old) = shard.map.remove(&fp.0) {
                 shard.bytes -= old.bytes;
                 freed += old.bytes;
@@ -225,7 +236,7 @@ impl EncodingCache {
     /// Drop every entry (counters and the high-water mark are preserved).
     pub fn clear(&self) {
         for shard in &self.shards {
-            let mut s = shard.lock().unwrap();
+            let mut s = lock_recover(shard);
             s.map.clear();
             s.bytes = 0;
         }
@@ -239,7 +250,7 @@ impl EncodingCache {
         let mut bytes = 0;
         let mut shards = Vec::with_capacity(self.shards.len());
         for shard in &self.shards {
-            let s = shard.lock().unwrap();
+            let s = lock_recover(shard);
             entries += s.map.len();
             bytes += s.bytes;
             shards.push(ShardOccupancy { entries: s.map.len(), bytes: s.bytes });
@@ -390,6 +401,32 @@ mod tests {
         assert!(s.evictions >= 2);
         assert_eq!(s.bytes, 2 * one);
         assert_eq!(s.high_water_bytes, 2 * one, "peak live footprint");
+    }
+
+    #[test]
+    fn survives_poisoned_shard_mutexes() {
+        // A thread that panics while holding a shard lock poisons it.
+        // Every cache operation must keep working afterwards (the state
+        // is a cache; recovery is always safe), or a single panicking
+        // handler would wedge the whole server.
+        let cache = Arc::new(EncodingCache::new(1 << 20));
+        cache.insert(fp(1), encoding(4, 8));
+        for i in 0..N_SHARDS {
+            let c = Arc::clone(&cache);
+            let _ = std::thread::spawn(move || {
+                let _guard = c.shards[i].lock().unwrap();
+                panic!("poison shard {i}");
+            })
+            .join();
+        }
+        // All shards are now poisoned; the cache must still serve.
+        assert!(cache.get(fp(1)).is_some(), "pre-poison entry still readable");
+        cache.insert(fp(2), encoding(4, 8));
+        assert!(cache.get(fp(2)).is_some(), "post-poison insert works");
+        let s = cache.stats();
+        assert_eq!(s.entries, 2);
+        cache.clear();
+        assert_eq!(cache.stats().entries, 0);
     }
 
     #[test]

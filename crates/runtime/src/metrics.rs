@@ -182,7 +182,10 @@ impl Metrics {
         self.tokens.fetch_add(tokens as u64, Ordering::Relaxed);
         self.encode_latency.record(elapsed);
         let ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
-        let mut per_model = self.per_model.lock().unwrap();
+        // Recover from poisoning: the map only accumulates counters, so a
+        // panic mid-update at worst loses one increment — far better than
+        // wedging every later encode in a long-lived server.
+        let mut per_model = self.per_model.lock().unwrap_or_else(|e| e.into_inner());
         let entry = per_model.entry(model.to_string()).or_default();
         entry.encodes += 1;
         entry.encode_ns += ns;
@@ -213,7 +216,7 @@ impl Metrics {
             batches: self.batches.load(Ordering::Relaxed),
             tokens: self.tokens.load(Ordering::Relaxed),
             encode_latency: self.encode_latency.snapshot(),
-            per_model: self.per_model.lock().unwrap().clone(),
+            per_model: self.per_model.lock().unwrap_or_else(|e| e.into_inner()).clone(),
         }
     }
 }

@@ -1,0 +1,255 @@
+//! Hand-rolled HTTP/1.1 over `std::net` — request parsing and response
+//! writing, nothing more.
+//!
+//! The workspace has no registry access, so there is no hyper/axum to
+//! lean on; the service speaks exactly the subset of HTTP/1.1 its four
+//! endpoints need: one request per connection (`Connection: close`),
+//! `Content-Length`-delimited bodies, no chunked transfer, no TLS.
+//! Limits are enforced while reading so a malicious or broken client can
+//! never balloon memory: headers are capped at 16 KiB and bodies at
+//! 8 MiB (oversize bodies surface as [`HttpError::TooLarge`] → 413).
+
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Maximum accepted header block (request line + headers), bytes.
+pub const MAX_HEADER_BYTES: usize = 16 << 10;
+
+/// Maximum accepted request body, bytes.
+pub const MAX_BODY_BYTES: usize = 8 << 20;
+
+/// A parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Method verb, uppercased by the client (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request target (path + optional query), e.g. `/v1/embed`.
+    pub path: String,
+    /// Headers in arrival order; names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Raw body bytes (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First header with the given (lowercase) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be read.
+#[derive(Debug, PartialEq, Eq)]
+pub enum HttpError {
+    /// The peer closed the connection before a full request arrived.
+    Closed,
+    /// Malformed request line / headers / framing.
+    Malformed(String),
+    /// Header block or declared body exceeds the hard limits.
+    TooLarge,
+    /// Socket error (including read timeout).
+    Io(String),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Closed => write!(f, "connection closed"),
+            HttpError::Malformed(m) => write!(f, "malformed request: {m}"),
+            HttpError::TooLarge => write!(f, "request too large"),
+            HttpError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+/// Read one HTTP/1.1 request from `reader`.
+pub fn read_request<R: Read>(reader: &mut BufReader<R>) -> Result<Request, HttpError> {
+    let mut line = String::new();
+    let mut header_bytes = 0usize;
+    let n = reader.read_line(&mut line).map_err(|e| HttpError::Io(e.to_string()))?;
+    if n == 0 {
+        return Err(HttpError::Closed);
+    }
+    header_bytes += n;
+    let request_line = line.trim_end();
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("").to_string();
+    let path = parts.next().unwrap_or("").to_string();
+    let version = parts.next().unwrap_or("");
+    if method.is_empty() || path.is_empty() || !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed(format!("bad request line '{request_line}'")));
+    }
+    let mut headers = Vec::new();
+    loop {
+        line.clear();
+        let n = reader.read_line(&mut line).map_err(|e| HttpError::Io(e.to_string()))?;
+        if n == 0 {
+            return Err(HttpError::Closed);
+        }
+        header_bytes += n;
+        if header_bytes > MAX_HEADER_BYTES {
+            return Err(HttpError::TooLarge);
+        }
+        let trimmed = line.trim_end();
+        if trimmed.is_empty() {
+            break;
+        }
+        let Some((name, value)) = trimmed.split_once(':') else {
+            return Err(HttpError::Malformed(format!("bad header '{trimmed}'")));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    let content_length = match headers.iter().find(|(k, _)| k == "content-length") {
+        None => 0usize,
+        Some((_, v)) => v
+            .parse::<usize>()
+            .map_err(|_| HttpError::Malformed(format!("bad content-length '{v}'")))?,
+    };
+    if content_length > MAX_BODY_BYTES {
+        return Err(HttpError::TooLarge);
+    }
+    let mut body = vec![0u8; content_length];
+    if content_length > 0 {
+        reader.read_exact(&mut body).map_err(|e| HttpError::Io(e.to_string()))?;
+    }
+    Ok(Request { method, path, headers, body })
+}
+
+/// Reason phrase for the status codes the service emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        411 => "Length Required",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Write a complete response (status, headers, body) and flush.
+/// `extra` headers are appended verbatim (e.g. `Retry-After`).
+///
+/// The head and body are coalesced into one buffer and written with a
+/// single `write_all`: writing them separately puts the body in a
+/// second TCP segment that Nagle holds back until the first is ACKed,
+/// and with the peer's delayed ACK that stalls every response ~40 ms.
+pub fn write_response<W: Write>(
+    stream: &mut W,
+    status: u16,
+    content_type: &str,
+    extra: &[(&str, String)],
+    body: &[u8],
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        reason(status),
+        body.len(),
+    );
+    for (k, v) in extra {
+        head.push_str(k);
+        head.push_str(": ");
+        head.push_str(v);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    let mut frame = head.into_bytes();
+    frame.extend_from_slice(body);
+    stream.write_all(&frame)?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(raw: &str) -> Result<Request, HttpError> {
+        read_request(&mut BufReader::new(raw.as_bytes()))
+    }
+
+    #[test]
+    fn parses_get() {
+        let r = parse("GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/healthz");
+        assert_eq!(r.header("host"), Some("x"));
+        assert!(r.body.is_empty());
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let r = parse("POST /v1/embed HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello").unwrap();
+        assert_eq!(r.method, "POST");
+        assert_eq!(r.body, b"hello");
+    }
+
+    #[test]
+    fn header_names_are_case_insensitive() {
+        let r = parse("POST /x HTTP/1.1\r\nCONTENT-LENGTH: 2\r\n\r\nok").unwrap();
+        assert_eq!(r.body, b"ok");
+    }
+
+    #[test]
+    fn empty_stream_is_closed() {
+        assert_eq!(parse("").unwrap_err(), HttpError::Closed);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(matches!(parse("NOT-HTTP\r\n\r\n").unwrap_err(), HttpError::Malformed(_)));
+        assert!(matches!(
+            parse("GET / HTTP/1.1\r\nbadheader\r\n\r\n").unwrap_err(),
+            HttpError::Malformed(_)
+        ));
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\nContent-Length: abc\r\n\r\n").unwrap_err(),
+            HttpError::Malformed(_)
+        ));
+    }
+
+    #[test]
+    fn rejects_oversized_declared_body() {
+        let raw = format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY_BYTES + 1);
+        assert_eq!(parse(&raw).unwrap_err(), HttpError::TooLarge);
+    }
+
+    #[test]
+    fn rejects_oversized_headers() {
+        let mut raw = String::from("GET / HTTP/1.1\r\n");
+        for i in 0..2000 {
+            raw.push_str(&format!("x-h{i}: {}\r\n", "v".repeat(20)));
+        }
+        raw.push_str("\r\n");
+        assert_eq!(parse(&raw).unwrap_err(), HttpError::TooLarge);
+    }
+
+    #[test]
+    fn truncated_body_is_io_error() {
+        let err = parse("POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nhi").unwrap_err();
+        assert!(matches!(err, HttpError::Io(_)), "{err:?}");
+    }
+
+    #[test]
+    fn response_shape() {
+        let mut out = Vec::new();
+        write_response(&mut out, 429, "application/json", &[("Retry-After", "1".into())], b"{}")
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+
+    #[test]
+    fn reasons_cover_service_codes() {
+        for code in [200, 400, 404, 405, 408, 411, 413, 429, 500, 503] {
+            assert_ne!(reason(code), "Unknown", "{code}");
+        }
+    }
+}

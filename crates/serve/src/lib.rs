@@ -1,0 +1,760 @@
+//! `observatory-serve`: the resident embedding service.
+//!
+//! Everything below is hand-rolled over `std` — the workspace admits no
+//! external crates — and composes the existing layers instead of
+//! duplicating them: tables come from `observatory-table`, models from
+//! the zoo registry, encodes go through the shared
+//! [`observatory_runtime::Engine`] (content-addressed cache + worker
+//! pool), kNN through `observatory-search`, and every request is traced
+//! with `observatory-obs` spans.
+//!
+//! ## Request path
+//!
+//! ```text
+//! accept loop (nonblocking, polls shutdown+signal flags)
+//!   └─ connection thread: read_request → parse → Queue::push
+//!        ├─ Full   → 429 + Retry-After   (load shedding)
+//!        ├─ Closed → 503                 (draining)
+//!        └─ Ok     → block on the reply channel
+//! batcher thread: Queue::pop_batch (dynamic micro-batching)
+//!   └─ expire (408, never encoded) → group by model → Engine::encode_batch
+//! ```
+//!
+//! The admission queue is the **only** coupling between connection
+//! threads and the encoder: its depth bound keeps tail latency bounded
+//! under overload (shed early, never backlog), and closing it is the
+//! whole drain protocol — new work is refused while every admitted job
+//! is still answered before [`Server::run`] returns.
+//!
+//! ## Endpoints
+//!
+//! | Route                  | Purpose                                      |
+//! |------------------------|----------------------------------------------|
+//! | `POST /v1/embed`       | Encode one table, return embeddings          |
+//! | `POST /v1/knn`         | Exact cosine kNN over request-supplied items |
+//! | `GET /healthz`         | Liveness + drain state                       |
+//! | `GET /metrics`         | Prometheus text (engine + server families)   |
+//! | `POST /admin/shutdown` | Begin graceful drain (same as SIGTERM)       |
+
+pub mod api;
+pub mod batcher;
+pub mod http;
+pub mod metrics;
+pub mod queue;
+pub mod signal;
+
+use crate::batcher::BatcherConfig;
+use crate::http::{read_request, write_response, HttpError, Request};
+use crate::metrics::{ServerMetrics, ServerTotals};
+use crate::queue::{Job, Pushed, Queue};
+use observatory_models::registry::is_known_model;
+use observatory_obs as obs;
+use observatory_obs::Manifest;
+use observatory_runtime::Engine;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+/// Why an admitted job was not answered with an encoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobError {
+    /// The deadline passed while the job sat in the queue (→ 408).
+    DeadlineExpired,
+    /// The encode failed server-side, e.g. a recovered panic (→ 500).
+    Internal(String),
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::DeadlineExpired => write!(f, "deadline expired while queued"),
+            JobError::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+/// Everything `observatory serve` can tune.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address, e.g. `127.0.0.1:7700` (port 0 = ephemeral).
+    pub addr: String,
+    /// Largest micro-batch handed to `Engine::encode_batch`.
+    pub max_batch: usize,
+    /// How long a forming batch waits for stragglers.
+    pub batch_delay: Duration,
+    /// Admission queue bound; beyond it requests are shed with 429.
+    pub queue_depth: usize,
+    /// Default per-request deadline (clients may lower it with the
+    /// `x-deadline-ms` header; overrides are capped at 5 minutes).
+    pub deadline: Duration,
+    /// Install SIGTERM/SIGINT handlers that trigger graceful drain.
+    /// Tests leave this off; the CLI turns it on.
+    pub handle_signals: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7700".to_string(),
+            max_batch: 16,
+            batch_delay: Duration::from_micros(2000),
+            queue_depth: 256,
+            deadline: Duration::from_millis(5000),
+            handle_signals: false,
+        }
+    }
+}
+
+/// What the server did with its life, reported after drain.
+#[derive(Debug, Clone)]
+pub struct DrainStats {
+    /// Frozen server counters.
+    pub totals: ServerTotals,
+    /// Wall time from bind to drain completion.
+    pub uptime: Duration,
+}
+
+/// State shared by the accept loop, connection threads, and the batcher.
+struct Shared {
+    engine: Arc<Engine>,
+    queue: Queue,
+    metrics: ServerMetrics,
+    /// Set by [`ServerHandle::shutdown`] or `POST /admin/shutdown`.
+    shutdown: AtomicBool,
+    /// Flipped once drain begins (exported as a gauge; healthz reports it).
+    draining: AtomicBool,
+    /// Connections currently being handled.
+    inflight: AtomicUsize,
+    /// Monotone request id source (spans + logs).
+    next_id: AtomicU64,
+    started: Instant,
+    config: ServeConfig,
+    manifest: Manifest,
+}
+
+/// Cloneable remote control for a running [`Server`].
+#[derive(Clone)]
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+}
+
+impl ServerHandle {
+    /// Begin graceful drain: stop accepting, answer everything admitted.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether drain has started.
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining.load(Ordering::SeqCst)
+    }
+
+    /// Live server counters (also available after `run` returns).
+    pub fn totals(&self) -> ServerTotals {
+        self.shared.metrics.totals()
+    }
+}
+
+/// A bound (but not yet running) service.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    signal_flag: Option<&'static AtomicBool>,
+}
+
+impl Server {
+    /// Bind the listen socket and assemble shared state. The engine is
+    /// taken as a parameter (not `runtime::global()`) so tests can run
+    /// several isolated servers in one process.
+    pub fn bind(config: ServeConfig, engine: Arc<Engine>) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let signal_flag = if config.handle_signals { Some(signal::install()) } else { None };
+        let mut manifest = Manifest::for_run();
+        manifest.set("command", "serve");
+        manifest.set("max_batch", config.max_batch.to_string());
+        manifest.set("queue_depth", config.queue_depth.to_string());
+        let shared = Arc::new(Shared {
+            engine,
+            queue: Queue::new(config.queue_depth),
+            metrics: ServerMetrics::new(),
+            shutdown: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
+            inflight: AtomicUsize::new(0),
+            next_id: AtomicU64::new(1),
+            started: Instant::now(),
+            config,
+            manifest,
+        });
+        Ok(Server { listener, shared, signal_flag })
+    }
+
+    /// The bound address (resolves port 0 to the ephemeral port).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A remote control usable from other threads.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle { shared: Arc::clone(&self.shared) }
+    }
+
+    /// Serve until a shutdown is requested (handle, admin endpoint, or
+    /// signal), then drain: refuse new admissions, answer every admitted
+    /// job, wait for in-flight connections, and join the batcher.
+    pub fn run(self) -> DrainStats {
+        let shared = self.shared;
+        let config = shared.config.clone();
+        obs::event_with(obs::Level::Info, "serve", "listening", || {
+            vec![("addr", format!("{:?}", config.addr))]
+        });
+
+        // The single consumer of the admission queue.
+        let batcher_shared = Arc::clone(&shared);
+        let batcher = std::thread::Builder::new()
+            .name("observatory-batcher".to_string())
+            .spawn(move || {
+                batcher::batcher_loop(
+                    &batcher_shared.queue,
+                    &batcher_shared.engine,
+                    &batcher_shared.metrics,
+                    BatcherConfig { max_batch: config.max_batch, batch_delay: config.batch_delay },
+                );
+            })
+            .expect("spawn batcher thread");
+
+        // Accept loop: nonblocking so shutdown flags are polled ~200×/s.
+        let mut conns: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        loop {
+            if shared.shutdown.load(Ordering::SeqCst)
+                || self.signal_flag.is_some_and(|f| f.load(Ordering::Relaxed))
+            {
+                break;
+            }
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    shared.inflight.fetch_add(1, Ordering::SeqCst);
+                    let conn_shared = Arc::clone(&shared);
+                    let h = std::thread::Builder::new()
+                        .name("observatory-conn".to_string())
+                        .spawn(move || {
+                            handle_conn(stream, &conn_shared);
+                            conn_shared.inflight.fetch_sub(1, Ordering::SeqCst);
+                        })
+                        .expect("spawn connection thread");
+                    conns.push(h);
+                    // Opportunistically reap finished threads so the vec
+                    // stays bounded on long runs.
+                    conns.retain(|h| !h.is_finished());
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => {
+                    obs::event_with(obs::Level::Error, "serve", "accept_error", || {
+                        vec![("error", e.to_string())]
+                    });
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            }
+        }
+
+        // ---- Drain protocol -------------------------------------------
+        shared.draining.store(true, Ordering::SeqCst);
+        obs::event(obs::Level::Info, "serve", "drain_begin");
+        // 1. Stop accepting: drop the listener (closes the socket).
+        drop(self.listener);
+        // 2. Refuse new admissions; admitted jobs remain poppable, and
+        //    pop_batch skips the straggler window once closed.
+        shared.queue.close();
+        // 3. The batcher answers everything admitted, then exits.
+        let _ = batcher.join();
+        // 4. Wait for connection threads to flush their responses.
+        let wait_start = Instant::now();
+        while shared.inflight.load(Ordering::SeqCst) > 0
+            && wait_start.elapsed() < Duration::from_secs(30)
+        {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        for h in conns {
+            if h.is_finished() {
+                let _ = h.join();
+            }
+        }
+        let totals = shared.metrics.totals();
+        obs::event_with(obs::Level::Info, "serve", "drain_complete", || {
+            vec![
+                ("requests", totals.requests.to_string()),
+                ("shed", totals.shed.to_string()),
+                ("expired", totals.expired.to_string()),
+                ("batches", totals.batches.to_string()),
+            ]
+        });
+        DrainStats { totals, uptime: shared.started.elapsed() }
+    }
+}
+
+/// Per-connection deadline override: `x-deadline-ms`, capped at 5 min.
+fn request_deadline(req: &Request, default: Duration) -> Duration {
+    match req.header("x-deadline-ms").and_then(|v| v.parse::<u64>().ok()) {
+        Some(ms) => Duration::from_millis(ms.min(300_000)),
+        None => default,
+    }
+}
+
+/// A response ready to write: status, content type, extra headers, body.
+struct Outcome {
+    route: &'static str,
+    status: u16,
+    content_type: &'static str,
+    extra: Vec<(&'static str, String)>,
+    body: String,
+}
+
+impl Outcome {
+    fn json(route: &'static str, status: u16, body: String) -> Self {
+        Outcome { route, status, content_type: "application/json", extra: Vec::new(), body }
+    }
+
+    fn error(route: &'static str, status: u16, msg: &str) -> Self {
+        Self::json(route, status, api::error_body(msg))
+    }
+}
+
+/// Handle one connection: read a request, route it, write the response.
+fn handle_conn(stream: TcpStream, shared: &Shared) {
+    let start = Instant::now();
+    // A dead or glacial client must not pin this thread forever.
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    // One request per connection: Nagle only adds delayed-ACK stalls.
+    let _ = stream.set_nodelay(true);
+    let mut reader = match stream.try_clone() {
+        Ok(s) => BufReader::new(s),
+        Err(_) => return,
+    };
+    let mut stream = stream;
+    let req = match read_request(&mut reader) {
+        Ok(r) => r,
+        Err(HttpError::Closed) => return,
+        Err(e) => {
+            let (status, msg) = match e {
+                HttpError::TooLarge => (413, "request exceeds size limits".to_string()),
+                HttpError::Malformed(m) => (400, m),
+                HttpError::Io(m) => (400, format!("read failed: {m}")),
+                HttpError::Closed => unreachable!(),
+            };
+            let body = api::error_body(&msg);
+            let _ = write_response(&mut stream, status, "application/json", &[], body.as_bytes());
+            shared.metrics.record_request("malformed", status, start.elapsed());
+            return;
+        }
+    };
+    let id = shared.next_id.fetch_add(1, Ordering::Relaxed);
+    let mut span = obs::span(obs::Level::Info, "serve", "request")
+        .with("request", id)
+        .with("method", &req.method)
+        .with("path", &req.path);
+    let outcome = route(&req, id, &mut span, shared);
+    span.record("status", outcome.status);
+    let _ = write_response(
+        &mut stream,
+        outcome.status,
+        outcome.content_type,
+        &outcome.extra,
+        outcome.body.as_bytes(),
+    );
+    shared.metrics.record_request(outcome.route, outcome.status, start.elapsed());
+}
+
+/// Dispatch one parsed request to its endpoint.
+fn route(req: &Request, id: u64, span: &mut obs::Span, shared: &Shared) -> Outcome {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => healthz(shared),
+        ("GET", "/metrics") => metrics_page(shared),
+        ("POST", "/v1/embed") => embed(req, id, span, shared),
+        ("POST", "/v1/knn") => knn(req, shared),
+        ("POST", "/admin/shutdown") => {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            Outcome::json("admin", 200, "{\"draining\":true}".to_string())
+        }
+        ("GET", "/v1/embed" | "/v1/knn" | "/admin/shutdown")
+        | ("POST", "/healthz" | "/metrics") => {
+            Outcome::error("other", 405, &format!("method {} not allowed here", req.method))
+        }
+        (_, path) => Outcome::error("other", 404, &format!("no route for '{path}'")),
+    }
+}
+
+fn healthz(shared: &Shared) -> Outcome {
+    let body = format!(
+        "{{\"status\":\"ok\",\"draining\":{},\"queue_depth\":{},\"queue_capacity\":{},\"uptime_seconds\":{:.3},\"jobs\":{}}}",
+        shared.draining.load(Ordering::SeqCst),
+        shared.queue.len(),
+        shared.queue.capacity(),
+        shared.started.elapsed().as_secs_f64(),
+        shared.engine.jobs(),
+    );
+    Outcome::json("healthz", 200, body)
+}
+
+fn metrics_page(shared: &Shared) -> Outcome {
+    // Engine families first, then the server's own; both documents are
+    // PromBuf-rendered so the concatenation validates as one exposition.
+    let engine_text = observatory_runtime::prometheus_text(
+        &shared.engine.metrics_snapshot(),
+        &shared.engine.cache_stats(),
+        &shared.manifest,
+        None,
+    );
+    let server_text = shared.metrics.prometheus_text(
+        shared.queue.len(),
+        shared.queue.capacity(),
+        shared.inflight.load(Ordering::SeqCst),
+        shared.draining.load(Ordering::SeqCst),
+    );
+    let mut body = engine_text;
+    body.push_str(&server_text);
+    Outcome {
+        route: "metrics",
+        status: 200,
+        content_type: "text/plain; version=0.0.4",
+        extra: Vec::new(),
+        body,
+    }
+}
+
+fn embed(req: &Request, id: u64, span: &mut obs::Span, shared: &Shared) -> Outcome {
+    if req.header("content-length").is_none() {
+        return Outcome::error("embed", 411, "POST /v1/embed requires Content-Length");
+    }
+    let body = match std::str::from_utf8(&req.body) {
+        Ok(s) => s,
+        Err(_) => return Outcome::error("embed", 400, "body must be UTF-8 JSON"),
+    };
+    let parsed = {
+        let mut parse_span = obs::span(obs::Level::Debug, "serve", "parse");
+        let r = api::parse_embed(body);
+        if let Err(e) = &r {
+            parse_span.record("error", e);
+        }
+        r
+    };
+    let embed_req = match parsed {
+        Ok(r) => r,
+        Err(api::ApiError::TooLarge) => {
+            return Outcome::error("embed", 413, &api::ApiError::TooLarge.to_string())
+        }
+        Err(api::ApiError::Bad(m)) => return Outcome::error("embed", 400, &m),
+    };
+    // Name check only — constructing the model here would regenerate its
+    // weights on every request; the batcher builds and caches adapters.
+    if !is_known_model(&embed_req.model) {
+        return Outcome::error("embed", 400, &format!("unknown model '{}'", embed_req.model));
+    }
+    span.record("model", &embed_req.model);
+    span.record("rows", embed_req.table.num_rows());
+    span.record("cols", embed_req.table.num_cols());
+    let deadline_in = request_deadline(req, shared.config.deadline);
+    let now = Instant::now();
+    let (tx, rx) = mpsc::channel();
+    let job = Job {
+        id,
+        model: embed_req.model.clone(),
+        table: embed_req.table.clone(),
+        enqueued: now,
+        deadline: now + deadline_in,
+        reply: tx,
+        span_parent: span.id(),
+    };
+    match shared.queue.push(job) {
+        Pushed::Full => {
+            obs::event_with(obs::Level::Info, "serve", "shed", || {
+                vec![("request", id.to_string())]
+            });
+            let mut o = Outcome::error("embed", 429, "admission queue full, retry shortly");
+            o.extra.push(("Retry-After", "1".to_string()));
+            o
+        }
+        Pushed::Closed => Outcome::error("embed", 503, "server is draining"),
+        Pushed::Ok { depth } => {
+            span.record("queue_depth", depth);
+            // The batcher always answers (reply, or drops the sender on a
+            // path we haven't imagined — then recv errors and we 500).
+            // The extra minute covers encode time after a met deadline.
+            match rx.recv_timeout(deadline_in + Duration::from_secs(60)) {
+                Ok(Ok(enc)) => {
+                    Outcome::json("embed", 200, api::render_embed_response(&embed_req, &enc))
+                }
+                Ok(Err(JobError::DeadlineExpired)) => {
+                    Outcome::error("embed", 408, "deadline expired before encode")
+                }
+                Ok(Err(JobError::Internal(m))) => Outcome::error("embed", 500, &m),
+                Err(_) => Outcome::error("embed", 500, "batcher dropped the request"),
+            }
+        }
+    }
+}
+
+fn knn(req: &Request, _shared: &Shared) -> Outcome {
+    let body = match std::str::from_utf8(&req.body) {
+        Ok(s) => s,
+        Err(_) => return Outcome::error("knn", 400, "body must be UTF-8 JSON"),
+    };
+    match api::parse_knn(body) {
+        Ok(parsed) => {
+            let mut span = obs::span(obs::Level::Debug, "serve", "knn")
+                .with("items", parsed.items.len())
+                .with("queries", parsed.queries.len())
+                .with("k", parsed.k);
+            let out = api::run_knn(&parsed);
+            span.record("bytes", out.len());
+            Outcome::json("knn", 200, out)
+        }
+        Err(e) => Outcome::error("knn", 400, &e.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use observatory_obs::json::parse as jparse;
+    use observatory_runtime::EngineConfig;
+    use std::io::Write;
+
+    fn spawn_server(
+        config: ServeConfig,
+    ) -> (SocketAddr, ServerHandle, std::thread::JoinHandle<DrainStats>) {
+        let engine = Arc::new(Engine::new(EngineConfig { jobs: 2, cache_bytes: 1 << 22 }));
+        let server = Server::bind(config, engine).expect("bind ephemeral");
+        let addr = server.local_addr().unwrap();
+        let handle = server.handle();
+        let join = std::thread::spawn(move || server.run());
+        (addr, handle, join)
+    }
+
+    fn ephemeral() -> ServeConfig {
+        ServeConfig { addr: "127.0.0.1:0".to_string(), ..ServeConfig::default() }
+    }
+
+    /// One request over a fresh connection; returns (status, headers, body).
+    fn send(addr: SocketAddr, raw: &str) -> (u16, String, String) {
+        let mut s = TcpStream::connect(addr).expect("connect");
+        s.write_all(raw.as_bytes()).unwrap();
+        let mut buf = String::new();
+        use std::io::Read;
+        s.read_to_string(&mut buf).expect("read response");
+        let status: u16 = buf
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| panic!("no status in {buf:?}"));
+        let (head, body) = buf.split_once("\r\n\r\n").unwrap_or((buf.as_str(), ""));
+        (status, head.to_string(), body.to_string())
+    }
+
+    fn get(addr: SocketAddr, path: &str) -> (u16, String, String) {
+        send(addr, &format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n"))
+    }
+
+    fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, String, String) {
+        post_with(addr, path, body, "")
+    }
+
+    fn post_with(addr: SocketAddr, path: &str, body: &str, extra: &str) -> (u16, String, String) {
+        send(
+            addr,
+            &format!(
+                "POST {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n{extra}\r\n{body}",
+                body.len()
+            ),
+        )
+    }
+
+    fn embed_body(tag: u64) -> String {
+        format!(
+            r#"{{"model":"bert","level":"column","id":"req-{tag}",
+               "table":{{"name":"t{tag}","columns":[
+                 {{"header":"id","values":[{tag},2,3]}},
+                 {{"header":"name","values":["a-{tag}","b",null]}}]}}}}"#
+        )
+    }
+
+    fn shutdown_and_join(
+        handle: &ServerHandle,
+        join: std::thread::JoinHandle<DrainStats>,
+    ) -> DrainStats {
+        handle.shutdown();
+        join.join().expect("server thread")
+    }
+
+    #[test]
+    fn healthz_embed_knn_metrics_round_trip() {
+        let (addr, handle, join) = spawn_server(ephemeral());
+
+        let (status, _, body) = get(addr, "/healthz");
+        assert_eq!(status, 200, "{body}");
+        let h = jparse(&body).unwrap();
+        assert_eq!(h.get("status").unwrap().as_str(), Some("ok"));
+        assert_eq!(h.get("draining"), Some(&observatory_obs::json::Json::Bool(false)));
+
+        let (status, _, body) = post(addr, "/v1/embed", &embed_body(7));
+        assert_eq!(status, 200, "{body}");
+        let v = jparse(&body).unwrap();
+        assert_eq!(v.get("id").unwrap().as_str(), Some("req-7"));
+        assert_eq!(v.get("model").unwrap().as_str(), Some("bert"));
+        assert_eq!(v.get("count").unwrap().as_f64(), Some(2.0));
+        let embeddings = v.get("embeddings").unwrap().as_array().unwrap();
+        assert_eq!(embeddings.len(), 2);
+        assert!(!embeddings[0].as_array().unwrap().is_empty());
+
+        let knn_body = r#"{"k":1,"items":[{"key":"a","vector":[1,0]},{"key":"b","vector":[0,1]}],"queries":[[0.9,0.1]]}"#;
+        let (status, _, body) = post(addr, "/v1/knn", knn_body);
+        assert_eq!(status, 200, "{body}");
+        let v = jparse(&body).unwrap();
+        let hits = v.get("results").unwrap().as_array().unwrap()[0].as_array().unwrap();
+        assert_eq!(hits[0].get("key").unwrap().as_str(), Some("a"));
+
+        let (status, _, body) = get(addr, "/metrics");
+        assert_eq!(status, 200);
+        let summary = observatory_obs::prom::validate(&body).expect("exposition validates");
+        assert!(summary.has("observatory_encodes_total"), "engine families present");
+        assert!(summary.has("observatory_server_requests_total"), "server families present");
+
+        let stats = shutdown_and_join(&handle, join);
+        assert!(stats.totals.requests >= 4);
+        assert_eq!(stats.totals.shed, 0);
+    }
+
+    #[test]
+    fn bad_requests_get_bad_statuses() {
+        let (addr, handle, join) = spawn_server(ephemeral());
+        // Unknown route and wrong method.
+        assert_eq!(get(addr, "/nope").0, 404);
+        assert_eq!(get(addr, "/v1/embed").0, 405);
+        // Malformed JSON and unknown model.
+        assert_eq!(post(addr, "/v1/embed", "{not json").0, 400);
+        let body = embed_body(1).replace("bert", "no-such-model");
+        let (status, _, resp) = post(addr, "/v1/embed", &body);
+        assert_eq!(status, 400);
+        assert!(resp.contains("unknown model"), "{resp}");
+        // POST without Content-Length.
+        assert_eq!(send(addr, "POST /v1/embed HTTP/1.1\r\nHost: t\r\n\r\n").0, 411);
+        // Bad kNN.
+        assert_eq!(post(addr, "/v1/knn", r#"{"k":0,"items":[],"queries":[]}"#).0, 400);
+        shutdown_and_join(&handle, join);
+    }
+
+    #[test]
+    fn zero_deadline_is_408_and_never_encoded() {
+        let (addr, handle, join) = spawn_server(ephemeral());
+        let (status, _, body) =
+            post_with(addr, "/v1/embed", &embed_body(3), "x-deadline-ms: 0\r\n");
+        assert_eq!(status, 408, "{body}");
+        let stats = shutdown_and_join(&handle, join);
+        assert_eq!(stats.totals.expired, 1);
+    }
+
+    #[test]
+    fn draining_server_refuses_then_exits() {
+        let (addr, handle, join) = spawn_server(ephemeral());
+        assert_eq!(get(addr, "/healthz").0, 200);
+        let (status, _, body) = post(addr, "/admin/shutdown", "");
+        assert_eq!(status, 200);
+        assert!(body.contains("draining"));
+        let stats = join.join().expect("server thread drains and exits");
+        assert!(stats.totals.requests >= 2);
+        assert!(handle.is_draining());
+        // The socket is closed: new connections fail or are reset.
+        assert!(
+            TcpStream::connect(addr)
+                .map(|mut s| {
+                    use std::io::Read;
+                    let _ = s.write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+                    let mut out = String::new();
+                    matches!(s.read_to_string(&mut out), Ok(0)) || out.is_empty()
+                })
+                .unwrap_or(true),
+            "listener must be closed after drain"
+        );
+    }
+
+    #[test]
+    fn full_queue_sheds_with_429_and_never_hangs() {
+        // Tiny queue + serial engine + non-trivial tables: concurrent
+        // clients must overrun admission, and every one of them still
+        // gets an answer (200 or 429 + Retry-After) promptly.
+        let config = ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            max_batch: 1,
+            batch_delay: Duration::ZERO,
+            queue_depth: 2,
+            ..ServeConfig::default()
+        };
+        let engine = Arc::new(Engine::new(EngineConfig { jobs: 1, cache_bytes: 0 }));
+        let server = Server::bind(config, engine).unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = server.handle();
+        let join = std::thread::spawn(move || server.run());
+
+        let values: Vec<String> = (0..400).map(|i| format!("\"cell-{i}\"")).collect();
+        let clients: Vec<_> = (0..16)
+            .map(|i| {
+                let vals = values.join(",");
+                std::thread::spawn(move || {
+                    let body = format!(
+                        r#"{{"model":"bert","table":{{"name":"big{i}","columns":[{{"header":"c","values":[{vals}]}}]}}}}"#
+                    );
+                    post(addr, "/v1/embed", &body).0
+                })
+            })
+            .collect();
+        let statuses: Vec<u16> = clients.into_iter().map(|c| c.join().unwrap()).collect();
+        assert!(
+            statuses.iter().all(|s| *s == 200 || *s == 429),
+            "only 200/429 expected, got {statuses:?}"
+        );
+        let stats = shutdown_and_join(&handle, join);
+        assert_eq!(stats.totals.shed, statuses.iter().filter(|s| **s == 429).count() as u64);
+        assert!(stats.totals.shed >= 1, "queue_depth=2 under 16 clients must shed");
+    }
+
+    #[test]
+    fn retry_after_header_present_on_429() {
+        // Drive the shed path deterministically through route().
+        let engine = Arc::new(Engine::new(EngineConfig { jobs: 1, cache_bytes: 0 }));
+        let server = Server::bind(
+            ServeConfig { addr: "127.0.0.1:0".into(), queue_depth: 1, ..ServeConfig::default() },
+            engine,
+        )
+        .unwrap();
+        let shared = &server.shared;
+        // Fill the queue directly (no batcher is draining it).
+        let (tx, _rx) = mpsc::channel();
+        let now = Instant::now();
+        let table = api::parse_embed(&embed_body(1)).unwrap().table;
+        assert!(matches!(
+            shared.queue.push(Job {
+                id: 1,
+                model: "bert".into(),
+                table,
+                enqueued: now,
+                deadline: now + Duration::from_secs(5),
+                reply: tx,
+                span_parent: None,
+            }),
+            Pushed::Ok { .. }
+        ));
+        let body = embed_body(2);
+        let raw = format!(
+            "POST /v1/embed HTTP/1.1\r\nhost: t\r\ncontent-length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        let req = read_request(&mut BufReader::new(raw.as_bytes())).unwrap();
+        let mut span = obs::span(obs::Level::Debug, "serve", "test");
+        let out = route(&req, 2, &mut span, shared);
+        assert_eq!(out.status, 429);
+        assert!(out.extra.iter().any(|(k, v)| *k == "Retry-After" && v == "1"));
+    }
+}

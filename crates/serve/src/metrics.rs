@@ -1,0 +1,267 @@
+//! Server-side metrics: request counters by route/status, shed and
+//! deadline counters, batch-size accounting, and a request-latency
+//! histogram, rendered as Prometheus families alongside the engine's
+//! exposition from `runtime::expose`.
+
+use observatory_obs::PromBuf;
+use observatory_runtime::metrics::{Histogram, BUCKET_BOUNDS_NS};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Counters for one serving process. All methods take `&self`.
+#[derive(Default)]
+pub struct ServerMetrics {
+    /// (route, status) → count. One short lock per finished request.
+    requests: Mutex<BTreeMap<(&'static str, u16), u64>>,
+    total: AtomicU64,
+    shed: AtomicU64,
+    expired: AtomicU64,
+    panics: AtomicU64,
+    batches: AtomicU64,
+    batched_jobs: AtomicU64,
+    max_batch: AtomicU64,
+    latency: Histogram,
+}
+
+/// Frozen totals, used by the drain report.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServerTotals {
+    /// Requests answered (any route, any status).
+    pub requests: u64,
+    /// Requests shed with 429 (admission queue full).
+    pub shed: u64,
+    /// Requests expired with 408 (deadline passed while queued).
+    pub expired: u64,
+    /// Batches the micro-batcher dispatched.
+    pub batches: u64,
+    /// Encode jobs carried by those batches.
+    pub batched_jobs: u64,
+    /// Largest single batch dispatched.
+    pub max_batch: u64,
+    /// Handler panics recovered by the batcher.
+    pub panics: u64,
+}
+
+impl ServerTotals {
+    /// Mean dispatched batch size (0 when no batches ran).
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.batched_jobs as f64 / self.batches as f64
+        }
+    }
+}
+
+impl ServerMetrics {
+    /// A zeroed registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one finished request.
+    pub fn record_request(&self, route: &'static str, status: u16, latency: Duration) {
+        self.total.fetch_add(1, Ordering::Relaxed);
+        self.latency.record(latency);
+        if status == 429 {
+            self.shed.fetch_add(1, Ordering::Relaxed);
+        }
+        if status == 408 {
+            self.expired.fetch_add(1, Ordering::Relaxed);
+        }
+        let mut map = self.requests.lock().unwrap_or_else(|e| e.into_inner());
+        *map.entry((route, status)).or_insert(0) += 1;
+    }
+
+    /// Record one dispatched batch of `size` encode jobs.
+    pub fn record_batch(&self, size: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batched_jobs.fetch_add(size as u64, Ordering::Relaxed);
+        self.max_batch.fetch_max(size as u64, Ordering::Relaxed);
+    }
+
+    /// Record a batcher-recovered handler panic.
+    pub fn record_panic(&self) {
+        self.panics.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Frozen totals.
+    pub fn totals(&self) -> ServerTotals {
+        ServerTotals {
+            requests: self.total.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            expired: self.expired.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            batched_jobs: self.batched_jobs.load(Ordering::Relaxed),
+            max_batch: self.max_batch.load(Ordering::Relaxed),
+            panics: self.panics.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Render the server families as Prometheus text. Live gauges
+    /// (queue depth, in-flight connections, draining flag) are passed in
+    /// by the caller, which owns them.
+    pub fn prometheus_text(
+        &self,
+        queue_depth: usize,
+        queue_capacity: usize,
+        inflight: usize,
+        draining: bool,
+    ) -> String {
+        let mut buf = PromBuf::new();
+        buf.family(
+            "observatory_server_requests_total",
+            "counter",
+            "Requests answered, by route and status.",
+        );
+        {
+            let map = self.requests.lock().unwrap_or_else(|e| e.into_inner());
+            for (&(route, status), &n) in map.iter() {
+                let status = status.to_string();
+                buf.sample(
+                    "observatory_server_requests_total",
+                    &[("route", route), ("status", &status)],
+                    n as f64,
+                );
+            }
+        }
+        buf.scalar(
+            "observatory_server_queue_depth",
+            "gauge",
+            "Jobs currently waiting in the admission queue.",
+            queue_depth as f64,
+        );
+        buf.scalar(
+            "observatory_server_queue_capacity",
+            "gauge",
+            "Admission queue depth bound (--queue-depth).",
+            queue_capacity as f64,
+        );
+        buf.scalar(
+            "observatory_server_inflight_connections",
+            "gauge",
+            "Connections currently being handled.",
+            inflight as f64,
+        );
+        buf.scalar(
+            "observatory_server_draining",
+            "gauge",
+            "1 while the server is draining, else 0.",
+            if draining { 1.0 } else { 0.0 },
+        );
+        buf.scalar(
+            "observatory_server_shed_total",
+            "counter",
+            "Requests shed with 429 because the queue was full.",
+            self.shed.load(Ordering::Relaxed) as f64,
+        );
+        buf.scalar(
+            "observatory_server_deadline_expired_total",
+            "counter",
+            "Requests expired with 408 before being encoded.",
+            self.expired.load(Ordering::Relaxed) as f64,
+        );
+        buf.scalar(
+            "observatory_server_handler_panics_total",
+            "counter",
+            "Encode panics recovered by the batcher.",
+            self.panics.load(Ordering::Relaxed) as f64,
+        );
+        buf.scalar(
+            "observatory_server_batches_total",
+            "counter",
+            "Micro-batches dispatched to the engine.",
+            self.batches.load(Ordering::Relaxed) as f64,
+        );
+        buf.scalar(
+            "observatory_server_batched_requests_total",
+            "counter",
+            "Encode jobs carried by dispatched batches.",
+            self.batched_jobs.load(Ordering::Relaxed) as f64,
+        );
+        buf.scalar(
+            "observatory_server_batch_size_max",
+            "gauge",
+            "Largest batch dispatched this run.",
+            self.max_batch.load(Ordering::Relaxed) as f64,
+        );
+        let lat = self.latency.snapshot();
+        buf.histogram_ns(
+            "observatory_server_request_latency_seconds",
+            "Wall time from accept to response flush.",
+            &[],
+            &BUCKET_BOUNDS_NS,
+            &lat.buckets,
+            lat.sum_ns,
+            lat.count,
+        );
+        buf.family(
+            "observatory_server_request_latency_quantile_seconds",
+            "gauge",
+            "Request latency quantiles estimated from the fixed buckets.",
+        );
+        for (q, v) in [("0.5", lat.p50_ns()), ("0.95", lat.p95_ns()), ("0.99", lat.p99_ns())] {
+            buf.sample(
+                "observatory_server_request_latency_quantile_seconds",
+                &[("quantile", q)],
+                v / 1e9,
+            );
+        }
+        buf.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use observatory_obs::prom::validate;
+
+    #[test]
+    fn exposition_validates_and_counts() {
+        let m = ServerMetrics::new();
+        m.record_request("embed", 200, Duration::from_millis(3));
+        m.record_request("embed", 429, Duration::from_micros(40));
+        m.record_request("healthz", 200, Duration::from_micros(10));
+        m.record_request("embed", 408, Duration::from_millis(9));
+        m.record_batch(4);
+        m.record_batch(2);
+        m.record_panic();
+        let text = m.prometheus_text(3, 256, 2, false);
+        let summary = validate(&text).expect("server exposition must validate");
+        for family in [
+            "observatory_server_requests_total",
+            "observatory_server_queue_depth",
+            "observatory_server_queue_capacity",
+            "observatory_server_inflight_connections",
+            "observatory_server_draining",
+            "observatory_server_shed_total",
+            "observatory_server_deadline_expired_total",
+            "observatory_server_handler_panics_total",
+            "observatory_server_batches_total",
+            "observatory_server_batched_requests_total",
+            "observatory_server_batch_size_max",
+            "observatory_server_request_latency_seconds_bucket",
+            "observatory_server_request_latency_quantile_seconds",
+        ] {
+            assert!(summary.has(family), "missing {family}\n{text}");
+        }
+        assert!(text.contains("route=\"embed\",status=\"200\"} 1"));
+        assert!(text.contains("observatory_server_shed_total 1"));
+        assert!(text.contains("observatory_server_deadline_expired_total 1"));
+        assert!(text.contains("observatory_server_batch_size_max 4"));
+        let t = m.totals();
+        assert_eq!(t.requests, 4);
+        assert_eq!((t.shed, t.expired, t.panics), (1, 1, 1));
+        assert_eq!((t.batches, t.batched_jobs, t.max_batch), (2, 6, 4));
+        assert!((t.mean_batch() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn draining_gauge_flips() {
+        let m = ServerMetrics::new();
+        assert!(m.prometheus_text(0, 1, 0, false).contains("observatory_server_draining 0"));
+        assert!(m.prometheus_text(0, 1, 0, true).contains("observatory_server_draining 1"));
+    }
+}

@@ -1,0 +1,69 @@
+//! Zero-dependency SIGTERM / SIGINT hookup.
+//!
+//! `std` exposes no signal API, and the workspace admits no external
+//! crates, so on Unix the handler is registered through the C `signal`
+//! function that `std` already links from libc. The handler body is
+//! async-signal-safe: it performs exactly one relaxed atomic store into
+//! a process-global flag, which the accept loop polls between accepts.
+//! On non-Unix targets [`install`] returns a flag that is simply never
+//! set by a signal (the admin endpoint still triggers drain).
+
+use std::sync::atomic::AtomicBool;
+
+/// Process-global "a termination signal arrived" flag.
+static SIGNALLED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod imp {
+    use super::SIGNALLED;
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        /// `signal(2)` from the platform libc that std links anyway.
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        // Only an atomic store: async-signal-safe.
+        SIGNALLED.store(true, Ordering::SeqCst);
+    }
+
+    pub(super) fn install_impl() {
+        let handler = on_signal as *const () as usize;
+        unsafe {
+            signal(SIGTERM, handler);
+            signal(SIGINT, handler);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub(super) fn install_impl() {}
+}
+
+/// Install the SIGTERM/SIGINT handlers (idempotent) and return the flag
+/// they set. Callers poll it with `Ordering::Relaxed`.
+pub fn install() -> &'static AtomicBool {
+    imp::install_impl();
+    &SIGNALLED
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::Ordering;
+
+    #[test]
+    fn install_returns_unset_flag() {
+        // Registering must not, by itself, request shutdown.
+        let flag = install();
+        assert!(!flag.load(Ordering::Relaxed));
+        // Idempotent.
+        let again = install();
+        assert!(std::ptr::eq(flag, again));
+    }
+}

@@ -20,6 +20,7 @@
 //! | [`models`] | `observatory-models` | the nine table-embedding model adapters |
 //! | [`data`] | `observatory-data` | the five synthetic dataset suites |
 //! | [`search`] | `observatory-search` | overlap measures, kNN, join discovery |
+//! | [`serve`] | `observatory-serve` | embedding service: HTTP/1.1, micro-batching, admission control |
 //! | [`runtime`] | `observatory-runtime` | embedding engine: cache, worker pool, metrics |
 //! | [`obs`] | `observatory-obs` | structured tracing: spans, collector, Chrome + Prometheus exporters |
 //! | [`core`] | `observatory-core` | the eight properties, runner, reports, downstream tasks |
@@ -48,6 +49,7 @@ pub use observatory_models as models;
 pub use observatory_obs as obs;
 pub use observatory_runtime as runtime;
 pub use observatory_search as search;
+pub use observatory_serve as serve;
 pub use observatory_stats as stats;
 pub use observatory_table as table;
 pub use observatory_tokenizer as tokenizer;

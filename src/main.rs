@@ -6,6 +6,7 @@
 //! observatory properties                      list properties + scope (Table 2)
 //! observatory characterize --property P1 --model bert [--csv t.csv]...
 //! observatory mine-fds --csv table.csv [--max-error 0.05]
+//! observatory serve --addr 127.0.0.1:7700 --max-batch 16
 //! ```
 //!
 //! With no `--csv`, `characterize` runs on the built-in WikiTables-like
@@ -37,6 +38,7 @@ fn main() {
         Some("properties") => cmd_properties(),
         Some("characterize") => cmd_characterize(&args[1..]),
         Some("mine-fds") => cmd_mine_fds(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print_usage();
             0
@@ -66,6 +68,10 @@ fn print_usage() {
         "                           [--metrics-out <file>] Prometheus text exposition of the run"
     );
     println!("  observatory mine-fds --csv <file> [--max-error <fraction>]");
+    println!("  observatory serve [--addr <host:port>]    resident embedding service (HTTP/1.1)");
+    println!("                    [--jobs <n>] [--max-batch <n>] [--batch-delay-us <n>]");
+    println!("                    [--queue-depth <n>] [--deadline-ms <n>]");
+    println!("                    [--trace-out <file>] [--metrics-out <file>]");
     println!();
     println!("Without --csv, characterize uses a built-in demo corpus. See DESIGN.md");
     println!("for the full experiment harness (cargo run -p observatory-bench --bin ...).");
@@ -90,6 +96,32 @@ fn parse_opt<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> R
     match opt_value(args, flag) {
         None => Ok(default),
         Some(raw) => raw.parse::<T>().map_err(|_| format!("invalid value '{raw}' for {flag}")),
+    }
+}
+
+/// Apply `--jobs` to the global engine. Must run before *any* code path
+/// that encodes (or otherwise initializes the engine) — `configure_global`
+/// is first-wins, so a late call would be silently ignored. Returns the
+/// process exit code on a usage error.
+fn init_engine_from_flags(args: &[String]) -> Result<(), i32> {
+    match opt_value(args, "--jobs") {
+        None => Ok(()), // engine defaults: OBSERVATORY_JOBS, else available cores
+        Some(raw) => match raw.parse::<usize>() {
+            Ok(jobs) if jobs >= 1 => {
+                let config = EngineConfig { jobs, ..EngineConfig::from_env() };
+                // Kernel-level (row/head) parallelism inside the encoder
+                // follows the same setting; pool workers clamp it to 1.
+                observatory::linalg::parallel::set_default_jobs(jobs);
+                if !observatory::runtime::configure_global(config) {
+                    eprintln!("note: engine already initialized; --jobs ignored");
+                }
+                Ok(())
+            }
+            _ => {
+                eprintln!("invalid value '{raw}' for --jobs (expected an integer >= 1)");
+                Err(2)
+            }
+        },
     }
 }
 
@@ -183,6 +215,12 @@ fn cmd_characterize(args: &[String]) -> i32 {
             return 2;
         }
     };
+    // Engine init comes BEFORE anything that could touch the global
+    // engine (corpus load, EvalContext construction): configuring after
+    // first use would silently ignore --jobs (see configure_global).
+    if let Err(code) = init_engine_from_flags(args) {
+        return code;
+    }
     let corpus = match load_corpus(args) {
         Ok(c) => c,
         Err(e) => {
@@ -190,24 +228,6 @@ fn cmd_characterize(args: &[String]) -> i32 {
             return 1;
         }
     };
-    match opt_value(args, "--jobs") {
-        None => {} // engine defaults: OBSERVATORY_JOBS, else available cores
-        Some(raw) => match raw.parse::<usize>() {
-            Ok(jobs) if jobs >= 1 => {
-                let config = EngineConfig { jobs, ..EngineConfig::from_env() };
-                // Kernel-level (row/head) parallelism inside the encoder
-                // follows the same setting; pool workers clamp it to 1.
-                observatory::linalg::parallel::set_default_jobs(jobs);
-                if !observatory::runtime::configure_global(config) {
-                    eprintln!("note: engine already initialized; --jobs ignored");
-                }
-            }
-            _ => {
-                eprintln!("invalid value '{raw}' for --jobs (expected an integer >= 1)");
-                return 2;
-            }
-        },
-    }
     let trace_out = opt_value(args, "--trace-out").map(str::to_owned);
     let metrics_out = opt_value(args, "--metrics-out").map(str::to_owned);
     if trace_out.is_some() {
@@ -266,10 +286,113 @@ fn cmd_characterize(args: &[String]) -> i32 {
     } else {
         print!("{}", render_report(&report));
     }
-    print_runtime_footer(&ctx);
+    print_runtime_footer(&ctx.engine);
     if trace_out.is_some() || metrics_out.is_some() {
         let manifest = run_manifest(args, &property_id, model_name, perms, seed, &ctx, started);
-        if let Err(e) = write_observability(&ctx, &manifest, trace_out, metrics_out) {
+        if let Err(e) = write_observability(&ctx.engine, &manifest, trace_out, metrics_out) {
+            eprintln!("{e}");
+            return 1;
+        }
+    }
+    0
+}
+
+fn cmd_serve(args: &[String]) -> i32 {
+    use observatory::serve::{ServeConfig, Server};
+    // Usage errors first (exit 2), before any side effects.
+    let (max_batch, batch_delay_us, queue_depth, deadline_ms) = match (|| {
+        Ok::<_, String>((
+            parse_opt(args, "--max-batch", 16usize)?,
+            parse_opt(args, "--batch-delay-us", 2000u64)?,
+            parse_opt(args, "--queue-depth", 256usize)?,
+            parse_opt(args, "--deadline-ms", 5000u64)?,
+        ))
+    })() {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    if max_batch < 1 {
+        eprintln!("invalid value '{max_batch}' for --max-batch (expected an integer >= 1)");
+        return 2;
+    }
+    if queue_depth < 1 {
+        eprintln!("invalid value '{queue_depth}' for --queue-depth (expected an integer >= 1)");
+        return 2;
+    }
+    // The serving engine is the global one, so --jobs must be applied
+    // before the first encode — i.e. before the server starts.
+    if let Err(code) = init_engine_from_flags(args) {
+        return code;
+    }
+    let trace_out = opt_value(args, "--trace-out").map(str::to_owned);
+    let metrics_out = opt_value(args, "--metrics-out").map(str::to_owned);
+    if trace_out.is_some() {
+        obs::raise_level(obs::Level::Debug);
+    }
+    let config = ServeConfig {
+        addr: opt_value(args, "--addr").unwrap_or("127.0.0.1:7700").to_string(),
+        max_batch,
+        batch_delay: std::time::Duration::from_micros(batch_delay_us),
+        queue_depth,
+        deadline: std::time::Duration::from_millis(deadline_ms),
+        handle_signals: true,
+    };
+    let requested_addr = config.addr.clone();
+    let engine = observatory::runtime::global();
+    let server = match Server::bind(config, engine.clone()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot bind {requested_addr}: {e}");
+            return 1;
+        }
+    };
+    let addr = match server.local_addr() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("cannot resolve listen address: {e}");
+            return 1;
+        }
+    };
+    // The smoke harness and tests scrape this line for the (possibly
+    // ephemeral) port, so it goes out before the accept loop starts.
+    println!(
+        "serving on http://{addr} (jobs={}, max_batch={max_batch}, batch_delay={batch_delay_us}us, \
+         queue_depth={queue_depth}, deadline={deadline_ms}ms)",
+        engine.jobs()
+    );
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+
+    let stats = server.run();
+
+    println!(
+        "drained: {} requests ({} shed, {} expired, {} panics), {} batches \
+         (mean {:.2}, max {}), uptime {:.1}s",
+        stats.totals.requests,
+        stats.totals.shed,
+        stats.totals.expired,
+        stats.totals.panics,
+        stats.totals.batches,
+        stats.totals.mean_batch(),
+        stats.totals.max_batch,
+        stats.uptime.as_secs_f64(),
+    );
+    print_runtime_footer(&engine);
+    if trace_out.is_some() || metrics_out.is_some() {
+        let mut manifest = obs::Manifest::for_run();
+        manifest
+            .set("command", "serve")
+            .set("addr", addr.to_string())
+            .set("jobs", engine.jobs().to_string())
+            .set("max_batch", max_batch.to_string())
+            .set("queue_depth", queue_depth.to_string())
+            .set("requests", stats.totals.requests.to_string())
+            .set("batches", stats.totals.batches.to_string())
+            .set("wall_ms", stats.uptime.as_millis().to_string());
+        if let Err(e) = write_observability(&engine, &manifest, trace_out, metrics_out) {
             eprintln!("{e}");
             return 1;
         }
@@ -308,7 +431,7 @@ fn run_manifest(
 /// requested. The span aggregates fold into the Prometheus text, so both
 /// outputs come from the same drain.
 fn write_observability(
-    ctx: &EvalContext,
+    engine: &observatory::runtime::Engine,
     manifest: &obs::Manifest,
     trace_out: Option<String>,
     metrics_out: Option<String>,
@@ -321,8 +444,8 @@ fn write_observability(
     }
     if let Some(path) = metrics_out {
         let text = observatory::runtime::prometheus_text(
-            &ctx.engine.metrics_snapshot(),
-            &ctx.engine.cache_stats(),
+            &engine.metrics_snapshot(),
+            &engine.cache_stats(),
             manifest,
             Some(&trace),
         );
@@ -333,10 +456,10 @@ fn write_observability(
 }
 
 /// Post-run engine report: encode/cache counters, latency, cache bytes.
-fn print_runtime_footer(ctx: &EvalContext) {
-    let snapshot = ctx.engine.metrics_snapshot();
-    let cache = ctx.engine.cache_stats();
-    println!("\n-- runtime ({} jobs) --", ctx.engine.jobs());
+fn print_runtime_footer(engine: &observatory::runtime::Engine) {
+    let snapshot = engine.metrics_snapshot();
+    let cache = engine.cache_stats();
+    println!("\n-- runtime ({} jobs) --", engine.jobs());
     print!("{}", snapshot.render());
     println!(
         "cache: {} live entries, {:.1} MiB used / {:.0} MiB capacity, {} evictions",
