@@ -12,9 +12,16 @@
 //! the naive i-k-j loop already sits near the no-FMA f64 roofline.
 //! A whole-encoder forward pass is benched last, toggling the
 //! process-default job count the CLI's `--jobs` flag controls.
+//!
+//! Since the SIMD backend (DESIGN.md §11) the serial rows are additionally
+//! swept across dispatch tiers via `simd::force_tier` — `scalar` vs
+//! `sse2`/`avx2` rows on the same shapes, same process, same buffers, so
+//! the tier delta is the only variable. `bench_simd` (a `src/bin` tool)
+//! emits the machine-readable `BENCH_simd.json` counterpart.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use observatory_linalg::kernels::{self, reference, AttentionSpec};
+use observatory_linalg::simd;
 use observatory_linalg::{parallel, Matrix, SplitMix64};
 use observatory_transformer::config::TransformerConfig;
 use observatory_transformer::encoder::{Encoder, TokenInput};
@@ -31,6 +38,32 @@ fn random_matrix(rng: &mut SplitMix64, rows: usize, cols: usize) -> Matrix {
         }
     }
     m
+}
+
+fn tier_label(tier: simd::Tier) -> String {
+    format!("{tier:?}").to_lowercase()
+}
+
+/// GEMM microkernel across SIMD tiers: `matmul` (seq×dim · dim×dim) with
+/// each available tier forced, serial, same buffers — the per-tier rows
+/// DESIGN.md §11's speedup table quotes.
+fn bench_matmul_tiers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("encoder_kernels/matmul");
+    group.sample_size(10);
+    for (seq, dim) in GRID {
+        let mut rng = SplitMix64::new(16);
+        let a = random_matrix(&mut rng, seq, dim);
+        let b = random_matrix(&mut rng, dim, dim);
+        let param = format!("seq{seq}_dim{dim}");
+        for tier in simd::available_tiers() {
+            group.bench_function(BenchmarkId::new(tier_label(tier), &param), |bch| {
+                simd::force_tier(Some(tier));
+                bch.iter(|| black_box(kernels::matmul(&a, &b, 1)));
+                simd::force_tier(None);
+            });
+        }
+    }
+    group.finish();
 }
 
 fn bench_attention(c: &mut Criterion) {
@@ -54,6 +87,11 @@ fn bench_attention(c: &mut Criterion) {
         });
         group.bench_function(BenchmarkId::new("serial", &param), |b| {
             b.iter(|| black_box(kernels::attention(&q, &k, &v, &spec, 1)))
+        });
+        group.bench_function(BenchmarkId::new("serial_scalar", &param), |b| {
+            simd::force_tier(Some(simd::Tier::Scalar));
+            b.iter(|| black_box(kernels::attention(&q, &k, &v, &spec, 1)));
+            simd::force_tier(None);
         });
         group.bench_function(BenchmarkId::new("parallel4", &param), |b| {
             b.iter(|| black_box(kernels::attention(&q, &k, &v, &spec, 4)))
@@ -88,6 +126,14 @@ fn bench_ffn(c: &mut Criterion) {
                 })
             });
         }
+        group.bench_function(BenchmarkId::new("serial_scalar", &param), |b| {
+            simd::force_tier(Some(simd::Tier::Scalar));
+            b.iter(|| {
+                let h = kernels::linear_bias_gelu(&x, &w1, &b1, 1);
+                black_box(kernels::linear_bias(&h, &w2, &b2, 1))
+            });
+            simd::force_tier(None);
+        });
     }
     group.finish();
 }
@@ -115,10 +161,18 @@ fn bench_full_encoder(c: &mut Criterion) {
                 b.iter(|| black_box(encoder.encode(black_box(&tokens))));
             });
         }
+        // Whole-encoder tier delta: serial, scalar tier forced vs the
+        // auto-detected tier above ("jobs1").
+        group.bench_function(BenchmarkId::new("jobs1_scalar", &param), |b| {
+            parallel::set_default_jobs(1);
+            simd::force_tier(Some(simd::Tier::Scalar));
+            b.iter(|| black_box(encoder.encode(black_box(&tokens))));
+            simd::force_tier(None);
+        });
         parallel::set_default_jobs(0);
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_attention, bench_ffn, bench_full_encoder);
+criterion_group!(benches, bench_matmul_tiers, bench_attention, bench_ffn, bench_full_encoder);
 criterion_main!(benches);

@@ -38,6 +38,18 @@
 //!   any job count (the parallel unit is the row block; tiling inside a
 //!   block does not depend on the job count).
 //!
+//! - **Runtime SIMD dispatch** ([`crate::simd`]): on an AVX2 CPU the
+//!   GEMM inner loop runs 8-column `__m256d` strips and the softmax
+//!   exponentiation runs the vectorized `exp`; both are **byte-identical**
+//!   to the scalar tier (column-wise vectorization keeps per-element
+//!   ascending-`k` order; reductions share a fixed 8-lane structure; FMA
+//!   is excluded). `OBSERVATORY_SIMD=off|sse2|avx2` overrides detection.
+//! - **Workspace-pooled serial path** ([`crate::workspace`]): at
+//!   `jobs == 1` every kernel writes into per-thread pooled scratch
+//!   instead of fresh `Vec`s, so a steady-state encode performs zero
+//!   heap allocations after warmup. Parallel blocks keep per-block
+//!   buffers (scoped worker threads are ephemeral by design).
+//!
 //! Every public kernel records its wall time in [`stats`], which the
 //! bench harness and CLI surface in their runtime reports.
 //!
@@ -53,6 +65,9 @@
 use crate::fastmath;
 use crate::matrix::Matrix;
 use crate::parallel;
+use crate::reduce;
+use crate::simd;
+use crate::workspace;
 
 /// Output-row block size: how many rows of A/out one task owns.
 const TILE_I: usize = 32;
@@ -122,41 +137,36 @@ fn softmax_fast_scaled(xs: &mut [f64]) -> f64 {
     let Some(max) = saturate_nan_logits(xs) else {
         return 1.0;
     };
-    // Exponentiation and summation fused in one pass, four lanes wide:
-    // independent lanes let the compiler overlap neighbouring
-    // `exp_approx` chains and break the sequential-add latency chain a
-    // plain `iter().sum()` imposes (~25% of softmax time at n = 128).
-    // The lane split is fixed, so results are identical at every job
-    // count; vs a left-fold sum it differs only within the documented
-    // fastmath rounding budget.
-    let (mut s0, mut s1, mut s2, mut s3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
-    let mut chunks = xs.chunks_exact_mut(4);
-    for c in &mut chunks {
-        let e0 = fastmath::exp_approx(c[0] - max);
-        let e1 = fastmath::exp_approx(c[1] - max);
-        let e2 = fastmath::exp_approx(c[2] - max);
-        let e3 = fastmath::exp_approx(c[3] - max);
-        c[0] = e0;
-        c[1] = e1;
-        c[2] = e2;
-        c[3] = e3;
-        s0 += e0;
-        s1 += e1;
-        s2 += e2;
-        s3 += e3;
+    // Exponentiation and summation fused in one tier-dispatched pass,
+    // eight lanes wide (the fixed reduction structure shared by scalar,
+    // SSE2 and AVX2 — see `crate::simd`). All tiers are byte-identical;
+    // vs a left-fold sum the fixed lane split differs only within the
+    // documented fastmath rounding budget.
+    1.0 / exp_sum_inplace(xs, max)
+}
+
+/// Tier-dispatched `xs[i] ← exp(xs[i] − max)` returning the sum in the
+/// fixed 8-lane order. Every tier produces identical bits.
+#[inline]
+fn exp_sum_inplace(xs: &mut [f64], max: f64) -> f64 {
+    #[cfg(target_arch = "x86_64")]
+    {
+        match simd::tier() {
+            // SAFETY: `simd::tier()` never exceeds the detected CPU
+            // capability, so the required instructions exist.
+            simd::Tier::Avx2 => return unsafe { simd::x86::exp_sum_avx2(xs, max) },
+            simd::Tier::Sse2 => return unsafe { simd::x86::exp_sum_sse2(xs, max) },
+            simd::Tier::Scalar => {}
+        }
     }
-    for x in chunks.into_remainder() {
-        let e = fastmath::exp_approx(*x - max);
-        *x = e;
-        s0 += e;
-    }
-    1.0 / ((s0 + s1) + (s2 + s3))
+    simd::exp_sum_scalar(xs, max)
 }
 
 /// [`softmax_fast_scaled`] with the normalization applied — the form the
-/// equivalence tests exercise directly.
-#[cfg(test)]
-fn softmax_fast_inplace(xs: &mut [f64]) {
+/// equivalence suites exercise directly (`tests/simd_equivalence.rs`
+/// asserts it bitwise across tiers). Same NaN/-∞ contract as
+/// [`softmax_inplace`], evaluated with [`fastmath::exp_approx`].
+pub fn softmax_fast_inplace(xs: &mut [f64]) {
     let inv = softmax_fast_scaled(xs);
     for x in xs.iter_mut() {
         *x *= inv;
@@ -233,6 +243,19 @@ fn gemm<const ACCUM: bool>(
     debug_assert!(ldc >= m && lda >= kd);
     debug_assert!(b.len() >= kd * m);
     let mut j0 = 0;
+    // AVX2 tier: 8-column vector strips over the full row quads first.
+    // Vectorization is across output *columns*, so every element keeps
+    // the scalar ascending-`k` mul-then-add order — the tiers are
+    // byte-identical and the choice below affects throughput only.
+    // Remainder columns/rows fall through to the scalar paths.
+    #[cfg(target_arch = "x86_64")]
+    if simd::tier() == simd::Tier::Avx2 {
+        while j0 + 8 <= m {
+            // SAFETY: the tier is clamped to detected CPU capability.
+            unsafe { simd::x86::gemm_strip8_avx2::<ACCUM>(c, ldc, a, lda, b, rows, kd, m, j0) };
+            j0 += 8;
+        }
+    }
     while j0 + 4 <= m {
         let mut r0 = 0;
         while r0 + 4 <= rows {
@@ -349,41 +372,60 @@ enum Epilogue<'a> {
     BiasGelu(&'a [f64]),
 }
 
+/// Apply an epilogue to a finished `rows × m` block while it is
+/// cache-hot (shared by the serial and parallel paths — identical
+/// operation order in both).
+fn apply_epilogue(buf: &mut [f64], m: usize, epilogue: &Epilogue<'_>) {
+    match epilogue {
+        Epilogue::None => {}
+        Epilogue::Bias(bias) => {
+            for row in buf.chunks_exact_mut(m) {
+                for (o, &bv) in row.iter_mut().zip(*bias) {
+                    *o += bv;
+                }
+            }
+        }
+        Epilogue::BiasGelu(bias) => {
+            for row in buf.chunks_exact_mut(m) {
+                for (o, &bv) in row.iter_mut().zip(*bias) {
+                    *o = fastmath::gelu_approx(*o + bv);
+                }
+            }
+        }
+    }
+}
+
 /// Blocked `A · B` with an optional fused per-row epilogue; the shared
 /// engine under [`matmul`], [`linear_bias`] and [`linear_bias_gelu`].
+///
+/// At `jobs == 1` the whole product is computed into one
+/// [`workspace`]-pooled buffer (no per-block buffers, no gather copy,
+/// zero steady-state heap allocations); block decomposition does not
+/// affect any element's accumulation order, so serial and parallel
+/// outputs stay bit-identical.
 fn matmul_blocked(a: &Matrix, b: &Matrix, epilogue: &Epilogue<'_>, jobs: usize) -> Matrix {
     assert_eq!(a.cols(), b.rows(), "matmul: inner dimension mismatch");
     let (n, kdim, m) = (a.rows(), a.cols(), b.cols());
     if let Epilogue::Bias(bias) | Epilogue::BiasGelu(bias) = epilogue {
         assert_eq!(bias.len(), m, "matmul: bias/out dimension mismatch");
     }
-    let blocks = n.div_ceil(TILE_I).max(1);
     let jobs = gate_jobs(jobs, 2 * n * kdim * m);
     let a_flat = a.as_slice();
     let b_flat = b.as_slice();
+    if jobs == 1 {
+        let mut data = workspace::take_f64(n * m);
+        gemm::<false>(&mut data, m, a_flat, kdim, b_flat, n, kdim, m);
+        apply_epilogue(&mut data, m, epilogue);
+        return Matrix::from_vec(n, m, data);
+    }
+    let blocks = n.div_ceil(TILE_I).max(1);
     let block_bufs: Vec<Vec<f64>> = parallel::run_indexed(jobs, blocks, |bi| {
         let i0 = bi * TILE_I;
         let i1 = (i0 + TILE_I).min(n);
         let rows = i1 - i0;
         let mut buf = vec![0.0f64; rows * m];
         gemm::<false>(&mut buf, m, &a_flat[i0 * kdim..i1 * kdim], kdim, b_flat, rows, kdim, m);
-        match epilogue {
-            Epilogue::None => {}
-            Epilogue::Bias(bias) => {
-                for row in buf.chunks_exact_mut(m) {
-                    for (o, &bv) in row.iter_mut().zip(*bias) {
-                        *o += bv;
-                    }
-                }
-            }
-            Epilogue::BiasGelu(bias) => {
-                for row in buf.chunks_exact_mut(m) {
-                    for (o, &bv) in row.iter_mut().zip(*bias) {
-                        *o = fastmath::gelu_approx(*o + bv);
-                    }
-                }
-            }
-        }
+        apply_epilogue(&mut buf, m, epilogue);
         buf
     });
     let mut data = Vec::with_capacity(n * m);
@@ -410,31 +452,45 @@ pub fn matmul(a: &Matrix, b: &Matrix, jobs: usize) -> Matrix {
 /// element is a dot product of two contiguous rows — the layout-friendly
 /// fast path for similarity matrices and attention logits.
 ///
-/// Accumulation per element is ascending `k`, matching
-/// `a.matmul(&bt.transpose())`.
+/// Each element is a [`reduce::dot`] (tier-dispatched, fixed 8-lane
+/// accumulation order — byte-identical across SIMD tiers and job
+/// counts). That order differs from `a.matmul(&bt.transpose())`'s
+/// sequential fold only in rounding (≤ 1e-12 relative on encoder-scale
+/// inputs; tested).
 pub fn matmul_transb(a: &Matrix, bt: &Matrix, jobs: usize) -> Matrix {
     assert_eq!(a.cols(), bt.cols(), "matmul_transb: inner dimension mismatch");
     let t = std::time::Instant::now();
     let (n, kdim, m) = (a.rows(), a.cols(), bt.rows());
-    let blocks = n.div_ceil(TILE_I).max(1);
     let jobs = gate_jobs(jobs, 2 * n * kdim * m);
-    let block_bufs: Vec<Vec<f64>> = parallel::run_indexed(jobs, blocks, |bi| {
-        let i0 = bi * TILE_I;
-        let i1 = (i0 + TILE_I).min(n);
-        let mut buf = vec![0.0f64; (i1 - i0) * m];
+    let out = if jobs == 1 {
+        let mut data = workspace::take_f64(n * m);
         for j in 0..m {
             let b_row = bt.row(j);
-            for i in i0..i1 {
-                buf[(i - i0) * m + j] = crate::vector::dot(a.row(i), b_row);
+            for i in 0..n {
+                data[i * m + j] = reduce::dot(a.row(i), b_row);
             }
         }
-        buf
-    });
-    let mut data = Vec::with_capacity(n * m);
-    for buf in block_bufs {
-        data.extend_from_slice(&buf);
-    }
-    let out = Matrix::from_vec(n, m, data);
+        Matrix::from_vec(n, m, data)
+    } else {
+        let blocks = n.div_ceil(TILE_I).max(1);
+        let block_bufs: Vec<Vec<f64>> = parallel::run_indexed(jobs, blocks, |bi| {
+            let i0 = bi * TILE_I;
+            let i1 = (i0 + TILE_I).min(n);
+            let mut buf = vec![0.0f64; (i1 - i0) * m];
+            for j in 0..m {
+                let b_row = bt.row(j);
+                for i in i0..i1 {
+                    buf[(i - i0) * m + j] = reduce::dot(a.row(i), b_row);
+                }
+            }
+            buf
+        });
+        let mut data = Vec::with_capacity(n * m);
+        for buf in block_bufs {
+            data.extend_from_slice(&buf);
+        }
+        Matrix::from_vec(n, m, data)
+    };
     stats::record(stats::Kernel::Matmul, t.elapsed());
     out
 }
@@ -531,8 +587,9 @@ pub fn attention(
     // Pre-scale Q once: folding `· scale` into the GEMM's A operand is
     // one O(n·dim) pass instead of an O(heads·n²) per-logit multiply
     // sweep. `(Σ qk)·s` and `Σ (qs)k` differ only in rounding, inside
-    // the documented softmax ULP budget.
-    let mut qs = vec![0.0f64; n * dim];
+    // the documented softmax ULP budget. The panel buffers come from the
+    // per-thread workspace pool (zero steady-state allocations).
+    let mut qs = workspace::take_f64(n * dim);
     for (o, &x) in qs.iter_mut().zip(q.as_slice()) {
         *o = x * spec.scale;
     }
@@ -540,8 +597,8 @@ pub fn attention(
     // Repack K as per-head transposed panels (head-major, each
     // `head_dim × n`) and V as per-head row panels (each `n × head_dim`):
     // both GEMM steps then stream contiguous panel rows.
-    let mut kt = vec![0.0f64; dim * n];
-    let mut vh = vec![0.0f64; dim * n];
+    let mut kt = workspace::take_f64(dim * n);
+    let mut vh = workspace::take_f64(dim * n);
     for j in 0..n {
         let k_row = k.row(j);
         let v_row = v.row(j);
@@ -556,90 +613,161 @@ pub fn attention(
 
     // ~2 flops/element for Q·Kᵀ plus 2 for weights·V, per head.
     let jobs = gate_jobs(jobs, 4 * n * n * dim);
-    let blocks = n.div_ceil(ATTN_ROW_BLOCK).max(1);
-    let q_flat = &qs[..];
-    let block_out: Vec<(Vec<f64>, Vec<f64>)> = parallel::run_indexed(jobs, blocks, |bi| {
-        let i0 = bi * ATTN_ROW_BLOCK;
-        let i1 = (i0 + ATTN_ROW_BLOCK).min(n);
-        let rows = i1 - i0;
-        if rows == 0 {
-            return (Vec::new(), Vec::new());
-        }
-        let mut out = vec![0.0f64; rows * dim];
-        let mut weights = vec![0.0f64; rows * n];
-        // One head's logits → attention weights for the whole row block.
-        let mut wh = vec![0.0f64; rows * n];
-        for h in 0..n_heads {
-            let lo = h * head_dim;
-            // Logits for the row block in one register-tiled GEMM:
-            // wh[r][j] = Σ_d q[i0+r][lo+d] · ktʰ[d][j] — the same
-            // ascending-d order as the scalar dot.
-            let q_panel = &q_flat[i0 * dim + lo..(i1 - 1) * dim + lo + head_dim];
-            let kt_panel = &kt[lo * n..(lo + head_dim) * n];
-            gemm::<false>(&mut wh, n, q_panel, dim, kt_panel, rows, head_dim, n);
-            // Bias, mask, softmax — per query row (the logit scale is
-            // already folded into the pre-scaled Q panel).
-            for r in 0..rows {
-                let i = i0 + r;
-                let lrow = &mut wh[r * n..(r + 1) * n];
-                if let Some(bias) = spec.bias {
-                    let b_row = &bias[(h * n + i) * n..(h * n + i + 1) * n];
-                    for (l, &bv) in lrow.iter_mut().zip(b_row) {
-                        *l += bv;
-                    }
-                }
-                let mut permitted = n;
-                if let Some(mask) = spec.mask {
-                    let mask_row = &mask[i * n..(i + 1) * n];
-                    permitted = 0;
-                    for (l, &ok) in lrow.iter_mut().zip(mask_row) {
-                        if ok {
-                            permitted += 1;
-                        } else {
-                            *l = f64::NEG_INFINITY;
-                        }
-                    }
-                }
-                let inv = if permitted == 0 {
-                    // Fully-masked query: attend only itself. The uniform
-                    // fallback would aggregate *masked* values — an
-                    // information leak — so the only defensible
-                    // distribution is the self-delta. Already normalized,
-                    // so the deferred scale is 1.0 (`x · 1.0` is
-                    // bit-exact).
-                    lrow.fill(0.0);
-                    lrow[i] = 1.0;
-                    1.0
-                } else {
-                    softmax_fast_scaled(lrow)
-                };
-                // One fused pass while the row is cache-hot: apply the
-                // deferred softmax normalization and accumulate the
-                // head-summed weights (ascending-h order).
-                let w_acc = &mut weights[r * n..(r + 1) * n];
-                for (wa, x) in w_acc.iter_mut().zip(lrow.iter_mut()) {
-                    let wv = *x * inv;
-                    *x = wv;
-                    *wa += wv;
-                }
+    let result = if jobs == 1 {
+        // Serial path: the whole sequence is one row block written into
+        // pooled buffers. The block decomposition never changes any
+        // element's accumulation order, so this is bit-identical to the
+        // parallel path at any job count.
+        let mut out = workspace::take_f64(n * dim);
+        let mut weights = workspace::take_f64(n * n);
+        let mut wh = workspace::take_f64(n * n);
+        attention_rows(
+            0,
+            n,
+            n,
+            dim,
+            n_heads,
+            head_dim,
+            &qs,
+            &kt,
+            &vh,
+            spec,
+            &mut out,
+            &mut weights,
+            &mut wh,
+        );
+        workspace::give_f64(wh);
+        (Matrix::from_vec(n, dim, out), Matrix::from_vec(n, n, weights))
+    } else {
+        let blocks = n.div_ceil(ATTN_ROW_BLOCK).max(1);
+        let q_flat = &qs[..];
+        let kt_ref = &kt[..];
+        let vh_ref = &vh[..];
+        let block_out: Vec<(Vec<f64>, Vec<f64>)> = parallel::run_indexed(jobs, blocks, |bi| {
+            let i0 = bi * ATTN_ROW_BLOCK;
+            let i1 = (i0 + ATTN_ROW_BLOCK).min(n);
+            let rows = i1 - i0;
+            if rows == 0 {
+                return (Vec::new(), Vec::new());
             }
-            // Value aggregation, register-tiled:
-            // out[r][lo+d] = Σ_j wh[r][j] · vhʰ[j][d] (ascending j; each
-            // head writes a disjoint column range of `out`).
-            let vh_panel = &vh[h * n * head_dim..(h + 1) * n * head_dim];
-            gemm::<false>(&mut out[lo..], dim, &wh, n, vh_panel, rows, n, head_dim);
+            let mut out = vec![0.0f64; rows * dim];
+            let mut weights = vec![0.0f64; rows * n];
+            // One head's logits → attention weights for the row block.
+            let mut wh = vec![0.0f64; rows * n];
+            attention_rows(
+                i0,
+                i1,
+                n,
+                dim,
+                n_heads,
+                head_dim,
+                q_flat,
+                kt_ref,
+                vh_ref,
+                spec,
+                &mut out,
+                &mut weights,
+                &mut wh,
+            );
+            (out, weights)
+        });
+        let mut out_data = Vec::with_capacity(n * dim);
+        let mut w_data = Vec::with_capacity(n * n);
+        for (o, w) in block_out {
+            out_data.extend_from_slice(&o);
+            w_data.extend_from_slice(&w);
         }
-        (out, weights)
-    });
-    let mut out_data = Vec::with_capacity(n * dim);
-    let mut w_data = Vec::with_capacity(n * n);
-    for (o, w) in block_out {
-        out_data.extend_from_slice(&o);
-        w_data.extend_from_slice(&w);
-    }
-    let result = (Matrix::from_vec(n, dim, out_data), Matrix::from_vec(n, n, w_data));
+        (Matrix::from_vec(n, dim, out_data), Matrix::from_vec(n, n, w_data))
+    };
+    workspace::give_f64(vh);
+    workspace::give_f64(kt);
+    workspace::give_f64(qs);
     stats::record(stats::Kernel::Attention, t.elapsed());
     result
+}
+
+/// The attention body for query rows `[i0, i1)`: logits GEMM, bias/mask,
+/// softmax, head-summed weights, value aggregation. Shared verbatim by
+/// the serial (whole-sequence) and parallel (per-block) paths so the two
+/// cannot drift. `out` is `rows × dim`, `weights` (zero-initialized) and
+/// `wh` (scratch) are `rows × n`.
+#[allow(clippy::too_many_arguments)]
+fn attention_rows(
+    i0: usize,
+    i1: usize,
+    n: usize,
+    dim: usize,
+    n_heads: usize,
+    head_dim: usize,
+    q_flat: &[f64],
+    kt: &[f64],
+    vh: &[f64],
+    spec: &AttentionSpec<'_>,
+    out: &mut [f64],
+    weights: &mut [f64],
+    wh: &mut [f64],
+) {
+    let rows = i1 - i0;
+    for h in 0..n_heads {
+        let lo = h * head_dim;
+        // Logits for the row block in one register-tiled GEMM:
+        // wh[r][j] = Σ_d q[i0+r][lo+d] · ktʰ[d][j] — the same
+        // ascending-d order as the scalar dot.
+        let q_panel = &q_flat[i0 * dim + lo..(i1 - 1) * dim + lo + head_dim];
+        let kt_panel = &kt[lo * n..(lo + head_dim) * n];
+        gemm::<false>(wh, n, q_panel, dim, kt_panel, rows, head_dim, n);
+        // Bias, mask, softmax — per query row (the logit scale is
+        // already folded into the pre-scaled Q panel).
+        for r in 0..rows {
+            let i = i0 + r;
+            let lrow = &mut wh[r * n..(r + 1) * n];
+            if let Some(bias) = spec.bias {
+                let b_row = &bias[(h * n + i) * n..(h * n + i + 1) * n];
+                for (l, &bv) in lrow.iter_mut().zip(b_row) {
+                    *l += bv;
+                }
+            }
+            let mut permitted = n;
+            if let Some(mask) = spec.mask {
+                let mask_row = &mask[i * n..(i + 1) * n];
+                permitted = 0;
+                for (l, &ok) in lrow.iter_mut().zip(mask_row) {
+                    if ok {
+                        permitted += 1;
+                    } else {
+                        *l = f64::NEG_INFINITY;
+                    }
+                }
+            }
+            let inv = if permitted == 0 {
+                // Fully-masked query: attend only itself. The uniform
+                // fallback would aggregate *masked* values — an
+                // information leak — so the only defensible
+                // distribution is the self-delta. Already normalized,
+                // so the deferred scale is 1.0 (`x · 1.0` is
+                // bit-exact).
+                lrow.fill(0.0);
+                lrow[i] = 1.0;
+                1.0
+            } else {
+                softmax_fast_scaled(lrow)
+            };
+            // One fused pass while the row is cache-hot: apply the
+            // deferred softmax normalization and accumulate the
+            // head-summed weights (ascending-h order).
+            let w_acc = &mut weights[r * n..(r + 1) * n];
+            for (wa, x) in w_acc.iter_mut().zip(lrow.iter_mut()) {
+                let wv = *x * inv;
+                *x = wv;
+                *wa += wv;
+            }
+        }
+        // Value aggregation, register-tiled:
+        // out[r][lo+d] = Σ_j wh[r][j] · vhʰ[j][d] (ascending j; each
+        // head writes a disjoint column range of `out`).
+        let vh_panel = &vh[h * n * head_dim..(h + 1) * n * head_dim];
+        gemm::<false>(&mut out[lo..], dim, wh, n, vh_panel, rows, n, head_dim);
+    }
 }
 
 /// Naive scalar reference implementations.
@@ -896,13 +1024,22 @@ mod tests {
 
     #[test]
     fn matmul_transb_matches_transpose_product() {
+        // matmul_transb reduces in the fixed 8-lane order (see
+        // crate::reduce), so vs the sequential-fold transpose product it
+        // agrees to rounding; across jobs and SIMD tiers it is bitwise.
         let mut rng = SplitMix64::new(12);
         let a = random_matrix(&mut rng, 40, 24);
         let bt = random_matrix(&mut rng, 33, 24);
+        let slow = a.matmul(&bt.transpose());
+        let base = matmul_transb(&a, &bt, 1);
+        assert_matrix_close(&base, &slow, 1e-12, "matmul_transb vs transpose product");
         for jobs in [1, 3] {
-            let fast = matmul_transb(&a, &bt, jobs);
-            let slow = a.matmul(&bt.transpose());
-            assert_matrix_eq(&fast, &slow, "matmul_transb");
+            for tier in crate::simd::available_tiers() {
+                crate::simd::force_tier(Some(tier));
+                let fast = matmul_transb(&a, &bt, jobs);
+                crate::simd::force_tier(None);
+                assert_matrix_eq(&fast, &base, &format!("matmul_transb jobs={jobs} tier={tier}"));
+            }
         }
     }
 

@@ -28,6 +28,15 @@
 //!   MCV estimator that, unlike Albert–Zhang's, requires `Σ⁻¹`).
 //! - [`rng`]: a tiny deterministic `SplitMix64` generator plus Box–Muller
 //!   normal sampling, used for reproducible weight initialization.
+//! - [`simd`]: runtime CPU-feature dispatch (scalar / SSE2 / AVX2 tiers,
+//!   `OBSERVATORY_SIMD` override, decided once per process) and the
+//!   fixed-order vector backends every tier shares — all tiers are
+//!   **byte-identical**, only throughput differs.
+//! - [`reduce`]: tier-dispatched dot / squared-norm / cosine reductions in
+//!   the fixed 8-lane accumulation order (adopted by search, stats and the
+//!   serving kNN path).
+//! - [`workspace`]: per-thread scratch-buffer pool that removes steady-state
+//!   heap allocations from the serial encoder hot path.
 
 pub mod fastmath;
 pub mod kernels;
@@ -35,9 +44,12 @@ pub mod matrix;
 pub mod moments;
 pub mod parallel;
 pub mod pca;
+pub mod reduce;
 pub mod rng;
+pub mod simd;
 pub mod solve;
 pub mod vector;
+pub mod workspace;
 
 pub use matrix::Matrix;
 pub use rng::SplitMix64;

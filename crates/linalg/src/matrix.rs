@@ -162,6 +162,24 @@ impl Matrix {
         Matrix { rows: self.rows, cols: self.cols, data }
     }
 
+    /// Elementwise `self += other`, allocation-free. Same result bits as
+    /// [`Matrix::add`] (`a + b` per element, in order).
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn add_assign(&mut self, other: &Matrix) {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "add_assign: shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// Consume the matrix, returning its flat row-major buffer (so the
+    /// workspace pool can recycle the capacity of intermediates).
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
     /// Scale every element by `s`, in place.
     pub fn scale_assign(&mut self, s: f64) {
         for x in &mut self.data {

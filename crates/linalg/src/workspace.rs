@@ -1,0 +1,233 @@
+//! Per-thread scratch-buffer pool for the encoder hot path.
+//!
+//! PR-3's kernels allocate fresh `Vec`s for every repack panel, attention
+//! score block and softmax row. Those allocations are short-lived and
+//! identically sized from one encode to the next, so after warmup every
+//! one of them is pure allocator overhead (plus page-fault noise on the
+//! first touch). This module gives each thread a small free-list of
+//! reusable buffers:
+//!
+//! - [`take_f64`] / [`give_f64`] — zeroed `f64` scratch (score blocks,
+//!   repack panels, softmax rows, embedding accumulators).
+//! - [`take_bool`] / [`give_bool`], [`take_u32`] / [`give_u32`] — mask
+//!   and index scratch for the attention layer.
+//! - [`recycle_matrix`] — return a consumed [`Matrix`]'s capacity to the
+//!   pool (the encoder recycles its per-layer intermediates).
+//!
+//! ## Lifecycle
+//!
+//! The pool is a `thread_local!`, so worker threads in the runtime pool
+//! each own one and there is no cross-thread synchronization on the hot
+//! path. Buffers are returned *cleared* of logical length but keep their
+//! capacity; `take_*` zero-fills to the requested length (`resize` after
+//! `clear`), so callers always observe freshly zeroed scratch — the same
+//! contract `vec![0.0; n]` gave them. A buffer whose capacity cannot
+//! satisfy a request grows once and then stabilizes; steady state does
+//! zero heap allocations (asserted by `tests/zero_alloc.rs`).
+//!
+//! The pool holds at most [`MAX_POOL_BYTES`] per thread (drops the
+//! smallest buffers first beyond that) and at most [`MAX_POOL_BUFS`]
+//! buffers per type, so pathological shapes cannot pin unbounded memory.
+//! [`stats`] exposes hit/miss/held-byte counters for the CLI footer.
+
+use crate::matrix::Matrix;
+use std::cell::RefCell;
+
+/// Per-thread cap on pooled bytes (sum across all free-lists).
+pub const MAX_POOL_BYTES: usize = 32 << 20; // 32 MiB
+/// Per-type cap on the number of pooled buffers.
+pub const MAX_POOL_BUFS: usize = 64;
+
+#[derive(Default)]
+struct Pool {
+    f64s: Vec<Vec<f64>>,
+    bools: Vec<Vec<bool>>,
+    u32s: Vec<Vec<u32>>,
+    held_bytes: usize,
+    hits: u64,
+    misses: u64,
+}
+
+thread_local! {
+    static POOL: RefCell<Pool> = RefCell::new(Pool::default());
+}
+
+/// Snapshot of this thread's pool counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WorkspaceStats {
+    /// `take_*` calls served from a pooled buffer with enough capacity.
+    pub hits: u64,
+    /// `take_*` calls that had to allocate or grow.
+    pub misses: u64,
+    /// Bytes currently parked in this thread's free-lists.
+    pub held_bytes: usize,
+    /// Number of parked buffers across all types.
+    pub held_bufs: usize,
+}
+
+/// Read this thread's pool counters (for footers / debugging).
+pub fn stats() -> WorkspaceStats {
+    POOL.with(|p| {
+        let p = p.borrow();
+        WorkspaceStats {
+            hits: p.hits,
+            misses: p.misses,
+            held_bytes: p.held_bytes,
+            held_bufs: p.f64s.len() + p.bools.len() + p.u32s.len(),
+        }
+    })
+}
+
+/// Drop every pooled buffer on this thread (tests; not needed in
+/// production — threads reclaim everything at exit).
+pub fn clear() {
+    POOL.with(|p| {
+        let mut p = p.borrow_mut();
+        p.f64s.clear();
+        p.bools.clear();
+        p.u32s.clear();
+        p.held_bytes = 0;
+    });
+}
+
+macro_rules! take_give {
+    ($take:ident, $give:ident, $field:ident, $ty:ty, $zero:expr, $doc:literal) => {
+        #[doc = concat!("Take a zero-filled `Vec<", stringify!($ty), ">` of length `len` ", $doc)]
+        pub fn $take(len: usize) -> Vec<$ty> {
+            POOL.with(|p| {
+                let mut p = p.borrow_mut();
+                // Best-fit: smallest pooled buffer whose capacity suffices
+                // (keeps big panels available for big requests).
+                let mut best: Option<(usize, usize)> = None;
+                for (i, v) in p.$field.iter().enumerate() {
+                    let cap = v.capacity();
+                    if cap >= len && best.is_none_or(|(_, bc)| cap < bc) {
+                        best = Some((i, cap));
+                    }
+                }
+                match best {
+                    Some((i, cap)) => {
+                        let mut v = p.$field.swap_remove(i);
+                        p.held_bytes -= cap * std::mem::size_of::<$ty>();
+                        p.hits += 1;
+                        v.clear();
+                        v.resize(len, $zero);
+                        v
+                    }
+                    None => {
+                        p.misses += 1;
+                        // Reuse the largest pooled buffer anyway if one
+                        // exists (grow it once) rather than allocating a
+                        // brand-new Vec alongside parked capacity.
+                        if let Some(v0) = p.$field.pop() {
+                            p.held_bytes -= v0.capacity() * std::mem::size_of::<$ty>();
+                            let mut v = v0;
+                            v.clear();
+                            v.resize(len, $zero);
+                            v
+                        } else {
+                            vec![$zero; len]
+                        }
+                    }
+                }
+            })
+        }
+
+        /// Return a buffer to this thread's pool (capacity is kept; the
+        /// buffer is dropped instead if the pool is at its byte or count
+        /// cap).
+        pub fn $give(v: Vec<$ty>) {
+            let bytes = v.capacity() * std::mem::size_of::<$ty>();
+            if bytes == 0 {
+                return;
+            }
+            POOL.with(|p| {
+                let mut p = p.borrow_mut();
+                if p.$field.len() >= MAX_POOL_BUFS || p.held_bytes + bytes > MAX_POOL_BYTES {
+                    return; // drop: caps exceeded
+                }
+                p.held_bytes += bytes;
+                p.$field.push(v);
+            });
+        }
+    };
+}
+
+take_give!(take_f64, give_f64, f64s, f64, 0.0, "from this thread's pool.");
+take_give!(take_bool, give_bool, bools, bool, false, "from this thread's pool.");
+take_give!(take_u32, give_u32, u32s, u32, 0u32, "from this thread's pool.");
+
+/// Recycle a consumed [`Matrix`]'s backing buffer into the pool.
+pub fn recycle_matrix(m: Matrix) {
+    give_f64(m.into_vec());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_is_zeroed_and_reuses_capacity() {
+        clear();
+        let mut v = take_f64(16);
+        assert!(v.iter().all(|&x| x == 0.0));
+        v[3] = 7.0;
+        let cap = v.capacity();
+        let ptr = v.as_ptr();
+        give_f64(v);
+        let v2 = take_f64(10);
+        assert_eq!(v2.len(), 10);
+        assert!(v2.iter().all(|&x| x == 0.0), "recycled buffer must be re-zeroed");
+        assert_eq!(v2.as_ptr(), ptr, "same allocation must be reused");
+        assert!(v2.capacity() >= cap);
+        give_f64(v2);
+        clear();
+    }
+
+    #[test]
+    fn best_fit_prefers_smallest_sufficient() {
+        clear();
+        give_f64(Vec::with_capacity(100));
+        give_f64(Vec::with_capacity(10));
+        let v = take_f64(8);
+        assert!(v.capacity() < 100, "should pick the 10-cap buffer, got {}", v.capacity());
+        give_f64(v);
+        clear();
+    }
+
+    #[test]
+    fn stats_count_hits_and_misses() {
+        clear();
+        let base = stats();
+        let v = take_f64(4); // miss (empty pool)
+        give_f64(v);
+        let v = take_f64(4); // hit
+        give_f64(v);
+        let s = stats();
+        assert_eq!(s.misses - base.misses, 1);
+        assert_eq!(s.hits - base.hits, 1);
+        assert!(s.held_bytes > 0);
+        clear();
+    }
+
+    #[test]
+    fn byte_cap_drops_excess() {
+        clear();
+        give_f64(vec![0.0; MAX_POOL_BYTES / 8]); // fills the cap exactly
+        let before = stats().held_bufs;
+        give_f64(vec![0.0; 1024]); // would exceed: dropped
+        assert_eq!(stats().held_bufs, before);
+        clear();
+    }
+
+    #[test]
+    fn matrix_recycling_round_trip() {
+        clear();
+        let m = Matrix::zeros(4, 4);
+        recycle_matrix(m);
+        let v = take_f64(16);
+        assert_eq!(v.len(), 16);
+        give_f64(v);
+        clear();
+    }
+}

@@ -3,10 +3,20 @@
 //! Exact (brute force) rather than approximate: Observatory's entity-
 //! stability measure compares the *identity* of neighbour sets between two
 //! embedding spaces, so index recall must be 1 to avoid conflating index
-//! error with model disagreement. Vectors are L2-normalized at insertion,
-//! making each query a dot-product scan plus a top-k selection.
+//! error with model disagreement.
+//!
+//! ## Layout and norm hoisting
+//!
+//! Items live in one flat row-major buffer (one allocation instead of one
+//! `Vec` per item; the scan streams contiguous memory), and each item's
+//! L2 norm is computed **once at insertion** and reused by every query —
+//! a query is then a [`reduce::dot`] scan (tier-dispatched SIMD, fixed
+//! 8-lane order, byte-identical across tiers) plus one division per
+//! candidate and a top-k selection. Scores are identical across queries
+//! of the same request by construction (regression-tested here and in
+//! `serve`'s `/v1/knn`).
 
-use observatory_linalg::vector;
+use observatory_linalg::reduce;
 
 /// One search hit.
 #[derive(Debug, Clone, PartialEq)]
@@ -21,13 +31,16 @@ pub struct Hit {
 pub struct KnnIndex {
     dim: usize,
     keys: Vec<String>,
-    vectors: Vec<Vec<f64>>, // unit-normalized
+    /// Flat row-major item matrix (`len × dim`), raw (not normalized).
+    data: Vec<f64>,
+    /// Per-item L2 norms, hoisted once at insertion.
+    norms: Vec<f64>,
 }
 
 impl KnnIndex {
     /// An empty index for vectors of dimension `dim`.
     pub fn new(dim: usize) -> Self {
-        Self { dim, keys: Vec::new(), vectors: Vec::new() }
+        Self { dim, keys: Vec::new(), data: Vec::new(), norms: Vec::new() }
     }
 
     /// Number of indexed items.
@@ -42,28 +55,33 @@ impl KnnIndex {
 
     /// Insert a keyed vector. Keys need not be unique (near-duplicate
     /// mentions across tables are legitimate distinct items); zero vectors
-    /// are stored as-is and simply never score above 0.
+    /// are stored as-is and simply never score above 0. The item's norm is
+    /// computed here, once, and reused by every subsequent query.
     ///
     /// # Panics
     /// Panics on a dimension mismatch.
     pub fn insert(&mut self, key: impl Into<String>, vector: &[f64]) {
         assert_eq!(vector.len(), self.dim, "insert: dimension mismatch");
         self.keys.push(key.into());
-        self.vectors.push(vector::normalize(vector));
+        self.data.extend_from_slice(vector);
+        self.norms.push(reduce::norm_l2(vector));
     }
 
     /// The `k` nearest neighbours of `query` by cosine similarity,
     /// descending score; ties break by insertion order (stable across
     /// runs). Set `exclude_key` to skip self-matches.
+    ///
+    /// The query norm is computed once per call and candidate norms were
+    /// hoisted at insert, so the scan is one dot product per item.
     pub fn query(&self, query: &[f64], k: usize, exclude_key: Option<&str>) -> Vec<Hit> {
         assert_eq!(query.len(), self.dim, "query: dimension mismatch");
-        let q = vector::normalize(query);
-        let mut scored: Vec<(usize, f64)> = self
-            .vectors
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| exclude_key != Some(self.keys[*i].as_str()))
-            .map(|(i, v)| (i, vector::dot(&q, v)))
+        let qn = reduce::norm_l2(query);
+        let mut scored: Vec<(usize, f64)> = (0..self.keys.len())
+            .filter(|&i| exclude_key != Some(self.keys[i].as_str()))
+            .map(|i| {
+                let v = &self.data[i * self.dim..(i + 1) * self.dim];
+                (i, reduce::cosine_prenormed(reduce::dot(query, v), qn, self.norms[i]))
+            })
             .collect();
         // Descending by score, ascending by index for deterministic ties.
         scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
@@ -151,6 +169,40 @@ mod tests {
         assert!((neighbor_overlap(&s1, &s2) - 2.0 / 3.0).abs() < 1e-12);
         assert_eq!(neighbor_overlap(&s1, &s1), 1.0);
         assert_eq!(neighbor_overlap(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn hoisted_norms_give_identical_scores_across_queries() {
+        // Regression: candidate norms are computed once at insert, so a
+        // 2-query request scores every item bit-identically to scoring
+        // it from scratch — and repeating a query cannot drift.
+        let mut idx = KnnIndex::new(3);
+        let items: Vec<(&str, Vec<f64>)> = vec![
+            ("a", vec![0.3, -1.2, 0.7]),
+            ("b", vec![2.0, 0.1, -0.4]),
+            ("c", vec![-0.5, 0.5, 1.5]),
+        ];
+        for (k, v) in &items {
+            idx.insert(*k, v);
+        }
+        let q1 = [1.0, 0.2, -0.3];
+        let q2 = [-0.7, 1.1, 0.9];
+        let h1a = idx.query(&q1, 3, None);
+        let h2 = idx.query(&q2, 3, None);
+        let h1b = idx.query(&q1, 3, None);
+        assert_eq!(h1a, h1b, "same query twice: bit-identical hits");
+        for (q, hits) in [(&q1[..], &h1a), (&q2[..], &h2)] {
+            for h in hits {
+                let (_, v) = items.iter().find(|(k, _)| *k == h.key).unwrap();
+                let want = reduce::cosine(q, v);
+                assert_eq!(
+                    h.score.to_bits(),
+                    want.to_bits(),
+                    "hoisted-norm score for {} must equal from-scratch cosine",
+                    h.key
+                );
+            }
+        }
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! for probe cost.
 
 use crate::knn::Hit;
-use observatory_linalg::{vector, SplitMix64};
+use observatory_linalg::{reduce, vector, SplitMix64};
 use std::collections::HashMap;
 
 /// A SimHash LSH index over keyed vectors.
@@ -60,7 +60,7 @@ impl LshIndex {
     fn signature(&self, table: usize, v: &[f64]) -> u64 {
         let mut sig = 0u64;
         for (b, plane) in self.hyperplanes[table].iter().enumerate() {
-            if vector::dot(plane, v) >= 0.0 {
+            if reduce::dot(plane, v) >= 0.0 {
                 sig |= 1 << b;
             }
         }
@@ -100,7 +100,7 @@ impl LshIndex {
         let mut scored: Vec<(usize, f64)> = candidates
             .into_iter()
             .filter(|&i| exclude_key != Some(self.keys[i].as_str()))
-            .map(|i| (i, vector::dot(&q, &self.vectors[i])))
+            .map(|i| (i, reduce::dot(&q, &self.vectors[i])))
             .collect();
         scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         scored

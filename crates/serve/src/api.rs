@@ -483,6 +483,40 @@ mod tests {
     }
 
     #[test]
+    fn knn_multi_query_scores_match_single_query() {
+        // Regression for hoisted candidate norms: `run_knn` builds ONE
+        // index for the whole request, so item norms are computed once
+        // and shared by every query. A 2-query request must render the
+        // exact same scores (to the printed bit; push_f64 is shortest
+        // round-trip) as two 1-query requests over the same items.
+        let items = r#"[
+            {"key": "a", "vector": [0.3, -1.2, 0.7]},
+            {"key": "b", "vector": [2.0, 0.1, -0.4]},
+            {"key": "c", "vector": [-0.5, 0.5, 1.5]}
+        ]"#;
+        let q1 = "[1, 0.2, -0.3]";
+        let q2 = "[-0.7, 1.1, 0.9]";
+        let both =
+            parse_knn(&format!(r#"{{"k":3,"items":{items},"queries":[{q1},{q2}]}}"#)).unwrap();
+        let out_both = run_knn(&both);
+        let v = parse(&out_both).unwrap();
+        let results = v.get("results").unwrap().as_array().unwrap();
+        assert_eq!(results.len(), 2);
+        for (i, q) in [q1, q2].iter().enumerate() {
+            let single =
+                parse_knn(&format!(r#"{{"k":3,"items":{items},"queries":[{q}]}}"#)).unwrap();
+            let out_single = run_knn(&single);
+            let vs = parse(&out_single).unwrap();
+            let only = &vs.get("results").unwrap().as_array().unwrap()[0];
+            assert_eq!(
+                format!("{:?}", results[i]),
+                format!("{only:?}"),
+                "query {i}: shared-index scores must equal fresh-index scores"
+            );
+        }
+    }
+
+    #[test]
     fn knn_rejects_dim_mismatch() {
         let body = r#"{"k":1,"items":[{"key":"a","vector":[1,0]},{"key":"b","vector":[1]}],"queries":[[1,0]]}"#;
         assert!(parse_knn(body).is_err());

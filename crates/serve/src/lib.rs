@@ -176,6 +176,7 @@ impl Server {
         manifest.set("command", "serve");
         manifest.set("max_batch", config.max_batch.to_string());
         manifest.set("queue_depth", config.queue_depth.to_string());
+        manifest.set("simd", observatory_linalg::simd::decision().describe());
         let shared = Arc::new(Shared {
             engine,
             queue: Queue::new(config.queue_depth),
@@ -389,12 +390,13 @@ fn route(req: &Request, id: u64, span: &mut obs::Span, shared: &Shared) -> Outco
 
 fn healthz(shared: &Shared) -> Outcome {
     let body = format!(
-        "{{\"status\":\"ok\",\"draining\":{},\"queue_depth\":{},\"queue_capacity\":{},\"uptime_seconds\":{:.3},\"jobs\":{}}}",
+        "{{\"status\":\"ok\",\"draining\":{},\"queue_depth\":{},\"queue_capacity\":{},\"uptime_seconds\":{:.3},\"jobs\":{},\"simd\":\"{}\"}}",
         shared.draining.load(Ordering::SeqCst),
         shared.queue.len(),
         shared.queue.capacity(),
         shared.started.elapsed().as_secs_f64(),
         shared.engine.jobs(),
+        observatory_linalg::simd::decision().describe(),
     );
     Outcome::json("healthz", 200, body)
 }
@@ -598,6 +600,10 @@ mod tests {
         let h = jparse(&body).unwrap();
         assert_eq!(h.get("status").unwrap().as_str(), Some("ok"));
         assert_eq!(h.get("draining"), Some(&observatory_obs::json::Json::Bool(false)));
+        // The SIMD dispatch decision is part of liveness output so an
+        // operator can confirm which kernel tier a replica is running.
+        let simd = h.get("simd").unwrap().as_str().unwrap();
+        assert_eq!(simd, observatory_linalg::simd::decision().describe());
 
         let (status, _, body) = post(addr, "/v1/embed", &embed_body(7));
         assert_eq!(status, 200, "{body}");

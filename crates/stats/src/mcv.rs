@@ -21,8 +21,8 @@
 //! failure in the `ablation_mcv` bench.
 
 use observatory_linalg::moments::moments;
+use observatory_linalg::reduce::dot;
 use observatory_linalg::solve::invert;
-use observatory_linalg::vector::dot;
 use observatory_linalg::Matrix;
 
 /// Albert & Zhang's multivariate coefficient of variation of the rows of

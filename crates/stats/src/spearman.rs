@@ -10,6 +10,8 @@
 //! coefficient stays within `[-1, 1]` on data with duplicated overlap
 //! values — common with containment, which saturates at 1.0.
 
+use observatory_linalg::reduce;
+
 /// Result of a Spearman correlation test.
 #[derive(Debug, Clone, Copy)]
 pub struct SpearmanResult {
@@ -50,6 +52,10 @@ pub fn average_ranks(xs: &[f64]) -> Vec<f64> {
 /// Pearson correlation coefficient of two equal-length samples.
 ///
 /// Returns `f64::NAN` if either sample has zero variance.
+///
+/// The centered moments are computed with [`observatory_linalg::reduce`]
+/// (tier-dispatched 8-lane reductions, bit-identical across SIMD tiers),
+/// so ρ is reproducible to the bit regardless of the host CPU.
 pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
     assert_eq!(xs.len(), ys.len(), "pearson: length mismatch");
     let n = xs.len() as f64;
@@ -58,15 +64,11 @@ pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
     }
     let mx = xs.iter().sum::<f64>() / n;
     let my = ys.iter().sum::<f64>() / n;
-    let mut sxy = 0.0;
-    let mut sxx = 0.0;
-    let mut syy = 0.0;
-    for (x, y) in xs.iter().zip(ys) {
-        let (dx, dy) = (x - mx, y - my);
-        sxy += dx * dy;
-        sxx += dx * dx;
-        syy += dy * dy;
-    }
+    let dx: Vec<f64> = xs.iter().map(|x| x - mx).collect();
+    let dy: Vec<f64> = ys.iter().map(|y| y - my).collect();
+    let sxy = reduce::dot(&dx, &dy);
+    let sxx = reduce::sq_norm(&dx);
+    let syy = reduce::sq_norm(&dy);
     if sxx == 0.0 || syy == 0.0 {
         return f64::NAN;
     }

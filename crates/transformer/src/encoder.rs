@@ -3,7 +3,7 @@
 
 use crate::config::{PositionalScheme, TransformerConfig};
 use crate::layers::{init_matrix, AttentionBias, FeedForward, LayerNorm, MultiHeadAttention};
-use observatory_linalg::{Matrix, SplitMix64};
+use observatory_linalg::{workspace, Matrix, SplitMix64};
 
 /// Standard deviation used for embedding tables. Larger than the weight
 /// init so that token identity dominates the residual stream, the regime
@@ -151,10 +151,17 @@ impl Encoder {
     /// Sequences longer than `max_len` are truncated — mirroring the hard
     /// input limits of the real models (paper §4.3).
     ///
+    /// All intermediates run through the per-thread [`workspace`] pool
+    /// and the per-layer attention maps are recycled instead of
+    /// collected, so a steady-state call performs **zero heap
+    /// allocations** after warmup (the returned matrix itself comes from
+    /// the pool; callers on a hot path can hand it back with
+    /// [`workspace::recycle_matrix`]).
+    ///
     /// # Panics
     /// Panics on an empty input or a token id outside the vocabulary.
     pub fn encode(&self, tokens: &[TokenInput]) -> Matrix {
-        self.encode_with_attention(tokens).0
+        self.encode_impl(tokens, None)
     }
 
     /// Encode and also return the per-layer attention maps (head-averaged,
@@ -162,11 +169,20 @@ impl Encoder {
     /// attention-pattern analyses (paper §2.2's Koleva et al. line of
     /// work). Same truncation and panics as [`Encoder::encode`].
     pub fn encode_with_attention(&self, tokens: &[TokenInput]) -> (Matrix, Vec<Matrix>) {
+        let mut maps = Vec::with_capacity(self.layers.len() + 1);
+        let h = self.encode_impl(tokens, Some(&mut maps));
+        (h, maps)
+    }
+
+    /// Shared encode body. `maps` collects the per-layer attention maps
+    /// when present; when absent the maps (which the attention kernel
+    /// produces regardless) are recycled into the workspace pool.
+    fn encode_impl(&self, tokens: &[TokenInput], mut maps: Option<&mut Vec<Matrix>>) -> Matrix {
         assert!(!tokens.is_empty(), "encode: empty input");
         let tokens = &tokens[..tokens.len().min(self.config.max_len)];
         let n = tokens.len();
         let d = self.config.dim;
-        let mut h = Matrix::zeros(n, d);
+        let mut h = Matrix::from_vec(n, d, workspace::take_f64(n * d));
         for (i, t) in tokens.iter().enumerate() {
             assert!(
                 (t.id as usize) < self.config.vocab_size,
@@ -201,43 +217,59 @@ impl Encoder {
             AttentionBias::none()
         };
 
-        let mut attention_maps = Vec::with_capacity(self.layers.len() + 1);
         for layer in &self.layers {
-            let (next, weights) = apply_layer(layer, h, &extras, self.config.attention_gain);
-            h = next;
-            attention_maps.push(weights);
+            let weights = apply_layer(layer, &mut h, &extras, self.config.attention_gain);
+            match maps.as_deref_mut() {
+                Some(m) => m.push(weights),
+                None => workspace::recycle_matrix(weights),
+            }
         }
         if let Some(vert) = &self.vertical {
             // Vertical attention: a token may attend only tokens in the same
             // column (data tokens), or — for structure tokens (col 0) —
             // other structure tokens.
-            let cols: Vec<u32> = tokens.iter().map(|t| t.col).collect();
-            let mask = move |i: usize, j: usize| cols[i] == cols[j];
+            let mut cols = workspace::take_u32(n);
+            for (c, t) in cols.iter_mut().zip(tokens) {
+                *c = t.col;
+            }
+            let cols_ref = &cols[..];
+            let mask = move |i: usize, j: usize| cols_ref[i] == cols_ref[j];
             let extras = AttentionBias { bias: None, mask: Some(&mask) };
-            let (next, weights) = apply_layer(vert, h, &extras, self.config.attention_gain);
-            h = next;
-            attention_maps.push(weights);
+            let weights = apply_layer(vert, &mut h, &extras, self.config.attention_gain);
+            match maps {
+                Some(m) => m.push(weights),
+                None => workspace::recycle_matrix(weights),
+            }
+            workspace::give_u32(cols);
         }
-        (h, attention_maps)
+        h
     }
 }
 
+/// One encoder layer applied **in place** on the residual stream:
+/// `h += attn(h)` then `h += ffn(h)` with layer norms between, the
+/// attention and feed-forward intermediates recycled into the workspace
+/// pool. `add_assign` performs the exact elementwise `a + b` the old
+/// allocating `Matrix::add` did, so outputs are bit-identical to the
+/// previous formulation.
 fn apply_layer(
     layer: &EncoderLayer,
-    h: Matrix,
+    h: &mut Matrix,
     extras: &AttentionBias<'_>,
     attention_gain: f64,
-) -> (Matrix, Matrix) {
-    let (mut attn_out, weights) = layer.attn.forward_with_weights(&h, extras);
+) -> Matrix {
+    let (mut attn_out, weights) = layer.attn.forward_with_weights(h, extras);
     if attention_gain != 1.0 {
         attn_out.scale_assign(attention_gain);
     }
-    let mut h = h.add(&attn_out);
-    layer.ln1.forward_inplace(&mut h);
-    let ffn_out = layer.ffn.forward(&h);
-    let mut h = h.add(&ffn_out);
-    layer.ln2.forward_inplace(&mut h);
-    (h, weights)
+    h.add_assign(&attn_out);
+    workspace::recycle_matrix(attn_out);
+    layer.ln1.forward_inplace(h);
+    let ffn_out = layer.ffn.forward(h);
+    h.add_assign(&ffn_out);
+    workspace::recycle_matrix(ffn_out);
+    layer.ln2.forward_inplace(h);
+    weights
 }
 
 fn add_into(dst: &mut [f64], src: &[f64]) {

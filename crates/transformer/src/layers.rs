@@ -8,7 +8,7 @@
 //! parallel `encode_batch` never oversubscribes). Kernel-level spans are
 //! emitted at `Level::Trace` under the `kernels` target.
 
-use observatory_linalg::{kernels, parallel, Matrix, SplitMix64};
+use observatory_linalg::{kernels, parallel, workspace, Matrix, SplitMix64};
 use observatory_obs as obs;
 
 pub use observatory_linalg::kernels::{gelu, softmax_inplace};
@@ -177,16 +177,24 @@ impl MultiHeadAttention {
         let k = self.k.forward(x);
         let v = self.v.forward(x);
         let scale = self.sharpness / (self.head_dim as f64).sqrt();
-        // Materialize the dynamic bias/mask once per forward call; the
-        // kernel's inner loops never see a closure.
-        let mask_buf: Option<Vec<bool>> =
-            extras.mask.map(|m| (0..n * n).map(|idx| m(idx / n, idx % n)).collect());
+        // Materialize the dynamic bias/mask once per forward call into
+        // workspace-pooled buffers; the kernel's inner loops never see a
+        // closure, and after warmup no allocation happens here.
+        let mask_buf: Option<Vec<bool>> = extras.mask.map(|m| {
+            let mut buf = workspace::take_bool(n * n);
+            for (idx, slot) in buf.iter_mut().enumerate() {
+                *slot = m(idx / n, idx % n);
+            }
+            buf
+        });
         let bias_buf: Option<Vec<f64>> = extras.bias.map(|b| {
-            let mut buf = Vec::with_capacity(self.n_heads * n * n);
+            let mut buf = workspace::take_f64(self.n_heads * n * n);
+            let mut idx = 0;
             for h in 0..self.n_heads {
                 for i in 0..n {
                     for j in 0..n {
-                        buf.push(b(h, i, j));
+                        buf[idx] = b(h, i, j);
+                        idx += 1;
                     }
                 }
             }
@@ -200,9 +208,22 @@ impl MultiHeadAttention {
             mask: mask_buf.as_deref(),
         };
         let (ctx, mut weights) = kernels::attention(&q, &k, &v, &spec, jobs);
+        // The projected Q/K/V are dead once the kernel returns: hand
+        // their capacity back to the pool for the next forward.
+        workspace::recycle_matrix(q);
+        workspace::recycle_matrix(k);
+        workspace::recycle_matrix(v);
+        if let Some(buf) = bias_buf {
+            workspace::give_f64(buf);
+        }
+        if let Some(buf) = mask_buf {
+            workspace::give_bool(buf);
+        }
         weights.scale_assign(1.0 / self.n_heads as f64);
         span.record("jobs", jobs);
-        (self.o.forward(&ctx), weights)
+        let out = self.o.forward(&ctx);
+        workspace::recycle_matrix(ctx);
+        (out, weights)
     }
 }
 
@@ -227,7 +248,10 @@ impl FeedForward {
             .with("ffn_dim", self.fc1.w.cols());
         let jobs = parallel::current_jobs();
         let h = kernels::linear_bias_gelu(x, &self.fc1.w, &self.fc1.b, jobs);
-        kernels::linear_bias(&h, &self.fc2.w, &self.fc2.b, jobs)
+        let out = kernels::linear_bias(&h, &self.fc2.w, &self.fc2.b, jobs);
+        // The hidden activation is dead: recycle its capacity.
+        workspace::recycle_matrix(h);
+        out
     }
 }
 

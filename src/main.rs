@@ -391,7 +391,8 @@ fn cmd_serve(args: &[String]) -> i32 {
             .set("queue_depth", queue_depth.to_string())
             .set("requests", stats.totals.requests.to_string())
             .set("batches", stats.totals.batches.to_string())
-            .set("wall_ms", stats.uptime.as_millis().to_string());
+            .set("wall_ms", stats.uptime.as_millis().to_string())
+            .set("simd", observatory::linalg::simd::decision().describe());
         if let Err(e) = write_observability(&engine, &manifest, trace_out, metrics_out) {
             eprintln!("{e}");
             return 1;
@@ -423,6 +424,7 @@ fn run_manifest(
         .set("permutations", perms.to_string())
         .set("jobs", ctx.engine.jobs().to_string())
         .set("cache_capacity_bytes", ctx.engine.cache_stats().capacity.to_string())
+        .set("simd", observatory::linalg::simd::decision().describe())
         .set("wall_ms", started.elapsed().as_millis().to_string());
     manifest
 }
@@ -455,7 +457,8 @@ fn write_observability(
     Ok(())
 }
 
-/// Post-run engine report: encode/cache counters, latency, cache bytes.
+/// Post-run engine report: encode/cache counters, latency, cache bytes,
+/// SIMD dispatch tier and workspace-pool effectiveness.
 fn print_runtime_footer(engine: &observatory::runtime::Engine) {
     let snapshot = engine.metrics_snapshot();
     let cache = engine.cache_stats();
@@ -471,6 +474,19 @@ fn print_runtime_footer(engine: &observatory::runtime::Engine) {
     let kernels = observatory::linalg::kernels::stats::snapshot();
     if kernels.total_calls() > 0 {
         println!("kernels: {}", kernels.render());
+    }
+    println!("simd: {}", observatory::linalg::simd::decision().describe());
+    // Main-thread view of the scratch pool; worker threads each keep
+    // their own (per-thread free-lists, no shared state to sample).
+    let ws = observatory::linalg::workspace::stats();
+    if ws.hits + ws.misses > 0 {
+        println!(
+            "workspace: {} hits / {} misses, {:.1} MiB held in {} buffers (main thread)",
+            ws.hits,
+            ws.misses,
+            ws.held_bytes as f64 / (1 << 20) as f64,
+            ws.held_bufs,
+        );
     }
 }
 
