@@ -1,0 +1,152 @@
+//! Machine-readable tier-2 store benchmark: emits `BENCH_store.json`.
+//!
+//! Quantifies what the persistent embedding store buys a restarted
+//! process:
+//!
+//! 1. **Cold**: a fresh engine + empty store encodes a corpus through
+//!    the full model (every table is a tier-2 miss + write-through).
+//! 2. **Warm**: a second engine — a restart stand-in — reopens the same
+//!    store directory and encodes the identical corpus; every table must
+//!    come back from disk (tier-2 hit), bit-identical, with the model
+//!    never running.
+//! 3. **Hit latency**: per-record `load()` timings (mmap read + CRC +
+//!    decode) reported as p50/p95.
+//!
+//! Output is one JSON document (path in `argv[1]`, default
+//! `BENCH_store.json`) with both phase throughputs, the warm/cold
+//! speedup (the acceptance gate wants ≥ 5×), and the latency quantiles;
+//! DESIGN.md §12 quotes it directly.
+
+use observatory_bench::harness::banner;
+use observatory_data::wikitables::WikiTablesConfig;
+use observatory_models::registry::model_by_name;
+use observatory_models::ModelEncoding;
+use observatory_runtime::{fingerprint_table, EmbeddingStore, Engine, EngineConfig};
+use observatory_store::{MmapStore, StoreConfig};
+use observatory_table::Table;
+use std::sync::Arc;
+use std::time::Instant;
+
+const NUM_TABLES: usize = 24;
+const LATENCY_ROUNDS: usize = 50;
+
+fn bits(enc: &ModelEncoding) -> Vec<u64> {
+    enc.embeddings.as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+fn quantile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_store.json".into());
+    banner("bench_store: persistent store cold vs warm", "DESIGN.md §12");
+
+    let dir = std::env::temp_dir().join(format!("obs-bench-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let corpus: Vec<Table> =
+        WikiTablesConfig { num_tables: NUM_TABLES, min_rows: 5, max_rows: 8, seed: 97 }.generate();
+    let model = model_by_name("bert").expect("bert in the registry");
+
+    // ---- Phase 1: cold — model encodes, store write-through ----------
+    let cold_encodings: Vec<Arc<ModelEncoding>>;
+    let cold_s: f64;
+    {
+        let engine = Engine::new(EngineConfig::from_env());
+        let store =
+            Arc::new(MmapStore::open(StoreConfig::new(dir.clone())).expect("open empty store"));
+        engine.attach_store(store.clone());
+        let t = Instant::now();
+        cold_encodings =
+            corpus.iter().map(|table| engine.encode_table(model.as_ref(), table)).collect();
+        cold_s = t.elapsed().as_secs_f64();
+        store.flush().expect("flush WAL");
+        let snap = engine.metrics_snapshot();
+        assert_eq!(snap.encodes as usize, NUM_TABLES, "cold phase must run the model");
+        assert_eq!(snap.tier2_writes as usize, NUM_TABLES, "every encode written through");
+        println!(
+            "cold:  {NUM_TABLES} tables in {cold_s:.3}s ({:.1} tables/s), {} records on disk",
+            NUM_TABLES as f64 / cold_s,
+            store.tier_stats().records
+        );
+    } // engine + store drop: clean shutdown, WAL durable
+
+    // ---- Phase 2: warm — a "restarted process" reopens the store -----
+    let store = Arc::new(MmapStore::open(StoreConfig::new(dir.clone())).expect("reopen store"));
+    let warm_s: f64;
+    {
+        let engine = Engine::new(EngineConfig::from_env());
+        engine.attach_store(store.clone());
+        let t = Instant::now();
+        let warm_encodings: Vec<Arc<ModelEncoding>> =
+            corpus.iter().map(|table| engine.encode_table(model.as_ref(), table)).collect();
+        warm_s = t.elapsed().as_secs_f64();
+        let snap = engine.metrics_snapshot();
+        assert_eq!(snap.encodes, 0, "warm phase must never run the model");
+        assert_eq!(snap.tier2_hits as usize, NUM_TABLES, "every table a tier-2 hit");
+        for (cold, warm) in cold_encodings.iter().zip(&warm_encodings) {
+            assert_eq!(bits(cold), bits(warm), "warm restart must be bit-identical");
+        }
+        println!(
+            "warm:  {NUM_TABLES} tables in {warm_s:.3}s ({:.1} tables/s), bit-identical",
+            NUM_TABLES as f64 / warm_s
+        );
+    }
+
+    // ---- Phase 3: raw hit latency (mmap read + CRC + decode) ---------
+    let fps: Vec<_> = corpus.iter().map(|table| fingerprint_table(model.name(), table)).collect();
+    let mut lat_us: Vec<f64> = Vec::with_capacity(LATENCY_ROUNDS * fps.len());
+    for _ in 0..LATENCY_ROUNDS {
+        for &fp in &fps {
+            let t = Instant::now();
+            let enc = store.load(fp);
+            lat_us.push(t.elapsed().as_nanos() as f64 / 1000.0);
+            assert!(enc.is_some(), "benchmarked fingerprints must all hit");
+        }
+    }
+    lat_us.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let (p50, p95) = (quantile(&lat_us, 0.50), quantile(&lat_us, 0.95));
+    println!("hit latency: p50 {p50:.1}us, p95 {p95:.1}us ({} samples)", lat_us.len());
+
+    let tier = store.tier_stats();
+    let speedup = cold_s / warm_s;
+    println!("speedup: warm {speedup:.1}x over cold (gate: >= 5x)");
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"tables\": {},\n",
+            "  \"cold_seconds\": {:.4},\n",
+            "  \"warm_seconds\": {:.4},\n",
+            "  \"cold_tables_per_s\": {:.2},\n",
+            "  \"warm_tables_per_s\": {:.2},\n",
+            "  \"warm_over_cold_speedup\": {:.2},\n",
+            "  \"hit_latency_us\": {{\"p50\": {:.2}, \"p95\": {:.2}, \"samples\": {}}},\n",
+            "  \"store\": {{\"records\": {}, \"segments\": {}, \"segment_bytes\": {}, ",
+            "\"wal_bytes\": {}, \"generation\": {}}}\n",
+            "}}\n"
+        ),
+        NUM_TABLES,
+        cold_s,
+        warm_s,
+        NUM_TABLES as f64 / cold_s,
+        NUM_TABLES as f64 / warm_s,
+        speedup,
+        p50,
+        p95,
+        lat_us.len(),
+        tier.records,
+        tier.segments,
+        tier.segment_bytes,
+        tier.wal_bytes,
+        tier.generation,
+    );
+    std::fs::write(&out_path, &json).expect("write BENCH_store.json");
+    println!("wrote -> {out_path}");
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,155 @@
+//! `validate_store` — CI gate for warm restarts of the persistent store.
+//!
+//! ```text
+//! validate_store record <host:port> <state-file>
+//! validate_store verify <host:port> <state-file>
+//! ```
+//!
+//! The store smoke job runs this twice around a server restart:
+//!
+//! 1. **record** (first server, fresh `--store-dir`): POST a batch of
+//!    distinct `/v1/embed` requests and save the response bodies to the
+//!    state file. Checks `/healthz` reports an attached store.
+//! 2. **verify** (second server, same `--store-dir`): repeat the exact
+//!    batch and require every response **byte-identical** to the
+//!    recorded one; require `/healthz` to show the recovered records;
+//!    require `/metrics` to show tier-2 hits ≥ the batch size and zero
+//!    model encodes — i.e. a 100% warm restart, nothing re-encoded.
+//!
+//! Exit code 0 on success; 1 with a diagnostic on the first failure;
+//! 2 on usage errors.
+
+use observatory_bench::httpc;
+use observatory_obs::json::{parse, Json};
+use std::net::SocketAddr;
+use std::time::Duration;
+
+const TIMEOUT: Duration = Duration::from_secs(30);
+const BATCH: usize = 8;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (mode, addr_raw, state) = match (args.first(), args.get(1), args.get(2)) {
+        (Some(m), Some(a), Some(s)) if m == "record" || m == "verify" => (m.as_str(), a, s),
+        _ => {
+            eprintln!("usage: validate_store record|verify <host:port> <state-file>");
+            std::process::exit(2);
+        }
+    };
+    let addr = match httpc::resolve(addr_raw) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("validate_store: {e}");
+            std::process::exit(2);
+        }
+    };
+    let run = if mode == "record" { record(addr, state) } else { verify(addr, state) };
+    if let Err(e) = run {
+        eprintln!("validate_store: {e}");
+        std::process::exit(1);
+    }
+    println!("validate_store {mode}: ok");
+}
+
+/// The i-th smoke table: distinct values so each request is a distinct
+/// fingerprint (and a distinct store record).
+fn embed_body(i: usize) -> String {
+    format!(
+        concat!(
+            r#"{{"model":"bert","level":"column","id":"store-{i}","#,
+            r#""table":{{"name":"store-smoke-{i}","columns":["#,
+            r#"{{"header":"id","values":[{a},{b},{c}]}},"#,
+            r#"{{"header":"name","values":["alpha-{i}","beta-{i}","gamma-{i}"]}}]}}}}"#
+        ),
+        i = i,
+        a = i * 3 + 1,
+        b = i * 3 + 2,
+        c = i * 3 + 3,
+    )
+}
+
+/// `/healthz`, requiring an attached store; returns its `records` count.
+fn store_records(addr: SocketAddr) -> Result<f64, String> {
+    let health = httpc::await_healthy(addr, Duration::from_secs(30))?;
+    let h = parse(&health.body).map_err(|e| format!("healthz body invalid: {e}"))?;
+    let store = h.get("store").ok_or("healthz has no store field")?;
+    if *store == Json::Null {
+        return Err("healthz reports no store attached (serve missing --store-dir?)".into());
+    }
+    store
+        .get("records")
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("healthz store has no records count: {}", health.body))
+}
+
+/// POST the whole batch; every response must be a 200.
+fn run_batch(addr: SocketAddr) -> Result<Vec<String>, String> {
+    (0..BATCH)
+        .map(|i| {
+            let r = httpc::post(addr, "/v1/embed", &embed_body(i), TIMEOUT)?;
+            if r.status != 200 {
+                return Err(format!("embed {i} answered {}: {}", r.status, r.body));
+            }
+            Ok(r.body)
+        })
+        .collect()
+}
+
+fn record(addr: SocketAddr, state: &str) -> Result<(), String> {
+    store_records(addr)?;
+    let bodies = run_batch(addr)?;
+    // One body per line: responses are single-line JSON documents.
+    for (i, b) in bodies.iter().enumerate() {
+        if b.contains('\n') {
+            return Err(format!("embed {i} response is not single-line; cannot persist"));
+        }
+    }
+    std::fs::write(state, bodies.join("\n")).map_err(|e| format!("cannot write {state}: {e}"))?;
+    println!("recorded {BATCH} responses -> {state}");
+    Ok(())
+}
+
+/// A `/metrics` sample value, summed over matching series.
+fn metric_sum(text: &str, prefix: &str) -> f64 {
+    text.lines()
+        .filter(|l| l.starts_with(prefix))
+        .filter_map(|l| l.rsplit(' ').next()?.parse::<f64>().ok())
+        .sum()
+}
+
+fn verify(addr: SocketAddr, state: &str) -> Result<(), String> {
+    let recorded =
+        std::fs::read_to_string(state).map_err(|e| format!("cannot read {state}: {e}"))?;
+    let recorded: Vec<&str> = recorded.lines().collect();
+    if recorded.len() != BATCH {
+        return Err(format!("{state} holds {} responses, expected {BATCH}", recorded.len()));
+    }
+    let records = store_records(addr)?;
+    if (records as usize) < BATCH {
+        return Err(format!("store recovered only {records} records, expected >= {BATCH}"));
+    }
+    println!("healthz: store attached with {records} records");
+
+    let bodies = run_batch(addr)?;
+    for (i, (warm, cold)) in bodies.iter().zip(&recorded).enumerate() {
+        if warm != cold {
+            return Err(format!("embed {i} differs across restart (not byte-identical)"));
+        }
+    }
+    println!("embed: {BATCH} responses byte-identical across restart");
+
+    let metrics = httpc::get(addr, "/metrics", TIMEOUT)?;
+    if metrics.status != 200 {
+        return Err(format!("metrics answered {}", metrics.status));
+    }
+    let hits = metric_sum(&metrics.body, "observatory_store_lookups_total{result=\"hit\"}");
+    if (hits as usize) < BATCH {
+        return Err(format!("tier-2 hits = {hits}, expected >= {BATCH} (warm restart leaked)"));
+    }
+    let encodes = metric_sum(&metrics.body, "observatory_encodes_total");
+    if encodes != 0.0 {
+        return Err(format!("model ran {encodes} times on a warm restart, expected 0"));
+    }
+    println!("metrics: {hits} tier-2 hits, 0 model encodes");
+    Ok(())
+}

@@ -93,6 +93,21 @@ pub struct CacheStats {
     /// Largest total live-byte footprint ever observed (monotone across
     /// `clear`, approximate under concurrency).
     pub high_water_bytes: usize,
+    /// Whether a tier-2 persistent store is attached. The LRU itself
+    /// never sets the tier-2 fields — `Engine::cache_stats` fills them
+    /// from the engine metrics and the attached store, so a bare
+    /// `EncodingCache::stats()` always reports them zeroed.
+    pub tier2_enabled: bool,
+    /// LRU misses answered from the tier-2 (disk) store.
+    pub tier2_hits: u64,
+    /// Tier-2 consultations that found nothing usable (model ran).
+    pub tier2_misses: u64,
+    /// Write-throughs persisted to the tier-2 store.
+    pub tier2_writes: u64,
+    /// Live records addressable in the tier-2 store.
+    pub tier2_records: u64,
+    /// Tier-2 store generation (rotations + compactions).
+    pub tier2_generation: u64,
 }
 
 /// Alias used by the observability layer: a frozen cache state.
@@ -265,6 +280,12 @@ impl EncodingCache {
             capacity: self.capacity,
             shards,
             high_water_bytes: self.high_water.load(Ordering::Relaxed) as usize,
+            tier2_enabled: false,
+            tier2_hits: 0,
+            tier2_misses: 0,
+            tier2_writes: 0,
+            tier2_records: 0,
+            tier2_generation: 0,
         }
     }
 }

@@ -61,6 +61,41 @@ pub fn prometheus_text(
         snapshot.hit_rate(),
     );
 
+    // Tier-2 (persistent store) counters. Emitted unconditionally — a
+    // stable schema whether or not a store is attached; scrapers key off
+    // observatory_store_attached.
+    buf.scalar(
+        "observatory_store_attached",
+        "gauge",
+        "1 when a tier-2 persistent store is attached, else 0.",
+        if cache.tier2_enabled { 1.0 } else { 0.0 },
+    );
+    buf.family(
+        "observatory_store_lookups_total",
+        "counter",
+        "Tier-2 store consultations (LRU misses) by result.",
+    );
+    buf.sample("observatory_store_lookups_total", &[("result", "hit")], cache.tier2_hits as f64);
+    buf.sample("observatory_store_lookups_total", &[("result", "miss")], cache.tier2_misses as f64);
+    buf.scalar(
+        "observatory_store_writes_total",
+        "counter",
+        "Write-throughs persisted to the tier-2 store.",
+        cache.tier2_writes as f64,
+    );
+    buf.scalar(
+        "observatory_store_records",
+        "gauge",
+        "Live records addressable in the tier-2 store.",
+        cache.tier2_records as f64,
+    );
+    buf.scalar(
+        "observatory_store_generation",
+        "gauge",
+        "Tier-2 store generation (rotations + compactions).",
+        cache.tier2_generation as f64,
+    );
+
     // Cache occupancy, per shard and aggregate.
     buf.scalar(
         "observatory_cache_evictions_total",
@@ -184,6 +219,11 @@ mod tests {
             "observatory_encode_latency_seconds_count",
             "observatory_encode_latency_quantile_seconds",
             "observatory_model_encodes_total",
+            "observatory_store_attached",
+            "observatory_store_lookups_total",
+            "observatory_store_writes_total",
+            "observatory_store_records",
+            "observatory_store_generation",
         ] {
             assert!(summary.has(name), "missing {name}\n{text}");
         }

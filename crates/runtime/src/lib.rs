@@ -29,12 +29,14 @@ pub mod expose;
 pub mod fingerprint;
 pub mod metrics;
 pub mod pool;
+pub mod store;
 
 pub use cache::{CacheSnapshot, CacheStats, EncodingCache, ShardOccupancy};
 pub use expose::prometheus_text;
 pub use fingerprint::{fingerprint_request, fingerprint_table, Fingerprint, FingerprintHasher};
 pub use metrics::{Metrics, MetricsSnapshot, ModelStats};
 pub use pool::{resolve_jobs, run_indexed};
+pub use store::{EmbeddingStore, StoreTierStats};
 
 use observatory_models::{ModelEncoding, TableEncoder};
 use observatory_obs as obs;
@@ -84,6 +86,9 @@ pub struct Engine {
     config: EngineConfig,
     cache: EncodingCache,
     metrics: Metrics,
+    /// Optional tier-2 persistent store, attached at most once (before
+    /// the first encode) through the [`EmbeddingStore`] port.
+    store: OnceLock<Arc<dyn EmbeddingStore>>,
 }
 
 impl std::fmt::Debug for Engine {
@@ -104,7 +109,35 @@ impl Default for Engine {
 impl Engine {
     /// Build an engine from a config.
     pub fn new(config: EngineConfig) -> Self {
-        Self { cache: EncodingCache::new(config.cache_bytes), metrics: Metrics::new(), config }
+        Self {
+            cache: EncodingCache::new(config.cache_bytes),
+            metrics: Metrics::new(),
+            config,
+            store: OnceLock::new(),
+        }
+    }
+
+    /// Attach a tier-2 persistent store behind the LRU. First-wins like
+    /// [`configure_global`]: returns `false` (and changes nothing) if a
+    /// store is already attached. Attach before the first encode, or
+    /// earlier encodes simply won't have been written through.
+    pub fn attach_store(&self, store: Arc<dyn EmbeddingStore>) -> bool {
+        self.store.set(store).is_ok()
+    }
+
+    /// The attached tier-2 store, if any.
+    pub fn store(&self) -> Option<&Arc<dyn EmbeddingStore>> {
+        self.store.get()
+    }
+
+    /// Flush the tier-2 store's write-ahead log to stable storage
+    /// (no-op without a store). The serve drain path calls this so an
+    /// acked corpus survives machine restarts, not just process exits.
+    pub fn flush_store(&self) -> std::io::Result<()> {
+        match self.store.get() {
+            Some(store) => store.flush(),
+            None => Ok(()),
+        }
     }
 
     /// Worker thread count used by [`Engine::encode_batch`].
@@ -128,9 +161,22 @@ impl Engine {
         self.metrics.snapshot()
     }
 
-    /// Cache statistics.
+    /// Cache statistics across both tiers: the LRU's own counters plus
+    /// the tier-2 (disk) hit/miss/write counters and, when a store is
+    /// attached, its record count and generation.
     pub fn cache_stats(&self) -> CacheStats {
-        self.cache.stats()
+        let mut stats = self.cache.stats();
+        let snap = self.metrics.snapshot();
+        stats.tier2_hits = snap.tier2_hits;
+        stats.tier2_misses = snap.tier2_misses;
+        stats.tier2_writes = snap.tier2_writes;
+        if let Some(store) = self.store.get() {
+            let tier = store.tier_stats();
+            stats.tier2_enabled = true;
+            stats.tier2_records = tier.records;
+            stats.tier2_generation = tier.generation;
+        }
+        stats
     }
 
     /// Drop all cached encodings (counters survive). Benches use this to
@@ -162,6 +208,20 @@ impl Engine {
             return hit;
         }
         self.metrics.record_miss();
+        // Tier 2: an LRU miss consults the persistent store before the
+        // model runs. A verified disk record is promoted into the LRU so
+        // repeats of the same key pay mmap+decode exactly once.
+        if let Some(store) = self.store.get() {
+            let mut span = obs::span(obs::Level::Debug, "store", "read").with_parent(parent);
+            if let Some(enc) = store.load(fp) {
+                span.record("hit", 1u64);
+                self.metrics.record_tier2_hit();
+                self.cache.insert(fp, Arc::clone(&enc));
+                return enc;
+            }
+            span.record("hit", 0u64);
+            self.metrics.record_tier2_miss();
+        }
         let mut span = obs::span(obs::Level::Debug, "runtime", "encode")
             .with_parent(parent)
             .with("model", model.name())
@@ -172,6 +232,11 @@ impl Engine {
         self.metrics.record_encode(model.name(), start.elapsed(), encoding.embeddings.rows());
         span.record("tokens", encoding.embeddings.rows());
         self.cache.insert(fp, Arc::clone(&encoding));
+        if let Some(store) = self.store.get() {
+            let _span = obs::span(obs::Level::Debug, "store", "write").with_parent(parent);
+            store.save(fp, &encoding);
+            self.metrics.record_tier2_write();
+        }
         encoding
     }
 
@@ -237,6 +302,7 @@ mod tests {
     use observatory_linalg::Matrix;
     use observatory_models::{Capabilities, Readout, TokenProvenance};
     use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Mutex;
 
     /// A cheap deterministic encoder: embeddings are a pure function of
     /// the table's cell text, and an atomic counter observes real runs.
@@ -398,5 +464,93 @@ mod tests {
         let engine = Engine::new(EngineConfig { jobs: 3, cache_bytes: 1024 });
         let s = format!("{engine:?}");
         assert!(s.contains("jobs: 3"));
+    }
+
+    /// Trait-level test double: a HashMap behind a mutex, cloning
+    /// encodings on both sides of the boundary like a real disk store.
+    #[derive(Default)]
+    struct MapStore {
+        map: Mutex<std::collections::HashMap<u128, ModelEncoding>>,
+        reads: AtomicU64,
+        writes: AtomicU64,
+    }
+
+    impl EmbeddingStore for MapStore {
+        fn load(&self, fp: Fingerprint) -> Option<Arc<ModelEncoding>> {
+            let hit = self.map.lock().unwrap().get(&fp.0).cloned().map(Arc::new);
+            if hit.is_some() {
+                self.reads.fetch_add(1, Ordering::SeqCst);
+            }
+            hit
+        }
+        fn save(&self, fp: Fingerprint, enc: &ModelEncoding) {
+            self.writes.fetch_add(1, Ordering::SeqCst);
+            self.map.lock().unwrap().insert(fp.0, enc.clone());
+        }
+        fn flush(&self) -> std::io::Result<()> {
+            Ok(())
+        }
+        fn tier_stats(&self) -> StoreTierStats {
+            StoreTierStats {
+                records: self.map.lock().unwrap().len() as u64,
+                generation: 7,
+                ..Default::default()
+            }
+        }
+    }
+
+    #[test]
+    fn tier2_hit_skips_model_and_counters_line_up() {
+        let engine = Engine::new(EngineConfig { jobs: 1, cache_bytes: 1 << 22 });
+        let store = Arc::new(MapStore::default());
+        assert!(engine.attach_store(Arc::clone(&store) as Arc<dyn EmbeddingStore>));
+        assert!(
+            !engine.attach_store(Arc::clone(&store) as Arc<dyn EmbeddingStore>),
+            "attach is first-wins"
+        );
+        let model = StubModel::new();
+        let t = table(11);
+        let a = engine.encode_table(&model, &t); // miss both tiers → encode + write-through
+        assert_eq!(model.runs.load(Ordering::SeqCst), 1);
+        assert_eq!(store.writes.load(Ordering::SeqCst), 1);
+
+        // Evict tier 1 but keep the store: the next encode must be a
+        // tier-2 hit that never runs the model and is bitwise identical.
+        engine.clear_cache();
+        let b = engine.encode_table(&model, &t);
+        assert_eq!(model.runs.load(Ordering::SeqCst), 1, "tier-2 hit must skip the model");
+        assert_eq!(a.embeddings, b.embeddings);
+        assert_eq!(a.provenance, b.provenance);
+
+        let c = engine.encode_table(&model, &t); // promoted → tier-1 hit
+        assert!(Arc::ptr_eq(&b, &c), "tier-2 hit was promoted into the LRU");
+
+        let s = engine.metrics_snapshot();
+        assert_eq!((s.cache_hits, s.cache_misses), (1, 2));
+        assert_eq!((s.tier2_hits, s.tier2_misses, s.tier2_writes), (1, 1, 1));
+        assert_eq!(
+            s.encodes,
+            s.cache_misses - s.tier2_hits,
+            "with a store, encodes == misses - tier2 hits"
+        );
+
+        let cs = engine.cache_stats();
+        assert!(cs.tier2_enabled);
+        assert_eq!((cs.tier2_hits, cs.tier2_misses, cs.tier2_writes), (1, 1, 1));
+        assert_eq!(cs.tier2_records, 1);
+        assert_eq!(cs.tier2_generation, 7);
+        assert!(engine.flush_store().is_ok());
+    }
+
+    #[test]
+    fn no_store_leaves_tier2_counters_zero() {
+        let engine = Engine::new(EngineConfig { jobs: 1, cache_bytes: 1 << 22 });
+        let model = StubModel::new();
+        engine.encode_table(&model, &table(21));
+        let cs = engine.cache_stats();
+        assert!(!cs.tier2_enabled);
+        assert_eq!((cs.tier2_hits, cs.tier2_misses, cs.tier2_writes), (0, 0, 0));
+        let s = engine.metrics_snapshot();
+        assert_eq!(s.encodes, s.cache_misses, "legacy invariant holds without a store");
     }
 }

@@ -166,6 +166,9 @@ pub struct Metrics {
     cache_misses: AtomicU64,
     batches: AtomicU64,
     tokens: AtomicU64,
+    tier2_hits: AtomicU64,
+    tier2_misses: AtomicU64,
+    tier2_writes: AtomicU64,
     encode_latency: Histogram,
     per_model: Mutex<BTreeMap<String, ModelStats>>,
 }
@@ -207,6 +210,23 @@ impl Metrics {
         self.batches.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record a tier-2 (persistent store) hit: an LRU miss that was
+    /// answered from disk without running a model.
+    pub fn record_tier2_hit(&self) {
+        self.tier2_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a tier-2 miss: the store was consulted and had nothing
+    /// usable, so the model ran.
+    pub fn record_tier2_miss(&self) {
+        self.tier2_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one write-through to the tier-2 store after an encode.
+    pub fn record_tier2_write(&self) {
+        self.tier2_writes.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Freeze the current state.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -215,6 +235,9 @@ impl Metrics {
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
             tokens: self.tokens.load(Ordering::Relaxed),
+            tier2_hits: self.tier2_hits.load(Ordering::Relaxed),
+            tier2_misses: self.tier2_misses.load(Ordering::Relaxed),
+            tier2_writes: self.tier2_writes.load(Ordering::Relaxed),
             encode_latency: self.encode_latency.snapshot(),
             per_model: self.per_model.lock().unwrap_or_else(|e| e.into_inner()).clone(),
         }
@@ -234,6 +257,15 @@ pub struct MetricsSnapshot {
     pub batches: u64,
     /// Token embeddings produced.
     pub tokens: u64,
+    /// LRU misses answered from the persistent store (no model run).
+    /// With a store attached, `encodes == cache_misses - tier2_hits`;
+    /// without one, all three tier-2 counters stay 0 and the old
+    /// `encodes == cache_misses` invariant holds.
+    pub tier2_hits: u64,
+    /// Store consultations that found nothing usable.
+    pub tier2_misses: u64,
+    /// Write-throughs to the persistent store after encodes.
+    pub tier2_writes: u64,
     /// Latency distribution over real encodes.
     pub encode_latency: HistogramSnapshot,
     /// Per-model totals, sorted by model name.
@@ -266,6 +298,15 @@ impl MetricsSnapshot {
             100.0 * self.hit_rate(),
             self.batches,
         ));
+        if self.tier2_hits + self.tier2_misses + self.tier2_writes > 0 {
+            let lookups = self.tier2_hits + self.tier2_misses;
+            let rate =
+                if lookups == 0 { 0.0 } else { 100.0 * self.tier2_hits as f64 / lookups as f64 };
+            out.push_str(&format!(
+                "store:   {} hits / {} misses ({rate:.1}% tier-2 hit rate), {} writes\n",
+                self.tier2_hits, self.tier2_misses, self.tier2_writes,
+            ));
+        }
         out.push_str(&format!(
             "tokens embedded: {}   mean encode: {}   p50/p95/p99: {} / {} / {}\n",
             self.tokens,

@@ -1,0 +1,85 @@
+//! Port: the persistent second-tier embedding store.
+//!
+//! The engine's LRU cache (tier 1) dies with the process. This trait is
+//! the hexagonal *port* through which the engine consults a durable
+//! tier 2 — fingerprint-addressed, so the same content key that indexes
+//! the in-memory cache indexes the disk store. The runtime crate owns
+//! only the contract; the memory-mapped segment/WAL *adapter* lives in
+//! `crates/store`, and an alternate backend (remote blob store, test
+//! double) can slot in behind the same trait without touching the
+//! engine.
+//!
+//! ## Contract
+//!
+//! - `load(fp)` returns an encoding **bitwise equal** to what `save(fp,
+//!   enc)` persisted, or `None`. A store must never return a payload
+//!   whose integrity it cannot vouch for (checksums failed → `None`;
+//!   the engine then recomputes and overwrites, so corruption is
+//!   self-healing, never an error the encode path has to handle).
+//! - `save` must make the record readable by a *future process* once it
+//!   returns: data handed to the OS (surviving `kill -9`), though not
+//!   necessarily fsynced (machine-crash durability is what [`flush`]
+//!   adds, and the server's drain path calls it).
+//! - Both methods are called from pool worker threads concurrently; the
+//!   implementation synchronizes internally.
+//!
+//! [`flush`]: EmbeddingStore::flush
+
+use crate::fingerprint::Fingerprint;
+use observatory_models::ModelEncoding;
+use std::sync::Arc;
+
+/// A durable fingerprint → encoding store (tier 2 under the LRU).
+pub trait EmbeddingStore: Send + Sync {
+    /// Fetch the encoding persisted under `fp`, verifying integrity.
+    /// `None` means "not stored" *or* "stored but failed verification" —
+    /// either way the caller re-encodes.
+    fn load(&self, fp: Fingerprint) -> Option<Arc<ModelEncoding>>;
+
+    /// Persist `enc` under `fp` (write-through on encode). Replaces any
+    /// prior record with the same fingerprint.
+    fn save(&self, fp: Fingerprint, enc: &ModelEncoding);
+
+    /// Make everything acknowledged so far machine-crash durable
+    /// (fsync the write-ahead log). The serve drain path calls this.
+    fn flush(&self) -> std::io::Result<()>;
+
+    /// Current statistics snapshot.
+    fn tier_stats(&self) -> StoreTierStats;
+
+    /// Monotone store generation: bumped by every segment rotation and
+    /// compaction. Provenance manifests record it so an artifact can be
+    /// traced to the exact on-disk state that produced it.
+    fn generation(&self) -> u64 {
+        self.tier_stats().generation
+    }
+}
+
+/// Frozen statistics of a tier-2 store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StoreTierStats {
+    /// Live (addressable) records across memtable and segments.
+    pub records: u64,
+    /// Immutable segment files currently open.
+    pub segments: u64,
+    /// Bytes across segment files.
+    pub segment_bytes: u64,
+    /// Bytes in the write-ahead log (active + frozen).
+    pub wal_bytes: u64,
+    /// Records resident in the in-memory memtable (WAL-backed).
+    pub memtable_records: u64,
+    /// Monotone generation (rotations + compactions since creation).
+    pub generation: u64,
+    /// `load` calls served (record found and verified).
+    pub reads: u64,
+    /// `save` calls accepted.
+    pub writes: u64,
+    /// Records rejected at read time (checksum/decode failure).
+    pub read_errors: u64,
+    /// Memtable → segment rotations performed.
+    pub rotations: u64,
+    /// Multi-segment merges performed.
+    pub compactions: u64,
+    /// Records dropped during recovery (torn WAL tail, bad checksums).
+    pub recovery_dropped: u64,
+}

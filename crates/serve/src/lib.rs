@@ -177,6 +177,15 @@ impl Server {
         manifest.set("max_batch", config.max_batch.to_string());
         manifest.set("queue_depth", config.queue_depth.to_string());
         manifest.set("simd", observatory_linalg::simd::decision().describe());
+        match engine.store() {
+            Some(store) => {
+                manifest.set("store", "attached");
+                manifest.set("store_generation", store.generation().to_string());
+            }
+            None => {
+                manifest.set("store", "none");
+            }
+        }
         let shared = Arc::new(Shared {
             engine,
             queue: Queue::new(config.queue_depth),
@@ -272,6 +281,14 @@ impl Server {
         shared.queue.close();
         // 3. The batcher answers everything admitted, then exits.
         let _ = batcher.join();
+        // 3b. Everything the batcher acked is now in the tier-2 store's
+        //     WAL (if one is attached); fsync it so the corpus survives
+        //     a machine restart, not just this process exit.
+        if let Err(e) = shared.engine.flush_store() {
+            obs::event_with(obs::Level::Error, "serve", "store_flush_error", || {
+                vec![("error", e.to_string())]
+            });
+        }
         // 4. Wait for connection threads to flush their responses.
         let wait_start = Instant::now();
         while shared.inflight.load(Ordering::SeqCst) > 0
@@ -389,14 +406,28 @@ fn route(req: &Request, id: u64, span: &mut obs::Span, shared: &Shared) -> Outco
 }
 
 fn healthz(shared: &Shared) -> Outcome {
+    // Store sub-object so orchestration can check warm-restart readiness
+    // from the same probe it already scrapes; `null` when serving
+    // without persistence.
+    let store = match shared.engine.store() {
+        Some(store) => {
+            let t = store.tier_stats();
+            format!(
+                "{{\"records\":{},\"segments\":{},\"generation\":{}}}",
+                t.records, t.segments, t.generation
+            )
+        }
+        None => "null".to_string(),
+    };
     let body = format!(
-        "{{\"status\":\"ok\",\"draining\":{},\"queue_depth\":{},\"queue_capacity\":{},\"uptime_seconds\":{:.3},\"jobs\":{},\"simd\":\"{}\"}}",
+        "{{\"status\":\"ok\",\"draining\":{},\"queue_depth\":{},\"queue_capacity\":{},\"uptime_seconds\":{:.3},\"jobs\":{},\"simd\":\"{}\",\"store\":{}}}",
         shared.draining.load(Ordering::SeqCst),
         shared.queue.len(),
         shared.queue.capacity(),
         shared.started.elapsed().as_secs_f64(),
         shared.engine.jobs(),
         observatory_linalg::simd::decision().describe(),
+        store,
     );
     Outcome::json("healthz", 200, body)
 }
@@ -604,6 +635,9 @@ mod tests {
         // operator can confirm which kernel tier a replica is running.
         let simd = h.get("simd").unwrap().as_str().unwrap();
         assert_eq!(simd, observatory_linalg::simd::decision().describe());
+        // No tier-2 store attached in unit tests: the probe reports that
+        // explicitly rather than omitting the key.
+        assert_eq!(h.get("store"), Some(&observatory_obs::json::Json::Null));
 
         let (status, _, body) = post(addr, "/v1/embed", &embed_body(7));
         assert_eq!(status, 200, "{body}");

@@ -1,0 +1,358 @@
+//! On-disk record format: the encoding payload codec and CRC-32.
+//!
+//! One *record* persists one [`ModelEncoding`] under its fingerprint.
+//! Both the WAL and segment files carry records in the same frame:
+//!
+//! ```text
+//! [fp: u128 LE][len: u32 LE][crc: u32 LE][payload: len bytes]
+//! ```
+//!
+//! where `crc` is CRC-32 (IEEE, poly 0xEDB88320) over the payload only —
+//! the frame fields are covered by the segment index checksum and, in
+//! the WAL, by the structural validity check (a corrupt `len` walks the
+//! cursor out of bounds and truncates the tail).
+//!
+//! The payload serializes every field of [`ModelEncoding`], because warm
+//! restarts must be *byte-identical*: responses are rendered through the
+//! readout metadata, not just the raw matrix. All floats are stored via
+//! `f64::to_bits` little-endian, so NaN payloads and signed zeros round-
+//! trip bitwise.
+
+use observatory_linalg::Matrix;
+use observatory_models::{Capabilities, ModelEncoding, Readout, TokenProvenance};
+
+/// Bytes in a record frame header (`fp` + `len` + `crc`).
+pub const FRAME_HEADER: usize = 16 + 4 + 4;
+
+// ---------------------------------------------------------------------
+// CRC-32 (IEEE 802.3, reflected, poly 0xEDB88320) — table-driven, table
+// built at compile time so the hot path is branch-free per byte.
+// ---------------------------------------------------------------------
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+const CRC32_TABLE: [u32; 256] = crc32_table();
+
+/// CRC-32 (IEEE) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC32_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+// ---------------------------------------------------------------------
+// Payload codec.
+// ---------------------------------------------------------------------
+
+/// Sentinel for `Option<usize>` indices: `u64::MAX` = `None`. Token
+/// indices are bounded by token counts, so the sentinel is unreachable
+/// as a real value.
+const NONE_IDX: u64 = u64::MAX;
+
+const READOUT_MEAN: u8 = 0;
+const READOUT_CLS: u8 = 1;
+const READOUT_HEADER_MEAN: u8 = 2;
+const READOUT_HEADER_BIASED: u8 = 3;
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+fn put_readout(out: &mut Vec<u8>, r: Readout) {
+    match r {
+        Readout::MeanPool => out.push(READOUT_MEAN),
+        Readout::Cls => out.push(READOUT_CLS),
+        Readout::HeaderMean => out.push(READOUT_HEADER_MEAN),
+        Readout::HeaderBiasedMean { header_weight } => {
+            out.push(READOUT_HEADER_BIASED);
+            put_f64(out, header_weight);
+        }
+    }
+}
+
+/// Serialize one encoding into a payload (without the record frame).
+pub fn encode_payload(enc: &ModelEncoding) -> Vec<u8> {
+    let rows = enc.embeddings.rows();
+    let cols = enc.embeddings.cols();
+    let mut out = Vec::with_capacity(32 + rows * cols * 8 + enc.provenance.len() * 9);
+    put_u32(&mut out, rows as u32);
+    put_u32(&mut out, cols as u32);
+    for &v in enc.embeddings.as_slice() {
+        put_f64(&mut out, v);
+    }
+    put_u32(&mut out, enc.provenance.len() as u32);
+    for p in &enc.provenance {
+        put_u32(&mut out, p.row);
+        put_u32(&mut out, p.col);
+        out.push(p.special as u8);
+    }
+    put_u64(&mut out, enc.table_cls.map_or(NONE_IDX, |i| i as u64));
+    put_u32(&mut out, enc.column_cls.len() as u32);
+    for c in &enc.column_cls {
+        put_u64(&mut out, c.map_or(NONE_IDX, |i| i as u64));
+    }
+    put_u64(&mut out, enc.rows_encoded as u64);
+    put_u64(&mut out, enc.cols_encoded as u64);
+    put_readout(&mut out, enc.column_readout);
+    put_readout(&mut out, enc.table_readout);
+    let caps = &enc.capabilities;
+    out.push(
+        (caps.table as u8)
+            | (caps.column as u8) << 1
+            | (caps.row as u8) << 2
+            | (caps.cell as u8) << 3
+            | (caps.entity as u8) << 4,
+    );
+    out
+}
+
+/// Bounds-checked little-endian reader over a payload.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        let s = self.buf.get(self.pos..end)?;
+        self.pos = end;
+        Some(s)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        Some(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.take(4)?.try_into().ok()?))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+
+    fn f64(&mut self) -> Option<f64> {
+        Some(f64::from_bits(self.u64()?))
+    }
+
+    fn opt_idx(&mut self) -> Option<Option<usize>> {
+        let v = self.u64()?;
+        Some(if v == NONE_IDX { None } else { Some(usize::try_from(v).ok()?) })
+    }
+
+    fn readout(&mut self) -> Option<Readout> {
+        Some(match self.u8()? {
+            READOUT_MEAN => Readout::MeanPool,
+            READOUT_CLS => Readout::Cls,
+            READOUT_HEADER_MEAN => Readout::HeaderMean,
+            READOUT_HEADER_BIASED => Readout::HeaderBiasedMean { header_weight: self.f64()? },
+            _ => return None,
+        })
+    }
+}
+
+/// Deserialize a payload back into an encoding. `None` on any structural
+/// problem (short buffer, bad tag, trailing garbage) — the caller treats
+/// that as a miss and re-encodes.
+pub fn decode_payload(payload: &[u8]) -> Option<ModelEncoding> {
+    let mut c = Cursor { buf: payload, pos: 0 };
+    let rows = c.u32()? as usize;
+    let cols = c.u32()? as usize;
+    let n = rows.checked_mul(cols)?;
+    // Refuse to allocate more than the buffer could possibly hold.
+    if n.checked_mul(8)? > payload.len() {
+        return None;
+    }
+    let mut data = Vec::with_capacity(n);
+    for _ in 0..n {
+        data.push(c.f64()?);
+    }
+    let embeddings = Matrix::from_vec(rows, cols, data);
+    let n_prov = c.u32()? as usize;
+    if n_prov.checked_mul(9)? > payload.len() {
+        return None;
+    }
+    let mut provenance = Vec::with_capacity(n_prov);
+    for _ in 0..n_prov {
+        let row = c.u32()?;
+        let col = c.u32()?;
+        let special = match c.u8()? {
+            0 => false,
+            1 => true,
+            _ => return None,
+        };
+        provenance.push(TokenProvenance { row, col, special });
+    }
+    let table_cls = c.opt_idx()?;
+    let n_cols_cls = c.u32()? as usize;
+    if n_cols_cls.checked_mul(8)? > payload.len() {
+        return None;
+    }
+    let mut column_cls = Vec::with_capacity(n_cols_cls);
+    for _ in 0..n_cols_cls {
+        column_cls.push(c.opt_idx()?);
+    }
+    let rows_encoded = usize::try_from(c.u64()?).ok()?;
+    let cols_encoded = usize::try_from(c.u64()?).ok()?;
+    let column_readout = c.readout()?;
+    let table_readout = c.readout()?;
+    let caps = c.u8()?;
+    if caps & !0x1F != 0 || c.pos != payload.len() {
+        return None;
+    }
+    Some(ModelEncoding {
+        embeddings,
+        provenance,
+        table_cls,
+        column_cls,
+        rows_encoded,
+        cols_encoded,
+        column_readout,
+        table_readout,
+        capabilities: Capabilities {
+            table: caps & 1 != 0,
+            column: caps & 2 != 0,
+            row: caps & 4 != 0,
+            cell: caps & 8 != 0,
+            entity: caps & 16 != 0,
+        },
+    })
+}
+
+/// Append one framed record (`fp`, `len`, `crc`, payload) to `out`.
+pub fn frame_record(out: &mut Vec<u8>, fp: u128, payload: &[u8]) {
+    out.extend_from_slice(&fp.to_le_bytes());
+    put_u32(out, payload.len() as u32);
+    put_u32(out, crc32(payload));
+    out.extend_from_slice(payload);
+}
+
+/// Parse the record frame starting at `buf[pos..]`. Returns
+/// `(fp, payload, next_pos)` with the payload CRC **verified**, or `None`
+/// when the frame is incomplete or corrupt (torn tail).
+pub fn parse_record(buf: &[u8], pos: usize) -> Option<(u128, &[u8], usize)> {
+    let header = buf.get(pos..pos + FRAME_HEADER)?;
+    let fp = u128::from_le_bytes(header[..16].try_into().ok()?);
+    let len = u32::from_le_bytes(header[16..20].try_into().ok()?) as usize;
+    let crc = u32::from_le_bytes(header[20..24].try_into().ok()?);
+    let start = pos + FRAME_HEADER;
+    let payload = buf.get(start..start.checked_add(len)?)?;
+    if crc32(payload) != crc {
+        return None;
+    }
+    Some((fp, payload, start + len))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ModelEncoding {
+        ModelEncoding {
+            embeddings: Matrix::from_rows(&[
+                vec![1.5, -0.0, f64::NAN],
+                vec![f64::INFINITY, f64::NEG_INFINITY, 2.0e-308],
+            ]),
+            provenance: vec![
+                TokenProvenance { row: 0, col: 0, special: true },
+                TokenProvenance { row: 1, col: 2, special: false },
+            ],
+            table_cls: Some(0),
+            column_cls: vec![None, Some(1), None],
+            rows_encoded: 1,
+            cols_encoded: 3,
+            column_readout: Readout::HeaderBiasedMean { header_weight: 0.7 },
+            table_readout: Readout::Cls,
+            capabilities: Capabilities::all(),
+        }
+    }
+
+    fn bits(m: &Matrix) -> Vec<u64> {
+        m.as_slice().iter().map(|v| v.to_bits()).collect()
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard IEEE check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn payload_roundtrip_is_bitwise() {
+        let enc = sample();
+        let payload = encode_payload(&enc);
+        let back = decode_payload(&payload).expect("decodes");
+        // PartialEq on f64 fails NaN == NaN; compare raw bits instead.
+        assert_eq!(bits(&enc.embeddings), bits(&back.embeddings));
+        assert_eq!(enc.provenance, back.provenance);
+        assert_eq!(enc.table_cls, back.table_cls);
+        assert_eq!(enc.column_cls, back.column_cls);
+        assert_eq!(enc.rows_encoded, back.rows_encoded);
+        assert_eq!(enc.cols_encoded, back.cols_encoded);
+        assert_eq!(enc.column_readout, back.column_readout);
+        assert_eq!(enc.table_readout, back.table_readout);
+        assert_eq!(enc.capabilities, back.capabilities);
+    }
+
+    #[test]
+    fn frame_roundtrip_and_crc_rejects_flip() {
+        let payload = encode_payload(&sample());
+        let mut buf = Vec::new();
+        frame_record(&mut buf, 0xDEAD_BEEF, &payload);
+        let (fp, body, next) = parse_record(&buf, 0).expect("parses");
+        assert_eq!(fp, 0xDEAD_BEEF);
+        assert_eq!(body, &payload[..]);
+        assert_eq!(next, buf.len());
+        // Flip one payload byte: the CRC must catch it.
+        let mut bad = buf.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x40;
+        assert!(parse_record(&bad, 0).is_none(), "corrupt payload must not parse");
+        // Truncated frame (torn tail) must not parse either.
+        assert!(parse_record(&buf[..buf.len() - 1], 0).is_none());
+        assert!(parse_record(&buf[..FRAME_HEADER - 1], 0).is_none());
+    }
+
+    #[test]
+    fn decode_rejects_structural_garbage() {
+        assert!(decode_payload(&[]).is_none());
+        assert!(decode_payload(&[0xFF; 7]).is_none());
+        // Absurd row count: the dims-vs-length guard must refuse before
+        // allocating.
+        let mut huge = Vec::new();
+        put_u32(&mut huge, u32::MAX);
+        put_u32(&mut huge, u32::MAX);
+        assert!(decode_payload(&huge).is_none());
+        // Valid payload with trailing garbage is rejected (exact-length).
+        let mut tail = encode_payload(&sample());
+        tail.push(0);
+        assert!(decode_payload(&tail).is_none());
+    }
+}

@@ -1,0 +1,36 @@
+//! Persistent tier-2 embedding store (the mmap adapter).
+//!
+//! Observatory's runtime keeps a 16-shard in-memory LRU of encodings
+//! (tier 1); this crate adds the durable tier underneath it, behind the
+//! [`EmbeddingStore`] port the runtime defines — hexagonal layering: the
+//! engine knows only the trait, this crate owns files, mmap, and fsync.
+//!
+//! The design is a deliberately small LSM:
+//!
+//! - **WAL** ([`wal`]): every write is one framed, CRC'd append — the
+//!   acknowledgement point. Survives `kill -9` once `write(2)` returns;
+//!   `flush` (= fsync) upgrades that to machine-crash durability.
+//! - **Memtable**: the WAL's records mirrored in memory for O(1) reads.
+//! - **Segments** ([`segment`]): immutable, memory-mapped files produced
+//!   by rotating the memtable in the background; fixed header,
+//!   fingerprint index block, per-record CRC, atomic tmp → rename
+//!   creation.
+//! - **Compaction** ([`store`]): newest-wins merge of all segments into
+//!   one when their count crosses a threshold, verified in parallel on
+//!   the worker pool.
+//! - **Recovery**: replay `wal-frozen.log` then `wal.log`, truncate torn
+//!   tails, quarantine unreadable segments, rebuild corrupt segment
+//!   indices by scanning the inline record frames.
+//!
+//! Everything is content-addressed by the runtime's 128-bit table
+//! fingerprint, so "same model, same table bytes" is the identity — a
+//! warm restart serves bit-identical embeddings without re-encoding.
+
+pub mod format;
+pub mod mmap;
+pub mod segment;
+pub mod store;
+pub mod wal;
+
+pub use observatory_runtime::{EmbeddingStore, StoreTierStats};
+pub use store::{open_and_attach, MmapStore, StoreConfig};

@@ -1,0 +1,149 @@
+//! Read-only file mapping without a libc crate.
+//!
+//! The workspace admits no external dependencies, so on Unix `mmap(2)` /
+//! `munmap(2)` are declared directly against the libc that `std` links
+//! anyway (the same pattern the serve crate uses for `signal(2)`). On
+//! non-Unix targets, and for empty files, the "mapping" is simply the
+//! file read into an owned buffer — same API, no page-cache sharing.
+
+use std::fs::File;
+use std::io;
+use std::ops::Deref;
+
+/// A read-only view of a whole file: mmap-backed on Unix, owned bytes
+/// elsewhere.
+pub enum FileMap {
+    /// Owned fallback (non-Unix, or empty files — `mmap` rejects len 0).
+    Owned(Vec<u8>),
+    /// A live `mmap(2)` mapping, unmapped on drop.
+    #[cfg(unix)]
+    Mapped(imp::Mapping),
+}
+
+impl FileMap {
+    /// Map `file` (its current full length) read-only.
+    pub fn of(file: &File) -> io::Result<FileMap> {
+        let len = file.metadata()?.len();
+        let len = usize::try_from(len)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "file too large to map"))?;
+        if len == 0 {
+            return Ok(FileMap::Owned(Vec::new()));
+        }
+        #[cfg(unix)]
+        {
+            imp::map(file, len).map(FileMap::Mapped)
+        }
+        #[cfg(not(unix))]
+        {
+            use std::io::Read;
+            let mut buf = Vec::with_capacity(len);
+            let mut f = file.try_clone()?;
+            f.read_to_end(&mut buf)?;
+            Ok(FileMap::Owned(buf))
+        }
+    }
+}
+
+impl Deref for FileMap {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        match self {
+            FileMap::Owned(v) => v,
+            #[cfg(unix)]
+            FileMap::Mapped(m) => m.as_slice(),
+        }
+    }
+}
+
+#[cfg(unix)]
+pub(crate) mod imp {
+    use std::fs::File;
+    use std::io;
+    use std::os::unix::io::AsRawFd;
+
+    const PROT_READ: i32 = 1;
+    const MAP_PRIVATE: i32 = 2;
+
+    extern "C" {
+        /// `mmap(2)` / `munmap(2)` from the platform libc std links anyway.
+        fn mmap(
+            addr: *mut std::ffi::c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut std::ffi::c_void;
+        fn munmap(addr: *mut std::ffi::c_void, len: usize) -> i32;
+    }
+
+    /// An owned mapping; `munmap` on drop.
+    pub struct Mapping {
+        ptr: *const u8,
+        len: usize,
+    }
+
+    // The mapping is read-only (PROT_READ) and private: sharing the
+    // pointer across threads is safe, mutation is impossible through it.
+    unsafe impl Send for Mapping {}
+    unsafe impl Sync for Mapping {}
+
+    impl Mapping {
+        pub fn as_slice(&self) -> &[u8] {
+            // Safety: ptr..ptr+len is a live PROT_READ mapping owned by
+            // self; unmapped only on drop.
+            unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+        }
+    }
+
+    impl Drop for Mapping {
+        fn drop(&mut self) {
+            // Safety: exactly the (addr, len) pair mmap returned.
+            unsafe {
+                munmap(self.ptr as *mut std::ffi::c_void, self.len);
+            }
+        }
+    }
+
+    pub(crate) fn map(file: &File, len: usize) -> io::Result<Mapping> {
+        // Safety: fd is valid for the duration of the call; the kernel
+        // keeps the mapping alive after the fd closes.
+        let ptr =
+            unsafe { mmap(std::ptr::null_mut(), len, PROT_READ, MAP_PRIVATE, file.as_raw_fd(), 0) };
+        if ptr as isize == -1 || ptr.is_null() {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Mapping { ptr: ptr as *const u8, len })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    #[test]
+    fn maps_file_contents() {
+        let dir = std::env::temp_dir().join(format!("obs-mmap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("data.bin");
+        let payload: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        std::fs::File::create(&path).unwrap().write_all(&payload).unwrap();
+        let map = FileMap::of(&File::open(&path).unwrap()).unwrap();
+        assert_eq!(&*map, &payload[..]);
+        drop(map);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_file_maps_to_empty_slice() {
+        let dir = std::env::temp_dir().join(format!("obs-mmap0-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("empty.bin");
+        std::fs::File::create(&path).unwrap();
+        let map = FileMap::of(&File::open(&path).unwrap()).unwrap();
+        assert!(map.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,372 @@
+//! Immutable, memory-mapped columnar segment files.
+//!
+//! A segment is the durable resting place of rotated memtables and the
+//! output of compaction. Layout:
+//!
+//! ```text
+//! ┌──────────────────────────────────────────────────────────────┐
+//! │ header (40 B): magic "OBSEG001" · version u32 · dtype u32    │
+//! │                dim u32 (0 = mixed) · reserved u32            │
+//! │                count u64 · index_offset u64                  │
+//! ├──────────────────────────────────────────────────────────────┤
+//! │ records: count × [fp u128][len u32][crc u32][payload]        │
+//! ├──────────────────────────────────────────────────────────────┤
+//! │ index: count × [fp u128][offset u64][len u32][crc u32]       │
+//! │ index_crc u32 (over the index block)                         │
+//! └──────────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! All integers little-endian. Records carry their fingerprint inline so
+//! a segment whose index block is corrupt degrades to a sequential scan
+//! instead of losing data. Lookups verify the payload CRC before
+//! returning bytes — a failed check reads as "absent" and the engine
+//! re-encodes (self-healing).
+//!
+//! Creation is crash-safe: the file is assembled as `<name>.tmp`,
+//! fsynced, renamed into place, and the directory fsynced — a crash at
+//! any point leaves either no segment or a complete one, never a torn
+//! one (torn `.tmp` leftovers are swept at open).
+
+use crate::format::{crc32, parse_record, FRAME_HEADER};
+use crate::mmap::FileMap;
+use std::collections::HashMap;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+const MAGIC: &[u8; 8] = b"OBSEG001";
+const VERSION: u32 = 1;
+/// Payload dtype tag: 1 = f64 (`to_bits` little-endian).
+const DTYPE_F64: u32 = 1;
+const HEADER_LEN: usize = 40;
+/// Index entry: fp (16) + offset (8) + len (4) + crc (4).
+const INDEX_ENTRY: usize = 32;
+
+/// Filename for segment `id` (fixed width so lexicographic = numeric).
+pub fn segment_file_name(id: u64) -> String {
+    format!("seg-{id:06}.seg")
+}
+
+/// Parse a segment id back out of a file name produced by
+/// [`segment_file_name`].
+pub fn parse_segment_id(name: &str) -> Option<u64> {
+    name.strip_prefix("seg-")?.strip_suffix(".seg")?.parse().ok()
+}
+
+/// Location of one record inside the mapped file.
+#[derive(Clone, Copy)]
+struct Slot {
+    offset: u64,
+    len: u32,
+    crc: u32,
+}
+
+/// An open (mapped) immutable segment.
+pub struct Segment {
+    map: FileMap,
+    index: HashMap<u128, Slot>,
+    /// Fingerprints in file order, for deterministic iteration.
+    order: Vec<u128>,
+    id: u64,
+    path: PathBuf,
+    /// True when the on-disk index block was unusable and the index was
+    /// rebuilt by scanning records.
+    pub recovered_by_scan: bool,
+}
+
+impl Segment {
+    /// Write `records` as segment `id` in `dir` (durably) and open it.
+    /// Caller guarantees fingerprints are unique.
+    pub fn create(dir: &Path, id: u64, records: &[(u128, &[u8])]) -> io::Result<Segment> {
+        let final_path = dir.join(segment_file_name(id));
+        let tmp_path = dir.join(format!("{}.tmp", segment_file_name(id)));
+
+        // dim header field: the shared embedding width when every payload
+        // agrees (payload bytes 4..8 are the cols field), else 0 = mixed.
+        let mut dim: u32 = 0;
+        for (i, (_, payload)) in records.iter().enumerate() {
+            let d = payload.get(4..8).and_then(|b| b.try_into().ok()).map_or(0, u32::from_le_bytes);
+            if i == 0 {
+                dim = d;
+            } else if d != dim {
+                dim = 0;
+                break;
+            }
+        }
+
+        let mut body = Vec::new();
+        let mut index = Vec::with_capacity(records.len() * INDEX_ENTRY);
+        for &(fp, payload) in records {
+            let offset = (HEADER_LEN + body.len() + FRAME_HEADER) as u64;
+            crate::format::frame_record(&mut body, fp, payload);
+            index.extend_from_slice(&fp.to_le_bytes());
+            index.extend_from_slice(&offset.to_le_bytes());
+            index.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            index.extend_from_slice(&crc32(payload).to_le_bytes());
+        }
+        let index_offset = (HEADER_LEN + body.len()) as u64;
+
+        let mut header = Vec::with_capacity(HEADER_LEN);
+        header.extend_from_slice(MAGIC);
+        header.extend_from_slice(&VERSION.to_le_bytes());
+        header.extend_from_slice(&DTYPE_F64.to_le_bytes());
+        header.extend_from_slice(&dim.to_le_bytes());
+        header.extend_from_slice(&0u32.to_le_bytes()); // reserved
+        header.extend_from_slice(&(records.len() as u64).to_le_bytes());
+        header.extend_from_slice(&index_offset.to_le_bytes());
+
+        {
+            let mut f =
+                OpenOptions::new().create(true).write(true).truncate(true).open(&tmp_path)?;
+            f.write_all(&header)?;
+            f.write_all(&body)?;
+            f.write_all(&index)?;
+            f.write_all(&crc32(&index).to_le_bytes())?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp_path, &final_path)?;
+        File::open(dir)?.sync_all()?; // durable directory entry
+        Segment::open(&final_path)
+    }
+
+    /// Map and parse the segment at `path`. A corrupt index block is
+    /// survivable (sequential scan rebuild); a corrupt header is not.
+    pub fn open(path: &Path) -> io::Result<Segment> {
+        let id = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .and_then(parse_segment_id)
+            .ok_or_else(|| bad_data("not a segment file name"))?;
+        let map = FileMap::of(&File::open(path)?)?;
+        if map.len() < HEADER_LEN || &map[..8] != MAGIC {
+            return Err(bad_data("bad segment magic"));
+        }
+        let u32_at = |o: usize| u32::from_le_bytes(map[o..o + 4].try_into().unwrap());
+        let u64_at = |o: usize| u64::from_le_bytes(map[o..o + 8].try_into().unwrap());
+        if u32_at(8) != VERSION {
+            return Err(bad_data("unsupported segment version"));
+        }
+        if u32_at(12) != DTYPE_F64 {
+            return Err(bad_data("unsupported segment dtype"));
+        }
+        let count = u64_at(24) as usize;
+        let index_offset = u64_at(32) as usize;
+
+        // Try the index block first.
+        let mut index = HashMap::with_capacity(count);
+        let mut order = Vec::with_capacity(count);
+        let index_len = count.checked_mul(INDEX_ENTRY);
+        let index_ok = (|| {
+            let index_len = index_len?;
+            let end = index_offset.checked_add(index_len)?;
+            let block = map.get(index_offset..end)?;
+            let stored_crc = u32::from_le_bytes(map.get(end..end + 4)?.try_into().ok()?);
+            if crc32(block) != stored_crc {
+                return None;
+            }
+            for entry in block.chunks_exact(INDEX_ENTRY) {
+                let fp = u128::from_le_bytes(entry[..16].try_into().ok()?);
+                let offset = u64::from_le_bytes(entry[16..24].try_into().ok()?);
+                let len = u32::from_le_bytes(entry[24..28].try_into().ok()?);
+                let crc = u32::from_le_bytes(entry[28..32].try_into().ok()?);
+                // Offsets must stay inside the record region.
+                let end = (offset as usize).checked_add(len as usize)?;
+                if end > index_offset {
+                    return None;
+                }
+                index.insert(fp, Slot { offset, len, crc });
+                order.push(fp);
+            }
+            Some(())
+        })()
+        .is_some();
+
+        let mut recovered_by_scan = false;
+        if !index_ok {
+            // Fallback: rebuild from the inline record frames. Stops at
+            // the first unparsable frame; everything before it survives.
+            index.clear();
+            order.clear();
+            recovered_by_scan = true;
+            let mut pos = HEADER_LEN;
+            let limit = if index_offset >= HEADER_LEN && index_offset <= map.len() {
+                index_offset
+            } else {
+                map.len()
+            };
+            while pos + FRAME_HEADER <= limit {
+                match parse_record(&map, pos) {
+                    Some((fp, payload, next)) if next <= limit => {
+                        let slot = Slot {
+                            offset: (pos + FRAME_HEADER) as u64,
+                            len: payload.len() as u32,
+                            crc: crc32(payload),
+                        };
+                        if index.insert(fp, slot).is_none() {
+                            order.push(fp);
+                        }
+                        pos = next;
+                    }
+                    _ => break,
+                }
+            }
+        }
+        Ok(Segment { map, index, order, id, path: path.to_path_buf(), recovered_by_scan })
+    }
+
+    /// Verified payload bytes for `fp`, or `None` (absent or corrupt).
+    pub fn get(&self, fp: u128) -> Option<&[u8]> {
+        let slot = self.index.get(&fp)?;
+        let start = slot.offset as usize;
+        let payload = self.map.get(start..start + slot.len as usize)?;
+        if crc32(payload) != slot.crc {
+            return None;
+        }
+        Some(payload)
+    }
+
+    /// Whether `fp` is indexed (without verifying its payload).
+    pub fn contains(&self, fp: u128) -> bool {
+        self.index.contains_key(&fp)
+    }
+
+    /// Iterate `(fp, verified payload)` in file order, silently skipping
+    /// records that fail their CRC.
+    pub fn iter(&self) -> impl Iterator<Item = (u128, &[u8])> {
+        self.order.iter().filter_map(move |&fp| Some((fp, self.get(fp)?)))
+    }
+
+    /// Fingerprints indexed in this segment, in file order.
+    pub fn fingerprints(&self) -> &[u128] {
+        &self.order
+    }
+
+    /// Records indexed.
+    pub fn count(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Segment id (from the file name).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Mapped file size in bytes.
+    pub fn file_bytes(&self) -> u64 {
+        self.map.len() as u64
+    }
+
+    /// Path of the backing file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+fn bad_data(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("obs-seg-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample_records() -> Vec<(u128, Vec<u8>)> {
+        (0..20u128).map(|i| (i * 7 + 1, vec![i as u8; 50 + i as usize])).collect()
+    }
+
+    #[test]
+    fn create_open_get_roundtrip() {
+        let dir = tmp_dir("rt");
+        let records = sample_records();
+        let refs: Vec<(u128, &[u8])> = records.iter().map(|(f, p)| (*f, p.as_slice())).collect();
+        let seg = Segment::create(&dir, 3, &refs).unwrap();
+        assert_eq!(seg.id(), 3);
+        assert_eq!(seg.count(), records.len());
+        assert!(!seg.recovered_by_scan);
+        for (fp, payload) in &records {
+            assert_eq!(seg.get(*fp), Some(payload.as_slice()));
+        }
+        assert_eq!(seg.get(999_999), None);
+        assert!(!dir.join("seg-000003.seg.tmp").exists(), "tmp renamed away");
+        // Reopen from disk.
+        let again = Segment::open(&dir.join(segment_file_name(3))).unwrap();
+        assert_eq!(again.count(), records.len());
+        assert_eq!(again.iter().count(), records.len());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_index_falls_back_to_scan() {
+        let dir = tmp_dir("scan");
+        let records = sample_records();
+        let refs: Vec<(u128, &[u8])> = records.iter().map(|(f, p)| (*f, p.as_slice())).collect();
+        let seg = Segment::create(&dir, 1, &refs).unwrap();
+        let path = seg.path().to_path_buf();
+        drop(seg);
+        // Flip a byte in the index block (after index_offset).
+        let mut bytes = std::fs::read(&path).unwrap();
+        let index_offset = u64::from_le_bytes(bytes[32..40].try_into().unwrap()) as usize;
+        bytes[index_offset + 5] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let seg = Segment::open(&path).unwrap();
+        assert!(seg.recovered_by_scan, "must detect the bad index crc");
+        assert_eq!(seg.count(), records.len(), "scan recovers every record");
+        for (fp, payload) in &records {
+            assert_eq!(seg.get(*fp), Some(payload.as_slice()));
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_payload_reads_as_absent() {
+        let dir = tmp_dir("heal");
+        let records = sample_records();
+        let refs: Vec<(u128, &[u8])> = records.iter().map(|(f, p)| (*f, p.as_slice())).collect();
+        let seg = Segment::create(&dir, 2, &refs).unwrap();
+        let path = seg.path().to_path_buf();
+        drop(seg);
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip one byte inside the first record's payload.
+        bytes[HEADER_LEN + FRAME_HEADER + 3] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        let seg = Segment::open(&path).unwrap();
+        assert_eq!(seg.get(records[0].0), None, "corrupt payload must not be served");
+        assert!(seg.get(records[1].0).is_some(), "other records unaffected");
+        assert_eq!(seg.iter().count(), records.len() - 1, "iter skips the corrupt record");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bad_magic_is_an_error() {
+        let dir = tmp_dir("magic");
+        let path = dir.join(segment_file_name(9));
+        std::fs::write(&path, b"not a segment at all....").unwrap();
+        assert!(Segment::open(&path).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn file_name_roundtrip() {
+        assert_eq!(segment_file_name(7), "seg-000007.seg");
+        assert_eq!(parse_segment_id("seg-000007.seg"), Some(7));
+        assert_eq!(parse_segment_id("seg-1234567.seg"), Some(1_234_567));
+        assert_eq!(parse_segment_id("wal.log"), None);
+        assert_eq!(parse_segment_id("seg-xyz.seg"), None);
+    }
+
+    #[test]
+    fn empty_segment_is_valid() {
+        let dir = tmp_dir("empty");
+        let seg = Segment::create(&dir, 0, &[]).unwrap();
+        assert_eq!(seg.count(), 0);
+        assert_eq!(seg.get(1), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

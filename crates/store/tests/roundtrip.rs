@@ -1,0 +1,175 @@
+//! Property tests for the record codec: serialize → deserialize must be
+//! a bitwise identity for every representable encoding — including NaN
+//! and ±inf payloads (compared by bits, since NaN != NaN) and the 8-lane
+//! SIMD tail sizes (dims 1..=9 around the lane width) — and framing must
+//! reject any single-byte corruption and any truncation.
+
+use observatory_linalg::Matrix;
+use observatory_models::{Capabilities, ModelEncoding, Readout, TokenProvenance};
+use observatory_store::format::{
+    crc32, decode_payload, encode_payload, frame_record, parse_record,
+};
+use proptest::prelude::*;
+
+/// f64s spanning the full bit-pattern space: ordinary values, signed
+/// zeros, subnormals, infinities, and NaNs with arbitrary payload bits.
+fn any_f64_bits() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        any::<f64>(),
+        Just(f64::NAN),
+        Just(-f64::NAN),
+        Just(f64::INFINITY),
+        Just(f64::NEG_INFINITY),
+        Just(-0.0),
+        Just(f64::MIN_POSITIVE / 2.0), // subnormal
+        any::<u64>().prop_map(f64::from_bits),
+    ]
+}
+
+fn any_opt_idx() -> impl Strategy<Value = Option<usize>> {
+    prop_oneof![Just(None), (0usize..1024).prop_map(Some)]
+}
+
+fn any_readout() -> impl Strategy<Value = Readout> {
+    prop_oneof![
+        Just(Readout::MeanPool),
+        Just(Readout::Cls),
+        Just(Readout::HeaderMean),
+        (0.0f64..1.0).prop_map(|header_weight| Readout::HeaderBiasedMean { header_weight }),
+    ]
+}
+
+fn any_u128() -> impl Strategy<Value = u128> {
+    (any::<u64>(), any::<u64>()).prop_map(|(hi, lo)| ((hi as u128) << 64) | lo as u128)
+}
+
+fn any_encoding() -> impl Strategy<Value = ModelEncoding> {
+    // Dims straddle the 8-lane SIMD width: 1..=9 covers a full lane plus
+    // every tail remainder the kernel tests exercise.
+    (1usize..6, 1usize..=9)
+        .prop_flat_map(|(rows, cols)| {
+            (
+                Just((rows, cols)),
+                proptest::collection::vec(any_f64_bits(), rows * cols),
+                proptest::collection::vec((any::<u32>(), any::<u32>(), any::<bool>()), rows),
+                (any_opt_idx(), proptest::collection::vec(any_opt_idx(), 0..5)),
+                (0usize..100, 0usize..100, any_readout(), any_readout()),
+                (any::<bool>(), any::<bool>(), any::<bool>(), any::<bool>(), any::<bool>()),
+            )
+        })
+        .prop_map(|((rows, cols), data, prov, (table_cls, column_cls), meta, caps)| {
+            let (rows_encoded, cols_encoded, column_readout, table_readout) = meta;
+            ModelEncoding {
+                embeddings: Matrix::from_vec(rows, cols, data),
+                provenance: prov
+                    .into_iter()
+                    .map(|(row, col, special)| TokenProvenance { row, col, special })
+                    .collect(),
+                table_cls,
+                column_cls,
+                rows_encoded,
+                cols_encoded,
+                column_readout,
+                table_readout,
+                capabilities: Capabilities {
+                    table: caps.0,
+                    column: caps.1,
+                    row: caps.2,
+                    cell: caps.3,
+                    entity: caps.4,
+                },
+            }
+        })
+}
+
+fn matrix_bits(m: &Matrix) -> Vec<u64> {
+    m.as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+/// Readout equality by bits (HeaderBiasedMean carries an f64 weight).
+fn readout_bits(r: Readout) -> (u8, u64) {
+    match r {
+        Readout::MeanPool => (0, 0),
+        Readout::Cls => (1, 0),
+        Readout::HeaderMean => (2, 0),
+        Readout::HeaderBiasedMean { header_weight } => (3, header_weight.to_bits()),
+    }
+}
+
+proptest! {
+    #[test]
+    fn payload_roundtrip_is_bitwise_identity(enc in any_encoding()) {
+        let payload = encode_payload(&enc);
+        let back = decode_payload(&payload).expect("well-formed payload decodes");
+        prop_assert_eq!(matrix_bits(&enc.embeddings), matrix_bits(&back.embeddings));
+        prop_assert_eq!(enc.embeddings.rows(), back.embeddings.rows());
+        prop_assert_eq!(enc.embeddings.cols(), back.embeddings.cols());
+        prop_assert_eq!(enc.provenance, back.provenance);
+        prop_assert_eq!(enc.table_cls, back.table_cls);
+        prop_assert_eq!(enc.column_cls, back.column_cls);
+        prop_assert_eq!(enc.rows_encoded, back.rows_encoded);
+        prop_assert_eq!(enc.cols_encoded, back.cols_encoded);
+        prop_assert_eq!(readout_bits(enc.column_readout), readout_bits(back.column_readout));
+        prop_assert_eq!(readout_bits(enc.table_readout), readout_bits(back.table_readout));
+        prop_assert_eq!(enc.capabilities, back.capabilities);
+        // Re-encoding the decoded value reproduces the exact bytes: the
+        // codec is canonical, so record CRCs stay stable across rewrite
+        // cycles (WAL replay → rotation → compaction).
+        prop_assert_eq!(payload, encode_payload(&back));
+    }
+
+    #[test]
+    fn frame_roundtrip_any_fingerprint(fp in any_u128(), enc in any_encoding()) {
+        let payload = encode_payload(&enc);
+        let mut buf = Vec::new();
+        frame_record(&mut buf, fp, &payload);
+        let (got_fp, got_payload, next) = parse_record(&buf, 0).expect("frame parses");
+        prop_assert_eq!(got_fp, fp);
+        prop_assert_eq!(got_payload, &payload[..]);
+        prop_assert_eq!(next, buf.len());
+    }
+
+    #[test]
+    fn single_byte_payload_corruption_is_detected(
+        enc in any_encoding(),
+        pick in any::<u64>(),
+        flip in 1u8..=255,
+    ) {
+        let payload = encode_payload(&enc);
+        let mut buf = Vec::new();
+        frame_record(&mut buf, 42, &payload);
+        let header = 16 + 4 + 4;
+        // Corrupt one payload byte (the header's fp/len fields are
+        // covered by structural checks, not the payload CRC).
+        let idx = header + (pick as usize) % payload.len();
+        buf[idx] ^= flip;
+        prop_assert!(
+            parse_record(&buf, 0).is_none(),
+            "flipped byte {} must fail the CRC", idx
+        );
+    }
+
+    #[test]
+    fn truncation_is_detected(enc in any_encoding(), cut in any::<u64>()) {
+        let payload = encode_payload(&enc);
+        let mut buf = Vec::new();
+        frame_record(&mut buf, 7, &payload);
+        let keep = (cut as usize) % buf.len(); // strictly shorter
+        prop_assert!(parse_record(&buf[..keep], 0).is_none());
+        // Truncated *payloads* must fail decoding too, not just framing.
+        let keep_payload = (cut as usize) % payload.len();
+        prop_assert!(decode_payload(&payload[..keep_payload]).is_none());
+    }
+
+    #[test]
+    fn crc32_distinguishes_single_bit_flips(
+        data in proptest::collection::vec(any::<u8>(), 1..200),
+        pick in any::<u64>(),
+        flip in 1u8..=255,
+    ) {
+        let mut other = data.clone();
+        let idx = (pick as usize) % other.len();
+        other[idx] ^= flip;
+        prop_assert_ne!(crc32(&data), crc32(&other));
+    }
+}

@@ -22,6 +22,7 @@
 //! | [`search`] | `observatory-search` | overlap measures, kNN, join discovery |
 //! | [`serve`] | `observatory-serve` | embedding service: HTTP/1.1, micro-batching, admission control |
 //! | [`runtime`] | `observatory-runtime` | embedding engine: cache, worker pool, metrics |
+//! | [`store`] | `observatory-store` | persistent tier-2 embedding store: mmap segments + WAL |
 //! | [`obs`] | `observatory-obs` | structured tracing: spans, collector, Chrome + Prometheus exporters |
 //! | [`core`] | `observatory-core` | the eight properties, runner, reports, downstream tasks |
 //!
@@ -51,6 +52,7 @@ pub use observatory_runtime as runtime;
 pub use observatory_search as search;
 pub use observatory_serve as serve;
 pub use observatory_stats as stats;
+pub use observatory_store as store;
 pub use observatory_table as table;
 pub use observatory_tokenizer as tokenizer;
 pub use observatory_transformer as transformer;

@@ -26,7 +26,7 @@ use observatory::data::wikitables::WikiTablesConfig;
 use observatory::fd::approx::discover_approximate_unary_fds;
 use observatory::models::registry::{model_by_name, specs, MODEL_NAMES};
 use observatory::obs;
-use observatory::runtime::EngineConfig;
+use observatory::runtime::{EmbeddingStore as _, EngineConfig};
 use observatory::table::csv::parse_csv;
 use observatory::table::Table;
 
@@ -60,6 +60,7 @@ fn print_usage() {
     println!("  observatory characterize --property <P1..P8> [--model <name>]");
     println!("                           [--csv <file>]... [--seed <n>] [--permutations <n>]");
     println!("                           [--jobs <n>]       encode worker threads (also OBSERVATORY_JOBS)");
+    println!("                           [--store-dir <dir>] persistent embedding store (reuses prior encodes)");
     println!("                           [--export <dir>]   write raw distributions as CSV");
     println!(
         "                           [--trace-out <file>]   Chrome trace-event JSON of the run"
@@ -71,6 +72,7 @@ fn print_usage() {
     println!("  observatory serve [--addr <host:port>]    resident embedding service (HTTP/1.1)");
     println!("                    [--jobs <n>] [--max-batch <n>] [--batch-delay-us <n>]");
     println!("                    [--queue-depth <n>] [--deadline-ms <n>]");
+    println!("                    [--store-dir <dir>]  persistent embedding store (warm restarts)");
     println!("                    [--trace-out <file>] [--metrics-out <file>]");
     println!();
     println!("Without --csv, characterize uses a built-in demo corpus. See DESIGN.md");
@@ -122,6 +124,41 @@ fn init_engine_from_flags(args: &[String]) -> Result<(), i32> {
                 Err(2)
             }
         },
+    }
+}
+
+/// Validate `--store-dir` without side effects. A trailing `--store-dir`
+/// with no value is a usage error — silently running without persistence
+/// would look correct while quietly re-encoding everything.
+fn store_dir_from_flags(args: &[String]) -> Result<Option<&str>, i32> {
+    match opt_value(args, "--store-dir") {
+        Some(dir) => Ok(Some(dir)),
+        None if args.last().is_some_and(|a| a == "--store-dir") => {
+            eprintln!("--store-dir requires a directory argument");
+            Err(2)
+        }
+        None => Ok(None),
+    }
+}
+
+/// Open the persistent tier-2 store and attach it to the global engine.
+/// Must run after `init_engine_from_flags` (the engine is first-wins) and
+/// before the first encode, or warm-start reads would be missed.
+fn attach_store(dir: &str) -> Result<(), i32> {
+    let engine = observatory::runtime::global();
+    match observatory::store::open_and_attach(std::path::Path::new(dir), &engine) {
+        Ok(store) => {
+            let t = store.tier_stats();
+            println!(
+                "store: {dir} ({} records, {} segments, generation {})",
+                t.records, t.segments, t.generation
+            );
+            Ok(())
+        }
+        Err(e) => {
+            eprintln!("cannot open store at {dir}: {e}");
+            Err(1)
+        }
     }
 }
 
@@ -215,11 +252,21 @@ fn cmd_characterize(args: &[String]) -> i32 {
             return 2;
         }
     };
+    let store_dir = match store_dir_from_flags(args) {
+        Ok(d) => d,
+        Err(code) => return code,
+    };
     // Engine init comes BEFORE anything that could touch the global
     // engine (corpus load, EvalContext construction): configuring after
     // first use would silently ignore --jobs (see configure_global).
     if let Err(code) = init_engine_from_flags(args) {
         return code;
+    }
+    // The store attaches right after: every encode below must see tier 2.
+    if let Some(dir) = store_dir {
+        if let Err(code) = attach_store(dir) {
+            return code;
+        }
     }
     let corpus = match load_corpus(args) {
         Ok(c) => c,
@@ -322,10 +369,21 @@ fn cmd_serve(args: &[String]) -> i32 {
         eprintln!("invalid value '{queue_depth}' for --queue-depth (expected an integer >= 1)");
         return 2;
     }
+    let store_dir = match store_dir_from_flags(args) {
+        Ok(d) => d,
+        Err(code) => return code,
+    };
     // The serving engine is the global one, so --jobs must be applied
     // before the first encode — i.e. before the server starts.
     if let Err(code) = init_engine_from_flags(args) {
         return code;
+    }
+    // Attach before bind: the serve manifest snapshots the store
+    // generation, and the first admitted request must already hit tier 2.
+    if let Some(dir) = store_dir {
+        if let Err(code) = attach_store(dir) {
+            return code;
+        }
     }
     let trace_out = opt_value(args, "--trace-out").map(str::to_owned);
     let metrics_out = opt_value(args, "--metrics-out").map(str::to_owned);
@@ -393,6 +451,9 @@ fn cmd_serve(args: &[String]) -> i32 {
             .set("batches", stats.totals.batches.to_string())
             .set("wall_ms", stats.uptime.as_millis().to_string())
             .set("simd", observatory::linalg::simd::decision().describe());
+        if let (Some(dir), Some(store)) = (store_dir, engine.store()) {
+            manifest.set("store_dir", dir).set("store_generation", store.generation().to_string());
+        }
         if let Err(e) = write_observability(&engine, &manifest, trace_out, metrics_out) {
             eprintln!("{e}");
             return 1;
@@ -426,6 +487,9 @@ fn run_manifest(
         .set("cache_capacity_bytes", ctx.engine.cache_stats().capacity.to_string())
         .set("simd", observatory::linalg::simd::decision().describe())
         .set("wall_ms", started.elapsed().as_millis().to_string());
+    if let (Some(dir), Some(store)) = (opt_value(args, "--store-dir"), ctx.engine.store()) {
+        manifest.set("store_dir", dir).set("store_generation", store.generation().to_string());
+    }
     manifest
 }
 
@@ -471,6 +535,19 @@ fn print_runtime_footer(engine: &observatory::runtime::Engine) {
         cache.capacity as f64 / (1 << 20) as f64,
         cache.evictions,
     );
+    // Tier-2 persistence, when attached: render() above already printed
+    // hit/miss counters; this line is the on-disk inventory.
+    if let Some(store) = engine.store() {
+        let t = store.tier_stats();
+        println!(
+            "store: {} records, {} segments ({:.1} MiB) + {:.1} KiB WAL, generation {}",
+            t.records,
+            t.segments,
+            t.segment_bytes as f64 / (1 << 20) as f64,
+            t.wal_bytes as f64 / 1024.0,
+            t.generation,
+        );
+    }
     let kernels = observatory::linalg::kernels::stats::snapshot();
     if kernels.total_calls() > 0 {
         println!("kernels: {}", kernels.render());
@@ -604,6 +681,28 @@ mod tests {
         assert_eq!(cmd_mine_fds(&args(&["--max-error", "lots"])), 2);
         assert_eq!(cmd_mine_fds(&args(&["--max-error", "2.0"])), 2, "out of [0,1] range");
         assert_eq!(cmd_mine_fds(&args(&["--seed", "x"])), 2);
+    }
+
+    #[test]
+    fn store_dir_without_value_is_exit_2() {
+        // A trailing --store-dir must be a usage error on both commands,
+        // not a silent run without persistence.
+        assert_eq!(cmd_characterize(&args(&["--property", "P1", "--store-dir"])), 2);
+        assert_eq!(cmd_serve(&args(&["--store-dir"])), 2);
+        let a = args(&["--store-dir", "somewhere", "--seed", "1"]);
+        assert_eq!(store_dir_from_flags(&a), Ok(Some("somewhere")));
+        assert_eq!(store_dir_from_flags(&args(&["--seed", "1"])), Ok(None));
+    }
+
+    #[test]
+    fn unopenable_store_dir_is_exit_1() {
+        // The store root collides with a regular file: an I/O error (1),
+        // distinct from usage (2). Checked via attach_store directly so
+        // the failure never attaches anything to the global engine.
+        let path = std::env::temp_dir().join(format!("obs-store-clash-{}", std::process::id()));
+        std::fs::write(&path, b"not a directory").unwrap();
+        assert_eq!(attach_store(path.to_str().unwrap()), Err(1));
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -1,0 +1,147 @@
+//! Crash-safety test for the persistent embedding store, against the
+//! real binary: `kill -9` a serving process mid-write-stream, reopen the
+//! store directory, and require that **every acknowledged record** is
+//! readable, checksum-verified, and bit-identical to a reference encode.
+//!
+//! The acknowledgement contract under test: the server answers 200 only
+//! after the record's WAL `write(2)` has returned, so a SIGKILL at any
+//! instant may lose at most the in-flight (unacked) tail — never an
+//! acked one. Two kill cycles run back-to-back so the second recovery
+//! starts from an already-recovered directory (WAL rewrite + rotated
+//! segments), and a tiny `OBSERVATORY_STORE_ROTATE_BYTES` forces the
+//! full rotation protocol (frozen WAL → segment → retire) to be in
+//! flight when the process dies.
+
+#![cfg(unix)]
+
+use observatory::models::registry::model_by_name;
+use observatory::runtime::{fingerprint_table, EmbeddingStore, Engine, EngineConfig};
+use observatory::serve::api;
+use observatory::store::{MmapStore, StoreConfig};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+fn embed_body(round: usize, tag: usize) -> String {
+    format!(
+        r#"{{"model":"bert","level":"column","id":"r{round}-t{tag}",
+            "table":{{"name":"crash-r{round}-t{tag}","columns":[
+              {{"header":"id","values":[{},{},{}]}},
+              {{"header":"name","values":["a-{tag}","b-{tag}","c-{tag}"]}}]}}}}"#,
+        tag * 3 + 1,
+        tag * 3 + 2,
+        tag * 3 + 3,
+    )
+}
+
+fn spawn_serve(store_dir: &std::path::Path) -> (Child, String) {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_observatory"));
+    cmd.arg("serve")
+        .args(["--addr", "127.0.0.1:0"])
+        .args(["--store-dir", store_dir.to_str().unwrap()])
+        // ~3 records per rotation: the kill lands with segments and a
+        // frozen WAL in play, not just an append-only log.
+        .env("OBSERVATORY_STORE_ROTATE_BYTES", "16384");
+    cmd.stdout(Stdio::piped()).stderr(Stdio::piped());
+    let mut child = cmd.spawn().expect("spawn serve");
+    let stdout = child.stdout.take().expect("stdout piped");
+    let mut reader = BufReader::new(stdout);
+    // The banner line with the resolved address follows the store line.
+    let addr = loop {
+        let mut line = String::new();
+        assert!(reader.read_line(&mut line).expect("read banner") > 0, "no banner before EOF");
+        if let Some(rest) = line.split("http://").nth(1) {
+            break rest.split_whitespace().next().expect("address in banner").to_string();
+        }
+    };
+    std::thread::spawn(move || {
+        let mut sink = String::new();
+        let _ = reader.into_inner().read_to_string(&mut sink);
+    });
+    (child, addr)
+}
+
+/// One embed over a fresh connection. `Ok(true)` = acked (200).
+fn post_embed(addr: &str, body: &str) -> std::io::Result<bool> {
+    let mut s = std::net::TcpStream::connect(addr)?;
+    s.set_read_timeout(Some(Duration::from_secs(10)))?;
+    s.write_all(
+        format!(
+            "POST /v1/embed HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .as_bytes(),
+    )?;
+    let mut buf = String::new();
+    s.read_to_string(&mut buf)?;
+    Ok(buf.split_whitespace().nth(1) == Some("200"))
+}
+
+#[test]
+fn kill_nine_mid_write_loses_no_acked_record() {
+    let dir = std::env::temp_dir().join(format!("obs-store-kill9-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Two crash cycles: the second opens (and rewrites) a directory the
+    // first already left mid-flight.
+    let mut acked: Vec<(usize, usize)> = Vec::new();
+    for round in 0..2usize {
+        let (mut child, addr) = spawn_serve(&dir);
+        let pid = child.id().to_string();
+        // The assassin fires while the write stream below is running.
+        let killer = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(400));
+            let _ = Command::new("kill").args(["-9", &pid]).status();
+        });
+        for tag in 0..10_000usize {
+            match post_embed(&addr, &embed_body(round, tag)) {
+                Ok(true) => acked.push((round, tag)),
+                // Non-200 (e.g. shed during drain) — not acked, keep going.
+                Ok(false) => {}
+                // Connection refused/reset: the process is dead.
+                Err(_) => break,
+            }
+        }
+        killer.join().unwrap();
+        let status = child.wait().expect("reap killed server");
+        assert!(!status.success(), "SIGKILL must not look like a clean exit");
+    }
+    assert!(
+        acked.len() >= 10,
+        "test needs a meaningful acked stream before the kill, got {}",
+        acked.len()
+    );
+
+    // Recovery: reopening the crashed directory must succeed, and every
+    // acked record must decode, CRC-clean and bit-identical to a serial
+    // uncached reference encode of the same table.
+    let store = MmapStore::open(StoreConfig::new(dir.clone())).expect("recover crashed store");
+    let stats = store.tier_stats();
+    assert!(
+        stats.records as usize >= acked.len(),
+        "recovered {} records < {} acked",
+        stats.records,
+        acked.len()
+    );
+    let reference = Engine::new(EngineConfig::serial_uncached());
+    let model = model_by_name("bert").unwrap();
+    for &(round, tag) in &acked {
+        let req = api::parse_embed(&embed_body(round, tag)).unwrap();
+        let fp = fingerprint_table(model.name(), &req.table);
+        let got = store
+            .load(fp)
+            .unwrap_or_else(|| panic!("acked record r{round}-t{tag} lost by kill -9"));
+        let want = reference.encode_table(model.as_ref(), &req.table);
+        let bits = |m: &observatory::linalg::Matrix| {
+            m.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        };
+        assert_eq!(
+            bits(&got.embeddings),
+            bits(&want.embeddings),
+            "r{round}-t{tag} corrupted across crash recovery"
+        );
+    }
+    assert_eq!(store.tier_stats().read_errors, 0, "no CRC failures while reading acked records");
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
+}
