@@ -1,0 +1,267 @@
+//! `validate_flight` — CI gate for the request-tracing / flight-recorder
+//! / profiler surface of `observatory serve`.
+//!
+//! ```text
+//! validate_flight <path-to-observatory-binary>
+//! ```
+//!
+//! Spawns the real binary with a zero deadline (so every embed expires
+//! deterministically) and `OBSERVATORY_FLIGHT_DIR` pointing at a scratch
+//! directory, then checks the whole observability loop end to end:
+//!
+//! 1. a client-supplied `x-request-id` comes back on the 408, with an
+//!    `x-stage-us` breakdown naming all five tiers;
+//! 2. the induced deadline violation makes the flight recorder dump a
+//!    `flight-deadline-*.json` that parses as a Chrome trace and carries
+//!    an `expired` event with that exact request id and all five stage
+//!    timing keys;
+//! 3. `GET /debug/flight` serves the same window on demand;
+//! 4. `GET /debug/profile` serves parseable folded stacks and
+//!    `/debug/profile/top` a self-time table (profiler enabled via
+//!    `--profile-out`);
+//! 5. SIGTERM drains cleanly (exit 0) and the folded profile lands at
+//!    the `--profile-out` path.
+//!
+//! Exit code 0 on success; 1 with a diagnostic on the first failure.
+
+use observatory_bench::httpc;
+use observatory_obs::json::{parse, Json};
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const TIMEOUT: Duration = Duration::from_secs(30);
+const RID: &str = "flight-proof-1";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(bin) = args.first() else {
+        eprintln!("usage: validate_flight <path-to-observatory-binary>");
+        std::process::exit(2);
+    };
+    let scratch =
+        std::env::temp_dir().join(format!("observatory-flight-gate-{}", std::process::id()));
+    if let Err(e) = std::fs::create_dir_all(&scratch) {
+        eprintln!("validate_flight: cannot create {}: {e}", scratch.display());
+        std::process::exit(1);
+    }
+    let result = run(bin, &scratch);
+    let _ = std::fs::remove_dir_all(&scratch);
+    if let Err(e) = result {
+        eprintln!("validate_flight: {e}");
+        std::process::exit(1);
+    }
+    println!("validate_flight: ok");
+}
+
+fn embed_body() -> String {
+    r#"{"model":"bert","level":"column","id":"fl-1",
+      "table":{"name":"flight","columns":[
+        {"header":"id","values":[1,2,3]},
+        {"header":"name","values":["a","b","c"]}]}}"#
+        .to_string()
+}
+
+fn run(bin: &str, scratch: &Path) -> Result<(), String> {
+    let profile_out = scratch.join("profile.folded");
+    let (mut child, addr) = spawn_serve(bin, scratch, &profile_out)?;
+    let result = drive(addr, scratch);
+    let shutdown = stop(&mut child);
+    result?;
+    shutdown?;
+    if !profile_out.is_file() {
+        return Err(format!("--profile-out was not written to {}", profile_out.display()));
+    }
+    println!("profile-out: ok ({})", profile_out.display());
+    Ok(())
+}
+
+fn drive(addr: SocketAddr, scratch: &Path) -> Result<(), String> {
+    httpc::await_healthy(addr, Duration::from_secs(30))?;
+
+    // 1. Induce the deadline violation; the 408 must still carry the
+    // request identity and the measured queue time.
+    let r = httpc::request_with_headers(
+        addr,
+        "POST",
+        "/v1/embed",
+        &[("x-request-id", RID)],
+        &embed_body(),
+        TIMEOUT,
+    )?;
+    if r.status != 408 {
+        return Err(format!("zero deadline answered {} (wanted 408): {}", r.status, r.body));
+    }
+    if r.header("x-request-id") != Some(RID) {
+        return Err(format!("408 did not echo the request id: {}", r.head));
+    }
+    let stages =
+        r.header("x-stage-us").ok_or_else(|| format!("408 missing x-stage-us: {}", r.head))?;
+    for tier in ["queue=", "batch_wait=", "encode=", "store=", "write="] {
+        if !stages.contains(tier) {
+            return Err(format!("x-stage-us missing '{tier}': {stages}"));
+        }
+    }
+    println!("deadline 408: ok (id echoed, stages: {stages})");
+
+    // 2. The anomaly dump: a flight-deadline-*.json carrying the slow
+    // request's id with all five stage timings.
+    let dump = await_dump(scratch, "flight-deadline-")?;
+    let text =
+        std::fs::read_to_string(&dump).map_err(|e| format!("read {}: {e}", dump.display()))?;
+    check_flight_doc(&text, true).map_err(|e| format!("{}: {e}", dump.display()))?;
+    println!("flight dump: ok ({})", dump.display());
+
+    // 3. The same window on demand.
+    let r = httpc::get(addr, "/debug/flight", TIMEOUT)?;
+    if r.status != 200 {
+        return Err(format!("/debug/flight answered {}", r.status));
+    }
+    check_flight_doc(&r.body, true).map_err(|e| format!("/debug/flight: {e}"))?;
+    println!("/debug/flight: ok");
+
+    // 4. Profiler surface: folded stacks parse line by line, and the
+    // top table answers. Spin a few cache-hit embeds first so the
+    // sampler has live spans to catch, then poll briefly — sampling is
+    // statistical.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let folded = loop {
+        let _ = httpc::post(addr, "/v1/embed", &embed_body(), TIMEOUT);
+        let r = httpc::get(addr, "/debug/profile", TIMEOUT)?;
+        if r.status != 200 {
+            return Err(format!("/debug/profile answered {}: {}", r.status, r.body));
+        }
+        if !r.body.trim().is_empty() || Instant::now() >= deadline {
+            break r.body;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    for line in folded.lines().filter(|l| !l.trim().is_empty()) {
+        let (stack, count) =
+            line.rsplit_once(' ').ok_or_else(|| format!("bad folded line '{line}'"))?;
+        count.parse::<u64>().map_err(|_| format!("bad folded count in '{line}'"))?;
+        if stack.is_empty() {
+            return Err(format!("empty stack in folded line '{line}'"));
+        }
+    }
+    let r = httpc::get(addr, "/debug/profile/top", TIMEOUT)?;
+    if r.status != 200 {
+        return Err(format!("/debug/profile/top answered {}", r.status));
+    }
+    println!("/debug/profile: ok ({} folded lines)", folded.lines().count());
+    Ok(())
+}
+
+/// Parse a flight document and check the expired event for `RID` with
+/// all five stage keys as numbers.
+fn check_flight_doc(text: &str, want_expired: bool) -> Result<(), String> {
+    let doc = parse(text).map_err(|e| format!("not valid JSON: {e}"))?;
+    let events = doc.get("traceEvents").and_then(Json::as_array).ok_or("no traceEvents array")?;
+    if !want_expired {
+        return Ok(());
+    }
+    let expired = events
+        .iter()
+        .find(|e| {
+            e.get("name").and_then(Json::as_str) == Some("expired")
+                && e.get("args").and_then(|a| a.get("request_id")).and_then(Json::as_str)
+                    == Some(RID)
+        })
+        .ok_or(format!("no expired event for request id '{RID}'"))?;
+    let args = expired.get("args").ok_or("expired event has no args")?;
+    for key in observatory_obs::STAGE_NAMES {
+        if args.get(key).and_then(Json::as_f64).is_none() {
+            return Err(format!("expired event missing stage '{key}'"));
+        }
+    }
+    Ok(())
+}
+
+/// Poll the scratch dir for the first dump file with the given prefix.
+fn await_dump(dir: &Path, prefix: &str) -> Result<PathBuf, String> {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let found = std::fs::read_dir(dir)
+            .map_err(|e| format!("read_dir {}: {e}", dir.display()))?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .find(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with(prefix) && n.ends_with(".json"))
+            });
+        if let Some(p) = found {
+            return Ok(p);
+        }
+        if Instant::now() >= deadline {
+            return Err(format!("no {prefix}*.json appeared in {}", dir.display()));
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+/// Spawn `observatory serve` with a zero deadline, flight dumps into
+/// `scratch` and the profiler on; scrape the banner for the ephemeral
+/// address.
+fn spawn_serve(
+    bin: &str,
+    scratch: &Path,
+    profile_out: &Path,
+) -> Result<(Child, SocketAddr), String> {
+    use std::io::{BufRead, BufReader};
+    let mut child = Command::new(bin)
+        .args(["serve", "--addr", "127.0.0.1:0", "--deadline-ms", "0"])
+        .arg("--profile-out")
+        .arg(profile_out)
+        .args(["--profile-interval-ms", "5"])
+        .env(observatory_obs::FLIGHT_DIR_ENV, scratch)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .map_err(|e| format!("spawn {bin}: {e}"))?;
+    let stdout = child.stdout.take().ok_or("stdout not piped")?;
+    let mut reader = BufReader::new(stdout);
+    let mut line = String::new();
+    reader.read_line(&mut line).map_err(|e| format!("read banner: {e}"))?;
+    let addr_raw = line
+        .split("http://")
+        .nth(1)
+        .and_then(|rest| rest.split_whitespace().next())
+        .ok_or_else(|| format!("no address in banner: {line:?}"))?
+        .to_string();
+    // Keep draining stdout so the child never blocks on a full pipe.
+    std::thread::spawn(move || {
+        let mut sink = String::new();
+        let _ = std::io::Read::read_to_string(&mut reader, &mut sink);
+    });
+    let addr = httpc::resolve(&addr_raw)?;
+    Ok((child, addr))
+}
+
+/// SIGTERM the server and require a clean drain (exit 0).
+fn stop(child: &mut Child) -> Result<(), String> {
+    let term = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .map_err(|e| format!("kill: {e}"))?;
+    if !term.success() {
+        let _ = child.kill();
+        return Err("kill -TERM failed".into());
+    }
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if let Some(status) = child.try_wait().map_err(|e| format!("try_wait: {e}"))? {
+            if status.code() != Some(0) {
+                return Err(format!("server exited {status:?} (wanted 0)"));
+            }
+            println!("drain: ok (exit 0)");
+            return Ok(());
+        }
+        if Instant::now() >= deadline {
+            let _ = child.kill();
+            return Err("server did not exit within 30s of SIGTERM".into());
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}

@@ -39,6 +39,18 @@ pub fn request(
     body: &str,
     timeout: Duration,
 ) -> Result<Response, String> {
+    request_with_headers(addr, method, path, &[], body, timeout)
+}
+
+/// Like [`request`], with extra request headers (e.g. `x-request-id`).
+pub fn request_with_headers(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: &str,
+    timeout: Duration,
+) -> Result<Response, String> {
     let mut stream =
         TcpStream::connect_timeout(&addr, timeout).map_err(|e| format!("connect {addr}: {e}"))?;
     // One-shot request/response: disable Nagle so the request is not
@@ -46,8 +58,9 @@ pub fn request(
     stream.set_nodelay(true).map_err(|e| e.to_string())?;
     stream.set_read_timeout(Some(timeout)).map_err(|e| e.to_string())?;
     stream.set_write_timeout(Some(timeout)).map_err(|e| e.to_string())?;
+    let extra: String = headers.iter().map(|(k, v)| format!("{k}: {v}\r\n")).collect();
     let raw = format!(
-        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\n{extra}Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
         body.len(),
     );
     stream.write_all(raw.as_bytes()).map_err(|e| format!("write {addr}{path}: {e}"))?;

@@ -16,7 +16,7 @@ use std::time::Instant;
 /// poison a stripe and silently discard every later record on it — the
 /// protected state is a trace buffer, so keeping the partially written
 /// vector is always safe.
-fn lock_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+pub(crate) fn lock_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
     mutex.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
@@ -146,7 +146,12 @@ pub(crate) struct Collector {
     span_cap: usize,
     event_cap: usize,
     epoch: Instant,
+    /// Drops since the last drain (reported in [`Trace::dropped`], reset
+    /// by [`drain`]).
     dropped: AtomicU64,
+    /// Cumulative drops over the process lifetime — never reset, so a
+    /// live `/metrics` scrape can export it without draining the trace.
+    dropped_total: AtomicU64,
 }
 
 impl Collector {
@@ -157,6 +162,7 @@ impl Collector {
             event_cap: DEFAULT_EVENT_CAP / N_STRIPES,
             epoch: Instant::now(),
             dropped: AtomicU64::new(0),
+            dropped_total: AtomicU64::new(0),
         }
     }
 
@@ -173,6 +179,7 @@ impl Collector {
         if spans.len() >= self.span_cap {
             drop(spans);
             self.dropped.fetch_add(1, Ordering::Relaxed);
+            self.dropped_total.fetch_add(1, Ordering::Relaxed);
             return;
         }
         spans.push(record);
@@ -183,6 +190,7 @@ impl Collector {
         if events.len() >= self.event_cap {
             drop(events);
             self.dropped.fetch_add(1, Ordering::Relaxed);
+            self.dropped_total.fetch_add(1, Ordering::Relaxed);
             return;
         }
         events.push(record);
@@ -211,6 +219,14 @@ pub(crate) fn collector() -> &'static Collector {
 /// time). Dropped-record count is reset.
 pub fn drain() -> Trace {
     collector().drain()
+}
+
+/// Cumulative count of records discarded because a stripe was full, over
+/// the whole process lifetime. Unlike [`Trace::dropped`] this is never
+/// reset, so exporters (`observatory_obs_dropped_total`) can read it
+/// repeatedly without draining the trace.
+pub fn dropped_total() -> u64 {
+    collector().dropped_total.load(Ordering::Relaxed)
 }
 
 #[cfg(test)]
@@ -300,6 +316,7 @@ mod tests {
             event_cap: 1,
             epoch: Instant::now(),
             dropped: AtomicU64::new(0),
+            dropped_total: AtomicU64::new(0),
         };
         for i in 0..5 {
             c.push_span(rec(i, None, i, 1)); // all tid 0 → one stripe
@@ -307,7 +324,8 @@ mod tests {
         let t = c.drain();
         assert_eq!(t.spans.len(), 2);
         assert_eq!(t.dropped, 3);
-        // Drain resets the counter.
+        // Drain resets the per-drain counter but not the cumulative one.
         assert_eq!(c.drain().dropped, 0);
+        assert_eq!(c.dropped_total.load(Ordering::Relaxed), 3);
     }
 }

@@ -1,0 +1,431 @@
+//! Always-on flight recorder: a lock-striped, fixed-capacity ring of
+//! compact serving anomaly events.
+//!
+//! Unlike the span [`crate::collector`] — which is level-gated and
+//! drained wholesale at the end of a run — the flight recorder is
+//! *always on*: every admission, shed, expiry, completion, panic, and
+//! quarantine pushes one fixed-size [`FlightEvent`] (no allocation, one
+//! striped mutex) into a ring that overwrites its oldest entries. When
+//! an anomaly fires, [`dump`] writes the last [`DUMP_WINDOW`] of events
+//! as a Chrome-trace JSON into `OBSERVATORY_FLIGHT_DIR`, so the process
+//! keeps a black-box record of what it was doing right before things
+//! went wrong. `GET /debug/flight` renders the same window on demand.
+//!
+//! Events are compact by construction: the request id is truncated into
+//! an inline [`SmallId`] buffer (no heap), and per-stage timings ride
+//! in a fixed `[u64; 5]` keyed by [`STAGE_NAMES`].
+
+use crate::collector::{collector, lock_recover, N_STRIPES};
+use crate::json::escape;
+use crate::span::thread_id;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Environment variable naming the directory anomaly dumps are written
+/// to. When unset, [`dump`] is a no-op — the ring still records.
+pub const FLIGHT_DIR_ENV: &str = "OBSERVATORY_FLIGHT_DIR";
+
+/// Total event capacity of the global ring, across stripes.
+pub const DEFAULT_FLIGHT_CAP: usize = 1 << 14;
+
+/// How far back an anomaly dump reaches.
+pub const DUMP_WINDOW: Duration = Duration::from_secs(30);
+
+/// Minimum spacing between consecutive anomaly dumps: a shed storm must
+/// not turn into a disk-write storm. The first dump always fires.
+pub const DUMP_MIN_INTERVAL: Duration = Duration::from_secs(1);
+
+/// Stage-timing slot names, in `[u64; 5]` order: time spent queued for
+/// admission, waiting for the batch to fill, encoding, resolving the
+/// tier-2 store read, and writing through to the store.
+pub const STAGE_NAMES: [&str; 5] =
+    ["queue_us", "batch_wait_us", "encode_us", "store_us", "write_us"];
+
+/// What happened. One per recorded event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlightKind {
+    /// Request accepted into the admission queue (`a` = queue depth).
+    Admit,
+    /// Request shed (`a` = HTTP status, 429 or 503).
+    Shed,
+    /// Server entered drain.
+    Drain,
+    /// Deadline expired before encode; answered 408.
+    Expired,
+    /// Request completed (`a` = HTTP status).
+    Done,
+    /// Encode panic caught by `catch_unwind`.
+    Panic,
+    /// Store segment quarantined during recovery.
+    Quarantine,
+}
+
+impl FlightKind {
+    /// Stable lowercase name, used as the Chrome event name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FlightKind::Admit => "admit",
+            FlightKind::Shed => "shed",
+            FlightKind::Drain => "drain",
+            FlightKind::Expired => "expired",
+            FlightKind::Done => "done",
+            FlightKind::Panic => "panic",
+            FlightKind::Quarantine => "quarantine",
+        }
+    }
+}
+
+/// Inline, fixed-capacity request-id buffer. Keeps [`FlightEvent`]
+/// `Copy` and allocation-free; ids longer than the buffer are truncated
+/// (ids are validated to ≤128 bytes upstream, and the first bytes are
+/// what correlates a dump with a log line).
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct SmallId {
+    len: u8,
+    buf: [u8; Self::CAP],
+}
+
+impl SmallId {
+    /// Inline capacity in bytes.
+    pub const CAP: usize = 47;
+
+    /// Copy (and truncate, on a UTF-8 boundary) `s` into an inline id.
+    pub fn new(s: &str) -> Self {
+        let mut end = s.len().min(Self::CAP);
+        while end > 0 && !s.is_char_boundary(end) {
+            end -= 1;
+        }
+        let mut buf = [0u8; Self::CAP];
+        buf[..end].copy_from_slice(&s.as_bytes()[..end]);
+        SmallId { len: end as u8, buf }
+    }
+
+    /// The stored id.
+    pub fn as_str(&self) -> &str {
+        // Construction only ever copies on a char boundary.
+        std::str::from_utf8(&self.buf[..self.len as usize]).unwrap_or("")
+    }
+}
+
+impl std::fmt::Debug for SmallId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SmallId({:?})", self.as_str())
+    }
+}
+
+/// One recorded moment. Fixed size, `Copy`, no heap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlightEvent {
+    /// Nanoseconds since the collector epoch (same clock as spans, so a
+    /// flight dump and a span trace line up in one timeline).
+    pub ts_ns: u64,
+    /// Dense per-process thread id.
+    pub tid: u64,
+    /// What happened.
+    pub kind: FlightKind,
+    /// The request this event belongs to (empty for process-level
+    /// events like [`FlightKind::Drain`]).
+    pub rid: SmallId,
+    /// Per-stage timings in [`STAGE_NAMES`] order; zero when unknown.
+    pub stages: [u64; 5],
+    /// Kind-specific detail (queue depth, HTTP status, …).
+    pub a: u64,
+}
+
+/// Fixed-capacity overwrite-oldest buffer.
+struct Ring {
+    buf: Vec<FlightEvent>,
+    cap: usize,
+    /// Next overwrite position once `buf.len() == cap`.
+    head: usize,
+}
+
+impl Ring {
+    fn new(cap: usize) -> Self {
+        Ring { buf: Vec::with_capacity(cap), cap, head: 0 }
+    }
+
+    fn push(&mut self, e: FlightEvent) {
+        if self.buf.len() < self.cap {
+            self.buf.push(e);
+        } else {
+            self.buf[self.head] = e;
+            self.head = (self.head + 1) % self.cap;
+        }
+    }
+}
+
+/// A flight recorder instance. Production code uses the process-global
+/// one via [`record`]/[`render`]/[`dump`]; tests build small instances
+/// with [`Flight::with_capacity`] to exercise wraparound.
+pub struct Flight {
+    stripes: Vec<Mutex<Ring>>,
+    seq: AtomicU64,
+    last_dump: Mutex<Option<Instant>>,
+}
+
+impl Flight {
+    /// A recorder holding at most `total` events (split across
+    /// [`N_STRIPES`] stripes, at least one slot each).
+    pub fn with_capacity(total: usize) -> Self {
+        let per = (total / N_STRIPES).max(1);
+        Flight {
+            stripes: (0..N_STRIPES).map(|_| Mutex::new(Ring::new(per))).collect(),
+            seq: AtomicU64::new(0),
+            last_dump: Mutex::new(None),
+        }
+    }
+
+    /// Record one event. Always on — no level gate; the cost is one
+    /// striped lock and a fixed-size copy.
+    pub fn record(&self, kind: FlightKind, rid: &str, stages: [u64; 5], a: u64) {
+        let tid = thread_id();
+        let ts_ns =
+            u64::try_from(Instant::now().saturating_duration_since(collector().epoch()).as_nanos())
+                .unwrap_or(u64::MAX);
+        let event = FlightEvent { ts_ns, tid, kind, rid: SmallId::new(rid), stages, a };
+        lock_recover(&self.stripes[(tid as usize) % N_STRIPES]).push(event);
+    }
+
+    /// Copy out the retained events — all of them, or only those within
+    /// the trailing `window` — sorted by timestamp. The ring is not
+    /// cleared: the recorder keeps flying.
+    pub fn snapshot(&self, window: Option<Duration>) -> Vec<FlightEvent> {
+        let cutoff = window.map(|w| {
+            let now = u64::try_from(collector().epoch().elapsed().as_nanos()).unwrap_or(u64::MAX);
+            now.saturating_sub(u64::try_from(w.as_nanos()).unwrap_or(u64::MAX))
+        });
+        let mut events = Vec::new();
+        for stripe in &self.stripes {
+            let ring = lock_recover(stripe);
+            match cutoff {
+                Some(c) => events.extend(ring.buf.iter().filter(|e| e.ts_ns >= c)),
+                None => events.extend(ring.buf.iter().copied()),
+            }
+        }
+        events.sort_by_key(|e| (e.ts_ns, e.tid));
+        events
+    }
+
+    /// Render the trailing `window` (or everything) as a Chrome
+    /// trace-event JSON document of instant events.
+    pub fn render(&self, window: Option<Duration>, reason: &str) -> String {
+        render_chrome(&self.snapshot(window), reason)
+    }
+
+    /// Write the trailing [`DUMP_WINDOW`] to
+    /// `$OBSERVATORY_FLIGHT_DIR/flight-{reason}-{seq}.json`. No-op when
+    /// the variable is unset; rate-limited to one dump per
+    /// [`DUMP_MIN_INTERVAL`] (the first always fires). Returns the
+    /// written path, or `None` when skipped or on I/O failure (an
+    /// anomaly dump must never take the serving path down with it).
+    pub fn dump(&self, reason: &str) -> Option<PathBuf> {
+        let dir = std::env::var_os(FLIGHT_DIR_ENV)?;
+        {
+            let mut last = lock_recover(&self.last_dump);
+            if let Some(t) = *last {
+                if t.elapsed() < DUMP_MIN_INTERVAL {
+                    return None;
+                }
+            }
+            *last = Some(Instant::now());
+        }
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let text = self.render(Some(DUMP_WINDOW), reason);
+        let dir = PathBuf::from(dir);
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            eprintln!("flight: cannot create {}: {e}", dir.display());
+            return None;
+        }
+        let path = dir.join(format!("flight-{reason}-{seq}.json"));
+        match std::fs::write(&path, text) {
+            Ok(()) => Some(path),
+            Err(e) => {
+                eprintln!("flight: cannot write {}: {e}", path.display());
+                None
+            }
+        }
+    }
+}
+
+/// Render flight events as a Chrome trace-event JSON document: one
+/// `"ph": "i"` instant per event, with the request id and the five
+/// stage timings in `args`, plus thread-name metadata — the same shape
+/// [`crate::chrome_trace`] emits, so the file loads in `chrome://tracing`
+/// and Perfetto next to a span trace.
+pub fn render_chrome(events: &[FlightEvent], reason: &str) -> String {
+    let mut out = String::with_capacity(256 + 200 * events.len());
+    let _ = write!(
+        out,
+        "{{\n\"displayTimeUnit\": \"ms\",\n\"otherData\": {{\"recorder\": \"flight\", \
+         \"reason\": \"{}\", \"events\": \"{}\"}},\n\"traceEvents\": [\n",
+        escape(reason),
+        events.len()
+    );
+
+    let mut first = true;
+    push_meta(&mut out, &mut first, "process_name", 0, "observatory");
+    let mut tids: Vec<u64> = events.iter().map(|e| e.tid).collect();
+    tids.sort_unstable();
+    tids.dedup();
+    for tid in tids {
+        push_meta(&mut out, &mut first, "thread_name", tid, &format!("thread-{tid}"));
+    }
+
+    for e in events {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "{{\"ph\": \"i\", \"s\": \"t\", \"name\": \"{}\", \"cat\": \"flight\", \
+             \"pid\": 1, \"tid\": {}, \"ts\": {:.3}, \"args\": {{\"request_id\": \"{}\"",
+            e.kind.name(),
+            e.tid,
+            e.ts_ns as f64 / 1_000.0,
+            escape(e.rid.as_str()),
+        );
+        for (name, value) in STAGE_NAMES.iter().zip(e.stages) {
+            let _ = write!(out, ", \"{name}\": {value}");
+        }
+        let _ = write!(out, ", \"a\": {}}}}}", e.a);
+    }
+
+    out.push_str("\n]\n}\n");
+    out
+}
+
+fn push_meta(out: &mut String, first: &mut bool, name: &str, tid: u64, value: &str) {
+    if !*first {
+        out.push_str(",\n");
+    }
+    *first = false;
+    let _ = write!(
+        out,
+        "{{\"ph\": \"M\", \"name\": \"{name}\", \"pid\": 1, \"tid\": {tid}, \
+         \"args\": {{\"name\": \"{}\"}}}}",
+        escape(value)
+    );
+}
+
+static FLIGHT: OnceLock<Flight> = OnceLock::new();
+
+/// The process-global recorder.
+pub fn flight() -> &'static Flight {
+    FLIGHT.get_or_init(|| Flight::with_capacity(DEFAULT_FLIGHT_CAP))
+}
+
+/// Record one event into the global recorder. See [`Flight::record`].
+pub fn record(kind: FlightKind, rid: &str, stages: [u64; 5], a: u64) {
+    flight().record(kind, rid, stages, a);
+}
+
+/// Render the global recorder's trailing `window` as Chrome-trace JSON.
+pub fn render(window: Option<Duration>, reason: &str) -> String {
+    flight().render(window, reason)
+}
+
+/// Dump the global recorder to `$OBSERVATORY_FLIGHT_DIR`. See
+/// [`Flight::dump`].
+pub fn dump(reason: &str) -> Option<PathBuf> {
+    flight().dump(reason)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn ev(flight: &Flight, rid: &str, a: u64) {
+        flight.record(FlightKind::Done, rid, [1, 2, 3, 4, 5], a);
+    }
+
+    #[test]
+    fn small_id_truncates_on_char_boundary() {
+        assert_eq!(SmallId::new("abc").as_str(), "abc");
+        assert_eq!(SmallId::new("").as_str(), "");
+        let long = "x".repeat(200);
+        assert_eq!(SmallId::new(&long).as_str().len(), SmallId::CAP);
+        // Multi-byte char straddling the cap is dropped whole, never torn.
+        let tricky = format!("{}é", "a".repeat(SmallId::CAP - 1));
+        let stored = SmallId::new(&tricky);
+        assert_eq!(stored.as_str(), &tricky[..SmallId::CAP - 1]);
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_per_stripe() {
+        // Single-threaded, so every push lands on this thread's stripe.
+        let f = Flight::with_capacity(N_STRIPES * 4); // 4 slots per stripe
+        for i in 0..10u64 {
+            ev(&f, &format!("r{i}"), i);
+        }
+        let got = f.snapshot(None);
+        assert_eq!(got.len(), 4, "ring keeps exactly its per-stripe capacity");
+        let kept: Vec<u64> = got.iter().map(|e| e.a).collect();
+        assert_eq!(kept, vec![6, 7, 8, 9], "oldest overwritten first, order preserved");
+        assert_eq!(got[0].rid.as_str(), "r6");
+    }
+
+    #[test]
+    fn snapshot_window_filters_old_events() {
+        let f = Flight::with_capacity(64);
+        ev(&f, "old", 1);
+        // An hour-long window sees it; a zero-length window does not.
+        assert_eq!(f.snapshot(Some(Duration::from_secs(3600))).len(), 1);
+        assert_eq!(f.snapshot(Some(Duration::ZERO)).len(), 0);
+        // Snapshot does not drain.
+        assert_eq!(f.snapshot(None).len(), 1);
+    }
+
+    #[test]
+    fn chrome_render_is_valid_json_with_stage_args() {
+        let f = Flight::with_capacity(64);
+        f.record(FlightKind::Expired, "req-slow-1", [10, 20, 30, 40, 50], 408);
+        let text = f.render(None, "test");
+        let doc = json::parse(&text).expect("flight export must parse");
+        assert_eq!(doc.get("otherData").unwrap().get("reason").unwrap().as_str(), Some("test"));
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        let instant = events
+            .iter()
+            .find(|e| e.get("ph").and_then(|p| p.as_str()) == Some("i"))
+            .expect("one instant event");
+        assert_eq!(instant.get("name").unwrap().as_str(), Some("expired"));
+        let args = instant.get("args").unwrap();
+        assert_eq!(args.get("request_id").unwrap().as_str(), Some("req-slow-1"));
+        for (name, want) in STAGE_NAMES.iter().zip([10.0, 20.0, 30.0, 40.0, 50.0]) {
+            assert_eq!(args.get(name).unwrap().as_f64(), Some(want), "stage {name}");
+        }
+        assert_eq!(args.get("a").unwrap().as_f64(), Some(408.0));
+    }
+
+    #[test]
+    fn dump_without_env_is_noop() {
+        // The test harness never sets OBSERVATORY_FLIGHT_DIR, so the
+        // global dump path must bail before touching the filesystem.
+        if std::env::var_os(FLIGHT_DIR_ENV).is_none() {
+            let f = Flight::with_capacity(8);
+            ev(&f, "r", 0);
+            assert_eq!(f.dump("test"), None);
+        }
+    }
+
+    #[test]
+    fn kind_names_are_stable() {
+        let kinds = [
+            (FlightKind::Admit, "admit"),
+            (FlightKind::Shed, "shed"),
+            (FlightKind::Drain, "drain"),
+            (FlightKind::Expired, "expired"),
+            (FlightKind::Done, "done"),
+            (FlightKind::Panic, "panic"),
+            (FlightKind::Quarantine, "quarantine"),
+        ];
+        for (k, name) in kinds {
+            assert_eq!(k.name(), name);
+        }
+    }
+}

@@ -22,6 +22,12 @@
 //!   blocks or reallocates past the cap; it increments a drop counter
 //!   that the exporters surface.
 //! - [`chrome`] — Chrome trace-event JSON (`chrome://tracing`, Perfetto).
+//! - [`flight`] — the always-on flight recorder: a lock-striped ring of
+//!   compact serving events, dumped as Chrome-trace JSON to
+//!   `OBSERVATORY_FLIGHT_DIR` when an anomaly fires.
+//! - [`profiler`] — the span-sampling profiler: a sampler thread folds
+//!   every registered thread's active-span stack into
+//!   flamegraph-compatible folded stacks plus a top-N self-time table.
 //! - [`prom`] — a Prometheus text-exposition builder + line validator.
 //! - [`manifest`] — the per-run provenance manifest (models, dataset,
 //!   seed, permutations, jobs, cache config, version, wall time) embedded
@@ -55,17 +61,21 @@
 
 pub mod chrome;
 pub mod collector;
+pub mod flight;
 pub mod json;
 pub mod level;
 pub mod manifest;
+pub mod profiler;
 pub mod prom;
 pub mod span;
 
 pub use chrome::chrome_trace;
-pub use collector::{drain, EventRecord, SpanRecord, Trace};
+pub use collector::{drain, dropped_total, EventRecord, SpanRecord, Trace};
+pub use flight::{FlightEvent, FlightKind, FLIGHT_DIR_ENV, STAGE_NAMES};
 pub use level::{
     current_level, enabled, init_from_env, raise_level, set_level, Level, LOG_ENV_VAR,
 };
 pub use manifest::Manifest;
+pub use profiler::ProfileReport;
 pub use prom::PromBuf;
 pub use span::{current_span_id, event, event_with, span, Span};

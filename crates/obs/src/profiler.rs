@@ -1,0 +1,436 @@
+//! Zero-dep span-sampling profiler.
+//!
+//! Instead of walking native stacks (which needs a symbolizer and
+//! unwinder), the profiler samples the *span* stacks obs already
+//! maintains: while running, every opened span pushes its interned
+//! `target::name` site onto a per-thread frame array, and a sampler
+//! thread periodically snapshots each registered thread's array into a
+//! [`Folder`] of folded span-path counts. The result exports as
+//! flamegraph-compatible folded stacks (`a;b;c 42` lines) plus a top-N
+//! self-time table — enough to find the hot span under live load with
+//! no dependencies and no signal handling.
+//!
+//! Cost model: when stopped, [`push_frame`] is one relaxed atomic load
+//! (the same budget as a filtered span site). When running, a span
+//! push/pop is a thread-local cache lookup plus two relaxed stores and
+//! a release store; the sampler wakes every `interval` and reads a few
+//! atomics per registered thread. Frame reads race with mutation by
+//! design — a torn sample attributes one tick to a neighboring span,
+//! which sampling statistics absorb.
+
+use crate::collector::lock_recover;
+use crate::level::{raise_level, Level};
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Deepest span nesting the sampler can see. Deeper spans still count
+/// frames (push/pop stay balanced) but are truncated in sampled paths.
+pub const MAX_DEPTH: usize = 32;
+
+/// Per-thread active-span frame array, readable from the sampler
+/// thread. `depth` is stored with `Release` after the frame write so an
+/// `Acquire` reader sees initialized frames up to the depth it loads.
+struct ThreadSlot {
+    alive: AtomicBool,
+    depth: AtomicUsize,
+    frames: [AtomicU32; MAX_DEPTH],
+}
+
+impl ThreadSlot {
+    fn new() -> Self {
+        ThreadSlot {
+            alive: AtomicBool::new(true),
+            depth: AtomicUsize::new(0),
+            frames: std::array::from_fn(|_| AtomicU32::new(0)),
+        }
+    }
+}
+
+/// Thread-local owner of a registered slot; thread exit marks the slot
+/// dead so the sampler prunes it.
+struct SlotHandle(Arc<ThreadSlot>);
+
+impl Drop for SlotHandle {
+    fn drop(&mut self) {
+        self.0.depth.store(0, Ordering::Release);
+        self.0.alive.store(false, Ordering::Release);
+    }
+}
+
+fn registry() -> &'static Mutex<Vec<Arc<ThreadSlot>>> {
+    static REGISTRY: OnceLock<Mutex<Vec<Arc<ThreadSlot>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+thread_local! {
+    static SLOT: SlotHandle = {
+        let slot = Arc::new(ThreadSlot::new());
+        lock_recover(registry()).push(Arc::clone(&slot));
+        SlotHandle(slot)
+    };
+    /// Per-thread intern cache keyed by the *addresses* of the two
+    /// `&'static str`s — the hot path never hashes string contents.
+    static SITE_CACHE: RefCell<HashMap<(usize, usize), u32>> = RefCell::new(HashMap::new());
+}
+
+/// Global site table: index → rendered `target::name`.
+struct Sites {
+    names: Vec<String>,
+    by_key: HashMap<(usize, usize), u32>,
+}
+
+fn sites() -> &'static Mutex<Sites> {
+    static SITES: OnceLock<Mutex<Sites>> = OnceLock::new();
+    SITES.get_or_init(|| Mutex::new(Sites { names: Vec::new(), by_key: HashMap::new() }))
+}
+
+fn intern(target: &'static str, name: &'static str) -> u32 {
+    let key = (target.as_ptr() as usize, name.as_ptr() as usize);
+    SITE_CACHE
+        .try_with(|cache| {
+            if let Some(&idx) = cache.borrow().get(&key) {
+                return idx;
+            }
+            let idx = intern_global(key, target, name);
+            cache.borrow_mut().insert(key, idx);
+            idx
+        })
+        .unwrap_or_else(|_| intern_global(key, target, name))
+}
+
+fn intern_global(key: (usize, usize), target: &str, name: &str) -> u32 {
+    let mut sites = lock_recover(sites());
+    if let Some(&idx) = sites.by_key.get(&key) {
+        return idx;
+    }
+    let idx = u32::try_from(sites.names.len()).unwrap_or(u32::MAX);
+    sites.names.push(format!("{target}::{name}"));
+    sites.by_key.insert(key, idx);
+    idx
+}
+
+/// Rendered `target::name` for an interned site index.
+fn site_name(idx: u32) -> String {
+    lock_recover(sites()).names.get(idx as usize).cloned().unwrap_or_else(|| "?".to_string())
+}
+
+/// True while a profiling session is running. Checked (one relaxed
+/// load) by every span open even when profiling is off.
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+static RUNNING: AtomicBool = AtomicBool::new(false);
+static SAMPLES: AtomicU64 = AtomicU64::new(0);
+static INTERVAL_US: AtomicU64 = AtomicU64::new(0);
+
+fn folder() -> &'static Mutex<Folder> {
+    static FOLDER: OnceLock<Mutex<Folder>> = OnceLock::new();
+    FOLDER.get_or_init(|| Mutex::new(Folder::default()))
+}
+
+fn sampler_handle() -> &'static Mutex<Option<JoinHandle<()>>> {
+    static HANDLE: OnceLock<Mutex<Option<JoinHandle<()>>>> = OnceLock::new();
+    HANDLE.get_or_init(|| Mutex::new(None))
+}
+
+/// Push this span's site onto the current thread's frame array.
+/// Returns whether a matching [`pop_frame`] is owed (i.e. profiling was
+/// active). Called by [`crate::span()`] on the enabled path.
+#[inline]
+pub fn push_frame(target: &'static str, name: &'static str) -> bool {
+    if !ACTIVE.load(Ordering::Relaxed) {
+        return false;
+    }
+    let site = intern(target, name);
+    SLOT.try_with(|h| {
+        let d = h.0.depth.load(Ordering::Relaxed);
+        if d < MAX_DEPTH {
+            h.0.frames[d].store(site, Ordering::Relaxed);
+        }
+        h.0.depth.store(d + 1, Ordering::Release);
+    })
+    .is_ok()
+}
+
+/// Pop the frame pushed by a [`push_frame`] that returned `true`.
+#[inline]
+pub fn pop_frame() {
+    let _ = SLOT.try_with(|h| {
+        let d = h.0.depth.load(Ordering::Relaxed);
+        h.0.depth.store(d.saturating_sub(1), Ordering::Release);
+    });
+}
+
+/// Accumulated folded span-path counts. Public so the folded-stack
+/// format is unit-testable without running a sampler thread.
+#[derive(Default)]
+pub struct Folder {
+    counts: HashMap<Vec<u32>, u64>,
+}
+
+impl Folder {
+    /// Count one sample of `path` (root-first interned site indices).
+    pub fn add_path(&mut self, path: &[u32]) {
+        *self.counts.entry(path.to_vec()).or_insert(0) += 1;
+    }
+
+    /// Total samples across all paths.
+    pub fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// Discard all counts.
+    pub fn clear(&mut self) {
+        self.counts.clear();
+    }
+
+    /// Flamegraph-compatible folded stacks: one `root;child;leaf N`
+    /// line per distinct path, sorted lexicographically (deterministic
+    /// output; paths whose sites resolve to the same names merge).
+    pub fn render_folded(&self, resolve: &dyn Fn(u32) -> String) -> String {
+        let mut merged: BTreeMap<String, u64> = BTreeMap::new();
+        for (path, count) in &self.counts {
+            let key = path.iter().map(|&i| resolve(i)).collect::<Vec<_>>().join(";");
+            *merged.entry(key).or_insert(0) += count;
+        }
+        let mut out = String::new();
+        for (path, count) in merged {
+            let _ = writeln!(out, "{path} {count}");
+        }
+        out
+    }
+
+    /// Top-`n` sites by *self* samples (samples where the site was the
+    /// innermost open span), as `  12.5%      42  name` lines.
+    pub fn render_top(&self, n: usize, resolve: &dyn Fn(u32) -> String) -> String {
+        let mut self_counts: BTreeMap<String, u64> = BTreeMap::new();
+        for (path, count) in &self.counts {
+            if let Some(&leaf) = path.last() {
+                *self_counts.entry(resolve(leaf)).or_insert(0) += count;
+            }
+        }
+        let total = self.total().max(1);
+        let mut rows: Vec<(String, u64)> = self_counts.into_iter().collect();
+        rows.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        let mut out = String::new();
+        for (name, count) in rows.into_iter().take(n) {
+            let pct = 100.0 * count as f64 / total as f64;
+            let _ = writeln!(out, "{pct:>5.1}% {count:>8}  {name}");
+        }
+        out
+    }
+}
+
+/// A rendered profiling snapshot.
+#[derive(Debug, Clone)]
+pub struct ProfileReport {
+    /// Folded stacks (`a;b;c 42` lines), flamegraph-ready.
+    pub folded: String,
+    /// Top-N self-time table.
+    pub top: String,
+    /// Total per-thread stack samples collected.
+    pub samples: u64,
+    /// Sampling interval of the session.
+    pub interval: Duration,
+}
+
+/// Start a profiling session sampling every `interval`. Returns `false`
+/// if one is already running. Raises the obs level to at least `Debug`
+/// so instrumented sites actually open spans for the sampler to see.
+pub fn start(interval: Duration) -> bool {
+    if RUNNING.swap(true, Ordering::SeqCst) {
+        return false;
+    }
+    raise_level(Level::Debug);
+    lock_recover(folder()).clear();
+    SAMPLES.store(0, Ordering::Relaxed);
+    INTERVAL_US.store(u64::try_from(interval.as_micros()).unwrap_or(u64::MAX), Ordering::Relaxed);
+    ACTIVE.store(true, Ordering::SeqCst);
+    let spawned = std::thread::Builder::new()
+        .name("obs-profiler".to_string())
+        .spawn(move || sampler_loop(interval));
+    match spawned {
+        Ok(handle) => {
+            *lock_recover(sampler_handle()) = Some(handle);
+            true
+        }
+        Err(_) => {
+            ACTIVE.store(false, Ordering::SeqCst);
+            RUNNING.store(false, Ordering::SeqCst);
+            false
+        }
+    }
+}
+
+/// Stop the running session and return its report (`None` if no
+/// session was running).
+pub fn stop() -> Option<ProfileReport> {
+    if !RUNNING.swap(false, Ordering::SeqCst) {
+        return None;
+    }
+    if let Some(handle) = lock_recover(sampler_handle()).take() {
+        let _ = handle.join();
+    }
+    ACTIVE.store(false, Ordering::SeqCst);
+    Some(report())
+}
+
+/// Whether a session is currently running.
+pub fn is_running() -> bool {
+    RUNNING.load(Ordering::Relaxed)
+}
+
+/// Render the current (possibly still-accumulating) session.
+pub fn report() -> ProfileReport {
+    let folder = lock_recover(folder());
+    let resolve: &dyn Fn(u32) -> String = &site_name;
+    ProfileReport {
+        folded: folder.render_folded(resolve),
+        top: folder.render_top(10, resolve),
+        samples: SAMPLES.load(Ordering::Relaxed),
+        interval: Duration::from_micros(INTERVAL_US.load(Ordering::Relaxed)),
+    }
+}
+
+fn sampler_loop(interval: Duration) {
+    while RUNNING.load(Ordering::Relaxed) {
+        std::thread::sleep(interval);
+        sample_once();
+    }
+}
+
+fn sample_once() {
+    let slots: Vec<Arc<ThreadSlot>> = {
+        let mut registry = lock_recover(registry());
+        registry.retain(|slot| slot.alive.load(Ordering::Relaxed));
+        registry.clone()
+    };
+    let mut paths = Vec::new();
+    for slot in slots {
+        let depth = slot.depth.load(Ordering::Acquire).min(MAX_DEPTH);
+        if depth == 0 {
+            continue;
+        }
+        paths
+            .push((0..depth).map(|i| slot.frames[i].load(Ordering::Relaxed)).collect::<Vec<u32>>());
+    }
+    if paths.is_empty() {
+        return;
+    }
+    SAMPLES.fetch_add(paths.len() as u64, Ordering::Relaxed);
+    let mut folder = lock_recover(folder());
+    for path in &paths {
+        folder.add_path(path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// ACTIVE/RUNNING are process-global; tests touching them serialize.
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    /// Read back the current thread's own frame array the way the
+    /// sampler would.
+    fn self_stack() -> Vec<u32> {
+        SLOT.with(|h| {
+            let depth = h.0.depth.load(Ordering::Acquire).min(MAX_DEPTH);
+            (0..depth).map(|i| h.0.frames[i].load(Ordering::Relaxed)).collect()
+        })
+    }
+
+    fn names(idx: u32) -> String {
+        ["root", "mid", "leaf"].get(idx as usize).map(|s| s.to_string()).unwrap_or("?".into())
+    }
+
+    #[test]
+    fn folded_format_merges_and_sorts() {
+        let mut f = Folder::default();
+        f.add_path(&[0]);
+        f.add_path(&[0, 1]);
+        f.add_path(&[0, 1]);
+        f.add_path(&[0, 2]);
+        assert_eq!(f.total(), 4);
+        assert_eq!(f.render_folded(&names), "root 1\nroot;leaf 1\nroot;mid 2\n");
+    }
+
+    #[test]
+    fn folded_merges_sites_resolving_to_same_name() {
+        let mut f = Folder::default();
+        f.add_path(&[0, 1]);
+        f.add_path(&[0, 2]);
+        // Two interned indices, one rendered name: the lines merge.
+        let alias = |i: u32| if i == 0 { "root".to_string() } else { "dup".to_string() };
+        assert_eq!(f.render_folded(&alias), "root;dup 2\n");
+    }
+
+    #[test]
+    fn top_table_ranks_by_self_time() {
+        let mut f = Folder::default();
+        f.add_path(&[0]); // self: root
+        f.add_path(&[0, 1]); // self: mid
+        f.add_path(&[0, 1]); // self: mid
+        f.add_path(&[0, 2]); // self: leaf
+        let top = f.render_top(2, &names);
+        let lines: Vec<&str> = top.lines().collect();
+        assert_eq!(lines.len(), 2, "top-2 of three sites");
+        assert!(lines[0].ends_with("mid"), "mid has most self samples: {top}");
+        assert!(lines[0].contains("50.0%"), "2 of 4 samples: {top}");
+        assert!(lines[0].contains(" 2 "), "raw count present: {top}");
+    }
+
+    #[test]
+    fn frames_track_depth_and_truncate() {
+        let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        ACTIVE.store(true, Ordering::SeqCst);
+        assert!(push_frame("test", "depth_a"));
+        assert!(push_frame("test", "depth_b"));
+        let stack = self_stack();
+        assert_eq!(stack.len(), 2);
+        assert_eq!(site_name(stack[0]), "test::depth_a");
+        assert_eq!(site_name(stack[1]), "test::depth_b");
+        // Overflow past MAX_DEPTH: depth keeps counting, paths truncate.
+        for _ in 0..MAX_DEPTH + 3 {
+            assert!(push_frame("test", "depth_deep"));
+        }
+        assert_eq!(self_stack().len(), MAX_DEPTH, "sampled path truncates");
+        for _ in 0..MAX_DEPTH + 3 {
+            pop_frame();
+        }
+        assert_eq!(self_stack().len(), 2, "balanced pops unwind past the cap");
+        pop_frame();
+        pop_frame();
+        assert_eq!(self_stack().len(), 0);
+        pop_frame(); // extra pop must not underflow
+        assert_eq!(self_stack().len(), 0);
+        ACTIVE.store(false, Ordering::SeqCst);
+    }
+
+    #[test]
+    fn sampler_lifecycle_captures_frames() {
+        let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        assert!(start(Duration::from_millis(2)));
+        assert!(!start(Duration::from_millis(2)), "second start refused");
+        assert!(is_running());
+        assert!(push_frame("test", "prof_outer"));
+        assert!(push_frame("test", "prof_inner"));
+        std::thread::sleep(Duration::from_millis(50));
+        pop_frame();
+        pop_frame();
+        let report = stop().expect("session was running");
+        assert!(stop().is_none(), "second stop is a no-op");
+        assert!(!is_running());
+        assert!(report.samples >= 1, "sampler ticked during the sleep");
+        assert!(
+            report.folded.contains("test::prof_outer;test::prof_inner "),
+            "folded stacks contain the held path: {}",
+            report.folded
+        );
+        assert!(report.top.contains("test::prof_inner"), "leaf in top table: {}", report.top);
+        assert_eq!(report.interval, Duration::from_millis(2));
+    }
+}

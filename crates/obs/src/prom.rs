@@ -232,6 +232,11 @@ pub fn validate(text: &str) -> Result<PromSummary, String> {
             return Err(format!("line {n}: bad metric name '{name}'"));
         }
         let mut le_label: Option<f64> = None;
+        // Non-`le` labels identify the child series: cumulativity is
+        // per (family, labelset), not per family — a labeled histogram
+        // (e.g. one `stage=...` child per pipeline stage) restarts its
+        // cumulative count at each new labelset.
+        let mut series_labels = String::new();
         let rest = if let Some(body) = rest.strip_prefix('{') {
             let close = body.find('}').ok_or_else(|| format!("line {n}: unclosed labels"))?;
             let labels = &body[..close];
@@ -249,6 +254,11 @@ pub fn validate(text: &str) -> Result<PromSummary, String> {
                 if k == "le" {
                     let raw = &v[1..v.len() - 1];
                     le_label = Some(parse_value(raw).map_err(|e| format!("line {n}: {e}"))?);
+                } else {
+                    if !series_labels.is_empty() {
+                        series_labels.push(',');
+                    }
+                    series_labels.push_str(pair);
                 }
             }
             &body[close + 1..]
@@ -258,7 +268,8 @@ pub fn validate(text: &str) -> Result<PromSummary, String> {
         let value_str = rest.split_whitespace().next().unwrap_or("");
         let value = parse_value(value_str).map_err(|e| format!("line {n}: {e}"))?;
         if let (Some(series), Some(_le)) = (name.strip_suffix("_bucket"), le_label) {
-            let prev = bucket_last.entry(series.to_string()).or_insert(f64::NEG_INFINITY);
+            let key = format!("{series}{{{series_labels}}}");
+            let prev = bucket_last.entry(key).or_insert(f64::NEG_INFINITY);
             if value < *prev {
                 return Err(format!(
                     "line {n}: histogram '{series}' buckets not cumulative ({value} < {prev})"
@@ -380,6 +391,17 @@ mod tests {
         assert!(validate("# TYPE m bogus\nm 1\n").is_err(), "unknown TYPE");
         let noncumulative = "h_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\n";
         assert!(validate(noncumulative).is_err(), "non-cumulative buckets");
+    }
+
+    #[test]
+    fn labeled_histogram_children_are_independent() {
+        // Two children of one family: each restarts its cumulative
+        // count — a family-level check would reject the second child.
+        let ok = "h_bucket{stage=\"a\",le=\"1\"} 5\nh_bucket{stage=\"a\",le=\"+Inf\"} 9\n\
+                  h_bucket{stage=\"b\",le=\"1\"} 2\nh_bucket{stage=\"b\",le=\"+Inf\"} 3\n";
+        validate(ok).expect("per-labelset cumulativity");
+        let bad = "h_bucket{stage=\"a\",le=\"1\"} 5\nh_bucket{stage=\"a\",le=\"+Inf\"} 4\n";
+        assert!(validate(bad).is_err(), "still cumulative within one child");
     }
 
     #[test]

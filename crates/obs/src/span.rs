@@ -31,7 +31,7 @@ thread_local! {
     static STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
 }
 
-fn thread_id() -> u64 {
+pub(crate) fn thread_id() -> u64 {
     TID.with(|t| *t)
 }
 
@@ -49,6 +49,8 @@ struct ActiveSpan {
     tid: u64,
     start: Instant,
     fields: Vec<(&'static str, String)>,
+    /// Whether this span pushed a profiler frame it must pop on close.
+    profiled: bool,
 }
 
 /// An open span; closing (dropping) it emits a [`SpanRecord`].
@@ -66,6 +68,7 @@ pub fn span(level: Level, target: &'static str, name: &'static str) -> Span {
     let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
     let parent = current_span_id();
     STACK.with(|s| s.borrow_mut().push(id));
+    let profiled = crate::profiler::push_frame(target, name);
     Span(Some(ActiveSpan {
         id,
         parent,
@@ -75,6 +78,7 @@ pub fn span(level: Level, target: &'static str, name: &'static str) -> Span {
         tid: thread_id(),
         start: Instant::now(),
         fields: Vec::new(),
+        profiled,
     }))
 }
 
@@ -114,6 +118,9 @@ impl Span {
 impl Drop for Span {
     fn drop(&mut self) {
         let Some(a) = self.0.take() else { return };
+        if a.profiled {
+            crate::profiler::pop_frame();
+        }
         // Pop this span from the thread's open stack. Guards are dropped
         // innermost-first in straight-line code *and* during unwinding,
         // so the top is normally `a.id`; a stale deeper entry (a guard

@@ -1,0 +1,75 @@
+//! Property tests for the flight recorder: bounded wraparound under
+//! arbitrary push counts and no torn events under concurrent writers.
+
+use observatory_obs::flight::{Flight, FlightKind, STAGE_NAMES};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// Single-writer wraparound: whatever the capacity and push count,
+    /// the ring retains exactly `min(pushes, per-stripe cap)` events
+    /// (one thread → one stripe) and they are the *newest* ones, in
+    /// order.
+    #[test]
+    fn wraparound_keeps_newest(total_cap in 1usize..64, pushes in 0usize..200) {
+        let f = Flight::with_capacity(total_cap * 8); // per-stripe cap = max(total_cap, 1)
+        for i in 0..pushes {
+            f.record(FlightKind::Done, &format!("r{i}"), [i as u64; 5], i as u64);
+        }
+        let got = f.snapshot(None);
+        let expect = pushes.min(total_cap.max(1));
+        prop_assert_eq!(got.len(), expect);
+        for (k, e) in got.iter().enumerate() {
+            let want = (pushes - expect + k) as u64;
+            prop_assert_eq!(e.a, want, "newest events survive in order");
+            prop_assert_eq!(e.rid.as_str(), format!("r{want}").as_str());
+            prop_assert_eq!(e.stages, [want; 5]);
+        }
+    }
+
+    /// Concurrent writers: every retained event is internally
+    /// consistent (its rid, stages, and `a` all encode the same
+    /// writer/sequence pair — a torn read/write would mismatch), the
+    /// ring never exceeds its capacity, and the snapshot is
+    /// time-ordered.
+    #[test]
+    fn concurrent_pushes_never_tear(threads in 1usize..5, per_thread in 1usize..40) {
+        let f = std::sync::Arc::new(Flight::with_capacity(64));
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let f = std::sync::Arc::clone(&f);
+                scope.spawn(move || {
+                    for i in 0..per_thread {
+                        let tag = (t * 1_000 + i) as u64;
+                        f.record(FlightKind::Admit, &format!("w{t}-{i}"), [tag; 5], tag);
+                    }
+                });
+            }
+        });
+        let got = f.snapshot(None);
+        prop_assert!(got.len() <= 64);
+        prop_assert!(got.len() <= threads * per_thread);
+        let mut last_ts = 0u64;
+        for e in &got {
+            let (t, i) = ((e.a / 1_000) as usize, (e.a % 1_000) as usize);
+            prop_assert!(t < threads && i < per_thread);
+            prop_assert_eq!(e.rid.as_str(), format!("w{t}-{i}").as_str(), "rid matches tag");
+            prop_assert_eq!(e.stages, [e.a; 5], "stages match tag");
+            prop_assert!(e.ts_ns >= last_ts, "snapshot sorted by timestamp");
+            last_ts = e.ts_ns;
+        }
+        // Chrome rendering of a concurrent snapshot stays valid JSON
+        // with the full stage schema on every instant.
+        let doc = observatory_obs::json::parse(&f.render(None, "proptest"))
+            .expect("flight render parses");
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        for e in events.iter().filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("i")) {
+            let args = e.get("args").unwrap();
+            prop_assert!(args.get("request_id").is_some());
+            for name in STAGE_NAMES {
+                prop_assert!(args.get(name).is_some(), "stage {} exported", name);
+            }
+        }
+    }
+}

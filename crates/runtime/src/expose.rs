@@ -132,6 +132,17 @@ pub fn prometheus_text(
         buf.sample("observatory_cache_shard_bytes", &[("shard", &shard)], sh.bytes as f64);
     }
 
+    // Observability self-health: records the obs collector discarded
+    // because a stripe was full. Nonzero means traces have holes — the
+    // CLI footer warns and operators should drain more often or raise
+    // the caps.
+    buf.scalar(
+        "observatory_obs_dropped_total",
+        "counter",
+        "Span/event records discarded by the obs collector (stripe full).",
+        observatory_obs::dropped_total() as f64,
+    );
+
     // Latency histogram + quantile estimates from the fixed buckets.
     let lat = &snapshot.encode_latency;
     buf.histogram_ns(
@@ -224,6 +235,7 @@ mod tests {
             "observatory_store_writes_total",
             "observatory_store_records",
             "observatory_store_generation",
+            "observatory_obs_dropped_total",
         ] {
             assert!(summary.has(name), "missing {name}\n{text}");
         }

@@ -202,10 +202,24 @@ impl Engine {
         fp: Fingerprint,
         parent: Option<u64>,
     ) -> Arc<ModelEncoding> {
+        self.encode_fingerprinted_timed(model, table, fp, parent).0
+    }
+
+    /// [`Engine::encode_fingerprinted`] plus per-stage wall timings, the
+    /// basis of the serving path's request stage breakdown.
+    fn encode_fingerprinted_timed(
+        &self,
+        model: &dyn TableEncoder,
+        table: &Table,
+        fp: Fingerprint,
+        parent: Option<u64>,
+    ) -> (Arc<ModelEncoding>, EncodeTiming) {
+        let mut timing = EncodeTiming::default();
         if let Some(hit) = self.cache.get(fp) {
             self.metrics.record_hit();
             obs::event(obs::Level::Trace, "cache", "hit");
-            return hit;
+            timing.cache_hit = true;
+            return (hit, timing);
         }
         self.metrics.record_miss();
         // Tier 2: an LRU miss consults the persistent store before the
@@ -213,11 +227,15 @@ impl Engine {
         // repeats of the same key pay mmap+decode exactly once.
         if let Some(store) = self.store.get() {
             let mut span = obs::span(obs::Level::Debug, "store", "read").with_parent(parent);
-            if let Some(enc) = store.load(fp) {
+            let start = Instant::now();
+            let loaded = store.load(fp);
+            timing.store_us = as_us(start.elapsed());
+            if let Some(enc) = loaded {
                 span.record("hit", 1u64);
                 self.metrics.record_tier2_hit();
                 self.cache.insert(fp, Arc::clone(&enc));
-                return enc;
+                timing.tier2_hit = true;
+                return (enc, timing);
             }
             span.record("hit", 0u64);
             self.metrics.record_tier2_miss();
@@ -229,15 +247,19 @@ impl Engine {
             .with("cols", table.num_cols());
         let start = Instant::now();
         let encoding = Arc::new(model.encode_table(table));
-        self.metrics.record_encode(model.name(), start.elapsed(), encoding.embeddings.rows());
+        let elapsed = start.elapsed();
+        timing.encode_us = as_us(elapsed);
+        self.metrics.record_encode(model.name(), elapsed, encoding.embeddings.rows());
         span.record("tokens", encoding.embeddings.rows());
         self.cache.insert(fp, Arc::clone(&encoding));
         if let Some(store) = self.store.get() {
             let _span = obs::span(obs::Level::Debug, "store", "write").with_parent(parent);
+            let start = Instant::now();
             store.save(fp, &encoding);
+            timing.write_us = as_us(start.elapsed());
             self.metrics.record_tier2_write();
         }
-        encoding
+        (encoding, timing)
     }
 
     /// Encode a batch of tables on the worker pool. Results are in input
@@ -252,6 +274,18 @@ impl Engine {
         model: &dyn TableEncoder,
         tables: &[Table],
     ) -> Vec<Arc<ModelEncoding>> {
+        self.encode_batch_timed(model, tables).0
+    }
+
+    /// [`Engine::encode_batch`] plus one [`EncodeTiming`] per input
+    /// position. Duplicate tables share the timing of the position that
+    /// actually encoded (they share the work, so they share its cost
+    /// attribution).
+    pub fn encode_batch_timed(
+        &self,
+        model: &dyn TableEncoder,
+        tables: &[Table],
+    ) -> (Vec<Arc<ModelEncoding>>, Vec<EncodeTiming>) {
         self.metrics.record_batch();
         let mut batch_span = obs::span(obs::Level::Info, "runtime", "encode_batch")
             .with("model", model.name())
@@ -273,12 +307,37 @@ impl Engine {
         }
         batch_span.record("unique", unique.len());
         let parent = batch_span.id();
-        let encoded: Vec<Arc<ModelEncoding>> = run_indexed(self.config.jobs, unique.len(), |u| {
-            let i = unique[u];
-            self.encode_fingerprinted(model, &tables[i], fps[i], parent)
-        });
-        unique_slot.into_iter().map(|slot| Arc::clone(&encoded[slot])).collect()
+        let encoded: Vec<(Arc<ModelEncoding>, EncodeTiming)> =
+            run_indexed(self.config.jobs, unique.len(), |u| {
+                let i = unique[u];
+                self.encode_fingerprinted_timed(model, &tables[i], fps[i], parent)
+            });
+        let timings = unique_slot.iter().map(|&slot| encoded[slot].1).collect();
+        let out = unique_slot.into_iter().map(|slot| Arc::clone(&encoded[slot].0)).collect();
+        (out, timings)
     }
+}
+
+/// Per-encode stage wall timings observed inside the engine, in
+/// microseconds. Produced by [`Engine::encode_batch_timed`]; the serve
+/// crate folds these into its per-request stage breakdown.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EncodeTiming {
+    /// Model forward time (zero on any cache or store hit).
+    pub encode_us: u64,
+    /// Tier-2 store read time (zero without a store, or on a tier-1 hit).
+    pub store_us: u64,
+    /// Tier-2 write-through time (zero when nothing was written).
+    pub write_us: u64,
+    /// Tier 1 (the LRU) answered.
+    pub cache_hit: bool,
+    /// Tier 2 (the store) answered.
+    pub tier2_hit: bool,
+}
+
+/// Saturating whole microseconds.
+fn as_us(d: std::time::Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
 }
 
 static GLOBAL: OnceLock<Arc<Engine>> = OnceLock::new();
@@ -422,6 +481,40 @@ mod tests {
         assert_eq!(model.runs.load(Ordering::SeqCst), 2, "3 duplicates encode once");
         assert_eq!(out[0].embeddings, out[2].embeddings);
         assert!(Arc::ptr_eq(&out[0], &out[3]), "duplicates share one Arc");
+    }
+
+    #[test]
+    fn batch_timings_reflect_tiers() {
+        let engine = Engine::new(EngineConfig { jobs: 2, cache_bytes: 1 << 22 });
+        let store = Arc::new(MapStore::default());
+        assert!(engine.attach_store(Arc::clone(&store) as Arc<dyn EmbeddingStore>));
+        let model = StubModel::new();
+        let t = table(31);
+        let batch = vec![t.clone(), table(32), t.clone()];
+        let (out, timings) = engine.encode_batch_timed(&model, &batch);
+        assert_eq!(out.len(), 3);
+        assert_eq!(timings.len(), 3);
+        for tm in &timings {
+            assert!(!tm.cache_hit && !tm.tier2_hit, "cold batch misses both tiers: {tm:?}");
+        }
+        assert_eq!(timings[0], timings[2], "duplicates share the encoding position's timing");
+
+        // Warm repeat: tier-1 hits, nothing encoded or touched on disk.
+        let (_, warm) = engine.encode_batch_timed(&model, &batch);
+        for tm in &warm {
+            assert!(tm.cache_hit, "warm batch hits the LRU: {tm:?}");
+            assert_eq!((tm.encode_us, tm.store_us, tm.write_us), (0, 0, 0));
+        }
+
+        // Evict tier 1: the store answers and the model never runs again.
+        engine.clear_cache();
+        let runs_before = model.runs.load(Ordering::SeqCst);
+        let (_, disk) = engine.encode_batch_timed(&model, &batch);
+        assert_eq!(model.runs.load(Ordering::SeqCst), runs_before, "tier-2 hits skip the model");
+        for tm in &disk {
+            assert!(tm.tier2_hit && !tm.cache_hit, "{tm:?}");
+            assert_eq!((tm.encode_us, tm.write_us), (0, 0));
+        }
     }
 
     #[test]

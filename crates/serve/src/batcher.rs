@@ -5,10 +5,17 @@
 //! passed while queued (they are answered 408 and **never encoded** —
 //! cancelled work must not burn encode capacity), groups the survivors
 //! by model, and hands each group to the shared engine's
-//! `encode_batch`, whose results are bit-identical to a serial encode
-//! loop at any `--jobs` value. Model adapters are constructed once and
-//! cached for the lifetime of the batcher (deterministic weight
+//! `encode_batch_timed`, whose results are bit-identical to a serial
+//! encode loop at any `--jobs` value. Model adapters are constructed
+//! once and cached for the lifetime of the batcher (deterministic weight
 //! generation is expensive relative to a small encode).
+//!
+//! Every reply carries a [`Stages`] breakdown: `queue_us` (admission →
+//! pop) and `batch_wait_us` (pop → encode call) are stamped here from
+//! monotonic clocks; `encode_us`/`store_us`/`write_us` come from the
+//! engine's per-position [`observatory_runtime::EncodeTiming`]. The
+//! flight recorder sees an event per terminal outcome (done / expired /
+//! panic), and expiry and panic trigger an anomaly dump.
 //!
 //! A panicking encode is caught with `catch_unwind`: the affected jobs
 //! are answered 500 and the batcher keeps serving — combined with the
@@ -16,11 +23,13 @@
 //! one bad table cannot take the server down.
 
 use crate::metrics::ServerMetrics;
-use crate::queue::{Job, Queue};
+use crate::queue::{Job, Queue, Stages};
 use crate::JobError;
 use observatory_models::registry::model_by_name;
 use observatory_models::TableEncoder;
 use observatory_obs as obs;
+use observatory_obs::flight;
+use observatory_obs::flight::FlightKind;
 use observatory_runtime::Engine;
 use observatory_table::Table;
 use std::collections::HashMap;
@@ -47,6 +56,11 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
+/// Saturating microsecond conversion for stage stamps.
+fn as_us(d: Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
+}
+
 /// Run the batcher until the queue is closed and fully drained.
 pub fn batcher_loop(
     queue: &Queue,
@@ -70,18 +84,31 @@ fn dispatch(
     metrics: &ServerMetrics,
     models: &mut HashMap<String, Box<dyn TableEncoder>>,
 ) {
-    let now = Instant::now();
+    let popped = Instant::now();
     let mut live: Vec<Job> = Vec::with_capacity(batch.len());
+    let mut expired_any = false;
     for job in batch {
-        if job.deadline <= now {
+        if job.deadline <= popped {
             // Deadline passed while queued: answer 408, never encode.
+            // The reply still carries the queue time so the 408 response
+            // (and the flight dump) show where the budget went.
+            let stages = Stages {
+                queue_us: as_us(popped.saturating_duration_since(job.enqueued)),
+                ..Stages::default()
+            };
             obs::event_with(obs::Level::Debug, "serve", "deadline_expired", || {
-                vec![("request", job.id.to_string())]
+                vec![("request", job.id.to_string()), ("rid", job.rid.to_string())]
             });
-            let _ = job.reply.send(Err(JobError::DeadlineExpired));
+            flight::record(FlightKind::Expired, &job.rid, stages.as_array(), 408);
+            expired_any = true;
+            let _ = job.reply.send((Err(JobError::DeadlineExpired), stages));
         } else {
             live.push(job);
         }
+    }
+    if expired_any {
+        // A deadline violation is an anomaly: snapshot the recent past.
+        flight::dump("deadline");
     }
     if live.is_empty() {
         return;
@@ -98,7 +125,7 @@ fn dispatch(
     }
     for name in order {
         let jobs = groups.remove(&name).expect("group exists");
-        encode_group(&name, jobs, engine, metrics, models);
+        encode_group(&name, jobs, engine, metrics, models, popped);
     }
 }
 
@@ -109,6 +136,7 @@ fn encode_group(
     engine: &Engine,
     metrics: &ServerMetrics,
     models: &mut HashMap<String, Box<dyn TableEncoder>>,
+    popped: Instant,
 ) {
     let first_parent = jobs.first().and_then(|j| j.span_parent);
     // The batch span lives on the batcher thread; `encode_batch` opens
@@ -131,21 +159,43 @@ fn encode_group(
                 // Admission validates names against the registry; this is
                 // defence in depth for a registry/admission drift.
                 for job in jobs {
-                    let _ = job.reply.send(Err(JobError::Internal(format!(
-                        "model '{name}' disappeared from the registry"
-                    ))));
+                    let stages = Stages {
+                        queue_us: as_us(popped.saturating_duration_since(job.enqueued)),
+                        ..Stages::default()
+                    };
+                    let _ = job.reply.send((
+                        Err(JobError::Internal(format!(
+                            "model '{name}' disappeared from the registry"
+                        ))),
+                        stages,
+                    ));
                 }
                 return;
             }
         },
     };
-    let (tables, repliers): (Vec<Table>, Vec<_>) =
-        jobs.into_iter().map(|j| (j.table, j.reply)).unzip();
-    let result = catch_unwind(AssertUnwindSafe(|| engine.encode_batch(model, &tables)));
+    let mut tables: Vec<Table> = Vec::with_capacity(jobs.len());
+    // (reply, rid, enqueued) per position, aligned with `tables`.
+    let mut meta = Vec::with_capacity(jobs.len());
+    for j in jobs {
+        tables.push(j.table);
+        meta.push((j.reply, j.rid, j.enqueued));
+    }
+    let encode_start = Instant::now();
+    let batch_wait_us = as_us(encode_start.saturating_duration_since(popped));
+    let result = catch_unwind(AssertUnwindSafe(|| engine.encode_batch_timed(model, &tables)));
     match result {
-        Ok(encodings) => {
-            for (reply, enc) in repliers.into_iter().zip(encodings) {
-                let _ = reply.send(Ok(enc));
+        Ok((encodings, timings)) => {
+            for (((reply, rid, enqueued), enc), t) in meta.into_iter().zip(encodings).zip(timings) {
+                let stages = Stages {
+                    queue_us: as_us(popped.saturating_duration_since(enqueued)),
+                    batch_wait_us,
+                    encode_us: t.encode_us,
+                    store_us: t.store_us,
+                    write_us: t.write_us,
+                };
+                flight::record(FlightKind::Done, &rid, stages.as_array(), 200);
+                let _ = reply.send((Ok(enc), stages));
             }
         }
         Err(payload) => {
@@ -155,9 +205,17 @@ fn encode_group(
             obs::event_with(obs::Level::Error, "serve", "encode_panic", || {
                 vec![("message", msg.clone())]
             });
-            for reply in repliers {
-                let _ = reply.send(Err(JobError::Internal(msg.clone())));
+            for (reply, rid, enqueued) in meta {
+                let stages = Stages {
+                    queue_us: as_us(popped.saturating_duration_since(enqueued)),
+                    batch_wait_us,
+                    ..Stages::default()
+                };
+                flight::record(FlightKind::Panic, &rid, stages.as_array(), 500);
+                let _ = reply.send((Err(JobError::Internal(msg.clone())), stages));
             }
+            // A caught handler panic is an anomaly: dump the flight ring.
+            flight::dump("panic");
         }
     }
 }
@@ -190,6 +248,7 @@ mod tests {
         let (tx, rx) = mpsc::channel();
         let job = Job {
             id,
+            rid: format!("r{id}").into(),
             model: model.to_string(),
             table,
             enqueued: Instant::now(),
@@ -224,7 +283,8 @@ mod tests {
         run_drained(&queue, &engine, &metrics, 4);
         let model = model_by_name("bert").unwrap();
         for (i, rx) in rxs.into_iter().enumerate() {
-            let enc = rx.try_recv().expect("reply present").expect("encode ok");
+            let (result, _stages) = rx.try_recv().expect("reply present");
+            let enc = result.expect("encode ok");
             let want = reference_engine.encode_table(model.as_ref(), &table(i as i64));
             assert_eq!(enc.embeddings, want.embeddings, "request {i} drifted from serial");
         }
@@ -244,10 +304,28 @@ mod tests {
         let rx_dead = push_job(&queue, 1, "bert", table(1), past);
         let rx_live = push_job(&queue, 2, "bert", table(2), far());
         run_drained(&queue, &engine, &metrics, 8);
-        assert!(matches!(rx_dead.try_recv().unwrap(), Err(JobError::DeadlineExpired)));
-        assert!(rx_live.try_recv().unwrap().is_ok());
+        let (dead, _) = rx_dead.try_recv().unwrap();
+        assert!(matches!(dead, Err(JobError::DeadlineExpired)));
+        assert!(rx_live.try_recv().unwrap().0.is_ok());
         // Only the live job was encoded.
         assert_eq!(engine.metrics_snapshot().encodes, 1, "expired work must not be encoded");
+    }
+
+    #[test]
+    fn replies_carry_stage_breakdown() {
+        let engine = Engine::new(EngineConfig { jobs: 1, cache_bytes: 1 << 22 });
+        let queue = Queue::new(8);
+        let metrics = ServerMetrics::new();
+        let rx_cold = push_job(&queue, 1, "bert", table(7), far());
+        let rx_warm = push_job(&queue, 2, "bert", table(7), far());
+        run_drained(&queue, &engine, &metrics, 1);
+        let (cold, cold_stages) = rx_cold.try_recv().unwrap();
+        assert!(cold.is_ok());
+        assert!(cold_stages.encode_us > 0, "cold encode spends model time");
+        let (warm, warm_stages) = rx_warm.try_recv().unwrap();
+        assert!(warm.is_ok());
+        assert_eq!(warm_stages.encode_us, 0, "cache hit skips the model");
+        assert_eq!(warm_stages.as_array()[2..], [0, 0, 0], "hit has no encode/store/write time");
     }
 
     #[test]
@@ -259,9 +337,9 @@ mod tests {
         let rx_b = push_job(&queue, 2, "roberta", table(5), far());
         let rx_c = push_job(&queue, 3, "bert", table(6), far());
         run_drained(&queue, &engine, &metrics, 8);
-        let a = rx_a.try_recv().unwrap().unwrap();
-        let b = rx_b.try_recv().unwrap().unwrap();
-        let c = rx_c.try_recv().unwrap().unwrap();
+        let a = rx_a.try_recv().unwrap().0.unwrap();
+        let b = rx_b.try_recv().unwrap().0.unwrap();
+        let c = rx_c.try_recv().unwrap().0.unwrap();
         assert_ne!(a.embeddings, b.embeddings, "different models differ on the same table");
         assert_ne!(a.embeddings, c.embeddings, "different tables differ under one model");
         let s = engine.metrics_snapshot();
@@ -278,6 +356,6 @@ mod tests {
         let metrics = ServerMetrics::new();
         let rx = push_job(&queue, 1, "no-such-model", table(1), far());
         run_drained(&queue, &engine, &metrics, 4);
-        assert!(matches!(rx.try_recv().unwrap(), Err(JobError::Internal(_))));
+        assert!(matches!(rx.try_recv().unwrap().0, Err(JobError::Internal(_))));
     }
 }

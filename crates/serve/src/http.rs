@@ -122,6 +122,7 @@ pub fn reason(status: u16) -> &'static str {
         404 => "Not Found",
         405 => "Method Not Allowed",
         408 => "Request Timeout",
+        409 => "Conflict",
         411 => "Length Required",
         413 => "Payload Too Large",
         429 => "Too Many Requests",
@@ -248,7 +249,7 @@ mod tests {
 
     #[test]
     fn reasons_cover_service_codes() {
-        for code in [200, 400, 404, 405, 408, 411, 413, 429, 500, 503] {
+        for code in [200, 400, 404, 405, 408, 409, 411, 413, 429, 500, 503] {
             assert_ne!(reason(code), "Unknown", "{code}");
         }
     }

@@ -28,13 +28,26 @@
 //!
 //! ## Endpoints
 //!
-//! | Route                  | Purpose                                      |
-//! |------------------------|----------------------------------------------|
-//! | `POST /v1/embed`       | Encode one table, return embeddings          |
-//! | `POST /v1/knn`         | Exact cosine kNN over request-supplied items |
-//! | `GET /healthz`         | Liveness + drain state                       |
-//! | `GET /metrics`         | Prometheus text (engine + server families)   |
-//! | `POST /admin/shutdown` | Begin graceful drain (same as SIGTERM)       |
+//! | Route                    | Purpose                                      |
+//! |--------------------------|----------------------------------------------|
+//! | `POST /v1/embed`         | Encode one table, return embeddings          |
+//! | `POST /v1/knn`           | Exact cosine kNN over request-supplied items |
+//! | `GET /healthz`           | Liveness + drain state                       |
+//! | `GET /metrics`           | Prometheus text (engine + server families)   |
+//! | `GET /debug/flight`      | Flight-recorder ring as Chrome-trace JSON    |
+//! | `GET /debug/profile`     | Profiler folded stacks (flamegraph input)    |
+//! | `GET /debug/profile/top` | Profiler top-N self-time table               |
+//! | `POST /admin/shutdown`   | Begin graceful drain (same as SIGTERM)       |
+//!
+//! ## Request identity and stage timings
+//!
+//! Every request gets an id: a client-supplied `x-request-id` header
+//! (≤ 128 bytes of `[A-Za-z0-9._-]`; anything else is a 400) or a
+//! generated `obs-{n}`. The id is echoed on every response, stamped on
+//! flight-recorder events, and printed in the slow-request log line
+//! (total latency ≥ `ServeConfig::slow`). Embed responses additionally
+//! carry `x-stage-us`: the queue → batch-wait → encode → store → write
+//! breakdown measured on monotonic clocks along the pipeline.
 
 pub mod api;
 pub mod batcher;
@@ -46,9 +59,11 @@ pub mod signal;
 use crate::batcher::BatcherConfig;
 use crate::http::{read_request, write_response, HttpError, Request};
 use crate::metrics::{ServerMetrics, ServerTotals};
-use crate::queue::{Job, Pushed, Queue};
+use crate::queue::{Job, Pushed, Queue, Stages};
 use observatory_models::registry::is_known_model;
 use observatory_obs as obs;
+use observatory_obs::flight;
+use observatory_obs::flight::FlightKind;
 use observatory_obs::Manifest;
 use observatory_runtime::Engine;
 use std::io::BufReader;
@@ -92,6 +107,14 @@ pub struct ServeConfig {
     /// Install SIGTERM/SIGINT handlers that trigger graceful drain.
     /// Tests leave this off; the CLI turns it on.
     pub handle_signals: bool,
+    /// Requests slower than this get a structured `slow-request` log
+    /// line on stderr (`--slow-ms`).
+    pub slow: Duration,
+    /// Run the span-sampling profiler for the server's lifetime; the
+    /// report lands in [`DrainStats::profile`].
+    pub profile: bool,
+    /// Profiler sampling interval (`--profile-interval-ms`).
+    pub profile_interval: Duration,
 }
 
 impl Default for ServeConfig {
@@ -103,6 +126,9 @@ impl Default for ServeConfig {
             queue_depth: 256,
             deadline: Duration::from_millis(5000),
             handle_signals: false,
+            slow: Duration::from_secs(1),
+            profile: false,
+            profile_interval: Duration::from_millis(10),
         }
     }
 }
@@ -114,6 +140,9 @@ pub struct DrainStats {
     pub totals: ServerTotals,
     /// Wall time from bind to drain completion.
     pub uptime: Duration,
+    /// Profiler report when [`ServeConfig::profile`] was on and this
+    /// server owned the (process-global) profiler session.
+    pub profile: Option<obs::ProfileReport>,
 }
 
 /// State shared by the accept loop, connection threads, and the batcher.
@@ -220,6 +249,9 @@ impl Server {
         obs::event_with(obs::Level::Info, "serve", "listening", || {
             vec![("addr", format!("{:?}", config.addr))]
         });
+        // The profiler is process-global; only stop it on drain if this
+        // server's start actually claimed the session.
+        let profiling = config.profile && obs::profiler::start(config.profile_interval);
 
         // The single consumer of the admission queue.
         let batcher_shared = Arc::clone(&shared);
@@ -274,6 +306,7 @@ impl Server {
         // ---- Drain protocol -------------------------------------------
         shared.draining.store(true, Ordering::SeqCst);
         obs::event(obs::Level::Info, "serve", "drain_begin");
+        flight::record(FlightKind::Drain, "drain", [0; 5], 0);
         // 1. Stop accepting: drop the listener (closes the socket).
         drop(self.listener);
         // 2. Refuse new admissions; admitted jobs remain poppable, and
@@ -310,8 +343,22 @@ impl Server {
                 ("batches", totals.batches.to_string()),
             ]
         });
-        DrainStats { totals, uptime: shared.started.elapsed() }
+        let profile = if profiling { obs::profiler::stop() } else { None };
+        DrainStats { totals, uptime: shared.started.elapsed(), profile }
     }
+}
+
+/// Longest accepted `x-request-id` value, in bytes.
+pub const MAX_REQUEST_ID_BYTES: usize = 128;
+
+/// Whether a client-supplied request id is acceptable: non-empty, at
+/// most [`MAX_REQUEST_ID_BYTES`], charset `[A-Za-z0-9._-]`. The charset
+/// keeps ids safe to echo in headers, log lines, and JSON without
+/// escaping.
+fn valid_request_id(v: &str) -> bool {
+    !v.is_empty()
+        && v.len() <= MAX_REQUEST_ID_BYTES
+        && v.bytes().all(|b| b.is_ascii_alphanumeric() || matches!(b, b'.' | b'_' | b'-'))
 }
 
 /// Per-connection deadline override: `x-deadline-ms`, capped at 5 min.
@@ -322,22 +369,36 @@ fn request_deadline(req: &Request, default: Duration) -> Duration {
     }
 }
 
-/// A response ready to write: status, content type, extra headers, body.
+/// A response ready to write: status, content type, extra headers, body,
+/// and (for embed) the pipeline stage breakdown echoed as `x-stage-us`.
 struct Outcome {
     route: &'static str,
     status: u16,
     content_type: &'static str,
     extra: Vec<(&'static str, String)>,
     body: String,
+    stages: Option<Stages>,
 }
 
 impl Outcome {
     fn json(route: &'static str, status: u16, body: String) -> Self {
-        Outcome { route, status, content_type: "application/json", extra: Vec::new(), body }
+        Outcome {
+            route,
+            status,
+            content_type: "application/json",
+            extra: Vec::new(),
+            body,
+            stages: None,
+        }
     }
 
     fn error(route: &'static str, status: u16, msg: &str) -> Self {
         Self::json(route, status, api::error_body(msg))
+    }
+
+    fn with_stages(mut self, stages: Stages) -> Self {
+        self.stages = Some(stages);
+        self
     }
 }
 
@@ -370,38 +431,108 @@ fn handle_conn(stream: TcpStream, shared: &Shared) {
         }
     };
     let id = shared.next_id.fetch_add(1, Ordering::Relaxed);
+    // Request identity: validate the client's x-request-id or mint one.
+    let rid: Arc<str> = match req.header("x-request-id") {
+        Some(v) if valid_request_id(v) => Arc::from(v),
+        Some(v) => {
+            let msg = if v.len() > MAX_REQUEST_ID_BYTES {
+                format!("x-request-id exceeds {MAX_REQUEST_ID_BYTES} bytes")
+            } else {
+                "x-request-id must be non-empty [A-Za-z0-9._-]".to_string()
+            };
+            let body = api::error_body(&msg);
+            let _ = write_response(&mut stream, 400, "application/json", &[], body.as_bytes());
+            shared.metrics.record_request("malformed", 400, start.elapsed());
+            return;
+        }
+        None => Arc::from(format!("obs-{id}")),
+    };
     let mut span = obs::span(obs::Level::Info, "serve", "request")
         .with("request", id)
+        .with("rid", &rid)
         .with("method", &req.method)
         .with("path", &req.path);
-    let outcome = route(&req, id, &mut span, shared);
+    let outcome = route(&req, id, &rid, &mut span, shared);
     span.record("status", outcome.status);
+    let mut headers = outcome.extra;
+    headers.push(("x-request-id", rid.to_string()));
+    if let Some(stages) = &outcome.stages {
+        headers.push(("x-stage-us", stages.header_value()));
+        shared.metrics.record_stages(stages);
+    }
     let _ = write_response(
         &mut stream,
         outcome.status,
         outcome.content_type,
-        &outcome.extra,
+        &headers,
         outcome.body.as_bytes(),
     );
-    shared.metrics.record_request(outcome.route, outcome.status, start.elapsed());
+    let total = start.elapsed();
+    if total >= shared.config.slow {
+        let st = outcome.stages.unwrap_or_default();
+        eprintln!(
+            "slow-request id={} route={} status={} total_ms={:.1} queue_us={} batch_wait_us={} encode_us={} store_us={} write_us={}",
+            rid,
+            outcome.route,
+            outcome.status,
+            total.as_secs_f64() * 1e3,
+            st.queue_us,
+            st.batch_wait_us,
+            st.encode_us,
+            st.store_us,
+            st.write_us,
+        );
+    }
+    shared.metrics.record_request(outcome.route, outcome.status, total);
 }
 
 /// Dispatch one parsed request to its endpoint.
-fn route(req: &Request, id: u64, span: &mut obs::Span, shared: &Shared) -> Outcome {
+fn route(req: &Request, id: u64, rid: &Arc<str>, span: &mut obs::Span, shared: &Shared) -> Outcome {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => healthz(shared),
         ("GET", "/metrics") => metrics_page(shared),
-        ("POST", "/v1/embed") => embed(req, id, span, shared),
+        ("GET", "/debug/flight") => flight_page(),
+        ("GET", "/debug/profile") => profile_page(false),
+        ("GET", "/debug/profile/top") => profile_page(true),
+        ("POST", "/v1/embed") => embed(req, id, rid, span, shared),
         ("POST", "/v1/knn") => knn(req, shared),
         ("POST", "/admin/shutdown") => {
             shared.shutdown.store(true, Ordering::SeqCst);
             Outcome::json("admin", 200, "{\"draining\":true}".to_string())
         }
         ("GET", "/v1/embed" | "/v1/knn" | "/admin/shutdown")
-        | ("POST", "/healthz" | "/metrics") => {
-            Outcome::error("other", 405, &format!("method {} not allowed here", req.method))
-        }
+        | (
+            "POST",
+            "/healthz" | "/metrics" | "/debug/flight" | "/debug/profile" | "/debug/profile/top",
+        ) => Outcome::error("other", 405, &format!("method {} not allowed here", req.method)),
         (_, path) => Outcome::error("other", 404, &format!("no route for '{path}'")),
+    }
+}
+
+/// `GET /debug/flight`: the current ring as Chrome-trace JSON, without
+/// waiting for an anomaly.
+fn flight_page() -> Outcome {
+    Outcome::json("debug", 200, flight::render(None, "on-demand"))
+}
+
+/// `GET /debug/profile[/top]`: live profiler output, or 409 when no
+/// profiling session is running.
+fn profile_page(top: bool) -> Outcome {
+    if !obs::profiler::is_running() {
+        return Outcome::error(
+            "debug",
+            409,
+            "profiler not running; start the server with --profile-out or --profile-interval-ms",
+        );
+    }
+    let report = obs::profiler::report();
+    Outcome {
+        route: "debug",
+        status: 200,
+        content_type: "text/plain",
+        extra: Vec::new(),
+        body: if top { report.top } else { report.folded },
+        stages: None,
     }
 }
 
@@ -455,10 +586,11 @@ fn metrics_page(shared: &Shared) -> Outcome {
         content_type: "text/plain; version=0.0.4",
         extra: Vec::new(),
         body,
+        stages: None,
     }
 }
 
-fn embed(req: &Request, id: u64, span: &mut obs::Span, shared: &Shared) -> Outcome {
+fn embed(req: &Request, id: u64, rid: &Arc<str>, span: &mut obs::Span, shared: &Shared) -> Outcome {
     if req.header("content-length").is_none() {
         return Outcome::error("embed", 411, "POST /v1/embed requires Content-Length");
     }
@@ -494,6 +626,7 @@ fn embed(req: &Request, id: u64, span: &mut obs::Span, shared: &Shared) -> Outco
     let (tx, rx) = mpsc::channel();
     let job = Job {
         id,
+        rid: Arc::clone(rid),
         model: embed_req.model.clone(),
         table: embed_req.table.clone(),
         enqueued: now,
@@ -504,26 +637,39 @@ fn embed(req: &Request, id: u64, span: &mut obs::Span, shared: &Shared) -> Outco
     match shared.queue.push(job) {
         Pushed::Full => {
             obs::event_with(obs::Level::Info, "serve", "shed", || {
-                vec![("request", id.to_string())]
+                vec![("request", id.to_string()), ("rid", rid.to_string())]
             });
+            // Load shedding is an anomaly worth a flight dump: the ring
+            // holds the admissions that filled the queue.
+            flight::record(FlightKind::Shed, rid, [0; 5], 429);
+            flight::dump("shed");
             let mut o = Outcome::error("embed", 429, "admission queue full, retry shortly");
             o.extra.push(("Retry-After", "1".to_string()));
             o
         }
-        Pushed::Closed => Outcome::error("embed", 503, "server is draining"),
+        Pushed::Closed => {
+            flight::record(FlightKind::Shed, rid, [0; 5], 503);
+            flight::dump("shed");
+            Outcome::error("embed", 503, "server is draining")
+        }
         Pushed::Ok { depth } => {
             span.record("queue_depth", depth);
+            flight::record(FlightKind::Admit, rid, [0; 5], depth as u64);
             // The batcher always answers (reply, or drops the sender on a
             // path we haven't imagined — then recv errors and we 500).
             // The extra minute covers encode time after a met deadline.
             match rx.recv_timeout(deadline_in + Duration::from_secs(60)) {
-                Ok(Ok(enc)) => {
+                Ok((Ok(enc), stages)) => {
                     Outcome::json("embed", 200, api::render_embed_response(&embed_req, &enc))
+                        .with_stages(stages)
                 }
-                Ok(Err(JobError::DeadlineExpired)) => {
+                Ok((Err(JobError::DeadlineExpired), stages)) => {
                     Outcome::error("embed", 408, "deadline expired before encode")
+                        .with_stages(stages)
                 }
-                Ok(Err(JobError::Internal(m))) => Outcome::error("embed", 500, &m),
+                Ok((Err(JobError::Internal(m)), stages)) => {
+                    Outcome::error("embed", 500, &m).with_stages(stages)
+                }
                 Err(_) => Outcome::error("embed", 500, "batcher dropped the request"),
             }
         }
@@ -777,6 +923,7 @@ mod tests {
         assert!(matches!(
             shared.queue.push(Job {
                 id: 1,
+                rid: "r1".into(),
                 model: "bert".into(),
                 table,
                 enqueued: now,
@@ -793,8 +940,108 @@ mod tests {
         );
         let req = read_request(&mut BufReader::new(raw.as_bytes())).unwrap();
         let mut span = obs::span(obs::Level::Debug, "serve", "test");
-        let out = route(&req, 2, &mut span, shared);
+        let rid: Arc<str> = "r2".into();
+        let out = route(&req, 2, &rid, &mut span, shared);
         assert_eq!(out.status, 429);
         assert!(out.extra.iter().any(|(k, v)| *k == "Retry-After" && v == "1"));
+    }
+
+    /// Pull one header value (case-insensitive name) out of a raw head.
+    fn header_value(head: &str, name: &str) -> Option<String> {
+        head.lines().find_map(|l| {
+            let (k, v) = l.split_once(':')?;
+            (k.trim().eq_ignore_ascii_case(name)).then(|| v.trim().to_string())
+        })
+    }
+
+    #[test]
+    fn request_id_round_trips_and_stages_are_echoed() {
+        let (addr, handle, join) = spawn_server(ephemeral());
+        // Client-supplied id round-trips on the embed response, along
+        // with the full five-stage breakdown.
+        let (status, head, body) =
+            post_with(addr, "/v1/embed", &embed_body(11), "x-request-id: cli-abc.123\r\n");
+        assert_eq!(status, 200, "{body}");
+        assert_eq!(header_value(&head, "x-request-id").as_deref(), Some("cli-abc.123"));
+        let stages = header_value(&head, "x-stage-us").expect("stage header on embed");
+        for key in ["queue=", "batch_wait=", "encode=", "store=", "write="] {
+            assert!(stages.contains(key), "{key} missing in {stages}");
+        }
+        // Absent id → generated, echoed, and distinct per request.
+        let (_, head_a, _) = get(addr, "/healthz");
+        let (_, head_b, _) = get(addr, "/healthz");
+        let a = header_value(&head_a, "x-request-id").expect("generated id");
+        let b = header_value(&head_b, "x-request-id").expect("generated id");
+        assert!(a.starts_with("obs-") && b.starts_with("obs-"), "{a} {b}");
+        assert_ne!(a, b);
+        // Non-embed routes carry the id but no stage header.
+        assert!(header_value(&head_a, "x-stage-us").is_none());
+        shutdown_and_join(&handle, join);
+    }
+
+    #[test]
+    fn malformed_request_ids_are_rejected() {
+        let (addr, handle, join) = spawn_server(ephemeral());
+        let (status, _, body) =
+            post_with(addr, "/v1/embed", &embed_body(1), "x-request-id: bad id with spaces\r\n");
+        assert_eq!(status, 400, "{body}");
+        assert!(body.contains("x-request-id"), "{body}");
+        let long = "x".repeat(MAX_REQUEST_ID_BYTES + 1);
+        let (status, _, body) =
+            post_with(addr, "/v1/embed", &embed_body(1), &format!("x-request-id: {long}\r\n"));
+        assert_eq!(status, 400, "{body}");
+        assert!(body.contains("exceeds"), "{body}");
+        // Exactly at the limit is fine — even on a GET.
+        let max = "y".repeat(MAX_REQUEST_ID_BYTES);
+        let (status, head, _) =
+            send(addr, &format!("GET /healthz HTTP/1.1\r\nHost: t\r\nx-request-id: {max}\r\n\r\n"));
+        assert_eq!(status, 200);
+        assert_eq!(header_value(&head, "x-request-id"), Some(max));
+        shutdown_and_join(&handle, join);
+    }
+
+    #[test]
+    fn debug_flight_returns_chrome_trace() {
+        let (addr, handle, join) = spawn_server(ephemeral());
+        // Generate at least one admitted request so the ring has events.
+        assert_eq!(post(addr, "/v1/embed", &embed_body(21)).0, 200);
+        let (status, _, body) = get(addr, "/debug/flight");
+        assert_eq!(status, 200);
+        let doc = jparse(&body).expect("flight page is JSON");
+        assert!(doc.get("traceEvents").unwrap().as_array().is_some());
+        // Wrong method is 405, not 404.
+        assert_eq!(post(addr, "/debug/flight", "").0, 405);
+        shutdown_and_join(&handle, join);
+    }
+
+    #[test]
+    fn profile_endpoints_serve_folded_stacks_when_enabled() {
+        // The profiler is process-global: this is the only serve test
+        // that turns it on, and it stops it again via drain.
+        let config = ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            profile: true,
+            profile_interval: Duration::from_millis(2),
+            ..ServeConfig::default()
+        };
+        let (addr, handle, join) = spawn_server(config);
+        assert!(obs::profiler::is_running());
+        // Hold a frame on this thread so the sampler deterministically
+        // observes at least one non-empty stack during the run.
+        let pushed = obs::profiler::push_frame("test", "serve_profile_hold");
+        for i in 0..3 {
+            assert_eq!(post(addr, "/v1/embed", &embed_body(30 + i)).0, 200);
+        }
+        std::thread::sleep(Duration::from_millis(20));
+        let (status, _, _folded) = get(addr, "/debug/profile");
+        assert_eq!(status, 200);
+        if pushed {
+            obs::profiler::pop_frame();
+        }
+        let (status, _, _top) = get(addr, "/debug/profile/top");
+        assert_eq!(status, 200);
+        let stats = shutdown_and_join(&handle, join);
+        let report = stats.profile.expect("profile report after drain");
+        assert!(report.samples > 0, "sampler ran during the server's lifetime");
     }
 }

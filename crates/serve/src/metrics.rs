@@ -1,14 +1,21 @@
 //! Server-side metrics: request counters by route/status, shed and
-//! deadline counters, batch-size accounting, and a request-latency
-//! histogram, rendered as Prometheus families alongside the engine's
-//! exposition from `runtime::expose`.
+//! deadline counters, batch-size accounting, a request-latency
+//! histogram, and per-stage pipeline histograms
+//! (`observatory_serve_stage_us{stage=...}`), rendered as Prometheus
+//! families alongside the engine's exposition from `runtime::expose`.
 
+use crate::queue::Stages;
 use observatory_obs::PromBuf;
-use observatory_runtime::metrics::{Histogram, BUCKET_BOUNDS_NS};
+use observatory_runtime::metrics::{Histogram, HistogramSnapshot, BUCKET_BOUNDS_NS};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
+
+/// Stage label values, aligned with [`Stages::as_array`] (and with
+/// `observatory_obs::STAGE_NAMES`, minus the `_us` suffix the family
+/// name already carries).
+pub const STAGE_LABELS: [&str; 5] = ["queue", "batch_wait", "encode", "store", "write"];
 
 /// Counters for one serving process. All methods take `&self`.
 #[derive(Default)]
@@ -23,6 +30,8 @@ pub struct ServerMetrics {
     batched_jobs: AtomicU64,
     max_batch: AtomicU64,
     latency: Histogram,
+    /// One histogram per pipeline stage, [`STAGE_LABELS`] order.
+    stages: [Histogram; 5],
 }
 
 /// Frozen totals, used by the drain report.
@@ -42,6 +51,10 @@ pub struct ServerTotals {
     pub max_batch: u64,
     /// Handler panics recovered by the batcher.
     pub panics: u64,
+    /// Per-stage timing snapshots, `(stage label, histogram)` in
+    /// [`STAGE_LABELS`] order. Fuel for the drain report's p50/p95/p99
+    /// table (via `HistogramSnapshot::percentile` and `merge`).
+    pub stages: Vec<(&'static str, HistogramSnapshot)>,
 }
 
 impl ServerTotals {
@@ -87,6 +100,13 @@ impl ServerMetrics {
         self.panics.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record one request's per-stage breakdown.
+    pub fn record_stages(&self, s: &Stages) {
+        for (h, us) in self.stages.iter().zip(s.as_array()) {
+            h.record(Duration::from_micros(us));
+        }
+    }
+
     /// Frozen totals.
     pub fn totals(&self) -> ServerTotals {
         ServerTotals {
@@ -97,6 +117,11 @@ impl ServerMetrics {
             batched_jobs: self.batched_jobs.load(Ordering::Relaxed),
             max_batch: self.max_batch.load(Ordering::Relaxed),
             panics: self.panics.load(Ordering::Relaxed),
+            stages: STAGE_LABELS
+                .iter()
+                .zip(&self.stages)
+                .map(|(&n, h)| (n, h.snapshot()))
+                .collect(),
         }
     }
 
@@ -209,6 +234,37 @@ impl ServerMetrics {
                 v / 1e9,
             );
         }
+        // Per-stage pipeline histograms, one labeled child per stage.
+        // Stage timings are recorded in microseconds, so the family is
+        // rendered in µs (bounds are BUCKET_BOUNDS_NS ÷ 1000).
+        buf.family(
+            "observatory_serve_stage_us",
+            "histogram",
+            "Per-request pipeline stage time in microseconds, by stage.",
+        );
+        for (stage, h) in STAGE_LABELS.iter().zip(&self.stages) {
+            let s = h.snapshot();
+            let mut cumulative = 0u64;
+            for (&bound, &n) in BUCKET_BOUNDS_NS.iter().zip(&s.buckets) {
+                cumulative += n;
+                let le = if bound == u64::MAX {
+                    "+Inf".to_string()
+                } else {
+                    format!("{}", bound as f64 / 1e3)
+                };
+                buf.sample(
+                    "observatory_serve_stage_us_bucket",
+                    &[("stage", stage), ("le", &le)],
+                    cumulative as f64,
+                );
+            }
+            buf.sample(
+                "observatory_serve_stage_us_sum",
+                &[("stage", stage)],
+                s.sum_ns as f64 / 1e3,
+            );
+            buf.sample("observatory_serve_stage_us_count", &[("stage", stage)], s.count as f64);
+        }
         buf.finish()
     }
 }
@@ -228,6 +284,13 @@ mod tests {
         m.record_batch(4);
         m.record_batch(2);
         m.record_panic();
+        m.record_stages(&Stages {
+            queue_us: 12,
+            batch_wait_us: 3,
+            encode_us: 190,
+            store_us: 0,
+            write_us: 0,
+        });
         let text = m.prometheus_text(3, 256, 2, false);
         let summary = validate(&text).expect("server exposition must validate");
         for family in [
@@ -244,6 +307,9 @@ mod tests {
             "observatory_server_batch_size_max",
             "observatory_server_request_latency_seconds_bucket",
             "observatory_server_request_latency_quantile_seconds",
+            "observatory_serve_stage_us_bucket",
+            "observatory_serve_stage_us_sum",
+            "observatory_serve_stage_us_count",
         ] {
             assert!(summary.has(family), "missing {family}\n{text}");
         }
@@ -256,6 +322,50 @@ mod tests {
         assert_eq!((t.shed, t.expired, t.panics), (1, 1, 1));
         assert_eq!((t.batches, t.batched_jobs, t.max_batch), (2, 6, 4));
         assert!((t.mean_batch() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stage_histograms_track_each_stage_independently() {
+        let m = ServerMetrics::new();
+        m.record_stages(&Stages {
+            queue_us: 5,
+            batch_wait_us: 2,
+            encode_us: 5_000,
+            store_us: 0,
+            write_us: 0,
+        });
+        m.record_stages(&Stages {
+            queue_us: 7,
+            batch_wait_us: 1,
+            encode_us: 9_000,
+            store_us: 120,
+            write_us: 340,
+        });
+        let t = m.totals();
+        assert_eq!(t.stages.len(), 5);
+        for (name, snap) in &t.stages {
+            assert!(STAGE_LABELS.contains(name));
+            assert_eq!(snap.count, 2, "every stage sees every request");
+        }
+        let encode = &t.stages[2].1;
+        assert_eq!(t.stages[2].0, "encode");
+        assert_eq!(encode.sum_ns, 14_000_000, "µs recorded as ns");
+        assert!(encode.p50_ns() > t.stages[0].1.p50_ns(), "encode dominates queue");
+        // The drain report merges stages into one aggregate distribution.
+        let mut merged = HistogramSnapshot::default();
+        for (_, s) in &t.stages {
+            merged.merge(s);
+        }
+        assert_eq!(merged.count, 10);
+        // The exposition carries one child per stage and validates.
+        let text = m.prometheus_text(0, 1, 0, false);
+        validate(&text).expect("stage children validate");
+        for stage in STAGE_LABELS {
+            assert!(
+                text.contains(&format!("observatory_serve_stage_us_count{{stage=\"{stage}\"}} 2")),
+                "missing child for {stage}\n{text}"
+            );
+        }
     }
 
     #[test]

@@ -25,13 +25,57 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
-/// The batcher's reply to one request: the shared encoding on success.
-pub type Reply = Result<Arc<ModelEncoding>, JobError>;
+/// The batcher's reply to one request: the shared encoding on success,
+/// always paired with the per-stage timing breakdown (even failures
+/// carry what was measured before the failure — a 408 still reports how
+/// long the job sat in the queue).
+pub type Reply = (Result<Arc<ModelEncoding>, JobError>, Stages);
+
+/// Per-stage wall timings for one request, in microseconds. Field order
+/// matches [`observatory_obs::STAGE_NAMES`]; [`Stages::as_array`]
+/// produces the flight-recorder layout.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Stages {
+    /// Admission (`Queue::push`) to batch pop.
+    pub queue_us: u64,
+    /// Batch pop to the group's encode call (expiry sweep + grouping).
+    pub batch_wait_us: u64,
+    /// Model forward pass (0 on any cache hit).
+    pub encode_us: u64,
+    /// Tier-2 store read attempt (0 when the LRU hit or no store).
+    pub store_us: u64,
+    /// Tier-2 write-through (0 on hits or no store).
+    pub write_us: u64,
+}
+
+impl Stages {
+    /// The five timings in [`observatory_obs::STAGE_NAMES`] order.
+    pub fn as_array(&self) -> [u64; 5] {
+        [self.queue_us, self.batch_wait_us, self.encode_us, self.store_us, self.write_us]
+    }
+
+    /// Sum of all stage timings, in microseconds.
+    pub fn total_us(&self) -> u64 {
+        self.as_array().iter().fold(0u64, |a, &v| a.saturating_add(v))
+    }
+
+    /// Compact `x-stage-us` header value:
+    /// `queue=12;batch_wait=3;encode=190;store=0;write=0`.
+    pub fn header_value(&self) -> String {
+        format!(
+            "queue={};batch_wait={};encode={};store={};write={}",
+            self.queue_us, self.batch_wait_us, self.encode_us, self.store_us, self.write_us
+        )
+    }
+}
 
 /// One admitted encode request, waiting in the queue.
 pub struct Job {
     /// Server-assigned request id (monotone; used in traces).
     pub id: u64,
+    /// Client-visible request id: the validated `x-request-id` header
+    /// value, or a generated `obs-{id}` when the client sent none.
+    pub rid: Arc<str>,
     /// Registry model name, validated against the zoo before admission.
     pub model: String,
     /// The table to encode.
@@ -199,6 +243,7 @@ mod tests {
         let now = Instant::now();
         let j = Job {
             id,
+            rid: format!("r{id}").into(),
             model: "bert".into(),
             table,
             enqueued: now,

@@ -177,6 +177,10 @@ impl MmapStore {
                 Err(_) => {
                     stats.recovery_dropped.fetch_add(1, Ordering::Relaxed);
                     obs::event(obs::Level::Error, "store", "segment_quarantined");
+                    // Quarantine is an anomaly: snapshot the flight ring
+                    // so the events leading up to the corruption survive.
+                    obs::flight::record(obs::flight::FlightKind::Quarantine, "store", [0; 5], id);
+                    obs::flight::dump("quarantine");
                     let _ = fs::rename(&path, path.with_extension("seg.corrupt"));
                 }
             }

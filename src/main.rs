@@ -74,12 +74,20 @@ fn print_usage() {
     println!("                    [--queue-depth <n>] [--deadline-ms <n>]");
     println!("                    [--store-dir <dir>]  persistent embedding store (warm restarts)");
     println!("                    [--trace-out <file>] [--metrics-out <file>]");
+    println!("                    [--slow-ms <n>]      slow-request log threshold (default 1000)");
+    println!("                    [--profile-out <file>] enable the span profiler; write folded");
+    println!("                                           stacks here on drain");
+    println!(
+        "                    [--profile-interval-ms <n>] profiler sampling period (default 10)"
+    );
     println!();
     println!("Without --csv, characterize uses a built-in demo corpus. See DESIGN.md");
     println!("for the full experiment harness (cargo run -p observatory-bench --bin ...).");
     println!();
     println!("OBSERVATORY_LOG=off|error|info|debug|trace controls span collection (default off;");
     println!("--trace-out raises it to at least debug so the trace is populated).");
+    println!("OBSERVATORY_FLIGHT_DIR=<dir> makes the flight recorder dump a Chrome-trace JSON");
+    println!("there on anomalies (shed / deadline / panic / quarantine).");
 }
 
 /// Extract every value of a repeatable `--flag value` option.
@@ -347,20 +355,23 @@ fn cmd_characterize(args: &[String]) -> i32 {
 fn cmd_serve(args: &[String]) -> i32 {
     use observatory::serve::{ServeConfig, Server};
     // Usage errors first (exit 2), before any side effects.
-    let (max_batch, batch_delay_us, queue_depth, deadline_ms) = match (|| {
-        Ok::<_, String>((
-            parse_opt(args, "--max-batch", 16usize)?,
-            parse_opt(args, "--batch-delay-us", 2000u64)?,
-            parse_opt(args, "--queue-depth", 256usize)?,
-            parse_opt(args, "--deadline-ms", 5000u64)?,
-        ))
-    })() {
-        Ok(v) => v,
-        Err(e) => {
-            eprintln!("{e}");
-            return 2;
-        }
-    };
+    let (max_batch, batch_delay_us, queue_depth, deadline_ms, slow_ms, profile_interval_ms) =
+        match (|| {
+            Ok::<_, String>((
+                parse_opt(args, "--max-batch", 16usize)?,
+                parse_opt(args, "--batch-delay-us", 2000u64)?,
+                parse_opt(args, "--queue-depth", 256usize)?,
+                parse_opt(args, "--deadline-ms", 5000u64)?,
+                parse_opt(args, "--slow-ms", 1000u64)?,
+                parse_opt(args, "--profile-interval-ms", 10u64)?,
+            ))
+        })() {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("{e}");
+                return 2;
+            }
+        };
     if max_batch < 1 {
         eprintln!("invalid value '{max_batch}' for --max-batch (expected an integer >= 1)");
         return 2;
@@ -369,6 +380,23 @@ fn cmd_serve(args: &[String]) -> i32 {
         eprintln!("invalid value '{queue_depth}' for --queue-depth (expected an integer >= 1)");
         return 2;
     }
+    if profile_interval_ms < 1 {
+        eprintln!(
+            "invalid value '{profile_interval_ms}' for --profile-interval-ms \
+             (expected an integer >= 1)"
+        );
+        return 2;
+    }
+    // Like --store-dir: a trailing --profile-out must not silently run
+    // without profiling when the user clearly asked for a profile.
+    let profile_out = match opt_value(args, "--profile-out") {
+        Some(path) => Some(path.to_owned()),
+        None if args.last().is_some_and(|a| a == "--profile-out") => {
+            eprintln!("--profile-out requires a file argument");
+            return 2;
+        }
+        None => None,
+    };
     let store_dir = match store_dir_from_flags(args) {
         Ok(d) => d,
         Err(code) => return code,
@@ -397,6 +425,9 @@ fn cmd_serve(args: &[String]) -> i32 {
         queue_depth,
         deadline: std::time::Duration::from_millis(deadline_ms),
         handle_signals: true,
+        slow: std::time::Duration::from_millis(slow_ms),
+        profile: profile_out.is_some(),
+        profile_interval: std::time::Duration::from_millis(profile_interval_ms),
     };
     let requested_addr = config.addr.clone();
     let engine = observatory::runtime::global();
@@ -438,6 +469,22 @@ fn cmd_serve(args: &[String]) -> i32 {
         stats.totals.max_batch,
         stats.uptime.as_secs_f64(),
     );
+    print_stage_quantiles(&stats.totals.stages);
+    if let Some(report) = &stats.profile {
+        println!(
+            "\n-- profiler ({} samples @ {}ms) --",
+            report.samples,
+            report.interval.as_millis()
+        );
+        print!("{}", report.top);
+        if let Some(path) = &profile_out {
+            if let Err(e) = std::fs::write(path, &report.folded) {
+                eprintln!("cannot write {path}: {e}");
+                return 1;
+            }
+            println!("profile: {} samples -> {path}", report.samples);
+        }
+    }
     print_runtime_footer(&engine);
     if trace_out.is_some() || metrics_out.is_some() {
         let mut manifest = obs::Manifest::for_run();
@@ -521,6 +568,39 @@ fn write_observability(
     Ok(())
 }
 
+/// Per-stage latency quantiles for the serve drain report, plus an
+/// all-stages aggregate merged across the five histograms. Stage
+/// durations are recorded in microseconds, so the ns-valued snapshot
+/// percentiles divide straight back down.
+fn print_stage_quantiles(
+    stages: &[(&'static str, observatory::runtime::metrics::HistogramSnapshot)],
+) {
+    let recorded: Vec<_> = stages.iter().filter(|(_, h)| h.count > 0).collect();
+    if recorded.is_empty() {
+        return;
+    }
+    println!("stage timings, us (p50/p95/p99):");
+    let mut merged = observatory::runtime::metrics::HistogramSnapshot::default();
+    for (name, h) in &recorded {
+        println!(
+            "  {name:<11} {:>8.0} / {:>8.0} / {:>8.0}  ({} samples)",
+            h.p50_ns() / 1_000.0,
+            h.p95_ns() / 1_000.0,
+            h.p99_ns() / 1_000.0,
+            h.count,
+        );
+        merged.merge(h);
+    }
+    println!(
+        "  {:<11} {:>8.0} / {:>8.0} / {:>8.0}  ({} samples)",
+        "all-stages",
+        merged.p50_ns() / 1_000.0,
+        merged.p95_ns() / 1_000.0,
+        merged.p99_ns() / 1_000.0,
+        merged.count,
+    );
+}
+
 /// Post-run engine report: encode/cache counters, latency, cache bytes,
 /// SIMD dispatch tier and workspace-pool effectiveness.
 fn print_runtime_footer(engine: &observatory::runtime::Engine) {
@@ -553,6 +633,15 @@ fn print_runtime_footer(engine: &observatory::runtime::Engine) {
         println!("kernels: {}", kernels.render());
     }
     println!("simd: {}", observatory::linalg::simd::decision().describe());
+    // Span records silently discarded once the collector cap is hit.
+    // Anything nonzero means traces/profiles from this run have holes.
+    let dropped = obs::dropped_total();
+    if dropped > 0 {
+        println!(
+            "warning: observability collector dropped {dropped} span records (ring full); \
+             traces and profiles are incomplete"
+        );
+    }
     // Main-thread view of the scratch pool; worker threads each keep
     // their own (per-thread free-lists, no shared state to sample).
     let ws = observatory::linalg::workspace::stats();
@@ -681,6 +770,17 @@ mod tests {
         assert_eq!(cmd_mine_fds(&args(&["--max-error", "lots"])), 2);
         assert_eq!(cmd_mine_fds(&args(&["--max-error", "2.0"])), 2, "out of [0,1] range");
         assert_eq!(cmd_mine_fds(&args(&["--seed", "x"])), 2);
+    }
+
+    #[test]
+    fn malformed_serve_observability_flags_are_exit_2() {
+        // The new tracing/profiling knobs follow the same convention as
+        // every other numeric flag: malformed values are usage errors,
+        // caught before the server binds anything.
+        assert_eq!(cmd_serve(&args(&["--slow-ms", "fast"])), 2);
+        assert_eq!(cmd_serve(&args(&["--profile-interval-ms", "often"])), 2);
+        assert_eq!(cmd_serve(&args(&["--profile-interval-ms", "0"])), 2);
+        assert_eq!(cmd_serve(&args(&["--profile-out"])), 2, "trailing --profile-out");
     }
 
     #[test]

@@ -45,12 +45,14 @@ fn embed_body(id: &str, tag: usize) -> String {
     )
 }
 
-/// One request over a fresh connection; returns (status, body).
-fn post_embed(addr: SocketAddr, body: &str) -> (u16, String) {
+/// One request over a fresh connection; returns (status, head, body).
+/// The head keeps the raw response headers so tests can assert on
+/// `x-request-id` / `x-stage-us` without a second client path.
+fn post_embed_full(addr: SocketAddr, extra_headers: &str, body: &str) -> (u16, String, String) {
     let mut s = TcpStream::connect(addr).expect("connect");
     s.set_read_timeout(Some(Duration::from_secs(60))).unwrap();
     let raw = format!(
-        "POST /v1/embed HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+        "POST /v1/embed HTTP/1.1\r\nHost: t\r\n{extra_headers}Content-Length: {}\r\n\r\n{body}",
         body.len()
     );
     s.write_all(raw.as_bytes()).unwrap();
@@ -58,8 +60,22 @@ fn post_embed(addr: SocketAddr, body: &str) -> (u16, String) {
     s.read_to_string(&mut buf).expect("read response");
     let status: u16 =
         buf.split_whitespace().nth(1).and_then(|x| x.parse().ok()).expect("status line");
-    let (_, resp_body) = buf.split_once("\r\n\r\n").expect("header/body split");
-    (status, resp_body.to_string())
+    let (head, resp_body) = buf.split_once("\r\n\r\n").expect("header/body split");
+    (status, head.to_string(), resp_body.to_string())
+}
+
+/// One request over a fresh connection; returns (status, body).
+fn post_embed(addr: SocketAddr, body: &str) -> (u16, String) {
+    let (status, _, body) = post_embed_full(addr, "", body);
+    (status, body)
+}
+
+/// Value of a (lowercase) header in a raw response head, if present.
+fn header_of(head: &str, name: &str) -> Option<String> {
+    head.lines().find_map(|l| {
+        let (k, v) = l.split_once(':')?;
+        (k.trim().eq_ignore_ascii_case(name)).then(|| v.trim().to_string())
+    })
 }
 
 #[test]
@@ -73,6 +89,7 @@ fn soak_32_clients_no_losses_no_crosswiring_bit_identical() {
         queue_depth: CLIENTS * REQUESTS_PER_CLIENT,
         deadline: Duration::from_secs(120),
         handle_signals: false,
+        ..ServeConfig::default()
     };
     let engine = Arc::new(Engine::new(EngineConfig { jobs: 4, cache_bytes: 1 << 24 }));
     let server = Server::bind(config, engine).expect("bind ephemeral");
@@ -135,6 +152,63 @@ fn soak_32_clients_no_losses_no_crosswiring_bit_identical() {
          (max seen: {})",
         stats.totals.max_batch
     );
+}
+
+#[test]
+fn request_ids_and_stage_timings_round_trip_end_to_end() {
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        max_batch: 4,
+        batch_delay: Duration::from_micros(500),
+        queue_depth: 64,
+        deadline: Duration::from_secs(120),
+        handle_signals: false,
+        ..ServeConfig::default()
+    };
+    let engine = Arc::new(Engine::new(EngineConfig { jobs: 2, cache_bytes: 1 << 24 }));
+    let server = Server::bind(config, engine).expect("bind ephemeral");
+    let addr = server.local_addr().unwrap();
+    let handle = server.handle();
+    let server_thread = std::thread::spawn(move || server.run());
+
+    // A client-supplied x-request-id is echoed verbatim, and the stage
+    // breakdown carries all five tiers with parseable values. The first
+    // encode is cold, so the encode stage must have real time in it.
+    let (status, head, body) =
+        post_embed_full(addr, "x-request-id: soak-trace-1\r\n", &embed_body("e2e-1", 1));
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(header_of(&head, "x-request-id").as_deref(), Some("soak-trace-1"));
+    let stages = header_of(&head, "x-stage-us").expect("x-stage-us header on 200");
+    let mut parsed = std::collections::BTreeMap::new();
+    for part in stages.split(';') {
+        let (k, v) = part.split_once('=').unwrap_or_else(|| panic!("bad stage '{part}'"));
+        parsed.insert(k.to_string(), v.parse::<u64>().unwrap_or_else(|_| panic!("{stages}")));
+    }
+    for key in ["queue", "batch_wait", "encode", "store", "write"] {
+        assert!(parsed.contains_key(key), "missing stage '{key}' in '{stages}'");
+    }
+    assert!(parsed["encode"] > 0, "cold encode must take measurable time: {stages}");
+
+    // Requests without an id get distinct generated ones.
+    let (_, head_a, _) = post_embed_full(addr, "", &embed_body("e2e-2", 2));
+    let (_, head_b, _) = post_embed_full(addr, "", &embed_body("e2e-3", 3));
+    let id_a = header_of(&head_a, "x-request-id").expect("generated id");
+    let id_b = header_of(&head_b, "x-request-id").expect("generated id");
+    assert!(id_a.starts_with("obs-"), "{id_a}");
+    assert_ne!(id_a, id_b, "generated request ids must be distinct");
+
+    // Malformed ids are rejected before admission.
+    let (status, head_bad, _) =
+        post_embed_full(addr, "x-request-id: not a valid id!\r\n", &embed_body("e2e-4", 4));
+    assert_eq!(status, 400, "malformed x-request-id must be rejected");
+    assert!(header_of(&head_bad, "x-stage-us").is_none(), "no stage timings on a 400");
+
+    handle.shutdown();
+    let stats = server_thread.join().expect("server drains");
+    // The drain snapshot aggregates the same stages for the CLI report.
+    for (name, h) in &stats.totals.stages {
+        assert!(h.count >= 3, "stage '{name}' must have one sample per embed, got {}", h.count);
+    }
 }
 
 // ---------------------------------------------------------------------
