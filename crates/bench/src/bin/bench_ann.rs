@@ -1,0 +1,201 @@
+//! Machine-readable ANN benchmark: emits `BENCH_ann.json`.
+//!
+//! Quantifies what the sharded HNSW index buys over the exact flat scan
+//! on a clustered synthetic corpus (the regime of real table-embedding
+//! collections):
+//!
+//! 1. **Ground truth**: a flat [`KnnIndex`] answers every query exactly,
+//!    timed — this is both the recall reference and the QPS baseline.
+//! 2. **Build**: a [`ShardedHnsw`] over the same vectors (parallel
+//!    per-shard construction), timed.
+//! 3. **Sweep**: recall@10 and QPS at several `ef_search` beam widths,
+//!    bracketing the default.
+//!
+//! Output is one JSON document (path in `argv[1]`, default
+//! `BENCH_ann.json`). The acceptance gates — recall@10 ≥ 0.95 AND QPS ≥
+//! 5× flat at the default beam width on the 100k corpus — are asserted
+//! here, so a regression fails the process, not just a dashboard.
+//! `--full` adds a 1M-vector scale (several minutes; not run in CI).
+//! DESIGN.md §14 quotes the output directly.
+
+use observatory_bench::harness::banner;
+use observatory_linalg::SplitMix64;
+use observatory_search::{AnnIndex, HnswConfig, KnnIndex, SearchParams, ShardedHnsw};
+use std::time::Instant;
+
+const DIM: usize = 64;
+const QUERIES: usize = 200;
+const K: usize = 10;
+const SHARDS: usize = 4;
+const EF_SWEEP: [usize; 3] = [32, 64, 128];
+
+/// Clustered corpus: `n` points spread over `n/100` Gaussian clusters.
+fn corpus(n: usize, seed: u64) -> Vec<(String, Vec<f64>)> {
+    let mut rng = SplitMix64::new(seed);
+    let n_centers = (n / 100).max(1);
+    let centers: Vec<Vec<f64>> =
+        (0..n_centers).map(|_| (0..DIM).map(|_| rng.next_normal()).collect()).collect();
+    (0..n)
+        .map(|i| {
+            let c = &centers[i % n_centers];
+            let v: Vec<f64> = c.iter().map(|x| x + 0.1 * rng.next_normal()).collect();
+            (format!("v{i}"), v)
+        })
+        .collect()
+}
+
+/// Held-out queries: perturbations of corpus points (not the points
+/// themselves, so recall is not just self-retrieval).
+fn make_queries(data: &[(String, Vec<f64>)], seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = SplitMix64::new(seed);
+    (0..QUERIES)
+        .map(|_| {
+            let base = &data[rng.next_below(data.len())].1;
+            base.iter().map(|x| x + 0.05 * rng.next_normal()).collect()
+        })
+        .collect()
+}
+
+struct SweepPoint {
+    ef: usize,
+    recall: f64,
+    qps: f64,
+}
+
+struct ScaleResult {
+    n: usize,
+    build_s: f64,
+    flat_qps: f64,
+    points: Vec<SweepPoint>,
+}
+
+fn run_scale(n: usize, jobs: usize) -> ScaleResult {
+    let data = corpus(n, 0xBE2C + n as u64);
+    let queries = make_queries(&data, 0x5EED);
+
+    let mut flat = KnnIndex::new(DIM);
+    for (key, v) in &data {
+        flat.insert(key.clone(), v);
+    }
+    let t = Instant::now();
+    let truth: Vec<Vec<String>> = queries.iter().map(|q| flat.neighbor_keys(q, K, None)).collect();
+    let flat_s = t.elapsed().as_secs_f64();
+    let flat_qps = QUERIES as f64 / flat_s;
+    println!("  flat:  {QUERIES} queries in {flat_s:.3}s ({flat_qps:.0} qps)");
+
+    let t = Instant::now();
+    let ann = ShardedHnsw::build(DIM, SHARDS, HnswConfig::default(), &data, jobs);
+    let build_s = t.elapsed().as_secs_f64();
+    println!("  build: {n} vectors x {SHARDS} shards in {build_s:.2}s ({jobs} jobs)");
+
+    let mut points = Vec::new();
+    for ef in EF_SWEEP {
+        let params = SearchParams { ef_search: Some(ef) };
+        let t = Instant::now();
+        let hits: Vec<Vec<String>> = queries
+            .iter()
+            .map(|q| ann.search(q, K, None, params).into_iter().map(|h| h.key).collect())
+            .collect();
+        let ann_s = t.elapsed().as_secs_f64();
+        let qps = QUERIES as f64 / ann_s;
+        let mut recall = 0.0;
+        for (approx, exact) in hits.iter().zip(&truth) {
+            let t: std::collections::HashSet<&String> = exact.iter().collect();
+            recall += approx.iter().filter(|k| t.contains(k)).count() as f64 / exact.len() as f64;
+        }
+        recall /= QUERIES as f64;
+        println!("  ef={ef:<4} recall@{K} {recall:.4}, {qps:.0} qps ({:.1}x flat)", qps / flat_qps);
+        points.push(SweepPoint { ef, recall, qps });
+    }
+    ScaleResult { n, build_s, flat_qps, points }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out_path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_ann.json".into());
+    let full = args.iter().any(|a| a == "--full");
+    banner("bench_ann: sharded HNSW vs exact flat scan", "DESIGN.md §14");
+    let jobs = std::thread::available_parallelism().map_or(4, |n| n.get());
+
+    let mut scales = vec![100_000usize];
+    if full {
+        scales.push(1_000_000);
+    }
+    let mut results = Vec::new();
+    for n in scales {
+        println!("scale {n}:");
+        results.push(run_scale(n, jobs));
+    }
+
+    // Acceptance gates at the default beam width on the 100k corpus.
+    let base = &results[0];
+    let default_ef = HnswConfig::default().ef_search;
+    let at_default =
+        base.points.iter().find(|p| p.ef == default_ef).expect("sweep covers the default ef");
+    println!(
+        "gates: recall@{K} {:.4} (>= 0.95), qps {:.0} vs flat {:.0} ({:.1}x, >= 5x)",
+        at_default.recall,
+        at_default.qps,
+        base.flat_qps,
+        at_default.qps / base.flat_qps,
+    );
+    assert!(at_default.recall >= 0.95, "recall gate failed: {:.4} < 0.95", at_default.recall);
+    assert!(
+        at_default.qps >= 5.0 * base.flat_qps,
+        "QPS gate failed: {:.0} < 5x flat ({:.0})",
+        at_default.qps,
+        base.flat_qps
+    );
+
+    let scales_json: Vec<String> = results
+        .iter()
+        .map(|r| {
+            let points: Vec<String> = r
+                .points
+                .iter()
+                .map(|p| {
+                    format!(
+                        "{{\"ef\": {}, \"recall_at_10\": {:.4}, \"qps\": {:.1}, \
+                         \"speedup_over_flat\": {:.2}}}",
+                        p.ef,
+                        p.recall,
+                        p.qps,
+                        p.qps / r.flat_qps
+                    )
+                })
+                .collect();
+            format!(
+                "{{\"vectors\": {}, \"build_seconds\": {:.2}, \"flat_qps\": {:.1}, \
+                 \"sweep\": [{}]}}",
+                r.n,
+                r.build_s,
+                r.flat_qps,
+                points.join(", ")
+            )
+        })
+        .collect();
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"dim\": {},\n",
+            "  \"k\": {},\n",
+            "  \"queries\": {},\n",
+            "  \"shards\": {},\n",
+            "  \"default_ef\": {},\n",
+            "  \"scales\": [\n    {}\n  ]\n",
+            "}}\n"
+        ),
+        DIM,
+        K,
+        QUERIES,
+        SHARDS,
+        default_ef,
+        scales_json.join(",\n    "),
+    );
+    std::fs::write(&out_path, &json).expect("write BENCH_ann.json");
+    println!("wrote -> {out_path}");
+}

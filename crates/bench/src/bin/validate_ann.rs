@@ -1,0 +1,231 @@
+//! `validate_ann` — CI gate for the warm-started corpus ANN index.
+//!
+//! ```text
+//! validate_ann seed <store-dir> [n]
+//! validate_ann check <host:port> [n]
+//! ```
+//!
+//! The ann smoke job runs this around a server boot:
+//!
+//! 1. **seed** (no server): write a deterministic clustered corpus of
+//!    `n` table-level encodings (default 5000, dim 32) into a fresh
+//!    store directory and checkpoint it.
+//! 2. **check** (server started with `--store-dir … --ann-warm`):
+//!    regenerate the identical corpus in memory, build a flat
+//!    [`KnnIndex`] oracle, then require that
+//!    - `/healthz` advertises the hnsw index with the right item count
+//!      and dimension;
+//!    - full-beam corpus queries are **bit-identical** to the oracle
+//!      (keys, scores, order — the exact-re-rank guarantee across the
+//!      store, the index build, and the wire);
+//!    - default-beam recall@10 over a spread of held-out queries is
+//!      ≥ 0.95.
+//!
+//! Exit code 0 on success; 1 with a diagnostic on the first failure;
+//! 2 on usage errors. Both halves derive the corpus from the same seed,
+//! so nothing is passed between them but the store directory.
+
+use observatory_bench::httpc;
+use observatory_linalg::{Matrix, SplitMix64};
+use observatory_models::{Capabilities, ModelEncoding, Readout, TokenProvenance};
+use observatory_obs::json::{parse, Json};
+use observatory_runtime::{EmbeddingStore, Fingerprint};
+use observatory_search::KnnIndex;
+use observatory_store::{MmapStore, StoreConfig};
+use std::net::SocketAddr;
+use std::time::Duration;
+
+const DIM: usize = 32;
+const DEFAULT_N: usize = 5000;
+const K: usize = 10;
+const RECALL_QUERIES: usize = 40;
+const EXACT_QUERIES: usize = 5;
+const TIMEOUT: Duration = Duration::from_secs(60);
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (mode, target) = match (args.first(), args.get(1)) {
+        (Some(m), Some(t)) if m == "seed" || m == "check" => (m.as_str(), t.clone()),
+        _ => {
+            eprintln!("usage: validate_ann seed <store-dir> [n] | check <host:port> [n]");
+            std::process::exit(2);
+        }
+    };
+    let n = match args.get(2) {
+        None => DEFAULT_N,
+        Some(raw) => match raw.parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => {
+                eprintln!("validate_ann: corpus size must be a positive integer, got {raw:?}");
+                std::process::exit(2);
+            }
+        },
+    };
+    let run = if mode == "seed" { seed(&target, n) } else { check(&target, n) };
+    if let Err(e) = run {
+        eprintln!("validate_ann: {e}");
+        std::process::exit(1);
+    }
+    println!("validate_ann {mode}: ok ({n} vectors)");
+}
+
+/// A single-token table-level encoding whose `table()` readout is
+/// exactly `vector` (mean pool over one non-special token).
+fn table_encoding(vector: &[f64]) -> ModelEncoding {
+    ModelEncoding {
+        embeddings: Matrix::from_vec(1, vector.len(), vector.to_vec()),
+        provenance: vec![TokenProvenance { row: 1, col: 1, special: false }],
+        table_cls: None,
+        column_cls: vec![],
+        rows_encoded: 1,
+        cols_encoded: 1,
+        column_readout: Readout::MeanPool,
+        table_readout: Readout::MeanPool,
+        capabilities: Capabilities::all(),
+    }
+}
+
+/// The deterministic clustered corpus both subcommands agree on.
+/// Fingerprints ascend with the item index, which is also the order the
+/// server enumerates them in — so a flat oracle built in this order has
+/// the same tie-break order as the served index.
+fn corpus(n: usize) -> Vec<(Fingerprint, Vec<f64>)> {
+    let mut rng = SplitMix64::new(0xA22_5EED);
+    let n_centers = (n / 50).max(1);
+    let centers: Vec<Vec<f64>> =
+        (0..n_centers).map(|_| (0..DIM).map(|_| rng.next_normal()).collect()).collect();
+    (0..n)
+        .map(|i| {
+            let c = &centers[i % n_centers];
+            let v: Vec<f64> = c.iter().map(|x| x + 0.1 * rng.next_normal()).collect();
+            (Fingerprint(i as u128 + 1), v)
+        })
+        .collect()
+}
+
+fn seed(dir: &str, n: usize) -> Result<(), String> {
+    let path = std::path::PathBuf::from(dir);
+    if path.exists() {
+        return Err(format!("refusing to seed into existing path {dir}"));
+    }
+    let store = MmapStore::open(StoreConfig::new(path)).map_err(|e| format!("open store: {e}"))?;
+    for (fp, v) in &corpus(n) {
+        store.save(*fp, &table_encoding(v));
+    }
+    store.checkpoint();
+    Ok(())
+}
+
+fn check(addr_raw: &str, n: usize) -> Result<(), String> {
+    let addr = httpc::resolve(addr_raw).map_err(|e| format!("resolve: {e}"))?;
+    httpc::await_healthy(addr, TIMEOUT)?;
+
+    let health = httpc::get(addr, "/healthz", TIMEOUT)?;
+    let hj = parse(&health.body).map_err(|e| format!("healthz parse: {e}"))?;
+    let ann = hj.get("ann").ok_or("healthz has no ann field")?;
+    if ann.get("kind").and_then(Json::as_str) != Some("hnsw") {
+        return Err(format!("healthz ann is not a warm hnsw index: {}", health.body));
+    }
+    if ann.get("items").and_then(Json::as_f64) != Some(n as f64) {
+        return Err(format!("healthz ann.items != {n}: {}", health.body));
+    }
+    if ann.get("dim").and_then(Json::as_f64) != Some(DIM as f64) {
+        return Err(format!("healthz ann.dim != {DIM}: {}", health.body));
+    }
+
+    let data = corpus(n);
+    let mut oracle = KnnIndex::new(DIM);
+    for (fp, v) in &data {
+        oracle.insert(fp.to_hex(), v);
+    }
+
+    // Full beam: the served answer must be bit-identical to the oracle.
+    let exact: Vec<&[f64]> =
+        data.iter().step_by((n / EXACT_QUERIES).max(1)).map(|(_, v)| v.as_slice()).collect();
+    let served = corpus_query(addr, &exact, Some(n))?;
+    for (qi, q) in exact.iter().enumerate() {
+        let expect: Vec<(String, f64)> =
+            oracle.query(q, K, None).into_iter().map(|h| (h.key, h.score)).collect();
+        if served[qi].len() != expect.len() {
+            return Err(format!(
+                "full-beam query {qi}: {} hits, want {}",
+                served[qi].len(),
+                expect.len()
+            ));
+        }
+        for (s, e) in served[qi].iter().zip(&expect) {
+            if s.0 != e.0 {
+                return Err(format!("full-beam query {qi}: key {} != oracle {}", s.0, e.0));
+            }
+            if s.1.to_bits() != e.1.to_bits() {
+                return Err(format!(
+                    "full-beam query {qi}: score {} not bit-exact vs {}",
+                    s.1, e.1
+                ));
+            }
+        }
+    }
+
+    // Default beam: held-out perturbed queries must keep recall@10 high.
+    let mut rng = SplitMix64::new(0xC11EC);
+    let held_out: Vec<Vec<f64>> = (0..RECALL_QUERIES)
+        .map(|_| {
+            let base = &data[rng.next_below(data.len())].1;
+            base.iter().map(|x| x + 0.05 * rng.next_normal()).collect()
+        })
+        .collect();
+    let refs: Vec<&[f64]> = held_out.iter().map(Vec::as_slice).collect();
+    let served = corpus_query(addr, &refs, None)?;
+    let mut recall = 0.0;
+    for (qi, q) in refs.iter().enumerate() {
+        let truth: std::collections::HashSet<String> =
+            oracle.neighbor_keys(q, K, None).into_iter().collect();
+        recall += served[qi].iter().filter(|(k, _)| truth.contains(k)).count() as f64
+            / truth.len() as f64;
+    }
+    recall /= RECALL_QUERIES as f64;
+    println!("validate_ann check: default-beam recall@{K} = {recall:.4}");
+    if recall < 0.95 {
+        return Err(format!("recall gate failed: {recall:.4} < 0.95"));
+    }
+    Ok(())
+}
+
+/// POST one corpus-mode `/v1/knn` request; returns per-query (key, score)
+/// hit lists.
+fn corpus_query(
+    addr: SocketAddr,
+    queries: &[&[f64]],
+    ef: Option<usize>,
+) -> Result<Vec<Vec<(String, f64)>>, String> {
+    let ef_field = ef.map(|e| format!("\"ef\":{e},")).unwrap_or_default();
+    let body = format!(
+        "{{\"k\":{K},\"corpus\":true,\"mode\":\"ann\",{ef_field}\"queries\":[{}]}}",
+        queries
+            .iter()
+            .map(|q| format!("[{}]", q.iter().map(f64::to_string).collect::<Vec<_>>().join(",")))
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    let resp = httpc::post(addr, "/v1/knn", &body, TIMEOUT)?;
+    if resp.status != 200 {
+        return Err(format!("knn status {}: {}", resp.status, resp.body));
+    }
+    let v = parse(&resp.body).map_err(|e| format!("knn parse: {e}"))?;
+    let results = v.get("results").and_then(Json::as_array).ok_or("knn response has no results")?;
+    results
+        .iter()
+        .map(|hits| {
+            hits.as_array()
+                .ok_or_else(|| "hit list is not an array".to_string())?
+                .iter()
+                .map(|h| {
+                    let key =
+                        h.get("key").and_then(Json::as_str).ok_or("hit without key")?.to_string();
+                    let score = h.get("score").and_then(Json::as_f64).ok_or("hit without score")?;
+                    Ok((key, score))
+                })
+                .collect()
+        })
+        .collect()
+}

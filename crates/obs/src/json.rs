@@ -36,6 +36,14 @@ impl Json {
         }
     }
 
+    /// Boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// Numeric payload, if this is a number.
     pub fn as_f64(&self) -> Option<f64> {
         match self {

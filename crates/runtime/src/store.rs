@@ -53,6 +53,16 @@ pub trait EmbeddingStore: Send + Sync {
     fn generation(&self) -> u64 {
         self.tier_stats().generation
     }
+
+    /// Every live fingerprint, ascending and deduplicated — the
+    /// enumeration hook warm starts use to rebuild derived structures
+    /// (the serve ANN index) from store contents instead of re-encoding
+    /// the corpus. The default (empty) keeps trivial adapters and test
+    /// doubles honest: "nothing to enumerate" degrades to a cold start,
+    /// never to an error.
+    fn fingerprints(&self) -> Vec<Fingerprint> {
+        Vec::new()
+    }
 }
 
 /// Frozen statistics of a tier-2 store.

@@ -53,6 +53,11 @@ impl KnnIndex {
         self.keys.is_empty()
     }
 
+    /// Vector dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
     /// Insert a keyed vector. Keys need not be unique (near-duplicate
     /// mentions across tables are legitimate distinct items); zero vectors
     /// are stored as-is and simply never score above 0. The item's norm is
@@ -72,9 +77,18 @@ impl KnnIndex {
     /// runs). Set `exclude_key` to skip self-matches.
     ///
     /// The query norm is computed once per call and candidate norms were
-    /// hoisted at insert, so the scan is one dot product per item.
+    /// hoisted at insert, so the scan is one dot product per item. The
+    /// top-k is selected in O(n + k log k) — `select_nth_unstable_by`
+    /// partitions the scored vector around the k-th element, and only
+    /// the k survivors are sorted — instead of full-sorting all n
+    /// candidates. The comparator is a total order (descending score,
+    /// ascending insertion index), so the selected set and its final
+    /// order are bit-identical to the full sort's first k entries.
     pub fn query(&self, query: &[f64], k: usize, exclude_key: Option<&str>) -> Vec<Hit> {
         assert_eq!(query.len(), self.dim, "query: dimension mismatch");
+        if k == 0 {
+            return Vec::new();
+        }
         let qn = reduce::norm_l2(query);
         let mut scored: Vec<(usize, f64)> = (0..self.keys.len())
             .filter(|&i| exclude_key != Some(self.keys[i].as_str()))
@@ -83,12 +97,9 @@ impl KnnIndex {
                 (i, reduce::cosine_prenormed(reduce::dot(query, v), qn, self.norms[i]))
             })
             .collect();
-        // Descending by score, ascending by index for deterministic ties.
-        scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
-        scored
-            .into_iter()
-            .take(k)
-            .map(|(i, score)| Hit { key: self.keys[i].clone(), score })
+        top_k_hits(scored.as_mut_slice(), k)
+            .iter()
+            .map(|&(i, score)| Hit { key: self.keys[i].clone(), score })
             .collect()
     }
 
@@ -98,15 +109,44 @@ impl KnnIndex {
     }
 }
 
+/// Deterministic hit ordering shared by every index in this crate:
+/// descending score, then ascending insertion index. Total order
+/// (`total_cmp` + unique indices), so any comparison sort yields the
+/// same permutation.
+pub(crate) fn hit_order(a: &(usize, f64), b: &(usize, f64)) -> std::cmp::Ordering {
+    b.1.total_cmp(&a.1).then(a.0.cmp(&b.0))
+}
+
+/// Select the best `k` entries of `scored` under [`hit_order`] and
+/// return them sorted, in O(n + k log k): a quickselect partition
+/// around the k-th element, then a sort of the k survivors only.
+/// Because the order is total, the result is bit-identical to sorting
+/// all of `scored` and taking the first `k`.
+pub(crate) fn top_k_hits(scored: &mut [(usize, f64)], k: usize) -> &[(usize, f64)] {
+    let k = k.min(scored.len());
+    if k == 0 {
+        return &scored[..0];
+    }
+    if k < scored.len() {
+        scored.select_nth_unstable_by(k - 1, hit_order);
+    }
+    scored[..k].sort_unstable_by(hit_order);
+    &scored[..k]
+}
+
 /// Percent overlap between two neighbour lists: `|s₁ ∩ s₂| / K` with
-/// `K = max(len)` (paper Measure 6). Duplicated keys count once.
+/// `K = max(|s₁|, |s₂|)` over **distinct** keys (paper Measure 6).
+/// Duplicated keys count once on *both* sides of the ratio — the
+/// intersection is a set intersection, so the denominator must be the
+/// deduplicated list length too, or a list with repeated keys could
+/// never reach overlap 1.0 with itself.
 pub fn neighbor_overlap(s1: &[String], s2: &[String]) -> f64 {
-    let k = s1.len().max(s2.len());
+    let a: std::collections::HashSet<&String> = s1.iter().collect();
+    let b: std::collections::HashSet<&String> = s2.iter().collect();
+    let k = a.len().max(b.len());
     if k == 0 {
         return 0.0;
     }
-    let a: std::collections::HashSet<&String> = s1.iter().collect();
-    let b: std::collections::HashSet<&String> = s2.iter().collect();
     a.intersection(&b).count() as f64 / k as f64
 }
 
@@ -172,6 +212,22 @@ mod tests {
     }
 
     #[test]
+    fn overlap_dedups_both_sides() {
+        // Regression: the denominator used raw list lengths while the
+        // intersection deduplicated, so a list with repeated keys could
+        // never reach overlap 1.0 with itself.
+        let dup: Vec<String> = vec!["a".into(), "a".into(), "b".into()];
+        assert_eq!(neighbor_overlap(&dup, &dup), 1.0);
+        // {a, b} against {a, b, c}: 2 shared over max(2, 3) distinct.
+        let abc: Vec<String> = vec!["a".into(), "b".into(), "c".into()];
+        assert!((neighbor_overlap(&dup, &abc) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((neighbor_overlap(&abc, &dup) - 2.0 / 3.0).abs() < 1e-12);
+        // Disjoint stays 0 regardless of duplication.
+        let xy: Vec<String> = vec!["x".into(), "x".into(), "y".into()];
+        assert_eq!(neighbor_overlap(&dup, &xy), 0.0);
+    }
+
+    #[test]
     fn hoisted_norms_give_identical_scores_across_queries() {
         // Regression: candidate norms are computed once at insert, so a
         // 2-query request scores every item bit-identically to scoring
@@ -201,6 +257,62 @@ mod tests {
                     "hoisted-norm score for {} must equal from-scratch cosine",
                     h.key
                 );
+            }
+        }
+        // And the selection path must be bit-for-bit the full sort: the
+        // O(n + k log k) top-k replaced an O(n log n) sort-then-take.
+        for k in 0..=items.len() + 1 {
+            for q in [&q1[..], &q2[..]] {
+                assert_eq!(
+                    idx.query(q, k, None),
+                    query_fullsort(&idx, q, k, None),
+                    "top-k selection must equal the full-sort path at k={k}"
+                );
+            }
+        }
+    }
+
+    /// The pre-fix reference implementation: score everything, full-sort
+    /// with the same comparator, take k. Kept test-only as the oracle
+    /// for the selection-based `query`.
+    fn query_fullsort(idx: &KnnIndex, query: &[f64], k: usize, exclude: Option<&str>) -> Vec<Hit> {
+        let qn = reduce::norm_l2(query);
+        let mut scored: Vec<(usize, f64)> = (0..idx.keys.len())
+            .filter(|&i| exclude != Some(idx.keys[i].as_str()))
+            .map(|i| {
+                let v = &idx.data[i * idx.dim..(i + 1) * idx.dim];
+                (i, reduce::cosine_prenormed(reduce::dot(query, v), qn, idx.norms[i]))
+            })
+            .collect();
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        scored
+            .into_iter()
+            .take(k)
+            .map(|(i, score)| Hit { key: idx.keys[i].clone(), score })
+            .collect()
+    }
+
+    #[test]
+    fn top_k_selection_matches_full_sort_with_ties_and_nonfinite() {
+        // Adversarial inputs for the selection path: exact score ties
+        // (duplicate vectors), zero vectors (score 0), and an excluded
+        // key, across every k including 0 and > n.
+        let mut idx = KnnIndex::new(4);
+        let mut rng = observatory_linalg::SplitMix64::new(9);
+        for i in 0..64 {
+            let v: Vec<f64> = if i % 7 == 0 {
+                vec![0.0; 4] // zero vector: NaN-free score 0
+            } else if i % 3 == 0 {
+                vec![1.0, 2.0, -1.0, 0.5] // repeated: exact score ties
+            } else {
+                (0..4).map(|_| rng.next_normal()).collect()
+            };
+            idx.insert(format!("k{i}"), &v);
+        }
+        let q = [0.3, -0.8, 1.1, 0.2];
+        for k in [0, 1, 2, 5, 10, 63, 64, 100] {
+            for exclude in [None, Some("k3")] {
+                assert_eq!(idx.query(&q, k, exclude), query_fullsort(&idx, &q, k, exclude));
             }
         }
     }

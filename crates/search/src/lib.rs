@@ -16,12 +16,20 @@
 //!   line the paper builds on).
 //! - [`lsh`]: random-hyperplane LSH for approximate cosine search — the
 //!   sublinear regime the paper's LSH-Ensemble citations target.
+//! - [`quant`]: int8 scalar quantization of stored vectors (8× smaller
+//!   scan payload, exact integer dot products) feeding the graph walk.
+//! - [`ann`]: sharded HNSW graphs over quantized vectors with exact f64
+//!   re-ranking, behind the [`ann::AnnIndex`] trait that the flat
+//!   [`KnnIndex`] also implements (the recall-1 oracle).
 
+pub mod ann;
 pub mod join;
 pub mod knn;
 pub mod lsh;
 pub mod minhash;
 pub mod overlap;
+pub mod quant;
 
+pub use ann::{AnnIndex, HnswConfig, HnswIndex, SearchParams, ShardedHnsw};
 pub use knn::KnnIndex;
 pub use overlap::{containment, jaccard, multiset_jaccard};

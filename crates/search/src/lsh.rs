@@ -110,14 +110,29 @@ impl LshIndex {
             .collect()
     }
 
-    /// Mean fraction of query buckets probed relative to the full index —
-    /// a cheap selectivity diagnostic.
-    pub fn mean_bucket_fill(&self) -> f64 {
+    /// Mean bucket **size**: indexed entries per occupied bucket,
+    /// averaged over all tables (`keys × tables / occupied_buckets`) — a
+    /// cheap selectivity diagnostic. This is the expected number of
+    /// candidates a query pulls from one matching bucket, *not* a
+    /// fraction of the index; the old name (`mean_bucket_fill`) and doc
+    /// claimed the latter while computing this.
+    pub fn mean_bucket_size(&self) -> f64 {
         if self.keys.is_empty() {
             return 0.0;
         }
         let total: usize = self.tables.iter().map(|t| t.len()).sum();
         self.keys.len() as f64 * self.tables.len() as f64 / total.max(1) as f64
+    }
+
+    /// Mean fraction of the index a query probes: mean bucket size over
+    /// index size — the selectivity the old `mean_bucket_fill` doc
+    /// actually promised. 1.0 means every query re-ranks the whole
+    /// index (LSH buys nothing); useful values are ≪ 1.
+    pub fn mean_probe_fraction(&self) -> f64 {
+        if self.keys.is_empty() {
+            return 0.0;
+        }
+        self.mean_bucket_size() / self.keys.len() as f64
     }
 }
 
@@ -201,5 +216,28 @@ mod tests {
     #[should_panic(expected = "n_bits")]
     fn too_many_bits_panics() {
         LshIndex::new(4, 2, 65, 1);
+    }
+
+    #[test]
+    fn bucket_size_pins_known_index() {
+        // One table, one hyperplane: v and -v land on opposite sides of
+        // the plane (their projections have opposite signs), so the
+        // table has exactly two occupied buckets regardless of the
+        // random hyperplane. Two entries per bucket → mean size 2.0, and
+        // a query probes 2 of 4 indexed entries → fraction 0.5.
+        let mut lsh = LshIndex::new(3, 1, 1, 5);
+        let v = [0.3, -1.2, 0.7];
+        let neg: Vec<f64> = v.iter().map(|x| -x).collect();
+        lsh.insert("a", &v);
+        lsh.insert("b", &v);
+        lsh.insert("c", &neg);
+        lsh.insert("d", &neg);
+        assert_eq!(lsh.tables[0].len(), 2, "two occupied buckets");
+        assert_eq!(lsh.mean_bucket_size(), 2.0);
+        assert_eq!(lsh.mean_probe_fraction(), 0.5);
+        // Empty index: both diagnostics are defined as 0.
+        let empty = LshIndex::new(3, 1, 1, 5);
+        assert_eq!(empty.mean_bucket_size(), 0.0);
+        assert_eq!(empty.mean_probe_fraction(), 0.0);
     }
 }

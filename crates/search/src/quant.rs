@@ -1,0 +1,250 @@
+//! Int8 scalar quantization for approximate cosine scoring.
+//!
+//! The HNSW graph walk ([`crate::ann`]) evaluates thousands of candidate
+//! similarities per query; doing that on the original `f64` vectors
+//! costs 8 bytes/lane of memory traffic for a comparison whose outcome
+//! only needs ~2 correct decimal digits (the walk is re-ranked exactly
+//! afterwards). Each vector is therefore quantized **symmetrically per
+//! vector**: `q[i] = round(127 · v[i] / max|v|)`, clamped to `[-127,
+//! 127]`.
+//!
+//! Cosine similarity is scale-invariant, so the per-vector scale cancels
+//! and never needs to be stored:
+//!
+//! ```text
+//! cos(a, b) ≈ dot(qa, qb) / (‖qa‖ · ‖qb‖)
+//! ```
+//!
+//! The int8 norms are hoisted at insertion (like the flat index's f64
+//! norms), making a quantized score one int dot product.
+//!
+//! ## Error budget
+//!
+//! Rounding perturbs each normalized component by at most `1/254` of
+//! the vector's max-magnitude component, which bounds the quantized
+//! cosine error by ~`2√dim/254 ≈ 0.06` at dim 64 in the worst case and
+//! ~`0.005` in the RMS case. That is far too coarse for *final* scores
+//! (the paper's measures compare scores across embedding spaces) but
+//! comfortably sharp for *candidate generation*: the exact f64 re-rank
+//! of the top `ef` candidates restores bit-exact scores, and the recall
+//! gate in `tests/proptests.rs` pins the end-to-end effect.
+
+/// A growable set of int8-quantized vectors with hoisted norms.
+///
+/// Storage is one flat row-major `i8` buffer (8× smaller than the f64
+/// original), plus one `f64` norm per vector.
+pub struct QuantVectors {
+    dim: usize,
+    data: Vec<i8>,
+    /// Hoisted L2 norms of the *quantized* rows.
+    norms: Vec<f64>,
+}
+
+impl QuantVectors {
+    /// An empty set for vectors of dimension `dim`.
+    pub fn new(dim: usize) -> Self {
+        Self { dim, data: Vec::new(), norms: Vec::new() }
+    }
+
+    /// Number of quantized vectors.
+    pub fn len(&self) -> usize {
+        self.norms.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.norms.is_empty()
+    }
+
+    /// Bytes held by the quantized payload (diagnostics).
+    pub fn payload_bytes(&self) -> usize {
+        self.data.len() + self.norms.len() * std::mem::size_of::<f64>()
+    }
+
+    /// Quantize and append `v`, returning its index.
+    ///
+    /// # Panics
+    /// Panics on a dimension mismatch.
+    pub fn push(&mut self, v: &[f64]) -> usize {
+        assert_eq!(v.len(), self.dim, "quantize: dimension mismatch");
+        let start = self.data.len();
+        self.data.resize(start + self.dim, 0);
+        let norm = quantize_into(v, &mut self.data[start..]);
+        self.norms.push(norm);
+        self.norms.len() - 1
+    }
+
+    /// The quantized row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[i8] {
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Approximate cosine similarity between stored rows `a` and `b`.
+    #[inline]
+    pub fn score_rows(&self, a: usize, b: usize) -> f64 {
+        scaled_dot(self.row(a), self.row(b), self.norms[a] * self.norms[b])
+    }
+
+    /// Approximate cosine similarity between a quantized query and
+    /// stored row `i`.
+    #[inline]
+    pub fn score(&self, query: &QuantQuery, i: usize) -> f64 {
+        scaled_dot(&query.data, self.row(i), query.norm * self.norms[i])
+    }
+}
+
+/// A query vector quantized once per search and reused for every
+/// candidate comparison.
+pub struct QuantQuery {
+    data: Vec<i8>,
+    norm: f64,
+}
+
+impl QuantQuery {
+    /// Quantize `v` with the same per-vector scheme as stored rows.
+    pub fn new(v: &[f64]) -> Self {
+        let mut data = vec![0i8; v.len()];
+        let norm = quantize_into(v, &mut data);
+        QuantQuery { data, norm }
+    }
+}
+
+/// Quantize `v` into `out` and return the L2 norm of the quantized row.
+/// Zero vectors (and all-NaN vectors, which have no finite max) quantize
+/// to all-zero with norm 0 and thus score 0 everywhere, like the flat
+/// index's zero-vector convention.
+fn quantize_into(v: &[f64], out: &mut [i8]) -> f64 {
+    let max = v.iter().map(|x| x.abs()).filter(|x| x.is_finite()).fold(0.0f64, f64::max);
+    if max <= 0.0 {
+        out.fill(0);
+        return 0.0;
+    }
+    let scale = 127.0 / max;
+    let mut sumsq = 0i64;
+    for (x, q) in v.iter().zip(out.iter_mut()) {
+        // Non-finite components clamp deterministically: +inf → 127,
+        // −inf → −127, NaN → 0.
+        let r = x * scale;
+        let c = if r.is_nan() { 0 } else { (r.round() as i64).clamp(-127, 127) };
+        *q = c as i8;
+        sumsq += c * c;
+    }
+    (sumsq as f64).sqrt()
+}
+
+/// `dot(a, b) / norms`, with 0 for degenerate norms. The i32 product of
+/// two `[-127, 127]` lanes accumulates exactly in i64 for any realistic
+/// dimension (dim < 2^47), so the dot itself is exact integer math.
+#[inline]
+fn scaled_dot(a: &[i8], b: &[i8], norms: f64) -> f64 {
+    if norms <= 0.0 {
+        return 0.0;
+    }
+    dot_i8(a, b) as f64 / norms
+}
+
+/// Integer dot product over i8 lanes with i64 accumulation. Written as
+/// four independent partial sums so the compiler can vectorize the
+/// i8→i32 widening multiply (this loop is the ANN hot path).
+#[inline]
+pub fn dot_i8(a: &[i8], b: &[i8]) -> i64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0i64; 4];
+    let mut chunks_a = a.chunks_exact(4);
+    let mut chunks_b = b.chunks_exact(4);
+    for (ca, cb) in chunks_a.by_ref().zip(chunks_b.by_ref()) {
+        for l in 0..4 {
+            acc[l] += i64::from(ca[l]) * i64::from(cb[l]);
+        }
+    }
+    let mut tail = 0i64;
+    for (x, y) in chunks_a.remainder().iter().zip(chunks_b.remainder()) {
+        tail += i64::from(*x) * i64::from(*y);
+    }
+    acc[0] + acc[1] + acc[2] + acc[3] + tail
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use observatory_linalg::{reduce, SplitMix64};
+
+    #[test]
+    fn quantized_cosine_tracks_exact_cosine() {
+        let mut rng = SplitMix64::new(11);
+        let dim = 64;
+        let vecs: Vec<Vec<f64>> =
+            (0..50).map(|_| (0..dim).map(|_| rng.next_normal()).collect()).collect();
+        let mut qv = QuantVectors::new(dim);
+        for v in &vecs {
+            qv.push(v);
+        }
+        let mut max_err = 0.0f64;
+        for (i, a) in vecs.iter().enumerate() {
+            let q = QuantQuery::new(a);
+            for (j, b) in vecs.iter().enumerate() {
+                let exact = reduce::cosine(a, b);
+                let approx = qv.score(&q, j);
+                max_err = max_err.max((exact - approx).abs());
+                let pair = qv.score_rows(i, j);
+                assert!((exact - pair).abs() < 0.02, "row-row err {i},{j}");
+            }
+        }
+        // RMS-case bound with margin; the doc's worst case is 0.06.
+        assert!(max_err < 0.02, "max quantized cosine error {max_err}");
+    }
+
+    #[test]
+    fn scale_invariance_is_exact() {
+        // Per-vector symmetric quantization: scaling a vector scales its
+        // max too, so the quantized codes are identical and the score is
+        // bit-identical, mirroring cosine's own scale invariance.
+        let v = [0.3, -1.2, 0.7, 0.01];
+        let scaled: Vec<f64> = v.iter().map(|x| x * 1e6).collect();
+        let mut qv = QuantVectors::new(4);
+        qv.push(&v);
+        qv.push(&scaled);
+        assert_eq!(qv.row(0), qv.row(1));
+        let q = QuantQuery::new(&[1.0, 1.0, -0.5, 0.25]);
+        assert_eq!(qv.score(&q, 0).to_bits(), qv.score(&q, 1).to_bits());
+    }
+
+    #[test]
+    fn degenerate_vectors_score_zero() {
+        let mut qv = QuantVectors::new(3);
+        qv.push(&[0.0, 0.0, 0.0]);
+        qv.push(&[f64::NAN, f64::NAN, f64::NAN]);
+        qv.push(&[1.0, f64::INFINITY, f64::NEG_INFINITY]);
+        let q = QuantQuery::new(&[1.0, 2.0, 3.0]);
+        assert_eq!(qv.score(&q, 0), 0.0);
+        assert_eq!(qv.score(&q, 1), 0.0);
+        // Infinities clamp to the rails rather than poisoning the row.
+        assert_eq!(qv.row(2), &[127, 127, -127]);
+        assert!(qv.score(&q, 2).is_finite());
+        // Zero-norm query scores zero against everything.
+        let zq = QuantQuery::new(&[0.0, 0.0, 0.0]);
+        assert_eq!(qv.score(&zq, 2), 0.0);
+    }
+
+    #[test]
+    fn dot_i8_matches_naive_on_tails() {
+        let mut rng = SplitMix64::new(3);
+        for len in [0usize, 1, 3, 4, 5, 7, 8, 63, 64, 65] {
+            let a: Vec<i8> = (0..len).map(|_| (rng.next_below(255) as i64 - 127) as i8).collect();
+            let b: Vec<i8> = (0..len).map(|_| (rng.next_below(255) as i64 - 127) as i8).collect();
+            let naive: i64 = a.iter().zip(&b).map(|(x, y)| i64::from(*x) * i64::from(*y)).sum();
+            assert_eq!(dot_i8(&a, &b), naive, "len={len}");
+        }
+    }
+
+    #[test]
+    fn payload_is_eightfold_smaller_than_f64() {
+        let mut qv = QuantVectors::new(128);
+        for _ in 0..10 {
+            qv.push(&vec![1.0; 128]);
+        }
+        // 10×128 i8 + 10 f64 norms, vs 10×128 f64 originals.
+        assert_eq!(qv.payload_bytes(), 10 * 128 + 10 * 8);
+    }
+}

@@ -22,14 +22,21 @@
 //!
 //! ```json
 //! {"k": 3, "items": [{"key": "a", "vector": [..]}], "queries": [[..]],
-//!  "exclude": ["a"]}
+//!  "exclude": ["a"],
+//!  "mode": "flat" | "ann", "ef": 64, "shards": 4, "corpus": false}
 //! ```
 //!
 //! `exclude[i]` (optional) is the key excluded from query `i`'s results
-//! (self-match suppression, mirrors `KnnIndex::query`).
+//! (self-match suppression, mirrors `KnnIndex::query`). `mode`
+//! (default `"flat"`) selects the exact scan or the sharded HNSW index;
+//! `ef` and `shards` tune the ANN path and are rejected under
+//! `"mode":"flat"` so a typo cannot silently degrade an exact request.
+//! `"corpus":true` queries the server's warm-started store-backed index
+//! (keys are content fingerprints) instead of inline `items`.
 
 use observatory_models::ModelEncoding;
 use observatory_obs::json::{escape, parse, Json};
+use observatory_search::ann::{AnnIndex, HnswConfig, SearchParams, ShardedHnsw};
 use observatory_search::knn::KnnIndex;
 use observatory_table::{Column, Table, Value};
 
@@ -254,17 +261,44 @@ pub fn render_embed_response(req: &EmbedRequest, enc: &ModelEncoding) -> String 
     out
 }
 
+/// Index selection for a `/v1/knn` request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KnnMode {
+    /// Exact brute-force scan (recall 1) — the default.
+    Flat,
+    /// Sharded HNSW with int8 traversal and exact f64 re-rank.
+    Ann,
+}
+
+impl KnnMode {
+    /// Wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            KnnMode::Flat => "flat",
+            KnnMode::Ann => "ann",
+        }
+    }
+}
+
 /// A parsed `/v1/knn` request.
 #[derive(Debug, Clone)]
 pub struct KnnRequest {
     /// Neighbours per query.
     pub k: usize,
-    /// Indexed (key, vector) pairs.
+    /// Indexed (key, vector) pairs (empty in corpus mode).
     pub items: Vec<(String, Vec<f64>)>,
     /// Query vectors.
     pub queries: Vec<Vec<f64>>,
     /// Per-query excluded key (self-match suppression), if given.
     pub exclude: Vec<Option<String>>,
+    /// Exact scan or ANN graph.
+    pub mode: KnnMode,
+    /// ANN beam width override (`"ef"`), `None` = index default.
+    pub ef_search: Option<usize>,
+    /// ANN shard count for inline items, `None` = 1.
+    pub shards: Option<usize>,
+    /// Query the server's warm store-backed index instead of `items`.
+    pub corpus: bool,
 }
 
 fn vector_from_json(v: &Json, what: &str) -> Result<Vec<f64>, ApiError> {
@@ -274,6 +308,20 @@ fn vector_from_json(v: &Json, what: &str) -> Result<Vec<f64>, ApiError> {
         .collect()
 }
 
+/// Parse a positive-integer field in `[1, max]`, `None` when absent.
+fn int_param(v: &Json, name: &str, max: f64) -> Result<Option<usize>, ApiError> {
+    match v.get(name) {
+        None => Ok(None),
+        Some(j) => {
+            let n = j.as_f64().ok_or_else(|| bad(format!("'{name}' must be a number")))?;
+            if !(n.fract() == 0.0 && (1.0..=max).contains(&n)) {
+                return Err(bad(format!("'{name}' must be an integer in [1, {max}]")));
+            }
+            Ok(Some(n as usize))
+        }
+    }
+}
+
 /// Parse a `/v1/knn` body.
 pub fn parse_knn(body: &str) -> Result<KnnRequest, ApiError> {
     let v = parse(body).map_err(bad)?;
@@ -281,46 +329,77 @@ pub fn parse_knn(body: &str) -> Result<KnnRequest, ApiError> {
     if !(k.fract() == 0.0 && (1.0..=10_000.0).contains(&k)) {
         return Err(bad("'k' must be an integer in [1, 10000]"));
     }
-    let items_json =
-        v.get("items").and_then(Json::as_array).ok_or_else(|| bad("missing 'items' array"))?;
-    if items_json.is_empty() {
-        return Err(bad("'items' must be non-empty"));
+    let mode = match v.get("mode").map(|m| m.as_str().ok_or(())) {
+        None => KnnMode::Flat,
+        Some(Ok("flat")) => KnnMode::Flat,
+        Some(Ok("ann")) => KnnMode::Ann,
+        _ => return Err(bad("'mode' must be \"flat\" or \"ann\"")),
+    };
+    let ef_search = int_param(&v, "ef", 100_000.0)?;
+    let shards = int_param(&v, "shards", 64.0)?;
+    if mode == KnnMode::Flat && (ef_search.is_some() || shards.is_some()) {
+        // A typo'd mode must not silently degrade an exact request.
+        return Err(bad("'ef' and 'shards' require \"mode\":\"ann\""));
     }
-    let mut items = Vec::with_capacity(items_json.len());
+    let corpus = match v.get("corpus") {
+        None => false,
+        Some(j) => j.as_bool().ok_or_else(|| bad("'corpus' must be a boolean"))?,
+    };
+    let mut items = Vec::new();
     let mut dim = None;
-    for (i, item) in items_json.iter().enumerate() {
-        let key = item
-            .get("key")
-            .and_then(Json::as_str)
-            .ok_or_else(|| bad(format!("items[{i}] needs a string 'key'")))?
-            .to_string();
-        let vector = vector_from_json(
-            item.get("vector").ok_or_else(|| bad(format!("items[{i}] needs a 'vector'")))?,
-            &format!("items[{i}].vector"),
-        )?;
-        match dim {
-            None => dim = Some(vector.len()),
-            Some(d) if d != vector.len() => {
-                return Err(bad(format!(
-                    "items[{i}].vector has dim {}, expected {d}",
-                    vector.len()
-                )))
-            }
-            Some(_) => {}
+    if corpus {
+        // Corpus mode searches the server-side index; inline items would
+        // be dead weight at best and ambiguity at worst.
+        if v.get("items").is_some() {
+            return Err(bad("'corpus':true cannot be combined with 'items'"));
         }
-        items.push((key, vector));
-    }
-    let d = dim.unwrap_or(0);
-    if d == 0 {
-        return Err(bad("vectors must be non-empty"));
+    } else {
+        let items_json =
+            v.get("items").and_then(Json::as_array).ok_or_else(|| bad("missing 'items' array"))?;
+        if items_json.is_empty() {
+            return Err(bad("'items' must be non-empty"));
+        }
+        items.reserve(items_json.len());
+        for (i, item) in items_json.iter().enumerate() {
+            let key = item
+                .get("key")
+                .and_then(Json::as_str)
+                .ok_or_else(|| bad(format!("items[{i}] needs a string 'key'")))?
+                .to_string();
+            let vector = vector_from_json(
+                item.get("vector").ok_or_else(|| bad(format!("items[{i}] needs a 'vector'")))?,
+                &format!("items[{i}].vector"),
+            )?;
+            match dim {
+                None => dim = Some(vector.len()),
+                Some(d) if d != vector.len() => {
+                    return Err(bad(format!(
+                        "items[{i}].vector has dim {}, expected {d}",
+                        vector.len()
+                    )))
+                }
+                Some(_) => {}
+            }
+            items.push((key, vector));
+        }
+        if dim == Some(0) {
+            return Err(bad("vectors must be non-empty"));
+        }
     }
     let queries_json =
         v.get("queries").and_then(Json::as_array).ok_or_else(|| bad("missing 'queries' array"))?;
     let mut queries = Vec::with_capacity(queries_json.len());
     for (i, q) in queries_json.iter().enumerate() {
         let vector = vector_from_json(q, &format!("queries[{i}]"))?;
-        if vector.len() != d {
-            return Err(bad(format!("queries[{i}] has dim {}, expected {d}", vector.len())));
+        if vector.is_empty() {
+            return Err(bad("vectors must be non-empty"));
+        }
+        match dim {
+            None => dim = Some(vector.len()),
+            Some(d) if d != vector.len() => {
+                return Err(bad(format!("queries[{i}] has dim {}, expected {d}", vector.len())))
+            }
+            Some(_) => {}
         }
         queries.push(vector);
     }
@@ -333,24 +412,54 @@ pub fn parse_knn(body: &str) -> Result<KnnRequest, ApiError> {
             arr.iter().map(|e| e.as_str().map(str::to_string)).collect()
         }
     };
-    Ok(KnnRequest { k: k as usize, items, queries, exclude })
+    Ok(KnnRequest { k: k as usize, items, queries, exclude, mode, ef_search, shards, corpus })
 }
 
-/// Execute a kNN request against a freshly built exact index and render
-/// the response body.
-pub fn run_knn(req: &KnnRequest) -> String {
+/// Execute a kNN request against a freshly built index over its inline
+/// items — exact or ANN according to `mode` — and render the response.
+/// `jobs` bounds the ANN shard-build fan-out (the engine's worker
+/// count). Corpus requests never reach here; the server routes them to
+/// its warm index via [`run_knn_on`].
+pub fn run_knn(req: &KnnRequest, jobs: usize) -> String {
     let dim = req.items[0].1.len();
-    let mut index = KnnIndex::new(dim);
-    for (key, vector) in &req.items {
-        index.insert(key.clone(), vector);
+    match req.mode {
+        KnnMode::Flat => {
+            let mut index = KnnIndex::new(dim);
+            for (key, vector) in &req.items {
+                index.insert(key.clone(), vector);
+            }
+            run_knn_on(req, &index)
+        }
+        KnnMode::Ann => {
+            let index = ShardedHnsw::build(
+                dim,
+                req.shards.unwrap_or(1),
+                HnswConfig::default(),
+                &req.items,
+                jobs,
+            );
+            run_knn_on(req, &index)
+        }
     }
-    let mut out = String::from("{\"results\":[");
+}
+
+/// Run every query of `req` against an already-built index and render
+/// the response body. The `mode`/`kind`/`shards` echo lets clients (and
+/// the CI smoke) verify which path actually served them.
+pub fn run_knn_on(req: &KnnRequest, index: &dyn AnnIndex) -> String {
+    let params = SearchParams { ef_search: req.ef_search };
+    let mut out = format!(
+        "{{\"mode\":\"{}\",\"index\":\"{}\",\"shards\":{},\"results\":[",
+        req.mode.as_str(),
+        index.kind(),
+        index.num_shards(),
+    );
     for (i, q) in req.queries.iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
         out.push('[');
-        let hits = index.query(q, req.k, req.exclude[i].as_deref());
+        let hits = index.search(q, req.k, req.exclude[i].as_deref(), params);
         for (h, hit) in hits.iter().enumerate() {
             if h > 0 {
                 out.push(',');
@@ -472,7 +581,7 @@ mod tests {
         }"#;
         let req = parse_knn(body).unwrap();
         assert_eq!(req.k, 2);
-        let out = run_knn(&req);
+        let out = run_knn(&req, 2);
         let v = parse(&out).unwrap();
         let results = v.get("results").unwrap().as_array().unwrap();
         assert_eq!(results.len(), 1);
@@ -498,14 +607,14 @@ mod tests {
         let q2 = "[-0.7, 1.1, 0.9]";
         let both =
             parse_knn(&format!(r#"{{"k":3,"items":{items},"queries":[{q1},{q2}]}}"#)).unwrap();
-        let out_both = run_knn(&both);
+        let out_both = run_knn(&both, 2);
         let v = parse(&out_both).unwrap();
         let results = v.get("results").unwrap().as_array().unwrap();
         assert_eq!(results.len(), 2);
         for (i, q) in [q1, q2].iter().enumerate() {
             let single =
                 parse_knn(&format!(r#"{{"k":3,"items":{items},"queries":[{q}]}}"#)).unwrap();
-            let out_single = run_knn(&single);
+            let out_single = run_knn(&single, 2);
             let vs = parse(&out_single).unwrap();
             let only = &vs.get("results").unwrap().as_array().unwrap()[0];
             assert_eq!(
@@ -514,6 +623,64 @@ mod tests {
                 "query {i}: shared-index scores must equal fresh-index scores"
             );
         }
+    }
+
+    #[test]
+    fn knn_ann_mode_matches_flat_at_full_beam() {
+        // With ef covering the whole item set the ANN path re-ranks every
+        // candidate exactly, so the rendered body differs from the flat
+        // body only in the mode/index/shards echo — hits are identical to
+        // the printed bit.
+        let items = r#"[
+            {"key": "a", "vector": [0.3, -1.2, 0.7]},
+            {"key": "b", "vector": [2.0, 0.1, -0.4]},
+            {"key": "c", "vector": [-0.5, 0.5, 1.5]},
+            {"key": "d", "vector": [0.3, -1.2, 0.7]}
+        ]"#;
+        let queries = r#"[[1, 0.2, -0.3], [-0.7, 1.1, 0.9]]"#;
+        let flat = parse_knn(&format!(r#"{{"k":4,"items":{items},"queries":{queries}}}"#)).unwrap();
+        let ann = parse_knn(&format!(
+            r#"{{"k":4,"items":{items},"queries":{queries},"mode":"ann","ef":16,"shards":2}}"#
+        ))
+        .unwrap();
+        assert_eq!(ann.mode, KnnMode::Ann);
+        let flat_out = run_knn(&flat, 2);
+        let ann_out = run_knn(&ann, 2);
+        let fv = parse(&flat_out).unwrap();
+        let av = parse(&ann_out).unwrap();
+        assert_eq!(fv.get("mode").unwrap().as_str(), Some("flat"));
+        assert_eq!(av.get("mode").unwrap().as_str(), Some("ann"));
+        assert_eq!(av.get("index").unwrap().as_str(), Some("hnsw"));
+        assert_eq!(av.get("shards").unwrap().as_f64(), Some(2.0));
+        assert_eq!(
+            format!("{:?}", fv.get("results")),
+            format!("{:?}", av.get("results")),
+            "full-beam ANN hits must equal flat hits bit-for-bit"
+        );
+    }
+
+    #[test]
+    fn knn_rejects_bad_mode_combinations() {
+        let items = r#"[{"key":"a","vector":[1,0]}]"#;
+        // ef/shards without ann mode: refuse rather than silently ignore.
+        for body in [
+            format!(r#"{{"items":{items},"queries":[[1,0]],"ef":8}}"#),
+            format!(r#"{{"items":{items},"queries":[[1,0]],"shards":2}}"#),
+            format!(r#"{{"items":{items},"queries":[[1,0]],"mode":"exact"}}"#),
+            format!(r#"{{"items":{items},"queries":[[1,0]],"mode":"ann","ef":0}}"#),
+            format!(r#"{{"items":{items},"queries":[[1,0]],"mode":"ann","shards":65}}"#),
+            format!(r#"{{"items":{items},"queries":[[1,0]],"corpus":true}}"#),
+            format!(r#"{{"queries":[[1,0]],"corpus":"yes"}}"#),
+        ] {
+            assert!(parse_knn(&body).is_err(), "{body}");
+        }
+        // Corpus mode: no items needed; queries set the dimension.
+        let req = parse_knn(r#"{"queries":[[1,0],[0,1]],"corpus":true,"mode":"ann"}"#).unwrap();
+        assert!(req.corpus);
+        assert!(req.items.is_empty());
+        assert_eq!(req.queries.len(), 2);
+        // Mixed query dims are still rejected without items.
+        assert!(parse_knn(r#"{"queries":[[1,0],[1]],"corpus":true}"#).is_err());
     }
 
     #[test]

@@ -66,6 +66,7 @@ use observatory_obs::flight;
 use observatory_obs::flight::FlightKind;
 use observatory_obs::Manifest;
 use observatory_runtime::Engine;
+use observatory_search::{AnnIndex, HnswConfig, ShardedHnsw};
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -115,6 +116,13 @@ pub struct ServeConfig {
     pub profile: bool,
     /// Profiler sampling interval (`--profile-interval-ms`).
     pub profile_interval: Duration,
+    /// Build a corpus ANN index from the attached store at startup
+    /// (`--ann-warm`): every stored table-level encoding becomes an
+    /// HNSW item keyed by its fingerprint hex, served by
+    /// `/v1/knn {"corpus":true}`.
+    pub ann_warm: bool,
+    /// Shard count for the warm corpus index (`--ann-shards`).
+    pub ann_shards: usize,
 }
 
 impl Default for ServeConfig {
@@ -129,6 +137,8 @@ impl Default for ServeConfig {
             slow: Duration::from_secs(1),
             profile: false,
             profile_interval: Duration::from_millis(10),
+            ann_warm: false,
+            ann_shards: 4,
         }
     }
 }
@@ -161,6 +171,9 @@ struct Shared {
     started: Instant,
     config: ServeConfig,
     manifest: Manifest,
+    /// Warm-started corpus ANN index ([`ServeConfig::ann_warm`]); `None`
+    /// when disabled, no store is attached, or the store was empty.
+    ann: Option<observatory_search::ShardedHnsw>,
 }
 
 /// Cloneable remote control for a running [`Server`].
@@ -215,6 +228,17 @@ impl Server {
                 manifest.set("store", "none");
             }
         }
+        let ann = if config.ann_warm { build_corpus_ann(&engine, config.ann_shards) } else { None };
+        match &ann {
+            Some(idx) => {
+                manifest.set("ann", "hnsw");
+                manifest.set("ann_items", idx.len().to_string());
+                manifest.set("ann_shards", idx.num_shards().to_string());
+            }
+            None => {
+                manifest.set("ann", "none");
+            }
+        }
         let shared = Arc::new(Shared {
             engine,
             queue: Queue::new(config.queue_depth),
@@ -226,6 +250,7 @@ impl Server {
             started: Instant::now(),
             config,
             manifest,
+            ann,
         });
         Ok(Server { listener, shared, signal_flag })
     }
@@ -233,6 +258,12 @@ impl Server {
     /// The bound address (resolves port 0 to the ephemeral port).
     pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
         self.listener.local_addr()
+    }
+
+    /// `(items, shards, dim)` of the warm corpus index, when one was
+    /// built — for the startup banner.
+    pub fn ann_summary(&self) -> Option<(usize, usize, usize)> {
+        self.shared.ann.as_ref().map(|i| (i.len(), i.num_shards(), i.dim()))
     }
 
     /// A remote control usable from other threads.
@@ -536,6 +567,51 @@ fn profile_page(top: bool) -> Outcome {
     }
 }
 
+/// Build the corpus ANN index from the engine's attached store: every
+/// live fingerprint's table-level readout becomes one item, keyed by
+/// the fingerprint hex — the same key `/v1/embed` clients can compute
+/// from their own content. No re-encoding happens here: vectors come
+/// straight out of the persisted segments. Returns `None` when there is
+/// no store or nothing usable in it (cold start, not an error).
+fn build_corpus_ann(engine: &Engine, shards: usize) -> Option<ShardedHnsw> {
+    let store = engine.store()?;
+    let fingerprints = store.fingerprints();
+    if fingerprints.is_empty() {
+        return None;
+    }
+    let mut span = obs::span(obs::Level::Info, "serve", "ann_warm")
+        .with("fingerprints", fingerprints.len())
+        .with("shards", shards);
+    let mut items: Vec<(String, Vec<f64>)> = Vec::with_capacity(fingerprints.len());
+    let mut dim = None;
+    let mut skipped = 0usize;
+    for fp in fingerprints {
+        // Unreadable records and non-table encodings are skipped, as are
+        // dimension strays (mixed-model stores): the index only holds
+        // mutually comparable vectors.
+        let vector = match store.load(fp).and_then(|enc| enc.table()) {
+            Some(v) if !v.is_empty() => v,
+            _ => {
+                skipped += 1;
+                continue;
+            }
+        };
+        match dim {
+            None => dim = Some(vector.len()),
+            Some(d) if d != vector.len() => {
+                skipped += 1;
+                continue;
+            }
+            Some(_) => {}
+        }
+        items.push((fp.to_hex(), vector));
+    }
+    span.record("items", items.len());
+    span.record("skipped", skipped);
+    let dim = dim?;
+    Some(ShardedHnsw::build(dim, shards.max(1), HnswConfig::default(), &items, engine.jobs()))
+}
+
 fn healthz(shared: &Shared) -> Outcome {
     // Store sub-object so orchestration can check warm-restart readiness
     // from the same probe it already scrapes; `null` when serving
@@ -550,8 +626,20 @@ fn healthz(shared: &Shared) -> Outcome {
         }
         None => "null".to_string(),
     };
+    // ANN sub-object: which index kind `/v1/knn {"corpus":true}` would
+    // hit, and how big it is. `null` until a warm start built one.
+    let ann = match &shared.ann {
+        Some(idx) => format!(
+            "{{\"kind\":\"{}\",\"items\":{},\"shards\":{},\"dim\":{}}}",
+            idx.kind(),
+            idx.len(),
+            idx.num_shards(),
+            idx.dim(),
+        ),
+        None => "null".to_string(),
+    };
     let body = format!(
-        "{{\"status\":\"ok\",\"draining\":{},\"queue_depth\":{},\"queue_capacity\":{},\"uptime_seconds\":{:.3},\"jobs\":{},\"simd\":\"{}\",\"store\":{}}}",
+        "{{\"status\":\"ok\",\"draining\":{},\"queue_depth\":{},\"queue_capacity\":{},\"uptime_seconds\":{:.3},\"jobs\":{},\"simd\":\"{}\",\"store\":{},\"ann\":{}}}",
         shared.draining.load(Ordering::SeqCst),
         shared.queue.len(),
         shared.queue.capacity(),
@@ -559,6 +647,7 @@ fn healthz(shared: &Shared) -> Outcome {
         shared.engine.jobs(),
         observatory_linalg::simd::decision().describe(),
         store,
+        ann,
     );
     Outcome::json("healthz", 200, body)
 }
@@ -676,7 +765,7 @@ fn embed(req: &Request, id: u64, rid: &Arc<str>, span: &mut obs::Span, shared: &
     }
 }
 
-fn knn(req: &Request, _shared: &Shared) -> Outcome {
+fn knn(req: &Request, shared: &Shared) -> Outcome {
     let body = match std::str::from_utf8(&req.body) {
         Ok(s) => s,
         Err(_) => return Outcome::error("knn", 400, "body must be UTF-8 JSON"),
@@ -686,8 +775,34 @@ fn knn(req: &Request, _shared: &Shared) -> Outcome {
             let mut span = obs::span(obs::Level::Debug, "serve", "knn")
                 .with("items", parsed.items.len())
                 .with("queries", parsed.queries.len())
+                .with("mode", parsed.mode.as_str())
+                .with("corpus", parsed.corpus)
                 .with("k", parsed.k);
-            let out = api::run_knn(&parsed);
+            let out = if parsed.corpus {
+                let Some(index) = &shared.ann else {
+                    return Outcome::error(
+                        "knn",
+                        409,
+                        "no corpus index: start the server with --ann-warm and an attached store",
+                    );
+                };
+                if let Some(q) = parsed.queries.first() {
+                    if q.len() != index.dim() {
+                        return Outcome::error(
+                            "knn",
+                            400,
+                            &format!(
+                                "corpus index has dim {}, queries have dim {}",
+                                index.dim(),
+                                q.len()
+                            ),
+                        );
+                    }
+                }
+                api::run_knn_on(&parsed, index)
+            } else {
+                api::run_knn(&parsed, shared.engine.jobs())
+            };
             span.record("bytes", out.len());
             Outcome::json("knn", 200, out)
         }

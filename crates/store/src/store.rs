@@ -554,6 +554,26 @@ impl EmbeddingStore for MmapStore {
             recovery_dropped: s.recovery_dropped.load(Ordering::Relaxed),
         }
     }
+
+    fn fingerprints(&self) -> Vec<Fingerprint> {
+        // Union across tiers (memtable, frozen memtable, segments): a
+        // fingerprint rewritten since the last rotation appears in more
+        // than one tier, so dedup before handing the list out. Sorted
+        // ascending to make warm-start index builds order-deterministic
+        // regardless of rotation history.
+        let inner = self.shared.lock_inner();
+        let mut live: std::collections::HashSet<u128> = inner.memtable.keys().copied().collect();
+        if let Some(frozen) = &inner.frozen {
+            live.extend(frozen.keys());
+        }
+        for seg in &inner.segments {
+            live.extend(seg.fingerprints());
+        }
+        drop(inner);
+        let mut out: Vec<Fingerprint> = live.into_iter().map(Fingerprint).collect();
+        out.sort_unstable_by_key(|fp| fp.0);
+        out
+    }
 }
 
 /// Open a store at `dir` with default tuning and attach it to `engine`.

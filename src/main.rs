@@ -73,6 +73,10 @@ fn print_usage() {
     println!("                    [--jobs <n>] [--max-batch <n>] [--batch-delay-us <n>]");
     println!("                    [--queue-depth <n>] [--deadline-ms <n>]");
     println!("                    [--store-dir <dir>]  persistent embedding store (warm restarts)");
+    println!("                    [--ann-warm]         build the corpus ANN index from the store");
+    println!(
+        "                    [--ann-shards <n>]   HNSW shards for the corpus index (default 4)"
+    );
     println!("                    [--trace-out <file>] [--metrics-out <file>]");
     println!("                    [--slow-ms <n>]      slow-request log threshold (default 1000)");
     println!("                    [--profile-out <file>] enable the span profiler; write folded");
@@ -401,6 +405,24 @@ fn cmd_serve(args: &[String]) -> i32 {
         Ok(d) => d,
         Err(code) => return code,
     };
+    let ann_warm = args.iter().any(|a| a == "--ann-warm");
+    let ann_shards = match parse_opt(args, "--ann-shards", 4usize) {
+        Ok(n) if (1..=64).contains(&n) => n,
+        Ok(n) => {
+            eprintln!("invalid value '{n}' for --ann-shards (expected an integer in 1..=64)");
+            return 2;
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    // A warm ANN index without a store would silently serve nothing:
+    // refuse up front rather than answer corpus queries with 409 forever.
+    if ann_warm && store_dir.is_none() {
+        eprintln!("--ann-warm requires --store-dir (the index is built from store contents)");
+        return 2;
+    }
     // The serving engine is the global one, so --jobs must be applied
     // before the first encode — i.e. before the server starts.
     if let Err(code) = init_engine_from_flags(args) {
@@ -428,6 +450,8 @@ fn cmd_serve(args: &[String]) -> i32 {
         slow: std::time::Duration::from_millis(slow_ms),
         profile: profile_out.is_some(),
         profile_interval: std::time::Duration::from_millis(profile_interval_ms),
+        ann_warm,
+        ann_shards,
     };
     let requested_addr = config.addr.clone();
     let engine = observatory::runtime::global();
@@ -445,6 +469,9 @@ fn cmd_serve(args: &[String]) -> i32 {
             return 1;
         }
     };
+    if let Some((items, shards, dim)) = server.ann_summary() {
+        println!("ann_warm: hnsw corpus index ({items} items, {shards} shards, dim {dim})");
+    }
     // The smoke harness and tests scrape this line for the (possibly
     // ephemeral) port, so it goes out before the accept loop starts.
     println!(

@@ -1,0 +1,258 @@
+//! End-to-end test of the warm-started corpus ANN index, against the
+//! real binary: seed a store directory with table-level encodings, boot
+//! `observatory serve --store-dir … --ann-warm`, and require that
+//!
+//! - `/healthz` reports the index (kind, item count, shard count);
+//! - `/v1/knn {"corpus":true}` answers with fingerprint-keyed hits;
+//! - at full beam width the hits are **bit-identical** to a flat
+//!   `KnnIndex` oracle built from the same vectors (the exact-re-rank
+//!   guarantee, across process and serialization boundaries);
+//! - at default beam width, self-retrieval still works (recall sanity).
+//!
+//! No re-encoding happens anywhere: the server builds the index from the
+//! persisted segments, which is the point of the warm start.
+
+#![cfg(unix)]
+
+use observatory::linalg::{Matrix, SplitMix64};
+use observatory::models::{Capabilities, ModelEncoding, Readout, TokenProvenance};
+use observatory::obs::json::{parse as jparse, Json};
+use observatory::runtime::{EmbeddingStore, Fingerprint};
+use observatory::search::KnnIndex;
+use observatory::store::{MmapStore, StoreConfig};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+const DIM: usize = 16;
+const ITEMS: usize = 200;
+
+/// A single-token table-level encoding whose `table()` readout is
+/// exactly `vector` (mean pool over one non-special token).
+fn table_encoding(vector: &[f64]) -> ModelEncoding {
+    ModelEncoding {
+        embeddings: Matrix::from_vec(1, vector.len(), vector.to_vec()),
+        provenance: vec![TokenProvenance { row: 1, col: 1, special: false }],
+        table_cls: None,
+        column_cls: vec![],
+        rows_encoded: 1,
+        cols_encoded: 1,
+        column_readout: Readout::MeanPool,
+        table_readout: Readout::MeanPool,
+        capabilities: Capabilities::all(),
+    }
+}
+
+/// Deterministic clustered corpus, `(fingerprint, vector)` per item.
+fn corpus() -> Vec<(Fingerprint, Vec<f64>)> {
+    let mut rng = SplitMix64::new(0xA55);
+    let centers: Vec<Vec<f64>> =
+        (0..8).map(|_| (0..DIM).map(|_| rng.next_normal()).collect()).collect();
+    (0..ITEMS)
+        .map(|i| {
+            let c = &centers[i % centers.len()];
+            let v: Vec<f64> = c.iter().map(|x| x + 0.1 * rng.next_normal()).collect();
+            (Fingerprint(i as u128 + 1), v)
+        })
+        .collect()
+}
+
+fn spawn_serve(store_dir: &std::path::Path) -> (Child, String) {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_observatory"));
+    cmd.arg("serve")
+        .args(["--addr", "127.0.0.1:0"])
+        .args(["--store-dir", store_dir.to_str().unwrap()])
+        .arg("--ann-warm")
+        .args(["--ann-shards", "4"]);
+    cmd.stdout(Stdio::piped()).stderr(Stdio::piped());
+    let mut child = cmd.spawn().expect("spawn serve");
+    let stdout = child.stdout.take().expect("stdout piped");
+    let mut reader = BufReader::new(stdout);
+    let addr = loop {
+        let mut line = String::new();
+        assert!(reader.read_line(&mut line).expect("read banner") > 0, "no banner before EOF");
+        if let Some(rest) = line.split("http://").nth(1) {
+            break rest.split_whitespace().next().expect("address in banner").to_string();
+        }
+    };
+    std::thread::spawn(move || {
+        let mut sink = String::new();
+        let _ = reader.into_inner().read_to_string(&mut sink);
+    });
+    (child, addr)
+}
+
+/// One request over a fresh connection; returns (status, body).
+fn request(addr: &str, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut s = std::net::TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    s.write_all(
+        format!(
+            "{method} {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\
+             Content-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .as_bytes(),
+    )
+    .expect("write request");
+    let mut buf = String::new();
+    s.read_to_string(&mut buf).expect("read response");
+    let status: u16 = buf.split_whitespace().nth(1).expect("status line").parse().expect("status");
+    let body = buf.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default();
+    (status, body)
+}
+
+fn hits_of(results: &Json, query: usize) -> Vec<(String, f64)> {
+    results.as_array().expect("results array")[query]
+        .as_array()
+        .expect("hit array")
+        .iter()
+        .map(|h| {
+            (
+                h.get("key").unwrap().as_str().unwrap().to_string(),
+                h.get("score").unwrap().as_f64().unwrap(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn warm_started_corpus_index_serves_store_contents() {
+    let dir = std::env::temp_dir().join(format!("obs-ann-warm-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let data = corpus();
+
+    // Seed the store. A small rotation budget forces several segments,
+    // so the warm build exercises the multi-tier fingerprint walk.
+    {
+        let mut config = StoreConfig::new(dir.clone());
+        config.rotate_bytes = 16 << 10;
+        let store = MmapStore::open(config).expect("open store");
+        for (fp, v) in &data {
+            store.save(*fp, &table_encoding(v));
+        }
+        store.checkpoint();
+    }
+
+    // The oracle the server must agree with, keyed like the server keys.
+    let mut oracle = KnnIndex::new(DIM);
+    for (fp, v) in &data {
+        oracle.insert(fp.to_hex(), v);
+    }
+
+    let (mut child, addr) = spawn_serve(&dir);
+
+    // healthz advertises the index.
+    let (status, body) = request(&addr, "GET", "/healthz", "");
+    assert_eq!(status, 200, "{body}");
+    let health = jparse(&body).expect("healthz json");
+    let ann = health.get("ann").expect("ann object");
+    assert_eq!(ann.get("kind").unwrap().as_str(), Some("hnsw"));
+    assert_eq!(ann.get("items").unwrap().as_f64(), Some(ITEMS as f64));
+    assert_eq!(ann.get("shards").unwrap().as_f64(), Some(4.0));
+    assert_eq!(ann.get("dim").unwrap().as_f64(), Some(DIM as f64));
+
+    // Full-beam corpus queries: bit-identical to the flat oracle.
+    let queries: Vec<&[f64]> = data.iter().step_by(37).map(|(_, v)| v.as_slice()).collect();
+    let body = format!(
+        r#"{{"k":10,"corpus":true,"mode":"ann","ef":{ITEMS},"queries":[{}]}}"#,
+        queries
+            .iter()
+            .map(|q| format!("[{}]", q.iter().map(f64::to_string).collect::<Vec<_>>().join(",")))
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    let (status, out) = request(&addr, "POST", "/v1/knn", &body);
+    assert_eq!(status, 200, "{out}");
+    let v = jparse(&out).expect("knn json");
+    assert_eq!(v.get("index").unwrap().as_str(), Some("hnsw"));
+    assert_eq!(v.get("shards").unwrap().as_f64(), Some(4.0));
+    let results = v.get("results").unwrap();
+    for (qi, q) in queries.iter().enumerate() {
+        let served = hits_of(results, qi);
+        let expect: Vec<(String, f64)> =
+            oracle.query(q, 10, None).into_iter().map(|h| (h.key, h.score)).collect();
+        assert_eq!(served.len(), expect.len());
+        for (s, e) in served.iter().zip(&expect) {
+            assert_eq!(s.0, e.0, "query {qi}: hit keys must match the oracle");
+            // push_f64 renders shortest-round-trip, so parsing back must
+            // reproduce the oracle's f64 exactly.
+            assert_eq!(s.1.to_bits(), e.1.to_bits(), "query {qi}: score must be bit-exact");
+        }
+    }
+
+    // Default beam: self-retrieval (the stored vector is its own
+    // nearest neighbour at score ~1).
+    let (fp0, v0) = &data[0];
+    let body = format!(
+        r#"{{"k":1,"corpus":true,"mode":"ann","queries":[[{}]]}}"#,
+        v0.iter().map(f64::to_string).collect::<Vec<_>>().join(",")
+    );
+    let (status, out) = request(&addr, "POST", "/v1/knn", &body);
+    assert_eq!(status, 200, "{out}");
+    let v = jparse(&out).expect("knn json");
+    let top = &hits_of(v.get("results").unwrap(), 0)[0];
+    assert_eq!(top.0, fp0.to_hex(), "self-retrieval at default ef");
+    assert!((top.1 - 1.0).abs() < 1e-9, "self-score {}", top.1);
+
+    // Dimension mismatch is a 400, not a panic.
+    let (status, out) =
+        request(&addr, "POST", "/v1/knn", r#"{"k":1,"corpus":true,"queries":[[1.0,2.0]]}"#);
+    assert_eq!(status, 400, "{out}");
+
+    let (status, _) = request(&addr, "POST", "/admin/shutdown", "");
+    assert_eq!(status, 200);
+    let status = child.wait().expect("reap server");
+    assert!(status.success(), "clean drain after shutdown");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corpus_queries_without_warm_index_are_refused() {
+    // No --ann-warm: corpus queries get a clear 409, inline queries work.
+    let dir = std::env::temp_dir().join(format!("obs-ann-cold-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    {
+        let store = MmapStore::open(StoreConfig::new(dir.clone())).expect("open store");
+        store.save(Fingerprint(1), &table_encoding(&vec![1.0; DIM]));
+        store.checkpoint();
+    }
+    let (mut child, addr) = spawn_serve_cold(&dir);
+    let (status, out) =
+        request(&addr, "POST", "/v1/knn", r#"{"k":1,"corpus":true,"queries":[[1.0,0.0]]}"#);
+    assert_eq!(status, 409, "{out}");
+    let (status, out) = request(
+        &addr,
+        "POST",
+        "/v1/knn",
+        r#"{"k":1,"items":[{"key":"a","vector":[1.0,0.0]}],"queries":[[1.0,0.0]]}"#,
+    );
+    assert_eq!(status, 200, "{out}");
+    let (status, _) = request(&addr, "POST", "/admin/shutdown", "");
+    assert_eq!(status, 200);
+    child.wait().expect("reap server");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn spawn_serve_cold(store_dir: &std::path::Path) -> (Child, String) {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_observatory"));
+    cmd.arg("serve")
+        .args(["--addr", "127.0.0.1:0"])
+        .args(["--store-dir", store_dir.to_str().unwrap()]);
+    cmd.stdout(Stdio::piped()).stderr(Stdio::piped());
+    let mut child = cmd.spawn().expect("spawn serve");
+    let stdout = child.stdout.take().expect("stdout piped");
+    let mut reader = BufReader::new(stdout);
+    let addr = loop {
+        let mut line = String::new();
+        assert!(reader.read_line(&mut line).expect("read banner") > 0, "no banner before EOF");
+        if let Some(rest) = line.split("http://").nth(1) {
+            break rest.split_whitespace().next().expect("address in banner").to_string();
+        }
+    };
+    std::thread::spawn(move || {
+        let mut sink = String::new();
+        let _ = reader.into_inner().read_to_string(&mut sink);
+    });
+    (child, addr)
+}
