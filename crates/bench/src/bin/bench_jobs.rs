@@ -1,0 +1,169 @@
+//! Machine-readable analysis-job benchmark: emits `BENCH_jobs.json`.
+//!
+//! Drives the `observatory-jobs` scheduler in-process (no HTTP in the
+//! measured path — the wire adds microseconds, the jobs take
+//! milliseconds to seconds) over the two workload shapes the service
+//! sees in practice:
+//!
+//! - **small-hot**: repeated analyses of one small table. After the
+//!   first job, every permutation variant is already in the engine's
+//!   content-addressed cache, so reruns skip the model entirely.
+//! - **large-cold**: each job analyzes a distinct larger table — every
+//!   encode is a cache miss and runs the model.
+//!
+//! Reported: end-to-end jobs/s over the mixed run, p95 time-to-result
+//! per class, and the warm-over-cold speedup for the *same* spec
+//! (first run vs rerun). The speedup is the whole point of running jobs
+//! behind the shared engine cache; the binary itself asserts the >= 5x
+//! gate so CI fails loudly rather than silently regressing.
+
+use observatory_bench::harness::banner;
+use observatory_jobs::{AnalyzeSpec, JobConfig, JobScheduler, JobState, Submit, TableStore};
+use observatory_runtime::{Engine, EngineConfig};
+use observatory_table::{Column, Table, Value};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Jobs per class in the mixed run.
+const JOBS_PER_CLASS: usize = 6;
+/// Distinct tables used to measure the cold->warm transition.
+const SPEEDUP_TABLES: usize = 3;
+
+fn table(name: &str, cols: usize, rows: usize, salt: u64) -> Table {
+    let columns = (0..cols)
+        .map(|c| {
+            let values = (0..rows)
+                .map(|r| {
+                    if c == 0 {
+                        Value::Int((salt as i64) * 1000 + r as i64)
+                    } else {
+                        Value::text(format!("cell-{salt}-{c}-{r}"))
+                    }
+                })
+                .collect();
+            Column::new(format!("c{c}"), values)
+        })
+        .collect();
+    Table::new(name, columns)
+}
+
+/// Submit one spec and block until it is done; returns time-to-result.
+fn run_job(sched: &JobScheduler, spec: AnalyzeSpec) -> Duration {
+    let start = Instant::now();
+    let id = match sched.submit(spec) {
+        Submit::Queued { id, .. } => id,
+        other => panic!("submit rejected: {other:?}"),
+    };
+    let status = sched
+        .wait_terminal(&id, Duration::from_secs(600))
+        .unwrap_or_else(|| panic!("job {id} never finished"));
+    assert_eq!(
+        status.state,
+        JobState::Done,
+        "job {id} ended {:?}: {:?}",
+        status.state,
+        status.error
+    );
+    start.elapsed()
+}
+
+fn p95_ms(samples: &[Duration]) -> f64 {
+    let mut ms: Vec<f64> = samples.iter().map(|d| d.as_secs_f64() * 1e3).collect();
+    ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    ms[((ms.len() - 1) as f64 * 0.95).round() as usize]
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_jobs.json".into());
+    banner("bench_jobs: analysis jobs small-hot vs large-cold", "DESIGN.md §15");
+
+    let engine = Arc::new(Engine::new(EngineConfig::from_env()));
+    let tables = Arc::new(TableStore::open(None).expect("in-memory table store"));
+    let sched = JobScheduler::start(
+        JobConfig { max_jobs: 256, ..JobConfig::default() },
+        Arc::clone(&engine),
+        Arc::clone(&tables),
+    )
+    .expect("start scheduler");
+
+    let spec = |table: String, permutations: usize| AnalyzeSpec {
+        table,
+        properties: vec!["P1".to_string(), "P2".to_string()],
+        seed: 7,
+        permutations,
+        ..AnalyzeSpec::default()
+    };
+
+    // ---- Warm-over-cold: same spec, first run vs rerun ----------------
+    let mut cold_s = 0.0f64;
+    let mut warm_s = 0.0f64;
+    for i in 0..SPEEDUP_TABLES {
+        let (id, _) = tables.add(table(&format!("speedup-{i}"), 5, 40, 900 + i as u64)).unwrap();
+        cold_s += run_job(&sched, spec(id.clone(), 16)).as_secs_f64();
+        warm_s += run_job(&sched, spec(id, 16)).as_secs_f64();
+    }
+    let speedup = cold_s / warm_s.max(1e-9);
+    println!(
+        "speedup: cold {cold_s:.3}s vs warm {warm_s:.3}s over {SPEEDUP_TABLES} tables -> {speedup:.1}x (gate: >= 5x)"
+    );
+
+    // ---- Mixed run: small-hot + large-cold, interleaved ----------------
+    let (hot_id, _) = tables.add(table("hot", 3, 12, 7)).unwrap();
+    // Pre-warm the hot table once so "small-hot" measures the steady
+    // state, the way a dashboard re-analyzing one table would see it.
+    run_job(&sched, spec(hot_id.clone(), 8));
+    let cold_ids: Vec<String> = (0..JOBS_PER_CLASS)
+        .map(|i| tables.add(table(&format!("cold-{i}"), 6, 60, i as u64)).unwrap().0)
+        .collect();
+
+    let mixed_start = Instant::now();
+    let mut hot_times = Vec::with_capacity(JOBS_PER_CLASS);
+    let mut cold_times = Vec::with_capacity(JOBS_PER_CLASS);
+    for id in &cold_ids {
+        hot_times.push(run_job(&sched, spec(hot_id.clone(), 8)));
+        cold_times.push(run_job(&sched, spec(id.clone(), 8)));
+    }
+    let mixed_s = mixed_start.elapsed().as_secs_f64();
+    let total_jobs = 2 * JOBS_PER_CLASS;
+    let jobs_per_s = total_jobs as f64 / mixed_s.max(1e-9);
+    let (hot_p95, cold_p95) = (p95_ms(&hot_times), p95_ms(&cold_times));
+    println!(
+        "mixed: {total_jobs} jobs in {mixed_s:.3}s -> {jobs_per_s:.2} jobs/s \
+         (p95 small-hot {hot_p95:.1}ms, large-cold {cold_p95:.1}ms)"
+    );
+
+    let totals = sched.drain();
+    assert_eq!(totals.outstanding(), 0, "drain must account for every job");
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"jobs\": {},\n",
+            "  \"mixed_seconds\": {:.4},\n",
+            "  \"jobs_per_s\": {:.2},\n",
+            "  \"small_hot\": {{\"jobs\": {}, \"p95_ms\": {:.2}}},\n",
+            "  \"large_cold\": {{\"jobs\": {}, \"p95_ms\": {:.2}}},\n",
+            "  \"cold_seconds\": {:.4},\n",
+            "  \"warm_seconds\": {:.4},\n",
+            "  \"warm_over_cold_speedup\": {:.2}\n",
+            "}}\n"
+        ),
+        total_jobs,
+        mixed_s,
+        jobs_per_s,
+        JOBS_PER_CLASS,
+        hot_p95,
+        JOBS_PER_CLASS,
+        cold_p95,
+        cold_s,
+        warm_s,
+        speedup,
+    );
+    std::fs::write(&out_path, &json).expect("write BENCH_jobs.json");
+    println!("wrote -> {out_path}");
+    assert!(
+        speedup >= 5.0,
+        "warm jobs must be >= 5x faster than cold (got {speedup:.2}x) — \
+         the scheduler is not hitting the shared encoding cache"
+    );
+}

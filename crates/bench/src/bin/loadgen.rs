@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! loadgen <host:port> [--concurrency N] [--requests N] [--model NAME]
-//!         [--distinct N] [--rows N] [--level L]
+//!         [--distinct N] [--rows N] [--level L] [--mode embed|analyze]
 //! ```
 //!
 //! Spawns `--concurrency` client threads; each issues `--requests`
@@ -25,6 +25,12 @@
 //! on multi-core hosts — the win is `encode_batch` fanning unique
 //! tables across `--jobs` workers, so it scales with cores; see
 //! DESIGN.md §10 for single-core expectations).
+//!
+//! `--mode analyze` switches the workload to the async-jobs plane: the
+//! distinct tables are ingested once via `POST /v1/tables`, then each
+//! "request" is a `POST /v1/analyze` (P1, small permutation budget)
+//! polled to a terminal state — latency is submit → terminal. Shed (429)
+//! and failed/cancelled jobs count like shed/errors on the embed path.
 
 use observatory_bench::httpc;
 use observatory_runtime::metrics::Histogram;
@@ -58,10 +64,15 @@ fn worker(
     bodies: Arc<Vec<String>>,
     requests: usize,
     offset: usize,
+    analyze: bool,
 ) -> WorkerReport {
     let mut report = WorkerReport { latency: Histogram::default(), ok: 0, shed: 0, errors: 0 };
     for i in 0..requests {
         let body = &bodies[(offset + i) % bodies.len()];
+        if analyze {
+            analyze_once(addr, body, &mut report);
+            continue;
+        }
         let start = Instant::now();
         match httpc::post(addr, "/v1/embed", body, Duration::from_secs(60)) {
             Ok(r) if r.status == 200 => {
@@ -82,6 +93,116 @@ fn worker(
     report
 }
 
+/// One analyze "request": submit the job and poll it to a terminal
+/// state. Latency is submit -> terminal (time-to-result, what a client
+/// of the async API actually waits for).
+fn analyze_once(addr: SocketAddr, body: &str, report: &mut WorkerReport) {
+    let start = Instant::now();
+    let job = match httpc::post(addr, "/v1/analyze", body, Duration::from_secs(60)) {
+        Ok(r) if r.status == 202 => match extract_job(&r.body) {
+            Some(j) => j,
+            None => {
+                eprintln!("loadgen: 202 without a job id: {}", r.body);
+                report.errors += 1;
+                return;
+            }
+        },
+        Ok(r) if r.status == 429 => {
+            report.shed += 1;
+            return;
+        }
+        Ok(r) => {
+            eprintln!("loadgen: unexpected analyze status {}: {}", r.status, r.body);
+            report.errors += 1;
+            return;
+        }
+        Err(e) => {
+            eprintln!("loadgen: {e}");
+            report.errors += 1;
+            return;
+        }
+    };
+    let budget = Duration::from_secs(600);
+    loop {
+        match httpc::get(addr, &format!("/v1/jobs/{job}"), Duration::from_secs(60)) {
+            Ok(r) if r.status == 200 => {
+                if r.body.contains("\"state\":\"done\"") {
+                    report.latency.record(start.elapsed());
+                    report.ok += 1;
+                    return;
+                }
+                if r.body.contains("\"state\":\"failed\"")
+                    || r.body.contains("\"state\":\"cancelled\"")
+                {
+                    eprintln!("loadgen: job {job} ended without a result: {}", r.body);
+                    report.errors += 1;
+                    return;
+                }
+            }
+            Ok(r) => {
+                eprintln!("loadgen: poll {job} answered {}: {}", r.status, r.body);
+                report.errors += 1;
+                return;
+            }
+            Err(e) => {
+                eprintln!("loadgen: poll {job}: {e}");
+                report.errors += 1;
+                return;
+            }
+        }
+        if start.elapsed() > budget {
+            eprintln!("loadgen: job {job} still running after {budget:?}");
+            report.errors += 1;
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+/// Pull `"job":"..."` out of a 202 body without a full JSON parse.
+fn extract_job(body: &str) -> Option<String> {
+    let tail = body.split("\"job\":\"").nth(1)?;
+    Some(tail.split('\"').next()?.to_string())
+}
+
+/// Ingest one CSV table per distinct payload; returns analyze bodies.
+fn analyze_bodies(
+    addr: SocketAddr,
+    model: &str,
+    distinct: usize,
+    rows: usize,
+) -> Result<Vec<String>, String> {
+    let mut bodies = Vec::with_capacity(distinct);
+    for t in 0..distinct {
+        let mut csv = String::from("id,name\n");
+        for r in 0..rows {
+            csv.push_str(&format!("{},item-{t}-{r}\n", t * 31 + r));
+        }
+        let resp = httpc::request_with_headers(
+            addr,
+            "POST",
+            "/v1/tables",
+            &[("Content-Type", "text/csv"), ("x-table-name", &format!("load{t}"))],
+            &csv,
+            Duration::from_secs(60),
+        )?;
+        if resp.status != 201 && resp.status != 200 {
+            return Err(format!("ingest load{t} answered {}: {}", resp.status, resp.body));
+        }
+        let id = resp
+            .body
+            .split("\"id\":\"")
+            .nth(1)
+            .and_then(|s| s.split('\"').next())
+            .ok_or_else(|| format!("ingest body without id: {}", resp.body))?
+            .to_string();
+        bodies.push(format!(
+            r#"{{"table":"{id}","model":"{model}","properties":["P1"],"seed":7,"permutations":4}}"#
+        ));
+    }
+    Ok(bodies)
+}
+
 fn flag(args: &[String], name: &str) -> Option<String> {
     args.windows(2).find(|w| w[0] == name).map(|w| w[1].clone())
 }
@@ -98,7 +219,7 @@ fn main() {
     let Some(addr_raw) = args.first().filter(|a| !a.starts_with("--")) else {
         eprintln!(
             "usage: loadgen <host:port> [--concurrency N] [--requests N] [--model NAME] \
-             [--distinct N] [--rows N] [--level table|column|row|cell]"
+             [--distinct N] [--rows N] [--level table|column|row|cell] [--mode embed|analyze]"
         );
         std::process::exit(2);
     };
@@ -120,18 +241,35 @@ fn main() {
     };
     let model = flag(&args, "--model").unwrap_or_else(|| "bert".to_string());
     let level = flag(&args, "--level").unwrap_or_else(|| "column".to_string());
+    let mode = flag(&args, "--mode").unwrap_or_else(|| "embed".to_string());
+    let analyze = match mode.as_str() {
+        "embed" => false,
+        "analyze" => true,
+        other => {
+            eprintln!("loadgen: unknown --mode '{other}' (embed|analyze)");
+            std::process::exit(2);
+        }
+    };
 
     if let Err(e) = httpc::await_healthy(addr, Duration::from_secs(20)) {
         eprintln!("loadgen: {e}");
         std::process::exit(1);
     }
 
-    let bodies: Arc<Vec<String>> = Arc::new(
-        (0..distinct.max(1)).map(|t| embed_body(&model, &level, t, rows.max(1))).collect(),
-    );
+    let bodies: Arc<Vec<String>> = if analyze {
+        match analyze_bodies(addr, &model, distinct.max(1), rows.max(1)) {
+            Ok(b) => Arc::new(b),
+            Err(e) => {
+                eprintln!("loadgen: {e}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        Arc::new((0..distinct.max(1)).map(|t| embed_body(&model, &level, t, rows.max(1))).collect())
+    };
     println!(
         "loadgen: {concurrency} clients x {requests} requests -> {addr} \
-         (model={model}, level={level}, {} distinct tables, {rows} rows)",
+         (mode={mode}, model={model}, level={level}, {} distinct tables, {rows} rows)",
         bodies.len()
     );
 
@@ -139,7 +277,7 @@ fn main() {
     let workers: Vec<_> = (0..concurrency)
         .map(|c| {
             let bodies = Arc::clone(&bodies);
-            std::thread::spawn(move || worker(addr, bodies, requests, c * 17))
+            std::thread::spawn(move || worker(addr, bodies, requests, c * 17, analyze))
         })
         .collect();
     let mut latency = observatory_runtime::metrics::Histogram::default().snapshot();

@@ -1,0 +1,306 @@
+//! `validate_jobs` — CI gate for characterization-as-a-service.
+//!
+//! ```text
+//! validate_jobs check <host:port>   full conformance pass
+//! validate_jobs drain <host:port>   submit a long job, leave it running
+//! ```
+//!
+//! `check` runs a pure-Rust conformance pass against a live
+//! `observatory serve` process:
+//!
+//! 1. `GET /healthz` answers 200 and carries the `jobs` gauge object;
+//! 2. `POST /v1/tables` ingests a CSV table (201) and re-ingesting the
+//!    same bytes is idempotent (200, same content-addressed id);
+//! 3. `POST /v1/analyze` → 202 with a job id; polling
+//!    `GET /v1/jobs/<id>` reaches `done` with progress 1; the result
+//!    carries one report per requested property with non-empty measures;
+//! 4. resubmitting the identical spec yields a byte-identical `result`
+//!    object (the pipeline is deterministic end to end);
+//! 5. flooding the queue past `--max-jobs` answers 429 + `Retry-After`
+//!    (admission is bounded, not backlogged);
+//! 6. `DELETE /v1/jobs/<id>` cancels queued work immediately and running
+//!    work at the next checkpoint — every flooded job ends terminal;
+//! 7. unknown routes answer JSON 404, wrong methods answer 405 with an
+//!    `Allow` header, bad analyze specs answer 400/404.
+//!
+//! `drain` submits one long-running job and exits, leaving it in flight —
+//! the harness then SIGTERMs the server and asserts the drain report
+//! accounts for every admitted job (`0 lost`).
+//!
+//! Exit code 0 on success; 1 with a diagnostic on the first failure.
+
+use observatory_bench::httpc;
+use observatory_obs::json::{parse, Json};
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+const TIMEOUT: Duration = Duration::from_secs(30);
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (Some(mode), Some(addr_raw)) = (args.first(), args.get(1)) else {
+        eprintln!("usage: validate_jobs <check|drain> <host:port>");
+        std::process::exit(2);
+    };
+    let addr = match httpc::resolve(addr_raw) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("validate_jobs: {e}");
+            std::process::exit(2);
+        }
+    };
+    let result = match mode.as_str() {
+        "check" => check(addr),
+        "drain" => drain(addr),
+        other => {
+            eprintln!("validate_jobs: unknown mode '{other}' (check|drain)");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = result {
+        eprintln!("validate_jobs: {e}");
+        std::process::exit(1);
+    }
+    println!("validate_jobs: ok");
+}
+
+/// Ingest a CSV body, returning the content-addressed table id.
+fn ingest_csv(addr: SocketAddr, name: &str, csv: &str) -> Result<(String, u16), String> {
+    let r = httpc::request_with_headers(
+        addr,
+        "POST",
+        "/v1/tables",
+        &[("Content-Type", "text/csv"), ("x-table-name", name)],
+        csv,
+        TIMEOUT,
+    )?;
+    if r.status != 201 && r.status != 200 {
+        return Err(format!("ingest '{name}' answered {}: {}", r.status, r.body));
+    }
+    let v = parse(&r.body).map_err(|e| format!("ingest body invalid: {e}"))?;
+    let id = v
+        .get("id")
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("ingest body missing id: {}", r.body))?;
+    Ok((id.to_string(), r.status))
+}
+
+/// Poll one job until terminal; returns the final status document.
+fn poll_terminal(addr: SocketAddr, job: &str, budget: Duration) -> Result<Json, String> {
+    let start = Instant::now();
+    loop {
+        let r = httpc::get(addr, &format!("/v1/jobs/{job}"), TIMEOUT)?;
+        if r.status != 200 {
+            return Err(format!("status of {job} answered {}: {}", r.status, r.body));
+        }
+        let v = parse(&r.body).map_err(|e| format!("status body invalid: {e}"))?;
+        let state = v.get("state").and_then(Json::as_str).unwrap_or("?").to_string();
+        if matches!(state.as_str(), "done" | "failed" | "cancelled") {
+            return Ok(v);
+        }
+        if start.elapsed() > budget {
+            return Err(format!("job {job} stuck in '{state}' after {budget:?}"));
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+/// The `result` object of a done job's record, as raw JSON text — the
+/// determinism comparison is byte-level, so no parsing.
+fn result_suffix(body: &str) -> Result<&str, String> {
+    body.find("\"result\":")
+        .map(|i| &body[i..])
+        .ok_or_else(|| format!("record has no result field: {body}"))
+}
+
+fn check(addr: SocketAddr) -> Result<(), String> {
+    // 1. Liveness + jobs gauges.
+    let health = httpc::await_healthy(addr, Duration::from_secs(30))?;
+    let h = parse(&health.body).map_err(|e| format!("healthz body invalid: {e}"))?;
+    let jobs =
+        h.get("jobs").ok_or_else(|| format!("healthz has no jobs object: {}", health.body))?;
+    let capacity = jobs
+        .get("capacity")
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("jobs object has no capacity: {}", health.body))?
+        as usize;
+    println!("healthz: ok (job capacity {capacity})");
+
+    // 2. Idempotent CSV ingest.
+    let csv = "city,pop,area\nparis,2100000,105.4\nlyon,520000,47.9\nnice,340000,71.9\nlille,233000,34.5\n";
+    let (table, first) = ingest_csv(addr, "validate-jobs", csv)?;
+    if first != 201 {
+        return Err(format!("first ingest should be 201, got {first}"));
+    }
+    let (again, second) = ingest_csv(addr, "validate-jobs", csv)?;
+    if second != 200 || again != table {
+        return Err(format!(
+            "re-ingest should be 200 with the same id: {second} {again} vs {table}"
+        ));
+    }
+    println!("ingest: ok ({table})");
+
+    // 3. Submit → poll → result.
+    let spec =
+        format!(r#"{{"table":"{table}","properties":["P1","P2"],"seed":7,"permutations":6}}"#);
+    let r = httpc::post(addr, "/v1/analyze", &spec, TIMEOUT)?;
+    if r.status != 202 {
+        return Err(format!("analyze answered {}: {}", r.status, r.body));
+    }
+    let v = parse(&r.body).map_err(|e| e.to_string())?;
+    let job = v.get("job").and_then(Json::as_str).unwrap_or_default().to_string();
+    let status = poll_terminal(addr, &job, Duration::from_secs(120))?;
+    if status.get("state").and_then(Json::as_str) != Some("done") {
+        return Err(format!("job {job} did not finish done: {status:?}"));
+    }
+    if status.get("progress").and_then(Json::as_f64) != Some(1.0) {
+        return Err(format!("done job must report progress 1: {status:?}"));
+    }
+    let record = httpc::get(addr, &format!("/v1/jobs/{job}/result"), TIMEOUT)?;
+    if record.status != 200 {
+        return Err(format!("result answered {}: {}", record.status, record.body));
+    }
+    let doc = parse(&record.body).map_err(|e| format!("record invalid: {e}"))?;
+    let reports = doc
+        .get("result")
+        .and_then(|r| r.get("reports"))
+        .and_then(Json::as_array)
+        .ok_or_else(|| format!("record has no reports: {}", record.body))?;
+    if reports.len() != 2 {
+        return Err(format!("expected 2 property reports, got {}", reports.len()));
+    }
+    for rep in reports {
+        let measures = rep.get("measures").and_then(Json::as_array);
+        if measures.is_none_or(|m| m.is_empty()) {
+            return Err(format!("report without measures: {rep:?}"));
+        }
+    }
+    println!("analyze: ok ({job} done, 2 reports)");
+
+    // 4. Determinism: identical spec → byte-identical result object.
+    let r = httpc::post(addr, "/v1/analyze", &spec, TIMEOUT)?;
+    if r.status != 202 {
+        return Err(format!("second analyze answered {}: {}", r.status, r.body));
+    }
+    let v = parse(&r.body).map_err(|e| e.to_string())?;
+    let job2 = v.get("job").and_then(Json::as_str).unwrap_or_default().to_string();
+    poll_terminal(addr, &job2, Duration::from_secs(120))?;
+    let record2 = httpc::get(addr, &format!("/v1/jobs/{job2}/result"), TIMEOUT)?;
+    if result_suffix(&record.body)? != result_suffix(&record2.body)? {
+        return Err("identical specs produced different result bytes".into());
+    }
+    println!("determinism: ok (result bytes identical across jobs)");
+
+    // 5. Queue bound: flood with slow jobs; some must shed with 429.
+    let big_csv = {
+        let mut s = String::from("a,b,c,d,e,f\n");
+        for r in 0..40 {
+            for c in 0..6 {
+                if c > 0 {
+                    s.push(',');
+                }
+                s.push_str(&format!("cell-{r}-{c}"));
+            }
+            s.push('\n');
+        }
+        s
+    };
+    let (big, _) = ingest_csv(addr, "validate-jobs-big", &big_csv)?;
+    let slow =
+        format!(r#"{{"table":"{big}","properties":["P1","P2"],"seed":3,"permutations":24}}"#);
+    let mut admitted = Vec::new();
+    let mut shed = 0usize;
+    for _ in 0..capacity + 3 {
+        let r = httpc::post(addr, "/v1/analyze", &slow, TIMEOUT)?;
+        match r.status {
+            202 => {
+                let v = parse(&r.body).map_err(|e| e.to_string())?;
+                admitted.push(v.get("job").and_then(Json::as_str).unwrap_or_default().to_string());
+            }
+            429 => {
+                if r.header("retry-after").is_none() {
+                    return Err("429 without Retry-After".into());
+                }
+                shed += 1;
+            }
+            other => return Err(format!("flood answered {other}: {}", r.body)),
+        }
+    }
+    if shed == 0 {
+        return Err(format!("flooding {} jobs past capacity {capacity} never shed", capacity + 3));
+    }
+    println!("queue bound: ok ({} admitted, {shed} shed with 429)", admitted.len());
+
+    // 6. Cancel everything admitted; each must reach a terminal state.
+    for job in &admitted {
+        let r = httpc::request(addr, "DELETE", &format!("/v1/jobs/{job}"), "", TIMEOUT)?;
+        if !matches!(r.status, 200 | 202 | 409) {
+            return Err(format!("cancel {job} answered {}: {}", r.status, r.body));
+        }
+    }
+    let mut cancelled = 0usize;
+    for job in &admitted {
+        let s = poll_terminal(addr, job, Duration::from_secs(120))?;
+        if s.get("state").and_then(Json::as_str) == Some("cancelled") {
+            cancelled += 1;
+        }
+    }
+    if cancelled == 0 {
+        return Err("cancelling a flooded queue must cancel at least one job".into());
+    }
+    println!("cancel: ok ({cancelled}/{} cancelled, rest finished)", admitted.len());
+
+    // 7. Error envelope conformance.
+    let r = httpc::get(addr, "/v1/nope", TIMEOUT)?;
+    if r.status != 404 || parse(&r.body).map_err(|e| e.to_string())?.get("error").is_none() {
+        return Err(format!("unknown route must be JSON 404: {} {}", r.status, r.body));
+    }
+    let r = httpc::get(addr, "/v1/tables", TIMEOUT)?;
+    if r.status != 405 || r.header("allow") != Some("POST") {
+        return Err(format!("GET /v1/tables must be 405 + Allow: POST, got {}", r.status));
+    }
+    let r = httpc::post(
+        addr,
+        "/v1/analyze",
+        &format!(r#"{{"table":"{table}","properties":["P3"]}}"#),
+        TIMEOUT,
+    )?;
+    if r.status != 400 {
+        return Err(format!("P3 must be rejected with 400, got {}", r.status));
+    }
+    let r = httpc::post(
+        addr,
+        "/v1/analyze",
+        r#"{"table":"tbl-missing","properties":["P1"]}"#,
+        TIMEOUT,
+    )?;
+    if r.status != 404 {
+        return Err(format!("unknown table must be 404, got {}", r.status));
+    }
+    println!("errors: ok (404 JSON, 405 + Allow, 400 on P3)");
+    Ok(())
+}
+
+fn drain(addr: SocketAddr) -> Result<(), String> {
+    httpc::await_healthy(addr, Duration::from_secs(30))?;
+    let csv = {
+        let mut s = String::from("w,x,y,z\n");
+        for r in 0..60 {
+            s.push_str(&format!("w{r},x{r},y{r},z{r}\n"));
+        }
+        s
+    };
+    let (table, _) = ingest_csv(addr, "drain-long", &csv)?;
+    let spec = format!(
+        r#"{{"table":"{table}","properties":["P1","P2","P4"],"seed":11,"permutations":48,"deadline_ms":600000}}"#
+    );
+    let r = httpc::post(addr, "/v1/analyze", &spec, TIMEOUT)?;
+    if r.status != 202 {
+        return Err(format!("analyze answered {}: {}", r.status, r.body));
+    }
+    let v = parse(&r.body).map_err(|e| e.to_string())?;
+    let job = v.get("job").and_then(Json::as_str).unwrap_or_default().to_string();
+    let status = httpc::get(addr, &format!("/v1/jobs/{job}"), TIMEOUT)?;
+    println!("drain: submitted long job {job} ({})", status.body.trim());
+    Ok(())
+}

@@ -4,7 +4,9 @@ use observatory_models::TableEncoder;
 use observatory_runtime::Engine;
 use observatory_stats::descriptive::{five_number_summary, FiveNumberSummary};
 use observatory_table::Table;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Shared evaluation context.
 #[derive(Debug, Clone)]
@@ -15,11 +17,16 @@ pub struct EvalContext {
     /// cache + worker pool + metrics (`observatory-runtime`). Shared, so
     /// repeated property runs over one corpus reuse cached encodings.
     pub engine: Arc<Engine>,
+    /// Cooperative cancellation + progress hook. Defaults to an inert
+    /// control (no allocation, checks are a single `Option` test), so
+    /// offline CLI runs pay nothing; the job scheduler installs an armed
+    /// one per job.
+    pub control: RunControl,
 }
 
 impl Default for EvalContext {
     fn default() -> Self {
-        Self { seed: 42, engine: observatory_runtime::global() }
+        Self { seed: 42, engine: observatory_runtime::global(), control: RunControl::default() }
     }
 }
 
@@ -32,7 +39,126 @@ impl EvalContext {
     /// A context with a private engine (tests that assert cache/metrics
     /// behaviour in isolation).
     pub fn with_engine(engine: Arc<Engine>) -> Self {
-        Self { seed: 42, engine }
+        Self { engine, ..Self::default() }
+    }
+}
+
+/// Shared state behind an armed [`RunControl`].
+struct ControlState {
+    cancel: AtomicBool,
+    done: AtomicU64,
+    total: AtomicU64,
+    deadline: Option<Instant>,
+}
+
+/// Cooperative run control threaded through [`EvalContext`].
+///
+/// Property evaluators poll [`RunControl::should_stop`] at checkpoints
+/// between permutation batches (one checkpoint per corpus table — the
+/// unit between two `encode_batch` calls) and bail out early with a
+/// partial report when asked to; they report coarse progress with
+/// [`RunControl::advance`]. The default control is *inert*: it never
+/// stops anything, reports no progress, and costs one pointer test per
+/// checkpoint — so the stop/progress plumbing cannot perturb offline
+/// runs (bit-identical results depend on it). Completed runs take the
+/// exact same path whether the control is armed or inert; only an
+/// actual cancel/deadline changes behaviour.
+#[derive(Clone, Default)]
+pub struct RunControl {
+    inner: Option<Arc<ControlState>>,
+}
+
+impl std::fmt::Debug for RunControl {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.inner {
+            None => write!(f, "RunControl(inert)"),
+            Some(s) => f
+                .debug_struct("RunControl")
+                .field("cancelled", &s.cancel.load(Ordering::Relaxed))
+                .field("done", &s.done.load(Ordering::Relaxed))
+                .field("total", &s.total.load(Ordering::Relaxed))
+                .field("has_deadline", &s.deadline.is_some())
+                .finish(),
+        }
+    }
+}
+
+impl RunControl {
+    /// An armed control with an optional wall-clock deadline. Clones share
+    /// state: cancel one, all observers stop at their next checkpoint.
+    pub fn armed(deadline: Option<Instant>) -> Self {
+        Self {
+            inner: Some(Arc::new(ControlState {
+                cancel: AtomicBool::new(false),
+                done: AtomicU64::new(0),
+                total: AtomicU64::new(0),
+                deadline,
+            })),
+        }
+    }
+
+    /// Declare the total number of progress units (idempotent; inert: no-op).
+    pub fn set_total(&self, total: u64) {
+        if let Some(s) = &self.inner {
+            s.total.store(total, Ordering::Relaxed);
+        }
+    }
+
+    /// Record `n` finished progress units.
+    pub fn advance(&self, n: u64) {
+        if let Some(s) = &self.inner {
+            s.done.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Raise the completed-unit count to at least `units` (monotone; used
+    /// by runners to square progress after stages without internal hooks).
+    pub fn advance_to(&self, units: u64) {
+        if let Some(s) = &self.inner {
+            s.done.fetch_max(units, Ordering::Relaxed);
+        }
+    }
+
+    /// Request cooperative cancellation: evaluators bail at the next
+    /// checkpoint. Irrevocable.
+    pub fn cancel(&self) {
+        if let Some(s) = &self.inner {
+            s.cancel.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// Was [`RunControl::cancel`] called? (Deadline expiry is separate.)
+    pub fn cancelled(&self) -> bool {
+        self.inner.as_ref().is_some_and(|s| s.cancel.load(Ordering::Relaxed))
+    }
+
+    /// Has the wall-clock deadline passed? Always `false` when inert or
+    /// no deadline was set.
+    pub fn deadline_expired(&self) -> bool {
+        self.inner.as_ref().and_then(|s| s.deadline).is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// Checkpoint test: should the evaluator stop now? True after an
+    /// explicit cancel or once the deadline has passed.
+    pub fn should_stop(&self) -> bool {
+        self.cancelled() || self.deadline_expired()
+    }
+
+    /// Raw completed-unit counter (0 when inert). The scheduler uses it
+    /// to tell a property that bailed mid-corpus from one that finished.
+    pub fn units_done(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |s| s.done.load(Ordering::Relaxed))
+    }
+
+    /// Fraction of declared units completed, in `[0, 1]`. Zero until
+    /// `set_total` is called; inert controls always report zero.
+    pub fn fraction(&self) -> f64 {
+        let Some(s) = &self.inner else { return 0.0 };
+        let total = s.total.load(Ordering::Relaxed);
+        if total == 0 {
+            return 0.0;
+        }
+        (s.done.load(Ordering::Relaxed) as f64 / total as f64).min(1.0)
     }
 }
 
@@ -221,6 +347,47 @@ mod tests {
         assert_eq!(r.distribution("cos").unwrap().summary().max, 1.0);
         assert_eq!(r.scalar("x"), Some(3.0));
         assert_eq!(r.scalar("y"), None);
+    }
+
+    #[test]
+    fn inert_control_never_stops_and_reports_zero() {
+        let c = RunControl::default();
+        assert!(!c.should_stop());
+        assert!(!c.cancelled());
+        assert!(!c.deadline_expired());
+        c.set_total(10);
+        c.advance(5);
+        assert_eq!(c.fraction(), 0.0, "inert control ignores progress");
+        c.cancel();
+        assert!(!c.should_stop(), "inert control cannot be cancelled");
+    }
+
+    #[test]
+    fn armed_control_tracks_progress_and_cancel() {
+        let c = RunControl::armed(None);
+        c.set_total(4);
+        assert_eq!(c.fraction(), 0.0);
+        c.advance(1);
+        assert_eq!(c.fraction(), 0.25);
+        c.advance_to(3);
+        assert_eq!(c.fraction(), 0.75);
+        c.advance_to(2);
+        assert_eq!(c.fraction(), 0.75, "advance_to is monotone");
+        c.advance(10);
+        assert_eq!(c.fraction(), 1.0, "fraction is clamped to 1");
+        assert!(!c.should_stop());
+        let observer = c.clone();
+        c.cancel();
+        assert!(observer.should_stop(), "clones share cancellation state");
+        assert!(observer.cancelled());
+    }
+
+    #[test]
+    fn expired_deadline_stops_without_cancel() {
+        let c = RunControl::armed(Some(Instant::now() - std::time::Duration::from_millis(1)));
+        assert!(c.deadline_expired());
+        assert!(c.should_stop());
+        assert!(!c.cancelled(), "deadline expiry is not an explicit cancel");
     }
 
     #[test]

@@ -37,4 +37,4 @@ pub mod report;
 pub mod scope;
 pub mod summary;
 
-pub use framework::{Distribution, EvalContext, Property, PropertyReport};
+pub use framework::{Distribution, EvalContext, Property, PropertyReport, RunControl};

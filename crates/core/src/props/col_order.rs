@@ -55,12 +55,17 @@ impl Property for ColumnOrderInsignificance {
         let mut tbl_mcv = Vec::new();
 
         for (t_idx, table) in corpus.iter().enumerate() {
+            // Cancellation checkpoint between permutation batches, as in P1.
+            if ctx.control.should_stop() {
+                break;
+            }
             let perms = sample_permutations(
                 table.num_cols(),
                 self.max_permutations,
                 ctx.seed ^ (t_idx as u64).wrapping_mul(0x85EB_CA6B),
             );
             if perms.len() < 2 {
+                ctx.control.advance(1);
                 continue;
             }
             let variants: Vec<Table> = perms.iter().map(|p| permute_columns(table, p)).collect();
@@ -99,6 +104,7 @@ impl Property for ColumnOrderInsignificance {
                     tbl_mcv.push(mcv);
                 }
             }
+            ctx.control.advance(1);
         }
 
         report.push_distribution("column/cosine", col_cos);

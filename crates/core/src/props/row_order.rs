@@ -63,12 +63,19 @@ impl Property for RowOrderInsignificance {
         let mut tbl_mcv = Vec::new();
 
         for (t_idx, table) in corpus.iter().enumerate() {
+            // Cancellation checkpoint: between permutation batches (one
+            // batch = every variant of one table), so a cancel never
+            // interrupts an encode_batch mid-flight.
+            if ctx.control.should_stop() {
+                break;
+            }
             let perms = sample_permutations(
                 table.num_rows(),
                 self.max_permutations,
                 ctx.seed ^ (t_idx as u64).wrapping_mul(0x9E37_79B9),
             );
             if perms.len() < 2 {
+                ctx.control.advance(1);
                 continue;
             }
             let variants: Vec<Table> = perms.iter().map(|p| permute_rows(table, p)).collect();
@@ -99,6 +106,7 @@ impl Property for RowOrderInsignificance {
                 tbl_cos.extend(cos);
                 tbl_mcv.push(mcv);
             }
+            ctx.control.advance(1);
         }
 
         report.push_distribution("column/cosine", col_cos);

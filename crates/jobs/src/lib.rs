@@ -1,0 +1,1116 @@
+//! # observatory-jobs
+//!
+//! Characterization-as-a-service: a bounded async job scheduler that
+//! runs the paper's properties (P1–P8 where they admit a single-table
+//! corpus: P1, P2, P4, P5, P7, P8) over ingested tables, on top of the
+//! runtime engine's worker pool and encoding cache.
+//!
+//! ## Job state machine
+//!
+//! ```text
+//! queued ──▶ running ──▶ done
+//!    │          │  ▲
+//!    │          │  └─ requeued (capped retry after a panic)
+//!    │          ├─────▶ failed     (error / deadline expired)
+//!    │          └─────▶ cancelled  (DELETE or drain, at a checkpoint)
+//!    ├─────▶ cancelled  (DELETE or drain before start)
+//!    └─────▶ failed     (deadline expired before start)
+//! ```
+//!
+//! A single runner thread executes jobs in submit order — each job
+//! already parallelizes internally through `Engine::encode_batch`, so a
+//! second runner would only thrash the shared pool. Cancellation is
+//! cooperative: the runner arms a [`RunControl`] per job, and property
+//! evaluators poll it between permutation batches (never mid-encode),
+//! so a cancelled or deadline-expired job stops at the next checkpoint
+//! with a consistent partial progress fraction. Results persist as JSON
+//! next to the embedding store and are reloaded on startup; jobs that
+//! were queued or running when the process died come back as `failed`
+//! (`interrupted by server restart`) — visible, never silently lost.
+//!
+//! Determinism: a job runs the exact property constructions the offline
+//! `characterize` CLI uses, against the same engine kind, so measures
+//! are bit-identical between `/v1/analyze` and the CLI for the same
+//! table/model/seed/permutations.
+
+pub mod persist;
+pub mod tables;
+
+pub use persist::DownstreamScores;
+pub use tables::TableStore;
+
+use observatory_core::downstream::column_type::ColumnTypeClassifier;
+use observatory_core::framework::{EvalContext, Property, PropertyReport, RunControl};
+use observatory_core::props::col_order::ColumnOrderInsignificance;
+use observatory_core::props::fd::FunctionalDependencies;
+use observatory_core::props::hetero_context::HeterogeneousContext;
+use observatory_core::props::perturbation::PerturbationRobustness;
+use observatory_core::props::row_order::RowOrderInsignificance;
+use observatory_core::props::sample_fidelity::SampleFidelity;
+use observatory_models::registry::model_by_name;
+use observatory_obs::{self as obs, flight, FlightKind};
+use observatory_runtime::Engine;
+use std::collections::{BTreeMap, VecDeque};
+use std::path::PathBuf;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Properties a job may request (the ones meaningful on a single
+/// uploaded table; P3/P6 need specialized pairwise workloads).
+pub const SUPPORTED_PROPERTIES: [&str; 6] = ["P1", "P2", "P4", "P5", "P7", "P8"];
+
+/// Is `id` a property the scheduler can run?
+pub fn supported_property(id: &str) -> bool {
+    SUPPORTED_PROPERTIES.contains(&id)
+}
+
+/// Scheduler configuration.
+#[derive(Debug, Clone)]
+pub struct JobConfig {
+    /// Bound on *queued* jobs; submits beyond it are rejected (429).
+    pub max_jobs: usize,
+    /// Deadline applied when a request does not carry its own.
+    pub default_deadline: Duration,
+    /// Total run attempts per job (first run + retries after a panic).
+    pub max_attempts: u32,
+    /// Persistence directory (`None` = in-memory only).
+    pub dir: Option<PathBuf>,
+}
+
+impl Default for JobConfig {
+    fn default() -> Self {
+        Self {
+            max_jobs: 16,
+            default_deadline: Duration::from_secs(300),
+            max_attempts: 2,
+            dir: None,
+        }
+    }
+}
+
+/// Job lifecycle states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    Queued,
+    Running,
+    Done,
+    Failed,
+    Cancelled,
+}
+
+impl JobState {
+    /// Wire name (also the on-disk encoding).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+            JobState::Cancelled => "cancelled",
+        }
+    }
+
+    /// Inverse of [`JobState::as_str`].
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "queued" => JobState::Queued,
+            "running" => JobState::Running,
+            "done" => JobState::Done,
+            "failed" => JobState::Failed,
+            "cancelled" => JobState::Cancelled,
+            _ => return None,
+        })
+    }
+
+    /// Terminal states never transition again.
+    pub fn is_terminal(&self) -> bool {
+        matches!(self, JobState::Done | JobState::Failed | JobState::Cancelled)
+    }
+}
+
+/// What to analyze and how.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalyzeSpec {
+    /// Content-addressed table id from [`TableStore`].
+    pub table: String,
+    /// Model zoo name.
+    pub model: String,
+    /// Property ids, run in the given order.
+    pub properties: Vec<String>,
+    /// Seed for all sampling decisions (same meaning as the CLI flag).
+    pub seed: u64,
+    /// Permutation budget for P1/P2 (same default as the CLI).
+    pub permutations: usize,
+    /// Wall-clock budget measured from submission.
+    pub deadline: Duration,
+    /// Also compute downstream scores (column-type probe predictions).
+    pub downstream: bool,
+}
+
+impl Default for AnalyzeSpec {
+    fn default() -> Self {
+        Self {
+            table: String::new(),
+            model: "bert".to_string(),
+            properties: vec!["P1".to_string()],
+            seed: 42,
+            permutations: 24,
+            deadline: Duration::from_secs(300),
+            downstream: false,
+        }
+    }
+}
+
+/// Per-job stage timings (microseconds), mirroring the request-path
+/// stage vocabulary: time spent queued, running, and persisting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JobTimings {
+    pub queued_us: u64,
+    pub run_us: u64,
+    pub persist_us: u64,
+}
+
+/// Point-in-time snapshot of one job.
+#[derive(Debug, Clone)]
+pub struct JobStatus {
+    pub id: String,
+    pub state: JobState,
+    /// Fraction of property×table permutation batches completed, [0, 1].
+    pub progress: f64,
+    pub spec: AnalyzeSpec,
+    pub error: Option<String>,
+    pub attempts: u32,
+    pub timings: JobTimings,
+}
+
+/// Outcome of [`JobScheduler::submit`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Submit {
+    /// Admitted; `depth` is the queue length after the push.
+    Queued { id: String, depth: usize },
+    /// Queue at capacity — retry later (the server answers 429).
+    Full,
+    /// Scheduler is draining; no new work.
+    Closed,
+    /// The spec references a table id that was never ingested.
+    UnknownTable,
+}
+
+/// Outcome of [`JobScheduler::cancel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cancel {
+    /// No such job.
+    Unknown,
+    /// Already in a terminal state; nothing to cancel.
+    AlreadyTerminal(JobState),
+    /// Was queued: cancelled immediately.
+    Cancelled,
+    /// Is running: cancellation requested, takes effect at the next
+    /// cooperative checkpoint (poll the status to observe it land).
+    Cancelling,
+}
+
+/// Live gauge snapshot (includes jobs reloaded from disk).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JobCounts {
+    pub queued: u64,
+    pub running: u64,
+    pub done: u64,
+    pub failed: u64,
+    pub cancelled: u64,
+    pub capacity: u64,
+}
+
+/// Monotonic counters for jobs submitted *in this process* — the drain
+/// report's accounting basis ("never lose an admitted job").
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JobTotals {
+    pub submitted: u64,
+    pub done: u64,
+    pub failed: u64,
+    pub cancelled: u64,
+}
+
+impl JobTotals {
+    /// Admitted jobs not yet accounted for by a terminal state. After a
+    /// drain this must be zero.
+    pub fn outstanding(&self) -> u64 {
+        self.submitted.saturating_sub(self.done + self.failed + self.cancelled)
+    }
+}
+
+struct JobEntry {
+    spec: AnalyzeSpec,
+    state: JobState,
+    control: RunControl,
+    error: Option<String>,
+    attempts: u32,
+    cancel_reason: Option<&'static str>,
+    submitted: Instant,
+    deadline_at: Instant,
+    timings: JobTimings,
+    /// Frozen at the terminal transition (and for records loaded from
+    /// disk, where the live control is gone).
+    final_progress: Option<f64>,
+    /// Last persisted record JSON; `GET /v1/jobs/<id>/result` serves it.
+    record: Option<Arc<String>>,
+    /// Loaded from a previous process: excluded from run totals.
+    loaded: bool,
+}
+
+impl JobEntry {
+    fn progress(&self) -> f64 {
+        self.final_progress.unwrap_or_else(|| self.control.fraction())
+    }
+
+    fn status(&self, id: &str) -> JobStatus {
+        JobStatus {
+            id: id.to_string(),
+            state: self.state,
+            progress: self.progress(),
+            spec: self.spec.clone(),
+            error: self.error.clone(),
+            attempts: self.attempts,
+            timings: self.timings,
+        }
+    }
+}
+
+struct SchedState {
+    queue: VecDeque<String>,
+    jobs: BTreeMap<String, JobEntry>,
+    next_id: u64,
+    closed: bool,
+    running: Option<String>,
+    totals: JobTotals,
+}
+
+struct Inner {
+    config: JobConfig,
+    engine: Arc<Engine>,
+    tables: Arc<TableStore>,
+    state: Mutex<SchedState>,
+    cond: Condvar,
+}
+
+/// The bounded async job scheduler. One instance per server.
+pub struct JobScheduler {
+    inner: Arc<Inner>,
+    runner: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl JobScheduler {
+    /// Open the scheduler: reload persisted records (jobs that were
+    /// queued or running when the process died become `failed` with
+    /// `interrupted by server restart`), then start the runner thread.
+    pub fn start(
+        config: JobConfig,
+        engine: Arc<Engine>,
+        tables: Arc<TableStore>,
+    ) -> std::io::Result<Self> {
+        let mut jobs = BTreeMap::new();
+        let mut next_id: u64 = 1;
+        if let Some(dir) = &config.dir {
+            std::fs::create_dir_all(dir)?;
+            for entry in std::fs::read_dir(dir)? {
+                let path = entry?.path();
+                let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+                let Some(id) = name.strip_suffix(".json") else { continue };
+                if !id.starts_with("job-") {
+                    continue;
+                }
+                let Ok(text) = std::fs::read_to_string(&path) else { continue };
+                let mut rec = match persist::parse_record(&text) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        eprintln!("warning: skipping job record {name}: {e}");
+                        continue;
+                    }
+                };
+                if let Some(n) =
+                    id.strip_prefix("job-").and_then(|h| u64::from_str_radix(h, 16).ok())
+                {
+                    next_id = next_id.max(n + 1);
+                }
+                let mut record = text;
+                if !rec.state.is_terminal() {
+                    // The process died with this job admitted: surface
+                    // that as a failure rather than dropping the record.
+                    rec.state = JobState::Failed;
+                    rec.error = Some("interrupted by server restart".to_string());
+                    record = persist::render_record(
+                        &rec.id,
+                        &rec.spec,
+                        rec.state,
+                        rec.progress,
+                        rec.error.as_deref(),
+                        rec.attempts,
+                        &rec.timings,
+                        None,
+                    );
+                    persist::write_atomic(&path, &record)?;
+                }
+                let now = Instant::now();
+                jobs.insert(
+                    rec.id.clone(),
+                    JobEntry {
+                        spec: rec.spec,
+                        state: rec.state,
+                        control: RunControl::default(),
+                        error: rec.error,
+                        attempts: rec.attempts,
+                        cancel_reason: None,
+                        submitted: now,
+                        deadline_at: now,
+                        timings: rec.timings,
+                        final_progress: Some(rec.progress),
+                        record: Some(Arc::new(record)),
+                        loaded: true,
+                    },
+                );
+            }
+        }
+        let inner = Arc::new(Inner {
+            config,
+            engine,
+            tables,
+            state: Mutex::new(SchedState {
+                queue: VecDeque::new(),
+                jobs,
+                next_id,
+                closed: false,
+                running: None,
+                totals: JobTotals::default(),
+            }),
+            cond: Condvar::new(),
+        });
+        let runner_inner = inner.clone();
+        let runner = std::thread::Builder::new()
+            .name("jobs-runner".into())
+            .spawn(move || runner_loop(runner_inner))
+            .expect("spawn jobs runner");
+        Ok(Self { inner, runner: Mutex::new(Some(runner)) })
+    }
+
+    /// Submit an analysis. Bounded: at most `max_jobs` queued at once.
+    pub fn submit(&self, spec: AnalyzeSpec) -> Submit {
+        if self.inner.tables.get(&spec.table).is_none() {
+            return Submit::UnknownTable;
+        }
+        let (id, depth, record) = {
+            let mut st = self.inner.state.lock().unwrap();
+            if st.closed {
+                return Submit::Closed;
+            }
+            if st.queue.len() >= self.inner.config.max_jobs {
+                return Submit::Full;
+            }
+            let id = format!("job-{:08x}", st.next_id);
+            st.next_id += 1;
+            let now = Instant::now();
+            let deadline_at = now + spec.deadline;
+            let record = persist::render_record(
+                &id,
+                &spec,
+                JobState::Queued,
+                0.0,
+                None,
+                0,
+                &JobTimings::default(),
+                None,
+            );
+            st.jobs.insert(
+                id.clone(),
+                JobEntry {
+                    spec,
+                    state: JobState::Queued,
+                    control: RunControl::armed(Some(deadline_at)),
+                    error: None,
+                    attempts: 0,
+                    cancel_reason: None,
+                    submitted: now,
+                    deadline_at,
+                    timings: JobTimings::default(),
+                    final_progress: None,
+                    record: Some(Arc::new(record.clone())),
+                    loaded: false,
+                },
+            );
+            st.queue.push_back(id.clone());
+            st.totals.submitted += 1;
+            let depth = st.queue.len();
+            self.inner.cond.notify_all();
+            (id, depth, record)
+        };
+        self.inner.persist(&id, &record);
+        flight::record(FlightKind::JobAdmit, &id, [0; 5], depth as u64);
+        Submit::Queued { id, depth }
+    }
+
+    /// Snapshot one job.
+    pub fn status(&self, id: &str) -> Option<JobStatus> {
+        let st = self.inner.state.lock().unwrap();
+        st.jobs.get(id).map(|j| j.status(id))
+    }
+
+    /// The current persisted record JSON (spec + state + result) and
+    /// the state it reflects. `Some` for every known job.
+    pub fn record_json(&self, id: &str) -> Option<(JobState, Arc<String>)> {
+        let st = self.inner.state.lock().unwrap();
+        st.jobs.get(id).and_then(|j| j.record.clone().map(|r| (j.state, r)))
+    }
+
+    /// Cancel a job. Queued jobs cancel immediately; running jobs stop
+    /// at their next cooperative checkpoint.
+    pub fn cancel(&self, id: &str) -> Cancel {
+        {
+            let mut st = self.inner.state.lock().unwrap();
+            match st.jobs.get_mut(id) {
+                None => return Cancel::Unknown,
+                Some(j) if j.state.is_terminal() => return Cancel::AlreadyTerminal(j.state),
+                Some(j) if j.state == JobState::Running => {
+                    j.cancel_reason.get_or_insert("cancelled by request");
+                    j.control.cancel();
+                    return Cancel::Cancelling;
+                }
+                Some(_) => {} // queued: fall through to terminalize
+            }
+        }
+        self.inner.terminalize(
+            id,
+            JobState::Cancelled,
+            Some("cancelled by request before start".to_string()),
+            None,
+            None,
+        );
+        Cancel::Cancelled
+    }
+
+    /// Live gauges (queued/running/terminal counts incl. reloaded jobs).
+    pub fn counts(&self) -> JobCounts {
+        let st = self.inner.state.lock().unwrap();
+        let mut c = JobCounts { capacity: self.inner.config.max_jobs as u64, ..Default::default() };
+        for j in st.jobs.values() {
+            match j.state {
+                JobState::Queued => c.queued += 1,
+                JobState::Running => c.running += 1,
+                JobState::Done => c.done += 1,
+                JobState::Failed => c.failed += 1,
+                JobState::Cancelled => c.cancelled += 1,
+            }
+        }
+        c
+    }
+
+    /// This-process admission/terminal counters.
+    pub fn totals(&self) -> JobTotals {
+        self.inner.state.lock().unwrap().totals
+    }
+
+    /// Block until `id` reaches a terminal state (or `timeout` passes);
+    /// returns the final status. Used by benches and tests.
+    pub fn wait_terminal(&self, id: &str, timeout: Duration) -> Option<JobStatus> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.inner.state.lock().unwrap();
+        loop {
+            match st.jobs.get(id) {
+                None => return None,
+                Some(j) if j.state.is_terminal() => return Some(j.status(id)),
+                Some(_) => {}
+            }
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return st.jobs.get(id).map(|j| j.status(id));
+            }
+            let (guard, _) = self.inner.cond.wait_timeout(st, left).unwrap();
+            st = guard;
+        }
+    }
+
+    /// Graceful drain: close intake, cancel queued jobs, ask the running
+    /// job to stop at its next checkpoint, and join the runner. Every
+    /// admitted job ends in a persisted terminal state — none are lost.
+    pub fn drain(&self) -> JobTotals {
+        let queued: Vec<String> = {
+            let mut st = self.inner.state.lock().unwrap();
+            st.closed = true;
+            if let Some(rid) = st.running.clone() {
+                if let Some(j) = st.jobs.get_mut(&rid) {
+                    j.cancel_reason.get_or_insert("cancelled: server draining");
+                    j.control.cancel();
+                }
+            }
+            self.inner.cond.notify_all();
+            st.queue
+                .iter()
+                .filter(|id| st.jobs.get(*id).is_some_and(|j| j.state == JobState::Queued))
+                .cloned()
+                .collect()
+        };
+        for id in queued {
+            self.inner.terminalize(
+                &id,
+                JobState::Cancelled,
+                Some("cancelled: server draining before start".to_string()),
+                None,
+                None,
+            );
+        }
+        if let Some(handle) = self.runner.lock().unwrap().take() {
+            let _ = handle.join();
+        }
+        self.totals()
+    }
+}
+
+impl Inner {
+    fn persist(&self, id: &str, record: &str) -> u64 {
+        let Some(dir) = &self.config.dir else { return 0 };
+        let t0 = Instant::now();
+        if let Err(e) = persist::write_atomic(&dir.join(format!("{id}.json")), record) {
+            eprintln!("warning: cannot persist job {id}: {e}");
+        }
+        t0.elapsed().as_micros() as u64
+    }
+
+    /// Move a job to a terminal state: freeze progress, render + persist
+    /// the record, bump totals, emit the flight event, wake waiters.
+    fn terminalize(
+        &self,
+        id: &str,
+        state: JobState,
+        error: Option<String>,
+        result: Option<(Vec<PropertyReport>, Option<DownstreamScores>)>,
+        run_us: Option<u64>,
+    ) {
+        let (record, stages, progress) = {
+            let mut st = self.state.lock().unwrap();
+            let (record, stages, progress, loaded) = {
+                let Some(j) = st.jobs.get_mut(id) else { return };
+                if j.state.is_terminal() {
+                    return; // lost the race with another terminal path
+                }
+                j.state = state;
+                j.error = error;
+                if let Some(us) = run_us {
+                    j.timings.run_us = us;
+                }
+                let progress = j.control.fraction();
+                j.final_progress = Some(progress);
+                let record = persist::render_record(
+                    id,
+                    &j.spec,
+                    state,
+                    progress,
+                    j.error.as_deref(),
+                    j.attempts,
+                    &j.timings,
+                    result.as_ref().map(|(r, d)| (r.as_slice(), d.as_ref())),
+                );
+                j.record = Some(Arc::new(record.clone()));
+                let stages = [j.timings.queued_us, 0, j.timings.run_us, 0, 0];
+                (record, stages, progress, j.loaded)
+            };
+            if st.running.as_deref() == Some(id) {
+                st.running = None;
+            }
+            if !loaded {
+                match state {
+                    JobState::Done => st.totals.done += 1,
+                    JobState::Failed => st.totals.failed += 1,
+                    JobState::Cancelled => st.totals.cancelled += 1,
+                    _ => unreachable!("terminalize only takes terminal states"),
+                }
+            }
+            self.cond.notify_all();
+            (record, stages, progress)
+        };
+        let persist_us = self.persist(id, &record);
+        {
+            let mut st = self.state.lock().unwrap();
+            if let Some(j) = st.jobs.get_mut(id) {
+                j.timings.persist_us = persist_us;
+            }
+        }
+        let kind = match state {
+            JobState::Done => FlightKind::JobDone,
+            JobState::Failed => FlightKind::JobFail,
+            _ => FlightKind::JobCancel,
+        };
+        let mut stages = stages;
+        stages[4] = persist_us;
+        flight::record(kind, id, stages, (progress * 1000.0) as u64);
+    }
+}
+
+fn runner_loop(inner: Arc<Inner>) {
+    'outer: loop {
+        let id = {
+            let mut st = inner.state.lock().unwrap();
+            'pick: loop {
+                while let Some(cand) = st.queue.pop_front() {
+                    if st.jobs.get(&cand).is_some_and(|j| j.state == JobState::Queued) {
+                        break 'pick cand;
+                    }
+                }
+                if st.closed {
+                    break 'outer;
+                }
+                st = inner.cond.wait(st).unwrap();
+            }
+        };
+        run_one(&inner, &id);
+    }
+}
+
+/// Execute one popped job end to end (admission re-checks, the property
+/// run, outcome classification, retry-or-terminal).
+fn run_one(inner: &Arc<Inner>, id: &str) {
+    // Re-check admission under the lock: the job may have been cancelled
+    // while queued, the server may have started draining, or the
+    // deadline may already be gone.
+    enum Gate {
+        Run(AnalyzeSpec, RunControl),
+        Skip,
+        DrainCancel,
+        DeadlineFail(u128),
+    }
+    let gate = {
+        let mut st = inner.state.lock().unwrap();
+        let closed = st.closed;
+        match st.jobs.get_mut(id) {
+            None => Gate::Skip,
+            Some(j) if j.state != JobState::Queued => Gate::Skip,
+            Some(j) if closed => {
+                j.cancel_reason.get_or_insert("cancelled: server draining");
+                Gate::DrainCancel
+            }
+            Some(j) if Instant::now() >= j.deadline_at => {
+                Gate::DeadlineFail(j.spec.deadline.as_millis())
+            }
+            Some(j) => {
+                j.attempts += 1;
+                j.timings.queued_us = j.submitted.elapsed().as_micros() as u64;
+                j.state = JobState::Running;
+                let gate = Gate::Run(j.spec.clone(), j.control.clone());
+                st.running = Some(id.to_string());
+                gate
+            }
+        }
+    };
+    let (spec, control) = match gate {
+        Gate::Run(spec, control) => (spec, control),
+        Gate::Skip => return,
+        Gate::DrainCancel => {
+            inner.terminalize(
+                id,
+                JobState::Cancelled,
+                Some("cancelled: server draining before start".to_string()),
+                None,
+                None,
+            );
+            return;
+        }
+        Gate::DeadlineFail(budget_ms) => {
+            inner.terminalize(
+                id,
+                JobState::Failed,
+                Some(format!("deadline expired before start (budget {budget_ms}ms)")),
+                None,
+                None,
+            );
+            return;
+        }
+    };
+
+    let mut span = obs::span(obs::Level::Info, "jobs", "run")
+        .with("job", id)
+        .with("table", &spec.table)
+        .with("model", &spec.model)
+        .with("properties", spec.properties.join(","));
+    let t0 = Instant::now();
+    let outcome =
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| execute(inner, &spec, &control)));
+    let run_us = t0.elapsed().as_micros() as u64;
+    span.record("run_us", run_us);
+
+    match outcome {
+        Err(_) => {
+            // Transient failure (panic): capped retry, then fail.
+            let requeue = {
+                let mut st = inner.state.lock().unwrap();
+                let retry = !st.closed
+                    && st.jobs.get(id).is_some_and(|j| {
+                        j.cancel_reason.is_none()
+                            && j.attempts < inner.config.max_attempts
+                            && Instant::now() < j.deadline_at
+                    });
+                if retry {
+                    if let Some(j) = st.jobs.get_mut(id) {
+                        j.state = JobState::Queued;
+                    }
+                    st.queue.push_back(id.to_string());
+                    if st.running.as_deref() == Some(id) {
+                        st.running = None;
+                    }
+                    inner.cond.notify_all();
+                }
+                retry
+            };
+            if !requeue {
+                let attempts = inner.state.lock().unwrap().jobs.get(id).map_or(0, |j| j.attempts);
+                inner.terminalize(
+                    id,
+                    JobState::Failed,
+                    Some(format!("property run panicked (after {attempts} attempts)")),
+                    None,
+                    Some(run_us),
+                );
+            }
+        }
+        Ok(Err(msg)) => {
+            inner.terminalize(id, JobState::Failed, Some(msg), None, Some(run_us));
+        }
+        Ok(Ok((reports, downstream, interrupted))) => {
+            if !interrupted {
+                inner.terminalize(
+                    id,
+                    JobState::Done,
+                    None,
+                    Some((reports, downstream)),
+                    Some(run_us),
+                );
+            } else if control.cancelled() {
+                let reason = inner
+                    .state
+                    .lock()
+                    .unwrap()
+                    .jobs
+                    .get(id)
+                    .and_then(|j| j.cancel_reason)
+                    .unwrap_or("cancelled");
+                inner.terminalize(
+                    id,
+                    JobState::Cancelled,
+                    Some(reason.to_string()),
+                    None,
+                    Some(run_us),
+                );
+            } else {
+                inner.terminalize(
+                    id,
+                    JobState::Failed,
+                    Some(format!("deadline expired after {}ms", spec.deadline.as_millis())),
+                    None,
+                    Some(run_us),
+                );
+            }
+        }
+    }
+}
+
+/// Run the property set. Returns `(reports, downstream, interrupted)`;
+/// `interrupted` means a cancel/deadline stopped the run early and the
+/// collected reports are partial (never served as a result).
+fn execute(
+    inner: &Inner,
+    spec: &AnalyzeSpec,
+    control: &RunControl,
+) -> Result<(Vec<PropertyReport>, Option<DownstreamScores>, bool), String> {
+    let table = inner
+        .tables
+        .get(&spec.table)
+        .ok_or_else(|| format!("table '{}' disappeared before the run", spec.table))?;
+    let model =
+        model_by_name(&spec.model).ok_or_else(|| format!("unknown model '{}'", spec.model))?;
+    // Single-table corpus: index 0, exactly like a one-`--csv` CLI run,
+    // so per-table seeds (and therefore measures) line up bit-for-bit.
+    let corpus = vec![(*table).clone()];
+    control.set_total((spec.properties.len() * corpus.len()) as u64);
+    let ctx =
+        EvalContext { seed: spec.seed, engine: inner.engine.clone(), control: control.clone() };
+    let mut reports = Vec::new();
+    let mut interrupted = false;
+    for (i, pid) in spec.properties.iter().enumerate() {
+        if control.should_stop() {
+            interrupted = true;
+            break;
+        }
+        let prop = make_property(pid, spec.permutations)?;
+        let report = prop.evaluate(model.as_ref(), &corpus, &ctx);
+        let expect = ((i + 1) * corpus.len()) as u64;
+        if control.should_stop() && control.units_done() < expect {
+            // The evaluator bailed at an internal checkpoint mid-corpus.
+            interrupted = true;
+            break;
+        }
+        // Properties without internal progress hooks land here complete;
+        // square the counter so the fraction stays monotone.
+        control.advance_to(expect);
+        reports.push(report);
+    }
+    let downstream = if spec.downstream && !interrupted {
+        let clf = ColumnTypeClassifier::train(model.as_ref(), 3, spec.seed);
+        Some(DownstreamScores {
+            classes: clf.num_classes(),
+            predictions: clf
+                .predict_table(model.as_ref(), &corpus[0])
+                .into_iter()
+                .map(str::to_string)
+                .collect(),
+        })
+    } else {
+        None
+    };
+    Ok((reports, downstream, interrupted))
+}
+
+/// The exact property constructions the `characterize` CLI uses — the
+/// bit-identical serve-vs-CLI guarantee rests on this correspondence.
+fn make_property(id: &str, permutations: usize) -> Result<Box<dyn Property>, String> {
+    Ok(match id {
+        "P1" => Box::new(RowOrderInsignificance { max_permutations: permutations }),
+        "P2" => Box::new(ColumnOrderInsignificance { max_permutations: permutations }),
+        "P4" => Box::new(FunctionalDependencies::default()),
+        "P5" => Box::new(SampleFidelity::default()),
+        "P7" => Box::new(PerturbationRobustness::default()),
+        "P8" => Box::new(HeterogeneousContext),
+        other => return Err(format!("unsupported property '{other}'")),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use observatory_runtime::EngineConfig;
+    use observatory_table::{Column, Table, Value};
+
+    fn engine() -> Arc<Engine> {
+        Arc::new(Engine::new(EngineConfig { jobs: 2, cache_bytes: 1 << 22 }))
+    }
+
+    fn small_table(tag: i64) -> Table {
+        let rows = 5;
+        Table::new(
+            format!("small-{tag}"),
+            vec![
+                Column::new("id", (0..rows).map(|i| Value::Int(i + tag)).collect()),
+                Column::new(
+                    "city",
+                    (0..rows).map(|i| Value::Text(format!("c{}", (i + tag) % 3))).collect(),
+                ),
+            ],
+        )
+    }
+
+    fn big_table() -> Table {
+        let rows = 40;
+        Table::new(
+            "big",
+            (0..4)
+                .map(|c| {
+                    Column::new(
+                        format!("col{c}"),
+                        (0..rows).map(|r| Value::Text(format!("v{c}-{r}"))).collect(),
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    fn sched(max_jobs: usize, dir: Option<PathBuf>) -> (JobScheduler, Arc<TableStore>) {
+        let tables = Arc::new(TableStore::open(None).unwrap());
+        let config = JobConfig { max_jobs, dir, ..JobConfig::default() };
+        let s = JobScheduler::start(config, engine(), tables.clone()).unwrap();
+        (s, tables)
+    }
+
+    fn spec(table: &str, props: &[&str]) -> AnalyzeSpec {
+        AnalyzeSpec {
+            table: table.to_string(),
+            properties: props.iter().map(|p| p.to_string()).collect(),
+            permutations: 4,
+            seed: 7,
+            ..AnalyzeSpec::default()
+        }
+    }
+
+    fn submit_ok(s: &JobScheduler, spec: AnalyzeSpec) -> String {
+        match s.submit(spec) {
+            Submit::Queued { id, .. } => id,
+            other => panic!("submit refused: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lifecycle_done_with_bit_identical_measures() {
+        let (s, tables) = sched(4, None);
+        let table = small_table(0);
+        let (tid, _) = tables.add(table.clone()).unwrap();
+        let id = submit_ok(&s, spec(&tid, &["P1", "P2"]));
+        let status = s.wait_terminal(&id, Duration::from_secs(120)).expect("job exists");
+        assert_eq!(status.state, JobState::Done, "error: {:?}", status.error);
+        assert_eq!(status.progress, 1.0);
+        assert_eq!(status.attempts, 1);
+
+        // The served record parses and its P1 measures are bit-identical
+        // to a direct evaluation with the same seed on a fresh engine.
+        let (state, record) = s.record_json(&id).unwrap();
+        assert_eq!(state, JobState::Done);
+        let json = obs::json::parse(&record).unwrap();
+        let reports = json
+            .get("result")
+            .and_then(|r| r.get("reports"))
+            .and_then(obs::json::Json::as_array)
+            .expect("reports array");
+        assert_eq!(reports.len(), 2);
+
+        let ctx = EvalContext { seed: 7, engine: engine(), control: RunControl::default() };
+        let oracle = RowOrderInsignificance { max_permutations: 4 }.evaluate(
+            model_by_name("bert").unwrap().as_ref(),
+            &[table],
+            &ctx,
+        );
+        let measures = reports[0].get("measures").and_then(obs::json::Json::as_array).unwrap();
+        for m in measures {
+            let label = m.get("label").and_then(obs::json::Json::as_str).unwrap();
+            let served: Vec<f64> = m
+                .get("values")
+                .and_then(obs::json::Json::as_array)
+                .unwrap()
+                .iter()
+                .map(|v| v.as_f64().unwrap())
+                .collect();
+            let expect = &oracle.distribution(label).expect("oracle label").values;
+            assert_eq!(served.len(), expect.len(), "{label}");
+            for (a, b) in served.iter().zip(expect) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{label}");
+            }
+        }
+        s.drain();
+    }
+
+    #[test]
+    fn queue_bound_rejects_when_full() {
+        let (s, tables) = sched(1, None);
+        let (tid, _) = tables.add(big_table()).unwrap();
+        // Fill: one long job may start immediately; the bound applies to
+        // the queue, so keep submitting until Full appears.
+        let mut saw_full = false;
+        for _ in 0..8 {
+            match s.submit(AnalyzeSpec { permutations: 64, ..spec(&tid, &["P1"]) }) {
+                Submit::Queued { .. } => {}
+                Submit::Full => {
+                    saw_full = true;
+                    break;
+                }
+                other => panic!("unexpected: {other:?}"),
+            }
+        }
+        assert!(saw_full, "a bounded queue must eventually refuse");
+        assert_eq!(s.submit(spec("tbl-unknown", &["P1"])), Submit::UnknownTable);
+        let t = s.drain();
+        assert_eq!(t.outstanding(), 0, "drain must account for every admitted job: {t:?}");
+    }
+
+    #[test]
+    fn cancel_queued_is_immediate_and_running_is_cooperative() {
+        let (s, tables) = sched(8, None);
+        let (tid, _) = tables.add(big_table()).unwrap();
+        // A long job occupies the runner; the next one stays queued.
+        let long = submit_ok(&s, AnalyzeSpec { permutations: 48, ..spec(&tid, &["P1", "P2"]) });
+        let queued = submit_ok(&s, spec(&tid, &["P1"]));
+        assert_eq!(s.cancel(&queued), Cancel::Cancelled);
+        let qs = s.status(&queued).unwrap();
+        assert_eq!(qs.state, JobState::Cancelled);
+        assert_eq!(qs.error.as_deref(), Some("cancelled by request before start"));
+
+        match s.cancel(&long) {
+            // Usually mid-run by now; either way it must land cancelled.
+            Cancel::Cancelling | Cancel::Cancelled => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+        let ls = s.wait_terminal(&long, Duration::from_secs(120)).unwrap();
+        assert_eq!(ls.state, JobState::Cancelled, "error: {:?}", ls.error);
+        assert!(ls.progress < 1.0 || ls.error.is_some());
+        assert_eq!(s.cancel(&long), Cancel::AlreadyTerminal(JobState::Cancelled));
+        assert_eq!(s.cancel("job-ffffffff"), Cancel::Unknown);
+        s.drain();
+    }
+
+    #[test]
+    fn deadline_expires_before_start() {
+        let (s, tables) = sched(8, None);
+        let (tid, _) = tables.add(small_table(1)).unwrap();
+        let id = submit_ok(
+            &s,
+            AnalyzeSpec { deadline: Duration::from_millis(0), ..spec(&tid, &["P1"]) },
+        );
+        let st = s.wait_terminal(&id, Duration::from_secs(60)).unwrap();
+        assert_eq!(st.state, JobState::Failed);
+        assert!(
+            st.error.as_deref().is_some_and(|e| e.starts_with("deadline expired")),
+            "error: {:?}",
+            st.error
+        );
+        s.drain();
+    }
+
+    #[test]
+    fn drain_never_loses_admitted_jobs() {
+        let (s, tables) = sched(16, None);
+        let (tid, _) = tables.add(big_table()).unwrap();
+        for _ in 0..4 {
+            submit_ok(&s, AnalyzeSpec { permutations: 32, ..spec(&tid, &["P1"]) });
+        }
+        let totals = s.drain();
+        assert_eq!(totals.submitted, 4);
+        assert_eq!(totals.outstanding(), 0, "{totals:?}");
+        assert_eq!(s.submit(spec(&tid, &["P1"])), Submit::Closed);
+        let c = s.counts();
+        assert_eq!(c.queued + c.running, 0, "{c:?}");
+    }
+
+    #[test]
+    fn results_survive_restart_and_interrupted_jobs_surface() {
+        let dir = std::env::temp_dir().join(format!("obs-jobs-restart-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let tables = Arc::new(TableStore::open(None).unwrap());
+        let (tid, _) = tables.add(small_table(2)).unwrap();
+        let config = JobConfig { max_jobs: 4, dir: Some(dir.clone()), ..JobConfig::default() };
+        let done_id = {
+            let s = JobScheduler::start(config.clone(), engine(), tables.clone()).unwrap();
+            let id = submit_ok(&s, spec(&tid, &["P1"]));
+            let st = s.wait_terminal(&id, Duration::from_secs(120)).unwrap();
+            assert_eq!(st.state, JobState::Done, "error: {:?}", st.error);
+            s.drain();
+            id
+        };
+        // Simulate a crash mid-job: hand-write a running record.
+        let fake = persist::render_record(
+            "job-000000aa",
+            &spec(&tid, &["P1"]),
+            JobState::Running,
+            0.5,
+            None,
+            1,
+            &JobTimings::default(),
+            None,
+        );
+        persist::write_atomic(&dir.join("job-000000aa.json"), &fake).unwrap();
+
+        let s = JobScheduler::start(config, engine(), tables).unwrap();
+        let (state, record) = s.record_json(&done_id).expect("done job reloaded");
+        assert_eq!(state, JobState::Done);
+        assert!(record.contains("\"reports\""));
+        let crashed = s.status("job-000000aa").expect("crashed job visible");
+        assert_eq!(crashed.state, JobState::Failed);
+        assert_eq!(crashed.error.as_deref(), Some("interrupted by server restart"));
+        // New ids keep counting up past everything on disk.
+        let next = submit_ok(&s, spec(&tid, &["P1"]));
+        let n = u64::from_str_radix(next.strip_prefix("job-").unwrap(), 16).unwrap();
+        assert!(n > 0xaa, "id counter must resume past loaded records, got {next}");
+        s.drain();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

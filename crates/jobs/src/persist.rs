@@ -1,0 +1,513 @@
+//! On-disk JSON codecs for the job subsystem.
+//!
+//! Two formats live here, both designed to survive a restart with zero
+//! information loss:
+//!
+//! - **Tables** (`tables/<id>.json`): a *typed* encoding of
+//!   [`observatory_table::Table`]. Every cell is tagged with its variant
+//!   and numeric payloads are stored losslessly (`Int` as a decimal
+//!   string, `Float` as its IEEE-754 bit pattern), because the content
+//!   address and the encoder both distinguish `Int(3)` from `Float(3.0)`
+//!   — a lossy round trip would silently change fingerprints and
+//!   measures after a restart.
+//!
+//! - **Job records** (`<job-id>.json`): spec, state, attempts, timings
+//!   and — for completed jobs — the full result (per-property measures
+//!   plus optional downstream scores). Measure floats are rendered
+//!   shortest-round-trip (like the serve wire format), so parsing them
+//!   back reproduces the exact `f64` the property runner computed.
+//!
+//! Writes are atomic (`.tmp` + rename) so a crash never leaves a torn
+//! record where a valid one used to be.
+
+use crate::{AnalyzeSpec, JobState, JobTimings};
+use observatory_core::framework::PropertyReport;
+use observatory_obs::json::{escape, parse, Json};
+use observatory_table::{Column, Table, Value};
+use std::path::Path;
+use std::time::Duration;
+
+/// Render a finite `f64` shortest-round-trip; non-finite becomes `null`
+/// (mirrors the serve wire format).
+pub fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        out.push_str(&format!("{v}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn push_str(out: &mut String, s: &str) {
+    out.push('"');
+    out.push_str(&escape(s));
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------
+// Typed table codec
+// ---------------------------------------------------------------------
+
+/// Serialize a table to the typed JSON format.
+pub fn render_table(table: &Table) -> String {
+    let mut out = String::with_capacity(256);
+    out.push_str("{\"name\":");
+    push_str(&mut out, &table.name);
+    out.push_str(",\"columns\":[");
+    for (ci, col) in table.columns.iter().enumerate() {
+        if ci > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"header\":");
+        push_str(&mut out, &col.header);
+        out.push_str(",\"semantic_type\":");
+        match &col.semantic_type {
+            Some(t) => push_str(&mut out, t),
+            None => out.push_str("null"),
+        }
+        out.push_str(",\"is_subject\":");
+        out.push_str(if col.is_subject { "true" } else { "false" });
+        out.push_str(",\"values\":[");
+        for (vi, v) in col.values.iter().enumerate() {
+            if vi > 0 {
+                out.push(',');
+            }
+            match v {
+                Value::Null => out.push_str("[\"n\"]"),
+                Value::Bool(b) => out.push_str(if *b { "[\"b\",true]" } else { "[\"b\",false]" }),
+                // Decimal string: the JSON parser holds numbers as f64,
+                // which cannot carry a full i64 or the float's bits.
+                Value::Int(i) => out.push_str(&format!("[\"i\",\"{i}\"]")),
+                Value::Float(f) => out.push_str(&format!("[\"f\",\"{}\"]", f.to_bits())),
+                Value::Text(s) => {
+                    out.push_str("[\"s\",");
+                    push_str(&mut out, s);
+                    out.push(']');
+                }
+                Value::Date { year, month, day } => {
+                    out.push_str(&format!("[\"d\",{year},{month},{day}]"))
+                }
+            }
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Parse a table back from [`render_table`] output.
+pub fn parse_table(text: &str) -> Result<Table, String> {
+    let json = parse(text).map_err(|e| format!("table json: {e}"))?;
+    let name =
+        json.get("name").and_then(Json::as_str).ok_or("table json: missing name")?.to_string();
+    let cols = json.get("columns").and_then(Json::as_array).ok_or("table json: missing columns")?;
+    let mut columns = Vec::with_capacity(cols.len());
+    for c in cols {
+        let header =
+            c.get("header").and_then(Json::as_str).ok_or("table json: column missing header")?;
+        let semantic_type = c.get("semantic_type").and_then(Json::as_str).map(str::to_string);
+        let is_subject = c.get("is_subject").and_then(Json::as_bool).unwrap_or(false);
+        let raw =
+            c.get("values").and_then(Json::as_array).ok_or("table json: column missing values")?;
+        let mut values = Vec::with_capacity(raw.len());
+        for v in raw {
+            values.push(parse_value(v)?);
+        }
+        let mut col = Column::new(header, values);
+        col.semantic_type = semantic_type;
+        col.is_subject = is_subject;
+        columns.push(col);
+    }
+    Ok(Table::new(name, columns))
+}
+
+fn parse_value(v: &Json) -> Result<Value, String> {
+    let parts = v.as_array().ok_or("table json: cell is not an array")?;
+    let tag = parts.first().and_then(Json::as_str).ok_or("table json: cell missing tag")?;
+    let arg = parts.get(1);
+    match tag {
+        "n" => Ok(Value::Null),
+        "b" => Ok(Value::Bool(arg.and_then(Json::as_bool).ok_or("table json: bad bool cell")?)),
+        "i" => arg
+            .and_then(Json::as_str)
+            .and_then(|s| s.parse::<i64>().ok())
+            .map(Value::Int)
+            .ok_or_else(|| "table json: bad int cell".to_string()),
+        "f" => arg
+            .and_then(Json::as_str)
+            .and_then(|s| s.parse::<u64>().ok())
+            .map(|bits| Value::Float(f64::from_bits(bits)))
+            .ok_or_else(|| "table json: bad float cell".to_string()),
+        "s" => Ok(Value::Text(
+            arg.and_then(Json::as_str).ok_or("table json: bad text cell")?.to_string(),
+        )),
+        "d" => {
+            let num = |i: usize| parts.get(i).and_then(Json::as_f64);
+            match (num(1), num(2), num(3)) {
+                (Some(y), Some(m), Some(d)) => {
+                    Ok(Value::Date { year: y as i32, month: m as u8, day: d as u8 })
+                }
+                _ => Err("table json: bad date cell".to_string()),
+            }
+        }
+        other => Err(format!("table json: unknown cell tag '{other}'")),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Job record codec
+// ---------------------------------------------------------------------
+
+/// Downstream scores attached to a completed analysis (opt-in).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DownstreamScores {
+    /// Number of classes the column-type probe was trained on.
+    pub classes: usize,
+    /// Predicted semantic type per column of the analyzed table.
+    pub predictions: Vec<String>,
+}
+
+/// Render the full job record. `result` is `Some` only for `done` jobs.
+#[allow(clippy::too_many_arguments)]
+pub fn render_record(
+    id: &str,
+    spec: &AnalyzeSpec,
+    state: JobState,
+    progress: f64,
+    error: Option<&str>,
+    attempts: u32,
+    timings: &JobTimings,
+    result: Option<(&[PropertyReport], Option<&DownstreamScores>)>,
+) -> String {
+    let mut out = String::with_capacity(512);
+    out.push_str("{\"job\":");
+    push_str(&mut out, id);
+    out.push_str(",\"state\":");
+    push_str(&mut out, state.as_str());
+    out.push_str(",\"spec\":{\"table\":");
+    push_str(&mut out, &spec.table);
+    out.push_str(",\"model\":");
+    push_str(&mut out, &spec.model);
+    out.push_str(",\"properties\":[");
+    for (i, p) in spec.properties.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_str(&mut out, p);
+    }
+    out.push_str(&format!(
+        "],\"seed\":{},\"permutations\":{},\"deadline_ms\":{},\"downstream\":{}}}",
+        spec.seed,
+        spec.permutations,
+        spec.deadline.as_millis(),
+        spec.downstream,
+    ));
+    out.push_str(&format!(",\"attempts\":{attempts},\"progress\":"));
+    push_f64(&mut out, progress);
+    out.push_str(",\"error\":");
+    match error {
+        Some(e) => push_str(&mut out, e),
+        None => out.push_str("null"),
+    }
+    out.push_str(&format!(
+        ",\"timings\":{{\"queued_us\":{},\"run_us\":{},\"persist_us\":{}}}",
+        timings.queued_us, timings.run_us, timings.persist_us
+    ));
+    out.push_str(",\"result\":");
+    match result {
+        None => out.push_str("null"),
+        Some((reports, downstream)) => {
+            out.push_str("{\"reports\":[");
+            for (i, r) in reports.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                render_report(&mut out, r);
+            }
+            out.push_str("],\"downstream\":");
+            match downstream {
+                None => out.push_str("null"),
+                Some(d) => {
+                    out.push_str(&format!(
+                        "{{\"column_types\":{{\"classes\":{},\"predictions\":[",
+                        d.classes
+                    ));
+                    for (i, p) in d.predictions.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        push_str(&mut out, p);
+                    }
+                    out.push_str("]}}");
+                }
+            }
+            out.push('}');
+        }
+    }
+    out.push('}');
+    out
+}
+
+fn render_report(out: &mut String, r: &PropertyReport) {
+    out.push_str("{\"property\":");
+    push_str(out, r.property);
+    out.push_str(",\"model\":");
+    push_str(out, &r.model);
+    out.push_str(",\"measures\":[");
+    for (i, d) in r.records.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"label\":");
+        push_str(out, &d.label);
+        out.push_str(",\"values\":[");
+        for (j, v) in d.values.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            push_f64(out, *v);
+        }
+        out.push_str("]}");
+    }
+    out.push_str("],\"scalars\":[");
+    for (i, (k, v)) in r.scalars.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":");
+        push_str(out, k);
+        out.push_str(",\"value\":");
+        push_f64(out, *v);
+        out.push('}');
+    }
+    out.push_str("],\"scatters\":[");
+    for (i, s) in r.scatters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"label\":");
+        push_str(out, &s.label);
+        out.push_str(",\"points\":[");
+        for (j, (x, y)) in s.points.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push('[');
+            push_f64(out, *x);
+            out.push(',');
+            push_f64(out, *y);
+            out.push(']');
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}");
+}
+
+/// A job record loaded back from disk at startup. The result stays as
+/// raw JSON (`GET /v1/jobs/<id>/result` serves the record verbatim).
+#[derive(Debug, Clone)]
+pub struct LoadedRecord {
+    pub id: String,
+    pub spec: AnalyzeSpec,
+    pub state: JobState,
+    pub progress: f64,
+    pub error: Option<String>,
+    pub attempts: u32,
+    pub timings: JobTimings,
+}
+
+/// Parse the envelope of a record written by [`render_record`].
+pub fn parse_record(text: &str) -> Result<LoadedRecord, String> {
+    let json = parse(text).map_err(|e| format!("job record: {e}"))?;
+    let str_field = |key: &str| {
+        json.get(key)
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| format!("job record: missing '{key}'"))
+    };
+    let id = str_field("job")?;
+    let state =
+        JobState::parse(&str_field("state")?).ok_or_else(|| "job record: bad state".to_string())?;
+    let spec_json = json.get("spec").ok_or("job record: missing spec")?;
+    let sstr = |key: &str| {
+        spec_json
+            .get(key)
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| format!("job record: spec missing '{key}'"))
+    };
+    let snum = |key: &str| spec_json.get(key).and_then(Json::as_f64).unwrap_or(0.0);
+    let properties = spec_json
+        .get("properties")
+        .and_then(Json::as_array)
+        .map(|a| a.iter().filter_map(Json::as_str).map(str::to_string).collect())
+        .unwrap_or_default();
+    let spec = AnalyzeSpec {
+        table: sstr("table")?,
+        model: sstr("model")?,
+        properties,
+        seed: snum("seed") as u64,
+        permutations: snum("permutations") as usize,
+        deadline: Duration::from_millis(snum("deadline_ms") as u64),
+        downstream: spec_json.get("downstream").and_then(Json::as_bool).unwrap_or(false),
+    };
+    let tnum = |key: &str| {
+        json.get("timings").and_then(|t| t.get(key)).and_then(Json::as_f64).unwrap_or(0.0) as u64
+    };
+    Ok(LoadedRecord {
+        id,
+        spec,
+        state,
+        progress: json.get("progress").and_then(Json::as_f64).unwrap_or(0.0),
+        error: json.get("error").and_then(Json::as_str).map(str::to_string),
+        attempts: json.get("attempts").and_then(Json::as_f64).unwrap_or(1.0) as u32,
+        timings: JobTimings {
+            queued_us: tnum("queued_us"),
+            run_us: tnum("run_us"),
+            persist_us: tnum("persist_us"),
+        },
+    })
+}
+
+/// Atomic write: `.tmp` sibling + rename, so readers never see a torn
+/// record and a crash leaves either the old file or the new one.
+pub fn write_atomic(path: &Path, contents: &str) -> std::io::Result<()> {
+    let tmp = path.with_extension("json.tmp");
+    std::fs::write(&tmp, contents)?;
+    std::fs::rename(&tmp, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gnarly_table() -> Table {
+        let mut c1 = Column::new(
+            "a\"b",
+            vec![
+                Value::Int(i64::MIN),
+                Value::Int(i64::MAX),
+                Value::Float(-0.0),
+                Value::Float(f64::NAN),
+                Value::Float(0.1 + 0.2),
+            ],
+        );
+        c1.semantic_type = Some("city".into());
+        c1.is_subject = true;
+        let c2 = Column::new(
+            "b",
+            vec![
+                Value::Null,
+                Value::Bool(true),
+                Value::Text("line\nbreak \u{1F600}".into()),
+                Value::Date { year: -44, month: 3, day: 15 },
+                Value::Text(String::new()),
+            ],
+        );
+        Table::new("t \"quoted\"", vec![c1, c2])
+    }
+
+    #[test]
+    fn table_round_trip_is_lossless() {
+        let t = gnarly_table();
+        let back = parse_table(&render_table(&t)).unwrap();
+        assert_eq!(back.name, t.name);
+        assert_eq!(back.columns.len(), t.columns.len());
+        for (a, b) in t.columns.iter().zip(&back.columns) {
+            assert_eq!(a.header, b.header);
+            assert_eq!(a.semantic_type, b.semantic_type);
+            assert_eq!(a.is_subject, b.is_subject);
+            assert_eq!(a.values.len(), b.values.len());
+            for (x, y) in a.values.iter().zip(&b.values) {
+                match (x, y) {
+                    // Bit equality, not ==: NaN and -0.0 must survive.
+                    (Value::Float(f), Value::Float(g)) => {
+                        assert_eq!(f.to_bits(), g.to_bits())
+                    }
+                    _ => assert_eq!(x, y),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn round_trip_preserves_fingerprint() {
+        // The content address is computed over the typed cells; a
+        // restart must reload a table to the identical address.
+        let t = gnarly_table();
+        let back = parse_table(&render_table(&t)).unwrap();
+        assert_eq!(
+            observatory_runtime::fingerprint_table("ingest", &t),
+            observatory_runtime::fingerprint_table("ingest", &back),
+        );
+    }
+
+    #[test]
+    fn record_round_trip() {
+        let spec = AnalyzeSpec {
+            table: "tbl-ff".into(),
+            model: "bert".into(),
+            properties: vec!["P1".into(), "P2".into()],
+            seed: 7,
+            permutations: 12,
+            deadline: Duration::from_millis(2500),
+            downstream: true,
+        };
+        let mut report = PropertyReport::new("P1", "bert");
+        report.push_distribution("column/cosine", vec![0.5, 1.0, 0.1 + 0.2]);
+        report.scalars.push(("acc".into(), 0.75));
+        let timings = JobTimings { queued_us: 3, run_us: 4, persist_us: 5 };
+        let ds = DownstreamScores { classes: 4, predictions: vec!["city".into()] };
+        let text = render_record(
+            "job-0000002a",
+            &spec,
+            JobState::Done,
+            1.0,
+            None,
+            2,
+            &timings,
+            Some((std::slice::from_ref(&report), Some(&ds))),
+        );
+        let back = parse_record(&text).unwrap();
+        assert_eq!(back.id, "job-0000002a");
+        assert_eq!(back.state, JobState::Done);
+        assert_eq!(back.spec.table, spec.table);
+        assert_eq!(back.spec.properties, spec.properties);
+        assert_eq!(back.spec.seed, 7);
+        assert_eq!(back.spec.permutations, 12);
+        assert_eq!(back.spec.deadline, spec.deadline);
+        assert!(back.spec.downstream);
+        assert_eq!(back.attempts, 2);
+        assert_eq!(back.timings.persist_us, 5);
+        // Measures parse back bit-exactly (shortest round trip).
+        let json = parse(&text).unwrap();
+        let vals = json
+            .get("result")
+            .and_then(|r| r.get("reports"))
+            .and_then(Json::as_array)
+            .and_then(|r| r[0].get("measures"))
+            .and_then(Json::as_array)
+            .and_then(|m| m[0].get("values"))
+            .and_then(Json::as_array)
+            .unwrap();
+        assert_eq!(vals[2].as_f64().unwrap().to_bits(), (0.1f64 + 0.2).to_bits());
+    }
+
+    #[test]
+    fn failed_record_keeps_error_and_no_result() {
+        let spec = AnalyzeSpec::default();
+        let text = render_record(
+            "job-00000001",
+            &spec,
+            JobState::Failed,
+            0.5,
+            Some("deadline expired after 10ms"),
+            1,
+            &JobTimings::default(),
+            None,
+        );
+        let back = parse_record(&text).unwrap();
+        assert_eq!(back.state, JobState::Failed);
+        assert_eq!(back.error.as_deref(), Some("deadline expired after 10ms"));
+        assert!(parse(&text).unwrap().get("result").unwrap() == &Json::Null);
+    }
+}

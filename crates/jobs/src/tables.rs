@@ -1,0 +1,132 @@
+//! Content-addressed table store for the ingest path.
+//!
+//! `POST /v1/tables` lands here: a parsed [`Table`] gets the id
+//! `tbl-<fingerprint>` where the fingerprint is the runtime's typed
+//! 128-bit content hash under a fixed `"ingest"` domain tag — so the
+//! same table content always maps to the same id (idempotent uploads,
+//! and analyses of a re-uploaded table hit the same encoding cache
+//! entries). With a directory attached, every table is persisted in the
+//! lossless typed-JSON codec and reloaded on startup, so jobs referring
+//! to it keep working across restarts.
+
+use crate::persist;
+use observatory_table::Table;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+
+/// Domain tag for the content address (distinct from any model name, so
+/// table ids can never collide with per-model encoding fingerprints).
+const INGEST_TAG: &str = "ingest";
+
+/// In-memory map of ingested tables, optionally mirrored to disk.
+pub struct TableStore {
+    dir: Option<PathBuf>,
+    map: Mutex<BTreeMap<String, Arc<Table>>>,
+}
+
+impl TableStore {
+    /// Open a store. With `Some(dir)`, loads every previously persisted
+    /// table (files that fail to parse are skipped, not fatal — one bad
+    /// table must not take down the server).
+    pub fn open(dir: Option<PathBuf>) -> std::io::Result<Self> {
+        let mut map = BTreeMap::new();
+        if let Some(dir) = &dir {
+            std::fs::create_dir_all(dir)?;
+            for entry in std::fs::read_dir(dir)? {
+                let path = entry?.path();
+                let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+                let Some(id) = name.strip_suffix(".json") else { continue };
+                if !id.starts_with("tbl-") {
+                    continue;
+                }
+                match std::fs::read_to_string(&path)
+                    .map_err(|e| e.to_string())
+                    .and_then(|text| persist::parse_table(&text))
+                {
+                    Ok(table) => {
+                        map.insert(id.to_string(), Arc::new(table));
+                    }
+                    Err(e) => eprintln!("warning: skipping table {name}: {e}"),
+                }
+            }
+        }
+        Ok(Self { dir, map: Mutex::new(map) })
+    }
+
+    /// The content address a table would get.
+    pub fn id_for(table: &Table) -> String {
+        format!("tbl-{}", observatory_runtime::fingerprint_table(INGEST_TAG, table).to_hex())
+    }
+
+    /// Ingest a table. Returns `(id, newly_added)`; re-ingesting the
+    /// same content is a no-op that returns the existing id.
+    pub fn add(&self, table: Table) -> std::io::Result<(String, bool)> {
+        let id = Self::id_for(&table);
+        let mut map = self.map.lock().unwrap();
+        if map.contains_key(&id) {
+            return Ok((id, false));
+        }
+        if let Some(dir) = &self.dir {
+            persist::write_atomic(&dir.join(format!("{id}.json")), &persist::render_table(&table))?;
+        }
+        map.insert(id.clone(), Arc::new(table));
+        Ok((id, true))
+    }
+
+    /// Look a table up by id.
+    pub fn get(&self, id: &str) -> Option<Arc<Table>> {
+        self.map.lock().unwrap().get(id).cloned()
+    }
+
+    /// Number of ingested tables.
+    pub fn len(&self) -> usize {
+        self.map.lock().unwrap().len()
+    }
+
+    /// True when nothing has been ingested.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use observatory_table::{Column, Value};
+
+    fn table(x: i64) -> Table {
+        Table::new("t", vec![Column::new("a", vec![Value::Int(x), Value::Int(x + 1)])])
+    }
+
+    #[test]
+    fn ingest_is_content_addressed_and_idempotent() {
+        let store = TableStore::open(None).unwrap();
+        let (id1, new1) = store.add(table(1)).unwrap();
+        let (id2, new2) = store.add(table(1)).unwrap();
+        let (id3, _) = store.add(table(2)).unwrap();
+        assert!(id1.starts_with("tbl-") && id1.len() == 4 + 32);
+        assert_eq!(id1, id2);
+        assert!(new1 && !new2);
+        assert_ne!(id1, id3);
+        assert_eq!(store.len(), 2);
+        assert!(store.get(&id1).is_some());
+        assert!(store.get("tbl-nope").is_none());
+    }
+
+    #[test]
+    fn tables_survive_reopen_with_identical_ids() {
+        let dir = std::env::temp_dir().join(format!("obs-tblstore-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let id = {
+            let store = TableStore::open(Some(dir.clone())).unwrap();
+            store.add(table(7)).unwrap().0
+        };
+        let store = TableStore::open(Some(dir.clone())).unwrap();
+        assert_eq!(store.len(), 1);
+        let t = store.get(&id).expect("table reloaded");
+        // Reloaded content re-addresses to the same id: lossless codec.
+        assert_eq!(TableStore::id_for(&t), id);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -61,6 +61,15 @@ pub enum FlightKind {
     Panic,
     /// Store segment quarantined during recovery.
     Quarantine,
+    /// Analysis job admitted to the scheduler (`a` = queue depth).
+    JobAdmit,
+    /// Analysis job finished successfully (`a` = progress ‰).
+    JobDone,
+    /// Analysis job failed — error, deadline, or retry exhaustion
+    /// (`a` = progress ‰).
+    JobFail,
+    /// Analysis job cancelled — DELETE or drain (`a` = progress ‰).
+    JobCancel,
 }
 
 impl FlightKind {
@@ -74,6 +83,10 @@ impl FlightKind {
             FlightKind::Done => "done",
             FlightKind::Panic => "panic",
             FlightKind::Quarantine => "quarantine",
+            FlightKind::JobAdmit => "job_admit",
+            FlightKind::JobDone => "job_done",
+            FlightKind::JobFail => "job_fail",
+            FlightKind::JobCancel => "job_cancel",
         }
     }
 }
@@ -423,6 +436,10 @@ mod tests {
             (FlightKind::Done, "done"),
             (FlightKind::Panic, "panic"),
             (FlightKind::Quarantine, "quarantine"),
+            (FlightKind::JobAdmit, "job_admit"),
+            (FlightKind::JobDone, "job_done"),
+            (FlightKind::JobFail, "job_fail"),
+            (FlightKind::JobCancel, "job_cancel"),
         ];
         for (k, name) in kinds {
             assert_eq!(k.name(), name);

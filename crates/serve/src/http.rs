@@ -118,6 +118,8 @@ pub fn read_request<R: Read>(reader: &mut BufReader<R>) -> Result<Request, HttpE
 pub fn reason(status: u16) -> &'static str {
     match status {
         200 => "OK",
+        201 => "Created",
+        202 => "Accepted",
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
@@ -249,7 +251,7 @@ mod tests {
 
     #[test]
     fn reasons_cover_service_codes() {
-        for code in [200, 400, 404, 405, 408, 409, 411, 413, 429, 500, 503] {
+        for code in [200, 201, 202, 400, 404, 405, 408, 409, 411, 413, 429, 500, 503] {
             assert_ne!(reason(code), "Unknown", "{code}");
         }
     }

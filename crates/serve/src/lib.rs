@@ -60,10 +60,15 @@ use crate::batcher::BatcherConfig;
 use crate::http::{read_request, write_response, HttpError, Request};
 use crate::metrics::{ServerMetrics, ServerTotals};
 use crate::queue::{Job, Pushed, Queue, Stages};
+use observatory_jobs::{
+    supported_property, AnalyzeSpec, JobConfig, JobScheduler, JobState, JobTotals, Submit,
+    TableStore, SUPPORTED_PROPERTIES,
+};
 use observatory_models::registry::is_known_model;
 use observatory_obs as obs;
 use observatory_obs::flight;
 use observatory_obs::flight::FlightKind;
+use observatory_obs::json::{escape, Json};
 use observatory_obs::Manifest;
 use observatory_runtime::Engine;
 use observatory_search::{AnnIndex, HnswConfig, ShardedHnsw};
@@ -123,6 +128,15 @@ pub struct ServeConfig {
     pub ann_warm: bool,
     /// Shard count for the warm corpus index (`--ann-shards`).
     pub ann_shards: usize,
+    /// Bound on queued analysis jobs; submits beyond it get 429
+    /// (`--max-jobs`).
+    pub max_jobs: usize,
+    /// Deadline for analysis jobs that do not carry their own
+    /// (`--job-deadline-ms`), measured from submission.
+    pub job_deadline: Duration,
+    /// Directory for job records and ingested tables (`<store-dir>/jobs`
+    /// when a store is attached); `None` = in-memory only.
+    pub jobs_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -139,6 +153,9 @@ impl Default for ServeConfig {
             profile_interval: Duration::from_millis(10),
             ann_warm: false,
             ann_shards: 4,
+            max_jobs: 16,
+            job_deadline: Duration::from_secs(300),
+            jobs_dir: None,
         }
     }
 }
@@ -153,6 +170,9 @@ pub struct DrainStats {
     /// Profiler report when [`ServeConfig::profile`] was on and this
     /// server owned the (process-global) profiler session.
     pub profile: Option<obs::ProfileReport>,
+    /// Analysis-job accounting at drain: every admitted job must be
+    /// covered by done + failed + cancelled (`outstanding() == 0`).
+    pub jobs: JobTotals,
 }
 
 /// State shared by the accept loop, connection threads, and the batcher.
@@ -174,6 +194,10 @@ struct Shared {
     /// Warm-started corpus ANN index ([`ServeConfig::ann_warm`]); `None`
     /// when disabled, no store is attached, or the store was empty.
     ann: Option<observatory_search::ShardedHnsw>,
+    /// Ingested tables (`POST /v1/tables`), shared with the scheduler.
+    tables: Arc<TableStore>,
+    /// The analysis-job scheduler behind `/v1/analyze` and `/v1/jobs`.
+    jobs: JobScheduler,
 }
 
 /// Cloneable remote control for a running [`Server`].
@@ -239,6 +263,21 @@ impl Server {
                 manifest.set("ann", "none");
             }
         }
+        // Jobs subsystem: ingested tables + the analysis scheduler share
+        // the engine (and through it, the encoding cache and store tier).
+        let tables =
+            Arc::new(TableStore::open(config.jobs_dir.as_ref().map(|d| d.join("tables")))?);
+        let jobs = JobScheduler::start(
+            JobConfig {
+                max_jobs: config.max_jobs,
+                default_deadline: config.job_deadline,
+                dir: config.jobs_dir.clone(),
+                ..JobConfig::default()
+            },
+            Arc::clone(&engine),
+            Arc::clone(&tables),
+        )?;
+        manifest.set("max_jobs", config.max_jobs.to_string());
         let shared = Arc::new(Shared {
             engine,
             queue: Queue::new(config.queue_depth),
@@ -251,6 +290,8 @@ impl Server {
             config,
             manifest,
             ann,
+            tables,
+            jobs,
         });
         Ok(Server { listener, shared, signal_flag })
     }
@@ -345,6 +386,11 @@ impl Server {
         shared.queue.close();
         // 3. The batcher answers everything admitted, then exits.
         let _ = batcher.join();
+        // 3a. Drain the job scheduler: queued jobs are cancelled before
+        //     start, a running job is cancelled cooperatively at its next
+        //     checkpoint, and every terminal record is persisted — an
+        //     admitted job is never lost, only finished or cancelled.
+        let job_totals = shared.jobs.drain();
         // 3b. Everything the batcher acked is now in the tier-2 store's
         //     WAL (if one is attached); fsync it so the corpus survives
         //     a machine restart, not just this process exit.
@@ -372,10 +418,12 @@ impl Server {
                 ("shed", totals.shed.to_string()),
                 ("expired", totals.expired.to_string()),
                 ("batches", totals.batches.to_string()),
+                ("jobs_submitted", job_totals.submitted.to_string()),
+                ("jobs_outstanding", job_totals.outstanding().to_string()),
             ]
         });
         let profile = if profiling { obs::profiler::stop() } else { None };
-        DrainStats { totals, uptime: shared.started.elapsed(), profile }
+        DrainStats { totals, uptime: shared.started.elapsed(), profile, jobs: job_totals }
     }
 }
 
@@ -517,6 +565,19 @@ fn handle_conn(stream: TcpStream, shared: &Shared) {
     shared.metrics.record_request(outcome.route, outcome.status, total);
 }
 
+/// The method set a known path accepts, as an `Allow` header value;
+/// `None` means the path itself is unknown (404 territory).
+fn allowed_methods(path: &str) -> Option<&'static str> {
+    match path {
+        "/healthz" | "/metrics" | "/debug/flight" | "/debug/profile" | "/debug/profile/top" => {
+            Some("GET")
+        }
+        "/v1/embed" | "/v1/knn" | "/v1/tables" | "/v1/analyze" | "/admin/shutdown" => Some("POST"),
+        p if p.starts_with("/v1/jobs/") => Some("GET, DELETE"),
+        _ => None,
+    }
+}
+
 /// Dispatch one parsed request to its endpoint.
 fn route(req: &Request, id: u64, rid: &Arc<str>, span: &mut obs::Span, shared: &Shared) -> Outcome {
     match (req.method.as_str(), req.path.as_str()) {
@@ -527,16 +588,287 @@ fn route(req: &Request, id: u64, rid: &Arc<str>, span: &mut obs::Span, shared: &
         ("GET", "/debug/profile/top") => profile_page(true),
         ("POST", "/v1/embed") => embed(req, id, rid, span, shared),
         ("POST", "/v1/knn") => knn(req, shared),
+        ("POST", "/v1/tables") => tables_ingest(req, shared),
+        ("POST", "/v1/analyze") => analyze(req, shared),
+        (_, p) if p.starts_with("/v1/jobs/") => jobs_route(req, shared),
         ("POST", "/admin/shutdown") => {
             shared.shutdown.store(true, Ordering::SeqCst);
             Outcome::json("admin", 200, "{\"draining\":true}".to_string())
         }
-        ("GET", "/v1/embed" | "/v1/knn" | "/admin/shutdown")
-        | (
-            "POST",
-            "/healthz" | "/metrics" | "/debug/flight" | "/debug/profile" | "/debug/profile/top",
-        ) => Outcome::error("other", 405, &format!("method {} not allowed here", req.method)),
-        (_, path) => Outcome::error("other", 404, &format!("no route for '{path}'")),
+        (method, path) => match allowed_methods(path) {
+            // Known path, wrong verb: 405 with the honest Allow set.
+            Some(allow) => {
+                let mut o = Outcome::error(
+                    "other",
+                    405,
+                    &format!("method {method} not allowed for '{path}'"),
+                );
+                o.extra.push(("Allow", allow.to_string()));
+                o
+            }
+            // Unknown path: JSON 404, same error envelope as everything
+            // else, so clients never have to parse a bare-text body.
+            None => Outcome::error("other", 404, &format!("no route for '{path}'")),
+        },
+    }
+}
+
+/// `POST /v1/tables`: ingest a table (CSV or JSON), reply with its
+/// content-addressed id. Re-ingesting identical content is idempotent:
+/// 200 with the existing id instead of 201.
+fn tables_ingest(req: &Request, shared: &Shared) -> Outcome {
+    if req.header("content-length").is_none() {
+        return Outcome::error("tables", 411, "POST /v1/tables requires Content-Length");
+    }
+    let body = match std::str::from_utf8(&req.body) {
+        Ok(s) => s,
+        Err(_) => return Outcome::error("tables", 400, "body must be UTF-8"),
+    };
+    let is_csv =
+        req.header("content-type").is_some_and(|ct| ct.to_ascii_lowercase().contains("csv"));
+    let table = if is_csv {
+        // The table name participates in the content fingerprint, so an
+        // `x-table-name` header lets a client reproduce the exact id the
+        // CLI would compute for the same file path.
+        let name = req.header("x-table-name").unwrap_or("upload");
+        match observatory_table::csv::parse_csv(name, body) {
+            Ok(t) => t,
+            Err(e) => return Outcome::error("tables", 400, &format!("bad CSV: {e}")),
+        }
+    } else {
+        let v = match obs::json::parse(body) {
+            Ok(v) => v,
+            Err(e) => return Outcome::error("tables", 400, &e),
+        };
+        match api::table_from_json(&v) {
+            Ok(t) => t,
+            Err(api::ApiError::TooLarge) => {
+                return Outcome::error("tables", 413, &api::ApiError::TooLarge.to_string())
+            }
+            Err(api::ApiError::Bad(m)) => return Outcome::error("tables", 400, &m),
+        }
+    };
+    if table.num_rows().saturating_mul(table.num_cols()) > api::MAX_CELLS {
+        return Outcome::error("tables", 413, &api::ApiError::TooLarge.to_string());
+    }
+    let (name, rows, cols) = (table.name.clone(), table.num_rows(), table.num_cols());
+    match shared.tables.add(table) {
+        Ok((id, created)) => Outcome::json(
+            "tables",
+            if created { 201 } else { 200 },
+            format!(
+                "{{\"id\":\"{id}\",\"name\":\"{}\",\"rows\":{rows},\"cols\":{cols},\"created\":{created}}}",
+                escape(&name)
+            ),
+        ),
+        Err(e) => Outcome::error("tables", 500, &format!("persist failed: {e}")),
+    }
+}
+
+/// `POST /v1/analyze`: validate the request, build an [`AnalyzeSpec`],
+/// and submit it — 202 with the job id, or 429/503/404 from admission.
+fn analyze(req: &Request, shared: &Shared) -> Outcome {
+    let body = match std::str::from_utf8(&req.body) {
+        Ok(s) => s,
+        Err(_) => return Outcome::error("analyze", 400, "body must be UTF-8 JSON"),
+    };
+    let v = match obs::json::parse(body) {
+        Ok(v) => v,
+        Err(e) => return Outcome::error("analyze", 400, &e),
+    };
+    let Some(table) = v.get("table").and_then(Json::as_str) else {
+        return Outcome::error("analyze", 400, "missing string field 'table'");
+    };
+    let Some(props) = v.get("properties").and_then(Json::as_array) else {
+        return Outcome::error("analyze", 400, "missing array field 'properties'");
+    };
+    if props.is_empty() {
+        return Outcome::error("analyze", 400, "'properties' must not be empty");
+    }
+    let mut properties = Vec::with_capacity(props.len());
+    for p in props {
+        let Some(id) = p.as_str() else {
+            return Outcome::error("analyze", 400, "'properties' entries must be strings");
+        };
+        if !supported_property(id) {
+            return Outcome::error(
+                "analyze",
+                400,
+                &format!(
+                    "unsupported property '{id}' (supported: {})",
+                    SUPPORTED_PROPERTIES.join(", ")
+                ),
+            );
+        }
+        properties.push(id.to_string());
+    }
+    let model = v.get("model").and_then(Json::as_str).unwrap_or("bert").to_string();
+    if !is_known_model(&model) {
+        return Outcome::error("analyze", 400, &format!("unknown model '{model}'"));
+    }
+    let defaults = AnalyzeSpec::default();
+    let seed = match v.get("seed") {
+        None => defaults.seed,
+        Some(s) => match s.as_f64() {
+            Some(n) if n >= 0.0 && n.fract() == 0.0 => n as u64,
+            _ => return Outcome::error("analyze", 400, "'seed' must be a non-negative integer"),
+        },
+    };
+    let permutations = match v.get("permutations") {
+        None => defaults.permutations,
+        Some(s) => match s.as_f64() {
+            Some(n) if n >= 2.0 && n.fract() == 0.0 => n as usize,
+            _ => return Outcome::error("analyze", 400, "'permutations' must be an integer >= 2"),
+        },
+    };
+    let deadline = match v.get("deadline_ms") {
+        None => shared.config.job_deadline,
+        Some(s) => match s.as_f64() {
+            // Cap at one hour: a job deadline bounds how long drain can
+            // possibly wait on a runaway analysis.
+            Some(n) if n >= 1.0 && n.fract() == 0.0 => {
+                Duration::from_millis((n as u64).min(3_600_000))
+            }
+            _ => return Outcome::error("analyze", 400, "'deadline_ms' must be an integer >= 1"),
+        },
+    };
+    let downstream = match v.get("downstream") {
+        None => false,
+        Some(Json::Bool(b)) => *b,
+        Some(_) => return Outcome::error("analyze", 400, "'downstream' must be a boolean"),
+    };
+    let spec = AnalyzeSpec {
+        table: table.to_string(),
+        model,
+        properties,
+        seed,
+        permutations,
+        deadline,
+        downstream,
+    };
+    match shared.jobs.submit(spec) {
+        Submit::Queued { id, depth } => Outcome::json(
+            "analyze",
+            202,
+            format!("{{\"job\":\"{id}\",\"state\":\"queued\",\"depth\":{depth}}}"),
+        ),
+        Submit::Full => {
+            flight::record(FlightKind::Shed, "analyze", [0; 5], 429);
+            flight::dump("shed");
+            let mut o = Outcome::error("analyze", 429, "job queue full, retry shortly");
+            o.extra.push(("Retry-After", "1".to_string()));
+            o
+        }
+        Submit::Closed => Outcome::error("analyze", 503, "server is draining"),
+        Submit::UnknownTable => Outcome::error(
+            "analyze",
+            404,
+            &format!("unknown table '{table}' (ingest it via POST /v1/tables)"),
+        ),
+    }
+}
+
+/// `/v1/jobs/<id>[/result]`: status (GET), result (GET …/result), and
+/// cancellation (DELETE).
+fn jobs_route(req: &Request, shared: &Shared) -> Outcome {
+    let rest = &req.path["/v1/jobs/".len()..];
+    let (id, tail) = match rest.split_once('/') {
+        Some((id, tail)) => (id, Some(tail)),
+        None => (rest, None),
+    };
+    match (req.method.as_str(), tail) {
+        ("GET", None) => job_status(id, shared),
+        ("GET", Some("result")) => job_result(id, shared),
+        ("DELETE", None) => job_cancel(id, shared),
+        (_, Some(t)) if t != "result" => {
+            Outcome::error("jobs", 404, &format!("no route for '{}'", req.path))
+        }
+        (method, _) => {
+            let mut o = Outcome::error(
+                "jobs",
+                405,
+                &format!("method {method} not allowed for '{}'", req.path),
+            );
+            o.extra.push(("Allow", "GET, DELETE".to_string()));
+            o
+        }
+    }
+}
+
+/// `GET /v1/jobs/<id>`: live status + progress + stage timings. The
+/// stage breakdown reuses the request-path [`Stages`] vocabulary
+/// (queue → encode → write), rendered in the same `x-stage-us` format.
+fn job_status(id: &str, shared: &Shared) -> Outcome {
+    let Some(s) = shared.jobs.status(id) else {
+        return Outcome::error("jobs", 404, &format!("no such job '{id}'"));
+    };
+    let stages = Stages {
+        queue_us: s.timings.queued_us,
+        batch_wait_us: 0,
+        encode_us: s.timings.run_us,
+        store_us: 0,
+        write_us: s.timings.persist_us,
+    };
+    let props: Vec<String> =
+        s.spec.properties.iter().map(|p| format!("\"{}\"", escape(p))).collect();
+    let error = match &s.error {
+        Some(e) => format!("\"{}\"", escape(e)),
+        None => "null".to_string(),
+    };
+    let body = format!(
+        "{{\"job\":\"{}\",\"state\":\"{}\",\"progress\":{:.4},\"attempts\":{},\"table\":\"{}\",\"model\":\"{}\",\"properties\":[{}],\"seed\":{},\"permutations\":{},\"deadline_ms\":{},\"downstream\":{},\"error\":{},\"stage_us\":\"{}\"}}",
+        escape(&s.id),
+        s.state.as_str(),
+        s.progress,
+        s.attempts,
+        escape(&s.spec.table),
+        escape(&s.spec.model),
+        props.join(","),
+        s.spec.seed,
+        s.spec.permutations,
+        s.spec.deadline.as_millis(),
+        s.spec.downstream,
+        error,
+        stages.header_value(),
+    );
+    Outcome::json("jobs", 200, body)
+}
+
+/// `GET /v1/jobs/<id>/result`: the persisted record, verbatim — exactly
+/// the bytes that survive a restart. Only meaningful once `done`.
+fn job_result(id: &str, shared: &Shared) -> Outcome {
+    match shared.jobs.record_json(id) {
+        None => Outcome::error("jobs", 404, &format!("no such job '{id}'")),
+        Some((JobState::Done, json)) => Outcome::json("jobs", 200, json.as_ref().clone()),
+        Some((state, _)) => Outcome::error(
+            "jobs",
+            409,
+            &format!("job '{id}' is {}; result is only available once done", state.as_str()),
+        ),
+    }
+}
+
+/// `DELETE /v1/jobs/<id>`: cancel. Queued jobs cancel immediately (200);
+/// a running job gets a cooperative request honored at its next
+/// checkpoint (202 — poll the status to observe it land).
+fn job_cancel(id: &str, shared: &Shared) -> Outcome {
+    match shared.jobs.cancel(id) {
+        observatory_jobs::Cancel::Unknown => {
+            Outcome::error("jobs", 404, &format!("no such job '{id}'"))
+        }
+        observatory_jobs::Cancel::AlreadyTerminal(state) => {
+            Outcome::error("jobs", 409, &format!("job '{id}' is already {}", state.as_str()))
+        }
+        observatory_jobs::Cancel::Cancelled => Outcome::json(
+            "jobs",
+            200,
+            format!("{{\"job\":\"{}\",\"state\":\"cancelled\"}}", escape(id)),
+        ),
+        observatory_jobs::Cancel::Cancelling => Outcome::json(
+            "jobs",
+            202,
+            format!("{{\"job\":\"{}\",\"state\":\"cancelling\"}}", escape(id)),
+        ),
     }
 }
 
@@ -638,13 +970,27 @@ fn healthz(shared: &Shared) -> Outcome {
         ),
         None => "null".to_string(),
     };
+    // Jobs sub-object: scheduler gauges, so the same probe covers the
+    // async-analysis plane (queue depth, running, terminal tallies).
+    let jc = shared.jobs.counts();
+    let jobs = format!(
+        "{{\"queued\":{},\"running\":{},\"done\":{},\"failed\":{},\"cancelled\":{},\"capacity\":{},\"tables\":{}}}",
+        jc.queued,
+        jc.running,
+        jc.done,
+        jc.failed,
+        jc.cancelled,
+        jc.capacity,
+        shared.tables.len(),
+    );
     let body = format!(
-        "{{\"status\":\"ok\",\"draining\":{},\"queue_depth\":{},\"queue_capacity\":{},\"uptime_seconds\":{:.3},\"jobs\":{},\"simd\":\"{}\",\"store\":{},\"ann\":{}}}",
+        "{{\"status\":\"ok\",\"draining\":{},\"queue_depth\":{},\"queue_capacity\":{},\"uptime_seconds\":{:.3},\"workers\":{},\"jobs\":{},\"simd\":\"{}\",\"store\":{},\"ann\":{}}}",
         shared.draining.load(Ordering::SeqCst),
         shared.queue.len(),
         shared.queue.capacity(),
         shared.started.elapsed().as_secs_f64(),
         shared.engine.jobs(),
+        jobs,
         observatory_linalg::simd::decision().describe(),
         store,
         ann,
@@ -666,6 +1012,8 @@ fn metrics_page(shared: &Shared) -> Outcome {
         shared.queue.capacity(),
         shared.inflight.load(Ordering::SeqCst),
         shared.draining.load(Ordering::SeqCst),
+        shared.jobs.counts(),
+        shared.jobs.totals(),
     );
     let mut body = engine_text;
     body.push_str(&server_text);
@@ -1115,6 +1463,174 @@ mod tests {
         shutdown_and_join(&handle, join);
     }
 
+    /// Poll a job until it reaches a terminal state; returns the final
+    /// status document.
+    fn poll_terminal(addr: SocketAddr, job: &str) -> observatory_obs::json::Json {
+        let deadline = Instant::now() + Duration::from_secs(60);
+        loop {
+            let (status, _, body) = get(addr, &format!("/v1/jobs/{job}"));
+            assert_eq!(status, 200, "{body}");
+            let s = jparse(&body).unwrap();
+            let state = s.get("state").unwrap().as_str().unwrap();
+            if matches!(state, "done" | "failed" | "cancelled") {
+                return s;
+            }
+            assert!(Instant::now() < deadline, "job {job} stuck in '{state}'");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+
+    #[test]
+    fn tables_analyze_job_lifecycle() {
+        let (addr, handle, join) = spawn_server(ephemeral());
+        // CSV ingest with an explicit table name (part of the identity).
+        let csv = "city,pop\nparis,2100000\nlyon,520000\nnice,340000\n";
+        let hdr = "Content-Type: text/csv\r\nx-table-name: cities\r\n";
+        let (status, _, body) = post_with(addr, "/v1/tables", csv, hdr);
+        assert_eq!(status, 201, "{body}");
+        let v = jparse(&body).unwrap();
+        let table_id = v.get("id").unwrap().as_str().unwrap().to_string();
+        assert!(table_id.starts_with("tbl-"), "{table_id}");
+        assert_eq!(v.get("name").unwrap().as_str(), Some("cities"));
+        assert_eq!(v.get("rows").unwrap().as_f64(), Some(3.0));
+        // Re-ingesting identical content is idempotent: 200, same id.
+        let (status, _, body) = post_with(addr, "/v1/tables", csv, hdr);
+        assert_eq!(status, 200, "{body}");
+        assert_eq!(jparse(&body).unwrap().get("id").unwrap().as_str(), Some(table_id.as_str()));
+
+        let req =
+            format!(r#"{{"table":"{table_id}","properties":["P1"],"seed":7,"permutations":4}}"#);
+        let (status, _, body) = post(addr, "/v1/analyze", &req);
+        assert_eq!(status, 202, "{body}");
+        let job = jparse(&body).unwrap().get("job").unwrap().as_str().unwrap().to_string();
+        assert!(job.starts_with("job-"), "{job}");
+
+        let s = poll_terminal(addr, &job);
+        assert_eq!(s.get("state").unwrap().as_str(), Some("done"), "{s:?}");
+        assert_eq!(s.get("progress").unwrap().as_f64(), Some(1.0));
+        assert!(s.get("stage_us").unwrap().as_str().unwrap().contains("encode="));
+
+        let (status, _, body) = get(addr, &format!("/v1/jobs/{job}/result"));
+        assert_eq!(status, 200, "{body}");
+        let r = jparse(&body).unwrap();
+        let reports = r.get("result").unwrap().get("reports").unwrap().as_array().unwrap();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].get("property").unwrap().as_str(), Some("P1"));
+        assert!(!reports[0].get("measures").unwrap().as_array().unwrap().is_empty());
+
+        // The liveness probe now carries the jobs plane.
+        let (_, _, hb) = get(addr, "/healthz");
+        let h = jparse(&hb).unwrap();
+        let jobs = h.get("jobs").unwrap();
+        assert_eq!(jobs.get("done").unwrap().as_f64(), Some(1.0), "{hb}");
+        assert_eq!(jobs.get("tables").unwrap().as_f64(), Some(1.0));
+        assert!(h.get("workers").unwrap().as_f64().unwrap() >= 1.0);
+        // And /metrics exports the job families.
+        let (_, _, mb) = get(addr, "/metrics");
+        assert!(mb.contains("observatory_server_jobs_submitted_total 1"), "job counters exported");
+
+        let stats = shutdown_and_join(&handle, join);
+        assert_eq!(stats.jobs.submitted, 1);
+        assert_eq!(stats.jobs.done, 1);
+        assert_eq!(stats.jobs.outstanding(), 0);
+    }
+
+    #[test]
+    fn unknown_routes_404_json_and_wrong_methods_405_with_allow() {
+        let (addr, handle, join) = spawn_server(ephemeral());
+        // Unknown path: JSON error envelope, not bare text.
+        let (status, head, body) = get(addr, "/v1/nope");
+        assert_eq!(status, 404);
+        assert!(header_value(&head, "content-type").unwrap().contains("application/json"));
+        assert!(jparse(&body).unwrap().get("error").is_some(), "{body}");
+        // Known paths with the wrong verb: 405 + honest Allow sets.
+        let (status, head, _) = get(addr, "/v1/tables");
+        assert_eq!(status, 405);
+        assert_eq!(header_value(&head, "allow").as_deref(), Some("POST"));
+        let (status, head, _) = send(addr, "DELETE /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert_eq!(status, 405);
+        assert_eq!(header_value(&head, "allow").as_deref(), Some("GET"));
+        let (status, head, _) = post(addr, "/v1/jobs/job-00000001", "");
+        assert_eq!(status, 405);
+        assert_eq!(header_value(&head, "allow").as_deref(), Some("GET, DELETE"));
+        // Unknown job id and unknown job sub-path are 404, not 405.
+        assert_eq!(get(addr, "/v1/jobs/job-ffffffff").0, 404);
+        assert_eq!(get(addr, "/v1/jobs/job-ffffffff/nope").0, 404);
+        assert_eq!(send(addr, "DELETE /v1/jobs/job-ffffffff HTTP/1.1\r\nHost: t\r\n\r\n").0, 404);
+        shutdown_and_join(&handle, join);
+    }
+
+    #[test]
+    fn analyze_validates_requests() {
+        let (addr, handle, join) = spawn_server(ephemeral());
+        // Unknown table id → 404.
+        let (status, _, body) =
+            post(addr, "/v1/analyze", r#"{"table":"tbl-missing","properties":["P1"]}"#);
+        assert_eq!(status, 404, "{body}");
+        let (status, _, body) =
+            post(addr, "/v1/tables", r#"{"name":"j","columns":[{"header":"a","values":[1,2,3]}]}"#);
+        assert_eq!(status, 201, "{body}");
+        let id = jparse(&body).unwrap().get("id").unwrap().as_str().unwrap().to_string();
+        for (req, frag) in [
+            (format!(r#"{{"table":"{id}","properties":["P3"]}}"#), "unsupported property"),
+            (format!(r#"{{"table":"{id}","properties":[]}}"#), "must not be empty"),
+            (
+                format!(r#"{{"table":"{id}","properties":["P1"],"model":"no-such"}}"#),
+                "unknown model",
+            ),
+            (format!(r#"{{"table":"{id}","properties":["P1"],"permutations":1}}"#), "permutations"),
+            (format!(r#"{{"table":"{id}","properties":["P1"],"deadline_ms":0}}"#), "deadline_ms"),
+            ("{\"properties\":[\"P1\"]}".to_string(), "table"),
+        ] {
+            let (status, _, body) = post(addr, "/v1/analyze", &req);
+            assert_eq!(status, 400, "{req} -> {body}");
+            assert!(body.contains(frag), "{req} -> {body}");
+        }
+        shutdown_and_join(&handle, join);
+    }
+
+    #[test]
+    fn job_cancellation_and_result_conflict() {
+        let (addr, handle, join) = spawn_server(ephemeral());
+        // A table big enough that one analysis takes real time, so the
+        // second submit is still queued when we cancel it.
+        let cols: Vec<String> = (0..6)
+            .map(|c| {
+                let vals: Vec<String> = (0..30).map(|r| format!("\"v-{c}-{r}\"")).collect();
+                format!("{{\"header\":\"c{c}\",\"values\":[{}]}}", vals.join(","))
+            })
+            .collect();
+        let table_json = format!("{{\"name\":\"slow\",\"columns\":[{}]}}", cols.join(","));
+        let (status, _, body) = post(addr, "/v1/tables", &table_json);
+        assert_eq!(status, 201, "{body}");
+        let id = jparse(&body).unwrap().get("id").unwrap().as_str().unwrap().to_string();
+        let req = format!(r#"{{"table":"{id}","properties":["P1","P2"],"permutations":24}}"#);
+        let (status, _, _) = post(addr, "/v1/analyze", &req);
+        assert_eq!(status, 202);
+        let (status, _, body) = post(addr, "/v1/analyze", &req);
+        assert_eq!(status, 202, "{body}");
+        let job_b = jparse(&body).unwrap().get("job").unwrap().as_str().unwrap().to_string();
+        // Cancel: 200 when still queued, 202 when the runner already
+        // picked it up (then the cancel lands at the next checkpoint).
+        let (status, _, body) =
+            send(addr, &format!("DELETE /v1/jobs/{job_b} HTTP/1.1\r\nHost: t\r\n\r\n"));
+        assert!(status == 200 || status == 202, "{status} {body}");
+        let s = poll_terminal(addr, &job_b);
+        assert_eq!(s.get("state").unwrap().as_str(), Some("cancelled"), "{s:?}");
+        let err = s.get("error").unwrap().as_str().unwrap();
+        assert!(err.contains("cancelled"), "{err}");
+        // A cancelled job has no result, and cancelling again conflicts.
+        let (status, _, body) = get(addr, &format!("/v1/jobs/{job_b}/result"));
+        assert_eq!(status, 409, "{body}");
+        assert!(body.contains("cancelled"), "{body}");
+        let (status, _, _) =
+            send(addr, &format!("DELETE /v1/jobs/{job_b} HTTP/1.1\r\nHost: t\r\n\r\n"));
+        assert_eq!(status, 409);
+        let stats = shutdown_and_join(&handle, join);
+        assert_eq!(stats.jobs.submitted, 2);
+        assert_eq!(stats.jobs.outstanding(), 0, "drain must never lose an admitted job");
+    }
+
     #[test]
     fn debug_flight_returns_chrome_trace() {
         let (addr, handle, join) = spawn_server(ephemeral());
@@ -1140,6 +1656,12 @@ mod tests {
             ..ServeConfig::default()
         };
         let (addr, handle, join) = spawn_server(config);
+        // The profiler is started by run() on the server thread; give it
+        // a moment rather than racing the spawn.
+        let wait = Instant::now();
+        while !obs::profiler::is_running() && wait.elapsed() < Duration::from_secs(5) {
+            std::thread::sleep(Duration::from_millis(2));
+        }
         assert!(obs::profiler::is_running());
         // Hold a frame on this thread so the sampler deterministically
         // observes at least one non-empty stack during the run.

@@ -5,6 +5,7 @@
 //! families alongside the engine's exposition from `runtime::expose`.
 
 use crate::queue::Stages;
+use observatory_jobs::{JobCounts, JobTotals};
 use observatory_obs::PromBuf;
 use observatory_runtime::metrics::{Histogram, HistogramSnapshot, BUCKET_BOUNDS_NS};
 use std::collections::BTreeMap;
@@ -126,14 +127,16 @@ impl ServerMetrics {
     }
 
     /// Render the server families as Prometheus text. Live gauges
-    /// (queue depth, in-flight connections, draining flag) are passed in
-    /// by the caller, which owns them.
+    /// (queue depth, in-flight connections, draining flag, job-scheduler
+    /// snapshots) are passed in by the caller, which owns them.
     pub fn prometheus_text(
         &self,
         queue_depth: usize,
         queue_capacity: usize,
         inflight: usize,
         draining: bool,
+        jobs: JobCounts,
+        job_totals: JobTotals,
     ) -> String {
         let mut buf = PromBuf::new();
         buf.family(
@@ -175,6 +178,51 @@ impl ServerMetrics {
             "gauge",
             "1 while the server is draining, else 0.",
             if draining { 1.0 } else { 0.0 },
+        );
+        // Analysis-job plane: live scheduler gauges plus monotone
+        // admission accounting (submitted must equal done + failed +
+        // cancelled after a clean drain).
+        buf.scalar(
+            "observatory_server_jobs_queued",
+            "gauge",
+            "Analysis jobs waiting for the runner.",
+            jobs.queued as f64,
+        );
+        buf.scalar(
+            "observatory_server_jobs_running",
+            "gauge",
+            "Analysis jobs currently executing (0 or 1).",
+            jobs.running as f64,
+        );
+        buf.scalar(
+            "observatory_server_jobs_capacity",
+            "gauge",
+            "Job queue bound (--max-jobs).",
+            jobs.capacity as f64,
+        );
+        buf.scalar(
+            "observatory_server_jobs_submitted_total",
+            "counter",
+            "Analysis jobs admitted since startup.",
+            job_totals.submitted as f64,
+        );
+        buf.scalar(
+            "observatory_server_jobs_done_total",
+            "counter",
+            "Analysis jobs completed successfully.",
+            job_totals.done as f64,
+        );
+        buf.scalar(
+            "observatory_server_jobs_failed_total",
+            "counter",
+            "Analysis jobs that ended in failure.",
+            job_totals.failed as f64,
+        );
+        buf.scalar(
+            "observatory_server_jobs_cancelled_total",
+            "counter",
+            "Analysis jobs cancelled before or during execution.",
+            job_totals.cancelled as f64,
         );
         buf.scalar(
             "observatory_server_shed_total",
@@ -291,7 +339,9 @@ mod tests {
             store_us: 0,
             write_us: 0,
         });
-        let text = m.prometheus_text(3, 256, 2, false);
+        let jc = JobCounts { queued: 2, running: 1, capacity: 16, ..JobCounts::default() };
+        let jt = JobTotals { submitted: 5, done: 3, failed: 1, cancelled: 1 };
+        let text = m.prometheus_text(3, 256, 2, false, jc, jt);
         let summary = validate(&text).expect("server exposition must validate");
         for family in [
             "observatory_server_requests_total",
@@ -299,6 +349,13 @@ mod tests {
             "observatory_server_queue_capacity",
             "observatory_server_inflight_connections",
             "observatory_server_draining",
+            "observatory_server_jobs_queued",
+            "observatory_server_jobs_running",
+            "observatory_server_jobs_capacity",
+            "observatory_server_jobs_submitted_total",
+            "observatory_server_jobs_done_total",
+            "observatory_server_jobs_failed_total",
+            "observatory_server_jobs_cancelled_total",
             "observatory_server_shed_total",
             "observatory_server_deadline_expired_total",
             "observatory_server_handler_panics_total",
@@ -314,6 +371,8 @@ mod tests {
             assert!(summary.has(family), "missing {family}\n{text}");
         }
         assert!(text.contains("route=\"embed\",status=\"200\"} 1"));
+        assert!(text.contains("observatory_server_jobs_queued 2"));
+        assert!(text.contains("observatory_server_jobs_submitted_total 5"));
         assert!(text.contains("observatory_server_shed_total 1"));
         assert!(text.contains("observatory_server_deadline_expired_total 1"));
         assert!(text.contains("observatory_server_batch_size_max 4"));
@@ -358,7 +417,7 @@ mod tests {
         }
         assert_eq!(merged.count, 10);
         // The exposition carries one child per stage and validates.
-        let text = m.prometheus_text(0, 1, 0, false);
+        let text = m.prometheus_text(0, 1, 0, false, JobCounts::default(), JobTotals::default());
         validate(&text).expect("stage children validate");
         for stage in STAGE_LABELS {
             assert!(
@@ -371,7 +430,10 @@ mod tests {
     #[test]
     fn draining_gauge_flips() {
         let m = ServerMetrics::new();
-        assert!(m.prometheus_text(0, 1, 0, false).contains("observatory_server_draining 0"));
-        assert!(m.prometheus_text(0, 1, 0, true).contains("observatory_server_draining 1"));
+        let (jc, jt) = (JobCounts::default(), JobTotals::default());
+        assert!(m
+            .prometheus_text(0, 1, 0, false, jc, jt)
+            .contains("observatory_server_draining 0"));
+        assert!(m.prometheus_text(0, 1, 0, true, jc, jt).contains("observatory_server_draining 1"));
     }
 }

@@ -72,6 +72,10 @@ fn print_usage() {
     println!("  observatory serve [--addr <host:port>]    resident embedding service (HTTP/1.1)");
     println!("                    [--jobs <n>] [--max-batch <n>] [--batch-delay-us <n>]");
     println!("                    [--queue-depth <n>] [--deadline-ms <n>]");
+    println!("                    [--max-jobs <n>]     analysis job queue bound (default 16)");
+    println!(
+        "                    [--job-deadline-ms <n>] default analysis deadline (default 300000)"
+    );
     println!("                    [--store-dir <dir>]  persistent embedding store (warm restarts)");
     println!("                    [--ann-warm]         build the corpus ANN index from the store");
     println!(
@@ -359,29 +363,49 @@ fn cmd_characterize(args: &[String]) -> i32 {
 fn cmd_serve(args: &[String]) -> i32 {
     use observatory::serve::{ServeConfig, Server};
     // Usage errors first (exit 2), before any side effects.
-    let (max_batch, batch_delay_us, queue_depth, deadline_ms, slow_ms, profile_interval_ms) =
-        match (|| {
-            Ok::<_, String>((
-                parse_opt(args, "--max-batch", 16usize)?,
-                parse_opt(args, "--batch-delay-us", 2000u64)?,
-                parse_opt(args, "--queue-depth", 256usize)?,
-                parse_opt(args, "--deadline-ms", 5000u64)?,
-                parse_opt(args, "--slow-ms", 1000u64)?,
-                parse_opt(args, "--profile-interval-ms", 10u64)?,
-            ))
-        })() {
-            Ok(v) => v,
-            Err(e) => {
-                eprintln!("{e}");
-                return 2;
-            }
-        };
+    let (
+        max_batch,
+        batch_delay_us,
+        queue_depth,
+        deadline_ms,
+        slow_ms,
+        profile_interval_ms,
+        max_jobs,
+        job_deadline_ms,
+    ) = match (|| {
+        Ok::<_, String>((
+            parse_opt(args, "--max-batch", 16usize)?,
+            parse_opt(args, "--batch-delay-us", 2000u64)?,
+            parse_opt(args, "--queue-depth", 256usize)?,
+            parse_opt(args, "--deadline-ms", 5000u64)?,
+            parse_opt(args, "--slow-ms", 1000u64)?,
+            parse_opt(args, "--profile-interval-ms", 10u64)?,
+            parse_opt(args, "--max-jobs", 16usize)?,
+            parse_opt(args, "--job-deadline-ms", 300_000u64)?,
+        ))
+    })() {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
     if max_batch < 1 {
         eprintln!("invalid value '{max_batch}' for --max-batch (expected an integer >= 1)");
         return 2;
     }
     if queue_depth < 1 {
         eprintln!("invalid value '{queue_depth}' for --queue-depth (expected an integer >= 1)");
+        return 2;
+    }
+    if max_jobs < 1 {
+        eprintln!("invalid value '{max_jobs}' for --max-jobs (expected an integer >= 1)");
+        return 2;
+    }
+    if job_deadline_ms < 1 {
+        eprintln!(
+            "invalid value '{job_deadline_ms}' for --job-deadline-ms (expected an integer >= 1)"
+        );
         return 2;
     }
     if profile_interval_ms < 1 {
@@ -428,6 +452,10 @@ fn cmd_serve(args: &[String]) -> i32 {
     if let Err(code) = init_engine_from_flags(args) {
         return code;
     }
+    // Job records and ingested tables live beside the embedding store,
+    // so analysis results survive restarts whenever encodings do. The
+    // `jobs/` name is outside the segment/WAL namespace the store scans.
+    let jobs_dir = store_dir.map(|d| std::path::Path::new(d).join("jobs"));
     // Attach before bind: the serve manifest snapshots the store
     // generation, and the first admitted request must already hit tier 2.
     if let Some(dir) = store_dir {
@@ -452,6 +480,9 @@ fn cmd_serve(args: &[String]) -> i32 {
         profile_interval: std::time::Duration::from_millis(profile_interval_ms),
         ann_warm,
         ann_shards,
+        max_jobs,
+        job_deadline: std::time::Duration::from_millis(job_deadline_ms),
+        jobs_dir,
     };
     let requested_addr = config.addr.clone();
     let engine = observatory::runtime::global();
@@ -495,6 +526,14 @@ fn cmd_serve(args: &[String]) -> i32 {
         stats.totals.mean_batch(),
         stats.totals.max_batch,
         stats.uptime.as_secs_f64(),
+    );
+    println!(
+        "jobs: {} submitted, {} done, {} failed, {} cancelled, {} lost",
+        stats.jobs.submitted,
+        stats.jobs.done,
+        stats.jobs.failed,
+        stats.jobs.cancelled,
+        stats.jobs.outstanding(),
     );
     print_stage_quantiles(&stats.totals.stages);
     if let Some(report) = &stats.profile {
@@ -808,6 +847,16 @@ mod tests {
         assert_eq!(cmd_serve(&args(&["--profile-interval-ms", "often"])), 2);
         assert_eq!(cmd_serve(&args(&["--profile-interval-ms", "0"])), 2);
         assert_eq!(cmd_serve(&args(&["--profile-out"])), 2, "trailing --profile-out");
+    }
+
+    #[test]
+    fn malformed_job_flags_are_exit_2() {
+        // The analysis-job knobs follow the same usage-error convention,
+        // caught before the server binds anything.
+        assert_eq!(cmd_serve(&args(&["--max-jobs", "0"])), 2);
+        assert_eq!(cmd_serve(&args(&["--max-jobs", "lots"])), 2);
+        assert_eq!(cmd_serve(&args(&["--job-deadline-ms", "0"])), 2);
+        assert_eq!(cmd_serve(&args(&["--job-deadline-ms", "soon"])), 2);
     }
 
     #[test]

@@ -1,0 +1,302 @@
+//! End-to-end test of the characterization job service, against the
+//! real binary: ingest a CSV over `POST /v1/tables`, analyze it over
+//! `POST /v1/analyze`, poll the job to completion, and require that
+//!
+//! - the served result's measures are **bit-identical** to an offline
+//!   `observatory characterize --export` run over the same CSV with the
+//!   same seed/permutations (the serve-vs-CLI determinism guarantee,
+//!   across process boundaries);
+//! - a queued job can be cancelled via `DELETE /v1/jobs/<id>` and lands
+//!   in the `cancelled` state with its result answering 409;
+//! - an already-expired deadline fails the job with a deadline error;
+//! - clean shutdown drains the scheduler and the drain report accounts
+//!   for every admitted job (`0 lost`).
+
+#![cfg(unix)]
+
+use observatory::obs::json::{parse as jparse, Json};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::process::{Child, ChildStdout, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// Boot `observatory serve` with the given extra args and scrape the
+/// bound address from the banner. The stdout reader is returned so the
+/// caller decides whether to drain it in a thread or keep it to inspect
+/// the shutdown report.
+fn spawn_serve(extra: &[&str]) -> (Child, String, BufReader<ChildStdout>) {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_observatory"));
+    cmd.arg("serve").args(["--addr", "127.0.0.1:0"]).args(extra);
+    cmd.stdout(Stdio::piped()).stderr(Stdio::piped());
+    let mut child = cmd.spawn().expect("spawn serve");
+    let stdout = child.stdout.take().expect("stdout piped");
+    let mut reader = BufReader::new(stdout);
+    let addr = loop {
+        let mut line = String::new();
+        assert!(reader.read_line(&mut line).expect("read banner") > 0, "no banner before EOF");
+        if let Some(rest) = line.split("http://").nth(1) {
+            break rest.split_whitespace().next().expect("address in banner").to_string();
+        }
+    };
+    (child, addr, reader)
+}
+
+/// One request over a fresh connection; returns (status, body).
+fn request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: &str,
+) -> (u16, String) {
+    let mut s = std::net::TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(60))).unwrap();
+    let mut head = format!("{method} {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n");
+    for (k, v) in headers {
+        head.push_str(&format!("{k}: {v}\r\n"));
+    }
+    head.push_str(&format!("Content-Length: {}\r\n\r\n{body}", body.len()));
+    s.write_all(head.as_bytes()).expect("write request");
+    let mut buf = String::new();
+    s.read_to_string(&mut buf).expect("read response");
+    let status: u16 = buf.split_whitespace().nth(1).expect("status line").parse().expect("status");
+    let body = buf.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default();
+    (status, body)
+}
+
+fn jget(addr: &str, path: &str) -> (u16, Json) {
+    let (status, body) = request(addr, "GET", path, &[], "");
+    (status, jparse(&body).unwrap_or_else(|e| panic!("bad json from {path}: {e}\n{body}")))
+}
+
+/// Ingest a CSV under the given table name; returns the table id.
+fn ingest_csv(addr: &str, name: &str, csv: &str) -> String {
+    let (status, body) = request(
+        addr,
+        "POST",
+        "/v1/tables",
+        &[("Content-Type", "text/csv"), ("x-table-name", name)],
+        csv,
+    );
+    assert!(status == 201 || status == 200, "ingest: {status} {body}");
+    jparse(&body)
+        .expect("ingest json")
+        .get("id")
+        .and_then(Json::as_str)
+        .expect("table id")
+        .to_string()
+}
+
+/// Submit an analyze request; returns (status, body-json).
+fn analyze(addr: &str, body: &str) -> (u16, Json) {
+    let (status, text) = request(addr, "POST", "/v1/analyze", &[], body);
+    (status, jparse(&text).unwrap_or_else(|e| panic!("bad analyze json: {e}\n{text}")))
+}
+
+/// Poll a job until it reaches a terminal state; returns the last status body.
+fn poll_terminal(addr: &str, job: &str) -> Json {
+    let start = Instant::now();
+    loop {
+        let (status, doc) = jget(addr, &format!("/v1/jobs/{job}"));
+        assert_eq!(status, 200, "job status: {doc:?}");
+        let state = doc.get("state").and_then(Json::as_str).expect("state").to_string();
+        if state != "queued" && state != "running" && state != "cancelling" {
+            return doc;
+        }
+        assert!(start.elapsed() < Duration::from_secs(120), "job {job} stuck in {state}");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+fn shutdown(mut child: Child, addr: &str) {
+    let (status, _) = request(addr, "POST", "/admin/shutdown", &[], "");
+    assert_eq!(status, 200);
+    let status = child.wait().expect("wait serve");
+    assert!(status.success(), "serve exited {status:?}");
+}
+
+/// A small mixed-type corpus, written to disk so the offline CLI can
+/// read the exact same bytes the service ingested.
+const CSV: &str = "id,city,population,motto\n\
+                   1,lund,91000,ad utrumque\n\
+                   2,uppsala,166000,gratiae veritas naturae\n\
+                   3,aarhus,285000,solidum petit in profundis\n\
+                   4,tartu,91000,universitas tartuensis\n\
+                   5,leiden,125000,praesidium libertatis\n\
+                   6,bologna,390000,alma mater studiorum\n\
+                   7,coimbra,143000,uni eduardo monteiro\n\
+                   8,salamanca,144000,omnium scientiarum princeps\n";
+
+#[test]
+fn analyze_matches_offline_characterize() {
+    let tmp = std::env::temp_dir().join(format!("obs-jobs-serve-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&tmp);
+    std::fs::create_dir_all(&tmp).unwrap();
+    let csv_path = tmp.join("corpus.csv");
+    std::fs::write(&csv_path, CSV).unwrap();
+    // The table *name* participates in the content fingerprint (and so
+    // in encoding cache keys): ingest under the exact string the CLI
+    // will use as its table name — the `--csv` path.
+    let table_name = csv_path.to_str().unwrap().to_string();
+
+    let (child, addr, reader) = spawn_serve(&[]);
+    std::thread::spawn(move || {
+        let mut sink = String::new();
+        let _ = reader.into_inner().read_to_string(&mut sink);
+    });
+
+    let table = ingest_csv(&addr, &table_name, CSV);
+    // Re-ingest is idempotent: same bytes + name -> same id, 200.
+    let (status2, body2) = request(
+        &addr,
+        "POST",
+        "/v1/tables",
+        &[("Content-Type", "text/csv"), ("x-table-name", &table_name)],
+        CSV,
+    );
+    assert_eq!(status2, 200, "{body2}");
+    assert!(body2.contains(&table));
+
+    let (status, doc) = analyze(
+        &addr,
+        &format!(r#"{{"table":"{table}","properties":["P1","P2"],"seed":7,"permutations":6}}"#),
+    );
+    assert_eq!(status, 202, "{doc:?}");
+    let job = doc.get("job").and_then(Json::as_str).expect("job id").to_string();
+
+    let status_doc = poll_terminal(&addr, &job);
+    assert_eq!(status_doc.get("state").and_then(Json::as_str), Some("done"), "{status_doc:?}");
+    assert_eq!(status_doc.get("progress").and_then(Json::as_f64), Some(1.0));
+
+    let (rstatus, record) = jget(&addr, &format!("/v1/jobs/{job}/result"));
+    assert_eq!(rstatus, 200, "{record:?}");
+    let reports = record
+        .get("result")
+        .and_then(|r| r.get("reports"))
+        .and_then(Json::as_array)
+        .expect("reports array");
+    assert_eq!(reports.len(), 2);
+
+    // Offline oracle: the CLI over the same CSV, seed, and permutation
+    // count, exporting raw distributions. Every served measure must be
+    // bit-identical to the exported values.
+    for (report, property) in reports.iter().zip(["P1", "P2"]) {
+        assert_eq!(report.get("property").and_then(Json::as_str), Some(property));
+        assert_eq!(report.get("model").and_then(Json::as_str), Some("bert"));
+        let export = tmp.join(format!("export-{property}"));
+        let out = Command::new(env!("CARGO_BIN_EXE_observatory"))
+            .args(["characterize", "--property", property, "--csv"])
+            .arg(&csv_path)
+            .args(["--seed", "7", "--permutations", "6", "--export"])
+            .arg(&export)
+            .output()
+            .expect("run characterize");
+        assert!(
+            out.status.success(),
+            "characterize {property}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+
+        let measures = report.get("measures").and_then(Json::as_array).expect("measures");
+        assert!(!measures.is_empty(), "{property} served no measures");
+        for m in measures {
+            let label = m.get("label").and_then(Json::as_str).expect("label");
+            let served: Vec<f64> = m
+                .get("values")
+                .and_then(Json::as_array)
+                .expect("values")
+                .iter()
+                .map(|v| v.as_f64().expect("numeric measure"))
+                .collect();
+            let file = export.join(format!("{property}_bert_{}.csv", sanitize(label)));
+            let text = std::fs::read_to_string(&file)
+                .unwrap_or_else(|e| panic!("missing export {}: {e}", file.display()));
+            let offline: Vec<f64> =
+                text.lines().skip(1).map(|l| l.parse().expect("export value")).collect();
+            assert_eq!(served.len(), offline.len(), "{property} {label}: length mismatch");
+            for (i, (s, o)) in served.iter().zip(&offline).enumerate() {
+                assert_eq!(
+                    s.to_bits(),
+                    o.to_bits(),
+                    "{property} {label}[{i}]: served {s} != offline {o}"
+                );
+            }
+        }
+    }
+
+    shutdown(child, &addr);
+    let _ = std::fs::remove_dir_all(&tmp);
+}
+
+/// Mirror of `core::export::sanitize` — measure labels in file names.
+fn sanitize(label: &str) -> String {
+    label
+        .chars()
+        .map(|c| if c.is_alphanumeric() || c == '-' || c == '.' { c } else { '_' })
+        .collect()
+}
+
+#[test]
+fn cancellation_deadline_and_clean_drain() {
+    let (mut child, addr, mut reader) = spawn_serve(&["--max-jobs", "8"]);
+
+    // A wider/longer table so a 24-permutation job runs long enough for
+    // the second submission to still be queued when the DELETE lands.
+    let mut csv = String::from("a,b,c,d,e,f\n");
+    for r in 0..40 {
+        csv.push_str(&format!("{r},w{r},x{r},y{r},z{r},q{r}\n"));
+    }
+    let table = ingest_csv(&addr, "cancel-me", &csv);
+
+    let body =
+        format!(r#"{{"table":"{table}","properties":["P1","P2"],"seed":3,"permutations":24}}"#);
+    let (s1, d1) = analyze(&addr, &body);
+    assert_eq!(s1, 202, "{d1:?}");
+    let keep = d1.get("job").and_then(Json::as_str).unwrap().to_string();
+    let (s2, d2) = analyze(&addr, &body);
+    assert_eq!(s2, 202, "{d2:?}");
+    let victim = d2.get("job").and_then(Json::as_str).unwrap().to_string();
+
+    // Cancel the second job: 200 when still queued, 202 when the runner
+    // already picked it up and is stopping at the next checkpoint.
+    let (cs, cbody) = request(&addr, "DELETE", &format!("/v1/jobs/{victim}"), &[], "");
+    assert!(cs == 200 || cs == 202, "cancel: {cs} {cbody}");
+    let vdoc = poll_terminal(&addr, &victim);
+    assert_eq!(vdoc.get("state").and_then(Json::as_str), Some("cancelled"), "{vdoc:?}");
+    // A cancelled job has no result; a second DELETE is a conflict.
+    let (rs, rbody) = request(&addr, "GET", &format!("/v1/jobs/{victim}/result"), &[], "");
+    assert_eq!(rs, 409, "{rbody}");
+    let (cs2, _) = request(&addr, "DELETE", &format!("/v1/jobs/{victim}"), &[], "");
+    assert_eq!(cs2, 409);
+
+    // An already-expired deadline fails the job before any work runs.
+    let (ds, ddoc) = analyze(
+        &addr,
+        &format!(
+            r#"{{"table":"{table}","properties":["P1"],"seed":3,"permutations":4,"deadline_ms":1}}"#
+        ),
+    );
+    assert_eq!(ds, 202, "{ddoc:?}");
+    let dead = ddoc.get("job").and_then(Json::as_str).unwrap().to_string();
+    let ddoc = poll_terminal(&addr, &dead);
+    assert_eq!(ddoc.get("state").and_then(Json::as_str), Some("failed"), "{ddoc:?}");
+    let err = ddoc.get("error").and_then(Json::as_str).unwrap_or_default();
+    assert!(err.contains("deadline"), "unexpected error: {err}");
+
+    // The first job is untouched by its sibling's cancellation.
+    let kdoc = poll_terminal(&addr, &keep);
+    assert_eq!(kdoc.get("state").and_then(Json::as_str), Some("done"), "{kdoc:?}");
+
+    // Clean shutdown: the drain report must account for every job.
+    let (ss, _) = request(&addr, "POST", "/admin/shutdown", &[], "");
+    assert_eq!(ss, 200);
+    let status = child.wait().expect("wait serve");
+    assert!(status.success(), "serve exited {status:?}");
+    let mut rest = String::new();
+    reader.read_to_string(&mut rest).expect("drain stdout");
+    let jobs_line = rest
+        .lines()
+        .find(|l| l.starts_with("jobs: "))
+        .unwrap_or_else(|| panic!("no jobs drain line in:\n{rest}"));
+    assert!(jobs_line.contains("3 submitted"), "{jobs_line}");
+    assert!(jobs_line.ends_with("0 lost"), "{jobs_line}");
+}

@@ -55,8 +55,15 @@ fn alloc_count() -> u64 {
     ALLOCS.load(Ordering::Relaxed)
 }
 
+// The allocation counter and the default-jobs knob are both
+// process-global, so the tests in this binary must not overlap: a
+// concurrent test's allocations would land inside another's
+// before/after window.
+static SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
 #[test]
 fn steady_state_encode_allocates_nothing() {
+    let _serial = SERIAL.lock().unwrap();
     parallel::set_default_jobs(1);
     let seq = 64usize;
     let encoder = Encoder::new(TransformerConfig {
@@ -110,6 +117,7 @@ fn steady_state_encode_allocates_nothing() {
 /// once — and must then be allocation-free again at the new shape.
 #[test]
 fn shape_change_stabilizes_after_one_encode() {
+    let _serial = SERIAL.lock().unwrap();
     parallel::set_default_jobs(1);
     let encoder = Encoder::new(TransformerConfig {
         dim: 32,
