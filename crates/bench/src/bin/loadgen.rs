@@ -31,10 +31,34 @@
 //! "request" is a `POST /v1/analyze` (P1, small permutation budget)
 //! polled to a terminal state — latency is submit → terminal. Shed (429)
 //! and failed/cancelled jobs count like shed/errors on the embed path.
+//!
+//! ## Open-loop mode
+//!
+//! `--arrival poisson|burst` switches the generator to an *open loop*:
+//! arrivals follow a schedule fixed before the run (`--rate` req/s for
+//! `--duration-s` seconds) and are issued over `--conns` keep-alive
+//! connections regardless of whether earlier responses have landed.
+//! Latency is measured **from the scheduled arrival time**, so queueing
+//! delay the server induces counts against it — a saturated server shows
+//! coordinated-omission-free tail latencies instead of the closed loop's
+//! self-throttling flattery. `burst` sends the same average rate as a
+//! square wave (2× rate for half of each second, silence the other
+//! half). `--model zipf` draws each request's model from a Zipf
+//! distribution over the full registry, approximating skewed real-world
+//! model popularity. The run reports the fraction answered under
+//! `--slo-ms` and the shed (429) rate:
+//!
+//! ```text
+//! loadgen: 987 ok, 13 shed, 0 errors in 5.02s -> 196.6 req/s (offered 200.0)
+//! latency p50/p95/p99 (scheduled arrival -> response): 12.1 ms / 48.0 ms / 91.2 ms
+//! slo: 98.2% of ok under 250 ms; shed rate 1.3%; reconnects 0
+//! ```
 
 use observatory_bench::httpc;
+use observatory_models::registry::MODEL_NAMES;
 use observatory_runtime::metrics::Histogram;
 use std::net::SocketAddr;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -44,6 +68,151 @@ struct WorkerReport {
     ok: u64,
     shed: u64,
     errors: u64,
+    /// ok responses whose scheduled-arrival latency beat the SLO
+    /// (open loop only; the closed loop reports percentiles instead).
+    under_slo: u64,
+    /// Keep-alive connections the client had to re-open (open loop only).
+    reconnects: u64,
+}
+
+impl WorkerReport {
+    fn new() -> WorkerReport {
+        WorkerReport {
+            latency: Histogram::default(),
+            ok: 0,
+            shed: 0,
+            errors: 0,
+            under_slo: 0,
+            reconnects: 0,
+        }
+    }
+}
+
+/// Deterministic xorshift64* — good enough for arrival jitter and Zipf
+/// draws, and keeps the run reproducible for a given seed.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed | 1)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform in (0, 1] — never exactly zero, safe under `ln()`.
+    fn f64(&mut self) -> f64 {
+        ((self.next_u64() >> 11) as f64 + 1.0) / (1u64 << 53) as f64
+    }
+}
+
+/// Arrival offsets (ns from run start) for the whole open-loop run.
+fn build_schedule(arrival: &str, rate: f64, duration_s: f64, seed: u64) -> Vec<u64> {
+    let mut rng = Rng::new(seed);
+    let mut out = Vec::with_capacity((rate * duration_s) as usize + 1);
+    let mut t = 0.0f64;
+    match arrival {
+        // Exponential inter-arrivals: a memoryless stream at `rate`.
+        "poisson" => {
+            while t < duration_s {
+                out.push((t * 1e9) as u64);
+                t += -rng.f64().ln() / rate;
+            }
+        }
+        // Square wave with the same average rate: 2x for the first half
+        // of each second, silence for the second half. Stresses the
+        // admission queue the way batchy upstream producers do.
+        "burst" => {
+            while t < duration_s {
+                if t.fract() < 0.5 {
+                    out.push((t * 1e9) as u64);
+                    t += 1.0 / (2.0 * rate);
+                } else {
+                    t = t.trunc() + 1.0;
+                }
+            }
+        }
+        other => unreachable!("unvalidated arrival '{other}'"),
+    }
+    out
+}
+
+/// Zipf(s=1) sampler over the model registry: rank r gets weight 1/(r+1).
+struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    fn over(n: usize) -> Zipf {
+        let mut cdf: Vec<f64> = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for r in 0..n {
+            acc += 1.0 / (r + 1) as f64;
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    fn sample(&self, u: f64) -> usize {
+        self.cdf.iter().position(|&c| u <= c).unwrap_or(self.cdf.len() - 1)
+    }
+}
+
+/// One open-loop worker: pulls arrival slots off the shared schedule,
+/// sleeps until each slot, and issues the request on its keep-alive
+/// connection. Latency runs from the *scheduled* arrival, so time spent
+/// waiting for the connection (server-induced backpressure) counts.
+fn worker_open(
+    addr: SocketAddr,
+    bodies: Arc<Vec<String>>,
+    order: Arc<Vec<u32>>,
+    schedule: Arc<Vec<u64>>,
+    next: Arc<AtomicUsize>,
+    start: Instant,
+    slo: Duration,
+) -> WorkerReport {
+    let mut report = WorkerReport::new();
+    let mut client = httpc::Client::new(addr, Duration::from_secs(60));
+    loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        let Some(&offset_ns) = schedule.get(i) else { break };
+        let scheduled = start + Duration::from_nanos(offset_ns);
+        if let Some(wait) = scheduled.checked_duration_since(Instant::now()) {
+            std::thread::sleep(wait);
+        }
+        let body = &bodies[order[i] as usize];
+        match client.post("/v1/embed", body) {
+            Ok(r) if r.status == 200 => {
+                let latency = scheduled.elapsed();
+                report.latency.record(latency);
+                report.ok += 1;
+                if latency <= slo {
+                    report.under_slo += 1;
+                }
+            }
+            Ok(r) if r.status == 429 => report.shed += 1,
+            Ok(r) => {
+                eprintln!("loadgen: unexpected status {}: {}", r.status, r.body);
+                report.errors += 1;
+            }
+            Err(e) => {
+                eprintln!("loadgen: {e}");
+                report.errors += 1;
+            }
+        }
+    }
+    report.reconnects = client.reconnects;
+    report
 }
 
 fn embed_body(model: &str, level: &str, tag: usize, rows: usize) -> String {
@@ -66,7 +235,7 @@ fn worker(
     offset: usize,
     analyze: bool,
 ) -> WorkerReport {
-    let mut report = WorkerReport { latency: Histogram::default(), ok: 0, shed: 0, errors: 0 };
+    let mut report = WorkerReport::new();
     for i in 0..requests {
         let body = &bodies[(offset + i) % bodies.len()];
         if analyze {
@@ -218,8 +387,10 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(addr_raw) = args.first().filter(|a| !a.starts_with("--")) else {
         eprintln!(
-            "usage: loadgen <host:port> [--concurrency N] [--requests N] [--model NAME] \
-             [--distinct N] [--rows N] [--level table|column|row|cell] [--mode embed|analyze]"
+            "usage: loadgen <host:port> [--concurrency N] [--requests N] [--model NAME|zipf] \
+             [--distinct N] [--rows N] [--level table|column|row|cell] [--mode embed|analyze] \
+             [--arrival closed|poisson|burst] [--rate REQ_PER_S] [--duration-s S] \
+             [--conns N] [--slo-ms MS] [--seed N]"
         );
         std::process::exit(2);
     };
@@ -230,18 +401,25 @@ fn main() {
             flag_num(&args, "--requests", 50)?,
             flag_num(&args, "--distinct", 64)?,
             flag_num(&args, "--rows", 4)?,
+            flag_num(&args, "--rate", 200)?,
+            flag_num(&args, "--duration-s", 5)?,
+            flag_num(&args, "--conns", 32)?,
+            flag_num(&args, "--slo-ms", 250)?,
+            flag_num(&args, "--seed", 42)?,
         ))
     })();
-    let (addr, concurrency, requests, distinct, rows) = match parsed {
-        Ok(v) => v,
-        Err(e) => {
-            eprintln!("loadgen: {e}");
-            std::process::exit(2);
-        }
-    };
+    let (addr, concurrency, requests, distinct, rows, rate, duration_s, conns, slo_ms, seed) =
+        match parsed {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("loadgen: {e}");
+                std::process::exit(2);
+            }
+        };
     let model = flag(&args, "--model").unwrap_or_else(|| "bert".to_string());
     let level = flag(&args, "--level").unwrap_or_else(|| "column".to_string());
     let mode = flag(&args, "--mode").unwrap_or_else(|| "embed".to_string());
+    let arrival = flag(&args, "--arrival").unwrap_or_else(|| "closed".to_string());
     let analyze = match mode.as_str() {
         "embed" => false,
         "analyze" => true,
@@ -250,10 +428,43 @@ fn main() {
             std::process::exit(2);
         }
     };
+    match arrival.as_str() {
+        "closed" | "poisson" | "burst" => {}
+        other => {
+            eprintln!("loadgen: unknown --arrival '{other}' (closed|poisson|burst)");
+            std::process::exit(2);
+        }
+    }
+    let open = arrival != "closed";
+    if open && (analyze || rate == 0 || duration_s == 0 || conns == 0) {
+        eprintln!("loadgen: open-loop runs need --mode embed, --rate >= 1, --duration-s >= 1, --conns >= 1");
+        std::process::exit(2);
+    }
+    if model == "zipf" && (!open || analyze) {
+        eprintln!("loadgen: --model zipf needs an open-loop embed run (--arrival poisson|burst)");
+        std::process::exit(2);
+    }
 
     if let Err(e) = httpc::await_healthy(addr, Duration::from_secs(20)) {
         eprintln!("loadgen: {e}");
         std::process::exit(1);
+    }
+
+    if open {
+        run_open(
+            addr,
+            &model,
+            &level,
+            &arrival,
+            rate,
+            duration_s,
+            conns,
+            distinct.max(1),
+            rows.max(1),
+            slo_ms,
+            seed,
+        );
+        return;
     }
 
     let bodies: Arc<Vec<String>> = if analyze {
@@ -300,6 +511,95 @@ fn main() {
         latency.p50_ns() / 1e6,
         latency.p95_ns() / 1e6,
         latency.p99_ns() / 1e6,
+    );
+    if errors > 0 || ok == 0 {
+        std::process::exit(1);
+    }
+}
+
+/// The open-loop run: fixed arrival schedule over keep-alive connections.
+#[allow(clippy::too_many_arguments)]
+fn run_open(
+    addr: SocketAddr,
+    model: &str,
+    level: &str,
+    arrival: &str,
+    rate: usize,
+    duration_s: usize,
+    conns: usize,
+    distinct: usize,
+    rows: usize,
+    slo_ms: usize,
+    seed: usize,
+) {
+    let schedule = Arc::new(build_schedule(arrival, rate as f64, duration_s as f64, seed as u64));
+    // Bodies are flat [model-major x tag-minor]; `order` maps each
+    // schedule slot to a body, so the Zipf draw happens once up front
+    // and the hot path is an array lookup.
+    let models: Vec<&str> = if model == "zipf" { MODEL_NAMES.to_vec() } else { vec![model] };
+    let bodies: Arc<Vec<String>> = Arc::new(
+        models
+            .iter()
+            .flat_map(|m| (0..distinct).map(move |t| embed_body(m, level, t, rows)))
+            .collect(),
+    );
+    let order: Arc<Vec<u32>> = Arc::new(if model == "zipf" {
+        let zipf = Zipf::over(models.len());
+        let mut rng = Rng::new(seed as u64 ^ 0x5DEECE66D);
+        (0..schedule.len())
+            .map(|i| (zipf.sample(rng.f64()) * distinct + i % distinct) as u32)
+            .collect()
+    } else {
+        (0..schedule.len()).map(|i| (i % distinct) as u32).collect()
+    });
+    let slo = Duration::from_millis(slo_ms as u64);
+    println!(
+        "loadgen: open-loop {arrival} {rate} req/s x {duration_s}s over {conns} keep-alive conns \
+         -> {addr} (model={model}, level={level}, {} bodies, {rows} rows, slo={slo_ms}ms)",
+        bodies.len(),
+    );
+
+    let next = Arc::new(AtomicUsize::new(0));
+    let started = Instant::now();
+    let workers: Vec<_> = (0..conns)
+        .map(|_| {
+            let (bodies, order, schedule, next) =
+                (Arc::clone(&bodies), Arc::clone(&order), Arc::clone(&schedule), Arc::clone(&next));
+            std::thread::spawn(move || {
+                worker_open(addr, bodies, order, schedule, next, started, slo)
+            })
+        })
+        .collect();
+    let mut latency = Histogram::default().snapshot();
+    let (mut ok, mut shed, mut errors, mut under_slo, mut reconnects) =
+        (0u64, 0u64, 0u64, 0u64, 0u64);
+    for w in workers {
+        let r = w.join().expect("worker thread");
+        latency.merge(&r.latency.snapshot());
+        ok += r.ok;
+        shed += r.shed;
+        errors += r.errors;
+        under_slo += r.under_slo;
+        reconnects += r.reconnects;
+    }
+    let wall = started.elapsed();
+    let offered = schedule.len() as f64 / (duration_s as f64).max(1e-9);
+    let throughput = ok as f64 / wall.as_secs_f64().max(1e-9);
+    let answered = ok + shed + errors;
+    println!(
+        "loadgen: {ok} ok, {shed} shed, {errors} errors in {:.2}s -> {throughput:.1} req/s (offered {offered:.1})",
+        wall.as_secs_f64(),
+    );
+    println!(
+        "latency p50/p95/p99 (scheduled arrival -> response): {:.1} ms / {:.1} ms / {:.1} ms",
+        latency.p50_ns() / 1e6,
+        latency.p95_ns() / 1e6,
+        latency.p99_ns() / 1e6,
+    );
+    println!(
+        "slo: {:.1}% of ok under {slo_ms} ms; shed rate {:.1}%; reconnects {reconnects}",
+        if ok > 0 { 100.0 * under_slo as f64 / ok as f64 } else { 0.0 },
+        if answered > 0 { 100.0 * shed as f64 / answered as f64 } else { 0.0 },
     );
     if errors > 0 || ok == 0 {
         std::process::exit(1);

@@ -18,7 +18,13 @@
 //! 4. malformed JSON answers 400, an unknown model answers 400, an
 //!    unknown route answers 404 — errors are *answered*, never dropped;
 //! 5. `GET /metrics` parses as a valid Prometheus exposition carrying
-//!    both the engine families and the server families.
+//!    both the engine families and the server families (including the
+//!    connection gauges/counters);
+//! 6. keep-alive conformance: a `Connection: keep-alive` client rides
+//!    one TCP connection across many requests, pipelined requests come
+//!    back in order, a request without the keep-alive token is answered
+//!    `Connection: close` and the socket actually closes, and an
+//!    HTTP/1.0 request defaults to close.
 //!
 //! Exit code 0 on success; 1 with a diagnostic on the first failure.
 
@@ -133,7 +139,125 @@ fn run(addr: SocketAddr) -> Result<(), String> {
             return Err(format!("/metrics missing family {family}"));
         }
     }
+    for family in ["observatory_server_connections", "observatory_server_accepted_total"] {
+        if !summary.has(family) {
+            return Err(format!("/metrics missing connection family {family}"));
+        }
+    }
     println!("metrics: ok ({} families, {} samples)", summary.metrics.len(), summary.samples);
+
+    // 6. Keep-alive, pipelining, and Connection-header conformance.
+    keep_alive_conformance(addr)?;
+    Ok(())
+}
+
+/// Over-the-wire checks for the HTTP/1.1 connection-management rules
+/// both net modes must follow (the thread path answers every request
+/// with `Connection: close`; the epoll path honours keep-alive — either
+/// way the advertised header must match what the socket does).
+fn keep_alive_conformance(addr: SocketAddr) -> Result<(), String> {
+    // A keep-alive client: every response must echo its connection
+    // decision, and when it says keep-alive the next request must reuse
+    // the socket (Client counts reuse vs reconnect).
+    let mut client = httpc::Client::new(addr, TIMEOUT);
+    let mut kept = 0u32;
+    for i in 0..5 {
+        let r = client.get("/healthz")?;
+        if r.status != 200 {
+            return Err(format!("keep-alive healthz #{i} answered {}", r.status));
+        }
+        match r.header("connection") {
+            Some("keep-alive") => kept += 1,
+            Some("close") => {}
+            other => return Err(format!("healthz #{i} connection header: {other:?}")),
+        }
+    }
+    if kept > 0 && client.reused < u64::from(kept.saturating_sub(1)) {
+        return Err(format!(
+            "server advertised keep-alive {kept} times but only {} requests reused the \
+             connection ({} reconnects)",
+            client.reused, client.reconnects
+        ));
+    }
+    println!(
+        "keep-alive: ok ({kept}/5 kept, {} reused, {} reconnects)",
+        client.reused, client.reconnects
+    );
+
+    // Pipelined embeds on one socket must come back in request order
+    // (each response echoes the id its request carried). Only expected
+    // when the server advertises keep-alive — the thread path closes
+    // after every response, so there is no socket to pipeline on.
+    if kept == 0 {
+        client.close();
+        println!("pipelining: skipped (server closes after every response)");
+        expect_close_checks(addr)?;
+        return Ok(());
+    }
+    let bodies: Vec<String> = (0..4)
+        .map(|i| {
+            format!(
+                r#"{{"model":"bert","level":"table","id":"pipe-{i}","table":{{"name":"p{i}","columns":[{{"header":"c","values":[{i},{}]}}]}}}}"#,
+                i + 1
+            )
+        })
+        .collect();
+    let refs: Vec<&str> = bodies.iter().map(String::as_str).collect();
+    let responses = client.post_pipelined("/v1/embed", &refs)?;
+    if responses.len() != refs.len() {
+        return Err(format!("pipelined: {} responses to {} requests", responses.len(), refs.len()));
+    }
+    for (i, r) in responses.iter().enumerate() {
+        if r.status != 200 {
+            return Err(format!("pipelined #{i} answered {}: {}", r.status, r.body));
+        }
+        let v = parse(&r.body).map_err(|e| format!("pipelined #{i} body invalid: {e}"))?;
+        let id = v.get("id").and_then(Json::as_str);
+        if id != Some(format!("pipe-{i}").as_str()) {
+            return Err(format!("pipelined response #{i} carries id {id:?} (out of order?)"));
+        }
+    }
+    client.close();
+    println!("pipelining: ok ({} in-order responses)", responses.len());
+    expect_close_checks(addr)?;
+    Ok(())
+}
+
+/// Both net modes: a request without the keep-alive token (or HTTP/1.0)
+/// must be answered `Connection: close` and the socket must close.
+fn expect_close_checks(addr: SocketAddr) -> Result<(), String> {
+    use std::io::{Read, Write};
+    let mut s = std::net::TcpStream::connect(addr).map_err(|e| e.to_string())?;
+    s.set_read_timeout(Some(TIMEOUT)).map_err(|e| e.to_string())?;
+    s.write_all(b"GET /healthz HTTP/1.1\r\nHost: v\r\n\r\n").map_err(|e| e.to_string())?;
+    let mut raw = String::new();
+    s.read_to_string(&mut raw).map_err(|e| format!("socket left open after close: {e}"))?;
+    expect_close_header(&raw, "HTTP/1.1 without keep-alive")?;
+
+    // HTTP/1.0 defaults to close even when nothing is specified.
+    let mut s = std::net::TcpStream::connect(addr).map_err(|e| e.to_string())?;
+    s.set_read_timeout(Some(TIMEOUT)).map_err(|e| e.to_string())?;
+    s.write_all(b"GET /healthz HTTP/1.0\r\nHost: v\r\n\r\n").map_err(|e| e.to_string())?;
+    let mut raw = String::new();
+    s.read_to_string(&mut raw).map_err(|e| format!("socket left open after close: {e}"))?;
+    expect_close_header(&raw, "HTTP/1.0")?;
+    println!("connection header: ok (close honoured on 1.1-no-token and 1.0)");
+    Ok(())
+}
+
+fn expect_close_header(raw: &str, what: &str) -> Result<(), String> {
+    if !raw.starts_with("HTTP/1.1 200") {
+        let line = raw.lines().next().unwrap_or("");
+        return Err(format!("{what}: status line {line:?}"));
+    }
+    let head = raw.split("\r\n\r\n").next().unwrap_or("");
+    let conn = head.lines().skip(1).find_map(|l| {
+        let (k, v) = l.split_once(':')?;
+        k.trim().eq_ignore_ascii_case("connection").then(|| v.trim().to_string())
+    });
+    if conn.as_deref() != Some("close") {
+        return Err(format!("{what}: connection header {conn:?}, wanted close"));
+    }
     Ok(())
 }
 

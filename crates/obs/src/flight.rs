@@ -70,6 +70,11 @@ pub enum FlightKind {
     JobFail,
     /// Analysis job cancelled — DELETE or drain (`a` = progress ‰).
     JobCancel,
+    /// Connection accepted by an epoll shard (`a` = connection token).
+    ConnAccept,
+    /// Connection closed by the server's timeout ladder (`a` = HTTP
+    /// status written before close, 0 for a silent idle close).
+    ConnTimeout,
 }
 
 impl FlightKind {
@@ -87,6 +92,8 @@ impl FlightKind {
             FlightKind::JobDone => "job_done",
             FlightKind::JobFail => "job_fail",
             FlightKind::JobCancel => "job_cancel",
+            FlightKind::ConnAccept => "conn_accept",
+            FlightKind::ConnTimeout => "conn_timeout",
         }
     }
 }
@@ -440,6 +447,8 @@ mod tests {
             (FlightKind::JobDone, "job_done"),
             (FlightKind::JobFail, "job_fail"),
             (FlightKind::JobCancel, "job_cancel"),
+            (FlightKind::ConnAccept, "conn_accept"),
+            (FlightKind::ConnTimeout, "conn_timeout"),
         ];
         for (k, name) in kinds {
             assert_eq!(k.name(), name);

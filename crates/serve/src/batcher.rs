@@ -101,7 +101,7 @@ fn dispatch(
             });
             flight::record(FlightKind::Expired, &job.rid, stages.as_array(), 408);
             expired_any = true;
-            let _ = job.reply.send((Err(JobError::DeadlineExpired), stages));
+            job.reply.send((Err(JobError::DeadlineExpired), stages));
         } else {
             live.push(job);
         }
@@ -163,7 +163,7 @@ fn encode_group(
                         queue_us: as_us(popped.saturating_duration_since(job.enqueued)),
                         ..Stages::default()
                     };
-                    let _ = job.reply.send((
+                    job.reply.send((
                         Err(JobError::Internal(format!(
                             "model '{name}' disappeared from the registry"
                         ))),
@@ -195,7 +195,7 @@ fn encode_group(
                     write_us: t.write_us,
                 };
                 flight::record(FlightKind::Done, &rid, stages.as_array(), 200);
-                let _ = reply.send((Ok(enc), stages));
+                reply.send((Ok(enc), stages));
             }
         }
         Err(payload) => {
@@ -212,7 +212,7 @@ fn encode_group(
                     ..Stages::default()
                 };
                 flight::record(FlightKind::Panic, &rid, stages.as_array(), 500);
-                let _ = reply.send((Err(JobError::Internal(msg.clone())), stages));
+                reply.send((Err(JobError::Internal(msg.clone())), stages));
             }
             // A caught handler panic is an anomaly: dump the flight ring.
             flight::dump("panic");
@@ -253,7 +253,7 @@ mod tests {
             table,
             enqueued: Instant::now(),
             deadline,
-            reply: tx,
+            reply: tx.into(),
             span_parent: None,
         };
         let want_depth = queue.len() + 1;

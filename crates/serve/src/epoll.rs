@@ -1,0 +1,242 @@
+//! Zero-dep epoll/eventfd bindings, declared `extern "C"` against the
+//! libc that `std` already links — the same idiom as the SIGTERM hook in
+//! [`crate::signal`] and the mmap wrapper in `observatory-store`. Only
+//! the handful of calls the reactor needs are bound; everything else
+//! (nonblocking sockets, accept, read/write on streams) goes through
+//! `std::net`.
+//!
+//! Linux-only: on other targets [`supported`] returns `false` and the
+//! server falls back to the thread-per-connection path.
+
+/// Whether the epoll reactor can run on this target.
+pub fn supported() -> bool {
+    cfg!(target_os = "linux")
+}
+
+#[cfg(target_os = "linux")]
+pub use imp::{
+    pin_to_core, Epoll, EpollEvent, WakeFd, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP,
+};
+
+#[cfg(target_os = "linux")]
+mod imp {
+    use std::io;
+    use std::os::raw::{c_int, c_void};
+
+    // x86_64 declares struct epoll_event packed; mirroring that layout
+    // exactly is what keeps the raw syscall ABI-correct.
+    /// One readiness event: an interest mask and the caller's token.
+    #[repr(C, packed)]
+    #[derive(Clone, Copy)]
+    pub struct EpollEvent {
+        /// Readiness bits (`EPOLLIN | ...`).
+        pub events: u32,
+        /// Caller-chosen token, returned verbatim by `epoll_wait`.
+        pub data: u64,
+    }
+
+    /// Readable.
+    pub const EPOLLIN: u32 = 0x001;
+    /// Writable.
+    pub const EPOLLOUT: u32 = 0x004;
+    /// Error condition.
+    pub const EPOLLERR: u32 = 0x008;
+    /// Hangup.
+    pub const EPOLLHUP: u32 = 0x010;
+    /// Peer shut down its write half.
+    pub const EPOLLRDHUP: u32 = 0x2000;
+    /// Kernel-level accept sharding (one waiter woken per event); on
+    /// kernels without it the add falls back to a plain level-triggered
+    /// interest, which is merely a thundering herd, not a bug.
+    const EPOLLEXCLUSIVE: u32 = 1 << 28;
+
+    const EPOLL_CTL_ADD: c_int = 1;
+    const EPOLL_CTL_DEL: c_int = 2;
+    const EPOLL_CTL_MOD: c_int = 3;
+    const EPOLL_CLOEXEC: c_int = 0o2000000;
+    const EFD_CLOEXEC: c_int = 0o2000000;
+    const EFD_NONBLOCK: c_int = 0o4000;
+
+    extern "C" {
+        fn epoll_create1(flags: c_int) -> c_int;
+        fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+        fn eventfd(initval: u32, flags: c_int) -> c_int;
+        fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+        fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+        fn close(fd: c_int) -> c_int;
+        fn sched_setaffinity(pid: c_int, cpusetsize: usize, mask: *const u64) -> c_int;
+    }
+
+    /// An epoll instance (closed on drop).
+    pub struct Epoll {
+        fd: c_int,
+    }
+
+    impl Epoll {
+        /// A fresh close-on-exec epoll instance.
+        pub fn new() -> io::Result<Epoll> {
+            let fd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+            if fd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Epoll { fd })
+        }
+
+        fn ctl(&self, op: c_int, fd: i32, events: u32, token: u64) -> io::Result<()> {
+            let mut ev = EpollEvent { events, data: token };
+            let rc = unsafe { epoll_ctl(self.fd, op, fd, &mut ev) };
+            if rc < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        /// Register `fd` with the given interest mask and token.
+        pub fn add(&self, fd: i32, events: u32, token: u64) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, events, token)
+        }
+
+        /// Register a listener with `EPOLLEXCLUSIVE` accept sharding,
+        /// falling back to a plain shared interest on old kernels.
+        pub fn add_listener(&self, fd: i32, token: u64) -> io::Result<()> {
+            match self.ctl(EPOLL_CTL_ADD, fd, EPOLLIN | EPOLLEXCLUSIVE, token) {
+                Ok(()) => Ok(()),
+                Err(_) => self.ctl(EPOLL_CTL_ADD, fd, EPOLLIN, token),
+            }
+        }
+
+        /// Change the interest mask for a registered `fd`.
+        pub fn modify(&self, fd: i32, events: u32, token: u64) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, events, token)
+        }
+
+        /// Deregister `fd`.
+        pub fn del(&self, fd: i32) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_DEL, fd, 0, 0)
+        }
+
+        /// Wait up to `timeout_ms` for readiness; fills `events` and
+        /// returns how many fired. EINTR surfaces as 0 events.
+        pub fn wait(&self, events: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+            let n = unsafe {
+                epoll_wait(self.fd, events.as_mut_ptr(), events.len() as c_int, timeout_ms)
+            };
+            if n < 0 {
+                let err = io::Error::last_os_error();
+                if err.kind() == io::ErrorKind::Interrupted {
+                    return Ok(0);
+                }
+                return Err(err);
+            }
+            Ok(n as usize)
+        }
+    }
+
+    impl Drop for Epoll {
+        fn drop(&mut self) {
+            unsafe { close(self.fd) };
+        }
+    }
+
+    /// An eventfd wake handle: other threads [`WakeFd::wake`] it; the
+    /// owning event loop registers [`WakeFd::fd`] for `EPOLLIN` and
+    /// [`WakeFd::drain`]s on wakeup.
+    pub struct WakeFd {
+        fd: c_int,
+    }
+
+    impl WakeFd {
+        /// A fresh nonblocking eventfd.
+        pub fn new() -> io::Result<WakeFd> {
+            let fd = unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) };
+            if fd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(WakeFd { fd })
+        }
+
+        /// The raw fd, for epoll registration.
+        pub fn fd(&self) -> i32 {
+            self.fd
+        }
+
+        /// Ring the eventfd (adds 1 to its counter). Safe from any
+        /// thread; an EAGAIN on a saturated counter still leaves the fd
+        /// readable, so the wakeup is never lost.
+        pub fn wake(&self) {
+            let one: u64 = 1;
+            unsafe { write(self.fd, (&one as *const u64).cast(), 8) };
+        }
+
+        /// Clear the counter so the next wake fires a fresh event.
+        pub fn drain(&self) {
+            let mut buf: u64 = 0;
+            unsafe { read(self.fd, (&mut buf as *mut u64).cast(), 8) };
+        }
+    }
+
+    impl Drop for WakeFd {
+        fn drop(&mut self) {
+            unsafe { close(self.fd) };
+        }
+    }
+
+    // WakeFd is shared behind an Arc between the shard (drain) and the
+    // mailbox wake hook (write); both calls are thread-safe syscalls.
+    unsafe impl Send for WakeFd {}
+    unsafe impl Sync for WakeFd {}
+
+    /// Best-effort pin of the calling thread to one CPU. Returns whether
+    /// the kernel accepted the mask; failure (e.g. restricted cpusets)
+    /// is harmless — the shard just stays migratable.
+    pub fn pin_to_core(core: usize) -> bool {
+        // cpu_set_t is a 1024-bit mask = 16 u64 words.
+        let mut mask = [0u64; 16];
+        let word = core / 64;
+        if word >= mask.len() {
+            return false;
+        }
+        mask[word] = 1u64 << (core % 64);
+        unsafe { sched_setaffinity(0, std::mem::size_of_val(&mask), mask.as_ptr()) == 0 }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn wakefd_roundtrip_through_epoll() {
+            let ep = Epoll::new().unwrap();
+            let wk = WakeFd::new().unwrap();
+            ep.add(wk.fd(), EPOLLIN, 42).unwrap();
+            let mut events = [EpollEvent { events: 0, data: 0 }; 4];
+            // Nothing pending: times out empty.
+            assert_eq!(ep.wait(&mut events, 0).unwrap(), 0);
+            wk.wake();
+            wk.wake();
+            let n = ep.wait(&mut events, 1000).unwrap();
+            assert_eq!(n, 1);
+            let (ev, data) = (events[0].events, events[0].data);
+            assert_ne!(ev & EPOLLIN, 0);
+            assert_eq!(data, 42);
+            wk.drain();
+            assert_eq!(ep.wait(&mut events, 0).unwrap(), 0, "drained eventfd is quiet");
+            // Interest can be rewritten and removed.
+            ep.modify(wk.fd(), EPOLLIN | EPOLLOUT, 43).unwrap();
+            ep.del(wk.fd()).unwrap();
+        }
+
+        #[test]
+        fn pin_to_core_zero_is_accepted() {
+            // Core 0 always exists; a restricted cpuset may still refuse,
+            // so only assert the call does not crash.
+            let _ = pin_to_core(0);
+        }
+    }
+}

@@ -1,13 +1,24 @@
-//! Hand-rolled HTTP/1.1 over `std::net` — request parsing and response
-//! writing, nothing more.
+//! Hand-rolled HTTP/1.1 over `std::net` — incremental request parsing
+//! and response rendering, nothing more.
 //!
 //! The workspace has no registry access, so there is no hyper/axum to
-//! lean on; the service speaks exactly the subset of HTTP/1.1 its four
-//! endpoints need: one request per connection (`Connection: close`),
-//! `Content-Length`-delimited bodies, no chunked transfer, no TLS.
-//! Limits are enforced while reading so a malicious or broken client can
-//! never balloon memory: headers are capped at 16 KiB and bodies at
-//! 8 MiB (oversize bodies surface as [`HttpError::TooLarge`] → 413).
+//! lean on; the service speaks exactly the subset of HTTP/1.1 its
+//! endpoints need: `Content-Length`-delimited bodies, keep-alive and
+//! pipelining (epoll reactor) or one request per connection (legacy
+//! thread path), no chunked transfer, no TLS.
+//!
+//! The core is [`RequestParser`]: a push parser that accepts arbitrary
+//! byte chunks ([`RequestParser::feed`]) and yields complete requests
+//! ([`RequestParser::next_request`]) without ever blocking — the epoll
+//! reactor feeds it whatever a readiness event delivered, including
+//! requests torn at any byte boundary and several pipelined requests in
+//! one segment. The legacy blocking [`read_request`] is a thin loop over
+//! the same parser, so both network paths share one grammar.
+//!
+//! Limits are enforced while bytes accumulate so a malicious or broken
+//! client can never balloon memory: header blocks are capped at 16 KiB
+//! (oversize → [`HttpError::HeadersTooLarge`] → 431) and bodies at 8 MiB
+//! (oversize → [`HttpError::TooLarge`] → 413).
 
 use std::io::{BufRead, BufReader, Read, Write};
 
@@ -24,6 +35,9 @@ pub struct Request {
     pub method: String,
     /// Request target (path + optional query), e.g. `/v1/embed`.
     pub path: String,
+    /// HTTP minor version: 0 for `HTTP/1.0` (default-close), 1 for
+    /// `HTTP/1.1` and any other `HTTP/1.x` (default keep-alive).
+    pub minor: u8,
     /// Headers in arrival order; names lowercased.
     pub headers: Vec<(String, String)>,
     /// Raw body bytes (empty when no `Content-Length`).
@@ -35,6 +49,37 @@ impl Request {
     pub fn header(&self, name: &str) -> Option<&str> {
         self.headers.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
     }
+
+    /// Whether the `Connection` header names `token` (comma-separated
+    /// list, case-insensitive).
+    fn connection_has(&self, token: &str) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.split(',').any(|t| t.trim().eq_ignore_ascii_case(token)))
+    }
+
+    /// Connection persistence per RFC 9112 §9.3: HTTP/1.1 defaults to
+    /// keep-alive unless the client sent `Connection: close`; HTTP/1.0
+    /// defaults to close unless it sent `Connection: keep-alive`.
+    pub fn wants_keep_alive(&self) -> bool {
+        if self.minor == 0 {
+            self.connection_has("keep-alive")
+        } else {
+            !self.connection_has("close")
+        }
+    }
+
+    /// The server's persistence *policy*: keep the connection only when
+    /// the client explicitly asked (`Connection: keep-alive`) and did
+    /// not simultaneously ask to close. A server is always allowed to
+    /// close (RFC 9112 §9.6) provided the response says so — and ours
+    /// does, via [`render_response`]'s `Connection` echo — so the
+    /// opt-in policy stays conformant while EOF-delimited clients (curl
+    /// scripts, the soak tests) keep working without per-request
+    /// timeouts. `Connection: close` on HTTP/1.1 and the HTTP/1.0
+    /// default-close are honored by construction.
+    pub fn persist_connection(&self) -> bool {
+        self.connection_has("keep-alive") && !self.connection_has("close")
+    }
 }
 
 /// Why a request could not be read.
@@ -44,8 +89,10 @@ pub enum HttpError {
     Closed,
     /// Malformed request line / headers / framing.
     Malformed(String),
-    /// Header block or declared body exceeds the hard limits.
+    /// Declared body exceeds the hard limit (→ 413).
     TooLarge,
+    /// Header block exceeds the hard limit (→ 431).
+    HeadersTooLarge,
     /// Socket error (including read timeout).
     Io(String),
 }
@@ -56,62 +103,154 @@ impl std::fmt::Display for HttpError {
             HttpError::Closed => write!(f, "connection closed"),
             HttpError::Malformed(m) => write!(f, "malformed request: {m}"),
             HttpError::TooLarge => write!(f, "request too large"),
+            HttpError::HeadersTooLarge => write!(f, "request header block too large"),
             HttpError::Io(e) => write!(f, "i/o error: {e}"),
         }
     }
 }
 
-/// Read one HTTP/1.1 request from `reader`.
-pub fn read_request<R: Read>(reader: &mut BufReader<R>) -> Result<Request, HttpError> {
-    let mut line = String::new();
-    let mut header_bytes = 0usize;
-    let n = reader.read_line(&mut line).map_err(|e| HttpError::Io(e.to_string()))?;
-    if n == 0 {
-        return Err(HttpError::Closed);
+/// Incremental push parser for a stream of pipelined HTTP/1.x requests.
+///
+/// Feed it bytes as they arrive; pull complete requests out. A parse
+/// error is fatal for the stream (framing is lost), so after the first
+/// `Err` the parser refuses further work.
+#[derive(Default)]
+pub struct RequestParser {
+    buf: Vec<u8>,
+    /// Set once a fatal error was surfaced; the connection must close.
+    dead: bool,
+}
+
+impl RequestParser {
+    /// A fresh parser with empty buffers.
+    pub fn new() -> Self {
+        Self::default()
     }
-    header_bytes += n;
-    let request_line = line.trim_end();
-    let mut parts = request_line.split_whitespace();
-    let method = parts.next().unwrap_or("").to_string();
-    let path = parts.next().unwrap_or("").to_string();
-    let version = parts.next().unwrap_or("");
-    if method.is_empty() || path.is_empty() || !version.starts_with("HTTP/1.") {
-        return Err(HttpError::Malformed(format!("bad request line '{request_line}'")));
-    }
-    let mut headers = Vec::new();
-    loop {
-        line.clear();
-        let n = reader.read_line(&mut line).map_err(|e| HttpError::Io(e.to_string()))?;
-        if n == 0 {
-            return Err(HttpError::Closed);
+
+    /// Append newly received bytes.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        if !self.dead {
+            self.buf.extend_from_slice(bytes);
         }
-        header_bytes += n;
-        if header_bytes > MAX_HEADER_BYTES {
+    }
+
+    /// Bytes buffered but not yet consumed as a complete request.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether a partial request sits in the buffer (drives the
+    /// slow-header / slow-body timeout).
+    pub fn has_partial(&self) -> bool {
+        !self.buf.is_empty()
+    }
+
+    /// Whether the buffered partial request has a complete header block
+    /// and is waiting on body bytes (EOF here is an I/O error, not a
+    /// clean close).
+    pub fn mid_body(&self) -> bool {
+        find_terminator(&self.buf).is_some()
+    }
+
+    /// Try to extract the next complete request. `Ok(None)` means "need
+    /// more bytes"; errors are fatal for the stream.
+    pub fn next_request(&mut self) -> Result<Option<Request>, HttpError> {
+        if self.dead {
+            return Ok(None);
+        }
+        // Tolerate stray CRLFs between pipelined requests (RFC 9112 §2.2).
+        let lead = self.buf.iter().take_while(|&&b| b == b'\r' || b == b'\n').count();
+        if lead > 0 {
+            self.buf.drain(..lead);
+        }
+        let Some(head_end) = find_terminator(&self.buf) else {
+            if self.buf.len() > MAX_HEADER_BYTES {
+                self.dead = true;
+                return Err(HttpError::HeadersTooLarge);
+            }
+            return Ok(None);
+        };
+        if head_end > MAX_HEADER_BYTES {
+            self.dead = true;
+            return Err(HttpError::HeadersTooLarge);
+        }
+        let head = match std::str::from_utf8(&self.buf[..head_end]) {
+            Ok(s) => s,
+            Err(_) => {
+                self.dead = true;
+                return Err(HttpError::Malformed("header block is not UTF-8".to_string()));
+            }
+        };
+        let mut lines = head.split("\r\n");
+        let request_line = lines.next().unwrap_or("");
+        let mut parts = request_line.split_whitespace();
+        let method = parts.next().unwrap_or("").to_string();
+        let path = parts.next().unwrap_or("").to_string();
+        let version = parts.next().unwrap_or("");
+        if method.is_empty() || path.is_empty() || !version.starts_with("HTTP/1.") {
+            self.dead = true;
+            return Err(HttpError::Malformed(format!("bad request line '{request_line}'")));
+        }
+        let minor = if version == "HTTP/1.0" { 0 } else { 1 };
+        let mut headers = Vec::new();
+        for line in lines {
+            let Some((name, value)) = line.split_once(':') else {
+                self.dead = true;
+                return Err(HttpError::Malformed(format!("bad header '{line}'")));
+            };
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        }
+        let content_length = match headers.iter().find(|(k, _)| k == "content-length") {
+            None => 0usize,
+            Some((_, v)) => match v.parse::<usize>() {
+                Ok(n) => n,
+                Err(_) => {
+                    self.dead = true;
+                    return Err(HttpError::Malformed(format!("bad content-length '{v}'")));
+                }
+            },
+        };
+        if content_length > MAX_BODY_BYTES {
+            self.dead = true;
             return Err(HttpError::TooLarge);
         }
-        let trimmed = line.trim_end();
-        if trimmed.is_empty() {
-            break;
+        let total = head_end + 4 + content_length;
+        if self.buf.len() < total {
+            return Ok(None);
         }
-        let Some((name, value)) = trimmed.split_once(':') else {
-            return Err(HttpError::Malformed(format!("bad header '{trimmed}'")));
-        };
-        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        let body = self.buf[head_end + 4..total].to_vec();
+        self.buf.drain(..total);
+        Ok(Some(Request { method, path, minor, headers, body }))
     }
-    let content_length = match headers.iter().find(|(k, _)| k == "content-length") {
-        None => 0usize,
-        Some((_, v)) => v
-            .parse::<usize>()
-            .map_err(|_| HttpError::Malformed(format!("bad content-length '{v}'")))?,
-    };
-    if content_length > MAX_BODY_BYTES {
-        return Err(HttpError::TooLarge);
+}
+
+/// Offset of the `\r\n\r\n` header terminator, if present.
+fn find_terminator(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Read one HTTP/1.x request from `reader`, blocking until it is
+/// complete (the legacy thread-per-connection path).
+pub fn read_request<R: Read>(reader: &mut BufReader<R>) -> Result<Request, HttpError> {
+    let mut parser = RequestParser::new();
+    loop {
+        if let Some(req) = parser.next_request()? {
+            return Ok(req);
+        }
+        let chunk = reader.fill_buf().map_err(|e| HttpError::Io(e.to_string()))?;
+        if chunk.is_empty() {
+            // EOF mid-body is a framing violation; EOF before or between
+            // requests is a clean close.
+            return Err(if parser.mid_body() {
+                HttpError::Io("unexpected eof while reading body".to_string())
+            } else {
+                HttpError::Closed
+            });
+        }
+        let n = chunk.len();
+        parser.feed(chunk);
+        reader.consume(n);
     }
-    let mut body = vec![0u8; content_length];
-    if content_length > 0 {
-        reader.read_exact(&mut body).map_err(|e| HttpError::Io(e.to_string()))?;
-    }
-    Ok(Request { method, path, headers, body })
 }
 
 /// Reason phrase for the status codes the service emits.
@@ -128,14 +267,44 @@ pub fn reason(status: u16) -> &'static str {
         411 => "Length Required",
         413 => "Payload Too Large",
         429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
         _ => "Unknown",
     }
 }
 
-/// Write a complete response (status, headers, body) and flush.
-/// `extra` headers are appended verbatim (e.g. `Retry-After`).
+/// Render a complete response frame (status line, headers, body) into
+/// `out`. The `Connection` header reflects `keep_alive`, which the
+/// caller decides from the request's [`Request::wants_keep_alive`] and
+/// the connection's own state (draining servers always close).
+pub fn render_response(
+    out: &mut Vec<u8>,
+    status: u16,
+    content_type: &str,
+    extra: &[(&str, String)],
+    body: &[u8],
+    keep_alive: bool,
+) {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {}\r\n",
+        reason(status),
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    for (k, v) in extra {
+        head.push_str(k);
+        head.push_str(": ");
+        head.push_str(v);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    out.extend_from_slice(head.as_bytes());
+    out.extend_from_slice(body);
+}
+
+/// Write a complete `Connection: close` response and flush (the legacy
+/// thread path serves one request per connection).
 ///
 /// The head and body are coalesced into one buffer and written with a
 /// single `write_all`: writing them separately puts the body in a
@@ -148,20 +317,8 @@ pub fn write_response<W: Write>(
     extra: &[(&str, String)],
     body: &[u8],
 ) -> std::io::Result<()> {
-    let mut head = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n",
-        reason(status),
-        body.len(),
-    );
-    for (k, v) in extra {
-        head.push_str(k);
-        head.push_str(": ");
-        head.push_str(v);
-        head.push_str("\r\n");
-    }
-    head.push_str("\r\n");
-    let mut frame = head.into_bytes();
-    frame.extend_from_slice(body);
+    let mut frame = Vec::with_capacity(256 + body.len());
+    render_response(&mut frame, status, content_type, extra, body, false);
     stream.write_all(&frame)?;
     stream.flush()
 }
@@ -169,6 +326,7 @@ pub fn write_response<W: Write>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     fn parse(raw: &str) -> Result<Request, HttpError> {
         read_request(&mut BufReader::new(raw.as_bytes()))
@@ -179,6 +337,7 @@ mod tests {
         let r = parse("GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
         assert_eq!(r.method, "GET");
         assert_eq!(r.path, "/healthz");
+        assert_eq!(r.minor, 1);
         assert_eq!(r.header("host"), Some("x"));
         assert!(r.body.is_empty());
     }
@@ -199,6 +358,11 @@ mod tests {
     #[test]
     fn empty_stream_is_closed() {
         assert_eq!(parse("").unwrap_err(), HttpError::Closed);
+    }
+
+    #[test]
+    fn truncated_headers_are_closed() {
+        assert_eq!(parse("GET / HTTP/1.1\r\nHost: x\r\n").unwrap_err(), HttpError::Closed);
     }
 
     #[test]
@@ -227,13 +391,131 @@ mod tests {
             raw.push_str(&format!("x-h{i}: {}\r\n", "v".repeat(20)));
         }
         raw.push_str("\r\n");
-        assert_eq!(parse(&raw).unwrap_err(), HttpError::TooLarge);
+        assert_eq!(parse(&raw).unwrap_err(), HttpError::HeadersTooLarge);
+    }
+
+    #[test]
+    fn oversized_headers_detected_before_terminator() {
+        // A slowloris peer that never finishes its header block must be
+        // rejected as soon as the cap is crossed, not buffered forever.
+        let mut p = RequestParser::new();
+        p.feed(b"GET / HTTP/1.1\r\n");
+        let filler = vec![b'a'; MAX_HEADER_BYTES];
+        p.feed(&filler);
+        assert_eq!(p.next_request().unwrap_err(), HttpError::HeadersTooLarge);
+        // The parser is dead afterwards: no resurrection on more bytes.
+        p.feed(b"\r\n\r\n");
+        assert_eq!(p.next_request().unwrap(), None);
     }
 
     #[test]
     fn truncated_body_is_io_error() {
         let err = parse("POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nhi").unwrap_err();
         assert!(matches!(err, HttpError::Io(_)), "{err:?}");
+    }
+
+    #[test]
+    fn http_10_defaults_to_close() {
+        let r = parse("GET / HTTP/1.0\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(r.minor, 0);
+        assert!(!r.wants_keep_alive());
+        let r = parse("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").unwrap();
+        assert!(r.wants_keep_alive(), "explicit keep-alive on 1.0 is honored");
+    }
+
+    #[test]
+    fn http_11_defaults_to_keep_alive() {
+        let r = parse("GET / HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert!(r.wants_keep_alive());
+        let r = parse("GET / HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        assert!(!r.wants_keep_alive(), "Connection: close is honored");
+        let r = parse("GET / HTTP/1.1\r\nConnection: Close\r\n\r\n").unwrap();
+        assert!(!r.wants_keep_alive(), "token match is case-insensitive");
+        let r = parse("GET / HTTP/1.1\r\nConnection: foo, close\r\n\r\n").unwrap();
+        assert!(!r.wants_keep_alive(), "close inside a token list is honored");
+    }
+
+    #[test]
+    fn persistence_policy_is_explicit_opt_in() {
+        // No Connection header: the server may (and does) close.
+        assert!(!parse("GET / HTTP/1.1\r\nHost: x\r\n\r\n").unwrap().persist_connection());
+        assert!(!parse("GET / HTTP/1.0\r\nHost: x\r\n\r\n").unwrap().persist_connection());
+        // Explicit keep-alive persists on both versions.
+        assert!(parse("GET / HTTP/1.1\r\nConnection: keep-alive\r\n\r\n")
+            .unwrap()
+            .persist_connection());
+        assert!(parse("GET / HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n")
+            .unwrap()
+            .persist_connection());
+        // close always wins, even alongside keep-alive.
+        assert!(!parse("GET / HTTP/1.1\r\nConnection: keep-alive, close\r\n\r\n")
+            .unwrap()
+            .persist_connection());
+    }
+
+    #[test]
+    fn pipelined_requests_parse_in_order() {
+        let mut p = RequestParser::new();
+        p.feed(b"GET /a HTTP/1.1\r\n\r\nPOST /b HTTP/1.1\r\nContent-Length: 2\r\n\r\nhiGET /c HTTP/1.1\r\n\r\n");
+        let a = p.next_request().unwrap().unwrap();
+        let b = p.next_request().unwrap().unwrap();
+        let c = p.next_request().unwrap().unwrap();
+        assert_eq!((a.path.as_str(), b.path.as_str(), c.path.as_str()), ("/a", "/b", "/c"));
+        assert_eq!(b.body, b"hi");
+        assert_eq!(p.next_request().unwrap(), None);
+        assert_eq!(p.buffered(), 0);
+    }
+
+    #[test]
+    fn torn_at_every_byte_boundary() {
+        // The reactor feeds the parser whatever a readiness event
+        // delivered; a request split at *any* byte boundary must parse
+        // identically to the whole-frame case.
+        let raw = b"POST /v1/embed HTTP/1.1\r\nHost: t\r\nx-request-id: abc\r\nContent-Length: 4\r\n\r\nbody";
+        let mut whole = RequestParser::new();
+        whole.feed(raw);
+        let want = whole.next_request().unwrap().unwrap();
+        for cut in 0..=raw.len() {
+            let mut p = RequestParser::new();
+            p.feed(&raw[..cut]);
+            let early = p.next_request().unwrap();
+            if cut < raw.len() {
+                assert_eq!(early, None, "complete request from {cut} byte prefix");
+            }
+            p.feed(&raw[cut..]);
+            let got = match early {
+                Some(r) => r,
+                None => p.next_request().unwrap().unwrap_or_else(|| panic!("no request at {cut}")),
+            };
+            assert_eq!(got, want, "split at byte {cut} changed the parse");
+        }
+    }
+
+    proptest! {
+        /// Random multi-way splits of a pipelined two-request stream
+        /// always yield the same two requests.
+        #[test]
+        fn prop_torn_pipelined_stream_parses(cuts in proptest::collection::vec(0usize..200, 0..6)) {
+            let raw: &[u8] = b"POST /v1/embed HTTP/1.1\r\nContent-Length: 3\r\n\r\nabcGET /healthz HTTP/1.1\r\nHost: t\r\n\r\n";
+            let mut cuts: Vec<usize> = cuts.into_iter().map(|c| c % (raw.len() + 1)).collect();
+            cuts.sort_unstable();
+            cuts.dedup();
+            let mut p = RequestParser::new();
+            let mut got = Vec::new();
+            let mut prev = 0usize;
+            for &c in cuts.iter().chain(std::iter::once(&raw.len())) {
+                p.feed(&raw[prev..c]);
+                prev = c;
+                while let Some(r) = p.next_request().unwrap() {
+                    got.push(r);
+                }
+            }
+            prop_assert_eq!(got.len(), 2);
+            prop_assert_eq!(got[0].method.as_str(), "POST");
+            prop_assert_eq!(got[0].body.as_slice(), b"abc");
+            prop_assert_eq!(got[1].path.as_str(), "/healthz");
+            prop_assert_eq!(p.buffered(), 0);
+        }
     }
 
     #[test]
@@ -250,8 +532,16 @@ mod tests {
     }
 
     #[test]
+    fn render_response_echoes_keep_alive() {
+        let mut out = Vec::new();
+        render_response(&mut out, 200, "application/json", &[], b"{}", true);
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Connection: keep-alive\r\n"), "{text}");
+    }
+
+    #[test]
     fn reasons_cover_service_codes() {
-        for code in [200, 201, 202, 400, 404, 405, 408, 409, 411, 413, 429, 500, 503] {
+        for code in [200, 201, 202, 400, 404, 405, 408, 409, 411, 413, 429, 431, 500, 503] {
             assert_ne!(reason(code), "Unknown", "{code}");
         }
     }

@@ -51,15 +51,18 @@
 
 pub mod api;
 pub mod batcher;
+pub mod epoll;
 pub mod http;
 pub mod metrics;
 pub mod queue;
+#[cfg(target_os = "linux")]
+mod reactor;
 pub mod signal;
 
 use crate::batcher::BatcherConfig;
 use crate::http::{read_request, write_response, HttpError, Request};
 use crate::metrics::{ServerMetrics, ServerTotals};
-use crate::queue::{Job, Pushed, Queue, Stages};
+use crate::queue::{Job, Pushed, Queue, Reply, ReplyTo, Stages};
 use observatory_jobs::{
     supported_property, AnalyzeSpec, JobConfig, JobScheduler, JobState, JobTotals, Submit,
     TableStore, SUPPORTED_PROPERTIES,
@@ -92,6 +95,36 @@ impl std::fmt::Display for JobError {
         match self {
             JobError::DeadlineExpired => write!(f, "deadline expired while queued"),
             JobError::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+/// How connections are served: a thread per connection, or the
+/// thread-per-core epoll reactor (`--net`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetMode {
+    /// One blocking thread per connection (one request per connection).
+    Thread,
+    /// Sharded epoll event loops with keep-alive and pipelining
+    /// ([`crate::reactor`]); Linux only.
+    Epoll,
+}
+
+impl NetMode {
+    /// Parse a `--net` flag value.
+    pub fn parse(s: &str) -> Option<NetMode> {
+        match s {
+            "thread" => Some(NetMode::Thread),
+            "epoll" => Some(NetMode::Epoll),
+            _ => None,
+        }
+    }
+
+    /// The flag spelling, for banners and manifests.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            NetMode::Thread => "thread",
+            NetMode::Epoll => "epoll",
         }
     }
 }
@@ -137,6 +170,17 @@ pub struct ServeConfig {
     /// Directory for job records and ingested tables (`<store-dir>/jobs`
     /// when a store is attached); `None` = in-memory only.
     pub jobs_dir: Option<std::path::PathBuf>,
+    /// Connection-serving strategy (`--net`). Defaults to the epoll
+    /// reactor where supported (Linux), threads elsewhere.
+    pub net: NetMode,
+    /// Reactor shard count (`--net-shards`); 0 = one per core, capped
+    /// at 8. Ignored in thread mode.
+    pub net_shards: usize,
+    /// Epoll mode: close a keep-alive connection idle this long.
+    pub idle_timeout: Duration,
+    /// Epoll mode: a partial request older than this gets 408 and the
+    /// connection is closed (slowloris shield).
+    pub header_timeout: Duration,
 }
 
 impl Default for ServeConfig {
@@ -156,6 +200,10 @@ impl Default for ServeConfig {
             max_jobs: 16,
             job_deadline: Duration::from_secs(300),
             jobs_dir: None,
+            net: if epoll::supported() { NetMode::Epoll } else { NetMode::Thread },
+            net_shards: 0,
+            idle_timeout: Duration::from_secs(60),
+            header_timeout: Duration::from_secs(10),
         }
     }
 }
@@ -319,7 +367,7 @@ impl Server {
         let shared = self.shared;
         let config = shared.config.clone();
         obs::event_with(obs::Level::Info, "serve", "listening", || {
-            vec![("addr", format!("{:?}", config.addr))]
+            vec![("addr", format!("{:?}", config.addr)), ("net", config.net.as_str().to_string())]
         });
         // The profiler is process-global; only stop it on drain if this
         // server's start actually claimed the session.
@@ -339,67 +387,79 @@ impl Server {
             })
             .expect("spawn batcher thread");
 
-        // Accept loop: nonblocking so shutdown flags are polled ~200×/s.
-        let mut conns: Vec<std::thread::JoinHandle<()>> = Vec::new();
-        loop {
-            if shared.shutdown.load(Ordering::SeqCst)
-                || self.signal_flag.is_some_and(|f| f.load(Ordering::Relaxed))
-            {
-                break;
-            }
-            match self.listener.accept() {
-                Ok((stream, _peer)) => {
-                    shared.inflight.fetch_add(1, Ordering::SeqCst);
-                    let conn_shared = Arc::clone(&shared);
-                    let h = std::thread::Builder::new()
-                        .name("observatory-conn".to_string())
-                        .spawn(move || {
-                            handle_conn(stream, &conn_shared);
-                            conn_shared.inflight.fetch_sub(1, Ordering::SeqCst);
-                        })
-                        .expect("spawn connection thread");
-                    conns.push(h);
-                    // Opportunistically reap finished threads so the vec
-                    // stays bounded on long runs.
-                    conns.retain(|h| !h.is_finished());
-                }
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(Duration::from_millis(5));
-                }
-                Err(e) => {
-                    obs::event_with(obs::Level::Error, "serve", "accept_error", || {
-                        vec![("error", e.to_string())]
-                    });
-                    std::thread::sleep(Duration::from_millis(5));
-                }
-            }
+        #[cfg(target_os = "linux")]
+        if config.net == NetMode::Epoll {
+            return run_epoll(shared, self.listener, self.signal_flag, batcher, profiling);
         }
+        #[cfg(not(target_os = "linux"))]
+        if config.net == NetMode::Epoll {
+            // Requested but unsupported on this target: serve anyway.
+            obs::event(obs::Level::Warn, "serve", "epoll_unsupported_thread_fallback");
+        }
+        run_threads(shared, self.listener, self.signal_flag, batcher, profiling)
+    }
+}
 
-        // ---- Drain protocol -------------------------------------------
-        shared.draining.store(true, Ordering::SeqCst);
-        obs::event(obs::Level::Info, "serve", "drain_begin");
-        flight::record(FlightKind::Drain, "drain", [0; 5], 0);
-        // 1. Stop accepting: drop the listener (closes the socket).
-        drop(self.listener);
-        // 2. Refuse new admissions; admitted jobs remain poppable, and
-        //    pop_batch skips the straggler window once closed.
-        shared.queue.close();
-        // 3. The batcher answers everything admitted, then exits.
-        let _ = batcher.join();
-        // 3a. Drain the job scheduler: queued jobs are cancelled before
-        //     start, a running job is cancelled cooperatively at its next
-        //     checkpoint, and every terminal record is persisted — an
-        //     admitted job is never lost, only finished or cancelled.
-        let job_totals = shared.jobs.drain();
-        // 3b. Everything the batcher acked is now in the tier-2 store's
-        //     WAL (if one is attached); fsync it so the corpus survives
-        //     a machine restart, not just this process exit.
-        if let Err(e) = shared.engine.flush_store() {
-            obs::event_with(obs::Level::Error, "serve", "store_flush_error", || {
-                vec![("error", e.to_string())]
-            });
+/// The classic serving path: one blocking thread per connection.
+fn run_threads(
+    shared: Arc<Shared>,
+    listener: TcpListener,
+    signal_flag: Option<&'static AtomicBool>,
+    batcher: std::thread::JoinHandle<()>,
+    profiling: bool,
+) -> DrainStats {
+    // Accept loop: nonblocking so shutdown flags are polled ~200×/s.
+    let mut conns: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst)
+            || signal_flag.is_some_and(|f| f.load(Ordering::Relaxed))
+        {
+            break;
         }
-        // 4. Wait for connection threads to flush their responses.
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                shared.inflight.fetch_add(1, Ordering::SeqCst);
+                shared.metrics.record_accept();
+                shared.metrics.conn_opened();
+                // Thread mode serves one request per connection, so an
+                // open connection is always an active one.
+                shared.metrics.conn_busy();
+                let conn_shared = Arc::clone(&shared);
+                let h = std::thread::Builder::new()
+                    .name("observatory-conn".to_string())
+                    .spawn(move || {
+                        handle_conn(stream, &conn_shared);
+                        conn_shared.metrics.conn_unbusy();
+                        conn_shared.metrics.conn_closed();
+                        conn_shared.inflight.fetch_sub(1, Ordering::SeqCst);
+                    })
+                    .expect("spawn connection thread");
+                conns.push(h);
+                // Opportunistically reap finished threads so the vec
+                // stays bounded on long runs.
+                conns.retain(|h| !h.is_finished());
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) => {
+                obs::event_with(obs::Level::Error, "serve", "accept_error", || {
+                    vec![("error", e.to_string())]
+                });
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+    }
+
+    shared.draining.store(true, Ordering::SeqCst);
+    obs::event(obs::Level::Info, "serve", "drain_begin");
+    flight::record(FlightKind::Drain, "drain", [0; 5], 0);
+    // Stop accepting: drop the listener (closes the socket).
+    drop(listener);
+    let wait_shared = Arc::clone(&shared);
+    drain_tail(&shared, batcher, profiling, move || {
+        let shared = wait_shared;
+        // Wait for connection threads to flush their responses.
         let wait_start = Instant::now();
         while shared.inflight.load(Ordering::SeqCst) > 0
             && wait_start.elapsed() < Duration::from_secs(30)
@@ -411,20 +471,89 @@ impl Server {
                 let _ = h.join();
             }
         }
-        let totals = shared.metrics.totals();
-        obs::event_with(obs::Level::Info, "serve", "drain_complete", || {
-            vec![
-                ("requests", totals.requests.to_string()),
-                ("shed", totals.shed.to_string()),
-                ("expired", totals.expired.to_string()),
-                ("batches", totals.batches.to_string()),
-                ("jobs_submitted", job_totals.submitted.to_string()),
-                ("jobs_outstanding", job_totals.outstanding().to_string()),
-            ]
-        });
-        let profile = if profiling { obs::profiler::stop() } else { None };
-        DrainStats { totals, uptime: shared.started.elapsed(), profile, jobs: job_totals }
+    })
+}
+
+/// The epoll serving path: shard event loops own the connections; this
+/// thread only watches the shutdown flags and then conducts the drain.
+#[cfg(target_os = "linux")]
+fn run_epoll(
+    shared: Arc<Shared>,
+    listener: TcpListener,
+    signal_flag: Option<&'static AtomicBool>,
+    batcher: std::thread::JoinHandle<()>,
+    profiling: bool,
+) -> DrainStats {
+    let listener = Arc::new(listener);
+    let shards = reactor::spawn(&shared, &listener).expect("spawn epoll shards");
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst)
+            || signal_flag.is_some_and(|f| f.load(Ordering::Relaxed))
+        {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
     }
+
+    shared.draining.store(true, Ordering::SeqCst);
+    obs::event(obs::Level::Info, "serve", "drain_begin");
+    flight::record(FlightKind::Drain, "drain", [0; 5], 0);
+    // Shards see the flag on their next tick: they deregister the
+    // listener, close idle connections, and force `Connection: close`
+    // on everything still flushing.
+    shards.wake_all();
+    drain_tail(&shared, batcher, profiling, move || {
+        // Every parked embed has been answered into its shard mailbox by
+        // now (the batcher exited); shards flush them and exit once their
+        // connection slabs are empty (30 s cap).
+        shards.join();
+        // The last Arc closes the listen socket.
+        drop(listener);
+    })
+}
+
+/// The shared back half of the drain protocol, after accepting stopped.
+fn drain_tail(
+    shared: &Arc<Shared>,
+    batcher: std::thread::JoinHandle<()>,
+    profiling: bool,
+    wait_conns: impl FnOnce(),
+) -> DrainStats {
+    // Refuse new admissions; admitted jobs remain poppable, and
+    // pop_batch skips the straggler window once closed.
+    shared.queue.close();
+    // The batcher answers everything admitted, then exits.
+    let _ = batcher.join();
+    // Drain the job scheduler: queued jobs are cancelled before start, a
+    // running job is cancelled cooperatively at its next checkpoint, and
+    // every terminal record is persisted — an admitted job is never
+    // lost, only finished or cancelled.
+    let job_totals = shared.jobs.drain();
+    // Everything the batcher acked is now in the tier-2 store's WAL (if
+    // one is attached); fsync it so the corpus survives a machine
+    // restart, not just this process exit.
+    if let Err(e) = shared.engine.flush_store() {
+        obs::event_with(obs::Level::Error, "serve", "store_flush_error", || {
+            vec![("error", e.to_string())]
+        });
+    }
+    // Let in-flight connections finish flushing their responses.
+    wait_conns();
+    let totals = shared.metrics.totals();
+    obs::event_with(obs::Level::Info, "serve", "drain_complete", || {
+        vec![
+            ("requests", totals.requests.to_string()),
+            ("shed", totals.shed.to_string()),
+            ("expired", totals.expired.to_string()),
+            ("batches", totals.batches.to_string()),
+            ("accepted", totals.accepted.to_string()),
+            ("timeouts", totals.timeouts.to_string()),
+            ("jobs_submitted", job_totals.submitted.to_string()),
+            ("jobs_outstanding", job_totals.outstanding().to_string()),
+        ]
+    });
+    let profile = if profiling { obs::profiler::stop() } else { None };
+    DrainStats { totals, uptime: shared.started.elapsed(), profile, jobs: job_totals }
 }
 
 /// Longest accepted `x-request-id` value, in bytes.
@@ -498,6 +627,9 @@ fn handle_conn(stream: TcpStream, shared: &Shared) {
         Err(HttpError::Closed) => return,
         Err(e) => {
             let (status, msg) = match e {
+                HttpError::HeadersTooLarge => {
+                    (431, "request header block exceeds limits".to_string())
+                }
                 HttpError::TooLarge => (413, "request exceeds size limits".to_string()),
                 HttpError::Malformed(m) => (400, m),
                 HttpError::Io(m) => (400, format!("read failed: {m}")),
@@ -548,21 +680,26 @@ fn handle_conn(stream: TcpStream, shared: &Shared) {
     );
     let total = start.elapsed();
     if total >= shared.config.slow {
-        let st = outcome.stages.unwrap_or_default();
-        eprintln!(
-            "slow-request id={} route={} status={} total_ms={:.1} queue_us={} batch_wait_us={} encode_us={} store_us={} write_us={}",
-            rid,
-            outcome.route,
-            outcome.status,
-            total.as_secs_f64() * 1e3,
-            st.queue_us,
-            st.batch_wait_us,
-            st.encode_us,
-            st.store_us,
-            st.write_us,
-        );
+        log_slow(&rid, outcome.route, outcome.status, total, outcome.stages);
     }
     shared.metrics.record_request(outcome.route, outcome.status, total);
+}
+
+/// The structured slow-request log line, shared by both net paths.
+fn log_slow(rid: &str, route: &str, status: u16, total: Duration, stages: Option<Stages>) {
+    let st = stages.unwrap_or_default();
+    eprintln!(
+        "slow-request id={} route={} status={} total_ms={:.1} queue_us={} batch_wait_us={} encode_us={} store_us={} write_us={}",
+        rid,
+        route,
+        status,
+        total.as_secs_f64() * 1e3,
+        st.queue_us,
+        st.batch_wait_us,
+        st.encode_us,
+        st.store_us,
+        st.write_us,
+    );
 }
 
 /// The method set a known path accepts, as an `Allow` header value;
@@ -578,15 +715,80 @@ fn allowed_methods(path: &str) -> Option<&'static str> {
     }
 }
 
-/// Dispatch one parsed request to its endpoint.
+/// What routing produced: either a finished response, or an admitted
+/// embed whose reply will arrive on the [`ReplyTo`] sink the caller
+/// supplied (thread path: a channel it blocks on; epoll path: the
+/// shard's mailbox).
+enum Routed {
+    Done(Outcome),
+    Pending(PendingEmbed),
+}
+
+/// An admitted `/v1/embed` awaiting its batcher reply.
+struct PendingEmbed {
+    /// The parsed request, kept to render the response around the
+    /// encoding once the reply lands.
+    embed_req: api::EmbedRequest,
+    /// The (possibly header-overridden) deadline, for the reply guard.
+    deadline_in: Duration,
+}
+
+/// Dispatch one parsed request, blocking until the response is ready —
+/// the thread path. Everything but an admitted embed completes inline;
+/// for an admitted embed this parks on a rendezvous channel exactly as
+/// the pre-reactor server did.
 fn route(req: &Request, id: u64, rid: &Arc<str>, span: &mut obs::Span, shared: &Shared) -> Outcome {
-    match (req.method.as_str(), req.path.as_str()) {
+    let (tx, rx) = mpsc::channel();
+    match route_async(req, id, rid, span, shared, ReplyTo::from(tx)) {
+        Routed::Done(outcome) => outcome,
+        Routed::Pending(p) => {
+            // The batcher always answers (reply, or drops the sender on a
+            // path we haven't imagined — then recv errors and we 500).
+            // The extra minute covers encode time after a met deadline.
+            match rx.recv_timeout(p.deadline_in + Duration::from_secs(60)) {
+                Ok(reply) => embed_reply_outcome(&p.embed_req, reply),
+                Err(_) => Outcome::error("embed", 500, "batcher dropped the request"),
+            }
+        }
+    }
+}
+
+/// Render the final embed outcome from a batcher reply.
+fn embed_reply_outcome(embed_req: &api::EmbedRequest, reply: Reply) -> Outcome {
+    match reply {
+        (Ok(enc), stages) => {
+            Outcome::json("embed", 200, api::render_embed_response(embed_req, &enc))
+                .with_stages(stages)
+        }
+        (Err(JobError::DeadlineExpired), stages) => {
+            Outcome::error("embed", 408, "deadline expired before encode").with_stages(stages)
+        }
+        (Err(JobError::Internal(m)), stages) => {
+            Outcome::error("embed", 500, &m).with_stages(stages)
+        }
+    }
+}
+
+/// Dispatch one parsed request to its endpoint without ever blocking on
+/// the batcher: an admitted embed comes back as [`Routed::Pending`] and
+/// its reply is delivered to `reply`.
+fn route_async(
+    req: &Request,
+    id: u64,
+    rid: &Arc<str>,
+    span: &mut obs::Span,
+    shared: &Shared,
+    reply: ReplyTo,
+) -> Routed {
+    if let ("POST", "/v1/embed") = (req.method.as_str(), req.path.as_str()) {
+        return embed(req, id, rid, span, shared, reply);
+    }
+    Routed::Done(match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => healthz(shared),
         ("GET", "/metrics") => metrics_page(shared),
         ("GET", "/debug/flight") => flight_page(),
         ("GET", "/debug/profile") => profile_page(false),
         ("GET", "/debug/profile/top") => profile_page(true),
-        ("POST", "/v1/embed") => embed(req, id, rid, span, shared),
         ("POST", "/v1/knn") => knn(req, shared),
         ("POST", "/v1/tables") => tables_ingest(req, shared),
         ("POST", "/v1/analyze") => analyze(req, shared),
@@ -610,7 +812,7 @@ fn route(req: &Request, id: u64, rid: &Arc<str>, span: &mut obs::Span, shared: &
             // else, so clients never have to parse a bare-text body.
             None => Outcome::error("other", 404, &format!("no route for '{path}'")),
         },
-    }
+    })
 }
 
 /// `POST /v1/tables`: ingest a table (CSV or JSON), reply with its
@@ -983,13 +1185,26 @@ fn healthz(shared: &Shared) -> Outcome {
         jc.capacity,
         shared.tables.len(),
     );
+    // Connections sub-object: live gauges plus lifetime counters, in
+    // both net modes (thread mode simply never has idle connections).
+    let cs = shared.metrics.conn_snapshot();
+    let connections = format!(
+        "{{\"open\":{},\"idle\":{},\"active\":{},\"accepted\":{},\"timeouts\":{}}}",
+        cs.open,
+        cs.idle(),
+        cs.active,
+        cs.accepted,
+        cs.timeouts,
+    );
     let body = format!(
-        "{{\"status\":\"ok\",\"draining\":{},\"queue_depth\":{},\"queue_capacity\":{},\"uptime_seconds\":{:.3},\"workers\":{},\"jobs\":{},\"simd\":\"{}\",\"store\":{},\"ann\":{}}}",
+        "{{\"status\":\"ok\",\"draining\":{},\"net\":\"{}\",\"queue_depth\":{},\"queue_capacity\":{},\"uptime_seconds\":{:.3},\"workers\":{},\"connections\":{},\"jobs\":{},\"simd\":\"{}\",\"store\":{},\"ann\":{}}}",
         shared.draining.load(Ordering::SeqCst),
+        shared.config.net.as_str(),
         shared.queue.len(),
         shared.queue.capacity(),
         shared.started.elapsed().as_secs_f64(),
         shared.engine.jobs(),
+        connections,
         jobs,
         observatory_linalg::simd::decision().describe(),
         store,
@@ -1027,13 +1242,27 @@ fn metrics_page(shared: &Shared) -> Outcome {
     }
 }
 
-fn embed(req: &Request, id: u64, rid: &Arc<str>, span: &mut obs::Span, shared: &Shared) -> Outcome {
+/// `POST /v1/embed`: validate and admit. Admission is the only async
+/// edge in the server — on `Pushed::Ok` the batcher owns the job and
+/// will deliver its reply to the supplied [`ReplyTo`] sink.
+fn embed(
+    req: &Request,
+    id: u64,
+    rid: &Arc<str>,
+    span: &mut obs::Span,
+    shared: &Shared,
+    reply: ReplyTo,
+) -> Routed {
     if req.header("content-length").is_none() {
-        return Outcome::error("embed", 411, "POST /v1/embed requires Content-Length");
+        return Routed::Done(Outcome::error(
+            "embed",
+            411,
+            "POST /v1/embed requires Content-Length",
+        ));
     }
     let body = match std::str::from_utf8(&req.body) {
         Ok(s) => s,
-        Err(_) => return Outcome::error("embed", 400, "body must be UTF-8 JSON"),
+        Err(_) => return Routed::Done(Outcome::error("embed", 400, "body must be UTF-8 JSON")),
     };
     let parsed = {
         let mut parse_span = obs::span(obs::Level::Debug, "serve", "parse");
@@ -1046,21 +1275,24 @@ fn embed(req: &Request, id: u64, rid: &Arc<str>, span: &mut obs::Span, shared: &
     let embed_req = match parsed {
         Ok(r) => r,
         Err(api::ApiError::TooLarge) => {
-            return Outcome::error("embed", 413, &api::ApiError::TooLarge.to_string())
+            return Routed::Done(Outcome::error("embed", 413, &api::ApiError::TooLarge.to_string()))
         }
-        Err(api::ApiError::Bad(m)) => return Outcome::error("embed", 400, &m),
+        Err(api::ApiError::Bad(m)) => return Routed::Done(Outcome::error("embed", 400, &m)),
     };
     // Name check only — constructing the model here would regenerate its
     // weights on every request; the batcher builds and caches adapters.
     if !is_known_model(&embed_req.model) {
-        return Outcome::error("embed", 400, &format!("unknown model '{}'", embed_req.model));
+        return Routed::Done(Outcome::error(
+            "embed",
+            400,
+            &format!("unknown model '{}'", embed_req.model),
+        ));
     }
     span.record("model", &embed_req.model);
     span.record("rows", embed_req.table.num_rows());
     span.record("cols", embed_req.table.num_cols());
     let deadline_in = request_deadline(req, shared.config.deadline);
     let now = Instant::now();
-    let (tx, rx) = mpsc::channel();
     let job = Job {
         id,
         rid: Arc::clone(rid),
@@ -1068,7 +1300,7 @@ fn embed(req: &Request, id: u64, rid: &Arc<str>, span: &mut obs::Span, shared: &
         table: embed_req.table.clone(),
         enqueued: now,
         deadline: now + deadline_in,
-        reply: tx,
+        reply,
         span_parent: span.id(),
     };
     match shared.queue.push(job) {
@@ -1082,33 +1314,17 @@ fn embed(req: &Request, id: u64, rid: &Arc<str>, span: &mut obs::Span, shared: &
             flight::dump("shed");
             let mut o = Outcome::error("embed", 429, "admission queue full, retry shortly");
             o.extra.push(("Retry-After", "1".to_string()));
-            o
+            Routed::Done(o)
         }
         Pushed::Closed => {
             flight::record(FlightKind::Shed, rid, [0; 5], 503);
             flight::dump("shed");
-            Outcome::error("embed", 503, "server is draining")
+            Routed::Done(Outcome::error("embed", 503, "server is draining"))
         }
         Pushed::Ok { depth } => {
             span.record("queue_depth", depth);
             flight::record(FlightKind::Admit, rid, [0; 5], depth as u64);
-            // The batcher always answers (reply, or drops the sender on a
-            // path we haven't imagined — then recv errors and we 500).
-            // The extra minute covers encode time after a met deadline.
-            match rx.recv_timeout(deadline_in + Duration::from_secs(60)) {
-                Ok((Ok(enc), stages)) => {
-                    Outcome::json("embed", 200, api::render_embed_response(&embed_req, &enc))
-                        .with_stages(stages)
-                }
-                Ok((Err(JobError::DeadlineExpired), stages)) => {
-                    Outcome::error("embed", 408, "deadline expired before encode")
-                        .with_stages(stages)
-                }
-                Ok((Err(JobError::Internal(m)), stages)) => {
-                    Outcome::error("embed", 500, &m).with_stages(stages)
-                }
-                Err(_) => Outcome::error("embed", 500, "batcher dropped the request"),
-            }
+            Routed::Pending(PendingEmbed { embed_req, deadline_in })
         }
     }
 }
@@ -1391,7 +1607,7 @@ mod tests {
                 table,
                 enqueued: now,
                 deadline: now + Duration::from_secs(5),
-                reply: tx,
+                reply: tx.into(),
                 span_parent: None,
             }),
             Pushed::Ok { .. }
@@ -1643,6 +1859,214 @@ mod tests {
         // Wrong method is 405, not 404.
         assert_eq!(post(addr, "/debug/flight", "").0, 405);
         shutdown_and_join(&handle, join);
+    }
+
+    /// Read exactly one Content-Length-framed response off a persistent
+    /// connection (keep-alive tests can't read to EOF).
+    fn read_framed(s: &mut TcpStream) -> (u16, String, String) {
+        let mut carry = Vec::new();
+        read_framed_carry(s, &mut carry)
+    }
+
+    /// Read one Content-Length-framed response; over-read bytes (the start of
+    /// the next pipelined response) stay in `carry` for the following call.
+    fn read_framed_carry(s: &mut TcpStream, carry: &mut Vec<u8>) -> (u16, String, String) {
+        use std::io::Read;
+        s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        let header_end = loop {
+            if let Some(pos) = carry.windows(4).position(|w| w == b"\r\n\r\n") {
+                break pos + 4;
+            }
+            let mut chunk = [0u8; 1024];
+            let n = s.read(&mut chunk).expect("read head");
+            assert!(n > 0, "EOF before headers: {:?}", String::from_utf8_lossy(carry));
+            carry.extend_from_slice(&chunk[..n]);
+        };
+        let head = String::from_utf8_lossy(&carry[..header_end]).to_string();
+        let cl: usize = header_value(&head, "content-length")
+            .and_then(|v| v.parse().ok())
+            .expect("content-length on every response");
+        while carry.len() < header_end + cl {
+            let mut chunk = [0u8; 4096];
+            let n = s.read(&mut chunk).expect("read body");
+            assert!(n > 0, "EOF mid-body");
+            carry.extend_from_slice(&chunk[..n]);
+        }
+        let status: u16 =
+            head.split_whitespace().nth(1).and_then(|v| v.parse().ok()).expect("status line");
+        let body = String::from_utf8_lossy(&carry[header_end..header_end + cl]).to_string();
+        carry.drain(..header_end + cl);
+        (status, head, body)
+    }
+
+    /// Block until the peer closes the connection (and assert it does).
+    fn expect_eof(s: &mut TcpStream) {
+        use std::io::Read;
+        s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        let mut rest = Vec::new();
+        match s.read_to_end(&mut rest) {
+            Ok(n) => {
+                assert_eq!(n, 0, "unexpected trailing bytes: {:?}", String::from_utf8_lossy(&rest))
+            }
+            Err(e) => panic!("expected clean close, got {e}"),
+        }
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn keep_alive_serves_many_requests_on_one_socket() {
+        let (addr, handle, join) = spawn_server(ephemeral());
+        let mut s = TcpStream::connect(addr).unwrap();
+        for i in 0..3 {
+            let body = embed_body(40 + i);
+            s.write_all(
+                format!(
+                    "POST /v1/embed HTTP/1.1\r\nHost: t\r\nConnection: keep-alive\r\nContent-Length: {}\r\n\r\n{body}",
+                    body.len()
+                )
+                .as_bytes(),
+            )
+            .unwrap();
+            let (status, head, body) = read_framed(&mut s);
+            assert_eq!(status, 200, "{body}");
+            assert_eq!(header_value(&head, "connection").as_deref(), Some("keep-alive"));
+            assert!(header_value(&head, "x-stage-us").is_some(), "embed carries stages");
+        }
+        // Without the keep-alive token the server closes after answering.
+        s.write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+        let (status, head, _) = read_framed(&mut s);
+        assert_eq!(status, 200);
+        assert_eq!(header_value(&head, "connection").as_deref(), Some("close"));
+        expect_eof(&mut s);
+        let stats = shutdown_and_join(&handle, join);
+        assert!(stats.totals.requests >= 4);
+        // Four requests rode a single accepted connection.
+        assert_eq!(stats.totals.accepted, 1, "keep-alive must reuse the connection");
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn pipelined_requests_are_answered_in_order() {
+        let (addr, handle, join) = spawn_server(ephemeral());
+        let mut s = TcpStream::connect(addr).unwrap();
+        // Three requests in one write; responses must come back in
+        // request order even though the middle one crosses the batcher.
+        let body = embed_body(50);
+        let pipeline = format!(
+            "GET /healthz HTTP/1.1\r\nHost: t\r\nx-request-id: first\r\nConnection: keep-alive\r\n\r\n\
+             POST /v1/embed HTTP/1.1\r\nHost: t\r\nx-request-id: second\r\nConnection: keep-alive\r\nContent-Length: {}\r\n\r\n{body}\
+             GET /healthz HTTP/1.1\r\nHost: t\r\nx-request-id: third\r\n\r\n",
+            body.len()
+        );
+        s.write_all(pipeline.as_bytes()).unwrap();
+        let mut rids = Vec::new();
+        let mut carry = Vec::new();
+        for want in [200u16, 200, 200] {
+            let (status, head, body) = read_framed_carry(&mut s, &mut carry);
+            assert_eq!(status, want, "{body}");
+            rids.push(header_value(&head, "x-request-id").unwrap());
+        }
+        assert_eq!(rids, ["first", "second", "third"], "responses in request order");
+        expect_eof(&mut s);
+        shutdown_and_join(&handle, join);
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn connection_header_conformance_over_the_wire() {
+        let (addr, handle, join) = spawn_server(ephemeral());
+        // HTTP/1.0 → close, even with nothing asked.
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(b"GET /healthz HTTP/1.0\r\nHost: t\r\n\r\n").unwrap();
+        let (status, head, _) = read_framed(&mut s);
+        assert_eq!(status, 200);
+        assert_eq!(header_value(&head, "connection").as_deref(), Some("close"));
+        expect_eof(&mut s);
+        // `Connection: keep-alive, close` → close wins.
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\nConnection: keep-alive, close\r\n\r\n")
+            .unwrap();
+        let (status, head, _) = read_framed(&mut s);
+        assert_eq!(status, 200);
+        assert_eq!(header_value(&head, "connection").as_deref(), Some("close"));
+        expect_eof(&mut s);
+        shutdown_and_join(&handle, join);
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn oversized_headers_get_431_then_close() {
+        let (addr, handle, join) = spawn_server(ephemeral());
+        let mut s = TcpStream::connect(addr).unwrap();
+        let huge = "x".repeat(http::MAX_HEADER_BYTES + 1024);
+        s.write_all(
+            format!("GET /healthz HTTP/1.1\r\nHost: t\r\nx-filler: {huge}\r\n\r\n").as_bytes(),
+        )
+        .unwrap();
+        let (status, head, _) = read_framed(&mut s);
+        assert_eq!(status, 431);
+        assert_eq!(header_value(&head, "connection").as_deref(), Some("close"));
+        expect_eof(&mut s);
+        shutdown_and_join(&handle, join);
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn slow_header_times_out_with_408_then_close() {
+        let config = ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            header_timeout: Duration::from_millis(100),
+            ..ServeConfig::default()
+        };
+        let (addr, handle, join) = spawn_server(config);
+        let mut s = TcpStream::connect(addr).unwrap();
+        // A slowloris: some header bytes, then silence.
+        s.write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\nx-tri").unwrap();
+        let (status, head, _) = read_framed(&mut s);
+        assert_eq!(status, 408);
+        assert_eq!(header_value(&head, "connection").as_deref(), Some("close"));
+        expect_eof(&mut s);
+        let stats = shutdown_and_join(&handle, join);
+        assert!(stats.totals.timeouts >= 1, "timeout counter must tick");
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn idle_keep_alive_connection_is_reaped() {
+        let config = ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            idle_timeout: Duration::from_millis(100),
+            ..ServeConfig::default()
+        };
+        let (addr, handle, join) = spawn_server(config);
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\nConnection: keep-alive\r\n\r\n").unwrap();
+        let (status, head, _) = read_framed(&mut s);
+        assert_eq!(status, 200);
+        assert_eq!(header_value(&head, "connection").as_deref(), Some("keep-alive"));
+        // Parked and silent: the idle sweep closes it without a response.
+        expect_eof(&mut s);
+        let stats = shutdown_and_join(&handle, join);
+        assert!(stats.totals.timeouts >= 1, "idle reap must tick the timeout counter");
+    }
+
+    #[test]
+    fn thread_mode_still_serves_identically() {
+        let config = ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            net: NetMode::Thread,
+            ..ServeConfig::default()
+        };
+        let (addr, handle, join) = spawn_server(config);
+        let (status, _, body) = get(addr, "/healthz");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"net\":\"thread\""), "{body}");
+        let (status, _, body) = post(addr, "/v1/embed", &embed_body(60));
+        assert_eq!(status, 200, "{body}");
+        assert_eq!(get(addr, "/nope").0, 404);
+        let stats = shutdown_and_join(&handle, join);
+        assert!(stats.totals.requests >= 3);
+        assert_eq!(stats.totals.accepted, 3, "thread mode accepts per request");
     }
 
     #[test]

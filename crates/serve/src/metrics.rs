@@ -33,6 +33,36 @@ pub struct ServerMetrics {
     latency: Histogram,
     /// One histogram per pipeline stage, [`STAGE_LABELS`] order.
     stages: [Histogram; 5],
+    /// Connections accepted since startup.
+    accepted: AtomicU64,
+    /// Connections closed by the server's timeout ladder (slow headers,
+    /// idle keep-alive).
+    timeouts: AtomicU64,
+    /// Currently open connections (gauge).
+    conns_open: AtomicU64,
+    /// Open connections currently carrying a request (gauge;
+    /// `open - active` = idle keep-alive connections).
+    conns_active: AtomicU64,
+}
+
+/// A point-in-time view of the connection gauges and counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConnStats {
+    /// Currently open connections.
+    pub open: u64,
+    /// Open connections currently carrying a request.
+    pub active: u64,
+    /// Connections accepted since startup.
+    pub accepted: u64,
+    /// Connections closed by a server-side timeout.
+    pub timeouts: u64,
+}
+
+impl ConnStats {
+    /// Open connections with no request in flight (keep-alive parking).
+    pub fn idle(&self) -> u64 {
+        self.open.saturating_sub(self.active)
+    }
 }
 
 /// Frozen totals, used by the drain report.
@@ -52,6 +82,11 @@ pub struct ServerTotals {
     pub max_batch: u64,
     /// Handler panics recovered by the batcher.
     pub panics: u64,
+    /// Connections accepted over the server's lifetime.
+    pub accepted: u64,
+    /// Connections closed by a server-side timeout (slow headers or
+    /// idle keep-alive).
+    pub timeouts: u64,
     /// Per-stage timing snapshots, `(stage label, histogram)` in
     /// [`STAGE_LABELS`] order. Fuel for the drain report's p50/p95/p99
     /// table (via `HistogramSnapshot::percentile` and `merge`).
@@ -101,6 +136,47 @@ impl ServerMetrics {
         self.panics.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record one accepted connection.
+    pub fn record_accept(&self) {
+        self.accepted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one connection closed by the server's timeout ladder.
+    pub fn record_conn_timeout(&self) {
+        self.timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A connection opened (pair with [`ServerMetrics::conn_closed`]).
+    pub fn conn_opened(&self) {
+        self.conns_open.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A connection closed.
+    pub fn conn_closed(&self) {
+        self.conns_open.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// A connection began carrying a request (pair with
+    /// [`ServerMetrics::conn_unbusy`]).
+    pub fn conn_busy(&self) {
+        self.conns_active.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A connection went idle again.
+    pub fn conn_unbusy(&self) {
+        self.conns_active.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Current connection gauges + lifetime counters.
+    pub fn conn_snapshot(&self) -> ConnStats {
+        ConnStats {
+            open: self.conns_open.load(Ordering::Relaxed),
+            active: self.conns_active.load(Ordering::Relaxed),
+            accepted: self.accepted.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+        }
+    }
+
     /// Record one request's per-stage breakdown.
     pub fn record_stages(&self, s: &Stages) {
         for (h, us) in self.stages.iter().zip(s.as_array()) {
@@ -118,6 +194,8 @@ impl ServerMetrics {
             batched_jobs: self.batched_jobs.load(Ordering::Relaxed),
             max_batch: self.max_batch.load(Ordering::Relaxed),
             panics: self.panics.load(Ordering::Relaxed),
+            accepted: self.accepted.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
             stages: STAGE_LABELS
                 .iter()
                 .zip(&self.stages)
@@ -178,6 +256,30 @@ impl ServerMetrics {
             "gauge",
             "1 while the server is draining, else 0.",
             if draining { 1.0 } else { 0.0 },
+        );
+        // Connection plane: live gauges by state plus lifetime counters.
+        // In thread mode every open connection is active; in epoll mode
+        // idle counts parked keep-alive connections.
+        let cs = self.conn_snapshot();
+        buf.family(
+            "observatory_server_connections",
+            "gauge",
+            "Open connections by state (open = idle + active).",
+        );
+        for (state, v) in [("open", cs.open), ("idle", cs.idle()), ("active", cs.active)] {
+            buf.sample("observatory_server_connections", &[("state", state)], v as f64);
+        }
+        buf.scalar(
+            "observatory_server_accepted_total",
+            "counter",
+            "Connections accepted since startup.",
+            cs.accepted as f64,
+        );
+        buf.scalar(
+            "observatory_server_timeouts_total",
+            "counter",
+            "Connections closed by the timeout ladder (slow headers, idle keep-alive).",
+            cs.timeouts as f64,
         );
         // Analysis-job plane: live scheduler gauges plus monotone
         // admission accounting (submitted must equal done + failed +
@@ -339,12 +441,24 @@ mod tests {
             store_us: 0,
             write_us: 0,
         });
+        // Three connections seen: two still open, one of them active,
+        // one closed by a timeout.
+        for _ in 0..3 {
+            m.record_accept();
+            m.conn_opened();
+        }
+        m.conn_busy();
+        m.record_conn_timeout();
+        m.conn_closed();
         let jc = JobCounts { queued: 2, running: 1, capacity: 16, ..JobCounts::default() };
         let jt = JobTotals { submitted: 5, done: 3, failed: 1, cancelled: 1 };
         let text = m.prometheus_text(3, 256, 2, false, jc, jt);
         let summary = validate(&text).expect("server exposition must validate");
         for family in [
             "observatory_server_requests_total",
+            "observatory_server_connections",
+            "observatory_server_accepted_total",
+            "observatory_server_timeouts_total",
             "observatory_server_queue_depth",
             "observatory_server_queue_capacity",
             "observatory_server_inflight_connections",
@@ -376,9 +490,18 @@ mod tests {
         assert!(text.contains("observatory_server_shed_total 1"));
         assert!(text.contains("observatory_server_deadline_expired_total 1"));
         assert!(text.contains("observatory_server_batch_size_max 4"));
+        assert!(text.contains("observatory_server_connections{state=\"open\"} 2"));
+        assert!(text.contains("observatory_server_connections{state=\"idle\"} 1"));
+        assert!(text.contains("observatory_server_connections{state=\"active\"} 1"));
+        assert!(text.contains("observatory_server_accepted_total 3"));
+        assert!(text.contains("observatory_server_timeouts_total 1"));
+        let cs = m.conn_snapshot();
+        assert_eq!((cs.open, cs.active, cs.idle()), (2, 1, 1));
+        assert_eq!((cs.accepted, cs.timeouts), (3, 1));
         let t = m.totals();
         assert_eq!(t.requests, 4);
         assert_eq!((t.shed, t.expired, t.panics), (1, 1, 1));
+        assert_eq!((t.accepted, t.timeouts), (3, 1));
         assert_eq!((t.batches, t.batched_jobs, t.max_batch), (2, 6, 4));
         assert!((t.mean_batch() - 3.0).abs() < 1e-12);
     }

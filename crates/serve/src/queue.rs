@@ -69,6 +69,68 @@ impl Stages {
     }
 }
 
+/// Where the batcher's reply for one job goes.
+///
+/// The legacy thread path parks its connection thread on an mpsc
+/// receiver ([`ReplyTo::Channel`]). The epoll reactor cannot block, so
+/// its jobs carry a [`ReplyTo::Mailbox`]: the batcher deposits the reply
+/// in the owning shard's completion mailbox and rings its eventfd, and
+/// the shard finishes the response on its next wakeup.
+pub enum ReplyTo {
+    /// Blocking path: a per-request mpsc channel.
+    Channel(mpsc::Sender<Reply>),
+    /// Reactor path: the shard's completion mailbox plus an opaque
+    /// connection token (slot + generation) routing the reply back to
+    /// the right connection.
+    Mailbox(Arc<Mailbox>, u64),
+}
+
+impl ReplyTo {
+    /// Deliver the reply. Delivery failures (receiver dropped) are
+    /// swallowed exactly like `mpsc::Sender::send` call sites did: the
+    /// requester gave up; the work is already done.
+    pub fn send(&self, reply: Reply) {
+        match self {
+            ReplyTo::Channel(tx) => {
+                let _ = tx.send(reply);
+            }
+            ReplyTo::Mailbox(mb, token) => mb.push(*token, reply),
+        }
+    }
+}
+
+impl From<mpsc::Sender<Reply>> for ReplyTo {
+    fn from(tx: mpsc::Sender<Reply>) -> Self {
+        ReplyTo::Channel(tx)
+    }
+}
+
+/// A shard's completion mailbox: batcher threads deposit `(token,
+/// reply)` pairs and invoke the wake hook (an eventfd write on Linux) so
+/// the shard's `epoll_wait` returns and drains the box.
+pub struct Mailbox {
+    items: Mutex<Vec<(u64, Reply)>>,
+    wake: Box<dyn Fn() + Send + Sync>,
+}
+
+impl Mailbox {
+    /// A mailbox whose `wake` hook interrupts the owning event loop.
+    pub fn new(wake: Box<dyn Fn() + Send + Sync>) -> Arc<Self> {
+        Arc::new(Self { items: Mutex::new(Vec::new()), wake })
+    }
+
+    /// Deposit one completion and wake the owner.
+    pub fn push(&self, token: u64, reply: Reply) {
+        self.items.lock().unwrap_or_else(|e| e.into_inner()).push((token, reply));
+        (self.wake)();
+    }
+
+    /// Take everything deposited so far.
+    pub fn drain(&self) -> Vec<(u64, Reply)> {
+        std::mem::take(&mut *self.items.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+}
+
 /// One admitted encode request, waiting in the queue.
 pub struct Job {
     /// Server-assigned request id (monotone; used in traces).
@@ -85,8 +147,9 @@ pub struct Job {
     /// Absolute deadline; jobs still queued past it are expired (408)
     /// without ever being encoded.
     pub deadline: Instant,
-    /// Channel the batcher answers on.
-    pub reply: mpsc::Sender<Reply>,
+    /// Where the batcher's answer goes (blocking channel or shard
+    /// mailbox).
+    pub reply: ReplyTo,
     /// Span id of the request's root span, for cross-thread trace edges.
     pub span_parent: Option<u64>,
 }
@@ -248,7 +311,7 @@ mod tests {
             table,
             enqueued: now,
             deadline: now + Duration::from_secs(60),
-            reply: tx,
+            reply: tx.into(),
             span_parent: None,
         };
         (j, rx)
@@ -340,6 +403,24 @@ mod tests {
         let (j, _r) = job(9);
         assert!(matches!(q.push(j), Pushed::Ok { .. }));
         assert_eq!(popper.join().unwrap(), Some(1));
+    }
+
+    #[test]
+    fn mailbox_deposits_wake_and_drain() {
+        use std::sync::atomic::AtomicUsize;
+        let wakes = Arc::new(AtomicUsize::new(0));
+        let w = Arc::clone(&wakes);
+        let mb = Mailbox::new(Box::new(move || {
+            w.fetch_add(1, Ordering::SeqCst);
+        }));
+        let sink = ReplyTo::Mailbox(Arc::clone(&mb), 7);
+        sink.send((Err(crate::JobError::DeadlineExpired), Stages::default()));
+        sink.send((Err(crate::JobError::Internal("x".into())), Stages::default()));
+        assert_eq!(wakes.load(Ordering::SeqCst), 2, "every deposit rings the wake hook");
+        let got = mb.drain();
+        assert_eq!(got.len(), 2);
+        assert!(got.iter().all(|(tok, _)| *tok == 7));
+        assert!(mb.drain().is_empty(), "drain takes everything");
     }
 
     #[test]

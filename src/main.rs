@@ -72,6 +72,12 @@ fn print_usage() {
     println!("  observatory serve [--addr <host:port>]    resident embedding service (HTTP/1.1)");
     println!("                    [--jobs <n>] [--max-batch <n>] [--batch-delay-us <n>]");
     println!("                    [--queue-depth <n>] [--deadline-ms <n>]");
+    println!("                    [--net thread|epoll]  connection handling (default: epoll on");
+    println!("                                          Linux — keep-alive + pipelining; thread");
+    println!("                                          elsewhere)");
+    println!(
+        "                    [--net-shards <n>]   reactor event loops (default 0 = one per core)"
+    );
     println!("                    [--max-jobs <n>]     analysis job queue bound (default 16)");
     println!(
         "                    [--job-deadline-ms <n>] default analysis deadline (default 300000)"
@@ -361,7 +367,7 @@ fn cmd_characterize(args: &[String]) -> i32 {
 }
 
 fn cmd_serve(args: &[String]) -> i32 {
-    use observatory::serve::{ServeConfig, Server};
+    use observatory::serve::{NetMode, ServeConfig, Server};
     // Usage errors first (exit 2), before any side effects.
     let (
         max_batch,
@@ -441,6 +447,30 @@ fn cmd_serve(args: &[String]) -> i32 {
             return 2;
         }
     };
+    // Net mode: the flag value is closed-set, so a typo is a usage
+    // error — falling back to a default would silently bench the wrong
+    // serving path.
+    let net = match opt_value(args, "--net") {
+        None => ServeConfig::default().net,
+        Some(raw) => match NetMode::parse(raw) {
+            Some(m) => m,
+            None => {
+                eprintln!("invalid value '{raw}' for --net (expected 'thread' or 'epoll')");
+                return 2;
+            }
+        },
+    };
+    let net_shards = match parse_opt(args, "--net-shards", 0usize) {
+        Ok(n) if n <= 64 => n,
+        Ok(n) => {
+            eprintln!("invalid value '{n}' for --net-shards (expected an integer in 0..=64)");
+            return 2;
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
     // A warm ANN index without a store would silently serve nothing:
     // refuse up front rather than answer corpus queries with 409 forever.
     if ann_warm && store_dir.is_none() {
@@ -483,6 +513,9 @@ fn cmd_serve(args: &[String]) -> i32 {
         max_jobs,
         job_deadline: std::time::Duration::from_millis(job_deadline_ms),
         jobs_dir,
+        net,
+        net_shards,
+        ..ServeConfig::default()
     };
     let requested_addr = config.addr.clone();
     let engine = observatory::runtime::global();
@@ -507,8 +540,9 @@ fn cmd_serve(args: &[String]) -> i32 {
     // ephemeral) port, so it goes out before the accept loop starts.
     println!(
         "serving on http://{addr} (jobs={}, max_batch={max_batch}, batch_delay={batch_delay_us}us, \
-         queue_depth={queue_depth}, deadline={deadline_ms}ms)",
-        engine.jobs()
+         queue_depth={queue_depth}, deadline={deadline_ms}ms, net={})",
+        engine.jobs(),
+        net.as_str()
     );
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
@@ -526,6 +560,12 @@ fn cmd_serve(args: &[String]) -> i32 {
         stats.totals.mean_batch(),
         stats.totals.max_batch,
         stats.uptime.as_secs_f64(),
+    );
+    println!(
+        "connections: {} accepted, {} timed out (net={})",
+        stats.totals.accepted,
+        stats.totals.timeouts,
+        net.as_str(),
     );
     println!(
         "jobs: {} submitted, {} done, {} failed, {} cancelled, {} lost",
@@ -558,6 +598,7 @@ fn cmd_serve(args: &[String]) -> i32 {
             .set("command", "serve")
             .set("addr", addr.to_string())
             .set("jobs", engine.jobs().to_string())
+            .set("net", net.as_str())
             .set("max_batch", max_batch.to_string())
             .set("queue_depth", queue_depth.to_string())
             .set("requests", stats.totals.requests.to_string())
@@ -847,6 +888,16 @@ mod tests {
         assert_eq!(cmd_serve(&args(&["--profile-interval-ms", "often"])), 2);
         assert_eq!(cmd_serve(&args(&["--profile-interval-ms", "0"])), 2);
         assert_eq!(cmd_serve(&args(&["--profile-out"])), 2, "trailing --profile-out");
+    }
+
+    #[test]
+    fn malformed_net_flags_are_exit_2() {
+        // --net is a closed set and --net-shards is bounded; both are
+        // usage errors caught before the server binds anything.
+        assert_eq!(cmd_serve(&args(&["--net", "uring"])), 2);
+        assert_eq!(cmd_serve(&args(&["--net", "EPOLL"])), 2, "flag values are case-sensitive");
+        assert_eq!(cmd_serve(&args(&["--net-shards", "many"])), 2);
+        assert_eq!(cmd_serve(&args(&["--net-shards", "65"])), 2, "out of 0..=64");
     }
 
     #[test]
