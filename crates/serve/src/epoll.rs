@@ -23,16 +23,58 @@ mod imp {
     use std::io;
     use std::os::raw::{c_int, c_void};
 
-    // x86_64 declares struct epoll_event packed; mirroring that layout
-    // exactly is what keeps the raw syscall ABI-correct.
+    // The kernel packs struct epoll_event *only on x86_64* (a 12-byte
+    // record, data at offset 4); every other architecture uses natural
+    // alignment (16 bytes, data at offset 8). Mirroring the right
+    // layout per arch is what keeps the raw syscall ABI-correct —
+    // getting it wrong means epoll_wait writes past the Vec's stride.
     /// One readiness event: an interest mask and the caller's token.
+    #[cfg(target_arch = "x86_64")]
     #[repr(C, packed)]
     #[derive(Clone, Copy)]
     pub struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    /// One readiness event: an interest mask and the caller's token.
+    #[cfg(not(target_arch = "x86_64"))]
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    pub struct EpollEvent {
+        events: u32,
+        _pad: u32,
+        data: u64,
+    }
+
+    // Compile-time guard against drifting from the kernel ABI.
+    const _: () = assert!(
+        std::mem::size_of::<EpollEvent>() == if cfg!(target_arch = "x86_64") { 12 } else { 16 },
+        "EpollEvent must match the kernel's struct epoll_event layout"
+    );
+
+    impl EpollEvent {
+        /// An event record with the given interest mask and token.
+        pub fn new(events: u32, data: u64) -> EpollEvent {
+            #[cfg(target_arch = "x86_64")]
+            {
+                EpollEvent { events, data }
+            }
+            #[cfg(not(target_arch = "x86_64"))]
+            {
+                EpollEvent { events, _pad: 0, data }
+            }
+        }
+
         /// Readiness bits (`EPOLLIN | ...`).
-        pub events: u32,
+        pub fn events(&self) -> u32 {
+            self.events
+        }
+
         /// Caller-chosen token, returned verbatim by `epoll_wait`.
-        pub data: u64,
+        pub fn data(&self) -> u64 {
+            self.data
+        }
     }
 
     /// Readable.
@@ -89,7 +131,7 @@ mod imp {
         }
 
         fn ctl(&self, op: c_int, fd: i32, events: u32, token: u64) -> io::Result<()> {
-            let mut ev = EpollEvent { events, data: token };
+            let mut ev = EpollEvent::new(events, token);
             let rc = unsafe { epoll_ctl(self.fd, op, fd, &mut ev) };
             if rc < 0 {
                 return Err(io::Error::last_os_error());
@@ -215,14 +257,14 @@ mod imp {
             let ep = Epoll::new().unwrap();
             let wk = WakeFd::new().unwrap();
             ep.add(wk.fd(), EPOLLIN, 42).unwrap();
-            let mut events = [EpollEvent { events: 0, data: 0 }; 4];
+            let mut events = [EpollEvent::new(0, 0); 4];
             // Nothing pending: times out empty.
             assert_eq!(ep.wait(&mut events, 0).unwrap(), 0);
             wk.wake();
             wk.wake();
             let n = ep.wait(&mut events, 1000).unwrap();
             assert_eq!(n, 1);
-            let (ev, data) = (events[0].events, events[0].data);
+            let (ev, data) = (events[0].events(), events[0].data());
             assert_ne!(ev & EPOLLIN, 0);
             assert_eq!(data, 42);
             wk.drain();

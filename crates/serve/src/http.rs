@@ -200,6 +200,17 @@ impl RequestParser {
             };
             headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
         }
+        // Bodies are Content-Length-delimited only. A Transfer-Encoding
+        // body (chunked or otherwise) would be misread as zero-length
+        // and its bytes reparsed as the next pipelined request — a
+        // framing desync and a request-smuggling vector — so any such
+        // request fails the stream and the connection closes.
+        if headers.iter().any(|(k, _)| k == "transfer-encoding") {
+            self.dead = true;
+            return Err(HttpError::Malformed(
+                "transfer-encoding is not supported; use content-length".to_string(),
+            ));
+        }
         let content_length = match headers.iter().find(|(k, _)| k == "content-length") {
             None => 0usize,
             Some((_, v)) => match v.parse::<usize>() {
@@ -406,6 +417,27 @@ mod tests {
         // The parser is dead afterwards: no resurrection on more bytes.
         p.feed(b"\r\n\r\n");
         assert_eq!(p.next_request().unwrap(), None);
+    }
+
+    #[test]
+    fn transfer_encoding_fails_the_stream() {
+        // A chunked body would otherwise parse as zero-length and its
+        // bytes desync the pipeline (request smuggling); the stream
+        // must die instead, swallowing everything after the header.
+        let mut p = RequestParser::new();
+        p.feed(
+            b"POST /v1/embed HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n\
+              5\r\nGET /\r\n0\r\n\r\nGET /smuggled HTTP/1.1\r\n\r\n",
+        );
+        assert!(matches!(p.next_request().unwrap_err(), HttpError::Malformed(_)));
+        assert_eq!(p.next_request().unwrap(), None, "dead parser yields nothing");
+        p.feed(b"GET /late HTTP/1.1\r\n\r\n");
+        assert_eq!(p.next_request().unwrap(), None, "no resurrection after the error");
+        // Any transfer-encoding value is rejected, not just chunked.
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\nTransfer-Encoding: identity\r\n\r\n").unwrap_err(),
+            HttpError::Malformed(_)
+        ));
     }
 
     #[test]

@@ -1973,6 +1973,38 @@ mod tests {
 
     #[cfg(target_os = "linux")]
     #[test]
+    fn half_close_after_pipelined_burst_still_serves_all_replies() {
+        // Pipeline a burst of embeds, then shut down the client's write
+        // half while they are still in flight. EPOLLRDHUP fires while
+        // the replies are parked; the reactor must note the EOF without
+        // re-firing the event (busy-spin regression) and still deliver
+        // every response before closing.
+        let (addr, handle, join) = spawn_server(ephemeral());
+        let mut s = TcpStream::connect(addr).unwrap();
+        const BURST: usize = 6;
+        let mut pipeline = String::new();
+        for i in 0..BURST {
+            let body = embed_body(900 + i as u64);
+            pipeline.push_str(&format!(
+                "POST /v1/embed HTTP/1.1\r\nHost: t\r\nx-request-id: hc-{i}\r\nConnection: keep-alive\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            ));
+        }
+        s.write_all(pipeline.as_bytes()).unwrap();
+        s.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut carry = Vec::new();
+        for i in 0..BURST {
+            let (status, head, body) = read_framed_carry(&mut s, &mut carry);
+            assert_eq!(status, 200, "reply {i}: {body}");
+            assert_eq!(header_value(&head, "x-request-id").as_deref(), Some(&*format!("hc-{i}")));
+        }
+        expect_eof(&mut s);
+        let stats = shutdown_and_join(&handle, join);
+        assert!(stats.totals.requests >= BURST as u64);
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
     fn connection_header_conformance_over_the_wire() {
         let (addr, handle, join) = spawn_server(ephemeral());
         // HTTP/1.0 → close, even with nothing asked.

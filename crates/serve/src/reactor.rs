@@ -47,7 +47,7 @@
 //! net modes.
 
 use crate::epoll::{
-    pin_to_core, Epoll, EpollEvent, WakeFd, EPOLLERR, EPOLLIN, EPOLLOUT, EPOLLRDHUP,
+    pin_to_core, Epoll, EpollEvent, WakeFd, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP,
 };
 use crate::http::{render_response, HttpError, Request, RequestParser};
 use crate::queue::{Mailbox, ReplyTo};
@@ -72,6 +72,9 @@ const TOKEN_LISTENER: u64 = u64::MAX;
 const TOKEN_WAKE: u64 = u64::MAX - 1;
 /// Pause pipelined parsing while this many response bytes await flush.
 const OUT_BACKPRESSURE_BYTES: usize = 1 << 20;
+/// Compact the out buffer (drop its flushed prefix) once this many
+/// consumed bytes accumulate without a full drain.
+const OUT_COMPACT_BYTES: usize = 64 << 10;
 /// Events drained per `epoll_wait`.
 const MAX_EVENTS: usize = 256;
 /// Read chunk size (stack buffer).
@@ -202,7 +205,13 @@ struct Conn {
     last_activity: Instant,
     /// The current response stream ends the connection once flushed.
     close_after_flush: bool,
-    /// Peer shut down its write half; serve what is parked, then close.
+    /// The kernel reported `EPOLLRDHUP`. Recorded so the interest can
+    /// be dropped — level-triggered RDHUP re-fires on every wait while
+    /// reads are paused (backpressure / pipeline cap), spinning the
+    /// shard. `read()` still observes the EOF itself once reads resume.
+    rdhup: bool,
+    /// Peer shut down its write half (`read()` returned 0); serve what
+    /// is parked, then close.
     peer_eof: bool,
     /// Unrecoverable socket error; tear down regardless of state.
     broken: bool,
@@ -254,7 +263,9 @@ impl Conn {
     }
 
     fn desired_interest(&self) -> u32 {
-        let mut m = EPOLLRDHUP;
+        // Once RDHUP has been observed the event has nothing more to
+        // say; deregister it so it stops re-firing while reads pause.
+        let mut m = if self.rdhup { 0 } else { EPOLLRDHUP };
         if self.wants_read() {
             m |= EPOLLIN;
         }
@@ -304,11 +315,11 @@ impl Shard {
             return;
         }
         self.accepting = true;
-        let mut events = vec![EpollEvent { events: 0, data: 0 }; MAX_EVENTS];
+        let mut events = vec![EpollEvent::new(0, 0); MAX_EVENTS];
         loop {
             let n = self.epoll.wait(&mut events, 50).unwrap_or(0);
             for ev in events.iter().take(n) {
-                let EpollEvent { events: mask, data: token } = *ev;
+                let (mask, token) = (ev.events(), ev.data());
                 match token {
                     TOKEN_WAKE => self.wake.drain(),
                     TOKEN_LISTENER => self.accept_ready(),
@@ -378,6 +389,7 @@ impl Shard {
             request_started: None,
             last_activity: Instant::now(),
             close_after_flush: false,
+            rdhup: false,
             peer_eof: false,
             broken: false,
             active: false,
@@ -406,9 +418,19 @@ impl Shard {
         let Some(slot) = self.check(token) else { return };
         {
             let conn = self.slots[slot].conn.as_mut().expect("checked");
-            if mask & EPOLLERR != 0 {
+            if mask & (EPOLLERR | EPOLLHUP) != 0 {
+                // ERR is unrecoverable; HUP means both halves are gone
+                // (reset/abort) so the peer can never read a reply —
+                // and unlike RDHUP the event cannot be masked out, so
+                // lingering would spin the shard until teardown anyway.
                 conn.broken = true;
             } else {
+                if mask & EPOLLRDHUP != 0 {
+                    // Note the half-close; settle() then drops the
+                    // RDHUP interest so the level-triggered event stops
+                    // re-firing while reads are paused.
+                    conn.rdhup = true;
+                }
                 if mask & (EPOLLIN | EPOLLRDHUP) != 0 {
                     read_into(conn);
                     process_requests(conn, &self.shared, &self.mailbox, token);
@@ -577,7 +599,10 @@ impl Shard {
 /// Pull whatever the socket has (bounded per event) into the parser.
 fn read_into(conn: &mut Conn) {
     if !conn.wants_read() {
-        // Still consume EOF notifications so RDHUP doesn't spin.
+        // Reads are paused (backpressure / pipeline cap / pending
+        // close). The rdhup flag set by conn_event keeps the EOF
+        // notification from re-firing; read() sees the EOF when reads
+        // resume, so nothing is lost by returning here.
         return;
     }
     let mut buf = [0u8; READ_CHUNK];
@@ -816,28 +841,39 @@ fn pump_replies(conn: &mut Conn) {
 }
 
 /// Write as much of the out buffer as the socket takes.
+///
+/// Flushed bytes are reclaimed even when the buffer never fully drains:
+/// the backpressure bound applies to the unwritten backlog, so without
+/// compaction a client that reads just slowly enough to keep the buffer
+/// nonempty while pipelining could grow `out` without limit.
 fn try_flush(conn: &mut Conn) {
     while conn.out_pos < conn.out.len() {
         match conn.stream.write(&conn.out[conn.out_pos..]) {
             Ok(0) => {
                 conn.broken = true;
-                return;
+                break;
             }
             Ok(n) => {
                 conn.out_pos += n;
                 conn.last_activity = Instant::now();
             }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
             Err(_) => {
                 conn.broken = true;
-                return;
+                break;
             }
         }
     }
-    if !conn.out.is_empty() {
-        conn.out.clear();
+    if conn.out_pos >= conn.out.len() {
+        if !conn.out.is_empty() {
+            conn.out.clear();
+            conn.out_pos = 0;
+        }
+    } else if conn.out_pos >= OUT_COMPACT_BYTES {
+        // Partial drain: drop the consumed prefix once it is large
+        // enough to amortize the memmove of the remaining backlog.
+        conn.out.drain(..conn.out_pos);
         conn.out_pos = 0;
-        conn.last_activity = Instant::now();
     }
 }
